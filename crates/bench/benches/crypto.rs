@@ -1,0 +1,73 @@
+//! Micro-benchmarks for the cryptographic substrate.
+//!
+//! ChaCha20 keystream throughput, SipHash MAC throughput, block sealing,
+//! and the Feistel PRP — the per-block costs behind every simulated ORAM
+//! access.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use horam::crypto::chacha::ChaCha20;
+use horam::crypto::keys::MasterKey;
+use horam::crypto::prp::FeistelPrp;
+use horam::crypto::seal::BlockSealer;
+use horam::crypto::siphash::siphash24;
+use std::hint::black_box;
+
+fn bench_chacha(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chacha20");
+    for size in [64usize, 1024, 16 * 1024] {
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let key = [7u8; 32];
+            let nonce = [3u8; 12];
+            let mut data = vec![0u8; size];
+            b.iter(|| {
+                ChaCha20::apply(&key, &nonce, 0, black_box(&mut data));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_siphash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("siphash24");
+    for size in [16usize, 64, 1024] {
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let key = [9u8; 16];
+            let data = vec![0xAAu8; size];
+            b.iter(|| black_box(siphash24(&key, black_box(&data))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sealing(c: &mut Criterion) {
+    let keys = MasterKey::from_bytes([1u8; 32]).derive("bench/seal", 0);
+    let sealer = BlockSealer::new(&keys);
+    let payload = vec![0x55u8; 1024];
+    c.bench_function("seal_1KB_block", |b| {
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            black_box(sealer.seal(42, seq, black_box(&payload)))
+        });
+    });
+    let sealed = sealer.seal(42, 0, &payload);
+    c.bench_function("open_1KB_block", |b| {
+        b.iter(|| black_box(sealer.open(black_box(&sealed)).expect("verifies")));
+    });
+}
+
+fn bench_prp(c: &mut Criterion) {
+    let prp = FeistelPrp::new([4u8; 16], 1 << 20).expect("domain valid");
+    c.bench_function("feistel_prp_permute_2^20", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = (x + 1) % (1 << 20);
+            black_box(prp.permute(black_box(x)).expect("in domain"))
+        });
+    });
+}
+
+criterion_group!(benches, bench_chacha, bench_siphash, bench_sealing, bench_prp);
+criterion_main!(benches);

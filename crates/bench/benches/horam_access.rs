@@ -1,0 +1,34 @@
+//! Micro-benchmark of H-ORAM batch processing (host time).
+//!
+//! Measures host-side cost of pushing a hotspot batch through the full
+//! scheduler/cache/storage pipeline — the number that bounds how large a
+//! simulated experiment the harness can run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use horam::prelude::*;
+use horam::workload::WorkloadGenerator;
+use std::hint::black_box;
+
+fn bench_horam_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("horam_batch");
+    group.sample_size(10);
+    for batch in [64usize, 256] {
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            let config = HOramConfig::new(4096, 32, 512).with_seed(77);
+            let mut oram = HOram::new(
+                config,
+                MemoryHierarchy::dac2019(),
+                MasterKey::from_bytes([5u8; 32]),
+            )
+            .expect("builds");
+            let mut generator = HotspotWorkload::paper_default(4096, 3);
+            let requests = generator.generate(batch);
+            b.iter(|| black_box(oram.run_batch(black_box(&requests)).expect("runs")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_horam_batch);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Micro-benchmarks of per-access protocol cost (host time).
+//!
+//! Host-side cost per logical access for each baseline protocol at a fixed
+//! size — a regression guard for the simulation's own efficiency (the
+//! simulated-time results live in the table binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use horam::crypto::keys::{KeyHierarchy, MasterKey};
+use horam::protocols::{Oram, PartitionOram, PathOram, PathOramConfig, SquareRootOram};
+use horam::protocols::BlockId;
+use horam::storage::calibration::MachineConfig;
+use horam::storage::clock::SimClock;
+use std::hint::black_box;
+
+const CAPACITY: u64 = 1024;
+const PAYLOAD: usize = 64;
+
+fn bench_path_oram(c: &mut Criterion) {
+    let device = MachineConfig::dac2019().build_memory(SimClock::new(), None);
+    let keys = MasterKey::from_bytes([2u8; 32]).derive("bench/path", 0);
+    let mut oram =
+        PathOram::new(PathOramConfig::new(CAPACITY, PAYLOAD), device, &keys).unwrap();
+    let mut i = 0u64;
+    c.bench_function("path_oram_access_1024", |b| {
+        b.iter(|| {
+            i = (i + 1) % CAPACITY;
+            black_box(oram.read(BlockId(i)).expect("read"))
+        });
+    });
+}
+
+fn bench_square_root(c: &mut Criterion) {
+    let device = MachineConfig::dac2019().build_storage(SimClock::new(), None);
+    let keys = KeyHierarchy::new(MasterKey::from_bytes([3u8; 32]), "bench/sqrt");
+    let mut oram = SquareRootOram::new(CAPACITY, PAYLOAD, device, keys, 1).unwrap();
+    let mut i = 0u64;
+    c.bench_function("square_root_access_1024", |b| {
+        b.iter(|| {
+            i = (i + 1) % CAPACITY;
+            black_box(oram.read(BlockId(i)).expect("read"))
+        });
+    });
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let device = MachineConfig::dac2019().build_storage(SimClock::new(), None);
+    let keys = KeyHierarchy::new(MasterKey::from_bytes([4u8; 32]), "bench/partition");
+    let mut oram = PartitionOram::new(CAPACITY, PAYLOAD, None, device, keys, 1).unwrap();
+    let mut i = 0u64;
+    c.bench_function("partition_access_1024", |b| {
+        b.iter(|| {
+            i = (i + 1) % CAPACITY;
+            black_box(oram.read(BlockId(i)).expect("read"))
+        });
+    });
+}
+
+criterion_group!(benches, bench_path_oram, bench_square_root, bench_partition);
+criterion_main!(benches);

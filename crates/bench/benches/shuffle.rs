@@ -1,0 +1,33 @@
+//! Micro-benchmarks comparing the shuffle algorithms.
+//!
+//! The paper's §3.2 motivates H-ORAM's light partition shuffle by the cost
+//! of full oblivious shuffles; these benches quantify that hierarchy:
+//! Fisher–Yates < CacheShuffle < Melbourne < bitonic network.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use horam::shuffle::ShuffleAlgorithm;
+use std::hint::black_box;
+
+fn bench_shuffles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shuffle");
+    for n in [1024usize, 8192] {
+        for algorithm in ShuffleAlgorithm::ALL {
+            group.throughput(Throughput::Elements(n as u64));
+            group.bench_with_input(
+                BenchmarkId::new(algorithm.to_string(), n),
+                &n,
+                |b, &n| {
+                    b.iter(|| {
+                        let mut items: Vec<u64> = (0..n as u64).collect();
+                        algorithm.shuffle(black_box(&mut items), 42);
+                        black_box(items)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shuffles);
+criterion_main!(benches);

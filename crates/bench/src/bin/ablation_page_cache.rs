@@ -1,0 +1,68 @@
+//! Ablation: how an OS page cache changes the measured picture.
+//!
+//! The paper's testbed has 16 GB of RAM above a ~64 MB–1 GB dataset, so
+//! Linux's page cache inevitably filtered its measurements (its shuffle
+//! throughput exceeds the drive's raw sequential rate). This ablation
+//! re-runs a random-read microworkload against the raw calibrated HDD
+//! model and a page-cached variant, quantifying the effect.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin ablation_page_cache
+//! ```
+
+use horam::analysis::latency::LatencySummary;
+use horam::analysis::table::Table;
+use horam::crypto::rng::DeterministicRng;
+use horam::storage::clock::SimDuration;
+use horam::storage::device::{AccessKind, TimingModel};
+use horam::storage::hdd::HddModel;
+use horam::storage::page_cache::{PageCacheModel, PageCacheParams};
+use rand::Rng;
+
+/// Random 1 KB reads over a working set, repeated so a cache can warm.
+fn run(model: &mut dyn TimingModel, span_bytes: u64, reads: usize, seed: u64) -> LatencySummary {
+    let mut rng = DeterministicRng::from_u64_seed(seed);
+    let samples: Vec<SimDuration> = (0..reads)
+        .map(|_| {
+            let offset = rng.gen_range(0..span_bytes / 1024) * 1024;
+            model.access_cost(AccessKind::Read, offset, 1024)
+        })
+        .collect();
+    LatencySummary::of(&samples)
+}
+
+fn main() {
+    let span: u64 = 64 << 20; // the Table 5-3 region
+    let reads = 100_000; // enough to warm the cache past its cold misses
+
+    println!("Page-cache ablation — {reads} random 1 KB reads over a 64 MB region\n");
+    let mut table = Table::new(vec!["model", "mean", "p50", "p99", "hit rate"]);
+
+    let mut raw = HddModel::paper_calibrated();
+    let summary = run(&mut raw, span, reads, 1);
+    table.row(vec![
+        "raw HDD (calibrated)".into(),
+        summary.mean.to_string(),
+        summary.p50.to_string(),
+        summary.p99.to_string(),
+        "n/a".into(),
+    ]);
+
+    let mut cached =
+        PageCacheModel::new(HddModel::paper_calibrated(), PageCacheParams::linux_16gb());
+    let summary = run(&mut cached, span, reads, 1);
+    table.row(vec![
+        "HDD + 8 GB page cache".into(),
+        summary.mean.to_string(),
+        summary.p50.to_string(),
+        summary.p99.to_string(),
+        format!("{:.0}%", cached.hit_rate() * 100.0),
+    ]);
+
+    println!("{table}");
+    println!("With the whole 64 MB region cacheable, steady state is pure DRAM service —");
+    println!("the regime the paper's fastest measurements (sub-seek 'HDD' latencies and");
+    println!("over-raw shuffle throughput) imply. The reproduction's headline tables use");
+    println!("the raw calibrated model, which matches the paper's *per-access* numbers;");
+    println!("this ablation bounds how much page caching could further compress them.");
+}

@@ -1,0 +1,79 @@
+//! Ablation (§5.3.1): the partial-shuffle ratio sweep.
+//!
+//! The paper proposes shuffling only a fraction `r` of the partitions per
+//! period ("one partition is going to shuffle every 4 periods" for
+//! r = 1/4), trading shuffle time against redundancy. This binary sweeps
+//! `r ∈ {1, 1/2, 1/4, 1/8}` on the Table 5-3 configuration and prints the
+//! resulting shuffle/access balance — the "system profiling" the paper
+//! says picks the proper ratio.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin ablation_partial_shuffle
+//! ```
+
+use bench::{quick_flag, TableParams};
+use horam::analysis::table::Table;
+use horam::prelude::*;
+use horam::workload::{UniformWorkload, WorkloadGenerator};
+
+fn main() {
+    let mut params = TableParams::table_5_3();
+    if quick_flag() {
+        params = params.quick();
+        println!("(--quick: scaled to 1/8)\n");
+    }
+    // A miss-heavy uniform workload drives one I/O load per request, so
+    // each configuration crosses several period boundaries and the sweep
+    // actually measures shuffling (hotspot traffic would mostly hit).
+    let request_count = (3 * params.memory_slots as usize) / 2;
+    let mut generator = UniformWorkload::new(params.capacity_blocks, 0.0, params.seed);
+    let requests = generator.generate(request_count);
+
+    println!(
+        "Partial-shuffle sweep — {} blocks, {} requests per configuration\n",
+        params.capacity_blocks,
+        requests.len()
+    );
+    let mut table = Table::new(vec![
+        "ratio r",
+        "shuffles",
+        "shuffle time",
+        "access time",
+        "total time",
+        "io loads",
+    ]);
+
+    for (label, ratio) in
+        [("1 (full)", None), ("1/2", Some(0.5)), ("1/4", Some(0.25)), ("1/8", Some(0.125))]
+    {
+        let mut config = HOramConfig::new(
+            params.capacity_blocks,
+            params.payload_len,
+            params.memory_slots,
+        )
+        .with_seed(params.seed);
+        if let Some(r) = ratio {
+            config = config.with_partial_shuffle(r);
+        }
+        let mut oram = HOram::new(
+            config,
+            MemoryHierarchy::dac2019(),
+            MasterKey::from_bytes([0xAB; 32]),
+        )
+        .expect("builds");
+        oram.run_batch(&requests).expect("runs");
+        let stats = oram.stats();
+        table.row(vec![
+            label.into(),
+            stats.shuffles.to_string(),
+            stats.shuffle_wall_time.to_string(),
+            stats.access_wall_time.to_string(),
+            stats.total_wall_time().to_string(),
+            stats.total_io_loads().to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!("Expected shape (paper §5.3.1): smaller r shrinks per-period shuffle time;");
+    println!("the trade-off is more redundancy (fuller window partitions, deferred");
+    println!("cold-data refresh), so total time bottoms out at an intermediate r.");
+}

@@ -1,0 +1,285 @@
+//! H-ORAM configuration.
+//!
+//! Collects every knob the paper defines: dataset size `N`, memory tree
+//! budget `n`, the stage schedule for the grouping factor `c` (§4.2,
+//! evaluated with `{c₁=1, c₂=3, c₃=5}` over fractions `{0.20, 0.13,
+//! 0.67}` of the period, ĉ ≈ 3.94), the prefetch distance `d > c`, the
+//! oblivious shuffle used by the tree evict, and the partial-shuffle ratio
+//! of §5.3.1.
+
+use oram_shuffle::ShuffleAlgorithm;
+
+/// One stage of the scheduler's `c` schedule (§4.2): during the given
+/// fraction of the access period, each cycle groups `c` in-memory requests
+/// with one I/O load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StagePlan {
+    /// Grouping factor for this stage.
+    pub c: u32,
+    /// Fraction of the period's I/O budget this stage covers (0, 1].
+    pub fraction: f64,
+}
+
+/// Full-system configuration. Build with [`HOramConfig::new`] and adjust
+/// fields through the `with_*` methods.
+///
+/// # Example
+///
+/// ```
+/// use horam_core::config::HOramConfig;
+///
+/// let config = HOramConfig::new(1 << 16, 64, 1 << 12)
+///     .with_seed(7)
+///     .with_prefetch_distance(20);
+/// assert_eq!(config.period_io_limit(), 1 << 11);
+/// assert!((config.average_c() - 3.94).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HOramConfig {
+    /// Dataset size `N` in blocks.
+    pub capacity: u64,
+    /// Application payload bytes per block.
+    pub payload_len: usize,
+    /// Memory tree budget `n` in block slots.
+    pub memory_slots: u64,
+    /// Path ORAM bucket size (paper: 4).
+    pub z: u32,
+    /// The `c` schedule (paper default: 1/3/5 over 0.20/0.13/0.67).
+    pub stages: Vec<StagePlan>,
+    /// Prefetch window `d` in ROB entries; must exceed every stage `c`.
+    pub prefetch_distance: usize,
+    /// Oblivious shuffle for the tree-evict buffer (§4.3.1).
+    pub evict_shuffle: ShuffleAlgorithm,
+    /// In-enclave shuffle for partition rebuilds (§4.3.2; paper uses
+    /// CacheShuffle).
+    pub partition_shuffle: ShuffleAlgorithm,
+    /// Partial-shuffle ratio `r` (§5.3.1): shuffle `⌈r·√N⌉` partitions per
+    /// period. `None` (the default) shuffles every partition.
+    pub partial_shuffle_ratio: Option<f64>,
+    /// Extra slot headroom per storage partition, as a factor ≥ 1.0. The
+    /// tree evict randomizes which partition each hot block lands in, so
+    /// partition occupancy drifts; headroom absorbs it (excess flows to
+    /// later partitions via capacity-aware piece sizing). Default 1.10:
+    /// per-period flux is ~√(2·hot/√N) blocks per partition, well under
+    /// 10 % for every evaluated configuration, and the shuffle streams
+    /// every physical slot, so headroom directly scales shuffle time.
+    pub partition_headroom: f64,
+    /// Master seed for all protocol randomness (fully replayable runs).
+    pub seed: u64,
+}
+
+impl HOramConfig {
+    /// A configuration with the paper's defaults for everything but the
+    /// three sizing parameters.
+    pub fn new(capacity: u64, payload_len: usize, memory_slots: u64) -> Self {
+        Self {
+            capacity,
+            payload_len,
+            memory_slots,
+            z: 4,
+            stages: Self::paper_stages(),
+            prefetch_distance: 15, // 3 × c_max, like the paper's d=9 for c=3
+            evict_shuffle: ShuffleAlgorithm::Bitonic,
+            partition_shuffle: ShuffleAlgorithm::Cache,
+            partial_shuffle_ratio: None,
+            partition_headroom: 1.10,
+            seed: DEFAULT_SEED,
+        }
+    }
+
+    /// The paper's evaluation schedule: `{c=1: 20 %, c=3: 13 %, c=5: 67 %}`.
+    pub fn paper_stages() -> Vec<StagePlan> {
+        vec![
+            StagePlan { c: 1, fraction: 0.20 },
+            StagePlan { c: 3, fraction: 0.13 },
+            StagePlan { c: 5, fraction: 0.67 },
+        ]
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the stage schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is empty, any `c` is zero, or fractions do not
+    /// sum to ≈1.
+    pub fn with_stages(mut self, stages: Vec<StagePlan>) -> Self {
+        assert!(!stages.is_empty(), "at least one stage required");
+        assert!(stages.iter().all(|s| s.c >= 1), "stage c must be ≥ 1");
+        let total: f64 = stages.iter().map(|s| s.fraction).sum();
+        assert!((total - 1.0).abs() < 1e-6, "stage fractions must sum to 1, got {total}");
+        self.stages = stages;
+        self
+    }
+
+    /// Uses a single fixed `c` for the whole period.
+    pub fn with_fixed_c(self, c: u32) -> Self {
+        self.with_stages(vec![StagePlan { c, fraction: 1.0 }])
+    }
+
+    /// Replaces the prefetch distance `d`.
+    pub fn with_prefetch_distance(mut self, d: usize) -> Self {
+        self.prefetch_distance = d;
+        self
+    }
+
+    /// Enables partial shuffling at ratio `r` (§5.3.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < r ≤ 1`.
+    pub fn with_partial_shuffle(mut self, r: f64) -> Self {
+        assert!(r > 0.0 && r <= 1.0, "partial shuffle ratio must be in (0, 1]");
+        self.partial_shuffle_ratio = Some(r);
+        self
+    }
+
+    /// Replaces the evict-buffer shuffle algorithm.
+    pub fn with_evict_shuffle(mut self, algo: ShuffleAlgorithm) -> Self {
+        self.evict_shuffle = algo;
+        self
+    }
+
+    /// Validates cross-field constraints. Called by `HOram::new`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent sizing (zero capacity, memory budget smaller
+    /// than one bucket, `d` not exceeding the largest `c`).
+    pub fn validate(&self) {
+        assert!(self.capacity > 0, "capacity must be positive");
+        assert!(self.payload_len > 0, "payload length must be positive");
+        assert!(
+            self.memory_slots >= self.z as u64,
+            "memory budget smaller than one bucket"
+        );
+        assert!(self.z > 0, "bucket size must be positive");
+        let c_max = self.stages.iter().map(|s| s.c).max().expect("non-empty stages");
+        assert!(
+            self.prefetch_distance > c_max as usize,
+            "prefetch distance d={} must exceed the largest stage c={c_max}",
+            self.prefetch_distance
+        );
+        assert!(self.partition_headroom >= 1.0, "headroom factor must be ≥ 1.0");
+        let total: f64 = self.stages.iter().map(|s| s.fraction).sum();
+        assert!((total - 1.0).abs() < 1e-6, "stage fractions must sum to 1");
+    }
+
+    /// I/O loads allowed per access period: `n/2` (paper §4.1: the tree
+    /// supports up to n/2 I/O fetches before the next shuffle).
+    pub fn period_io_limit(&self) -> u64 {
+        (self.memory_slots / 2).max(1)
+    }
+
+    /// The schedule-weighted average ĉ (paper Eq. 5-1).
+    pub fn average_c(&self) -> f64 {
+        self.stages.iter().map(|s| s.c as f64 * s.fraction).sum()
+    }
+
+    /// The stage in effect after `io_used` of the period's I/O budget.
+    pub fn stage_c(&self, io_used: u64) -> u32 {
+        let limit = self.period_io_limit() as f64;
+        let progress = io_used as f64 / limit;
+        let mut cumulative = 0.0;
+        for stage in &self.stages {
+            cumulative += stage.fraction;
+            if progress < cumulative {
+                return stage.c;
+            }
+        }
+        self.stages.last().expect("non-empty stages").c
+    }
+
+    /// Number of storage partitions: `⌈√N⌉` (paper §4.3.2).
+    pub fn partition_count(&self) -> u64 {
+        (self.capacity as f64).sqrt().ceil() as u64
+    }
+
+    /// Slots per storage partition including headroom.
+    pub fn partition_slots(&self) -> u64 {
+        let balanced = self.capacity.div_ceil(self.partition_count());
+        ((balanced as f64 * self.partition_headroom).ceil() as u64).max(balanced + 2)
+    }
+
+    /// Partitions reshuffled per period under the configured ratio.
+    pub fn partitions_per_shuffle(&self) -> u64 {
+        match self.partial_shuffle_ratio {
+            None => self.partition_count(),
+            Some(r) => ((self.partition_count() as f64 * r).ceil() as u64).max(1),
+        }
+    }
+}
+
+/// Default protocol seed (arbitrary; fixed for replayability).
+const DEFAULT_SEED: u64 = 0x04a3_2019;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let config = HOramConfig::new(1 << 20, 1024, 1 << 17);
+        config.validate();
+        assert!((config.average_c() - 3.94).abs() < 1e-9);
+        assert_eq!(config.period_io_limit(), 65_536);
+        assert_eq!(config.partition_count(), 1024);
+        assert_eq!(config.partitions_per_shuffle(), 1024);
+    }
+
+    #[test]
+    fn stage_schedule_progression() {
+        let config = HOramConfig::new(1 << 20, 1024, 1 << 17);
+        let limit = config.period_io_limit();
+        assert_eq!(config.stage_c(0), 1);
+        assert_eq!(config.stage_c(limit / 10), 1); // 10 % < 20 %
+        assert_eq!(config.stage_c(limit / 4), 3); // 25 % in (20, 33]
+        assert_eq!(config.stage_c(limit / 2), 5); // 50 % > 33 %
+        assert_eq!(config.stage_c(limit), 5); // beyond the end: last stage
+    }
+
+    #[test]
+    fn fixed_c_schedule() {
+        let config = HOramConfig::new(1024, 64, 256).with_fixed_c(4);
+        assert_eq!(config.average_c(), 4.0);
+        assert_eq!(config.stage_c(0), 4);
+        assert_eq!(config.stage_c(100), 4);
+    }
+
+    #[test]
+    fn partial_shuffle_partitions() {
+        let config = HOramConfig::new(1 << 20, 1024, 1 << 17).with_partial_shuffle(0.25);
+        assert_eq!(config.partitions_per_shuffle(), 256);
+    }
+
+    #[test]
+    fn partition_headroom_slots() {
+        let config = HOramConfig::new(1 << 20, 1024, 1 << 17);
+        // balanced = 1024; headroom 1.10 → 1127 slots.
+        assert_eq!(config.partition_slots(), 1127);
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed the largest stage c")]
+    fn validate_checks_prefetch_distance() {
+        HOramConfig::new(1024, 64, 256).with_prefetch_distance(3).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "fractions must sum to 1")]
+    fn stage_fractions_must_sum_to_one() {
+        HOramConfig::new(1024, 64, 256)
+            .with_stages(vec![StagePlan { c: 1, fraction: 0.5 }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be in")]
+    fn partial_ratio_validated() {
+        HOramConfig::new(1024, 64, 256).with_partial_shuffle(0.0);
+    }
+}

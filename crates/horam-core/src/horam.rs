@@ -1,0 +1,606 @@
+//! The H-ORAM instance: control + memory + storage layers, scheduled.
+//!
+//! [`HOram`] wires together the pieces the paper's Figure 4-1 draws:
+//!
+//! * the **control layer** — ROB table, secure scheduler, permutation
+//!   list, position map (all trusted-side, no observable accesses);
+//! * the **memory layer** — an in-memory Path ORAM tree used as a cache
+//!   ([`PathOram`] on the DRAM device);
+//! * the **storage layer** — the flat permuted partition grid on the slow
+//!   device ([`StorageLayer`]).
+//!
+//! Execution alternates between **access periods** (scheduling cycles of
+//! `c` memory path accesses overlapped with one I/O load, until `n/2`
+//! loads have been issued) and **shuffle periods** (oblivious tree evict →
+//! group+partition shuffle → fresh tree), exactly as §4.1 describes.
+//!
+//! # Example
+//!
+//! ```
+//! use horam_core::{HOram, HOramConfig};
+//! use oram_protocols::{Oram, BlockId, Request};
+//! use oram_storage::MemoryHierarchy;
+//! use oram_crypto::keys::MasterKey;
+//!
+//! # fn main() -> Result<(), oram_protocols::OramError> {
+//! let config = HOramConfig::new(256, 16, 64).with_seed(1);
+//! let mut oram = HOram::new(config, MemoryHierarchy::dac2019(),
+//!                           MasterKey::from_bytes([1; 32]))?;
+//! oram.write(BlockId(3), &[7u8; 16])?;
+//! assert_eq!(oram.read(BlockId(3))?, vec![7u8; 16]);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::config::HOramConfig;
+use crate::evict::oblivious_tree_evict;
+use crate::rob::RobTable;
+use crate::scheduler::{plan_cycle, CyclePlan};
+use crate::stats::HOramStats;
+use crate::storage_layer::StorageLayer;
+use oram_crypto::keys::{KeyHierarchy, MasterKey};
+use oram_crypto::prf::Prf;
+use oram_protocols::error::OramError;
+use oram_protocols::oram_trait::Oram;
+use oram_protocols::path_oram::PathOram;
+use oram_protocols::types::{BlockId, Request, RequestOp};
+use oram_storage::clock::{SimClock, SimDuration};
+use oram_storage::hierarchy::MemoryHierarchy;
+use oram_storage::trace::AccessTrace;
+use std::collections::HashMap;
+
+/// The hybrid ORAM. See the [module docs](self).
+#[derive(Debug)]
+pub struct HOram {
+    config: HOramConfig,
+    memory: PathOram,
+    storage: StorageLayer,
+    clock: SimClock,
+    trace: AccessTrace,
+    rob: RobTable,
+    responses: HashMap<u64, Vec<u8>>,
+    io_used_in_period: u64,
+    period_seq: u64,
+    seed_prf: Prf,
+    stats: HOramStats,
+}
+
+impl HOram {
+    /// Builds an H-ORAM instance on the given machine.
+    ///
+    /// Construction installs the initial storage layout and an empty
+    /// memory tree, then **resets all accounting** (clock, traces, device
+    /// stats), so reported numbers cover steady-state operation only.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors from the initial layout writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent
+    /// (see [`HOramConfig::validate`]).
+    pub fn new(
+        config: HOramConfig,
+        hierarchy: MemoryHierarchy,
+        master: MasterKey,
+    ) -> Result<Self, OramError> {
+        config.validate();
+        let clock = hierarchy.clock().clone();
+        let trace = hierarchy.trace().clone();
+        let MemoryHierarchy { memory: memory_device, storage: storage_device, .. } = hierarchy;
+
+        let memory_keys = master.derive("horam/memory", 0);
+        let memory = PathOram::for_slot_budget(
+            config.memory_slots,
+            Some(config.capacity),
+            config.payload_len,
+            memory_device,
+            &memory_keys,
+            config.seed ^ 0x6d65_6d6f,
+        )?;
+        let storage = StorageLayer::new(
+            &config,
+            storage_device,
+            KeyHierarchy::new(master.clone(), "horam/storage"),
+        )?;
+
+        let seed_prf = Prf::new(master.derive("horam/seeds", 0).prf().to_owned());
+        let mut horam = Self {
+            config,
+            memory,
+            storage,
+            clock,
+            trace,
+            rob: RobTable::new(),
+            responses: HashMap::new(),
+            io_used_in_period: 0,
+            period_seq: 0,
+            seed_prf,
+            stats: HOramStats::default(),
+        };
+        horam.reset_accounting();
+        Ok(horam)
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &HOramConfig {
+        &self.config
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> HOramStats {
+        self.stats
+    }
+
+    /// The shared bus trace (adversary view) of this instance.
+    pub fn trace(&self) -> &AccessTrace {
+        &self.trace
+    }
+
+    /// The simulated clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Memory-layer device statistics.
+    pub fn memory_device_stats(&self) -> oram_storage::stats::DeviceStats {
+        *self.memory.device().stats()
+    }
+
+    /// Storage-layer device statistics.
+    pub fn storage_device_stats(&self) -> oram_storage::stats::DeviceStats {
+        *self.storage.device().stats()
+    }
+
+    /// Peak stash occupancy of the memory layer.
+    pub fn memory_stash_peak(&self) -> usize {
+        self.memory.stash_peak()
+    }
+
+    /// Total storage footprint in bytes (for the paper's size rows).
+    pub fn storage_bytes(&self) -> u64 {
+        self.storage.storage_bytes(self.storage.device().charged_block_bytes())
+    }
+
+    /// Clears all timing/tracing/statistics state (not data).
+    pub fn reset_accounting(&mut self) {
+        self.memory.device_mut().reset_accounting();
+        self.storage.device_mut().reset_accounting();
+        self.trace.clear();
+        self.clock.reset();
+        self.stats = HOramStats::default();
+    }
+
+    fn period_seed(&self, purpose: u64) -> u64 {
+        self.seed_prf.eval_words("period-seed", &[self.period_seq, purpose, self.config.seed])
+    }
+
+    /// Queues a request; returns the ticket to collect its response.
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::BlockOutOfRange`] for ids beyond the capacity and
+    /// [`OramError::PayloadSize`] for mis-sized write payloads — requests
+    /// are validated before they can reach the scheduler.
+    pub fn enqueue(&mut self, request: Request) -> Result<u64, OramError> {
+        if request.id.0 >= self.config.capacity {
+            return Err(OramError::BlockOutOfRange {
+                id: request.id.0,
+                capacity: self.config.capacity,
+            });
+        }
+        if let RequestOp::Write(payload) = &request.op {
+            if payload.len() != self.config.payload_len {
+                return Err(OramError::PayloadSize {
+                    expected: self.config.payload_len,
+                    got: payload.len(),
+                });
+            }
+        }
+        Ok(self.rob.push(request))
+    }
+
+    /// Runs scheduling cycles until the ROB drains, then returns responses
+    /// for the given tickets in order.
+    ///
+    /// # Errors
+    ///
+    /// Storage/crypto/protocol errors propagate; queued requests that were
+    /// already serviced keep their responses.
+    pub fn drain(&mut self, tickets: &[u64]) -> Result<Vec<Vec<u8>>, OramError> {
+        while !self.rob.is_empty() {
+            self.run_cycle()?;
+        }
+        let mut out = Vec::with_capacity(tickets.len());
+        for ticket in tickets {
+            let response = self
+                .responses
+                .remove(ticket)
+                .expect("every drained ticket has a response");
+            out.push(response);
+        }
+        Ok(out)
+    }
+
+    /// Queues a whole batch and drains it — the paper's evaluation mode
+    /// (a request trace pushed through the scheduler).
+    ///
+    /// # Errors
+    ///
+    /// As [`drain`](Self::drain).
+    pub fn run_batch(&mut self, requests: &[Request]) -> Result<Vec<Vec<u8>>, OramError> {
+        let tickets: Vec<u64> = requests
+            .iter()
+            .map(|r| self.enqueue(r.clone()))
+            .collect::<Result<_, _>>()?;
+        self.drain(&tickets)
+    }
+
+    /// Executes one scheduling cycle: up to `c` memory accesses overlapped
+    /// with exactly one I/O load (real or dummy), then period bookkeeping.
+    ///
+    /// # Errors
+    ///
+    /// Storage/crypto/protocol errors propagate.
+    pub fn run_cycle(&mut self) -> Result<(), OramError> {
+        let c = self.config.stage_c(self.io_used_in_period);
+        let d = self.config.prefetch_distance;
+        let storage = &self.storage;
+        let plan: CyclePlan =
+            plan_cycle(&mut self.rob, c, d, |id| storage.is_in_memory(id));
+
+        // Memory half: serve hits, then pad with dummy path accesses.
+        let mut memory_time = SimDuration::ZERO;
+        for entry in &plan.hits {
+            let (data, receipt) = match &entry.request.op {
+                RequestOp::Read => self.memory.access_read(entry.request.id)?,
+                RequestOp::Write(payload) => {
+                    self.stats.writes += 1;
+                    self.memory.access_write(entry.request.id, payload)?
+                }
+            };
+            memory_time += receipt.memory;
+            self.responses.insert(entry.ticket, data);
+            self.stats.memory_hits += 1;
+            self.stats.requests += 1;
+        }
+        for _ in 0..plan.dummy_memory {
+            memory_time += self.memory.dummy_access()?.memory;
+            self.stats.dummy_memory_accesses += 1;
+        }
+
+        // I/O half: one load, real or dummy, overlapped with the memory half.
+        let io_load = match plan.miss_block {
+            Some(id) => {
+                self.stats.real_io_loads += 1;
+                self.storage.fetch(id)?
+            }
+            None => {
+                self.stats.dummy_io_loads += 1;
+                let load = self.storage.dummy_load()?;
+                if load.block.is_some() {
+                    self.stats.prefetched_blocks += 1;
+                }
+                load
+            }
+        };
+        if let Some((id, payload)) = io_load.block {
+            self.memory.insert_block(id, payload)?;
+        }
+        let io_time = io_load.duration;
+
+        // Wall clock: the paper overlaps the c path accesses with the load
+        // ("the I/O loads and in-memory reads are conducted simultaneously").
+        let wall = memory_time.max(io_time);
+        self.clock.advance(wall);
+        self.stats.access_wall_time += wall;
+        self.stats.memory_time += memory_time;
+        self.stats.io_time += io_time;
+        self.stats.cycles += 1;
+
+        self.io_used_in_period += 1;
+        if self.io_used_in_period >= self.config.period_io_limit() {
+            self.shuffle_period()?;
+        }
+        Ok(())
+    }
+
+    /// Runs the shuffle period now (normally triggered automatically when
+    /// the period's I/O budget is spent): oblivious tree evict →
+    /// group+partition shuffle (full or partial) → fresh memory tree.
+    ///
+    /// # Errors
+    ///
+    /// Storage/crypto errors propagate.
+    pub fn shuffle_period(&mut self) -> Result<(), OramError> {
+        // 1. Oblivious tree evict (§4.3.1).
+        let evict_seed = self.period_seed(1);
+        let outcome =
+            oblivious_tree_evict(&mut self.memory, self.config.evict_shuffle, evict_seed)?;
+
+        // 2. Group + partition shuffle (§4.3.2 / §5.3.1).
+        let shuffle_seed = self.period_seed(2);
+        let report = match self.config.partial_shuffle_ratio {
+            None => self.storage.rebuild_full(outcome.blocks, shuffle_seed)?,
+            Some(_) => self.storage.rebuild_partial(
+                outcome.blocks,
+                self.config.partitions_per_shuffle(),
+                shuffle_seed,
+            )?,
+        };
+
+        // 3. Fresh in-memory tree (§4.1.2: "evicted back to the storage and
+        //    will be reconstructed again").
+        let rebuild = self.memory.rebuild_empty()?;
+
+        // Evict and tree rebuild are memory-side and serialize with the
+        // pipelined storage pass.
+        let wall = outcome.memory_time + report.wall_time + rebuild.memory;
+        self.clock.advance(wall);
+        self.stats.shuffle_wall_time += wall;
+        self.stats.shuffles += 1;
+        self.stats.spilled_blocks += report.spilled;
+        self.io_used_in_period = 0;
+        self.period_seq += 1;
+        // The evict returned every cached block to storage: in-flight loads
+        // are void, pending misses must be re-issueable.
+        self.rob.clear_io_issued();
+        Ok(())
+    }
+}
+
+impl Oram for HOram {
+    fn capacity(&self) -> u64 {
+        self.config.capacity
+    }
+
+    fn payload_len(&self) -> usize {
+        self.config.payload_len
+    }
+
+    fn read(&mut self, id: BlockId) -> Result<Vec<u8>, OramError> {
+        let mut out = self.run_batch(&[Request::read(id)])?;
+        Ok(out.pop().expect("one response per request"))
+    }
+
+    fn write(&mut self, id: BlockId, data: &[u8]) -> Result<Vec<u8>, OramError> {
+        let mut out = self.run_batch(&[Request::write(id, data.to_vec())])?;
+        Ok(out.pop().expect("one response per request"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oram_crypto::rng::DeterministicRng;
+    use rand::Rng;
+
+    fn build(capacity: u64, memory_slots: u64) -> HOram {
+        let config = HOramConfig::new(capacity, 8, memory_slots).with_seed(17);
+        HOram::new(config, MemoryHierarchy::dac2019(), MasterKey::from_bytes([9; 32]))
+            .unwrap()
+    }
+
+    #[test]
+    fn read_your_writes_single() {
+        let mut oram = build(256, 64);
+        oram.write(BlockId(5), &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        assert_eq!(oram.read(BlockId(5)).unwrap(), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn batch_preserves_request_order() {
+        let mut oram = build(256, 64);
+        let requests: Vec<Request> = (0..20u64)
+            .map(|i| Request::write(i, vec![i as u8; 8]))
+            .chain((0..20u64).map(Request::read))
+            .collect();
+        let responses = oram.run_batch(&requests).unwrap();
+        assert_eq!(responses.len(), 40);
+        for (i, response) in responses.iter().skip(20).enumerate() {
+            assert_eq!(response, &vec![i as u8; 8], "read-back of block {i}");
+        }
+    }
+
+    #[test]
+    fn survives_shuffle_periods() {
+        // Memory 64 slots ⇒ period = 32 I/O loads; 300 requests with a
+        // small hot set forces several periods.
+        let mut oram = build(256, 64);
+        let mut rng = DeterministicRng::from_u64_seed(3);
+        let mut reference: HashMap<u64, Vec<u8>> = HashMap::new();
+        for _ in 0..300 {
+            let id = rng.gen_range(0..256u64);
+            if rng.gen_bool(0.3) {
+                let payload = vec![rng.gen::<u8>(); 8];
+                oram.write(BlockId(id), &payload).unwrap();
+                reference.insert(id, payload);
+            } else {
+                let got = oram.read(BlockId(id)).unwrap();
+                let expected = reference.get(&id).cloned().unwrap_or(vec![0u8; 8]);
+                assert_eq!(got, expected, "block {id}");
+            }
+        }
+        assert!(oram.stats().shuffles >= 1, "workload must cross a period boundary");
+    }
+
+    #[test]
+    fn every_cycle_issues_exactly_one_io() {
+        let mut oram = build(256, 64);
+        let requests: Vec<Request> = (0..30u64).map(Request::read).collect();
+        oram.run_batch(&requests).unwrap();
+        let stats = oram.stats();
+        assert_eq!(stats.total_io_loads(), stats.cycles);
+    }
+
+    #[test]
+    fn hot_workload_hits_in_memory() {
+        let mut oram = build(256, 128);
+        // Touch 4 blocks repeatedly: after the first misses, everything is
+        // a hit and I/O loads become dummies.
+        let requests: Vec<Request> =
+            (0..100u64).map(|i| Request::read(i % 4)).collect();
+        oram.run_batch(&requests).unwrap();
+        let stats = oram.stats();
+        assert_eq!(stats.real_io_loads, 4, "only the cold misses hit storage");
+        assert!(stats.requests_per_io() > 2.0);
+    }
+
+    #[test]
+    fn grouping_overlaps_memory_under_io() {
+        let mut oram = build(1024, 256);
+        let requests: Vec<Request> = (0..200u64).map(|i| Request::read(i % 8)).collect();
+        oram.run_batch(&requests).unwrap();
+        let stats = oram.stats();
+        // Wall time of the access period must be below the serial sum.
+        assert!(stats.access_wall_time < stats.memory_time + stats.io_time);
+        // And at least the larger component.
+        assert!(stats.access_wall_time >= stats.io_time.max(stats.memory_time));
+    }
+
+    #[test]
+    fn period_limit_triggers_shuffles() {
+        let mut oram = build(256, 16); // period = 8 I/O loads
+        let requests: Vec<Request> = (0..40u64).map(Request::read).collect();
+        oram.run_batch(&requests).unwrap();
+        assert!(oram.stats().shuffles >= 2);
+        assert!(oram.stats().shuffle_wall_time > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn partial_shuffle_mode_works_end_to_end() {
+        let config = HOramConfig::new(256, 8, 16).with_seed(5).with_partial_shuffle(0.25);
+        let mut oram =
+            HOram::new(config, MemoryHierarchy::dac2019(), MasterKey::from_bytes([8; 32]))
+                .unwrap();
+        let mut reference: HashMap<u64, Vec<u8>> = HashMap::new();
+        let mut rng = DeterministicRng::from_u64_seed(6);
+        for _ in 0..120 {
+            let id = rng.gen_range(0..256u64);
+            if rng.gen_bool(0.4) {
+                let payload = vec![rng.gen::<u8>(); 8];
+                oram.write(BlockId(id), &payload).unwrap();
+                reference.insert(id, payload);
+            } else {
+                let got = oram.read(BlockId(id)).unwrap();
+                assert_eq!(got, reference.get(&id).cloned().unwrap_or(vec![0u8; 8]));
+            }
+        }
+        assert!(oram.stats().shuffles >= 1);
+    }
+
+    #[test]
+    fn stash_stays_bounded() {
+        let mut oram = build(512, 64);
+        let mut rng = DeterministicRng::from_u64_seed(12);
+        let requests: Vec<Request> =
+            (0..400).map(|_| Request::read(rng.gen_range(0..512u64))).collect();
+        oram.run_batch(&requests).unwrap();
+        assert!(oram.memory_stash_peak() < 200, "stash peak {}", oram.memory_stash_peak());
+    }
+
+    #[test]
+    fn accounting_reset_zeroes_reports() {
+        let mut oram = build(256, 64);
+        oram.read(BlockId(1)).unwrap();
+        oram.reset_accounting();
+        assert_eq!(oram.stats(), HOramStats::default());
+        assert_eq!(oram.clock().now().as_nanos(), 0);
+        assert!(oram.trace().is_empty());
+    }
+
+    #[test]
+    fn payload_validation() {
+        let mut oram = build(256, 64);
+        assert!(matches!(
+            oram.write(BlockId(0), &[1, 2]),
+            Err(OramError::PayloadSize { expected: 8, got: 2 })
+        ));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(12))]
+
+            /// Arbitrary batched read/write interleavings agree with a
+            /// plain map, across period boundaries.
+            #[test]
+            fn batches_match_reference(
+                ops in proptest::collection::vec((0u64..64, proptest::option::of(any::<u8>())), 1..80),
+                splits in proptest::collection::vec(1usize..20, 0..4),
+            ) {
+                let mut oram = build(64, 16); // period = 8 loads: shuffles happen
+                let mut reference: HashMap<u64, Vec<u8>> = HashMap::new();
+
+                // Split ops into batches at the given points.
+                let mut batches: Vec<Vec<(u64, Option<u8>)>> = Vec::new();
+                let mut rest = ops.as_slice();
+                for &split in &splits {
+                    let take = split.min(rest.len());
+                    let (head, tail) = rest.split_at(take);
+                    if !head.is_empty() {
+                        batches.push(head.to_vec());
+                    }
+                    rest = tail;
+                }
+                if !rest.is_empty() {
+                    batches.push(rest.to_vec());
+                }
+
+                for batch in batches {
+                    let requests: Vec<Request> = batch
+                        .iter()
+                        .map(|(id, write)| match write {
+                            Some(byte) => Request::write(*id, vec![*byte; 8]),
+                            None => Request::read(*id),
+                        })
+                        .collect();
+                    let responses = oram.run_batch(&requests).expect("batch");
+                    for ((id, write), response) in batch.iter().zip(responses) {
+                        let expected = match write {
+                            Some(byte) => reference
+                                .insert(*id, vec![*byte; 8])
+                                .unwrap_or(vec![0u8; 8]),
+                            None => {
+                                reference.get(id).cloned().unwrap_or(vec![0u8; 8])
+                            }
+                        };
+                        prop_assert_eq!(response, expected, "block {}", id);
+                    }
+                }
+            }
+
+            /// The cycle invariant holds for any workload shape: exactly
+            /// one I/O load per cycle.
+            #[test]
+            fn one_io_per_cycle(ids in proptest::collection::vec(0u64..128, 1..60)) {
+                let mut oram = build(128, 32);
+                let requests: Vec<Request> = ids.into_iter().map(Request::read).collect();
+                oram.run_batch(&requests).expect("batch");
+                let stats = oram.stats();
+                prop_assert_eq!(stats.total_io_loads(), stats.cycles);
+            }
+
+            /// Memory-resident count never exceeds the tree's real-block
+            /// budget within a period (the n/2 invariant behind the
+            /// period length).
+            #[test]
+            fn resident_blocks_bounded(ids in proptest::collection::vec(0u64..256, 1..50)) {
+                let mut oram = build(256, 64);
+                for id in ids {
+                    oram.read(BlockId(id)).expect("read");
+                    let resident = oram.storage.locations().in_memory_count();
+                    prop_assert!(
+                        resident <= oram.config.period_io_limit() + oram.config().memory_slots,
+                        "resident {} beyond budget",
+                        resident
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! H-ORAM: a cacheable ORAM interface for efficient I/O accesses.
+//!
+//! This crate is the reproduction's implementation of the paper's primary
+//! contribution (Liu, "H-ORAM", DAC 2019): a **hybrid ORAM** that splits a
+//! large protected dataset between an in-memory Path ORAM tree acting as a
+//! *cache* and a flat, permuted storage layer, with a **secure scheduler**
+//! that overlaps `c` in-memory accesses with each (single-block) I/O load
+//! and a **lightweight group+partition shuffle** replacing the monolithic
+//! oblivious reshuffle of square-root ORAM.
+//!
+//! Module map (one module per architectural element of the paper's §4):
+//!
+//! | Paper element | Module |
+//! |---|---|
+//! | configuration & stage schedule (§4.2) | [`config`] |
+//! | permutation list (§4.1) | [`permutation_list`] |
+//! | ROB table (§4.1) | [`rob`] |
+//! | secure scheduler with prefetch (§4.2, Fig. 4-2) | [`scheduler`] |
+//! | storage layer + group/partition shuffle (§4.1.3, §4.3.2) | [`storage_layer`] |
+//! | oblivious tree evict (§4.3.1) | [`evict`] |
+//! | the assembled system (§4.1, Fig. 4-1) | [`horam`] |
+//! | partial shuffle (§5.3.1) | [`storage_layer`] + [`config`] |
+//! | multi-user sharing (§5.3.2) | [`multi_user`] |
+//! | multi-user access control (§5.3.2) | [`access_control`] |
+//! | run statistics (Tables 5-3/5-4 rows) | [`stats`] |
+//!
+//! The memory layer reuses [`oram_protocols::path_oram::PathOram`]; see
+//! that crate for the baselines the evaluation compares against.
+
+pub mod access_control;
+pub mod config;
+pub mod evict;
+pub mod horam;
+pub mod multi_user;
+pub mod permutation_list;
+pub mod rob;
+pub mod scheduler;
+pub mod stats;
+pub mod storage_layer;
+
+pub use access_control::{AccessControl, AccessDenied, Permission};
+pub use config::{HOramConfig, StagePlan};
+pub use evict::{oblivious_tree_evict, EvictOutcome};
+pub use horam::HOram;
+pub use multi_user::{run_multi_user, MultiUserReport, UserId};
+pub use permutation_list::{Location, PermutationList};
+pub use rob::{RobEntry, RobTable};
+pub use scheduler::{plan_cycle, CyclePlan};
+pub use stats::HOramStats;
+pub use storage_layer::{IoLoad, ShuffleReport, StorageLayer};

@@ -1,0 +1,126 @@
+//! The permutation list: H-ORAM's storage-side position map.
+//!
+//! Paper §4.1: "the permutation list records: 1) a Boolean bit representing
+//! whether a block is loaded into memory already, 2) its file address if in
+//! storage (or the position map id if in memory)." This module implements
+//! exactly that table: per logical block, either the storage slot holding
+//! its current sealed copy, or a marker that the block is resident in the
+//! in-memory Path ORAM (whose own position map takes over from there).
+//!
+//! The list lives in the trusted control layer; lookups generate no
+//! observable accesses.
+
+use oram_protocols::types::BlockId;
+
+/// Where a logical block currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Location {
+    /// In the storage layer, at the given physical slot.
+    Storage {
+        /// Physical slot address on the storage device.
+        slot: u64,
+    },
+    /// Resident in the in-memory Path ORAM (tree or its stash).
+    Memory,
+}
+
+/// The per-block location table.
+#[derive(Debug, Clone)]
+pub struct PermutationList {
+    locations: Vec<Location>,
+    in_memory: u64,
+}
+
+impl PermutationList {
+    /// Creates a list with every block provisionally at storage slot 0;
+    /// callers install the real layout via [`set_storage_slot`]
+    /// (storage-layer construction does this for every block).
+    ///
+    /// [`set_storage_slot`]: Self::set_storage_slot
+    pub fn new(capacity: u64) -> Self {
+        Self { locations: vec![Location::Storage { slot: 0 }; capacity as usize], in_memory: 0 }
+    }
+
+    /// Number of blocks tracked.
+    pub fn capacity(&self) -> u64 {
+        self.locations.len() as u64
+    }
+
+    /// Number of blocks currently marked in-memory.
+    pub fn in_memory_count(&self) -> u64 {
+        self.in_memory
+    }
+
+    /// The current location of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range (callers validate first).
+    pub fn location(&self, id: BlockId) -> Location {
+        self.locations[id.0 as usize]
+    }
+
+    /// Whether `id` is in memory — the scheduler's hit test.
+    pub fn is_hit(&self, id: BlockId) -> bool {
+        matches!(self.locations[id.0 as usize], Location::Memory)
+    }
+
+    /// Records that `id` now lives at storage `slot`.
+    pub fn set_storage_slot(&mut self, id: BlockId, slot: u64) {
+        if matches!(self.locations[id.0 as usize], Location::Memory) {
+            self.in_memory -= 1;
+        }
+        self.locations[id.0 as usize] = Location::Storage { slot };
+    }
+
+    /// Records that `id` migrated into the memory layer.
+    pub fn set_in_memory(&mut self, id: BlockId) {
+        if !matches!(self.locations[id.0 as usize], Location::Memory) {
+            self.in_memory += 1;
+        }
+        self.locations[id.0 as usize] = Location::Memory;
+    }
+
+    /// In-enclave footprint in bytes (control-layer budget reporting).
+    pub fn memory_bytes(&self) -> usize {
+        self.locations.len() * std::mem::size_of::<Location>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_migrations_and_counts() {
+        let mut list = PermutationList::new(4);
+        assert_eq!(list.in_memory_count(), 0);
+        list.set_storage_slot(BlockId(0), 42);
+        assert_eq!(list.location(BlockId(0)), Location::Storage { slot: 42 });
+        assert!(!list.is_hit(BlockId(0)));
+
+        list.set_in_memory(BlockId(0));
+        assert!(list.is_hit(BlockId(0)));
+        assert_eq!(list.in_memory_count(), 1);
+
+        // Idempotent in-memory marking.
+        list.set_in_memory(BlockId(0));
+        assert_eq!(list.in_memory_count(), 1);
+
+        // Back to storage after a shuffle.
+        list.set_storage_slot(BlockId(0), 7);
+        assert_eq!(list.in_memory_count(), 0);
+        assert_eq!(list.location(BlockId(0)), Location::Storage { slot: 7 });
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        PermutationList::new(2).location(BlockId(2));
+    }
+
+    #[test]
+    fn footprint_reported() {
+        assert!(PermutationList::new(1000).memory_bytes() >= 1000);
+    }
+}

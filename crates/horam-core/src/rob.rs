@@ -1,0 +1,146 @@
+//! The ROB (re-order buffer) request table.
+//!
+//! Incoming requests queue here (paper Figure 4-1); the secure scheduler
+//! scans the first `d` entries each cycle to assemble a group of `c`
+//! memory-serviceable requests plus one storage miss (§4.2, Figure 4-2).
+//! Requests leave the table only when serviced; a miss whose I/O has been
+//! issued stays queued (flagged) until its block lands in memory and a
+//! later cycle services it as a hit — exactly the M1/M2 flow of the
+//! paper's example.
+
+use oram_protocols::types::Request;
+use std::collections::VecDeque;
+
+/// A queued request with scheduling state.
+#[derive(Debug, Clone)]
+pub struct RobEntry {
+    /// Stable ticket used to order responses.
+    pub ticket: u64,
+    /// The application request.
+    pub request: Request,
+    /// Whether an I/O load for this request's block has been issued.
+    pub io_issued: bool,
+}
+
+/// The request table.
+#[derive(Debug, Default)]
+pub struct RobTable {
+    entries: VecDeque<RobEntry>,
+    next_ticket: u64,
+}
+
+impl RobTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues a request, returning its response ticket.
+    pub fn push(&mut self, request: Request) -> u64 {
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        self.entries.push_back(RobEntry { ticket, request, io_issued: false });
+        ticket
+    }
+
+    /// Number of queued requests.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Immutable scan of the first `window` entries (the prefetch window).
+    pub fn window(&self, window: usize) -> impl Iterator<Item = &RobEntry> {
+        self.entries.iter().take(window)
+    }
+
+    /// Marks the entry with `ticket` as having its I/O issued.
+    pub fn mark_io_issued(&mut self, ticket: u64) {
+        if let Some(entry) = self.entries.iter_mut().find(|e| e.ticket == ticket) {
+            entry.io_issued = true;
+        }
+    }
+
+    /// Clears every `io_issued` flag. A shuffle period evicts the memory
+    /// tree, so loads issued before it no longer cover their requests —
+    /// pending misses must become issueable again.
+    pub fn clear_io_issued(&mut self) {
+        for entry in &mut self.entries {
+            entry.io_issued = false;
+        }
+    }
+
+    /// Removes and returns the entries with the given tickets, preserving
+    /// queue order.
+    pub fn take(&mut self, tickets: &[u64]) -> Vec<RobEntry> {
+        let mut taken = Vec::with_capacity(tickets.len());
+        let mut remaining = VecDeque::with_capacity(self.entries.len());
+        for entry in self.entries.drain(..) {
+            if tickets.contains(&entry.ticket) {
+                taken.push(entry);
+            } else {
+                remaining.push_back(entry);
+            }
+        }
+        self.entries = remaining;
+        taken
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oram_protocols::types::Request;
+
+    #[test]
+    fn tickets_are_sequential() {
+        let mut rob = RobTable::new();
+        assert_eq!(rob.push(Request::read(1u64)), 0);
+        assert_eq!(rob.push(Request::read(2u64)), 1);
+        assert_eq!(rob.len(), 2);
+    }
+
+    #[test]
+    fn window_scans_in_order_and_is_bounded() {
+        let mut rob = RobTable::new();
+        for i in 0..10u64 {
+            rob.push(Request::read(i));
+        }
+        let ids: Vec<u64> = rob.window(4).map(|e| e.request.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn take_preserves_order_and_removes() {
+        let mut rob = RobTable::new();
+        let t0 = rob.push(Request::read(10u64));
+        let _t1 = rob.push(Request::read(11u64));
+        let t2 = rob.push(Request::read(12u64));
+        let taken = rob.take(&[t2, t0]);
+        assert_eq!(taken.len(), 2);
+        assert_eq!(taken[0].request.id.0, 10, "queue order preserved");
+        assert_eq!(taken[1].request.id.0, 12);
+        assert_eq!(rob.len(), 1);
+        assert_eq!(rob.window(5).next().unwrap().request.id.0, 11);
+    }
+
+    #[test]
+    fn io_issue_flag_sticks() {
+        let mut rob = RobTable::new();
+        let t = rob.push(Request::read(5u64));
+        rob.mark_io_issued(t);
+        assert!(rob.window(1).next().unwrap().io_issued);
+    }
+
+    #[test]
+    fn take_of_unknown_ticket_is_noop() {
+        let mut rob = RobTable::new();
+        rob.push(Request::read(1u64));
+        assert!(rob.take(&[99]).is_empty());
+        assert_eq!(rob.len(), 1);
+    }
+}

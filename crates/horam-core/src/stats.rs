@@ -1,0 +1,100 @@
+//! H-ORAM run statistics — the quantities the paper's Tables 5-3/5-4
+//! report.
+
+use oram_storage::clock::SimDuration;
+
+/// Counters accumulated by an [`crate::horam::HOram`] instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HOramStats {
+    /// Application requests serviced.
+    pub requests: u64,
+    /// Of those, writes.
+    pub writes: u64,
+    /// Scheduling cycles executed.
+    pub cycles: u64,
+    /// Requests serviced from the memory layer (every request, eventually).
+    pub memory_hits: u64,
+    /// Dummy path accesses issued as padding.
+    pub dummy_memory_accesses: u64,
+    /// I/O loads that fetched a requested (missed) block.
+    pub real_io_loads: u64,
+    /// I/O loads issued as padding (dummy loads).
+    pub dummy_io_loads: u64,
+    /// Blocks opportunistically prefetched by dummy loads.
+    pub prefetched_blocks: u64,
+    /// Storage-device busy time during access periods (the paper's
+    /// "I/O latency" aggregates this over loads).
+    pub io_time: SimDuration,
+    /// Memory-device busy time during access periods.
+    pub memory_time: SimDuration,
+    /// Wall-clock time of access periods (cycles overlap memory and I/O).
+    pub access_wall_time: SimDuration,
+    /// Wall-clock time of shuffle periods.
+    pub shuffle_wall_time: SimDuration,
+    /// Completed shuffle periods.
+    pub shuffles: u64,
+    /// Blocks that spilled across partitions during shuffles.
+    pub spilled_blocks: u64,
+}
+
+impl HOramStats {
+    /// Total I/O loads (the paper's "Number of I/O Access" row).
+    pub fn total_io_loads(&self) -> u64 {
+        self.real_io_loads + self.dummy_io_loads
+    }
+
+    /// Mean storage time per I/O load (the paper's "I/O Latency" row).
+    pub fn mean_io_latency(&self) -> SimDuration {
+        let loads = self.total_io_loads();
+        if loads == 0 {
+            SimDuration::ZERO
+        } else {
+            self.io_time / loads
+        }
+    }
+
+    /// Total wall-clock time (the paper's "Total Time" row).
+    pub fn total_wall_time(&self) -> SimDuration {
+        self.access_wall_time + self.shuffle_wall_time
+    }
+
+    /// Requests per serviced I/O load — the cacheability win (≈3.5× for
+    /// the paper's small dataset, §5.2.1).
+    pub fn requests_per_io(&self) -> f64 {
+        let loads = self.total_io_loads();
+        if loads == 0 {
+            0.0
+        } else {
+            self.requests as f64 / loads as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_quantities() {
+        let stats = HOramStats {
+            requests: 100,
+            real_io_loads: 20,
+            dummy_io_loads: 5,
+            io_time: SimDuration::from_micros(2500),
+            access_wall_time: SimDuration::from_millis(10),
+            shuffle_wall_time: SimDuration::from_millis(30),
+            ..Default::default()
+        };
+        assert_eq!(stats.total_io_loads(), 25);
+        assert_eq!(stats.mean_io_latency(), SimDuration::from_micros(100));
+        assert_eq!(stats.total_wall_time(), SimDuration::from_millis(40));
+        assert!((stats.requests_per_io() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_do_not_divide_by_zero() {
+        let stats = HOramStats::default();
+        assert_eq!(stats.mean_io_latency(), SimDuration::ZERO);
+        assert_eq!(stats.requests_per_io(), 0.0);
+    }
+}

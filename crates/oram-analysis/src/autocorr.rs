@@ -1,0 +1,91 @@
+//! Serial-correlation analysis of address sequences.
+//!
+//! Chi-square uniformity (see [`crate::leakage`]) checks each access in
+//! isolation; a subtler adversary correlates *consecutive* accesses (e.g.
+//! "after slot X is read, slot X+1 follows more often than chance" would
+//! betray a sequential logical scan through a broken permutation). The
+//! lag-k serial correlation of the address sequence quantifies exactly
+//! that channel; for a properly permuted/remapped ORAM it must be
+//! statistically indistinguishable from zero.
+
+/// Lag-`k` serial correlation coefficient of a sequence, in `[-1, 1]`.
+///
+/// Returns `None` when the sequence is too short (fewer than `k + 2`
+/// elements) or has zero variance (constant sequences carry no signal to
+/// correlate).
+pub fn serial_correlation(values: &[u64], lag: usize) -> Option<f64> {
+    if values.len() < lag + 2 {
+        return None;
+    }
+    let n = values.len() - lag;
+    let xs = &values[..n];
+    let ys = &values[lag..];
+    let mean_x: f64 = xs.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
+    let mean_y: f64 = ys.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for i in 0..n {
+        let dx = xs[i] as f64 - mean_x;
+        let dy = ys[i] as f64 - mean_y;
+        cov += dx * dy;
+        var_x += dx * dx;
+        var_y += dy * dy;
+    }
+    if var_x == 0.0 || var_y == 0.0 {
+        return None;
+    }
+    Some(cov / (var_x.sqrt() * var_y.sqrt()))
+}
+
+/// The ±threshold below which a lag-k correlation over `n` samples is
+/// consistent with zero at roughly p = 0.001 (normal approximation:
+/// `z / √n` with z ≈ 3.29).
+pub fn zero_correlation_band(samples: usize) -> f64 {
+    3.29 / (samples as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oram_crypto::rng::DeterministicRng;
+    use rand::Rng;
+
+    #[test]
+    fn sequential_scan_is_perfectly_correlated() {
+        let values: Vec<u64> = (0..1000).collect();
+        let r = serial_correlation(&values, 1).expect("enough samples");
+        assert!(r > 0.99, "got {r}");
+    }
+
+    #[test]
+    fn random_sequence_is_uncorrelated() {
+        let mut rng = DeterministicRng::from_u64_seed(5);
+        let values: Vec<u64> = (0..20_000).map(|_| rng.gen_range(0..1_000_000)).collect();
+        for lag in [1usize, 2, 5] {
+            let r = serial_correlation(&values, lag).expect("enough samples");
+            assert!(
+                r.abs() < zero_correlation_band(values.len()),
+                "lag {lag}: r = {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn alternating_sequence_is_anticorrelated() {
+        let values: Vec<u64> = (0..1000).map(|i| if i % 2 == 0 { 0 } else { 100 }).collect();
+        let r = serial_correlation(&values, 1).expect("enough samples");
+        assert!(r < -0.99, "got {r}");
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert_eq!(serial_correlation(&[1, 2], 1), None, "too short");
+        assert_eq!(serial_correlation(&[7; 100], 1), None, "zero variance");
+    }
+
+    #[test]
+    fn band_shrinks_with_samples() {
+        assert!(zero_correlation_band(10_000) < zero_correlation_band(100));
+    }
+}

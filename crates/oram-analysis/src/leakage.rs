@@ -1,0 +1,216 @@
+//! Statistical leakage analysis of recorded bus traces.
+//!
+//! The security arguments of the paper (§4.4) reduce to properties of the
+//! *observable* access stream; this module turns each into a checkable
+//! statistic over an [`oram_storage::trace::AccessTrace`] snapshot:
+//!
+//! * **Access security** — path/partition choices look uniform:
+//!   [`chi_square_uniform`] over address histograms;
+//! * **once-per-period** — no storage slot read twice within a period:
+//!   [`once_per_period`];
+//! * **scheduler security** — every cycle presents the same shape:
+//!   [`TraceShape`] summarizes a trace into the counts an adversary could
+//!   compare across runs; equality of shapes across different workloads is
+//!   the indistinguishability test.
+
+use oram_storage::device::{AccessKind, DeviceId};
+use oram_storage::trace::TraceEvent;
+use std::collections::HashMap;
+
+/// Pearson chi-square statistic of observed counts against a uniform
+/// expectation, together with its degrees of freedom.
+///
+/// Returns `(statistic, degrees_of_freedom)`. Callers compare against the
+/// critical value for their significance level (the tests use p = 0.001
+/// thresholds tabulated below).
+pub fn chi_square_uniform(counts: &[u64]) -> (f64, usize) {
+    assert!(!counts.is_empty(), "chi-square needs at least one bin");
+    let total: u64 = counts.iter().sum();
+    let expected = total as f64 / counts.len() as f64;
+    if expected == 0.0 {
+        return (0.0, counts.len() - 1);
+    }
+    let statistic = counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum();
+    (statistic, counts.len() - 1)
+}
+
+/// Approximate p = 0.001 critical value for a chi-square distribution
+/// with `df` degrees of freedom (Wilson–Hilferty approximation; exact
+/// enough for df ≥ 1 test thresholds).
+pub fn chi_square_critical_p001(df: usize) -> f64 {
+    let df = df as f64;
+    let z = 3.090_232; // z-score for p = 0.001
+    let term = 1.0 - 2.0 / (9.0 * df) + z * (2.0 / (9.0 * df)).sqrt();
+    df * term.powi(3)
+}
+
+/// Checks that no address on `device` repeats among `Read` events within
+/// any of the given period boundaries.
+///
+/// `period_ends` are indices into the device's read sequence marking
+/// period boundaries (exclusive). Returns the first violating address, or
+/// `None` if the invariant holds.
+pub fn once_per_period(
+    events: &[TraceEvent],
+    device: DeviceId,
+    period_ends: &[usize],
+) -> Option<u64> {
+    let reads: Vec<u64> = events
+        .iter()
+        .filter(|e| e.device == device && e.kind == AccessKind::Read)
+        .map(|e| e.addr)
+        .collect();
+    let mut start = 0usize;
+    for &end in period_ends {
+        let end = end.min(reads.len());
+        let mut seen = std::collections::HashSet::new();
+        for &addr in &reads[start..end] {
+            if !seen.insert(addr) {
+                return Some(addr);
+            }
+        }
+        start = end;
+    }
+    // Tail after the last boundary forms the final (possibly open) period.
+    let mut seen = std::collections::HashSet::new();
+    reads[start..].iter().find(|&&addr| !seen.insert(addr)).copied()
+}
+
+/// The adversary-comparable summary of a trace: everything observable that
+/// does **not** include concrete addresses (addresses are uniform and
+/// fresh; what could differ between workloads is *volume and mix*).
+///
+/// Two runs over different logical workloads of the same length must
+/// produce equal shapes — that is the scheduler-security test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceShape {
+    /// Per-device `(reads, writes)` counts.
+    pub ops_per_device: Vec<(DeviceId, u64, u64)>,
+    /// Per-device bytes moved `(read, written)`.
+    pub bytes_per_device: Vec<(DeviceId, u64, u64)>,
+}
+
+impl TraceShape {
+    /// Summarizes a trace snapshot.
+    pub fn of(events: &[TraceEvent]) -> Self {
+        let mut ops: HashMap<DeviceId, (u64, u64)> = HashMap::new();
+        let mut bytes: HashMap<DeviceId, (u64, u64)> = HashMap::new();
+        for event in events {
+            let op = ops.entry(event.device).or_default();
+            let byte = bytes.entry(event.device).or_default();
+            match event.kind {
+                AccessKind::Read => {
+                    op.0 += 1;
+                    byte.0 += event.bytes;
+                }
+                AccessKind::Write => {
+                    op.1 += 1;
+                    byte.1 += event.bytes;
+                }
+            }
+        }
+        let mut ops_per_device: Vec<(DeviceId, u64, u64)> =
+            ops.into_iter().map(|(d, (r, w))| (d, r, w)).collect();
+        ops_per_device.sort_by_key(|&(d, _, _)| d);
+        let mut bytes_per_device: Vec<(DeviceId, u64, u64)> =
+            bytes.into_iter().map(|(d, (r, w))| (d, r, w)).collect();
+        bytes_per_device.sort_by_key(|&(d, _, _)| d);
+        Self { ops_per_device, bytes_per_device }
+    }
+}
+
+/// Histogram of addresses over equal-width bins (for uniformity testing
+/// of leaf/partition choices).
+pub fn address_histogram(
+    events: &[TraceEvent],
+    device: DeviceId,
+    kind: AccessKind,
+    bins: usize,
+    address_space: u64,
+) -> Vec<u64> {
+    assert!(bins > 0 && address_space > 0);
+    let mut counts = vec![0u64; bins];
+    for event in events.iter().filter(|e| e.device == device && e.kind == kind) {
+        let bin = (event.addr as u128 * bins as u128 / address_space as u128) as usize;
+        counts[bin.min(bins - 1)] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oram_storage::clock::SimTime;
+
+    fn event(device: u16, kind: AccessKind, addr: u64) -> TraceEvent {
+        TraceEvent { at: SimTime::ZERO, device: DeviceId(device), kind, addr, bytes: 1024 }
+    }
+
+    #[test]
+    fn chi_square_accepts_uniform() {
+        let counts = vec![100u64; 10];
+        let (stat, df) = chi_square_uniform(&counts);
+        assert_eq!(stat, 0.0);
+        assert_eq!(df, 9);
+    }
+
+    #[test]
+    fn chi_square_rejects_skew() {
+        let counts = vec![1000, 10, 10, 10, 10, 10, 10, 10, 10, 10];
+        let (stat, df) = chi_square_uniform(&counts);
+        assert!(stat > chi_square_critical_p001(df), "stat {stat}");
+    }
+
+    #[test]
+    fn critical_values_are_sane() {
+        // Known p=0.001 critical values: df=9 → 27.88, df=99 → 148.2.
+        assert!((chi_square_critical_p001(9) - 27.88).abs() < 0.5);
+        assert!((chi_square_critical_p001(99) - 148.2).abs() < 1.5);
+    }
+
+    #[test]
+    fn once_per_period_catches_repeats() {
+        let events = vec![
+            event(1, AccessKind::Read, 5),
+            event(1, AccessKind::Read, 6),
+            event(1, AccessKind::Read, 5),
+        ];
+        assert_eq!(once_per_period(&events, DeviceId(1), &[]), Some(5));
+        // With a boundary between, the repeat is legal.
+        assert_eq!(once_per_period(&events, DeviceId(1), &[2]), None);
+    }
+
+    #[test]
+    fn once_per_period_ignores_writes_and_other_devices() {
+        let events = vec![
+            event(1, AccessKind::Write, 5),
+            event(1, AccessKind::Write, 5),
+            event(2, AccessKind::Read, 5),
+            event(1, AccessKind::Read, 5),
+        ];
+        assert_eq!(once_per_period(&events, DeviceId(1), &[]), None);
+    }
+
+    #[test]
+    fn shapes_compare_volume_not_addresses() {
+        let a = vec![event(0, AccessKind::Read, 1), event(0, AccessKind::Write, 2)];
+        let b = vec![event(0, AccessKind::Read, 99), event(0, AccessKind::Write, 7)];
+        assert_eq!(TraceShape::of(&a), TraceShape::of(&b));
+        let c = vec![event(0, AccessKind::Read, 1), event(0, AccessKind::Read, 2)];
+        assert_ne!(TraceShape::of(&a), TraceShape::of(&c));
+    }
+
+    #[test]
+    fn histogram_bins_addresses() {
+        let events: Vec<TraceEvent> =
+            (0..100).map(|i| event(0, AccessKind::Read, i)).collect();
+        let hist = address_histogram(&events, DeviceId(0), AccessKind::Read, 4, 100);
+        assert_eq!(hist, vec![25, 25, 25, 25]);
+    }
+}

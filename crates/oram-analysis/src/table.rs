@@ -1,0 +1,118 @@
+//! Aligned ASCII tables matching the paper's layout.
+
+use std::fmt;
+
+/// A simple column-aligned table renderer.
+///
+/// # Example
+///
+/// ```
+/// use oram_analysis::table::Table;
+///
+/// let mut table = Table::new(vec!["metric", "H-ORAM", "Path ORAM"]);
+/// table.row(vec!["Total Time".into(), "1.29 s".into(), "25.58 s".into()]);
+/// let text = table.render();
+/// assert!(text.contains("H-ORAM"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: Vec<&str>) -> Self {
+        Self { header: header.into_iter().map(String::from).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with column alignment and a separator under the header.
+    pub fn render(&self) -> String {
+        let columns = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for i in 0..columns {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", cells[i], width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = render_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (columns - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let mut table = Table::new(vec!["a", "bb"]);
+        table.row(vec!["wide cell".into(), "x".into()]);
+        table.row(vec!["y".into(), "z".into()]);
+        let text = table.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Column 2 starts at the same offset in all data rows.
+        let offset = lines[2].find('x').unwrap();
+        assert_eq!(lines[3].find('z').unwrap(), offset);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        Table::new(vec!["a", "b"]).row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let mut table = Table::new(vec!["k", "v"]);
+        table.row(vec!["a".into(), "1".into()]);
+        assert_eq!(table.to_string(), table.render());
+        assert_eq!(table.len(), 1);
+        assert!(!table.is_empty());
+    }
+}

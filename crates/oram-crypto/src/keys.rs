@@ -1,0 +1,250 @@
+//! Master-key handling and epoch/domain sub-key derivation.
+//!
+//! Every reshuffle of the H-ORAM storage layer begins a new *epoch*: the
+//! whole dataset is re-encrypted and re-permuted under fresh keys so that an
+//! adversary cannot correlate block positions across periods. This module
+//! derives those per-epoch keys deterministically from one [`MasterKey`]
+//! (held inside the trusted control layer) using ChaCha20 as a PRF-based KDF.
+
+use crate::chacha::{ChaCha20, KEY_LEN, NONCE_LEN};
+use crate::siphash::siphash24;
+use rand::RngCore;
+use std::fmt;
+
+/// The root secret of an ORAM instance.
+///
+/// All encryption, MAC, PRP and randomness keys are derived from this value;
+/// in a deployment it would live inside the secure hardware (SGX enclave) of
+/// the control layer.
+#[derive(Clone, PartialEq, Eq)]
+pub struct MasterKey {
+    bytes: [u8; KEY_LEN],
+}
+
+// Deliberately opaque Debug: never print key material.
+impl fmt::Debug for MasterKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MasterKey").field("bytes", &"<redacted>").finish()
+    }
+}
+
+impl MasterKey {
+    /// Wraps an explicit 32-byte secret.
+    pub fn from_bytes(bytes: [u8; KEY_LEN]) -> Self {
+        Self { bytes }
+    }
+
+    /// Samples a fresh master key from the given randomness source.
+    pub fn random<R: RngCore>(rng: &mut R) -> Self {
+        let mut bytes = [0u8; KEY_LEN];
+        rng.fill_bytes(&mut bytes);
+        Self { bytes }
+    }
+
+    /// Derives the sub-key bundle for `(domain, epoch)`.
+    ///
+    /// The derivation runs ChaCha20 keyed with the master key over a nonce
+    /// bound to the domain and epoch, and slices the keystream into the
+    /// individual sub-keys. Distinct `(domain, epoch)` pairs therefore yield
+    /// computationally independent bundles.
+    pub fn derive(&self, domain: &str, epoch: u64) -> SubKeys {
+        // Nonce: 8 bytes of SipHash(domain) + low 4 bytes of epoch. The
+        // (domain-hash, epoch) pair identifies the bundle; epoch's high bits
+        // are additionally mixed into the hash input to avoid truncation
+        // aliasing for epochs beyond 2^32.
+        let mut hash_input = Vec::with_capacity(domain.len() + 8);
+        hash_input.extend_from_slice(domain.as_bytes());
+        hash_input.extend_from_slice(&(epoch >> 32).to_le_bytes());
+        let domain_hash = siphash24(&self.bytes[..16].try_into().expect("16-byte half"), &hash_input);
+
+        let mut nonce = [0u8; NONCE_LEN];
+        nonce[..8].copy_from_slice(&domain_hash.to_le_bytes());
+        nonce[8..].copy_from_slice(&(epoch as u32).to_le_bytes());
+
+        let cipher = ChaCha20::new(&self.bytes, &nonce);
+        let block0 = cipher.keystream_block(0);
+        let block1 = cipher.keystream_block(1);
+
+        let mut enc = [0u8; 32];
+        enc.copy_from_slice(&block0[..32]);
+        let mut mac = [0u8; 16];
+        mac.copy_from_slice(&block0[32..48]);
+        let mut prp = [0u8; 16];
+        prp.copy_from_slice(&block0[48..64]);
+        let mut prf = [0u8; 16];
+        prf.copy_from_slice(&block1[..16]);
+        let mut rng_seed = [0u8; 32];
+        rng_seed.copy_from_slice(&block1[16..48]);
+
+        SubKeys { enc, mac, prp, prf, rng_seed, epoch }
+    }
+}
+
+/// A bundle of derived sub-keys for one `(domain, epoch)`.
+///
+/// Field-level getters expose each key to the component that needs it; the
+/// struct itself is cheap to clone and carries its epoch for audit trails.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SubKeys {
+    enc: [u8; 32],
+    mac: [u8; 16],
+    prp: [u8; 16],
+    prf: [u8; 16],
+    rng_seed: [u8; 32],
+    epoch: u64,
+}
+
+impl fmt::Debug for SubKeys {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SubKeys")
+            .field("epoch", &self.epoch)
+            .field("material", &"<redacted>")
+            .finish()
+    }
+}
+
+impl SubKeys {
+    /// 256-bit block-encryption key (ChaCha20).
+    pub fn encryption(&self) -> &[u8; 32] {
+        &self.enc
+    }
+
+    /// 128-bit MAC key (SipHash-2-4).
+    pub fn mac(&self) -> &[u8; 16] {
+        &self.mac
+    }
+
+    /// 128-bit key for the position permutation ([`crate::prp::FeistelPrp`]).
+    pub fn prp(&self) -> &[u8; 16] {
+        &self.prp
+    }
+
+    /// 128-bit key for general PRF uses ([`crate::prf::Prf`]).
+    pub fn prf(&self) -> &[u8; 16] {
+        &self.prf
+    }
+
+    /// 256-bit seed for deterministic simulation randomness.
+    pub fn rng_seed(&self) -> &[u8; 32] {
+        &self.rng_seed
+    }
+
+    /// The epoch this bundle was derived for.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+/// Convenience wrapper owning a master key and handing out epoch bundles for
+/// a fixed protocol domain.
+///
+/// # Example
+///
+/// ```
+/// use oram_crypto::keys::{KeyHierarchy, MasterKey};
+///
+/// let hierarchy = KeyHierarchy::new(MasterKey::from_bytes([1u8; 32]), "horam/storage");
+/// let epoch0 = hierarchy.epoch_keys(0);
+/// let epoch1 = hierarchy.epoch_keys(1);
+/// assert_ne!(epoch0.encryption(), epoch1.encryption());
+/// ```
+#[derive(Debug, Clone)]
+pub struct KeyHierarchy {
+    master: MasterKey,
+    domain: String,
+}
+
+impl KeyHierarchy {
+    /// Creates a hierarchy for one protocol domain.
+    pub fn new(master: MasterKey, domain: impl Into<String>) -> Self {
+        Self { master, domain: domain.into() }
+    }
+
+    /// The protocol domain string.
+    pub fn domain(&self) -> &str {
+        &self.domain
+    }
+
+    /// Derives the sub-key bundle for `epoch`.
+    pub fn epoch_keys(&self, epoch: u64) -> SubKeys {
+        self.master.derive(&self.domain, epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let master = MasterKey::from_bytes([5u8; 32]);
+        let a = master.derive("domain", 3);
+        let b = master.derive("domain", 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn epochs_are_independent() {
+        let master = MasterKey::from_bytes([5u8; 32]);
+        let a = master.derive("domain", 0);
+        let b = master.derive("domain", 1);
+        assert_ne!(a.encryption(), b.encryption());
+        assert_ne!(a.mac(), b.mac());
+        assert_ne!(a.prp(), b.prp());
+        assert_ne!(a.prf(), b.prf());
+        assert_ne!(a.rng_seed(), b.rng_seed());
+    }
+
+    #[test]
+    fn domains_are_independent() {
+        let master = MasterKey::from_bytes([5u8; 32]);
+        let a = master.derive("storage", 0);
+        let b = master.derive("memory", 0);
+        assert_ne!(a.encryption(), b.encryption());
+    }
+
+    #[test]
+    fn epochs_beyond_u32_do_not_alias() {
+        let master = MasterKey::from_bytes([5u8; 32]);
+        // Same low 32 bits, different high bits.
+        let a = master.derive("domain", 7);
+        let b = master.derive("domain", 7 + (1u64 << 32));
+        assert_ne!(a.encryption(), b.encryption());
+    }
+
+    #[test]
+    fn subkeys_within_bundle_differ() {
+        let keys = MasterKey::from_bytes([9u8; 32]).derive("d", 0);
+        assert_ne!(&keys.encryption()[..16], keys.mac());
+        assert_ne!(keys.mac(), keys.prp());
+        assert_ne!(keys.prp(), keys.prf());
+    }
+
+    #[test]
+    fn debug_redacts_material() {
+        let master = MasterKey::from_bytes([0xAA; 32]);
+        let debug = format!("{master:?}");
+        assert!(!debug.contains("170")); // 0xAA
+        assert!(debug.contains("redacted"));
+        let keys = master.derive("d", 1);
+        let debug = format!("{keys:?}");
+        assert!(debug.contains("redacted"));
+        assert!(debug.contains("epoch: 1"));
+    }
+
+    #[test]
+    fn random_master_keys_differ() {
+        let mut rng = crate::rng::DeterministicRng::from_seed_bytes([1u8; 32]);
+        let a = MasterKey::random(&mut rng);
+        let b = MasterKey::random(&mut rng);
+        assert_ne!(a.derive("d", 0).encryption(), b.derive("d", 0).encryption());
+    }
+
+    #[test]
+    fn hierarchy_matches_direct_derivation() {
+        let master = MasterKey::from_bytes([2u8; 32]);
+        let hierarchy = KeyHierarchy::new(master.clone(), "proto");
+        assert_eq!(hierarchy.epoch_keys(4), master.derive("proto", 4));
+        assert_eq!(hierarchy.domain(), "proto");
+    }
+}

@@ -1,0 +1,208 @@
+//! Keyed pseudo-random function helpers built on SipHash-2-4.
+//!
+//! ORAM protocols need small, fast keyed randomness in several places:
+//! drawing a fresh uniformly random leaf for a remapped block, deriving
+//! per-round Feistel keys, and tagging dummy blocks. [`Prf`] packages those
+//! uses behind one keyed object with domain separation.
+
+use crate::siphash::{siphash24, SipHash24, KEY_LEN};
+
+/// A keyed PRF with convenience methods for the ORAM stack.
+///
+/// All outputs are deterministic functions of `(key, domain, inputs)`.
+/// Distinct `domain` strings yield independent functions, so one key can
+/// safely serve several roles inside a protocol.
+///
+/// # Example
+///
+/// ```
+/// use oram_crypto::prf::Prf;
+///
+/// let prf = Prf::new([9u8; 16]);
+/// let leaf_a = prf.uniform("leaf-remap", &[42, 0], 1 << 20);
+/// let leaf_b = prf.uniform("leaf-remap", &[42, 1], 1 << 20);
+/// assert!(leaf_a < (1 << 20) && leaf_b < (1 << 20));
+/// assert_ne!(leaf_a, leaf_b); // overwhelmingly likely
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Prf {
+    key: [u8; KEY_LEN],
+}
+
+impl Prf {
+    /// Creates a PRF from a 16-byte key.
+    pub fn new(key: [u8; KEY_LEN]) -> Self {
+        Self { key }
+    }
+
+    /// Raw 64-bit PRF output over `(domain, data)`.
+    pub fn eval(&self, domain: &str, data: &[u8]) -> u64 {
+        let mut hasher = SipHash24::new(&self.key);
+        hasher.write_u64(domain.len() as u64);
+        hasher.write(domain.as_bytes());
+        hasher.write(data);
+        hasher.finish()
+    }
+
+    /// 64-bit PRF output over `(domain, words)`, avoiding byte-buffer
+    /// allocation for the common integer-tuple case.
+    pub fn eval_words(&self, domain: &str, words: &[u64]) -> u64 {
+        let mut hasher = SipHash24::new(&self.key);
+        hasher.write_u64(domain.len() as u64);
+        hasher.write(domain.as_bytes());
+        for w in words {
+            hasher.write_u64(*w);
+        }
+        hasher.finish()
+    }
+
+    /// Uniform sample in `[0, bound)` derived from `(domain, words)`.
+    ///
+    /// Uses rejection sampling on the top of the 64-bit PRF output, so the
+    /// result is exactly uniform (no modulo bias). Successive rejections
+    /// re-key with an internal retry counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn uniform(&self, domain: &str, words: &[u64], bound: u64) -> u64 {
+        assert!(bound > 0, "uniform sampling requires a positive bound");
+        if bound.is_power_of_two() {
+            return self.eval_words(domain, words) & (bound - 1);
+        }
+        // Rejection sampling: accept x < zone where zone is the largest
+        // multiple of `bound` that fits in u64.
+        let zone = u64::MAX - (u64::MAX % bound);
+        let mut retry = 0u64;
+        loop {
+            let mut hasher = SipHash24::new(&self.key);
+            hasher.write_u64(domain.len() as u64);
+            hasher.write(domain.as_bytes());
+            for w in words {
+                hasher.write_u64(*w);
+            }
+            hasher.write_u64(retry);
+            let x = hasher.finish();
+            if x < zone {
+                return x % bound;
+            }
+            retry += 1;
+        }
+    }
+
+    /// Derives a fresh 16-byte subkey for `(domain, index)`.
+    ///
+    /// Used to key per-round Feistel functions and per-epoch MACs.
+    pub fn subkey(&self, domain: &str, index: u64) -> [u8; KEY_LEN] {
+        let lo = self.eval_words(domain, &[index, 0]);
+        let hi = self.eval_words(domain, &[index, 1]);
+        let mut key = [0u8; KEY_LEN];
+        key[..8].copy_from_slice(&lo.to_le_bytes());
+        key[8..].copy_from_slice(&hi.to_le_bytes());
+        key
+    }
+
+    /// Direct access to the one-shot SipHash under this PRF's key, for
+    /// callers that manage their own domain separation.
+    pub fn raw(&self, data: &[u8]) -> u64 {
+        siphash24(&self.key, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn domains_are_separated() {
+        let prf = Prf::new([1u8; 16]);
+        assert_ne!(prf.eval("a", b"x"), prf.eval("b", b"x"));
+        // Prefix-shifting across the domain/data boundary must not collide:
+        // ("ab", "c") vs ("a", "bc").
+        assert_ne!(prf.eval("ab", b"c"), prf.eval("a", b"bc"));
+    }
+
+    #[test]
+    fn eval_words_matches_structure() {
+        let prf = Prf::new([2u8; 16]);
+        // Same words, different grouping, must differ from byte-concatenated data
+        // only through the documented encoding; check determinism and distinctness.
+        let a = prf.eval_words("d", &[1, 2]);
+        let b = prf.eval_words("d", &[2, 1]);
+        assert_ne!(a, b);
+        assert_eq!(a, prf.eval_words("d", &[1, 2]));
+    }
+
+    #[test]
+    fn uniform_power_of_two_in_range() {
+        let prf = Prf::new([3u8; 16]);
+        for i in 0..1000 {
+            let x = prf.uniform("leaves", &[i], 1024);
+            assert!(x < 1024);
+        }
+    }
+
+    #[test]
+    fn uniform_general_bound_in_range() {
+        let prf = Prf::new([4u8; 16]);
+        for i in 0..1000 {
+            let x = prf.uniform("general", &[i], 1000);
+            assert!(x < 1000);
+        }
+    }
+
+    #[test]
+    fn uniform_is_roughly_uniform() {
+        // Chi-square style sanity check over 10 bins; loose bound to stay
+        // deterministic and non-flaky (the PRF is deterministic anyway).
+        let prf = Prf::new([5u8; 16]);
+        let samples = 50_000u64;
+        let bins = 10u64;
+        let mut counts = [0u64; 10];
+        for i in 0..samples {
+            counts[prf.uniform("chi", &[i], bins) as usize] += 1;
+        }
+        let expected = samples as f64 / bins as f64;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum();
+        // 9 degrees of freedom: p=0.001 critical value is 27.88.
+        assert!(chi2 < 27.88, "chi-square too large: {chi2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bound")]
+    fn uniform_zero_bound_panics() {
+        Prf::new([0u8; 16]).uniform("d", &[], 0);
+    }
+
+    #[test]
+    fn subkeys_are_distinct() {
+        let prf = Prf::new([6u8; 16]);
+        let k0 = prf.subkey("round", 0);
+        let k1 = prf.subkey("round", 1);
+        let other = prf.subkey("mac", 0);
+        assert_ne!(k0, k1);
+        assert_ne!(k0, other);
+    }
+
+    proptest! {
+        #[test]
+        fn uniform_always_below_bound(seed in any::<[u8; 16]>(), words in proptest::collection::vec(any::<u64>(), 0..4), bound in 1u64..u64::MAX) {
+            let prf = Prf::new(seed);
+            let x = prf.uniform("prop", &words, bound);
+            prop_assert!(x < bound);
+        }
+
+        #[test]
+        fn eval_is_deterministic(seed in any::<[u8; 16]>(), data in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let prf = Prf::new(seed);
+            prop_assert_eq!(prf.eval("det", &data), prf.eval("det", &data));
+        }
+    }
+}

@@ -1,0 +1,859 @@
+//! Path ORAM (Stefanov et al.) over a pluggable tree backend.
+//!
+//! The protocol the paper builds on twice: as the **in-memory cache layer**
+//! of H-ORAM (tree on DRAM, §4.1.2) and — in its *tree-top-cache* placement
+//! (see [`crate::tree_top_cache`]) — as the **baseline** every evaluation
+//! table compares against.
+//!
+//! Per access (paper §2.1.2): look up the block's leaf in the position map,
+//! read the whole root→leaf path into the stash, remap the block to a fresh
+//! uniformly random leaf, serve the request from the stash, and write the
+//! path back greedily (each bucket takes up to `Z` stash blocks whose
+//! current leaf keeps them on this path; empty slots become dummies). Every
+//! slot that leaves the trusted boundary is sealed, so real and dummy
+//! ciphertexts are indistinguishable.
+//!
+//! Additions for the H-ORAM memory layer (used in `horam-core`):
+//!
+//! * [`PathOramCore::insert_block`] — place an I/O-fetched block directly
+//!   into the stash with a fresh leaf (no device access; the block enters
+//!   the tree through later write-backs), matching §4.1 "the I/O access
+//!   brings data to the stash of the in-memory path ORAM";
+//! * [`PathOramCore::dummy_access`] — a full path read+write-back of a
+//!   random leaf, used by the secure scheduler to pad short cycles;
+//! * [`PathOramCore::evict_all`] — stream every slot out, returning the
+//!   real blocks (the oblivious-evict step performs the shuffle);
+//! * [`PathOramCore::rebuild_empty`] — re-initialize an all-dummy tree for
+//!   the next access period.
+
+use crate::backend::{SingleDeviceBackend, TreeBackend};
+use crate::bucket_tree::TreeGeometry;
+use crate::error::OramError;
+use crate::oram_trait::Oram;
+use crate::position_map::PositionMap;
+use crate::stash::{Stash, StashEntry};
+use crate::types::{BlockContent, BlockId};
+use oram_crypto::keys::SubKeys;
+use oram_crypto::rng::DeterministicRng;
+use oram_crypto::seal::BlockSealer;
+use oram_storage::clock::SimDuration;
+use oram_storage::device::Device;
+
+/// Time spent by one logical operation, split by device class.
+///
+/// Protocols compose these into wall-clock time: the tree-top-cache
+/// baseline adds them (dependent accesses), H-ORAM overlaps memory time of
+/// hits with the storage time of the cycle's miss.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessReceipt {
+    /// Simulated time on the memory device.
+    pub memory: SimDuration,
+    /// Simulated time on the storage device.
+    pub storage: SimDuration,
+}
+
+impl AccessReceipt {
+    /// Component-wise sum.
+    pub fn merged(&self, other: &AccessReceipt) -> AccessReceipt {
+        AccessReceipt { memory: self.memory + other.memory, storage: self.storage + other.storage }
+    }
+
+    /// Serial wall-clock interpretation (`memory + storage`).
+    pub fn serial(&self) -> SimDuration {
+        self.memory + self.storage
+    }
+}
+
+/// Configuration of a Path ORAM instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathOramConfig {
+    /// Number of logical blocks (N).
+    pub capacity: u64,
+    /// Bucket size; the paper uses Z = 4 throughout.
+    pub z: u32,
+    /// Application payload bytes per block.
+    pub payload_len: usize,
+    /// Stash bound (entries) before [`OramError::StashOverflow`].
+    pub stash_limit: usize,
+    /// Seed for leaf-remapping randomness.
+    pub seed: u64,
+}
+
+impl PathOramConfig {
+    /// A conventional configuration: Z=4, generous stash, given capacity
+    /// and payload size.
+    pub fn new(capacity: u64, payload_len: usize) -> Self {
+        Self { capacity, z: 4, payload_len, stash_limit: 4096, seed: 0x0_5e_ed }
+    }
+}
+
+/// Statistics of one Path ORAM instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PathOramStats {
+    /// Logical accesses served (reads + writes).
+    pub accesses: u64,
+    /// Dummy (padding) path accesses performed.
+    pub dummy_accesses: u64,
+    /// Blocks inserted directly into the stash (H-ORAM I/O arrivals).
+    pub stash_inserts: u64,
+    /// Tree rebuilds (H-ORAM periods).
+    pub rebuilds: u64,
+}
+
+/// Plaintext blocks returned by [`PathOramCore::evict_all`]:
+/// `(logical id, payload)` pairs.
+pub type EvictedBlocks = Vec<(BlockId, Vec<u8>)>;
+
+/// Path ORAM over a generic backend. See the [module docs](self).
+#[derive(Debug)]
+pub struct PathOramCore<B: TreeBackend> {
+    geometry: TreeGeometry,
+    backend: B,
+    position_map: PositionMap,
+    stash: Stash,
+    sealer: BlockSealer,
+    rng: DeterministicRng,
+    payload_len: usize,
+    capacity: u64,
+    /// Monotonic sequence number making every seal nonce unique.
+    seal_seq: u64,
+    stats: PathOramStats,
+}
+
+/// Path ORAM with the whole tree on one device — the H-ORAM memory layer
+/// (DRAM device) or a single-device baseline.
+pub type PathOram = PathOramCore<SingleDeviceBackend>;
+
+impl PathOram {
+    /// Builds a Path ORAM wholly on `device`, sized for
+    /// `config.capacity` real blocks (≈2N slots), with an all-dummy tree.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors from the initial tree write.
+    pub fn new(config: PathOramConfig, device: Device, keys: &SubKeys) -> Result<Self, OramError> {
+        let geometry = TreeGeometry::for_capacity(config.capacity, config.z);
+        Self::with_geometry(config, geometry, SingleDeviceBackend::new(device), keys)
+    }
+
+    /// Builds a Path ORAM constrained to `slot_budget` device slots (the
+    /// H-ORAM memory layer: largest tree that fits the memory budget).
+    ///
+    /// `capacity` is the *logical id range* the position map covers, which
+    /// may far exceed the tree's resident capacity — H-ORAM keeps at most
+    /// `slot_budget/2` blocks resident but any of the N dataset blocks can
+    /// be cached. When `capacity` is `None`, it defaults to half the slot
+    /// count (a standalone 50 %-utilization tree).
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors from the initial tree write.
+    pub fn for_slot_budget(
+        slot_budget: u64,
+        capacity: Option<u64>,
+        payload_len: usize,
+        device: Device,
+        keys: &SubKeys,
+        seed: u64,
+    ) -> Result<Self, OramError> {
+        let geometry = TreeGeometry::for_slot_budget(slot_budget, 4);
+        let config = PathOramConfig {
+            capacity: capacity.unwrap_or(geometry.total_slots() / 2),
+            z: 4,
+            payload_len,
+            stash_limit: 16384,
+            seed,
+        };
+        Self::with_geometry(config, geometry, SingleDeviceBackend::new(device), keys)
+    }
+
+    /// The underlying device (experiment accounting).
+    pub fn device(&self) -> &Device {
+        self.backend().device()
+    }
+
+    /// Mutable access to the underlying device (experiment plumbing, e.g.
+    /// charging the oblivious-evict buffer shuffle to DRAM).
+    pub fn device_mut(&mut self) -> &mut Device {
+        self.backend.device_mut()
+    }
+}
+
+impl<B: TreeBackend> PathOramCore<B> {
+    /// Builds a Path ORAM with an explicit geometry over `backend`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors from the initial tree write.
+    pub fn with_geometry(
+        config: PathOramConfig,
+        geometry: TreeGeometry,
+        backend: B,
+        keys: &SubKeys,
+    ) -> Result<Self, OramError> {
+        assert!(config.capacity > 0, "capacity must be positive");
+        let mut oram = Self {
+            geometry,
+            backend,
+            position_map: PositionMap::new(config.capacity),
+            stash: Stash::new(config.stash_limit),
+            sealer: BlockSealer::new(keys),
+            rng: DeterministicRng::from_u64_seed(config.seed),
+            payload_len: config.payload_len,
+            capacity: config.capacity,
+            seal_seq: 0,
+            stats: PathOramStats::default(),
+        };
+        oram.write_dummy_image()?;
+        Ok(oram)
+    }
+
+    fn write_dummy_image(&mut self) -> Result<(), OramError> {
+        let total = self.geometry.total_slots();
+        let mut image = Vec::with_capacity(total as usize);
+        for addr in 0..total {
+            image.push(self.seal_content(addr, &BlockContent::Dummy));
+        }
+        self.backend.init_all_slots(image)?;
+        Ok(())
+    }
+
+    fn seal_content(&mut self, slot_addr: u64, content: &BlockContent) -> oram_crypto::seal::SealedBlock {
+        let seq = self.seal_seq;
+        self.seal_seq += 1;
+        self.sealer.seal(slot_addr, seq, &content.encode(self.payload_len))
+    }
+
+    fn open_content(
+        &self,
+        slot_addr: u64,
+        sealed: &oram_crypto::seal::SealedBlock,
+    ) -> Result<BlockContent, OramError> {
+        let bytes = self.sealer.open(sealed)?;
+        BlockContent::decode(&bytes, slot_addr)
+    }
+
+    /// The tree geometry.
+    pub fn geometry(&self) -> TreeGeometry {
+        self.geometry
+    }
+
+    /// The backend (device accounting).
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Statistics of this instance.
+    pub fn stats(&self) -> PathOramStats {
+        self.stats
+    }
+
+    /// Peak stash occupancy (the bounded-stash invariant's witness).
+    pub fn stash_peak(&self) -> usize {
+        self.stash.peak()
+    }
+
+    /// Current stash occupancy.
+    pub fn stash_len(&self) -> usize {
+        self.stash.len()
+    }
+
+    /// Number of logical blocks currently resident (position-map entries).
+    pub fn resident_blocks(&self) -> usize {
+        self.position_map.assigned()
+    }
+
+    fn check_range(&self, id: BlockId) -> Result<(), OramError> {
+        if id.0 >= self.capacity {
+            return Err(OramError::BlockOutOfRange { id: id.0, capacity: self.capacity });
+        }
+        Ok(())
+    }
+
+    fn busy_delta(&self, before: (SimDuration, SimDuration)) -> AccessReceipt {
+        let (mem, storage) = self.backend.busy();
+        AccessReceipt { memory: mem - before.0, storage: storage - before.1 }
+    }
+
+    /// Core path access: read path into stash, serve `op`, remap, write
+    /// back.
+    ///
+    /// `op` receives the stash entry (created zero-filled on first touch)
+    /// and returns the bytes handed to the caller.
+    fn path_access(
+        &mut self,
+        id: BlockId,
+        mut op: impl FnMut(&mut StashEntry) -> Vec<u8>,
+    ) -> Result<(Vec<u8>, AccessReceipt), OramError> {
+        self.check_range(id)?;
+        let busy_before = self.backend.busy();
+        let leaf_count = self.geometry.leaf_count();
+        let leaf = {
+            let rng = &mut self.rng;
+            self.position_map.get_or_assign(id, || rng_uniform(rng, leaf_count))
+        };
+
+        self.read_path_into_stash(leaf)?;
+
+        // Remap before serving so the stash entry carries the new leaf.
+        let new_leaf = rng_uniform(&mut self.rng, leaf_count);
+        self.position_map.set(id, new_leaf);
+
+        if !self.stash.contains(id) {
+            // First access to this block: materialize zero-filled content
+            // (the ORAM stores the whole logical array, lazily).
+            self.stash.insert(StashEntry {
+                id,
+                leaf: new_leaf,
+                payload: vec![0u8; self.payload_len],
+            })?;
+        }
+        let entry = self.stash.get_mut(id).expect("just ensured present");
+        entry.leaf = new_leaf;
+        let out = op(entry);
+
+        self.write_back_path(leaf)?;
+        self.stats.accesses += 1;
+        Ok((out, self.busy_delta(busy_before)))
+    }
+
+    fn read_path_into_stash(&mut self, leaf: u64) -> Result<(), OramError> {
+        for node in self.geometry.path_nodes(leaf) {
+            for slot in 0..self.geometry.z() {
+                let addr = self.geometry.slot_addr(node, slot);
+                let sealed = self.backend.read_slot(addr)?;
+                match self.open_content(addr, &sealed)? {
+                    BlockContent::Dummy => {}
+                    BlockContent::Real { id, leaf: stored_leaf, payload } => {
+                        // The position map is authoritative; the stored leaf
+                        // should match it for tree-resident blocks.
+                        let current =
+                            self.position_map.get(id).unwrap_or(stored_leaf);
+                        self.stash.insert(StashEntry { id, leaf: current, payload })?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn write_back_path(&mut self, leaf: u64) -> Result<(), OramError> {
+        // Leaf-first: deepest buckets take the most constrained blocks.
+        let mut nodes = self.geometry.path_nodes(leaf);
+        nodes.reverse();
+        for node in nodes {
+            let geometry = self.geometry;
+            let selected = self.stash.take_matching(geometry.z() as usize, |entry| {
+                geometry.node_on_path(node, entry.leaf)
+            });
+            for slot in 0..geometry.z() {
+                let addr = geometry.slot_addr(node, slot);
+                let content = match selected.get(slot as usize) {
+                    Some(entry) => BlockContent::Real {
+                        id: entry.id,
+                        leaf: entry.leaf,
+                        payload: entry.payload.clone(),
+                    },
+                    None => BlockContent::Dummy,
+                };
+                let sealed = self.seal_content(addr, &content);
+                self.backend.write_slot(addr, sealed)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads block `id`, returning its payload and timing receipt.
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::BlockOutOfRange`] for ids ≥ capacity; storage/crypto
+    /// errors propagate.
+    pub fn access_read(&mut self, id: BlockId) -> Result<(Vec<u8>, AccessReceipt), OramError> {
+        self.path_access(id, |entry| entry.payload.clone())
+    }
+
+    /// One access with **caller-supplied** position-map state: reads the
+    /// path of `known_leaf` (or a uniformly random path when the block was
+    /// never assigned), applies `op` to the stash entry, remaps the block
+    /// to `new_leaf`, and writes the path back.
+    ///
+    /// This is the building block of the recursive-position-map
+    /// construction ([`crate::recursive`]): the caller keeps leaf labels
+    /// in higher ORAM levels and this instance's internal map is merely
+    /// kept in sync as a debugging cross-check (a production recursive
+    /// build would omit it — it is trusted-side metadata and costs no
+    /// simulated time either way).
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::BlockOutOfRange`] for ids ≥ capacity; storage/crypto
+    /// errors propagate.
+    pub fn access_explicit(
+        &mut self,
+        id: BlockId,
+        known_leaf: Option<u64>,
+        new_leaf: u64,
+        op: impl FnMut(&mut StashEntry) -> Vec<u8>,
+    ) -> Result<(Vec<u8>, AccessReceipt), OramError> {
+        self.check_range(id)?;
+        assert!(new_leaf < self.geometry.leaf_count(), "new leaf out of range");
+        let busy_before = self.backend.busy();
+        let leaf = match known_leaf {
+            Some(leaf) => {
+                assert!(leaf < self.geometry.leaf_count(), "known leaf out of range");
+                leaf
+            }
+            // Never-assigned block: a random path keeps the bus pattern
+            // identical to a real lookup.
+            None => rng_uniform(&mut self.rng, self.geometry.leaf_count()),
+        };
+
+        self.read_path_into_stash(leaf)?;
+        self.position_map.set(id, new_leaf);
+        if !self.stash.contains(id) {
+            self.stash.insert(StashEntry {
+                id,
+                leaf: new_leaf,
+                payload: vec![0u8; self.payload_len],
+            })?;
+        }
+        let entry = self.stash.get_mut(id).expect("just ensured present");
+        entry.leaf = new_leaf;
+        let mut op = op;
+        let out = op(entry);
+        self.write_back_path(leaf)?;
+        self.stats.accesses += 1;
+        Ok((out, self.busy_delta(busy_before)))
+    }
+
+    /// A uniformly random leaf drawn from this instance's seeded RNG —
+    /// exposed so recursive wrappers draw remap targets from the same
+    /// replayable stream.
+    pub fn draw_leaf(&mut self) -> u64 {
+        rng_uniform(&mut self.rng, self.geometry.leaf_count())
+    }
+
+    /// The internal position-map entry for `id`, if assigned. Root levels
+    /// of the recursive construction use their internal map as the trusted
+    /// root table; this is its lookup.
+    pub fn leaf_hint(&self, id: BlockId) -> Option<u64> {
+        if id.0 >= self.capacity {
+            return None;
+        }
+        self.position_map.get(id)
+    }
+
+    /// Writes block `id`, returning the previous payload and timing
+    /// receipt.
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::PayloadSize`] if `data` has the wrong length;
+    /// [`OramError::BlockOutOfRange`] for ids ≥ capacity.
+    pub fn access_write(
+        &mut self,
+        id: BlockId,
+        data: &[u8],
+    ) -> Result<(Vec<u8>, AccessReceipt), OramError> {
+        if data.len() != self.payload_len {
+            return Err(OramError::PayloadSize { expected: self.payload_len, got: data.len() });
+        }
+        let data = data.to_vec();
+        self.path_access(id, move |entry| {
+            std::mem::replace(&mut entry.payload, data.clone())
+        })
+    }
+
+    /// A padding access: full read+write-back of a uniformly random path,
+    /// touching no logical block. Indistinguishable from a real access on
+    /// the bus.
+    ///
+    /// # Errors
+    ///
+    /// Storage/crypto errors propagate.
+    pub fn dummy_access(&mut self) -> Result<AccessReceipt, OramError> {
+        let busy_before = self.backend.busy();
+        let leaf = rng_uniform(&mut self.rng, self.geometry.leaf_count());
+        self.read_path_into_stash(leaf)?;
+        self.write_back_path(leaf)?;
+        self.stats.dummy_accesses += 1;
+        Ok(self.busy_delta(busy_before))
+    }
+
+    /// Places an externally fetched block into the stash with a fresh
+    /// random leaf (H-ORAM I/O arrival). Costs no device access.
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::StashOverflow`] if the stash bound is hit;
+    /// [`OramError::PayloadSize`] on wrong payload length.
+    pub fn insert_block(&mut self, id: BlockId, payload: Vec<u8>) -> Result<(), OramError> {
+        self.check_range(id)?;
+        if payload.len() != self.payload_len {
+            return Err(OramError::PayloadSize { expected: self.payload_len, got: payload.len() });
+        }
+        let leaf = rng_uniform(&mut self.rng, self.geometry.leaf_count());
+        self.position_map.set(id, leaf);
+        self.stash.insert(StashEntry { id, leaf, payload })?;
+        self.stats.stash_inserts += 1;
+        Ok(())
+    }
+
+    /// Whether block `id` is resident (in tree or stash).
+    pub fn contains(&self, id: BlockId) -> bool {
+        id.0 < self.capacity && self.position_map.get(id).is_some()
+    }
+
+    /// Streams the whole tree out and drains the stash, returning every
+    /// resident real block. The tree is left empty (torn down); call
+    /// [`rebuild_empty`](Self::rebuild_empty) before reusing it.
+    ///
+    /// This is step 1 of H-ORAM's shuffle period ("read all the blocks,
+    /// both real and dummy, into a temporary buffer" — the caller runs the
+    /// oblivious shuffle on the result).
+    ///
+    /// # Errors
+    ///
+    /// Storage/crypto errors propagate.
+    pub fn evict_all(&mut self) -> Result<(EvictedBlocks, AccessReceipt), OramError> {
+        let busy_before = self.backend.busy();
+        let total = self.geometry.total_slots();
+        let slots = self.backend.read_all_slots(total)?;
+        let mut blocks = Vec::new();
+        for (addr, slot) in slots.into_iter().enumerate() {
+            let Some(sealed) = slot else { continue };
+            if let BlockContent::Real { id, payload, .. } =
+                self.open_content(addr as u64, &sealed)?
+            {
+                blocks.push((id, payload));
+            }
+        }
+        for entry in self.stash.drain_all() {
+            blocks.push((entry.id, entry.payload));
+        }
+        self.backend.clear();
+        self.position_map.clear_all();
+        Ok((blocks, self.busy_delta(busy_before)))
+    }
+
+    /// Writes a fresh all-dummy tree image and resets the position map —
+    /// step 3 of the shuffle period ("initialize a new Path ORAM tree").
+    ///
+    /// # Errors
+    ///
+    /// Storage errors propagate.
+    pub fn rebuild_empty(&mut self) -> Result<AccessReceipt, OramError> {
+        let busy_before = self.backend.busy();
+        self.position_map.clear_all();
+        self.write_dummy_image()?;
+        self.stats.rebuilds += 1;
+        Ok(self.busy_delta(busy_before))
+    }
+
+    /// Bulk-loads a dataset at construction time: every block gets a random
+    /// leaf and is greedily placed into the deepest bucket on its path
+    /// (leftovers go to the stash). One streaming device pass.
+    ///
+    /// Used by baselines that start full (tree-top-cache Path ORAM); the
+    /// H-ORAM memory layer starts empty instead.
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::StashOverflow`] if more than the stash bound fails
+    /// placement (practically impossible at ≤50 % utilization);
+    /// [`OramError::PayloadSize`] on wrong payload length.
+    pub fn bulk_load(
+        &mut self,
+        blocks: impl IntoIterator<Item = (BlockId, Vec<u8>)>,
+    ) -> Result<AccessReceipt, OramError> {
+        let busy_before = self.backend.busy();
+        let z = self.geometry.z() as usize;
+        let bucket_count = self.geometry.bucket_count() as usize;
+        let mut staged: Vec<Vec<(BlockId, u64, Vec<u8>)>> = vec![Vec::new(); bucket_count];
+
+        for (id, payload) in blocks {
+            self.check_range(id)?;
+            if payload.len() != self.payload_len {
+                return Err(OramError::PayloadSize {
+                    expected: self.payload_len,
+                    got: payload.len(),
+                });
+            }
+            let leaf = rng_uniform(&mut self.rng, self.geometry.leaf_count());
+            self.position_map.set(id, leaf);
+            // Deepest-first greedy placement.
+            let mut placed = false;
+            for node in self.geometry.path_nodes(leaf).into_iter().rev() {
+                if staged[node as usize].len() < z {
+                    staged[node as usize].push((id, leaf, payload.clone()));
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                self.stash.insert(StashEntry { id, leaf, payload })?;
+            }
+        }
+
+        let mut image = Vec::with_capacity(self.geometry.total_slots() as usize);
+        for (node, bucket) in staged.into_iter().enumerate() {
+            for slot in 0..z {
+                let addr = self.geometry.slot_addr(node as u64, slot as u32);
+                let content = match bucket.get(slot) {
+                    Some((id, leaf, payload)) => BlockContent::Real {
+                        id: *id,
+                        leaf: *leaf,
+                        payload: payload.clone(),
+                    },
+                    None => BlockContent::Dummy,
+                };
+                image.push(self.seal_content(addr, &content));
+            }
+        }
+        self.backend.init_all_slots(image)?;
+        Ok(self.busy_delta(busy_before))
+    }
+}
+
+impl<B: TreeBackend> Oram for PathOramCore<B> {
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn payload_len(&self) -> usize {
+        self.payload_len
+    }
+
+    fn read(&mut self, id: BlockId) -> Result<Vec<u8>, OramError> {
+        self.access_read(id).map(|(data, _)| data)
+    }
+
+    fn write(&mut self, id: BlockId, data: &[u8]) -> Result<Vec<u8>, OramError> {
+        self.access_write(id, data).map(|(prev, _)| prev)
+    }
+}
+
+fn rng_uniform(rng: &mut DeterministicRng, bound: u64) -> u64 {
+    use rand::Rng;
+    rng.gen_range(0..bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oram_crypto::keys::MasterKey;
+    use oram_storage::calibration::MachineConfig;
+    use oram_storage::clock::SimClock;
+    use proptest::prelude::*;
+
+    fn keys() -> SubKeys {
+        MasterKey::from_bytes([7u8; 32]).derive("path-oram-test", 0)
+    }
+
+    fn memory_oram(capacity: u64, payload_len: usize) -> PathOram {
+        let device = MachineConfig::dac2019().build_memory(SimClock::new(), None);
+        PathOram::new(PathOramConfig::new(capacity, payload_len), device, &keys()).unwrap()
+    }
+
+    #[test]
+    fn fresh_blocks_read_as_zeros() {
+        let mut oram = memory_oram(16, 8);
+        assert_eq!(oram.read(BlockId(3)).unwrap(), vec![0u8; 8]);
+    }
+
+    #[test]
+    fn read_your_writes() {
+        let mut oram = memory_oram(16, 4);
+        oram.write(BlockId(2), &[9, 8, 7, 6]).unwrap();
+        assert_eq!(oram.read(BlockId(2)).unwrap(), vec![9, 8, 7, 6]);
+    }
+
+    #[test]
+    fn write_returns_previous() {
+        let mut oram = memory_oram(16, 2);
+        let prev = oram.write(BlockId(0), &[1, 1]).unwrap();
+        assert_eq!(prev, vec![0, 0]);
+        let prev = oram.write(BlockId(0), &[2, 2]).unwrap();
+        assert_eq!(prev, vec![1, 1]);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut oram = memory_oram(4, 2);
+        assert!(matches!(
+            oram.read(BlockId(4)),
+            Err(OramError::BlockOutOfRange { id: 4, capacity: 4 })
+        ));
+    }
+
+    #[test]
+    fn wrong_payload_length_rejected() {
+        let mut oram = memory_oram(4, 2);
+        assert!(matches!(
+            oram.write(BlockId(0), &[1, 2, 3]),
+            Err(OramError::PayloadSize { expected: 2, got: 3 })
+        ));
+    }
+
+    #[test]
+    fn many_blocks_roundtrip_through_tree() {
+        let mut oram = memory_oram(64, 8);
+        for i in 0..64u64 {
+            let payload: Vec<u8> = (0..8).map(|b| (i as u8).wrapping_add(b)).collect();
+            oram.write(BlockId(i), &payload).unwrap();
+        }
+        for i in (0..64u64).rev() {
+            let expected: Vec<u8> = (0..8).map(|b| (i as u8).wrapping_add(b)).collect();
+            assert_eq!(oram.read(BlockId(i)).unwrap(), expected, "block {i}");
+        }
+    }
+
+    #[test]
+    fn stash_stays_bounded_under_load() {
+        let mut oram = memory_oram(128, 4);
+        let mut rng = DeterministicRng::from_u64_seed(99);
+        use rand::Rng;
+        for _ in 0..2000 {
+            let id = BlockId(rng.gen_range(0..128));
+            if rng.gen_bool(0.5) {
+                oram.write(id, &[1, 2, 3, 4]).unwrap();
+            } else {
+                oram.read(id).unwrap();
+            }
+        }
+        // The classic Path ORAM result: stash stays O(log N)·ω(1); for
+        // N=128 a peak beyond 40 would indicate a protocol bug.
+        assert!(oram.stash_peak() < 40, "stash peak {}", oram.stash_peak());
+    }
+
+    #[test]
+    fn access_touches_z_times_depth_slots() {
+        let mut oram = memory_oram(32, 4);
+        let reads_before = oram.device().stats().reads;
+        oram.read(BlockId(0)).unwrap();
+        let reads = oram.device().stats().reads - reads_before;
+        let expected = (oram.geometry().depth() * oram.geometry().z()) as u64;
+        assert_eq!(reads, expected);
+    }
+
+    #[test]
+    fn dummy_access_is_bus_equivalent_to_real() {
+        let mut oram = memory_oram(32, 4);
+        oram.read(BlockId(0)).unwrap();
+        let before = *oram.device().stats();
+        oram.dummy_access().unwrap();
+        let after_dummy = *oram.device().stats();
+        oram.read(BlockId(1)).unwrap();
+        let after_real = *oram.device().stats();
+        assert_eq!(
+            after_dummy.reads - before.reads,
+            after_real.reads - after_dummy.reads,
+            "dummy and real accesses must read the same number of slots"
+        );
+        assert_eq!(
+            after_dummy.writes - before.writes,
+            after_real.writes - after_dummy.writes,
+        );
+    }
+
+    #[test]
+    fn insert_block_costs_no_device_access() {
+        let mut oram = memory_oram(32, 4);
+        let ops_before = oram.device().stats().ops();
+        oram.insert_block(BlockId(5), vec![1, 2, 3, 4]).unwrap();
+        assert_eq!(oram.device().stats().ops(), ops_before);
+        assert!(oram.contains(BlockId(5)));
+        assert_eq!(oram.read(BlockId(5)).unwrap(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn evict_all_returns_resident_blocks_and_empties() {
+        let mut oram = memory_oram(32, 4);
+        for i in 0..10u64 {
+            oram.write(BlockId(i), &[i as u8; 4]).unwrap();
+        }
+        let (blocks, _) = oram.evict_all().unwrap();
+        assert_eq!(blocks.len(), 10);
+        let mut ids: Vec<u64> = blocks.iter().map(|(id, _)| id.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+        for (id, payload) in &blocks {
+            assert_eq!(payload, &vec![id.0 as u8; 4]);
+        }
+        assert_eq!(oram.resident_blocks(), 0);
+    }
+
+    #[test]
+    fn rebuild_after_evict_gives_fresh_tree() {
+        let mut oram = memory_oram(32, 4);
+        oram.write(BlockId(1), &[5; 4]).unwrap();
+        let _ = oram.evict_all().unwrap();
+        oram.rebuild_empty().unwrap();
+        // Fresh tree: block 1 is gone; first read materializes zeros.
+        assert_eq!(oram.read(BlockId(1)).unwrap(), vec![0; 4]);
+        assert_eq!(oram.stats().rebuilds, 1);
+    }
+
+    #[test]
+    fn bulk_load_places_everything() {
+        let device = MachineConfig::dac2019().build_memory(SimClock::new(), None);
+        let mut oram =
+            PathOram::new(PathOramConfig::new(256, 4), device, &keys()).unwrap();
+        oram.bulk_load((0..256u64).map(|i| (BlockId(i), vec![i as u8; 4]))).unwrap();
+        for i in [0u64, 17, 100, 255] {
+            assert_eq!(oram.read(BlockId(i)).unwrap(), vec![i as u8; 4], "block {i}");
+        }
+    }
+
+    #[test]
+    fn for_slot_budget_respects_budget() {
+        let device = MachineConfig::dac2019().build_memory(SimClock::new(), None);
+        let oram = PathOram::for_slot_budget(8192, None, 16, device, &keys(), 1).unwrap();
+        assert!(oram.geometry().total_slots() <= 8192);
+        assert_eq!(oram.geometry().depth(), 11);
+    }
+
+    #[test]
+    fn slot_budget_with_wide_capacity_caches_any_id() {
+        // H-ORAM's memory layer: tiny tree, huge logical id range.
+        let device = MachineConfig::dac2019().build_memory(SimClock::new(), None);
+        let mut oram =
+            PathOram::for_slot_budget(128, Some(1 << 20), 4, device, &keys(), 2).unwrap();
+        assert_eq!(oram.capacity(), 1 << 20);
+        oram.insert_block(BlockId(999_999), vec![7; 4]).unwrap();
+        assert_eq!(oram.read(BlockId(999_999)).unwrap(), vec![7; 4]);
+    }
+
+    #[test]
+    fn receipts_report_memory_time_only_for_dram_tree() {
+        let mut oram = memory_oram(32, 4);
+        let (_, receipt) = oram.access_read(BlockId(0)).unwrap();
+        assert!(receipt.memory > SimDuration::ZERO);
+        assert_eq!(receipt.storage, SimDuration::ZERO);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn matches_reference_model(ops in proptest::collection::vec((0u64..32, proptest::option::of(0u8..255)), 1..60)) {
+            let mut oram = memory_oram(32, 4);
+            let mut reference = std::collections::HashMap::new();
+            for (id, write_byte) in ops {
+                match write_byte {
+                    Some(b) => {
+                        let payload = vec![b; 4];
+                        let prev = oram.write(BlockId(id), &payload).unwrap();
+                        let expected_prev = reference.insert(id, payload).unwrap_or(vec![0u8; 4]);
+                        prop_assert_eq!(prev, expected_prev);
+                    }
+                    None => {
+                        let got = oram.read(BlockId(id)).unwrap();
+                        let expected = reference.get(&id).cloned().unwrap_or(vec![0u8; 4]);
+                        prop_assert_eq!(got, expected);
+                    }
+                }
+            }
+        }
+    }
+}

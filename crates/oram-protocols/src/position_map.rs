@@ -1,0 +1,145 @@
+//! The position map: logical block → current position tag.
+//!
+//! For Path ORAM the tag is the block's current leaf; for the flat
+//! protocols it is a slot or partition index. The map lives inside the
+//! trusted control layer (the paper reserves 4 MB for it in Figure 4-1),
+//! so lookups cost no observable accesses.
+
+use crate::types::BlockId;
+
+/// A dense logical-id → tag map with lazy assignment.
+#[derive(Debug, Clone)]
+pub struct PositionMap {
+    tags: Vec<Option<u64>>,
+    assigned: usize,
+}
+
+impl PositionMap {
+    /// Creates an unassigned map for `capacity` blocks.
+    pub fn new(capacity: u64) -> Self {
+        Self { tags: vec![None; capacity as usize], assigned: 0 }
+    }
+
+    /// Capacity in blocks.
+    pub fn capacity(&self) -> u64 {
+        self.tags.len() as u64
+    }
+
+    /// Number of blocks with an assigned tag.
+    pub fn assigned(&self) -> usize {
+        self.assigned
+    }
+
+    /// The tag of `id`, if assigned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is beyond capacity (callers validate range first).
+    pub fn get(&self, id: BlockId) -> Option<u64> {
+        self.tags[id.0 as usize]
+    }
+
+    /// Sets the tag of `id`, returning the previous tag.
+    pub fn set(&mut self, id: BlockId, tag: u64) -> Option<u64> {
+        let slot = &mut self.tags[id.0 as usize];
+        let prev = slot.replace(tag);
+        if prev.is_none() {
+            self.assigned += 1;
+        }
+        prev
+    }
+
+    /// Returns the tag of `id`, assigning one from `draw` on first use.
+    pub fn get_or_assign(&mut self, id: BlockId, draw: impl FnOnce() -> u64) -> u64 {
+        if let Some(tag) = self.tags[id.0 as usize] {
+            tag
+        } else {
+            let tag = draw();
+            self.set(id, tag);
+            tag
+        }
+    }
+
+    /// Removes the assignment of `id`, returning it.
+    pub fn clear_tag(&mut self, id: BlockId) -> Option<u64> {
+        let prev = self.tags[id.0 as usize].take();
+        if prev.is_some() {
+            self.assigned -= 1;
+        }
+        prev
+    }
+
+    /// Drops all assignments (tree teardown between H-ORAM periods).
+    pub fn clear_all(&mut self) {
+        self.tags.iter_mut().for_each(|t| *t = None);
+        self.assigned = 0;
+    }
+
+    /// In-enclave memory footprint in bytes (for reporting the control
+    /// layer's budget, cf. the paper's "position map (4 MB)" annotation).
+    pub fn memory_bytes(&self) -> usize {
+        self.tags.len() * std::mem::size_of::<Option<u64>>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_unassigned() {
+        let map = PositionMap::new(10);
+        assert_eq!(map.capacity(), 10);
+        assert_eq!(map.assigned(), 0);
+        assert_eq!(map.get(BlockId(3)), None);
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut map = PositionMap::new(4);
+        assert_eq!(map.set(BlockId(1), 99), None);
+        assert_eq!(map.get(BlockId(1)), Some(99));
+        assert_eq!(map.set(BlockId(1), 7), Some(99));
+        assert_eq!(map.assigned(), 1);
+    }
+
+    #[test]
+    fn get_or_assign_draws_once() {
+        let mut map = PositionMap::new(4);
+        let mut draws = 0;
+        let first = map.get_or_assign(BlockId(2), || {
+            draws += 1;
+            42
+        });
+        let second = map.get_or_assign(BlockId(2), || {
+            draws += 1;
+            77
+        });
+        assert_eq!(first, 42);
+        assert_eq!(second, 42);
+        assert_eq!(draws, 1);
+    }
+
+    #[test]
+    fn clear_tag_and_clear_all() {
+        let mut map = PositionMap::new(4);
+        map.set(BlockId(0), 1);
+        map.set(BlockId(1), 2);
+        assert_eq!(map.clear_tag(BlockId(0)), Some(1));
+        assert_eq!(map.assigned(), 1);
+        map.clear_all();
+        assert_eq!(map.assigned(), 0);
+        assert_eq!(map.get(BlockId(1)), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        PositionMap::new(2).get(BlockId(2));
+    }
+
+    #[test]
+    fn memory_footprint_scales() {
+        assert!(PositionMap::new(1000).memory_bytes() >= 8000);
+    }
+}

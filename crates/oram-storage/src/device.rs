@@ -1,0 +1,450 @@
+//! The simulated block device: data + timing + observability.
+//!
+//! A [`Device`] couples four concerns that the experiments need to stay in
+//! lockstep:
+//!
+//! 1. **Data** — a sparse [`crate::store::BlockStore`] holding sealed blocks
+//!    at physical slot addresses.
+//! 2. **Timing** — a [`TimingModel`] charging each access a simulated cost
+//!    (seek + transfer for HDDs, latency + bandwidth for DRAM/SSD).
+//! 3. **Observability** — every access is appended to the shared
+//!    [`crate::trace::AccessTrace`], which is precisely the adversary's view.
+//! 4. **Accounting** — per-device [`crate::stats::DeviceStats`].
+//!
+//! Devices support *payload scaling* (`charged_block_bytes`): experiments
+//! can store small payloads (fast to encrypt/copy) while timing is charged
+//! for the paper's full logical block size, keeping simulated time faithful
+//! at a fraction of the host cost. See DESIGN.md §2.
+
+use crate::clock::{SimClock, SimDuration};
+use crate::stats::DeviceStats;
+use crate::store::BlockStore;
+use crate::trace::{AccessTrace, TraceEvent};
+use crate::StorageError;
+use oram_crypto::seal::SealedBlock;
+use std::fmt;
+
+/// Read or write direction of an access, as visible on the bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum AccessKind {
+    /// Data flows device → controller.
+    Read,
+    /// Data flows controller → device.
+    Write,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => write!(f, "read"),
+            AccessKind::Write => write!(f, "write"),
+        }
+    }
+}
+
+/// Identifier distinguishing devices within one experiment's trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct DeviceId(pub u16);
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dev{}", self.0)
+    }
+}
+
+/// A device timing model: charges simulated time per access.
+///
+/// Implementations track internal mechanical state (e.g. HDD head position)
+/// and must be deterministic: the same access sequence always yields the
+/// same costs.
+pub trait TimingModel: fmt::Debug + Send {
+    /// Cost of one access of `bytes` bytes at byte-offset `offset`.
+    ///
+    /// `offset` is an absolute device byte address; models use it for
+    /// locality effects (seeks). Implementations should update internal
+    /// head/locality state.
+    fn access_cost(&mut self, kind: AccessKind, offset: u64, bytes: u64) -> SimDuration;
+
+    /// Cost of a *streaming* access of `bytes` at `offset`: the caller
+    /// guarantees the transfer is one sequential run. Defaults to
+    /// [`access_cost`](Self::access_cost).
+    fn streaming_cost(&mut self, kind: AccessKind, offset: u64, bytes: u64) -> SimDuration {
+        self.access_cost(kind, offset, bytes)
+    }
+
+    /// Peak sequential bandwidth in bytes/second, for analytical models.
+    fn sequential_bandwidth(&self, kind: AccessKind) -> f64;
+
+    /// Forgets locality state (e.g. parks the head). Used between
+    /// experiment phases.
+    fn reset(&mut self);
+}
+
+/// A simulated block device.
+///
+/// See the [module docs](self) for the design; see
+/// [`crate::hierarchy::MemoryHierarchy`] for the standard two-device
+/// (DRAM + HDD) experiment setup.
+#[derive(Debug)]
+pub struct Device {
+    id: DeviceId,
+    name: String,
+    timing: Box<dyn TimingModel>,
+    store: BlockStore,
+    stats: DeviceStats,
+    trace: Option<AccessTrace>,
+    clock: SimClock,
+    /// Slot width in bytes used to map slot addresses to byte offsets and,
+    /// when set, the charged size of every block access (payload scaling).
+    charged_block_bytes: u64,
+    /// Optional capacity bound in slots; `None` = unbounded.
+    capacity_slots: Option<u64>,
+}
+
+impl Device {
+    /// Default charged block size: the paper's 1 KB block.
+    pub const DEFAULT_BLOCK_BYTES: u64 = 1024;
+
+    /// Creates a device.
+    ///
+    /// `trace` may be shared across devices so one recorder observes the
+    /// whole bus. The charged block size defaults to 1 KB; override with
+    /// [`set_charged_block_bytes`](Self::set_charged_block_bytes).
+    pub fn new(
+        id: DeviceId,
+        name: impl Into<String>,
+        timing: Box<dyn TimingModel>,
+        clock: SimClock,
+        trace: Option<AccessTrace>,
+    ) -> Self {
+        Self {
+            id,
+            name: name.into(),
+            timing,
+            store: BlockStore::new(),
+            stats: DeviceStats::default(),
+            trace,
+            clock,
+            charged_block_bytes: Self::DEFAULT_BLOCK_BYTES,
+            capacity_slots: None,
+        }
+    }
+
+    /// The device identifier used in traces.
+    pub fn id(&self) -> DeviceId {
+        self.id
+    }
+
+    /// Human-readable device name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sets the logical block size charged per access (payload scaling).
+    pub fn set_charged_block_bytes(&mut self, bytes: u64) {
+        assert!(bytes > 0, "charged block size must be positive");
+        self.charged_block_bytes = bytes;
+    }
+
+    /// The logical block size charged per access.
+    pub fn charged_block_bytes(&self) -> u64 {
+        self.charged_block_bytes
+    }
+
+    /// Bounds the device to `slots` block slots; accesses beyond return
+    /// [`StorageError::OutOfCapacity`].
+    pub fn set_capacity_slots(&mut self, slots: u64) {
+        self.capacity_slots = Some(slots);
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &DeviceStats {
+        &self.stats
+    }
+
+    /// Resets statistics and timing-model locality state.
+    pub fn reset_accounting(&mut self) {
+        self.stats = DeviceStats::default();
+        self.timing.reset();
+    }
+
+    /// Number of blocks currently stored.
+    pub fn stored_blocks(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Peak sequential bandwidth of the underlying model, bytes/second.
+    pub fn sequential_bandwidth(&self, kind: AccessKind) -> f64 {
+        self.timing.sequential_bandwidth(kind)
+    }
+
+    fn check_capacity(&self, addr: u64) -> Result<(), StorageError> {
+        if let Some(cap) = self.capacity_slots {
+            if addr >= cap {
+                return Err(StorageError::OutOfCapacity {
+                    device: self.name.clone(),
+                    addr,
+                    capacity: cap,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn record(&mut self, kind: AccessKind, addr: u64, bytes: u64, cost: SimDuration) {
+        self.stats.record(kind, bytes, cost);
+        if let Some(trace) = &self.trace {
+            trace.record(TraceEvent {
+                at: self.clock.now(),
+                device: self.id,
+                kind,
+                addr,
+                bytes,
+            });
+        }
+    }
+
+    /// Reads the sealed block at slot `addr`, charging one random-capable
+    /// access.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::MissingBlock`] if the slot is empty,
+    /// [`StorageError::OutOfCapacity`] if beyond a configured capacity.
+    pub fn read_block(&mut self, addr: u64) -> Result<SealedBlock, StorageError> {
+        self.check_capacity(addr)?;
+        let block = self
+            .store
+            .get(addr)
+            .cloned()
+            .ok_or_else(|| StorageError::MissingBlock { device: self.name.clone(), addr })?;
+        let bytes = self.charged_block_bytes;
+        let cost = self.timing.access_cost(AccessKind::Read, addr * bytes, bytes);
+        self.record(AccessKind::Read, addr, bytes, cost);
+        Ok(block)
+    }
+
+    /// Writes `block` to slot `addr`, charging one random-capable access.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::OutOfCapacity`] if beyond a configured capacity.
+    pub fn write_block(&mut self, addr: u64, block: SealedBlock) -> Result<(), StorageError> {
+        self.check_capacity(addr)?;
+        self.store.put(addr, block);
+        let bytes = self.charged_block_bytes;
+        let cost = self.timing.access_cost(AccessKind::Write, addr * bytes, bytes);
+        self.record(AccessKind::Write, addr, bytes, cost);
+        Ok(())
+    }
+
+    /// Removes and returns the block at `addr` without charging time
+    /// (used by shuffle logic that has already paid for a streaming read).
+    pub fn take_block(&mut self, addr: u64) -> Option<SealedBlock> {
+        self.store.remove(addr)
+    }
+
+    /// Looks at the block at `addr` without charging time or tracing.
+    ///
+    /// This is a *simulator-internal* peek (e.g. for assertions); protocol
+    /// code must use [`read_block`](Self::read_block).
+    pub fn peek_block(&self, addr: u64) -> Option<&SealedBlock> {
+        self.store.get(addr)
+    }
+
+    /// Reads `count` consecutive slots starting at `start` as one streaming
+    /// run: a single seek, then sequential transfer. Empty slots yield
+    /// `None` entries (the run still pays full transfer time, exactly like
+    /// reading a raw region).
+    pub fn read_run(
+        &mut self,
+        start: u64,
+        count: u64,
+    ) -> Result<Vec<Option<SealedBlock>>, StorageError> {
+        if count == 0 {
+            return Ok(Vec::new());
+        }
+        self.check_capacity(start + count - 1)?;
+        let blocks: Vec<Option<SealedBlock>> =
+            (start..start + count).map(|a| self.store.get(a).cloned()).collect();
+        let bytes = self.charged_block_bytes * count;
+        let cost = self.timing.streaming_cost(AccessKind::Read, start * self.charged_block_bytes, bytes);
+        self.record(AccessKind::Read, start, bytes, cost);
+        Ok(blocks)
+    }
+
+    /// Writes `blocks` to consecutive slots starting at `start` as one
+    /// streaming run.
+    pub fn write_run(&mut self, start: u64, blocks: Vec<SealedBlock>) -> Result<(), StorageError> {
+        if blocks.is_empty() {
+            return Ok(());
+        }
+        let count = blocks.len() as u64;
+        self.check_capacity(start + count - 1)?;
+        for (i, block) in blocks.into_iter().enumerate() {
+            self.store.put(start + i as u64, block);
+        }
+        let bytes = self.charged_block_bytes * count;
+        let cost = self.timing.streaming_cost(AccessKind::Write, start * self.charged_block_bytes, bytes);
+        self.record(AccessKind::Write, start, bytes, cost);
+        Ok(())
+    }
+
+    /// Charges an access of `bytes` at slot `addr` without touching data.
+    ///
+    /// Protocols use this for accesses whose data movement is modelled
+    /// elsewhere (e.g. dummy reads that discard their result).
+    pub fn charge(&mut self, kind: AccessKind, addr: u64, bytes: u64) -> SimDuration {
+        let cost = self.timing.access_cost(kind, addr * self.charged_block_bytes, bytes);
+        self.record(kind, addr, bytes, cost);
+        cost
+    }
+
+    /// Drops all stored blocks (data only; stats and timing state remain).
+    pub fn clear(&mut self) {
+        self.store.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dram::DramModel;
+    use crate::hdd::HddModel;
+    use oram_crypto::keys::MasterKey;
+    use oram_crypto::seal::BlockSealer;
+
+    fn sealer() -> BlockSealer {
+        BlockSealer::new(&MasterKey::from_bytes([1u8; 32]).derive("dev-test", 0))
+    }
+
+    fn dram_device(trace: Option<AccessTrace>) -> Device {
+        Device::new(DeviceId(1), "dram", Box::new(DramModel::ddr4_2133()), SimClock::new(), trace)
+    }
+
+    #[test]
+    fn read_back_what_was_written() {
+        let mut dev = dram_device(None);
+        let sealed = sealer().seal(7, 0, b"contents");
+        dev.write_block(7, sealed.clone()).unwrap();
+        assert_eq!(dev.read_block(7).unwrap(), sealed);
+        assert_eq!(dev.stored_blocks(), 1);
+    }
+
+    #[test]
+    fn missing_block_errors() {
+        let mut dev = dram_device(None);
+        assert!(matches!(dev.read_block(3), Err(StorageError::MissingBlock { addr: 3, .. })));
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut dev = dram_device(None);
+        dev.set_capacity_slots(4);
+        let sealed = sealer().seal(4, 0, b"x");
+        assert!(matches!(
+            dev.write_block(4, sealed),
+            Err(StorageError::OutOfCapacity { addr: 4, capacity: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn stats_accumulate_reads_and_writes() {
+        let mut dev = dram_device(None);
+        dev.write_block(0, sealer().seal(0, 0, b"a")).unwrap();
+        dev.read_block(0).unwrap();
+        dev.read_block(0).unwrap();
+        let stats = dev.stats();
+        assert_eq!(stats.reads, 2);
+        assert_eq!(stats.writes, 1);
+        assert_eq!(stats.bytes_read, 2 * Device::DEFAULT_BLOCK_BYTES);
+        assert!(stats.busy > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn trace_records_bus_view() {
+        let trace = AccessTrace::new();
+        let mut dev = dram_device(Some(trace.clone()));
+        dev.write_block(5, sealer().seal(5, 0, b"abc")).unwrap();
+        dev.read_block(5).unwrap();
+        let events = trace.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, AccessKind::Write);
+        assert_eq!(events[0].addr, 5);
+        assert_eq!(events[1].kind, AccessKind::Read);
+    }
+
+    #[test]
+    fn charged_bytes_scale_timing_not_data() {
+        let mut small = dram_device(None);
+        let mut big = dram_device(None);
+        big.set_charged_block_bytes(64 * 1024);
+        let sealed = sealer().seal(0, 0, b"tiny");
+        small.write_block(0, sealed.clone()).unwrap();
+        big.write_block(0, sealed).unwrap();
+        assert!(big.stats().busy > small.stats().busy);
+        assert_eq!(big.read_block(0).unwrap().ciphertext(), small.read_block(0).unwrap().ciphertext());
+    }
+
+    #[test]
+    fn streaming_run_is_cheaper_than_random_on_hdd() {
+        let mk_hdd = || {
+            Device::new(
+                DeviceId(0),
+                "hdd",
+                Box::new(HddModel::paper_calibrated()),
+                SimClock::new(),
+                None,
+            )
+        };
+        let mut random = mk_hdd();
+        let mut streaming = mk_hdd();
+        let s = sealer();
+        for addr in 0..64u64 {
+            random.write_block(addr * 97 % 64, s.seal(addr, 0, b"d")).unwrap();
+        }
+        streaming.write_run(0, (0..64).map(|a| s.seal(a, 0, b"d")).collect()).unwrap();
+        assert!(
+            streaming.stats().busy.as_nanos() * 5 < random.stats().busy.as_nanos(),
+            "streaming {} vs random {}",
+            streaming.stats().busy,
+            random.stats().busy
+        );
+    }
+
+    #[test]
+    fn read_run_returns_gaps_as_none() {
+        let mut dev = dram_device(None);
+        dev.write_block(2, sealer().seal(2, 0, b"x")).unwrap();
+        let run = dev.read_run(0, 4).unwrap();
+        assert_eq!(run.len(), 4);
+        assert!(run[0].is_none() && run[1].is_none() && run[3].is_none());
+        assert!(run[2].is_some());
+    }
+
+    #[test]
+    fn empty_runs_are_free() {
+        let mut dev = dram_device(None);
+        assert!(dev.read_run(0, 0).unwrap().is_empty());
+        dev.write_run(9, Vec::new()).unwrap();
+        assert_eq!(dev.stats().reads + dev.stats().writes, 0);
+    }
+
+    #[test]
+    fn charge_records_without_data() {
+        let mut dev = dram_device(None);
+        let cost = dev.charge(AccessKind::Read, 11, 1024);
+        assert!(cost > SimDuration::ZERO);
+        assert_eq!(dev.stats().reads, 1);
+        assert_eq!(dev.stored_blocks(), 0);
+    }
+
+    #[test]
+    fn reset_accounting_clears_stats_but_not_data() {
+        let mut dev = dram_device(None);
+        dev.write_block(0, sealer().seal(0, 0, b"keep")).unwrap();
+        dev.reset_accounting();
+        assert_eq!(dev.stats().writes, 0);
+        assert_eq!(dev.stored_blocks(), 1);
+    }
+}

@@ -1,0 +1,149 @@
+//! The standard two-device experiment setup: DRAM + storage.
+//!
+//! Every protocol in this reproduction runs against a [`MemoryHierarchy`]:
+//! a fast in-memory device, a slow storage device, one shared clock and one
+//! shared bus trace. The hierarchy also centralizes the *time composition*
+//! rules the paper uses:
+//!
+//! * [`MemoryHierarchy::spend_serial`] — a phase whose memory and storage
+//!   work are dependent (tree-top-cache Path ORAM: the path read spans both
+//!   devices, so costs add);
+//! * [`MemoryHierarchy::spend_overlapped`] — H-ORAM's scheduler overlaps
+//!   `c` in-memory reads with one I/O fetch, so a cycle costs
+//!   `max(memory, storage)` (paper §4.1: "the I/O loads and in-memory reads
+//!   are conducted simultaneously").
+
+use crate::calibration::MachineConfig;
+use crate::clock::{SimClock, SimDuration};
+use crate::device::Device;
+use crate::trace::AccessTrace;
+
+/// A DRAM + storage pair with shared clock and trace.
+#[derive(Debug)]
+pub struct MemoryHierarchy {
+    /// Fast device: holds position maps' targets, stash spill, ORAM tree.
+    pub memory: Device,
+    /// Slow device: holds the flat permuted ORAM region.
+    pub storage: Device,
+    clock: SimClock,
+    trace: AccessTrace,
+    config: MachineConfig,
+}
+
+impl MemoryHierarchy {
+    /// Builds the hierarchy described by `config`, recording all accesses.
+    pub fn new(config: MachineConfig) -> Self {
+        let clock = SimClock::new();
+        let trace = AccessTrace::new();
+        let memory = config.build_memory(clock.clone(), Some(trace.clone()));
+        let storage = config.build_storage(clock.clone(), Some(trace.clone()));
+        Self { memory, storage, clock, trace, config }
+    }
+
+    /// The paper's testbed with 1 KB blocks.
+    pub fn dac2019() -> Self {
+        Self::new(MachineConfig::dac2019())
+    }
+
+    /// The shared simulated clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The shared bus trace (adversary view).
+    pub fn trace(&self) -> &AccessTrace {
+        &self.trace
+    }
+
+    /// The machine configuration this hierarchy was built from.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Overrides the charged block size on both devices (payload scaling).
+    pub fn set_charged_block_bytes(&mut self, bytes: u64) {
+        self.memory.set_charged_block_bytes(bytes);
+        self.storage.set_charged_block_bytes(bytes);
+    }
+
+    /// Advances the wall clock by `memory_time + storage_time` (dependent
+    /// phases) and returns the advance.
+    pub fn spend_serial(&self, memory_time: SimDuration, storage_time: SimDuration) -> SimDuration {
+        let total = memory_time + storage_time;
+        self.clock.advance(total);
+        total
+    }
+
+    /// Advances the wall clock by `max(memory_time, storage_time)`
+    /// (overlapped phases — H-ORAM scheduling cycles) and returns the
+    /// advance.
+    pub fn spend_overlapped(
+        &self,
+        memory_time: SimDuration,
+        storage_time: SimDuration,
+    ) -> SimDuration {
+        let total = memory_time.max(storage_time);
+        self.clock.advance(total);
+        total
+    }
+
+    /// Clears stats, traces, and the clock (between experiment phases);
+    /// stored data is preserved.
+    pub fn reset_accounting(&mut self) {
+        self.memory.reset_accounting();
+        self.storage.reset_accounting();
+        self.trace.clear();
+        self.clock.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::device_ids;
+    use oram_crypto::keys::MasterKey;
+    use oram_crypto::seal::BlockSealer;
+
+    #[test]
+    fn builds_paper_machine() {
+        let h = MemoryHierarchy::dac2019();
+        assert_eq!(h.memory.id(), device_ids::MEMORY);
+        assert_eq!(h.storage.id(), device_ids::STORAGE);
+        assert_eq!(h.config().block_bytes, 1024);
+    }
+
+    #[test]
+    fn shared_trace_observes_both_devices() {
+        let mut h = MemoryHierarchy::dac2019();
+        let sealer = BlockSealer::new(&MasterKey::from_bytes([1; 32]).derive("h", 0));
+        h.memory.write_block(1, sealer.seal(1, 0, b"m")).unwrap();
+        h.storage.write_block(2, sealer.seal(2, 0, b"s")).unwrap();
+        let events = h.trace().snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].device, device_ids::MEMORY);
+        assert_eq!(events[1].device, device_ids::STORAGE);
+    }
+
+    #[test]
+    fn serial_time_adds_and_overlapped_takes_max() {
+        let h = MemoryHierarchy::dac2019();
+        let a = SimDuration::from_micros(10);
+        let b = SimDuration::from_micros(70);
+        assert_eq!(h.spend_serial(a, b), SimDuration::from_micros(80));
+        assert_eq!(h.spend_overlapped(a, b), SimDuration::from_micros(70));
+        assert_eq!(h.clock().now().as_nanos(), 150_000);
+    }
+
+    #[test]
+    fn reset_accounting_preserves_data() {
+        let mut h = MemoryHierarchy::dac2019();
+        let sealer = BlockSealer::new(&MasterKey::from_bytes([1; 32]).derive("h", 0));
+        h.storage.write_block(7, sealer.seal(7, 0, b"keep")).unwrap();
+        h.spend_serial(SimDuration::from_micros(1), SimDuration::ZERO);
+        h.reset_accounting();
+        assert_eq!(h.clock().now().as_nanos(), 0);
+        assert!(h.trace().is_empty());
+        assert_eq!(h.storage.stats().writes, 0);
+        assert_eq!(h.storage.stored_blocks(), 1);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests over the device timing models: the structural facts the
+//! simulation's conclusions rest on must hold for arbitrary access
+//! sequences, not just the calibration points.
+
+use oram_storage::clock::{SimClock, SimDuration};
+use oram_storage::device::{AccessKind, TimingModel};
+use oram_storage::dram::DramModel;
+use oram_storage::hdd::{HddModel, HddParams};
+use oram_storage::ssd::SsdModel;
+use proptest::prelude::*;
+
+proptest! {
+    /// Costs are always positive and finite for any (kind, offset, size).
+    #[test]
+    fn costs_are_positive(
+        offsets in proptest::collection::vec((any::<bool>(), 0u64..500_000_000_000u64, 1u64..1_000_000), 1..50)
+    ) {
+        let mut hdd = HddModel::paper_calibrated();
+        let mut dram = DramModel::ddr4_2133();
+        let mut ssd = SsdModel::sata_2019();
+        for (write, offset, bytes) in offsets {
+            let kind = if write { AccessKind::Write } else { AccessKind::Read };
+            for model in [&mut hdd as &mut dyn TimingModel, &mut dram, &mut ssd] {
+                let cost = model.access_cost(kind, offset, bytes);
+                prop_assert!(cost > SimDuration::ZERO);
+            }
+        }
+    }
+
+    /// HDD: farther seeks never cost less than nearer ones, all else equal.
+    #[test]
+    fn hdd_seek_cost_is_monotone_in_distance(
+        base in 0u64..100_000_000_000u64,
+        near in 1u64..1_000_000u64,
+        extra in 1u64..400_000_000_000u64,
+    ) {
+        let mk = || {
+            let mut m = HddModel::paper_calibrated();
+            m.access_cost(AccessKind::Read, base, 1024); // park the head
+            m
+        };
+        let near_cost = mk().access_cost(AccessKind::Read, base + 1024 + near, 1024);
+        let far_cost = mk().access_cost(AccessKind::Read, base + 1024 + near + extra, 1024);
+        prop_assert!(far_cost >= near_cost, "near {near_cost}, far {far_cost}");
+    }
+
+    /// HDD: for the same byte volume, one streaming run never costs more
+    /// than the same volume as scattered block accesses.
+    #[test]
+    fn hdd_streaming_never_loses(blocks in 2u64..200, stride in 2u64..50) {
+        let mut scattered = HddModel::paper_calibrated();
+        let mut total = SimDuration::ZERO;
+        for i in 0..blocks {
+            total += scattered.access_cost(AccessKind::Read, i * stride * 4096, 1024);
+        }
+        let mut streaming = HddModel::paper_calibrated();
+        let run = streaming.streaming_cost(AccessKind::Read, 0, blocks * 1024);
+        prop_assert!(run <= total, "streaming {run} vs scattered {total}");
+    }
+
+    /// The simulated clock is monotone under arbitrary advances.
+    #[test]
+    fn clock_is_monotone(steps in proptest::collection::vec(0u64..1_000_000_000, 1..100)) {
+        let clock = SimClock::new();
+        let mut last = clock.now();
+        for step in steps {
+            let now = clock.advance(SimDuration::from_nanos(step));
+            prop_assert!(now >= last);
+            last = now;
+        }
+    }
+
+    /// Cost models are deterministic: the same access sequence yields the
+    /// same total cost.
+    #[test]
+    fn models_are_deterministic(
+        seq in proptest::collection::vec((0u64..1_000_000_000u64, 1u64..100_000), 1..40)
+    ) {
+        let run = |params: HddParams| {
+            let mut m = HddModel::new(params);
+            seq.iter()
+                .map(|&(offset, bytes)| m.access_cost(AccessKind::Read, offset, bytes))
+                .fold(SimDuration::ZERO, |a, b| a + b)
+        };
+        prop_assert_eq!(run(HddParams::dac2019()), run(HddParams::dac2019()));
+    }
+
+    /// Transfer cost grows (weakly) with size at a fixed location.
+    #[test]
+    fn bigger_transfers_cost_more(bytes in 1u64..10_000_000) {
+        let mut small = HddModel::paper_calibrated();
+        let mut large = HddModel::paper_calibrated();
+        let a = small.access_cost(AccessKind::Read, 0, bytes);
+        let b = large.access_cost(AccessKind::Read, 0, bytes + 4096);
+        prop_assert!(b >= a);
+    }
+}

@@ -1,0 +1,86 @@
+//! Bursty workload: a hot region that periodically relocates.
+//!
+//! Stresses exactly the mechanism H-ORAM relies on — the in-memory cache —
+//! by invalidating locality every `burst_len` requests. Used by ablation
+//! benches to chart how the hit rate (and thus the effective `c`) degrades
+//! when the working set shifts faster than an access period.
+
+use crate::hotspot::HotspotWorkload;
+use crate::WorkloadGenerator;
+use oram_crypto::rng::DeterministicRng;
+use oram_protocols::types::Request;
+use rand::Rng;
+
+/// A hotspot workload whose hot region jumps every `burst_len` requests.
+#[derive(Debug, Clone)]
+pub struct BurstWorkload {
+    inner: HotspotWorkload,
+    burst_len: u64,
+    issued: u64,
+    jump_rng: DeterministicRng,
+}
+
+impl BurstWorkload {
+    /// Creates a bursty 80/20 workload whose hot region jumps every
+    /// `burst_len` requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst_len == 0` (see also [`HotspotWorkload::new`]).
+    pub fn new(capacity: u64, burst_len: u64, seed: u64) -> Self {
+        assert!(burst_len > 0, "burst length must be positive");
+        Self {
+            inner: HotspotWorkload::paper_default(capacity, seed),
+            burst_len,
+            issued: 0,
+            jump_rng: DeterministicRng::from_u64_seed(seed ^ 0xb5b5_0001),
+        }
+    }
+
+    /// The current hot region of the underlying hotspot generator.
+    pub fn hot_region(&self) -> (u64, u64) {
+        self.inner.hot_region()
+    }
+}
+
+impl WorkloadGenerator for BurstWorkload {
+    fn next_request(&mut self) -> Request {
+        if self.issued > 0 && self.issued.is_multiple_of(self.burst_len) {
+            let start = self.jump_rng.gen_range(0..self.inner.capacity());
+            self.inner.set_hot_start(start);
+        }
+        self.issued += 1;
+        self.inner.next_request()
+    }
+
+    fn capacity(&self) -> u64 {
+        self.inner.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_region_moves_between_bursts() {
+        let mut workload = BurstWorkload::new(10_000, 100, 1);
+        let first = workload.hot_region();
+        workload.generate(250);
+        let later = workload.hot_region();
+        assert_ne!(first, later, "hot region should have jumped");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = BurstWorkload::new(500, 50, 9).generate(200);
+        let b = BurstWorkload::new(500, 50, 9).generate(200);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ids_stay_in_range() {
+        let mut workload = BurstWorkload::new(97, 10, 4);
+        assert!(workload.generate(300).iter().all(|r| r.id.0 < 97));
+    }
+}

@@ -1,0 +1,166 @@
+//! The paper's 80/20 hotspot workload (§5.2.1).
+
+use crate::WorkloadGenerator;
+use oram_crypto::rng::DeterministicRng;
+use oram_protocols::types::Request;
+use rand::Rng;
+
+/// Requests concentrate on a contiguous hot region with probability
+/// `hot_probability`; otherwise they target a uniformly random block.
+///
+/// # Example
+///
+/// ```
+/// use oram_workload::{HotspotWorkload, WorkloadGenerator};
+///
+/// let mut workload = HotspotWorkload::paper_default(1000, 42);
+/// let requests = workload.generate(100);
+/// assert!(requests.iter().all(|r| r.id.0 < 1000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HotspotWorkload {
+    capacity: u64,
+    hot_start: u64,
+    hot_len: u64,
+    hot_probability: f64,
+    write_ratio: f64,
+    payload_len: usize,
+    rng: DeterministicRng,
+}
+
+impl HotspotWorkload {
+    /// The paper's configuration: 80 % of requests in a hot region
+    /// covering 20 % of the dataset, read-only stream.
+    pub fn paper_default(capacity: u64, seed: u64) -> Self {
+        Self::new(capacity, 0.8, 0.2, 0.0, 0, seed)
+    }
+
+    /// Full control: hot region of `hot_fraction · capacity` blocks hit
+    /// with probability `hot_probability`; `write_ratio` of requests are
+    /// writes carrying `payload_len` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless probabilities and fractions are within `[0, 1]` and
+    /// `capacity > 0`.
+    pub fn new(
+        capacity: u64,
+        hot_probability: f64,
+        hot_fraction: f64,
+        write_ratio: f64,
+        payload_len: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        assert!((0.0..=1.0).contains(&hot_probability), "hot probability in [0,1]");
+        assert!((0.0..=1.0).contains(&hot_fraction), "hot fraction in [0,1]");
+        assert!((0.0..=1.0).contains(&write_ratio), "write ratio in [0,1]");
+        let hot_len = ((capacity as f64 * hot_fraction).round() as u64).clamp(1, capacity);
+        Self {
+            capacity,
+            hot_start: 0,
+            hot_len,
+            hot_probability,
+            write_ratio,
+            payload_len,
+            rng: DeterministicRng::from_u64_seed(seed ^ 0x8020_8020),
+        }
+    }
+
+    /// Moves the hot region (used by the burst workload and ablations).
+    pub fn set_hot_start(&mut self, start: u64) {
+        self.hot_start = start % self.capacity;
+    }
+
+    /// The hot region as `(start, len)`.
+    pub fn hot_region(&self) -> (u64, u64) {
+        (self.hot_start, self.hot_len)
+    }
+
+    fn draw_id(&mut self) -> u64 {
+        if self.rng.gen_bool(self.hot_probability) {
+            let offset = self.rng.gen_range(0..self.hot_len);
+            (self.hot_start + offset) % self.capacity
+        } else {
+            self.rng.gen_range(0..self.capacity)
+        }
+    }
+}
+
+impl WorkloadGenerator for HotspotWorkload {
+    fn next_request(&mut self) -> Request {
+        let id = self.draw_id();
+        if self.write_ratio > 0.0 && self.rng.gen_bool(self.write_ratio) {
+            let mut payload = vec![0u8; self.payload_len];
+            self.rng.fill(payload.as_mut_slice());
+            Request::write(id, payload)
+        } else {
+            Request::read(id)
+        }
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eighty_percent_land_in_the_hot_region() {
+        let mut workload = HotspotWorkload::paper_default(10_000, 7);
+        let (start, len) = workload.hot_region();
+        let requests = workload.generate(20_000);
+        let hot = requests
+            .iter()
+            .filter(|r| r.id.0 >= start && r.id.0 < start + len)
+            .count();
+        let ratio = hot as f64 / requests.len() as f64;
+        // 80 % hot + 20 %·(20 % of uniform also falls in region) = 84 %.
+        assert!((0.81..0.87).contains(&ratio), "hot ratio {ratio}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = HotspotWorkload::paper_default(100, 3).generate(50);
+        let b = HotspotWorkload::paper_default(100, 3).generate(50);
+        assert_eq!(a, b);
+        let c = HotspotWorkload::paper_default(100, 4).generate(50);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn write_ratio_produces_writes() {
+        let mut workload = HotspotWorkload::new(100, 0.8, 0.2, 0.5, 16, 1);
+        let requests = workload.generate(1000);
+        let writes = requests.iter().filter(|r| r.op.is_write()).count();
+        assert!((350..650).contains(&writes), "writes {writes}");
+        for r in &requests {
+            if let oram_protocols::types::RequestOp::Write(payload) = &r.op {
+                assert_eq!(payload.len(), 16);
+            }
+        }
+    }
+
+    #[test]
+    fn moved_hot_region_wraps() {
+        let mut workload = HotspotWorkload::new(100, 1.0, 0.1, 0.0, 0, 2);
+        workload.set_hot_start(95);
+        let requests = workload.generate(200);
+        assert!(requests.iter().all(|r| r.id.0 >= 95 || r.id.0 < 5));
+    }
+
+    #[test]
+    fn all_ids_in_range() {
+        let mut workload = HotspotWorkload::paper_default(37, 9);
+        assert!(workload.generate(500).iter().all(|r| r.id.0 < 37));
+    }
+
+    #[test]
+    #[should_panic(expected = "hot probability")]
+    fn invalid_probability_rejected() {
+        HotspotWorkload::new(10, 1.5, 0.2, 0.0, 0, 1);
+    }
+}

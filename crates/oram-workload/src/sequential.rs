@@ -1,0 +1,64 @@
+//! Sequential scan workload — file-serving / backup patterns.
+
+use crate::WorkloadGenerator;
+use oram_protocols::types::Request;
+
+/// Requests walk the address space in order, wrapping at capacity;
+/// an optional stride models interleaved readers.
+#[derive(Debug, Clone)]
+pub struct SequentialWorkload {
+    capacity: u64,
+    cursor: u64,
+    stride: u64,
+}
+
+impl SequentialWorkload {
+    /// A stride-1 scan from block 0.
+    pub fn new(capacity: u64) -> Self {
+        Self::with_stride(capacity, 1)
+    }
+
+    /// A strided scan (`stride` co-prime with capacity covers all blocks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `stride == 0`.
+    pub fn with_stride(capacity: u64, stride: u64) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        assert!(stride > 0, "stride must be positive");
+        Self { capacity, cursor: 0, stride }
+    }
+}
+
+impl WorkloadGenerator for SequentialWorkload {
+    fn next_request(&mut self) -> Request {
+        let id = self.cursor;
+        self.cursor = (self.cursor + self.stride) % self.capacity;
+        Request::read(id)
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walks_in_order_and_wraps() {
+        let mut workload = SequentialWorkload::new(3);
+        let ids: Vec<u64> = workload.generate(7).iter().map(|r| r.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn stride_covers_coprime_space() {
+        let mut workload = SequentialWorkload::with_stride(5, 2);
+        let ids: Vec<u64> = workload.generate(5).iter().map(|r| r.id.0).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Workload-shape statistics.
+//!
+//! Used by experiment reports to confirm a generated trace actually has
+//! the intended shape (e.g. the paper's 80/20 skew) before timing anything.
+
+use oram_protocols::types::Request;
+use std::collections::HashMap;
+
+/// Summary statistics of a request sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadStats {
+    /// Total requests.
+    pub requests: usize,
+    /// Distinct blocks touched.
+    pub unique_blocks: usize,
+    /// Fraction of requests that are writes.
+    pub write_fraction: f64,
+    /// Fraction of requests landing on the most popular 20 % of *touched*
+    /// blocks (the 80/20 diagnostic).
+    pub top20_share: f64,
+    /// Requests to the single most popular block.
+    pub max_block_requests: usize,
+}
+
+impl WorkloadStats {
+    /// Computes statistics over a request slice.
+    pub fn compute(requests: &[Request]) -> Self {
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        let mut writes = 0usize;
+        for request in requests {
+            *counts.entry(request.id.0).or_default() += 1;
+            if request.op.is_write() {
+                writes += 1;
+            }
+        }
+        let mut by_popularity: Vec<usize> = counts.values().copied().collect();
+        by_popularity.sort_unstable_by(|a, b| b.cmp(a));
+        let top20_count = (by_popularity.len() as f64 * 0.2).ceil() as usize;
+        let top20: usize = by_popularity.iter().take(top20_count.max(1)).sum();
+
+        Self {
+            requests: requests.len(),
+            unique_blocks: counts.len(),
+            write_fraction: if requests.is_empty() {
+                0.0
+            } else {
+                writes as f64 / requests.len() as f64
+            },
+            top20_share: if requests.is_empty() {
+                0.0
+            } else {
+                top20 as f64 / requests.len() as f64
+            },
+            max_block_requests: by_popularity.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hotspot::HotspotWorkload;
+    use crate::uniform::UniformWorkload;
+    use crate::WorkloadGenerator;
+
+    #[test]
+    fn hotspot_shows_heavy_top20() {
+        let mut generator = HotspotWorkload::paper_default(1000, 1);
+        let requests = generator.generate(10_000);
+        let stats = WorkloadStats::compute(&requests);
+        assert!(stats.top20_share > 0.6, "top20 share {}", stats.top20_share);
+        assert_eq!(stats.requests, 10_000);
+    }
+
+    #[test]
+    fn uniform_shows_light_top20() {
+        let mut generator = UniformWorkload::new(1000, 0.0, 1);
+        let requests = generator.generate(10_000);
+        let stats = WorkloadStats::compute(&requests);
+        assert!(stats.top20_share < 0.4, "top20 share {}", stats.top20_share);
+    }
+
+    #[test]
+    fn write_fraction_counted() {
+        let requests = vec![
+            Request::read(1u64),
+            Request::write(2u64, vec![1]),
+            Request::write(3u64, vec![2]),
+            Request::read(1u64),
+        ];
+        let stats = WorkloadStats::compute(&requests);
+        assert_eq!(stats.unique_blocks, 3);
+        assert!((stats.write_fraction - 0.5).abs() < 1e-12);
+        assert_eq!(stats.max_block_requests, 2);
+    }
+
+    #[test]
+    fn empty_input_is_defined() {
+        let stats = WorkloadStats::compute(&[]);
+        assert_eq!(stats.requests, 0);
+        assert_eq!(stats.write_fraction, 0.0);
+        assert_eq!(stats.top20_share, 0.0);
+    }
+}

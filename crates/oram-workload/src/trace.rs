@@ -1,0 +1,110 @@
+//! Request-trace recording and replay.
+//!
+//! Comparing two systems fairly requires driving them with the *same*
+//! request sequence. A [`RequestTrace`] captures a generator's output once
+//! and replays it into each system; traces serialize to JSON so
+//! experiments can be archived and re-run bit-identically.
+
+use crate::WorkloadGenerator;
+use oram_protocols::types::Request;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// A recorded request sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestTrace {
+    /// Label describing the generator and parameters.
+    pub label: String,
+    /// The requests, in issue order.
+    pub requests: Vec<Request>,
+}
+
+impl RequestTrace {
+    /// Records `count` requests from a generator.
+    pub fn record(
+        label: impl Into<String>,
+        generator: &mut dyn WorkloadGenerator,
+        count: usize,
+    ) -> Self {
+        Self { label: label.into(), requests: generator.generate(count) }
+    }
+
+    /// Wraps an explicit request list.
+    pub fn from_requests(label: impl Into<String>, requests: Vec<Request>) -> Self {
+        Self { label: label.into(), requests }
+    }
+
+    /// Number of recorded requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Saves the trace as JSON.
+    ///
+    /// # Errors
+    ///
+    /// I/O and serialization errors surface as [`io::Error`].
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let json = serde_json::to_string(self).map_err(io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Loads a trace from JSON.
+    ///
+    /// # Errors
+    ///
+    /// I/O and deserialization errors surface as [`io::Error`].
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json).map_err(io::Error::other)
+    }
+
+    /// Iterates over the requests.
+    pub fn iter(&self) -> impl Iterator<Item = &Request> {
+        self.requests.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hotspot::HotspotWorkload;
+
+    #[test]
+    fn record_and_replay_are_identical() {
+        let mut generator = HotspotWorkload::paper_default(100, 5);
+        let trace = RequestTrace::record("hotspot", &mut generator, 50);
+        assert_eq!(trace.len(), 50);
+        let replayed: Vec<_> = trace.iter().cloned().collect();
+        assert_eq!(replayed, trace.requests);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let mut generator = HotspotWorkload::paper_default(64, 2);
+        let trace = RequestTrace::record("roundtrip", &mut generator, 20);
+        let dir = std::env::temp_dir().join("horam-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        trace.save(&path).unwrap();
+        let loaded = RequestTrace::load(&path).unwrap();
+        assert_eq!(trace, loaded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_of_garbage_errors() {
+        let dir = std::env::temp_dir().join("horam-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, b"not json").unwrap();
+        assert!(RequestTrace::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

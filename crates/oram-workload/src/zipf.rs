@@ -1,0 +1,150 @@
+//! Zipf-distributed workload — heavy-tailed popularity.
+//!
+//! Block `k` (0-based rank) is requested with probability proportional to
+//! `1/(k+1)^s`. Sampling inverts the CDF built at construction (exact, no
+//! rejection), so generation is O(log N) per request.
+
+use crate::WorkloadGenerator;
+use oram_crypto::rng::DeterministicRng;
+use oram_protocols::types::Request;
+use rand::Rng;
+
+/// Zipf(s) workload over `capacity` blocks.
+#[derive(Debug, Clone)]
+pub struct ZipfWorkload {
+    capacity: u64,
+    /// Cumulative probability table over ranks.
+    cdf: Vec<f64>,
+    /// Rank → block id mapping (a fixed pseudo-random relabeling so hot
+    /// blocks are not simply the lowest ids).
+    rank_to_id: Vec<u64>,
+    write_ratio: f64,
+    payload_len: usize,
+    rng: DeterministicRng,
+}
+
+impl ZipfWorkload {
+    /// Creates a Zipf(`exponent`) workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`, `exponent < 0`, or `write_ratio` is
+    /// outside `[0, 1]`. Capacities beyond 2²⁴ are rejected (the CDF table
+    /// would be excessive; use hotspot for huge datasets).
+    pub fn new(capacity: u64, exponent: f64, write_ratio: f64, seed: u64) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        assert!(capacity <= 1 << 24, "capacity too large for tabulated zipf");
+        assert!(exponent >= 0.0, "exponent must be non-negative");
+        assert!((0.0..=1.0).contains(&write_ratio), "write ratio in [0,1]");
+
+        let mut cdf = Vec::with_capacity(capacity as usize);
+        let mut total = 0.0;
+        for k in 0..capacity {
+            total += 1.0 / ((k + 1) as f64).powf(exponent);
+            cdf.push(total);
+        }
+        for value in &mut cdf {
+            *value /= total;
+        }
+
+        // Fixed relabeling: Fisher–Yates over ids with a derived seed.
+        let mut rank_to_id: Vec<u64> = (0..capacity).collect();
+        let mut relabel_rng = DeterministicRng::from_u64_seed(seed ^ 0x21bf_0ff5);
+        for i in (1..rank_to_id.len()).rev() {
+            let j = relabel_rng.gen_range(0..=i);
+            rank_to_id.swap(i, j);
+        }
+
+        Self {
+            capacity,
+            cdf,
+            rank_to_id,
+            write_ratio,
+            payload_len: 0,
+            rng: DeterministicRng::from_u64_seed(seed ^ 0x21bf_0001),
+        }
+    }
+
+    fn draw_rank(&mut self) -> usize {
+        let u: f64 = self.rng.gen();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
+            Ok(idx) => idx,
+            Err(idx) => idx.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+impl WorkloadGenerator for ZipfWorkload {
+    fn next_request(&mut self) -> Request {
+        let rank = self.draw_rank();
+        let id = self.rank_to_id[rank];
+        if self.write_ratio > 0.0 && self.rng.gen_bool(self.write_ratio) {
+            let mut payload = vec![0u8; self.payload_len];
+            self.rng.fill(payload.as_mut_slice());
+            Request::write(id, payload)
+        } else {
+            Request::read(id)
+        }
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn rank_one_dominates() {
+        let mut workload = ZipfWorkload::new(1000, 1.0, 0.0, 3);
+        let requests = workload.generate(20_000);
+        let mut counts: HashMap<u64, u32> = HashMap::new();
+        for r in &requests {
+            *counts.entry(r.id.0).or_default() += 1;
+        }
+        let max = counts.values().max().copied().unwrap_or(0);
+        // Rank-0 mass for zipf(1) over 1000 ≈ 1/H(1000) ≈ 13 %.
+        assert!(max as f64 / requests.len() as f64 > 0.08, "max share too small");
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let mut workload = ZipfWorkload::new(10, 0.0, 0.0, 4);
+        let requests = workload.generate(10_000);
+        let mut counts = [0u32; 10];
+        for r in &requests {
+            counts[r.id.0 as usize] += 1;
+        }
+        for &count in &counts {
+            assert!((800..1200).contains(&count), "count {count}");
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(
+            ZipfWorkload::new(100, 0.9, 0.0, 7).generate(40),
+            ZipfWorkload::new(100, 0.9, 0.0, 7).generate(40)
+        );
+    }
+
+    #[test]
+    fn relabeling_spreads_hot_ids() {
+        // The hottest block should usually not be id 0.
+        let hot_ids: Vec<u64> = (0..8)
+            .map(|seed| {
+                let mut workload = ZipfWorkload::new(1000, 1.2, 0.0, seed);
+                let requests = workload.generate(2000);
+                let mut counts: HashMap<u64, u32> = HashMap::new();
+                for r in &requests {
+                    *counts.entry(r.id.0).or_default() += 1;
+                }
+                counts.into_iter().max_by_key(|(_, c)| *c).map(|(id, _)| id).unwrap()
+            })
+            .collect();
+        assert!(hot_ids.iter().any(|&id| id != 0), "hot block always id 0: {hot_ids:?}");
+    }
+}

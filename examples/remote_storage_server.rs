@@ -1,0 +1,59 @@
+//! The client/server offload scenario (paper §2.2 and Figure 5-2).
+//!
+//! A client keeps its dataset on a remote storage server. The access
+//! period runs interactively (the client waits on every load), but the
+//! shuffle period "only runs on the remote server, so there is no need to
+//! transmit data over the slow network" — the client's perceived cost is
+//! access time only. This example measures both views and reports the
+//! ideal-case speedup the paper quotes (§5.1: up to ~32× per I/O access
+//! against the Path ORAM baseline).
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run -p horam --example remote_storage_server --release
+//! ```
+
+use horam::analysis::model::OramModel;
+use horam::prelude::*;
+use horam::workload::WorkloadGenerator;
+
+fn main() -> Result<(), OramError> {
+    // 16 Mi-"B" scale model: 16384 blocks with a 2048-slot memory tree
+    // (the N/n = 8 ratio of the paper's Table 5-1, scaled down to run in
+    // seconds).
+    let capacity = 16_384u64;
+    let memory_slots = 2_048u64;
+    let config = HOramConfig::new(capacity, 32, memory_slots).with_seed(7);
+    let mut oram = HOram::new(
+        config,
+        MemoryHierarchy::dac2019(),
+        MasterKey::from_bytes([5u8; 32]),
+    )?;
+
+    // A paper-style 80/20 workload long enough to cross shuffle periods.
+    let mut workload = HotspotWorkload::paper_default(capacity, 11);
+    let requests: Vec<Request> = workload.generate(4_000);
+    oram.run_batch(&requests)?;
+
+    let stats = oram.stats();
+    let total = stats.total_wall_time();
+    let client_only = stats.access_wall_time;
+
+    println!("requests                    : {}", stats.requests);
+    println!("access-period time (client) : {client_only}");
+    println!("shuffle time (server-side)  : {}", stats.shuffle_wall_time);
+    println!("total (single machine)      : {total}");
+    println!(
+        "offloading the shuffle hides {:.1}% of total cost from the client",
+        100.0 * stats.shuffle_wall_time.as_secs_f64() / total.as_secs_f64().max(1e-12)
+    );
+
+    // The paper's ideal-case bound for this N/n from the closed model.
+    let model = OramModel::new(capacity, memory_slots, 4, oram.config().average_c());
+    println!(
+        "ideal no-shuffle gain over tree-top Path ORAM (model): {:.1}x per I/O access",
+        model.gain_ideal_no_shuffle(1.0)
+    );
+    Ok(())
+}

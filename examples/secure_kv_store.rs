@@ -1,0 +1,112 @@
+//! A small encrypted key-value store with hidden access patterns.
+//!
+//! The scenario from the paper's introduction: a client keeps sensitive
+//! records on untrusted storage. Encryption alone leaks *which* record is
+//! touched (searchable-encryption attacks recover content from patterns);
+//! layering the store on H-ORAM hides the pattern too. This example builds
+//! a string-keyed KV API on top of the block interface and shows that the
+//! observable bus trace has the same shape regardless of which keys are
+//! queried.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run -p horam --example secure_kv_store
+//! ```
+
+use horam::analysis::leakage::TraceShape;
+use horam::prelude::*;
+use std::collections::HashMap;
+
+/// Fixed-size record layout: 8-byte value length + value bytes.
+const VALUE_LEN: usize = 56;
+const BLOCK_LEN: usize = 8 + VALUE_LEN;
+
+/// A toy oblivious KV store: keys are hashed onto block slots with a
+/// trusted-side directory resolving collisions.
+struct ObliviousKv {
+    oram: HOram,
+    directory: HashMap<String, u64>,
+    next_slot: u64,
+}
+
+impl ObliviousKv {
+    fn new(capacity: u64, seed: u64) -> Result<Self, OramError> {
+        let config = HOramConfig::new(capacity, BLOCK_LEN, 256).with_seed(seed);
+        let oram = HOram::new(
+            config,
+            MemoryHierarchy::dac2019(),
+            MasterKey::from_bytes([3u8; 32]),
+        )?;
+        Ok(Self { oram, directory: HashMap::new(), next_slot: 0 })
+    }
+
+    fn put(&mut self, key: &str, value: &[u8]) -> Result<(), OramError> {
+        assert!(value.len() <= VALUE_LEN, "value too large for the record layout");
+        let slot = *self.directory.entry(key.to_string()).or_insert_with(|| {
+            let slot = self.next_slot;
+            self.next_slot += 1;
+            slot
+        });
+        let mut block = vec![0u8; BLOCK_LEN];
+        block[..8].copy_from_slice(&(value.len() as u64).to_le_bytes());
+        block[8..8 + value.len()].copy_from_slice(value);
+        self.oram.write(BlockId(slot), &block)?;
+        Ok(())
+    }
+
+    fn get(&mut self, key: &str) -> Result<Option<Vec<u8>>, OramError> {
+        let Some(&slot) = self.directory.get(key) else {
+            return Ok(None);
+        };
+        let block = self.oram.read(BlockId(slot))?;
+        let len = u64::from_le_bytes(block[..8].try_into().expect("8 bytes")) as usize;
+        Ok(Some(block[8..8 + len].to_vec()))
+    }
+}
+
+fn main() -> Result<(), OramError> {
+    let mut store = ObliviousKv::new(1024, 99)?;
+
+    // Load a directory of "patient records".
+    for i in 0..200 {
+        let key = format!("patient/{i:04}");
+        let value = format!("diagnosis-{i}");
+        store.put(&key, value.as_bytes())?;
+    }
+    println!("loaded 200 records into the oblivious store");
+
+    // Query two disjoint key sets and compare the adversary's view. The
+    // paper's scheduler guarantee (§4.4.2) is that *which* records are
+    // touched is hidden: any two workloads with the same request count and
+    // cold/warm mix produce byte-identical observable shapes. (Aggregate
+    // volume — how many cycles a finite batch needs — is workload
+    // dependent in the paper too; its measured I/O counts vary with hit
+    // rate.)
+    store.oram.reset_accounting();
+    for i in 100..105 {
+        store.get(&format!("patient/{i:04}"))?; // five cold records, set A
+    }
+    let shape_a = TraceShape::of(&store.oram.trace().snapshot());
+    let stats_a = store.oram.stats();
+
+    store.oram.reset_accounting();
+    for i in 150..155 {
+        store.get(&format!("patient/{i:04}"))?; // five cold records, set B
+    }
+    let shape_b = TraceShape::of(&store.oram.trace().snapshot());
+    let stats_b = store.oram.stats();
+
+    println!("key set A (100..105): {} cycles, {} I/O loads",
+        stats_a.cycles, stats_a.total_io_loads());
+    println!("key set B (150..155): {} cycles, {} I/O loads",
+        stats_b.cycles, stats_b.total_io_loads());
+    println!(
+        "observable trace shapes identical: {}",
+        if shape_a == shape_b { "yes — record identity hidden" } else { "NO (leak!)" }
+    );
+
+    let value = store.get("patient/0007")?.expect("present");
+    println!("record still readable: {}", String::from_utf8_lossy(&value));
+    Ok(())
+}

@@ -1,0 +1,167 @@
+//! Security tests over recorded bus traces: the paper's §4.4 claims,
+//! checked statistically against the adversary's actual view.
+
+use horam::analysis::leakage::{
+    chi_square_critical_p001, chi_square_uniform, once_per_period, TraceShape,
+};
+use horam::prelude::*;
+use horam::storage::calibration::device_ids;
+use horam::storage::device::AccessKind;
+use horam::workload::WorkloadGenerator;
+
+fn build(capacity: u64, memory_slots: u64, seed: u64) -> HOram {
+    let config = HOramConfig::new(capacity, 8, memory_slots).with_seed(seed);
+    HOram::new(config, MemoryHierarchy::dac2019(), MasterKey::from_bytes([31u8; 32]))
+        .expect("construction succeeds")
+}
+
+/// §4.4.1 (access security, storage side): within one access period, no
+/// storage slot is read twice.
+#[test]
+fn storage_slots_read_at_most_once_per_period() {
+    let mut oram = build(256, 64, 1);
+    // Hammer a small hot set so shelter hits force dummy loads — the
+    // dangerous case for slot reuse.
+    let requests: Vec<Request> = (0..120u64).map(|i| Request::read(i % 10)).collect();
+    oram.run_batch(&requests).expect("batch");
+
+    // Recover period boundaries from the shuffle count: each period issued
+    // exactly `period_io_limit` storage reads (loads) — but shuffles add
+    // streaming reads too. Simplest sound check: no shuffle happened ⇒ the
+    // whole trace is one period. Run a second, period-free workload.
+    let mut single_period = build(256, 256, 2); // period = 128 > workload
+    let requests: Vec<Request> = (0..100u64).map(|i| Request::read(i % 10)).collect();
+    single_period.run_batch(&requests).expect("batch");
+    assert_eq!(single_period.stats().shuffles, 0, "setup: must stay in one period");
+    let events = single_period.trace().snapshot();
+    assert_eq!(
+        once_per_period(&events, device_ids::STORAGE, &[]),
+        None,
+        "a storage slot was read twice within a period"
+    );
+}
+
+/// §4.4.1 (access security, memory side): path-*leaf* choices are uniform.
+/// Upper tree levels are shared by every path (the root is read on each
+/// access — that is by design, not a leak); the randomized quantity is the
+/// leaf each access descends to. Chi-square the leaf-bucket visit counts.
+#[test]
+fn memory_path_leaf_choices_are_uniform() {
+    let mut oram = build(512, 128, 3);
+    let mut generator = HotspotWorkload::paper_default(512, 4);
+    // Heavily skewed logical workload...
+    let requests = generator.generate(400);
+    oram.run_batch(&requests).expect("batch");
+
+    // ...must still pick uniform leaves. Memory tree for a 128-slot budget
+    // (Z=4): depth 5, 31 buckets, leaf buckets 15..31 ⇒ slots 60..124.
+    let leaf_first_slot = 60u64;
+    let leaf_count = 16usize;
+    let mut visits = vec![0u64; leaf_count];
+    for event in oram.trace().snapshot() {
+        if event.device == device_ids::MEMORY
+            && event.kind == AccessKind::Read
+            && event.addr >= leaf_first_slot
+            && event.addr % 4 == 0
+            && event.bytes <= 1024
+        {
+            let leaf = ((event.addr - leaf_first_slot) / 4) as usize;
+            if leaf < leaf_count {
+                visits[leaf] += 1;
+            }
+        }
+    }
+    assert!(visits.iter().sum::<u64>() > 300, "setup: need enough path reads");
+    let (stat, df) = chi_square_uniform(&visits);
+    assert!(
+        stat < chi_square_critical_p001(df),
+        "leaf visits too skewed: chi2 {stat}, visits {visits:?}"
+    );
+}
+
+/// §4.4.2 (scheduler security): two workloads with the same length and
+/// cold/warm profile are observably identical — same device op counts,
+/// same bytes, cycle for cycle.
+#[test]
+fn different_workloads_same_profile_are_indistinguishable() {
+    let run = |targets: Vec<u64>, seed: u64| {
+        let mut oram = build(256, 64, seed);
+        let requests: Vec<Request> = targets.into_iter().map(Request::read).collect();
+        oram.run_batch(&requests).expect("batch");
+        (TraceShape::of(&oram.trace().snapshot()), oram.stats())
+    };
+
+    // Workload A: 40 distinct cold blocks, ascending.
+    let (shape_a, stats_a) = run((0..40).collect(), 7);
+    // Workload B: 40 *different* distinct cold blocks, scattered.
+    let (shape_b, stats_b) = run((0..40).map(|i| 255 - i * 3).collect(), 7);
+
+    assert_eq!(shape_a, shape_b, "bus shapes must not depend on which blocks are read");
+    assert_eq!(stats_a.cycles, stats_b.cycles);
+    assert_eq!(stats_a.total_io_loads(), stats_b.total_io_loads());
+}
+
+/// §4.4.3 (shuffle obliviousness): the shuffle period's storage pass is a
+/// fixed sequential sweep — identical op counts and byte volumes no matter
+/// which blocks were hot.
+#[test]
+fn shuffle_pass_shape_is_workload_independent() {
+    let run = |targets: Vec<u64>| {
+        let mut oram = build(256, 32, 9); // period = 16 loads
+        let requests: Vec<Request> = targets.into_iter().map(Request::read).collect();
+        oram.run_batch(&requests).expect("batch");
+        assert!(oram.stats().shuffles >= 1, "setup: must shuffle");
+        oram.storage_device_stats()
+    };
+    let a = run((0..40).collect());
+    let b = run((100..140).collect());
+    assert_eq!(a.reads, b.reads, "shuffle read ops differ");
+    assert_eq!(a.writes, b.writes, "shuffle write ops differ");
+    assert_eq!(a.bytes(), b.bytes(), "shuffle byte volume differs");
+}
+
+/// Logical identifiers must never appear as physical addresses in any
+/// systematic way: reading blocks 0..k in order must not touch storage
+/// addresses 0..k in order.
+#[test]
+fn physical_addresses_are_decorrelated_from_logical_ids() {
+    let mut oram = build(256, 256, 11);
+    let requests: Vec<Request> = (0..64u64).map(Request::read).collect();
+    oram.run_batch(&requests).expect("batch");
+    let reads: Vec<u64> = oram
+        .trace()
+        .snapshot()
+        .iter()
+        .filter(|e| e.device == device_ids::STORAGE && e.kind == AccessKind::Read)
+        .map(|e| e.addr)
+        .collect();
+    assert!(reads.len() >= 64);
+    // Count order-preserving adjacent pairs; a permuted layout leaves ~50 %.
+    let ascending = reads.windows(2).filter(|w| w[1] > w[0]).count();
+    let fraction = ascending as f64 / (reads.len() - 1) as f64;
+    assert!(
+        (0.25..0.75).contains(&fraction),
+        "storage read order correlates with logical order: {fraction}"
+    );
+}
+
+/// Dummy and real I/O loads must be indistinguishable per event: same
+/// direction, same size, addresses from the same permuted space.
+#[test]
+fn dummy_loads_look_like_real_loads() {
+    let mut oram = build(256, 128, 13);
+    // All-hit tail forces dummy loads after the initial misses.
+    let requests: Vec<Request> = (0..80u64).map(|i| Request::read(i % 4)).collect();
+    oram.run_batch(&requests).expect("batch");
+    let stats = oram.stats();
+    assert!(stats.dummy_io_loads > 0, "setup: dummies must occur");
+    let events = oram.trace().snapshot();
+    let sizes: std::collections::HashSet<u64> = events
+        .iter()
+        .filter(|e| e.device == device_ids::STORAGE && e.kind == AccessKind::Read)
+        // Ignore streaming shuffle reads (aggregated into large run events)
+        .filter(|e| e.bytes <= 1024)
+        .map(|e| e.bytes)
+        .collect();
+    assert_eq!(sizes.len(), 1, "load sizes vary: {sizes:?}");
+}
