@@ -34,8 +34,8 @@
 
 use crate::config::HOramConfig;
 use crate::evict::oblivious_tree_evict;
-use crate::rob::RobTable;
-use crate::scheduler::{plan_cycle, CyclePlan};
+use crate::queue::RequestQueue;
+use crate::scheduler::CyclePlan;
 use crate::stats::HOramStats;
 use crate::storage_layer::StorageLayer;
 use oram_crypto::keys::{KeyHierarchy, MasterKey};
@@ -47,7 +47,6 @@ use oram_protocols::types::{BlockId, Request, RequestOp};
 use oram_storage::clock::{SimClock, SimDuration};
 use oram_storage::hierarchy::MemoryHierarchy;
 use oram_storage::trace::AccessTrace;
-use std::collections::HashMap;
 
 /// The hybrid ORAM. See the [module docs](self).
 #[derive(Debug)]
@@ -57,8 +56,7 @@ pub struct HOram {
     storage: StorageLayer,
     clock: SimClock,
     trace: AccessTrace,
-    rob: RobTable,
-    responses: HashMap<u64, Vec<u8>>,
+    queue: RequestQueue,
     io_used_in_period: u64,
     period_seq: u64,
     seed_prf: Prf,
@@ -106,14 +104,14 @@ impl HOram {
         )?;
 
         let seed_prf = Prf::new(master.derive("horam/seeds", 0).prf().to_owned());
+        let queue = RequestQueue::new(config.capacity, config.payload_len);
         let mut horam = Self {
             config,
             memory,
             storage,
             clock,
             trace,
-            rob: RobTable::new(),
-            responses: HashMap::new(),
+            queue,
             io_used_in_period: 0,
             period_seq: 0,
             seed_prf,
@@ -176,29 +174,28 @@ impl HOram {
         self.seed_prf.eval_words("period-seed", &[self.period_seq, purpose, self.config.seed])
     }
 
+    /// The admission queue: pending count, per-ticket response readiness.
+    pub fn queue(&self) -> &RequestQueue {
+        &self.queue
+    }
+
     /// Queues a request; returns the ticket to collect its response.
     ///
     /// # Errors
     ///
     /// [`OramError::BlockOutOfRange`] for ids beyond the capacity and
     /// [`OramError::PayloadSize`] for mis-sized write payloads — requests
-    /// are validated before they can reach the scheduler.
+    /// are validated before they can reach the scheduler (see
+    /// [`RequestQueue::submit`]).
     pub fn enqueue(&mut self, request: Request) -> Result<u64, OramError> {
-        if request.id.0 >= self.config.capacity {
-            return Err(OramError::BlockOutOfRange {
-                id: request.id.0,
-                capacity: self.config.capacity,
-            });
-        }
-        if let RequestOp::Write(payload) = &request.op {
-            if payload.len() != self.config.payload_len {
-                return Err(OramError::PayloadSize {
-                    expected: self.config.payload_len,
-                    got: payload.len(),
-                });
-            }
-        }
-        Ok(self.rob.push(request))
+        self.queue.submit(request)
+    }
+
+    /// Removes and returns the response for `ticket`, if it has been
+    /// serviced. The serving layer uses this to collect responses
+    /// incrementally while batches from other tenants are still queued.
+    pub fn take_response(&mut self, ticket: u64) -> Option<Vec<u8>> {
+        self.queue.take_response(ticket)
     }
 
     /// Runs scheduling cycles until the ROB drains, then returns responses
@@ -208,16 +205,19 @@ impl HOram {
     ///
     /// Storage/crypto/protocol errors propagate; queued requests that were
     /// already serviced keep their responses.
+    /// [`OramError::UnknownTicket`] for a ticket that was never issued or
+    /// whose response was already collected (e.g. via
+    /// [`take_response`](Self::take_response)).
     pub fn drain(&mut self, tickets: &[u64]) -> Result<Vec<Vec<u8>>, OramError> {
-        while !self.rob.is_empty() {
+        while !self.queue.is_drained() {
             self.run_cycle()?;
         }
         let mut out = Vec::with_capacity(tickets.len());
         for ticket in tickets {
             let response = self
-                .responses
-                .remove(ticket)
-                .expect("every drained ticket has a response");
+                .queue
+                .take_response(*ticket)
+                .ok_or(OramError::UnknownTicket { ticket: *ticket })?;
             out.push(response);
         }
         Ok(out)
@@ -247,8 +247,7 @@ impl HOram {
         let c = self.config.stage_c(self.io_used_in_period);
         let d = self.config.prefetch_distance;
         let storage = &self.storage;
-        let plan: CyclePlan =
-            plan_cycle(&mut self.rob, c, d, |id| storage.is_in_memory(id));
+        let plan: CyclePlan = self.queue.plan(c, d, |id| storage.is_in_memory(id));
 
         // Memory half: serve hits, then pad with dummy path accesses.
         let mut memory_time = SimDuration::ZERO;
@@ -261,7 +260,7 @@ impl HOram {
                 }
             };
             memory_time += receipt.memory;
-            self.responses.insert(entry.ticket, data);
+            self.queue.complete(entry.ticket, data);
             self.stats.memory_hits += 1;
             self.stats.requests += 1;
         }
@@ -345,7 +344,7 @@ impl HOram {
         self.period_seq += 1;
         // The evict returned every cached block to storage: in-flight loads
         // are void, pending misses must be re-issueable.
-        self.rob.clear_io_issued();
+        self.queue.void_in_flight_io();
         Ok(())
     }
 }
@@ -375,6 +374,7 @@ mod tests {
     use super::*;
     use oram_crypto::rng::DeterministicRng;
     use rand::Rng;
+    use std::collections::HashMap;
 
     fn build(capacity: u64, memory_slots: u64) -> HOram {
         let config = HOramConfig::new(capacity, 8, memory_slots).with_seed(17);
@@ -516,6 +516,25 @@ mod tests {
         assert!(matches!(
             oram.write(BlockId(0), &[1, 2]),
             Err(OramError::PayloadSize { expected: 8, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn drain_of_collected_or_unknown_ticket_is_an_error() {
+        let mut oram = build(256, 64);
+        let ticket = oram.enqueue(Request::read(1u64)).unwrap();
+        while !oram.queue().is_drained() {
+            oram.run_cycle().unwrap();
+        }
+        assert_eq!(oram.take_response(ticket), Some(vec![0u8; 8]));
+        // Already collected incrementally: a later drain must not panic.
+        assert!(matches!(
+            oram.drain(&[ticket]),
+            Err(OramError::UnknownTicket { ticket: t }) if t == ticket
+        ));
+        assert!(matches!(
+            oram.drain(&[999]),
+            Err(OramError::UnknownTicket { ticket: 999 })
         ));
     }
 

@@ -14,6 +14,7 @@
 //! |---|---|
 //! | configuration & stage schedule (§4.2) | [`config`] |
 //! | permutation list (§4.1) | [`permutation_list`] |
+//! | request admission queue + tickets | [`queue`] |
 //! | ROB table (§4.1) | [`rob`] |
 //! | secure scheduler with prefetch (§4.2, Fig. 4-2) | [`scheduler`] |
 //! | storage layer + group/partition shuffle (§4.1.3, §4.3.2) | [`storage_layer`] |
@@ -27,12 +28,15 @@
 //! The memory layer reuses [`oram_protocols::path_oram::PathOram`]; see
 //! that crate for the baselines the evaluation compares against.
 
+#![warn(missing_docs)]
+
 pub mod access_control;
 pub mod config;
 pub mod evict;
 pub mod horam;
 pub mod multi_user;
 pub mod permutation_list;
+pub mod queue;
 pub mod rob;
 pub mod scheduler;
 pub mod stats;
@@ -44,6 +48,7 @@ pub use evict::{oblivious_tree_evict, EvictOutcome};
 pub use horam::HOram;
 pub use multi_user::{run_multi_user, MultiUserReport, UserId};
 pub use permutation_list::{Location, PermutationList};
+pub use queue::RequestQueue;
 pub use rob::{RobEntry, RobTable};
 pub use scheduler::{plan_cycle, CyclePlan};
 pub use stats::HOramStats;

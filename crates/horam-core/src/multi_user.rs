@@ -55,29 +55,27 @@ pub fn run_multi_user(
 ) -> Result<MultiUserReport, OramError> {
     let start = oram.clock().now();
 
-    // Round-robin merge, remembering each request's owner and queue slot.
-    let mut owners: Vec<(usize, usize)> = Vec::new();
-    let mut merged: Vec<Request> = Vec::new();
+    // Round-robin merge into the shared admission queue, collecting each
+    // user's tickets; the scheduler packs cycles exactly as in the
+    // single-user case, and tickets demultiplex the responses afterwards.
+    let mut tickets: Vec<Vec<u64>> = queues.iter().map(|(_, q)| Vec::with_capacity(q.len())).collect();
+    let mut requests = 0u64;
     let max_len = queues.iter().map(|(_, q)| q.len()).max().unwrap_or(0);
     for round in 0..max_len {
         for (user_idx, (_, queue)) in queues.iter().enumerate() {
             if let Some(request) = queue.get(round) {
-                owners.push((user_idx, round));
-                merged.push(request.clone());
+                tickets[user_idx].push(oram.enqueue(request.clone())?);
+                requests += 1;
             }
         }
     }
 
-    let flat = oram.run_batch(&merged)?;
-
-    let mut responses: Vec<Vec<Vec<u8>>> =
-        queues.iter().map(|(_, q)| vec![Vec::new(); q.len()]).collect();
-    for ((user_idx, slot), data) in owners.into_iter().zip(flat) {
-        responses[user_idx][slot] = data;
+    let mut responses: Vec<Vec<Vec<u8>>> = Vec::with_capacity(queues.len());
+    for user_tickets in &tickets {
+        responses.push(oram.drain(user_tickets)?);
     }
 
     let wall_time = oram.clock().now().duration_since(start);
-    let requests = merged.len() as u64;
     let secs = wall_time.as_secs_f64();
     let requests_per_sec = if secs > 0.0 { requests as f64 / secs } else { 0.0 };
     Ok(MultiUserReport { responses, wall_time, requests, requests_per_sec })

@@ -12,6 +12,11 @@
 //! distance) exactly as in Figure 4-2: hits anywhere in the window may be
 //! hoisted, and the first available miss is issued so its block is in
 //! memory by the time its request's turn comes.
+//!
+//! Callers normally reach the planner through
+//! [`RequestQueue::plan`](crate::queue::RequestQueue::plan), which owns
+//! the ROB being scanned; [`plan_cycle`] stays public for direct
+//! experimentation with scheduler policies.
 
 use crate::rob::{RobEntry, RobTable};
 use oram_protocols::types::BlockId;

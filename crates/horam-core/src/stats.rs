@@ -2,6 +2,7 @@
 //! report.
 
 use oram_storage::clock::SimDuration;
+use std::ops::{Add, AddAssign, Sub};
 
 /// Counters accumulated by an [`crate::horam::HOram`] instance.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -68,6 +69,79 @@ impl HOramStats {
             self.requests as f64 / loads as f64
         }
     }
+
+    /// The counters accumulated since `baseline` was captured.
+    ///
+    /// Every field is monotone over a run, so subtracting an earlier
+    /// snapshot yields the cost of exactly the work in between — the
+    /// serving layer uses this to attribute cycles/time to each pumped
+    /// batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds, via underflow) if `baseline` is not an
+    /// earlier snapshot of the same run.
+    pub fn delta_since(&self, baseline: &HOramStats) -> HOramStats {
+        *self - *baseline
+    }
+}
+
+/// Applies `op` field-by-field — the single place the counter list is
+/// spelled out for arithmetic, so `Add`/`Sub` cannot drift apart when a
+/// counter is added.
+fn zip_fields(a: HOramStats, b: HOramStats, op: FieldOp) -> HOramStats {
+    macro_rules! zip {
+        ($($field:ident),* $(,)?) => {
+            HOramStats {
+                $($field: match op {
+                    FieldOp::Add => a.$field + b.$field,
+                    FieldOp::Sub => a.$field - b.$field,
+                }),*
+            }
+        };
+    }
+    zip!(
+        requests,
+        writes,
+        cycles,
+        memory_hits,
+        dummy_memory_accesses,
+        real_io_loads,
+        dummy_io_loads,
+        prefetched_blocks,
+        io_time,
+        memory_time,
+        access_wall_time,
+        shuffle_wall_time,
+        shuffles,
+        spilled_blocks,
+    )
+}
+
+#[derive(Clone, Copy)]
+enum FieldOp {
+    Add,
+    Sub,
+}
+
+impl Add for HOramStats {
+    type Output = HOramStats;
+    fn add(self, rhs: HOramStats) -> HOramStats {
+        zip_fields(self, rhs, FieldOp::Add)
+    }
+}
+
+impl AddAssign for HOramStats {
+    fn add_assign(&mut self, rhs: HOramStats) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for HOramStats {
+    type Output = HOramStats;
+    fn sub(self, rhs: HOramStats) -> HOramStats {
+        zip_fields(self, rhs, FieldOp::Sub)
+    }
 }
 
 #[cfg(test)]
@@ -96,5 +170,26 @@ mod tests {
         let stats = HOramStats::default();
         assert_eq!(stats.mean_io_latency(), SimDuration::ZERO);
         assert_eq!(stats.requests_per_io(), 0.0);
+    }
+
+    #[test]
+    fn delta_isolates_a_window() {
+        let earlier = HOramStats {
+            requests: 10,
+            cycles: 4,
+            io_time: SimDuration::from_micros(5),
+            ..Default::default()
+        };
+        let later = HOramStats {
+            requests: 25,
+            cycles: 9,
+            io_time: SimDuration::from_micros(12),
+            ..Default::default()
+        };
+        let delta = later.delta_since(&earlier);
+        assert_eq!(delta.requests, 15);
+        assert_eq!(delta.cycles, 5);
+        assert_eq!(delta.io_time, SimDuration::from_micros(7));
+        assert_eq!(later.delta_since(&later), HOramStats::default());
     }
 }

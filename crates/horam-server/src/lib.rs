@@ -1,0 +1,42 @@
+//! Batched multi-tenant serving layer for the H-ORAM reproduction.
+//!
+//! `horam-core` gives one caller a synchronous `enqueue`/`drain` view of
+//! an H-ORAM instance. Production traffic looks different: many logical
+//! tenants submit concurrently, and the scheduler's grouping factor `c`
+//! only pays off when the ROB actually holds enough requests to fill
+//! scheduling groups. This crate adds that front-end:
+//!
+//! * [`OramService`] — accepts requests from registered tenants, checks
+//!   them against `horam-core`'s per-tenant [`AccessControl`] table,
+//!   coalesces duplicate reads, and drives the shared
+//!   [`RequestQueue`](horam_core::queue::RequestQueue)/scheduler on a
+//!   deterministic pump loop. Responses come back through
+//!   [`ServiceTicket`]s, so tenants never block each other.
+//! * [`admission`] — pluggable batch-filling policies:
+//!   [`FifoPolicy`], [`FairSharePolicy`] (starvation-free round-robin)
+//!   and [`DeadlinePolicy`] (earliest-deadline-first).
+//! * [`stats`] — per-tenant and service-wide accounting in the style of
+//!   `horam_core::stats`, including simulated submission-to-completion
+//!   latency and the dedup amplification factor.
+//!
+//! See `docs/ARCHITECTURE.md` at the repository root for the full
+//! request lifecycle and `crates/bench/src/bin/serving_throughput.rs`
+//! for the batched-vs-sequential comparison.
+//!
+//! [`AccessControl`]: horam_core::access_control::AccessControl
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod service;
+pub mod stats;
+
+pub use admission::{AdmissionPolicy, DeadlinePolicy, FairSharePolicy, FifoPolicy, QueuedSnapshot};
+pub use service::{
+    OramService, PumpReport, ServeError, ServeReport, ServiceConfig, ServiceTicket,
+};
+pub use stats::{ServiceStats, TenantStats};
+
+/// A tenant of the serving layer — the same identity `horam-core` uses
+/// for multi-user scheduling and access control.
+pub use horam_core::multi_user::UserId as TenantId;

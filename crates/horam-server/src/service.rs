@@ -1,0 +1,589 @@
+//! The multi-tenant serving front-end.
+//!
+//! [`OramService`] multiplexes many logical tenants onto one
+//! [`HOram`] instance. The flow for each request:
+//!
+//! 1. **submit** — access control ([`AccessControl`]) and geometry
+//!    validation run in the trusted control layer; rejected requests
+//!    produce *no observable access*. Accepted requests join their
+//!    tenant's FIFO queue and get a [`ServiceTicket`].
+//! 2. **pump** — the admission policy fills one batch (up to
+//!    `batch_size` requests across tenants), duplicate reads of the same
+//!    block are coalesced onto one ORAM request, the batch enters the
+//!    shared [`RequestQueue`](horam_core::queue::RequestQueue), and
+//!    scheduling cycles run until the batch drains.
+//! 3. **collect** — responses are buffered per ticket;
+//!    [`OramService::take_response`] hands them back in any order while
+//!    later batches run.
+//!
+//! Obliviousness: batch boundaries depend only on queue *lengths* and the
+//! policy, never on block ids, and every scheduling cycle keeps the
+//! paper's fixed observable shape. **Read coalescing is a deliberate
+//! trade-off on top of that**: with [`ServiceConfig::dedup`] enabled
+//! (the default), the *number* of ORAM requests a batch issues — and so
+//! its cycle count and completion timing — depends on cross-tenant
+//! duplicate structure, which a co-resident tenant could probe to learn
+//! that *someone* shares its hot blocks. Deployments where tenants are
+//! mutually distrusting should set `dedup: false`, restoring one ORAM
+//! access per request at the cost of the amplification win the
+//! `serving_throughput` bench measures.
+
+use crate::admission::{AdmissionPolicy, QueuedSnapshot};
+use crate::stats::{ServiceStats, TenantStats};
+use horam_core::access_control::{AccessControl, AccessDenied, Permission};
+use horam_core::horam::HOram;
+use horam_core::multi_user::UserId;
+use horam_core::stats::HOramStats;
+use oram_protocols::error::OramError;
+use oram_protocols::types::{BlockId, Request, RequestOp};
+use oram_storage::clock::{SimDuration, SimTime};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::error::Error;
+use std::fmt;
+use std::ops::Range;
+
+/// Handle for collecting one submitted request's response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ServiceTicket(pub u64);
+
+/// Serving-layer tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Maximum requests admitted per pumped batch.
+    pub batch_size: usize,
+    /// Per-tenant bound on queued-but-unadmitted requests (backpressure).
+    pub max_pending_per_tenant: usize,
+    /// Coalesce duplicate same-block reads within a batch. Saves ORAM
+    /// accesses on shared hot sets, but makes batch timing depend on
+    /// cross-tenant duplicates — a side channel between mutually
+    /// distrusting tenants (see the [module docs](self)); disable it
+    /// when that matters more than throughput.
+    pub dedup: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self { batch_size: 64, max_pending_per_tenant: 4096, dedup: true }
+    }
+}
+
+/// Why the service rejected a submission.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The tenant was never registered.
+    UnknownTenant(UserId),
+    /// Access control rejected the request.
+    Denied(AccessDenied),
+    /// The tenant's queue is at its backpressure bound.
+    QueueFull {
+        /// The tenant whose queue is full.
+        tenant: UserId,
+        /// The configured bound.
+        limit: usize,
+    },
+    /// The request failed geometry validation or the ORAM failed.
+    Oram(OramError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownTenant(tenant) => write!(f, "{tenant} is not registered"),
+            ServeError::Denied(denial) => write!(f, "denied: {denial}"),
+            ServeError::QueueFull { tenant, limit } => {
+                write!(f, "{tenant} queue full (limit {limit})")
+            }
+            ServeError::Oram(error) => write!(f, "oram: {error}"),
+        }
+    }
+}
+
+impl Error for ServeError {}
+
+impl From<OramError> for ServeError {
+    fn from(error: OramError) -> Self {
+        ServeError::Oram(error)
+    }
+}
+
+impl From<AccessDenied> for ServeError {
+    fn from(denial: AccessDenied) -> Self {
+        ServeError::Denied(denial)
+    }
+}
+
+/// What one [`OramService::pump`] call did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PumpReport {
+    /// Requests admitted into this batch.
+    pub admitted: u64,
+    /// Of those, served by piggybacking on another request's access.
+    pub deduped: u64,
+    /// Responses completed by this batch.
+    pub completed: u64,
+    /// Scheduling cycles the batch consumed.
+    pub cycles: u64,
+    /// Simulated wall-clock time the batch consumed.
+    pub wall_time: SimDuration,
+}
+
+/// Result of serving a whole workload to completion.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Batches pumped.
+    pub batches: u64,
+    /// Responses completed.
+    pub completed: u64,
+    /// Simulated wall-clock time consumed.
+    pub wall_time: SimDuration,
+}
+
+#[derive(Debug)]
+struct Pending {
+    ticket: ServiceTicket,
+    request: Request,
+    arrival_seq: u64,
+    deadline: Option<u64>,
+    submitted_at: SimTime,
+}
+
+#[derive(Debug, Default)]
+struct TenantState {
+    pending: VecDeque<Pending>,
+    stats: TenantStats,
+    deadline_slack: Option<u64>,
+}
+
+/// One admitted request while its batch is in flight.
+#[derive(Debug)]
+struct InFlight {
+    tenant: UserId,
+    ticket: ServiceTicket,
+    is_write: bool,
+    submitted_at: SimTime,
+    /// The ORAM ticket carrying this request, and whether this request is
+    /// the one that issued it (`false` ⇒ piggybacked on another's access).
+    oram_ticket: u64,
+    piggybacked: bool,
+}
+
+/// The batched multi-tenant front-end over one [`HOram`].
+///
+/// # Example
+///
+/// ```
+/// use horam_core::{HOram, HOramConfig};
+/// use horam_core::access_control::Permission;
+/// use horam_core::multi_user::UserId;
+/// use horam_server::{FairSharePolicy, OramService, ServiceConfig};
+/// use oram_protocols::types::Request;
+/// use oram_storage::hierarchy::MemoryHierarchy;
+/// use oram_crypto::keys::MasterKey;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let oram = HOram::new(
+///     HOramConfig::new(256, 8, 64).with_seed(1),
+///     MemoryHierarchy::dac2019(),
+///     MasterKey::from_bytes([1; 32]),
+/// )?;
+/// let mut service = OramService::new(
+///     oram,
+///     Box::new(FairSharePolicy::default()),
+///     ServiceConfig::default(),
+/// );
+/// service.register_tenant(UserId(0), 0..256, Permission::ReadWrite);
+///
+/// let w = service.submit(UserId(0), Request::write(7u64, vec![42; 8]))?;
+/// let r = service.submit(UserId(0), Request::read(7u64))?;
+/// service.pump_until_idle()?;
+/// assert_eq!(service.take_response(w), Some(vec![0; 8])); // previous bytes
+/// assert_eq!(service.take_response(r), Some(vec![42; 8]));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct OramService {
+    oram: HOram,
+    acl: AccessControl,
+    policy: Box<dyn AdmissionPolicy>,
+    config: ServiceConfig,
+    tenants: BTreeMap<UserId, TenantState>,
+    next_ticket: u64,
+    arrival_seq: u64,
+    in_flight: Vec<InFlight>,
+    responses: HashMap<ServiceTicket, Vec<u8>>,
+    stats: ServiceStats,
+}
+
+impl OramService {
+    /// Wraps an ORAM instance with the given policy and config.
+    pub fn new(oram: HOram, policy: Box<dyn AdmissionPolicy>, config: ServiceConfig) -> Self {
+        assert!(config.batch_size > 0, "batch_size must be positive");
+        assert!(config.max_pending_per_tenant > 0, "backpressure bound must be positive");
+        Self {
+            oram,
+            acl: AccessControl::new(),
+            policy,
+            config,
+            tenants: BTreeMap::new(),
+            next_ticket: 0,
+            arrival_seq: 0,
+            in_flight: Vec::new(),
+            responses: HashMap::new(),
+            stats: ServiceStats::default(),
+        }
+    }
+
+    /// Registers a tenant with an initial grant.
+    pub fn register_tenant(&mut self, tenant: UserId, range: Range<u64>, permission: Permission) {
+        self.acl.grant(tenant, range, permission);
+        self.tenants.entry(tenant).or_default();
+    }
+
+    /// Registers a tenant whose requests carry deadlines `slack` arrival
+    /// steps after submission (used by [`DeadlinePolicy`]).
+    ///
+    /// [`DeadlinePolicy`]: crate::admission::DeadlinePolicy
+    pub fn register_tenant_with_deadline(
+        &mut self,
+        tenant: UserId,
+        range: Range<u64>,
+        permission: Permission,
+        slack: u64,
+    ) {
+        self.register_tenant(tenant, range, permission);
+        self.tenants.get_mut(&tenant).expect("just registered").deadline_slack = Some(slack);
+    }
+
+    /// Adds a further grant to a registered tenant.
+    pub fn grant(&mut self, tenant: UserId, range: Range<u64>, permission: Permission) {
+        self.acl.grant(tenant, range, permission);
+    }
+
+    /// Queues a request for a tenant.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`] for unregistered tenants,
+    /// [`ServeError::Denied`] when access control rejects,
+    /// [`ServeError::QueueFull`] at the backpressure bound and
+    /// [`ServeError::Oram`] for geometry violations. None of these
+    /// produce observable accesses.
+    pub fn submit(&mut self, tenant: UserId, request: Request) -> Result<ServiceTicket, ServeError> {
+        if !self.tenants.contains_key(&tenant) {
+            return Err(ServeError::UnknownTenant(tenant));
+        }
+        if let Err(denial) = self.acl.check(tenant, &request) {
+            self.tenants.get_mut(&tenant).expect("checked").stats.denied += 1;
+            return Err(denial.into());
+        }
+        self.oram.queue().validate(&request)?;
+        let state = self.tenants.get_mut(&tenant).expect("checked");
+        if state.pending.len() >= self.config.max_pending_per_tenant {
+            state.stats.rejected_backpressure += 1;
+            return Err(ServeError::QueueFull {
+                tenant,
+                limit: self.config.max_pending_per_tenant,
+            });
+        }
+
+        let ticket = ServiceTicket(self.next_ticket);
+        self.next_ticket += 1;
+        let arrival_seq = self.arrival_seq;
+        self.arrival_seq += 1;
+        let deadline = state.deadline_slack.map(|slack| arrival_seq + slack);
+        state.pending.push_back(Pending {
+            ticket,
+            request,
+            arrival_seq,
+            deadline,
+            submitted_at: self.oram.clock().now(),
+        });
+        state.stats.submitted += 1;
+        state.stats.queue_peak = state.stats.queue_peak.max(state.pending.len());
+        Ok(ticket)
+    }
+
+    /// Pumps once: admit → coalesce → schedule → collect.
+    ///
+    /// Admission tops the shared ROB up to `batch_size` in-flight
+    /// requests; the scheduler then runs until the ROB falls back to half
+    /// the batch size — or drains completely when no further work is
+    /// queued. Keeping the ROB at depth (instead of draining every batch
+    /// to empty) means scheduling groups stay full across batch
+    /// boundaries, which is where batching beats sequential `run_batch`.
+    /// Completed responses are collected incrementally each pump.
+    ///
+    /// Returns a zeroed report when nothing is queued or in flight.
+    ///
+    /// # Errors
+    ///
+    /// ORAM storage/crypto errors propagate.
+    pub fn pump(&mut self) -> Result<PumpReport, ServeError> {
+        let baseline: HOramStats = self.oram.stats();
+        let wall_start = self.oram.clock().now();
+
+        // Admission: fill the ROB up to the batch size.
+        let space = self.config.batch_size.saturating_sub(self.oram.queue().pending());
+        let mut deduped = 0u64;
+        let mut admitted_count = 0u64;
+        if space > 0 && self.pending_total() > 0 {
+            let plan = {
+                let snapshot = self.snapshot(space);
+                self.policy.plan_batch(&snapshot, space)
+            };
+
+            // Pop the planned requests from their queue fronts, in plan
+            // order, coalescing duplicate reads. `read_carriers` maps a
+            // block to the ORAM ticket of an earlier read in this
+            // admission round; a write to the block invalidates the entry
+            // (later reads must observe the new value through their own
+            // access).
+            let mut read_carriers: HashMap<BlockId, u64> = HashMap::new();
+            let mut batch_tenants: Vec<UserId> = Vec::new();
+            for tenant in plan.into_iter().take(space) {
+                let Some(state) = self.tenants.get_mut(&tenant) else { continue };
+                let Some(pending) = state.pending.pop_front() else { continue };
+                state.stats.admitted += 1;
+                if !batch_tenants.contains(&tenant) {
+                    batch_tenants.push(tenant);
+                    state.stats.batches += 1;
+                }
+                admitted_count += 1;
+
+                let is_write = pending.request.op.is_write();
+                let block = pending.request.id;
+                let (oram_ticket, piggybacked) = match (&pending.request.op, self.config.dedup)
+                {
+                    (RequestOp::Read, true) => match read_carriers.get(&block) {
+                        Some(carrier) => {
+                            deduped += 1;
+                            (*carrier, true)
+                        }
+                        None => {
+                            let ticket = self.oram.enqueue(pending.request.clone())?;
+                            read_carriers.insert(block, ticket);
+                            (ticket, false)
+                        }
+                    },
+                    _ => {
+                        let ticket = self.oram.enqueue(pending.request.clone())?;
+                        if is_write {
+                            read_carriers.remove(&block);
+                        }
+                        (ticket, false)
+                    }
+                };
+                self.in_flight.push(InFlight {
+                    tenant,
+                    ticket: pending.ticket,
+                    is_write,
+                    submitted_at: pending.submitted_at,
+                    oram_ticket,
+                    piggybacked,
+                });
+            }
+        }
+
+        if self.in_flight.is_empty() {
+            return Ok(PumpReport::default());
+        }
+
+        // Schedule: drain to the low watermark — or fully, when no more
+        // admissions can refill the pipeline (or an empty admission round
+        // left the ROB below the watermark, which must still progress).
+        let watermark = if self.pending_total() > 0 && admitted_count > 0 {
+            self.config.batch_size / 2
+        } else {
+            0
+        };
+        while self.oram.queue().pending() > watermark {
+            self.oram.run_cycle()?;
+        }
+
+        // Collect every response that completed. Piggybackers share their
+        // carrier's ORAM ticket (and were admitted in the same round), so
+        // each completed ticket is taken once and fanned out.
+        let now = self.oram.clock().now();
+        let mut completed = 0u64;
+        let mut ready: HashMap<u64, Vec<u8>> = HashMap::new();
+        for flight in &self.in_flight {
+            if !ready.contains_key(&flight.oram_ticket) {
+                if let Some(payload) = self.oram.take_response(flight.oram_ticket) {
+                    ready.insert(flight.oram_ticket, payload);
+                }
+            }
+        }
+        let mut still_in_flight = Vec::with_capacity(self.in_flight.len());
+        for flight in self.in_flight.drain(..) {
+            let Some(payload) = ready.get(&flight.oram_ticket) else {
+                still_in_flight.push(flight);
+                continue;
+            };
+            completed += 1;
+            let latency = now.duration_since(flight.submitted_at);
+            let state = self.tenants.get_mut(&flight.tenant).expect("registered");
+            state.stats.record_completion(flight.is_write, flight.piggybacked, latency);
+            self.responses.insert(flight.ticket, payload.clone());
+        }
+        self.in_flight = still_in_flight;
+
+        let oram_delta = self.oram.stats().delta_since(&baseline);
+        let wall_time = now.duration_since(wall_start);
+        self.stats.batches += 1;
+        self.stats.admitted += admitted_count;
+        self.stats.completed += completed;
+        self.stats.deduped += deduped;
+        self.stats.oram += oram_delta;
+
+        Ok(PumpReport {
+            admitted: admitted_count,
+            deduped,
+            completed,
+            cycles: oram_delta.cycles,
+            wall_time,
+        })
+    }
+
+    /// Pumps until every tenant queue is empty and every admitted request
+    /// has completed.
+    ///
+    /// # Errors
+    ///
+    /// ORAM storage/crypto errors propagate.
+    pub fn pump_until_idle(&mut self) -> Result<ServeReport, ServeError> {
+        let mut report = ServeReport::default();
+        while self.pending_total() > 0 || !self.in_flight.is_empty() {
+            let pump = self.pump()?;
+            report.batches += 1;
+            report.completed += pump.completed;
+            report.wall_time += pump.wall_time;
+            if pump.admitted == 0 && pump.completed == 0 {
+                // A policy that refuses to admit queued work would
+                // otherwise spin forever; stop and leave the queues as
+                // they are.
+                break;
+            }
+        }
+        Ok(report)
+    }
+
+    /// Submits a whole arrival sequence and serves it to completion,
+    /// returning each arrival's ticket in submission order. This is the
+    /// entry point workload `TenantSchedule`s feed (see
+    /// `oram_workload::serve`).
+    ///
+    /// The loop pumps whenever a batch's worth of work is queued *or*
+    /// the next arrival's tenant queue is at its backpressure bound, so
+    /// `serve_all` never fails with [`ServeError::QueueFull`] regardless
+    /// of how `batch_size` relates to `max_pending_per_tenant`.
+    ///
+    /// # Errors
+    ///
+    /// Validation errors ([`ServeError::UnknownTenant`],
+    /// [`ServeError::Denied`], geometry) abort mid-stream: already
+    /// submitted requests stay queued but their tickets are lost with the
+    /// returned error — validate tenants/grants up front, or use
+    /// [`submit`](Self::submit)/[`pump`](Self::pump) directly for
+    /// per-request error handling. ORAM errors propagate from the pump
+    /// loop.
+    pub fn serve_all(
+        &mut self,
+        arrivals: impl IntoIterator<Item = (UserId, Request)>,
+    ) -> Result<(Vec<ServiceTicket>, ServeReport), ServeError> {
+        let mut tickets = Vec::new();
+        let mut report = ServeReport::default();
+        let track = |report: &mut ServeReport, pump: PumpReport| {
+            report.batches += 1;
+            report.completed += pump.completed;
+            report.wall_time += pump.wall_time;
+        };
+        for (tenant, request) in arrivals {
+            // Make room before submitting: a full tenant queue would turn
+            // into a spurious QueueFull otherwise.
+            while self
+                .tenants
+                .get(&tenant)
+                .is_some_and(|state| state.pending.len() >= self.config.max_pending_per_tenant)
+            {
+                let pump = self.pump()?;
+                let stalled = pump.admitted == 0 && pump.completed == 0;
+                track(&mut report, pump);
+                if stalled {
+                    break; // policy refuses to admit; surface the QueueFull
+                }
+            }
+            tickets.push(self.submit(tenant, request)?);
+            // Keep queues within the backpressure bound by pumping as
+            // batches fill up.
+            if self.pending_total() >= self.config.batch_size {
+                let pump = self.pump()?;
+                track(&mut report, pump);
+            }
+        }
+        let tail = self.pump_until_idle()?;
+        report.batches += tail.batches;
+        report.completed += tail.completed;
+        report.wall_time += tail.wall_time;
+        Ok((tickets, report))
+    }
+
+    /// Removes and returns a completed response.
+    pub fn take_response(&mut self, ticket: ServiceTicket) -> Option<Vec<u8>> {
+        self.responses.remove(&ticket)
+    }
+
+    /// Whether a response is ready to take.
+    pub fn response_ready(&self, ticket: ServiceTicket) -> bool {
+        self.responses.contains_key(&ticket)
+    }
+
+    /// Total queued-but-unadmitted requests across tenants.
+    pub fn pending_total(&self) -> usize {
+        self.tenants.values().map(|state| state.pending.len()).sum()
+    }
+
+    /// A tenant's accounting, if registered.
+    pub fn tenant_stats(&self, tenant: UserId) -> Option<&TenantStats> {
+        self.tenants.get(&tenant).map(|state| &state.stats)
+    }
+
+    /// Service-wide accounting.
+    pub fn stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+
+    /// The admission policy's display name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// The underlying ORAM (stats, clock, config).
+    pub fn oram(&self) -> &HOram {
+        &self.oram
+    }
+
+    /// Unwraps the service, returning the ORAM instance.
+    pub fn into_oram(self) -> HOram {
+        self.oram
+    }
+
+    /// Snapshots at most `limit` entries per tenant: policies only ever
+    /// pop queue fronts and admit at most `limit` requests total, so
+    /// deeper entries cannot be admitted this round and need not be
+    /// materialized (keeps each pump O(tenants × batch), not O(queued)).
+    fn snapshot(&self, limit: usize) -> Vec<QueuedSnapshot> {
+        let mut snapshot = Vec::new();
+        for (tenant, state) in &self.tenants {
+            for (position, pending) in state.pending.iter().take(limit).enumerate() {
+                snapshot.push(QueuedSnapshot {
+                    tenant: *tenant,
+                    arrival_seq: pending.arrival_seq,
+                    deadline: pending.deadline,
+                    position,
+                });
+            }
+        }
+        snapshot
+    }
+}

@@ -1,0 +1,117 @@
+//! Per-tenant and service-wide accounting.
+//!
+//! Mirrors the style of `horam_core::stats`: plain monotone counters plus
+//! derived quantities, so snapshots can be diffed and reported in the
+//! bench binaries. Latencies are **simulated** time (the device model's
+//! clock), measured from submission to response completion — queue wait
+//! while other tenants' batches run is included, which is exactly what a
+//! tenant of a shared instance experiences.
+
+use horam_core::stats::HOramStats;
+use oram_storage::clock::SimDuration;
+
+/// Counters kept per registered tenant.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Requests accepted into the tenant's queue.
+    pub submitted: u64,
+    /// Of those, admitted into a batch so far.
+    pub admitted: u64,
+    /// Responses delivered.
+    pub completed: u64,
+    /// Of the completed requests, reads.
+    pub reads: u64,
+    /// Of the completed requests, writes.
+    pub writes: u64,
+    /// Requests rejected by access control.
+    pub denied: u64,
+    /// Requests rejected because the tenant queue was full.
+    pub rejected_backpressure: u64,
+    /// Completed reads served by piggybacking on another request's ORAM
+    /// access (batch dedup) instead of their own.
+    pub piggybacked: u64,
+    /// Batches this tenant had at least one request in.
+    pub batches: u64,
+    /// Peak queued-but-unadmitted depth.
+    pub queue_peak: usize,
+    /// Sum of per-request latencies (submission → completion).
+    pub latency_total: SimDuration,
+    /// Worst single-request latency.
+    pub latency_max: SimDuration,
+}
+
+impl TenantStats {
+    /// Mean submission-to-completion latency.
+    pub fn mean_latency(&self) -> SimDuration {
+        if self.completed == 0 {
+            SimDuration::ZERO
+        } else {
+            self.latency_total / self.completed
+        }
+    }
+
+    /// Records one completed request.
+    pub(crate) fn record_completion(&mut self, is_write: bool, piggybacked: bool, latency: SimDuration) {
+        self.completed += 1;
+        if is_write {
+            self.writes += 1;
+        } else {
+            self.reads += 1;
+        }
+        if piggybacked {
+            self.piggybacked += 1;
+        }
+        self.latency_total += latency;
+        self.latency_max = self.latency_max.max(latency);
+    }
+}
+
+/// Service-wide counters across all tenants.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Batches pumped.
+    pub batches: u64,
+    /// Requests admitted into batches.
+    pub admitted: u64,
+    /// Requests completed (including piggybacked ones).
+    pub completed: u64,
+    /// Requests served by dedup piggybacking (no own ORAM access).
+    pub deduped: u64,
+    /// ORAM work consumed by pumped batches (delta-accumulated).
+    pub oram: HOramStats,
+}
+
+impl ServiceStats {
+    /// Requests completed per ORAM request issued — the dedup win on top
+    /// of the scheduler's own request-per-I/O win.
+    pub fn amplification(&self) -> f64 {
+        if self.oram.requests == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.oram.requests as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_latency_handles_empty() {
+        assert_eq!(TenantStats::default().mean_latency(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn completion_recording() {
+        let mut stats = TenantStats::default();
+        stats.record_completion(false, true, SimDuration::from_micros(10));
+        stats.record_completion(true, false, SimDuration::from_micros(30));
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.reads, 1);
+        assert_eq!(stats.writes, 1);
+        assert_eq!(stats.piggybacked, 1);
+        assert_eq!(stats.mean_latency(), SimDuration::from_micros(20));
+        assert_eq!(stats.latency_max, SimDuration::from_micros(30));
+    }
+}

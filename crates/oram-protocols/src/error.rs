@@ -35,6 +35,12 @@ pub enum OramError {
         /// Physical slot the block was read from.
         slot: u64,
     },
+    /// A response ticket that is unknown or whose response was already
+    /// collected.
+    UnknownTicket {
+        /// The offending ticket.
+        ticket: u64,
+    },
     /// An underlying storage error.
     Storage(StorageError),
     /// An underlying cryptographic error (tag mismatch, PRP misuse).
@@ -55,6 +61,9 @@ impl fmt::Display for OramError {
             }
             OramError::MalformedBlock { slot } => {
                 write!(f, "malformed block content at slot {slot}")
+            }
+            OramError::UnknownTicket { ticket } => {
+                write!(f, "ticket {ticket} is unknown or already collected")
             }
             OramError::Storage(e) => write!(f, "storage error: {e}"),
             OramError::Crypto(e) => write!(f, "crypto error: {e}"),

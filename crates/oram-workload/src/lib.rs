@@ -19,10 +19,17 @@
 //! and replays streams so experiments are exactly repeatable across
 //! systems (H-ORAM and the Path ORAM baseline see byte-identical request
 //! sequences).
+//!
+//! For the multi-tenant serving layer, [`serve::TenantSchedule`] turns
+//! any generator into a deterministic `(tenant, request)` arrival
+//! sequence — sharded, interleaved per tenant, or with a deliberately
+//! hot tenant — that the `horam-server` crate and the sequential
+//! baselines consume in byte-identical form.
 
 pub mod burst;
 pub mod hotspot;
 pub mod sequential;
+pub mod serve;
 pub mod stats;
 pub mod trace;
 pub mod uniform;
@@ -31,6 +38,7 @@ pub mod zipf;
 pub use burst::BurstWorkload;
 pub use hotspot::HotspotWorkload;
 pub use sequential::SequentialWorkload;
+pub use serve::{TenantArrival, TenantSchedule};
 pub use stats::WorkloadStats;
 pub use trace::RequestTrace;
 pub use uniform::UniformWorkload;

@@ -1,0 +1,231 @@
+//! Multi-tenant arrival schedules — the serving-layer workload path.
+//!
+//! The generators in this crate produce single request streams. A serving
+//! layer needs more: *who* submits each request and in what interleaved
+//! order. [`TenantSchedule`] is that shape — a deterministic sequence of
+//! `(tenant, request)` arrivals buildable from any
+//! [`WorkloadGenerator`], so the Zipf/hotspot/burst generators drive the
+//! multi-tenant server exactly as they drive the single-user evaluation:
+//!
+//! * [`TenantSchedule::shard`] — deal one stream round-robin across `t`
+//!   tenants (tenants share the dataset and its hot set);
+//! * [`TenantSchedule::interleave`] — per-tenant generators merged
+//!   round-robin (tenants with disjoint or different-skew traffic);
+//! * [`TenantSchedule::with_hot_tenant`] — one tenant submits `weight`×
+//!   as often as each other tenant, the fairness stress case.
+//!
+//! Schedules convert back to flat [`RequestTrace`]s (for the sequential
+//! baseline) and split into per-tenant queues (for
+//! `horam_core::multi_user::run_multi_user`), so every execution mode
+//! sees byte-identical requests.
+
+use crate::trace::RequestTrace;
+use crate::WorkloadGenerator;
+use oram_protocols::types::Request;
+
+/// One arrival: which tenant submits which request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantArrival {
+    /// The submitting tenant's index.
+    pub tenant: u32,
+    /// The request.
+    pub request: Request,
+}
+
+/// A deterministic multi-tenant arrival sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSchedule {
+    /// Label describing how the schedule was built.
+    pub label: String,
+    /// The arrivals, in submission order.
+    pub arrivals: Vec<TenantArrival>,
+}
+
+impl TenantSchedule {
+    /// Deals `count` requests from one generator round-robin across
+    /// `tenants` tenants: request `i` goes to tenant `i % tenants`.
+    ///
+    /// All tenants address the same block space, so a skewed generator's
+    /// hot set is *shared* — the case batching and dedup exploit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenants` is zero.
+    pub fn shard(
+        label: impl Into<String>,
+        generator: &mut dyn WorkloadGenerator,
+        tenants: u32,
+        count: usize,
+    ) -> Self {
+        assert!(tenants > 0, "at least one tenant required");
+        let arrivals = (0..count)
+            .map(|i| TenantArrival {
+                tenant: i as u32 % tenants,
+                request: generator.next_request(),
+            })
+            .collect();
+        Self { label: label.into(), arrivals }
+    }
+
+    /// Merges per-tenant generators round-robin, `count_each` requests
+    /// per tenant.
+    pub fn interleave(
+        label: impl Into<String>,
+        mut generators: Vec<(u32, &mut dyn WorkloadGenerator)>,
+        count_each: usize,
+    ) -> Self {
+        let mut arrivals = Vec::with_capacity(generators.len() * count_each);
+        for _ in 0..count_each {
+            for (tenant, generator) in &mut generators {
+                arrivals.push(TenantArrival { tenant: *tenant, request: generator.next_request() });
+            }
+        }
+        Self { label: label.into(), arrivals }
+    }
+
+    /// Like [`shard`](Self::shard), but tenant 0 submits `weight` requests
+    /// for every single request of each other tenant — the hot-tenant
+    /// fairness stress.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenants` or `weight` is zero.
+    pub fn with_hot_tenant(
+        label: impl Into<String>,
+        generator: &mut dyn WorkloadGenerator,
+        tenants: u32,
+        weight: u32,
+        count: usize,
+    ) -> Self {
+        assert!(tenants > 0, "at least one tenant required");
+        assert!(weight > 0, "hot-tenant weight must be positive");
+        // One round = `weight` arrivals from tenant 0 plus one from each
+        // other tenant.
+        let round: Vec<u32> = std::iter::repeat(0)
+            .take(weight as usize)
+            .chain(1..tenants)
+            .collect();
+        let arrivals = (0..count)
+            .map(|i| TenantArrival {
+                tenant: round[i % round.len()],
+                request: generator.next_request(),
+            })
+            .collect();
+        Self { label: label.into(), arrivals }
+    }
+
+    /// Number of arrivals.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// The distinct tenants, ascending.
+    pub fn tenants(&self) -> Vec<u32> {
+        let mut tenants: Vec<u32> = self.arrivals.iter().map(|a| a.tenant).collect();
+        tenants.sort_unstable();
+        tenants.dedup();
+        tenants
+    }
+
+    /// The flat request stream in arrival order (the sequential
+    /// baseline's input — byte-identical to what the server sees).
+    pub fn to_trace(&self) -> RequestTrace {
+        RequestTrace::from_requests(
+            self.label.clone(),
+            self.arrivals.iter().map(|a| a.request.clone()).collect(),
+        )
+    }
+
+    /// Splits into per-tenant queues preserving each tenant's submission
+    /// order (the shape `run_multi_user` and per-tenant baselines take).
+    pub fn per_tenant_queues(&self) -> Vec<(u32, Vec<Request>)> {
+        let mut queues: Vec<(u32, Vec<Request>)> =
+            self.tenants().into_iter().map(|t| (t, Vec::new())).collect();
+        for arrival in &self.arrivals {
+            let slot = queues
+                .iter_mut()
+                .find(|(t, _)| *t == arrival.tenant)
+                .expect("tenants() covers every arrival");
+            slot.1.push(arrival.request.clone());
+        }
+        queues
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zipf::ZipfWorkload;
+
+    fn zipf() -> ZipfWorkload {
+        ZipfWorkload::new(256, 1.1, 0.2, 7)
+    }
+
+    #[test]
+    fn shard_deals_round_robin() {
+        let schedule = TenantSchedule::shard("s", &mut zipf(), 4, 40);
+        assert_eq!(schedule.len(), 40);
+        assert_eq!(schedule.tenants(), vec![0, 1, 2, 3]);
+        for (i, arrival) in schedule.arrivals.iter().enumerate() {
+            assert_eq!(arrival.tenant, i as u32 % 4);
+        }
+    }
+
+    #[test]
+    fn shard_is_deterministic() {
+        let a = TenantSchedule::shard("s", &mut zipf(), 4, 50);
+        let b = TenantSchedule::shard("s", &mut zipf(), 4, 50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hot_tenant_dominates_arrivals() {
+        let schedule = TenantSchedule::with_hot_tenant("h", &mut zipf(), 4, 5, 80);
+        let hot = schedule.arrivals.iter().filter(|a| a.tenant == 0).count();
+        // One round is 5 hot + 3 cold arrivals.
+        assert!(hot * 10 >= schedule.len() * 5, "hot tenant got {hot}/{}", schedule.len());
+    }
+
+    #[test]
+    fn queues_preserve_per_tenant_order() {
+        let schedule = TenantSchedule::shard("s", &mut zipf(), 3, 30);
+        let queues = schedule.per_tenant_queues();
+        assert_eq!(queues.len(), 3);
+        for (tenant, queue) in &queues {
+            let direct: Vec<&Request> = schedule
+                .arrivals
+                .iter()
+                .filter(|a| a.tenant == *tenant)
+                .map(|a| &a.request)
+                .collect();
+            assert_eq!(queue.iter().collect::<Vec<_>>(), direct);
+        }
+    }
+
+    #[test]
+    fn trace_matches_arrival_order() {
+        let schedule = TenantSchedule::shard("s", &mut zipf(), 2, 20);
+        let trace = schedule.to_trace();
+        assert_eq!(trace.len(), 20);
+        for (arrival, request) in schedule.arrivals.iter().zip(&trace.requests) {
+            assert_eq!(&arrival.request, request);
+        }
+    }
+
+    #[test]
+    fn interleave_merges_generators() {
+        let mut a = zipf();
+        let mut b = ZipfWorkload::new(256, 0.8, 0.0, 9);
+        let schedule =
+            TenantSchedule::interleave("i", vec![(7, &mut a), (9, &mut b)], 10);
+        assert_eq!(schedule.len(), 20);
+        assert_eq!(schedule.tenants(), vec![7, 9]);
+        assert_eq!(schedule.arrivals[0].tenant, 7);
+        assert_eq!(schedule.arrivals[1].tenant, 9);
+    }
+}

@@ -65,6 +65,13 @@ impl ZipfWorkload {
         }
     }
 
+    /// Sets the payload length carried by generated writes (the target
+    /// system's `payload_len`); without it writes carry empty payloads.
+    pub fn with_payload_len(mut self, payload_len: usize) -> Self {
+        self.payload_len = payload_len;
+        self
+    }
+
     fn draw_rank(&mut self) -> usize {
         let u: f64 = self.rng.gen();
         match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {

@@ -9,7 +9,7 @@
 //! Run with:
 //!
 //! ```sh
-//! cargo run -p horam --example multi_tenant
+//! cargo run --example multi_tenant
 //! ```
 
 use horam::core::access_control::{AccessControl, Permission};

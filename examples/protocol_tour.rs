@@ -8,7 +8,7 @@
 //! Run with:
 //!
 //! ```sh
-//! cargo run -p horam --example protocol_tour --release
+//! cargo run --release --example protocol_tour
 //! ```
 
 use horam::analysis::table::Table;

@@ -3,7 +3,7 @@
 //! Run with:
 //!
 //! ```sh
-//! cargo run -p horam --example quickstart
+//! cargo run --example quickstart
 //! ```
 
 use horam::prelude::*;

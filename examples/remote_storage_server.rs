@@ -11,7 +11,7 @@
 //! Run with:
 //!
 //! ```sh
-//! cargo run -p horam --example remote_storage_server --release
+//! cargo run --release --example remote_storage_server
 //! ```
 
 use horam::analysis::model::OramModel;

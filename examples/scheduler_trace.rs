@@ -10,7 +10,7 @@
 //! Run with:
 //!
 //! ```sh
-//! cargo run -p horam --example scheduler_trace
+//! cargo run --example scheduler_trace
 //! ```
 
 use horam::prelude::*;

@@ -11,7 +11,7 @@
 //! Run with:
 //!
 //! ```sh
-//! cargo run -p horam --example secure_kv_store
+//! cargo run --example secure_kv_store
 //! ```
 
 use horam::analysis::leakage::TraceShape;

@@ -1,0 +1,9 @@
+//! Workspace umbrella package.
+//!
+//! This package exists to host the repository-level integration tests
+//! (`tests/`) and runnable examples (`examples/`); the implementation
+//! lives in the crates under `crates/`. Start with the [`horam`] facade
+//! crate, or see the repository `README.md` for a tour.
+
+pub use horam;
+pub use horam_server;

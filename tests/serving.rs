@@ -1,0 +1,268 @@
+//! Multi-tenant serving-layer integration: correctness of batching,
+//! dedup, fairness and ticket ordering end-to-end through the scheduler.
+
+use horam::core::{Permission, UserId};
+use horam::prelude::*;
+use horam::workload::{TenantSchedule, ZipfWorkload};
+use horam_server::{
+    DeadlinePolicy, FairSharePolicy, FifoPolicy, OramService, ServeError, ServiceConfig,
+    ServiceTicket,
+};
+use std::collections::HashMap;
+
+const CAPACITY: u64 = 1024;
+const PAYLOAD: usize = 16;
+
+fn service(batch_size: usize, policy: &str) -> OramService {
+    let config = HOramConfig::new(CAPACITY, PAYLOAD, 256).with_seed(33);
+    let oram = HOram::new(
+        config,
+        MemoryHierarchy::dac2019(),
+        MasterKey::from_bytes([9u8; 32]),
+    )
+    .expect("builds");
+    let policy: Box<dyn horam_server::AdmissionPolicy> = match policy {
+        "fifo" => Box::new(FifoPolicy),
+        "fair" => Box::new(FairSharePolicy::default()),
+        "deadline" => Box::new(DeadlinePolicy),
+        other => panic!("unknown policy {other}"),
+    };
+    OramService::new(oram, policy, ServiceConfig { batch_size, ..ServiceConfig::default() })
+}
+
+fn payload(tag: u8) -> Vec<u8> {
+    vec![tag; PAYLOAD]
+}
+
+/// N tenants with mixed reads/writes against a plain map reference:
+/// every response must agree, across batch and shuffle boundaries.
+#[test]
+fn mixed_read_write_matches_reference() {
+    for policy in ["fifo", "fair", "deadline"] {
+        let mut service = service(32, policy);
+        let tenants = 4u32;
+        for t in 0..tenants {
+            service.register_tenant(UserId(t), 0..CAPACITY, Permission::ReadWrite);
+        }
+
+        // A deterministic mixed workload over a shared region: tenant t
+        // round r touches block (r * 7 + t * 13) % 64; every third access
+        // is a write tagged by (tenant, round).
+        let mut reference: HashMap<u64, Vec<u8>> = HashMap::new();
+        let mut expected: HashMap<ServiceTicket, Vec<u8>> = HashMap::new();
+        for round in 0..120u64 {
+            for t in 0..tenants {
+                let block = (round * 7 + t as u64 * 13) % 64;
+                if (round + t as u64) % 3 == 0 {
+                    let tag = (round as u8).wrapping_mul(31).wrapping_add(t as u8);
+                    let ticket =
+                        service.submit(UserId(t), Request::write(block, payload(tag))).unwrap();
+                    let previous =
+                        reference.insert(block, payload(tag)).unwrap_or(vec![0; PAYLOAD]);
+                    expected.insert(ticket, previous);
+                } else {
+                    let ticket = service.submit(UserId(t), Request::read(block)).unwrap();
+                    expected.insert(
+                        ticket,
+                        reference.get(&block).cloned().unwrap_or(vec![0; PAYLOAD]),
+                    );
+                }
+                // Pump mid-stream so admission interleaves with arrivals.
+                if service.pending_total() >= 32 {
+                    service.pump().unwrap();
+                }
+            }
+        }
+        service.pump_until_idle().unwrap();
+
+        for (ticket, want) in expected {
+            let got = service.take_response(ticket);
+            assert_eq!(got.as_ref(), Some(&want), "policy {policy}, ticket {ticket:?}");
+        }
+        assert!(service.oram().stats().shuffles >= 1, "workload must cross a period");
+    }
+}
+
+/// Per-tenant responses come back in submission order and tickets are
+/// collectable in any order.
+#[test]
+fn ticket_response_ordering() {
+    let mut service = service(16, "fifo");
+    service.register_tenant(UserId(0), 0..CAPACITY, Permission::ReadWrite);
+
+    // Writes 1..=20 to the same block: each response is the previous
+    // write's payload — any reordering of same-block requests would break
+    // the chain.
+    let block = 5u64;
+    let tickets: Vec<ServiceTicket> = (1..=20u8)
+        .map(|tag| service.submit(UserId(0), Request::write(block, payload(tag))).unwrap())
+        .collect();
+    service.pump_until_idle().unwrap();
+
+    // Collect in reverse order: buffering must not care.
+    for (i, ticket) in tickets.iter().enumerate().rev() {
+        let want = if i == 0 { vec![0; PAYLOAD] } else { payload(i as u8) };
+        assert_eq!(service.take_response(*ticket), Some(want), "write {}", i + 1);
+    }
+}
+
+/// Duplicate same-block reads inside one batch collapse onto one ORAM
+/// request and all get the same (correct) answer.
+#[test]
+fn dedup_of_same_block_requests() {
+    let mut service = service(64, "fifo");
+    service.register_tenant(UserId(0), 0..CAPACITY, Permission::ReadWrite);
+    service.register_tenant(UserId(1), 0..CAPACITY, Permission::ReadOnly);
+
+    let seed = service.submit(UserId(0), Request::write(9u64, payload(0xAB))).unwrap();
+    service.pump_until_idle().unwrap();
+    assert_eq!(service.take_response(seed), Some(vec![0; PAYLOAD]));
+    let oram_requests_before = service.stats().oram.requests;
+
+    // 30 reads of the same block from two tenants, one batch.
+    let tickets: Vec<ServiceTicket> = (0..30)
+        .map(|i| service.submit(UserId(i % 2), Request::read(9u64)).unwrap())
+        .collect();
+    service.pump_until_idle().unwrap();
+
+    for ticket in tickets {
+        assert_eq!(service.take_response(ticket), Some(payload(0xAB)));
+    }
+    let issued = service.stats().oram.requests - oram_requests_before;
+    assert_eq!(issued, 1, "29 of 30 reads piggyback on one carrier");
+    assert_eq!(service.stats().deduped, 29);
+    let piggybacked: u64 = (0..2)
+        .map(|t| service.tenant_stats(UserId(t)).unwrap().piggybacked)
+        .sum();
+    assert_eq!(piggybacked, 29);
+}
+
+/// A write between two same-block reads in one batch fences dedup: the
+/// second read must observe the new value through its own access.
+#[test]
+fn dedup_respects_intervening_writes() {
+    let mut service = service(64, "fifo");
+    service.register_tenant(UserId(0), 0..CAPACITY, Permission::ReadWrite);
+
+    let r1 = service.submit(UserId(0), Request::read(3u64)).unwrap();
+    let w = service.submit(UserId(0), Request::write(3u64, payload(0x77))).unwrap();
+    let r2 = service.submit(UserId(0), Request::read(3u64)).unwrap();
+    service.pump_until_idle().unwrap();
+
+    assert_eq!(service.take_response(r1), Some(vec![0; PAYLOAD]), "pre-write value");
+    assert_eq!(service.take_response(w), Some(vec![0; PAYLOAD]), "previous bytes");
+    assert_eq!(service.take_response(r2), Some(payload(0x77)), "post-write value");
+}
+
+/// Under a hot tenant submitting 8x everyone else's traffic, fair-share
+/// admission keeps the cold tenants' latency near the hot tenant's —
+/// FIFO lets the hot tenant starve them.
+#[test]
+fn fairness_under_a_hot_tenant() {
+    let tenants = 4u32;
+    let mut latency_ratio = HashMap::new();
+    for policy in ["fifo", "fair"] {
+        let mut service = service(16, policy);
+        for t in 0..tenants {
+            service.register_tenant(UserId(t), 0..CAPACITY, Permission::ReadWrite);
+        }
+        let mut generator = ZipfWorkload::new(CAPACITY, 1.1, 0.0, 5);
+        let schedule =
+            TenantSchedule::with_hot_tenant("hot", &mut generator, tenants, 8, 1200);
+        let arrivals = schedule
+            .arrivals
+            .iter()
+            .map(|a| (UserId(a.tenant), a.request.clone()));
+        service.serve_all(arrivals).unwrap();
+
+        let hot = service.tenant_stats(UserId(0)).unwrap().mean_latency();
+        let cold_worst = (1..tenants)
+            .map(|t| service.tenant_stats(UserId(t)).unwrap().mean_latency())
+            .max()
+            .unwrap();
+        latency_ratio
+            .insert(policy, cold_worst.as_nanos() as f64 / hot.as_nanos().max(1) as f64);
+    }
+
+    let fifo = latency_ratio["fifo"];
+    let fair = latency_ratio["fair"];
+    assert!(
+        fair < fifo,
+        "fair-share must serve cold tenants sooner relative to the hot tenant \
+         (cold/hot latency ratio: fifo {fifo:.2}, fair {fair:.2})"
+    );
+    assert!(fair <= 1.5, "cold tenants track the hot tenant under fair share, got {fair:.2}");
+}
+
+/// `serve_all` must complete even when `batch_size` exceeds the total
+/// backpressure capacity — it pumps to make room instead of surfacing
+/// `QueueFull` mid-stream.
+#[test]
+fn serve_all_survives_tight_backpressure() {
+    let config = HOramConfig::new(CAPACITY, PAYLOAD, 256).with_seed(33);
+    let oram = HOram::new(
+        config,
+        MemoryHierarchy::dac2019(),
+        MasterKey::from_bytes([9u8; 32]),
+    )
+    .expect("builds");
+    let mut service = OramService::new(
+        oram,
+        Box::new(FairSharePolicy::default()),
+        // batch_size far above what one tenant may ever queue.
+        ServiceConfig { batch_size: 256, max_pending_per_tenant: 10, ..ServiceConfig::default() },
+    );
+    service.register_tenant(UserId(0), 0..CAPACITY, Permission::ReadWrite);
+
+    let arrivals = (0..150u64).map(|i| (UserId(0), Request::read(i % 32)));
+    let (tickets, report) = service.serve_all(arrivals).expect("completes without QueueFull");
+    assert_eq!(tickets.len(), 150);
+    assert_eq!(report.completed, 150);
+    for ticket in tickets {
+        assert!(service.take_response(ticket).is_some());
+    }
+}
+
+/// Unregistered tenants, ACL denials and backpressure all reject without
+/// touching the ORAM.
+#[test]
+fn rejections_produce_no_accesses() {
+    let config = HOramConfig::new(CAPACITY, PAYLOAD, 256).with_seed(33);
+    let oram = HOram::new(
+        config,
+        MemoryHierarchy::dac2019(),
+        MasterKey::from_bytes([9u8; 32]),
+    )
+    .expect("builds");
+    let mut service = OramService::new(
+        oram,
+        Box::new(FifoPolicy),
+        ServiceConfig { batch_size: 8, max_pending_per_tenant: 4, ..ServiceConfig::default() },
+    );
+    service.register_tenant(UserId(0), 0..16, Permission::ReadOnly);
+
+    assert!(matches!(
+        service.submit(UserId(9), Request::read(1u64)),
+        Err(ServeError::UnknownTenant(UserId(9)))
+    ));
+    assert!(matches!(
+        service.submit(UserId(0), Request::write(1u64, payload(1))),
+        Err(ServeError::Denied(_))
+    ));
+    assert!(matches!(
+        service.submit(UserId(0), Request::read(999u64)),
+        Err(ServeError::Denied(_)), // outside the granted range
+    ));
+    for _ in 0..4 {
+        service.submit(UserId(0), Request::read(1u64)).unwrap();
+    }
+    assert!(matches!(
+        service.submit(UserId(0), Request::read(2u64)),
+        Err(ServeError::QueueFull { tenant: UserId(0), limit: 4 })
+    ));
+
+    let stats = service.tenant_stats(UserId(0)).unwrap();
+    assert_eq!(stats.denied, 2);
+    assert_eq!(stats.rejected_backpressure, 1);
+    assert!(service.oram().trace().is_empty(), "rejections reach no bus");
+}

@@ -1,0 +1,214 @@
+//! Vendored minimal stand-in for the `criterion` crate.
+//!
+//! Provides enough of criterion's API for the workspace's benches to
+//! compile and produce useful wall-clock numbers offline: `Criterion`,
+//! benchmark groups, `Throughput`, `BenchmarkId`, `black_box` and the
+//! `criterion_group!` / `criterion_main!` macros. Measurement is a simple
+//! calibrated loop reporting the mean time per iteration — no statistics,
+//! no plots, no comparison to previous runs.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput hint attached to a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Function name plus parameter, like `shuffle/1024`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self { label: format!("{function}/{parameter}") }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { label: parameter.to_string() }
+    }
+}
+
+/// Measurement driver handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters_hint: u64,
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up and sizing the iteration count so
+    /// the measured window is long enough to be meaningful.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up / calibration: run until ~20ms of work or the hint cap.
+        let calibration_start = Instant::now();
+        let mut calibration_iters = 0u64;
+        while calibration_start.elapsed() < Duration::from_millis(20)
+            && calibration_iters < self.iters_hint
+        {
+            black_box(routine());
+            calibration_iters += 1;
+        }
+        let per_iter = calibration_start.elapsed() / calibration_iters.max(1) as u32;
+
+        // Measured window: aim for ~100ms, capped by the sample-size hint.
+        let target = Duration::from_millis(100);
+        let iters = if per_iter.is_zero() {
+            self.iters_hint
+        } else {
+            (target.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, self.iters_hint as u128)
+                as u64
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.measured = Some((start.elapsed(), iters));
+    }
+}
+
+fn report(name: &str, throughput: Option<Throughput>, measured: Option<(Duration, u64)>) {
+    let Some((elapsed, iters)) = measured else {
+        println!("{name:<40} (no measurement)");
+        return;
+    };
+    let per_iter = elapsed.as_secs_f64() / iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  {:>12.0} elem/s", n as f64 / per_iter),
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>12.1} MiB/s", n as f64 / per_iter / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!("{name:<40} {:>12.3} µs/iter{rate}   ({iters} iters)", per_iter * 1e6);
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10_000 }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut bencher = Bencher { iters_hint: self.sample_size, measured: None };
+        f(&mut bencher);
+        report(name, None, bencher.measured);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("-- {name}");
+        BenchmarkGroup { _criterion: self, name, throughput: None, sample_size: 10_000 }
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sizing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput reported for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Caps the number of measured iterations.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut bencher = Bencher { iters_hint: self.sample_size, measured: None };
+        f(&mut bencher, input);
+        report(&format!("{}/{}", self.name, id.label), self.throughput, bencher.measured);
+        self
+    }
+
+    /// Runs one named benchmark in the group.
+    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut bencher = Bencher { iters_hint: self.sample_size, measured: None };
+        f(&mut bencher);
+        report(&format!("{}/{id}", self.name), self.throughput, bencher.measured);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one runner, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($function(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::new("f", 4), &4u64, |b, &n| {
+            b.iter(|| black_box(n * 2));
+        });
+        group.finish();
+    }
+}

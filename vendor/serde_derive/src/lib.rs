@@ -1,0 +1,391 @@
+//! Vendored minimal `serde_derive` stand-in.
+//!
+//! Hand-rolled (no `syn`/`quote` available offline) derive macros that
+//! generate `serde::Serialize` / `serde::Deserialize` impls against the
+//! vendored value-tree `serde` shim. Supports exactly the shapes this
+//! workspace uses: non-generic named structs, tuple structs, unit structs,
+//! and enums with unit / tuple / struct variants, all externally tagged
+//! like real serde's default.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<(String, Fields)> },
+}
+
+/// Derives `serde::Serialize` (value-tree shim flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+/// Derives `serde::Deserialize` (value-tree shim flavour).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, serialize: bool) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(message) => {
+            return format!("::core::compile_error!({message:?});").parse().unwrap()
+        }
+    };
+    let code = if serialize { gen_serialize(&item) } else { gen_deserialize(&item) };
+    code.parse().unwrap()
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs_and_vis(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos)?;
+    let name = expect_ident(&tokens, &mut pos)?;
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("serde shim derive: generic type `{name}` not supported"));
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_named_fields(g.stream())?
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("serde shim derive: unexpected token {other:?}")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("serde shim derive: expected enum body, got {other:?}")),
+            };
+            Ok(Item::Enum { name, variants: parse_variants(body)? })
+        }
+        other => Err(format!("serde shim derive: expected struct or enum, got `{other}`")),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
+                    *pos += 1;
+                }
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(_))) {
+                    *pos += 1;
+                }
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *pos += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> Result<String, String> {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(i)) => {
+            *pos += 1;
+            Ok(i.to_string())
+        }
+        other => Err(format!("serde shim derive: expected identifier, got {other:?}")),
+    }
+}
+
+/// Splits a field-list token stream at top-level commas (angle-bracket
+/// depth aware, since `,` inside `HashMap<K, V>` is not a field boundary).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for token in stream {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    chunks.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        chunks.last_mut().unwrap().push(token);
+    }
+    chunks.retain(|chunk| !chunk.is_empty());
+    chunks
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Fields, String> {
+    let mut names = Vec::new();
+    for chunk in split_top_level(stream) {
+        let mut pos = 0;
+        skip_attrs_and_vis(&chunk, &mut pos);
+        names.push(expect_ident(&chunk, &mut pos)?);
+    }
+    Ok(Fields::Named(names))
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let mut variants = Vec::new();
+    for chunk in split_top_level(stream) {
+        let mut pos = 0;
+        skip_attrs_and_vis(&chunk, &mut pos);
+        let name = expect_ident(&chunk, &mut pos)?;
+        let fields = match chunk.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                parse_named_fields(g.stream())?
+            }
+            _ => Fields::Unit, // unit variant (an `= discr` tail would also land here)
+        };
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                }
+                Fields::Named(names) => map_literal(
+                    names.iter().map(|f| (f.clone(), format!("&self.{f}"))),
+                ),
+            };
+            write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\
+                   fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+            )
+            .unwrap();
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (variant, fields) in variants {
+                match fields {
+                    Fields::Unit => write!(
+                        arms,
+                        "Self::{variant} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{variant}\")),"
+                    )
+                    .unwrap(),
+                    Fields::Tuple(1) => write!(
+                        arms,
+                        "Self::{variant}(f0) => ::serde::Value::Map(::std::vec![(\
+                         ::std::string::String::from(\"{variant}\"), \
+                         ::serde::Serialize::to_value(f0))]),"
+                    )
+                    .unwrap(),
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        write!(
+                            arms,
+                            "Self::{variant}({binds}) => ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from(\"{variant}\"), \
+                             ::serde::Value::Seq(::std::vec![{items}]))]),",
+                            binds = binders.join(", "),
+                            items = items.join(", "),
+                        )
+                        .unwrap();
+                    }
+                    Fields::Named(names) => {
+                        let inner =
+                            map_literal(names.iter().map(|f| (f.clone(), f.clone())));
+                        write!(
+                            arms,
+                            "Self::{variant} {{ {binds} }} => ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from(\"{variant}\"), {inner})]),",
+                            binds = names.join(", "),
+                        )
+                        .unwrap();
+                    }
+                }
+            }
+            write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\
+                   fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }} }}"
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+fn map_literal(fields: impl Iterator<Item = (String, String)>) -> String {
+    let entries: Vec<String> = fields
+        .map(|(key, expr)| {
+            format!(
+                "(::std::string::String::from(\"{key}\"), ::serde::Serialize::to_value({expr}))"
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!(
+                    "match value {{ ::serde::Value::Null => ::std::result::Result::Ok(Self), \
+                     other => ::std::result::Result::Err(::serde::Error::msg(\
+                     ::std::format!(\"expected null for {name}, got {{other:?}}\"))) }}"
+                ),
+                Fields::Tuple(1) => {
+                    "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(value)?))"
+                        .to_string()
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&seq[{i}])?"))
+                        .collect();
+                    format!(
+                        "let seq = value.as_seq()?; \
+                         if seq.len() != {n} {{ return ::std::result::Result::Err(\
+                         ::serde::Error::msg(::std::format!(\
+                         \"expected {n} elements for {name}, got {{}}\", seq.len()))); }} \
+                         ::std::result::Result::Ok(Self({items}))",
+                        items = items.join(", "),
+                    )
+                }
+                Fields::Named(names) => {
+                    let inits: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(value.field(\"{f}\")?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "::std::result::Result::Ok(Self {{ {} }})",
+                        inits.join(", ")
+                    )
+                }
+            };
+            write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{\
+                   fn from_value(value: &::serde::Value) \
+                   -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} }}"
+            )
+            .unwrap();
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (variant, fields) in variants {
+                match fields {
+                    Fields::Unit => write!(
+                        unit_arms,
+                        "\"{variant}\" => return ::std::result::Result::Ok(Self::{variant}),"
+                    )
+                    .unwrap(),
+                    Fields::Tuple(1) => write!(
+                        tagged_arms,
+                        "\"{variant}\" => return ::std::result::Result::Ok(\
+                         Self::{variant}(::serde::Deserialize::from_value(inner)?)),"
+                    )
+                    .unwrap(),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&seq[{i}])?"))
+                            .collect();
+                        write!(
+                            tagged_arms,
+                            "\"{variant}\" => {{ let seq = inner.as_seq()?; \
+                             if seq.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::Error::msg(::std::format!(\
+                             \"expected {n} elements for {name}::{variant}, got {{}}\", \
+                             seq.len()))); }} \
+                             return ::std::result::Result::Ok(Self::{variant}({items})); }}",
+                            items = items.join(", "),
+                        )
+                        .unwrap();
+                    }
+                    Fields::Named(names) => {
+                        let inits: Vec<String> = names
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(inner.field(\"{f}\")?)?"
+                                )
+                            })
+                            .collect();
+                        write!(
+                            tagged_arms,
+                            "\"{variant}\" => return ::std::result::Result::Ok(\
+                             Self::{variant} {{ {} }}),",
+                            inits.join(", "),
+                        )
+                        .unwrap();
+                    }
+                }
+            }
+            write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{\
+                   fn from_value(value: &::serde::Value) \
+                   -> ::std::result::Result<Self, ::serde::Error> {{\
+                     if let ::serde::Value::Str(tag) = value {{\
+                       match tag.as_str() {{ {unit_arms} _ => {{}} }} }}\
+                     if let ::serde::Value::Map(entries) = value {{\
+                       if entries.len() == 1 {{\
+                         let (tag, inner) = &entries[0];\
+                         match tag.as_str() {{ {tagged_arms} _ => {{}} }} }} }}\
+                     ::std::result::Result::Err(::serde::Error::msg(::std::format!(\
+                       \"no variant of {name} matches {{value:?}}\"))) }} }}"
+            )
+            .unwrap();
+        }
+    }
+    out
+}
