@@ -56,6 +56,20 @@ pub struct HOramConfig {
     /// Partial-shuffle ratio `r` (§5.3.1): shuffle `⌈r·√N⌉` partitions per
     /// period. `None` (the default) shuffles every partition.
     pub partial_shuffle_ratio: Option<f64>,
+    /// I/O loads issued per [`StorageLayer::load_batch`] scatter read when
+    /// the scheduler drains in windowed mode: up to `io_batch` scheduling
+    /// cycles are planned control-side, their loads submitted to the
+    /// device as one queued batch, and their memory halves executed in
+    /// plan order. `1` (the default) reproduces the per-block sequential
+    /// path cycle for cycle; higher values coalesce per-op device overhead
+    /// without changing the observable access pattern.
+    ///
+    /// [`StorageLayer::load_batch`]: crate::storage_layer::StorageLayer::load_batch
+    pub io_batch: u64,
+    /// Route block crypto through the zero-copy path (in-place open/seal,
+    /// pooled buffers). Simulated timing is identical either way; `false`
+    /// restores the allocating legacy path for host-cost ablations.
+    pub zero_copy_io: bool,
     /// Extra slot headroom per storage partition, as a factor ≥ 1.0. The
     /// tree evict randomizes which partition each hot block lands in, so
     /// partition occupancy drifts; headroom absorbs it (excess flows to
@@ -82,6 +96,8 @@ impl HOramConfig {
             evict_shuffle: ShuffleAlgorithm::Bitonic,
             partition_shuffle: ShuffleAlgorithm::Cache,
             partial_shuffle_ratio: None,
+            io_batch: 1,
+            zero_copy_io: true,
             partition_headroom: 1.10,
             seed: DEFAULT_SEED,
         }
@@ -145,6 +161,24 @@ impl HOramConfig {
         self
     }
 
+    /// Sets the I/O batch window (see [`io_batch`](Self::io_batch)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `io_batch` is zero.
+    pub fn with_io_batch(mut self, io_batch: u64) -> Self {
+        assert!(io_batch >= 1, "io_batch must be at least 1");
+        self.io_batch = io_batch;
+        self
+    }
+
+    /// Toggles the zero-copy crypto path (see
+    /// [`zero_copy_io`](Self::zero_copy_io)).
+    pub fn with_zero_copy_io(mut self, zero_copy: bool) -> Self {
+        self.zero_copy_io = zero_copy;
+        self
+    }
+
     /// Validates cross-field constraints. Called by `HOram::new`.
     ///
     /// # Panics
@@ -166,6 +200,7 @@ impl HOramConfig {
             self.prefetch_distance
         );
         assert!(self.partition_headroom >= 1.0, "headroom factor must be ≥ 1.0");
+        assert!(self.io_batch >= 1, "io_batch must be at least 1");
         let total: f64 = self.stages.iter().map(|s| s.fraction).sum();
         assert!((total - 1.0).abs() < 1e-6, "stage fractions must sum to 1");
     }
@@ -262,6 +297,23 @@ mod tests {
         let config = HOramConfig::new(1 << 20, 1024, 1 << 17);
         // balanced = 1024; headroom 1.10 → 1127 slots.
         assert_eq!(config.partition_slots(), 1127);
+    }
+
+    #[test]
+    fn io_pipeline_knobs() {
+        let config = HOramConfig::new(1024, 64, 256).with_io_batch(32).with_zero_copy_io(false);
+        config.validate();
+        assert_eq!(config.io_batch, 32);
+        assert!(!config.zero_copy_io);
+        let defaults = HOramConfig::new(1024, 64, 256);
+        assert_eq!(defaults.io_batch, 1, "default must reproduce the sequential path");
+        assert!(defaults.zero_copy_io);
+    }
+
+    #[test]
+    #[should_panic(expected = "io_batch must be at least 1")]
+    fn zero_io_batch_rejected() {
+        let _ = HOramConfig::new(1024, 64, 256).with_io_batch(0);
     }
 
     #[test]

@@ -37,7 +37,7 @@ use crate::evict::oblivious_tree_evict;
 use crate::queue::RequestQueue;
 use crate::scheduler::CyclePlan;
 use crate::stats::HOramStats;
-use crate::storage_layer::StorageLayer;
+use crate::storage_layer::{LoadPlan, StorageLayer};
 use oram_crypto::keys::{KeyHierarchy, MasterKey};
 use oram_crypto::prf::Prf;
 use oram_protocols::error::OramError;
@@ -210,7 +210,7 @@ impl HOram {
     /// [`take_response`](Self::take_response)).
     pub fn drain(&mut self, tickets: &[u64]) -> Result<Vec<Vec<u8>>, OramError> {
         while !self.queue.is_drained() {
-            self.run_cycle()?;
+            self.run_cycle_window(self.config.io_batch)?;
         }
         let mut out = Vec::with_capacity(tickets.len());
         for ticket in tickets {
@@ -239,70 +239,130 @@ impl HOram {
 
     /// Executes one scheduling cycle: up to `c` memory accesses overlapped
     /// with exactly one I/O load (real or dummy), then period bookkeeping.
+    /// Equivalent to [`run_cycle_window`](Self::run_cycle_window) with a
+    /// window of one.
     ///
     /// # Errors
     ///
     /// Storage/crypto/protocol errors propagate.
     pub fn run_cycle(&mut self) -> Result<(), OramError> {
-        let c = self.config.stage_c(self.io_used_in_period);
+        self.run_cycle_window(1).map(|_| ())
+    }
+
+    /// Executes up to `max_cycles` scheduling cycles as one I/O window:
+    ///
+    /// 1. **plan** — each cycle is planned exactly as in the sequential
+    ///    path (hit hoisting, miss selection, padding). Planning mutates
+    ///    control-layer state only — the ROB, the permutation list, the
+    ///    period markers ([`StorageLayer::plan_io`]) — so cycle `j+1`'s
+    ///    hit test already observes cycle `j`'s load, and the per-cycle
+    ///    decisions are *identical* to running
+    ///    [`run_cycle`](Self::run_cycle) `max_cycles` times;
+    /// 2. **commit** — the window's loads go to the storage device as one
+    ///    queued scatter read ([`StorageLayer::commit_io`]), coalescing
+    ///    per-op device overhead;
+    /// 3. **execute** — the memory halves run in plan order, each cycle's
+    ///    loaded block landing in the tree before the next cycle's hits
+    ///    are served.
+    ///
+    /// The observable storage access sequence (slots, order, sizes) is
+    /// byte-identical to the sequential path — only the simulated cost
+    /// shrinks. The window never crosses a period boundary (it is clamped
+    /// to the period's remaining I/O budget) and stops early when the ROB
+    /// drains. Returns the number of cycles executed.
+    ///
+    /// [`StorageLayer::plan_io`]: crate::storage_layer::StorageLayer::plan_io
+    /// [`StorageLayer::commit_io`]: crate::storage_layer::StorageLayer::commit_io
+    ///
+    /// # Errors
+    ///
+    /// Storage/crypto/protocol errors propagate and are **fail-stop**:
+    /// planned cycles have already mutated the ROB and location table, so
+    /// after an error the instance's trusted metadata no longer matches
+    /// the device and the instance must be discarded (the same corruption
+    /// cases were fatal to the request on the sequential path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_cycles` is zero.
+    pub fn run_cycle_window(&mut self, max_cycles: u64) -> Result<u64, OramError> {
+        assert!(max_cycles >= 1, "a cycle window must cover at least one cycle");
+        // Clamp to the period budget: shuffles happen between windows, so
+        // the once-per-period invariant never spans a commit.
+        let window = max_cycles.min(self.config.period_io_limit() - self.io_used_in_period);
+
+        // Phase 1: plan the window's cycles (control-layer state only).
         let d = self.config.prefetch_distance;
-        let storage = &self.storage;
-        let plan: CyclePlan = self.queue.plan(c, d, |id| storage.is_in_memory(id));
-
-        // Memory half: serve hits, then pad with dummy path accesses.
-        let mut memory_time = SimDuration::ZERO;
-        for entry in &plan.hits {
-            let (data, receipt) = match &entry.request.op {
-                RequestOp::Read => self.memory.access_read(entry.request.id)?,
-                RequestOp::Write(payload) => {
-                    self.stats.writes += 1;
-                    self.memory.access_write(entry.request.id, payload)?
-                }
-            };
-            memory_time += receipt.memory;
-            self.queue.complete(entry.ticket, data);
-            self.stats.memory_hits += 1;
-            self.stats.requests += 1;
-        }
-        for _ in 0..plan.dummy_memory {
-            memory_time += self.memory.dummy_access()?.memory;
-            self.stats.dummy_memory_accesses += 1;
-        }
-
-        // I/O half: one load, real or dummy, overlapped with the memory half.
-        let io_load = match plan.miss_block {
-            Some(id) => {
-                self.stats.real_io_loads += 1;
-                self.storage.fetch(id)?
+        let mut plans: Vec<CyclePlan> = Vec::with_capacity(window as usize);
+        for offset in 0..window {
+            if offset > 0 && self.queue.is_drained() {
+                break;
             }
-            None => {
-                self.stats.dummy_io_loads += 1;
-                let load = self.storage.dummy_load()?;
-                if load.block.is_some() {
-                    self.stats.prefetched_blocks += 1;
-                }
-                load
-            }
-        };
-        if let Some((id, payload)) = io_load.block {
-            self.memory.insert_block(id, payload)?;
+            let c = self.config.stage_c(self.io_used_in_period + offset);
+            let storage = &self.storage;
+            let plan: CyclePlan = self.queue.plan(c, d, |id| storage.is_in_memory(id));
+            self.storage.plan_io(match plan.miss_block {
+                Some(id) => LoadPlan::Miss(id),
+                None => LoadPlan::Dummy,
+            });
+            plans.push(plan);
         }
-        let io_time = io_load.duration;
 
-        // Wall clock: the paper overlaps the c path accesses with the load
-        // ("the I/O loads and in-memory reads are conducted simultaneously").
-        let wall = memory_time.max(io_time);
+        // Phase 2: the window's I/O as one scatter read.
+        let batch = self.storage.commit_io()?;
+
+        // Phase 3: memory halves in plan order.
+        let mut memory_total = SimDuration::ZERO;
+        for (plan, io_load) in plans.iter().zip(batch.loads) {
+            let mut memory_time = SimDuration::ZERO;
+            for entry in &plan.hits {
+                let (data, receipt) = match &entry.request.op {
+                    RequestOp::Read => self.memory.access_read(entry.request.id)?,
+                    RequestOp::Write(payload) => {
+                        self.stats.writes += 1;
+                        self.memory.access_write(entry.request.id, payload)?
+                    }
+                };
+                memory_time += receipt.memory;
+                self.queue.complete(entry.ticket, data);
+                self.stats.memory_hits += 1;
+                self.stats.requests += 1;
+            }
+            for _ in 0..plan.dummy_memory {
+                memory_time += self.memory.dummy_access()?.memory;
+                self.stats.dummy_memory_accesses += 1;
+            }
+            match plan.miss_block {
+                Some(_) => self.stats.real_io_loads += 1,
+                None => {
+                    self.stats.dummy_io_loads += 1;
+                    if io_load.block.is_some() {
+                        self.stats.prefetched_blocks += 1;
+                    }
+                }
+            }
+            if let Some((id, payload)) = io_load.block {
+                self.memory.insert_block(id, payload)?;
+            }
+            memory_total += memory_time;
+            self.stats.cycles += 1;
+        }
+
+        // Wall clock: the paper overlaps the path accesses with the loads
+        // ("the I/O loads and in-memory reads are conducted simultaneously");
+        // a window overlaps its whole memory stream with its whole batch.
+        let executed = plans.len() as u64;
+        let wall = memory_total.max(batch.io_time);
         self.clock.advance(wall);
         self.stats.access_wall_time += wall;
-        self.stats.memory_time += memory_time;
-        self.stats.io_time += io_time;
-        self.stats.cycles += 1;
+        self.stats.memory_time += memory_total;
+        self.stats.io_time += batch.io_time;
 
-        self.io_used_in_period += 1;
+        self.io_used_in_period += executed;
         if self.io_used_in_period >= self.config.period_io_limit() {
             self.shuffle_period()?;
         }
-        Ok(())
+        Ok(executed)
     }
 
     /// Runs the shuffle period now (normally triggered automatically when
@@ -423,6 +483,81 @@ mod tests {
             }
         }
         assert!(oram.stats().shuffles >= 1, "workload must cross a period boundary");
+    }
+
+    fn build_batched(capacity: u64, memory_slots: u64, io_batch: u64) -> HOram {
+        let config =
+            HOramConfig::new(capacity, 8, memory_slots).with_seed(17).with_io_batch(io_batch);
+        HOram::new(config, MemoryHierarchy::dac2019(), MasterKey::from_bytes([9; 32]))
+            .unwrap()
+    }
+
+    #[test]
+    fn windowed_drain_matches_sequential_exactly() {
+        // Identical responses, identical storage access sequence
+        // (oblivious-trace equality), identical cycle/load/shuffle counts;
+        // strictly less simulated I/O time. The workload crosses several
+        // shuffle periods (memory 64 ⇒ period 32) and mixes hits, misses
+        // and writes.
+        let mut rng = DeterministicRng::from_u64_seed(41);
+        let requests: Vec<Request> = (0..220)
+            .map(|_| {
+                let id = rng.gen_range(0..256u64);
+                if rng.gen_bool(0.3) {
+                    Request::write(id, vec![rng.gen::<u8>(); 8])
+                } else {
+                    Request::read(id)
+                }
+            })
+            .collect();
+
+        let mut sequential = build(256, 64);
+        let seq_responses = sequential.run_batch(&requests).unwrap();
+        let storage_id = sequential.storage.device().id();
+        let seq_addrs = sequential.trace().address_sequence(storage_id);
+
+        let mut batched = build_batched(256, 64, 8);
+        let bat_responses = batched.run_batch(&requests).unwrap();
+        let bat_addrs = batched.trace().address_sequence(storage_id);
+
+        assert_eq!(seq_responses, bat_responses);
+        assert_eq!(seq_addrs, bat_addrs, "storage access patterns diverged");
+        let (seq_stats, bat_stats) = (sequential.stats(), batched.stats());
+        assert!(seq_stats.shuffles >= 2, "setup: must cross periods");
+        assert_eq!(seq_stats.cycles, bat_stats.cycles);
+        assert_eq!(seq_stats.total_io_loads(), bat_stats.total_io_loads());
+        assert_eq!(seq_stats.real_io_loads, bat_stats.real_io_loads);
+        assert_eq!(seq_stats.shuffles, bat_stats.shuffles);
+        assert_eq!(seq_stats.memory_time, bat_stats.memory_time);
+        assert!(
+            bat_stats.io_time < seq_stats.io_time,
+            "batched I/O {:?} !< sequential {:?}",
+            bat_stats.io_time,
+            seq_stats.io_time
+        );
+        assert!(bat_stats.access_wall_time <= seq_stats.access_wall_time);
+    }
+
+    #[test]
+    fn cycle_window_never_crosses_a_period_boundary() {
+        let mut oram = build_batched(256, 16, 64); // period = 8 ≪ window
+        let requests: Vec<Request> = (0..40u64).map(Request::read).collect();
+        oram.run_batch(&requests).unwrap();
+        let stats = oram.stats();
+        assert!(stats.shuffles >= 2);
+        // One load per cycle still holds under windows, and the period
+        // limit was honored (each window clamps to the remaining budget).
+        assert_eq!(stats.total_io_loads(), stats.cycles);
+    }
+
+    #[test]
+    fn cycle_window_stops_when_the_rob_drains() {
+        let mut oram = build_batched(256, 64, 32);
+        oram.enqueue(Request::read(1u64)).unwrap();
+        oram.enqueue(Request::read(2u64)).unwrap();
+        let executed = oram.run_cycle_window(32).unwrap();
+        assert!(executed < 32, "window should stop early, ran {executed} cycles");
+        assert!(oram.queue().is_drained());
     }
 
     #[test]

@@ -52,4 +52,4 @@ pub use queue::RequestQueue;
 pub use rob::{RobEntry, RobTable};
 pub use scheduler::{plan_cycle, CyclePlan};
 pub use stats::HOramStats;
-pub use storage_layer::{IoLoad, ShuffleReport, StorageLayer};
+pub use storage_layer::{BatchLoad, IoLoad, LoadPlan, ShuffleReport, StorageLayer};

@@ -59,11 +59,19 @@ pub struct ServiceConfig {
     /// distrusting tenants (see the [module docs](self)); disable it
     /// when that matters more than throughput.
     pub dedup: bool,
+    /// Scheduling cycles drained per I/O window: each pump plans up to
+    /// this many cycles and issues their storage loads as one scatter
+    /// read (`HOram::run_cycle_window`), coalescing per-op device
+    /// overhead. Every window's observable shape matches the per-cycle
+    /// path cycle for cycle; `1` reproduces the per-cycle drain exactly,
+    /// while larger windows check the pump's low watermark only between
+    /// windows (so a drain can run up to one window past it).
+    pub io_batch: u64,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
-        Self { batch_size: 64, max_pending_per_tenant: 4096, dedup: true }
+        Self { batch_size: 64, max_pending_per_tenant: 4096, dedup: true, io_batch: 16 }
     }
 }
 
@@ -220,6 +228,7 @@ impl OramService {
     pub fn new(oram: HOram, policy: Box<dyn AdmissionPolicy>, config: ServiceConfig) -> Self {
         assert!(config.batch_size > 0, "batch_size must be positive");
         assert!(config.max_pending_per_tenant > 0, "backpressure bound must be positive");
+        assert!(config.io_batch > 0, "io_batch must be positive");
         Self {
             oram,
             acl: AccessControl::new(),
@@ -397,8 +406,19 @@ impl OramService {
         } else {
             0
         };
+        // Each window plans up to `io_batch` cycles and issues their
+        // storage loads as one scatter read — the batched I/O pipeline
+        // under the multi-tenant path. Windows are clamped to the request
+        // count above the watermark, so deep queues get full batches
+        // while near the watermark the drain falls back to short windows.
+        // The watermark is still checked at window granularity: because a
+        // cycle can retire up to `c` hits, a window may drain past it by
+        // up to a window's worth of retirements before the next check —
+        // a deliberate trade (full scatter batches) over stopping
+        // per-cycle.
         while self.oram.queue().pending() > watermark {
-            self.oram.run_cycle()?;
+            let above = (self.oram.queue().pending() - watermark) as u64;
+            self.oram.run_cycle_window(self.config.io_batch.min(above))?;
         }
 
         // Collect every response that completed. Piggybackers share their

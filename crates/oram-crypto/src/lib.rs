@@ -44,6 +44,7 @@
 
 pub mod chacha;
 pub mod keys;
+pub mod pool;
 pub mod prf;
 pub mod prp;
 pub mod rng;
@@ -52,6 +53,7 @@ pub mod siphash;
 
 pub use chacha::ChaCha20;
 pub use keys::{KeyHierarchy, MasterKey, SubKeys};
+pub use pool::BufferPool;
 pub use prf::Prf;
 pub use prp::FeistelPrp;
 pub use rng::DeterministicRng;

@@ -70,6 +70,14 @@ impl SealedBlock {
         8 + 8 + 8 + self.body.len()
     }
 
+    /// Consumes the block, returning its ciphertext buffer. Used to
+    /// recycle discarded blocks' allocations through a
+    /// [`crate::pool::BufferPool`] (the bytes are ciphertext under a key
+    /// that is being retired, so handing them back is harmless).
+    pub fn into_body(self) -> Vec<u8> {
+        self.body
+    }
+
     /// Test-and-fault-injection hook: flips one bit of the ciphertext.
     ///
     /// Exposed so integration tests can verify that corruption is detected;
@@ -128,7 +136,14 @@ impl BlockSealer {
     /// the ORAM reshuffle discipline guarantees this by bumping the epoch
     /// whenever blocks are rewritten.
     pub fn seal(&self, block_id: u64, epoch: u64, plaintext: &[u8]) -> SealedBlock {
-        let mut body = plaintext.to_vec();
+        self.seal_into(block_id, epoch, plaintext.to_vec())
+    }
+
+    /// Seals a caller-provided plaintext buffer, encrypting it **in place**
+    /// — the buffer becomes the ciphertext body without a copy. This is the
+    /// zero-copy core of [`seal`](Self::seal); the shuffle stream feeds it
+    /// buffers recycled through a [`crate::pool::BufferPool`].
+    pub fn seal_into(&self, block_id: u64, epoch: u64, mut body: Vec<u8>) -> SealedBlock {
         ChaCha20::new(&self.enc_key, &Self::nonce(block_id, epoch)).apply_keystream(&mut body);
         let tag = self.compute_tag(block_id, epoch, &body);
         SealedBlock { block_id, epoch, body, tag }
@@ -142,13 +157,25 @@ impl BlockSealer {
     /// i.e. the block was corrupted, truncated, replayed across epochs, or
     /// sealed under different keys. No plaintext is returned in that case.
     pub fn open(&self, block: &SealedBlock) -> Result<Vec<u8>, CryptoError> {
-        let expected = self.compute_tag(block.block_id, block.epoch, &block.body);
-        if expected != block.tag {
-            return Err(CryptoError::TagMismatch { block_id: block.block_id });
+        self.open_in_place(block.clone())
+    }
+
+    /// Verifies and decrypts a sealed block the caller owns, reusing its
+    /// ciphertext buffer as the plaintext output — no copy.
+    /// [`open`](Self::open) is a thin wrapper that clones once to satisfy
+    /// a borrowed input; bulk paths (batched loads, the shuffle stream)
+    /// call this directly on blocks taken out of the device.
+    ///
+    /// # Errors
+    ///
+    /// As [`open`](Self::open); the buffer is dropped on tag mismatch.
+    pub fn open_in_place(&self, block: SealedBlock) -> Result<Vec<u8>, CryptoError> {
+        let SealedBlock { block_id, epoch, mut body, tag } = block;
+        let expected = self.compute_tag(block_id, epoch, &body);
+        if expected != tag {
+            return Err(CryptoError::TagMismatch { block_id });
         }
-        let mut body = block.body.clone();
-        ChaCha20::new(&self.enc_key, &Self::nonce(block.block_id, block.epoch))
-            .apply_keystream(&mut body);
+        ChaCha20::new(&self.enc_key, &Self::nonce(block_id, epoch)).apply_keystream(&mut body);
         Ok(body)
     }
 
@@ -193,6 +220,48 @@ mod tests {
         let sealer = sealer();
         let sealed = sealer.seal(1, 0, b"payload");
         assert_eq!(sealer.open(&sealed).unwrap(), b"payload");
+    }
+
+    #[test]
+    fn seal_into_matches_seal_and_reuses_the_buffer() {
+        let sealer = sealer();
+        let by_ref = sealer.seal(3, 2, b"same bytes");
+        let buffer = b"same bytes".to_vec();
+        let pointer = buffer.as_ptr();
+        let owned = sealer.seal_into(3, 2, buffer);
+        assert_eq!(by_ref, owned);
+        // Zero-copy: the ciphertext body is the caller's buffer.
+        assert_eq!(owned.ciphertext().as_ptr(), pointer);
+    }
+
+    #[test]
+    fn open_in_place_matches_open_and_reuses_the_buffer() {
+        let sealer = sealer();
+        let sealed = sealer.seal(4, 1, b"plaintext");
+        assert_eq!(sealer.open(&sealed).unwrap(), b"plaintext");
+        let pointer = sealed.ciphertext().as_ptr();
+        let plain = sealer.open_in_place(sealed).unwrap();
+        assert_eq!(plain, b"plaintext");
+        assert_eq!(plain.as_ptr(), pointer);
+    }
+
+    #[test]
+    fn open_in_place_rejects_corruption() {
+        let sealer = sealer();
+        let mut sealed = sealer.seal(6, 0, b"checked");
+        sealed.corrupt_bit(3);
+        assert_eq!(
+            sealer.open_in_place(sealed).unwrap_err(),
+            CryptoError::TagMismatch { block_id: 6 }
+        );
+    }
+
+    #[test]
+    fn into_body_returns_the_ciphertext() {
+        let sealer = sealer();
+        let sealed = sealer.seal(1, 0, b"abc");
+        let ciphertext = sealed.ciphertext().to_vec();
+        assert_eq!(sealed.into_body(), ciphertext);
     }
 
     #[test]

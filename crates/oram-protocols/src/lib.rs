@@ -43,4 +43,4 @@ pub use recursive::RecursivePathOram;
 pub use square_root::{SquareRootOram, SquareRootStats};
 pub use stash::{Stash, StashEntry};
 pub use tree_top_cache::{build_tree_top_cache, TreeTopCachePathOram, TreeTopSplit};
-pub use types::{BlockContent, BlockId, Request, RequestOp};
+pub use types::{BlockContent, BlockContentRef, BlockId, Request, RequestOp};

@@ -83,6 +83,41 @@ pub enum BlockContent {
     },
 }
 
+/// A borrowed view of one encoded slot — [`BlockContent`] without the
+/// payload allocation. The zero-copy I/O pipeline decodes into this view
+/// and keeps working on the decrypted wire buffer itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockContentRef<'a> {
+    /// A slot holding no data (padding).
+    Dummy,
+    /// A slot holding application data.
+    Real {
+        /// Logical identifier.
+        id: BlockId,
+        /// Current position-map tag (see [`BlockContent::Real`]).
+        leaf: u64,
+        /// Application payload, borrowed from the wire bytes.
+        payload: &'a [u8],
+    },
+}
+
+impl BlockContentRef<'_> {
+    /// Copies the view into an owned [`BlockContent`].
+    pub fn to_owned(self) -> BlockContent {
+        match self {
+            BlockContentRef::Dummy => BlockContent::Dummy,
+            BlockContentRef::Real { id, leaf, payload } => {
+                BlockContent::Real { id, leaf, payload: payload.to_vec() }
+            }
+        }
+    }
+
+    /// Whether this is a real block.
+    pub fn is_real(&self) -> bool {
+        matches!(self, BlockContentRef::Real { .. })
+    }
+}
+
 const TAG_DUMMY: u8 = 0;
 const TAG_REAL: u8 = 1;
 /// Bytes of header: tag + id + leaf.
@@ -102,6 +137,20 @@ impl BlockContent {
     /// caller (protocol code) validates application input first.
     pub fn encode(&self, payload_len: usize) -> Vec<u8> {
         let mut out = vec![0u8; Self::encoded_len(payload_len)];
+        self.encode_into(payload_len, &mut out);
+        out
+    }
+
+    /// Serializes into a caller-provided buffer, which is resized to the
+    /// uniform wire size — the allocation-free variant of
+    /// [`encode`](Self::encode) for pooled buffers.
+    ///
+    /// # Panics
+    ///
+    /// As [`encode`](Self::encode).
+    pub fn encode_into(&self, payload_len: usize, out: &mut Vec<u8>) {
+        out.clear();
+        out.resize(Self::encoded_len(payload_len), 0);
         match self {
             BlockContent::Dummy => {
                 out[0] = TAG_DUMMY;
@@ -114,7 +163,6 @@ impl BlockContent {
                 out[HEADER_LEN..].copy_from_slice(payload);
             }
         }
-        out
     }
 
     /// Parses from wire bytes.
@@ -125,22 +173,57 @@ impl BlockContent {
     /// diagnosis) if the bytes are shorter than a header or carry an
     /// unknown tag.
     pub fn decode(bytes: &[u8], slot: u64) -> Result<Self, OramError> {
+        Self::decode_ref(bytes, slot).map(BlockContentRef::to_owned)
+    }
+
+    /// Parses wire bytes into a borrowed view — no payload copy. The
+    /// owned [`decode`](Self::decode) is a thin wrapper over this.
+    ///
+    /// # Errors
+    ///
+    /// As [`decode`](Self::decode).
+    pub fn decode_ref(bytes: &[u8], slot: u64) -> Result<BlockContentRef<'_>, OramError> {
         if bytes.len() < HEADER_LEN {
             return Err(OramError::MalformedBlock { slot });
         }
         match bytes[0] {
-            TAG_DUMMY => Ok(BlockContent::Dummy),
+            TAG_DUMMY => Ok(BlockContentRef::Dummy),
             TAG_REAL => {
                 let id = u64::from_le_bytes(bytes[1..9].try_into().expect("8 bytes"));
                 let leaf = u64::from_le_bytes(bytes[9..17].try_into().expect("8 bytes"));
-                Ok(BlockContent::Real {
-                    id: BlockId(id),
-                    leaf,
-                    payload: bytes[HEADER_LEN..].to_vec(),
-                })
+                Ok(BlockContentRef::Real { id: BlockId(id), leaf, payload: &bytes[HEADER_LEN..] })
             }
             _ => Err(OramError::MalformedBlock { slot }),
         }
+    }
+
+    /// Parses an owned wire buffer, reusing it as the payload allocation:
+    /// for a real block the header bytes are drained off the front and the
+    /// remainder *is* the payload (one `memmove`, zero allocations).
+    ///
+    /// # Errors
+    ///
+    /// As [`decode`](Self::decode).
+    pub fn decode_owned(mut bytes: Vec<u8>, slot: u64) -> Result<Self, OramError> {
+        match Self::decode_ref(&bytes, slot)? {
+            BlockContentRef::Dummy => Ok(BlockContent::Dummy),
+            BlockContentRef::Real { id, leaf, .. } => {
+                bytes.drain(..HEADER_LEN);
+                Ok(BlockContent::Real { id, leaf, payload: bytes })
+            }
+        }
+    }
+
+    /// Rewrites the `leaf` field of an encoded **real** block in place —
+    /// the shuffle stream re-homes blocks on their decrypted wire buffers
+    /// without re-encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not an encoded real block.
+    pub fn patch_wire_leaf(bytes: &mut [u8], leaf: u64) {
+        assert!(bytes.len() >= HEADER_LEN && bytes[0] == TAG_REAL, "not an encoded real block");
+        bytes[9..17].copy_from_slice(&leaf.to_le_bytes());
     }
 
     /// Whether this is a real block.
@@ -168,6 +251,62 @@ mod tests {
         let real = BlockContent::Real { id: BlockId(1), leaf: 0, payload: vec![9u8; 16] }.encode(16);
         assert_eq!(dummy.len(), real.len(), "dummy and real must be indistinguishable by size");
         assert_eq!(BlockContent::decode(&dummy, 3).unwrap(), BlockContent::Dummy);
+    }
+
+    #[test]
+    fn decode_ref_borrows_the_payload() {
+        let content = BlockContent::Real { id: BlockId(9), leaf: 2, payload: vec![5, 6, 7] };
+        let bytes = content.encode(3);
+        match BlockContent::decode_ref(&bytes, 0).unwrap() {
+            BlockContentRef::Real { id, leaf, payload } => {
+                assert_eq!(id, BlockId(9));
+                assert_eq!(leaf, 2);
+                assert_eq!(payload, &[5, 6, 7]);
+                assert_eq!(payload.as_ptr(), bytes[17..].as_ptr(), "payload must borrow");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(BlockContent::decode_ref(&bytes, 0).unwrap().is_real());
+        assert_eq!(BlockContent::decode_ref(&bytes, 0).unwrap().to_owned(), content);
+    }
+
+    #[test]
+    fn decode_owned_reuses_the_buffer() {
+        let content = BlockContent::Real { id: BlockId(4), leaf: 0, payload: vec![1; 8] };
+        let bytes = content.encode(8);
+        assert_eq!(BlockContent::decode_owned(bytes, 0).unwrap(), content);
+        let dummy = BlockContent::Dummy.encode(8);
+        assert_eq!(BlockContent::decode_owned(dummy, 0).unwrap(), BlockContent::Dummy);
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_reuses_capacity() {
+        let content = BlockContent::Real { id: BlockId(1), leaf: 3, payload: vec![2; 4] };
+        let mut buffer = Vec::with_capacity(64);
+        buffer.extend_from_slice(&[0xFF; 30]); // stale contents must not leak through
+        content.encode_into(4, &mut buffer);
+        assert_eq!(buffer, content.encode(4));
+        let mut dummy_buffer = buffer.clone();
+        BlockContent::Dummy.encode_into(4, &mut dummy_buffer);
+        assert_eq!(dummy_buffer, BlockContent::Dummy.encode(4));
+    }
+
+    #[test]
+    fn patch_wire_leaf_rewrites_in_place() {
+        let content = BlockContent::Real { id: BlockId(7), leaf: 11, payload: vec![3; 4] };
+        let mut bytes = content.encode(4);
+        BlockContent::patch_wire_leaf(&mut bytes, 0);
+        assert_eq!(
+            BlockContent::decode(&bytes, 0).unwrap(),
+            BlockContent::Real { id: BlockId(7), leaf: 0, payload: vec![3; 4] }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not an encoded real block")]
+    fn patch_wire_leaf_rejects_dummies() {
+        let mut bytes = BlockContent::Dummy.encode(4);
+        BlockContent::patch_wire_leaf(&mut bytes, 0);
     }
 
     #[test]

@@ -72,12 +72,38 @@ pub trait TimingModel: fmt::Debug + Send {
         self.access_cost(kind, offset, bytes)
     }
 
+    /// Per-operation costs of a *queued batch* of same-size accesses: the
+    /// caller submits all `offsets` at once, so the device may schedule
+    /// them internally (elevator sweeps, command-queue overlap) while the
+    /// returned costs stay aligned with the submission order. Returns one
+    /// cost per offset; implementations must leave internal state exactly
+    /// as if the batch completed.
+    ///
+    /// Defaults to charging each access independently in submission order
+    /// (no batching benefit) — models with per-op overhead that command
+    /// queuing can coalesce (HDD seeks, SSD/NVMe doorbell latency)
+    /// override this.
+    fn scatter_costs(&mut self, kind: AccessKind, offsets: &[u64], bytes_per_op: u64) -> Vec<SimDuration> {
+        offsets.iter().map(|&offset| self.access_cost(kind, offset, bytes_per_op)).collect()
+    }
+
     /// Peak sequential bandwidth in bytes/second, for analytical models.
     fn sequential_bandwidth(&self, kind: AccessKind) -> f64;
 
     /// Forgets locality state (e.g. parks the head). Used between
     /// experiment phases.
     fn reset(&mut self);
+}
+
+/// One element of a [`Device::read_scatter`] result: the block found at
+/// the requested slot (if any) and the simulated cost attributed to that
+/// command within the batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScatterItem {
+    /// The stored block, or `None` for an empty slot.
+    pub block: Option<SealedBlock>,
+    /// Simulated cost of this command (batch scheduling already applied).
+    pub cost: SimDuration,
 }
 
 /// A simulated block device.
@@ -238,6 +264,65 @@ impl Device {
         Ok(())
     }
 
+    /// Reads the sealed blocks at the given slots as **one queued batch**:
+    /// the device sees all commands at once and schedules them internally
+    /// (see [`TimingModel::scatter_costs`]), so the per-op overhead
+    /// coalesces. Observably identical to issuing
+    /// [`read_block`](Self::read_block) per slot in the same order — the
+    /// trace records one event per slot, in submission order, with the
+    /// same addresses and byte counts — only the simulated costs shrink.
+    /// Empty slots yield `None` (they still pay and trace their access).
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::OutOfCapacity`] if any slot is beyond a configured
+    /// capacity (checked before any access is charged).
+    pub fn read_scatter(&mut self, addrs: &[u64]) -> Result<Vec<ScatterItem>, StorageError> {
+        if addrs.is_empty() {
+            return Ok(Vec::new());
+        }
+        for &addr in addrs {
+            self.check_capacity(addr)?;
+        }
+        let bytes = self.charged_block_bytes;
+        let offsets: Vec<u64> = addrs.iter().map(|&addr| addr * bytes).collect();
+        let costs = self.timing.scatter_costs(AccessKind::Read, &offsets, bytes);
+        let mut out = Vec::with_capacity(addrs.len());
+        for (&addr, cost) in addrs.iter().zip(costs) {
+            self.record(AccessKind::Read, addr, bytes, cost);
+            out.push(ScatterItem { block: self.store.get(addr).cloned(), cost });
+        }
+        Ok(out)
+    }
+
+    /// Writes `(slot, block)` pairs as one queued batch — the vectored
+    /// counterpart of [`read_scatter`](Self::read_scatter), for writers
+    /// whose targets are discontiguous (in-place update protocols,
+    /// write-back caches). H-ORAM's own shuffle writes whole partitions
+    /// and uses the cheaper streaming [`write_run`](Self::write_run)
+    /// instead.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::OutOfCapacity`] if any slot is beyond a configured
+    /// capacity (checked before any write lands).
+    pub fn write_scatter(&mut self, writes: Vec<(u64, SealedBlock)>) -> Result<(), StorageError> {
+        if writes.is_empty() {
+            return Ok(());
+        }
+        for (addr, _) in &writes {
+            self.check_capacity(*addr)?;
+        }
+        let bytes = self.charged_block_bytes;
+        let offsets: Vec<u64> = writes.iter().map(|(addr, _)| addr * bytes).collect();
+        let costs = self.timing.scatter_costs(AccessKind::Write, &offsets, bytes);
+        for ((addr, block), cost) in writes.into_iter().zip(costs) {
+            self.store.put(addr, block);
+            self.record(AccessKind::Write, addr, bytes, cost);
+        }
+        Ok(())
+    }
+
     /// Removes and returns the block at `addr` without charging time
     /// (used by shuffle logic that has already paid for a streaming read).
     pub fn take_block(&mut self, addr: u64) -> Option<SealedBlock> {
@@ -273,15 +358,48 @@ impl Device {
         Ok(blocks)
     }
 
+    /// Reads `count` consecutive slots starting at `start` as one
+    /// streaming run, **removing** the blocks from the store — identical
+    /// charge and trace to [`read_run`](Self::read_run), but the caller
+    /// takes ownership of the stored blocks without a clone. The shuffle
+    /// uses this: every taken slot is rewritten before the pass ends.
+    ///
+    /// # Errors
+    ///
+    /// As [`read_run`](Self::read_run).
+    pub fn take_run(
+        &mut self,
+        start: u64,
+        count: u64,
+    ) -> Result<Vec<Option<SealedBlock>>, StorageError> {
+        if count == 0 {
+            return Ok(Vec::new());
+        }
+        self.check_capacity(start + count - 1)?;
+        let blocks: Vec<Option<SealedBlock>> =
+            (start..start + count).map(|a| self.store.remove(a)).collect();
+        let bytes = self.charged_block_bytes * count;
+        let cost = self.timing.streaming_cost(AccessKind::Read, start * self.charged_block_bytes, bytes);
+        self.record(AccessKind::Read, start, bytes, cost);
+        Ok(blocks)
+    }
+
     /// Writes `blocks` to consecutive slots starting at `start` as one
-    /// streaming run.
-    pub fn write_run(&mut self, start: u64, blocks: Vec<SealedBlock>) -> Result<(), StorageError> {
-        if blocks.is_empty() {
+    /// streaming run. Accepts any exact-size iterator, so sealing
+    /// pipelines can stream blocks in without materializing an extra
+    /// vector.
+    pub fn write_run<I>(&mut self, start: u64, blocks: I) -> Result<(), StorageError>
+    where
+        I: IntoIterator<Item = SealedBlock>,
+        I::IntoIter: ExactSizeIterator,
+    {
+        let blocks = blocks.into_iter();
+        let count = blocks.len() as u64;
+        if count == 0 {
             return Ok(());
         }
-        let count = blocks.len() as u64;
         self.check_capacity(start + count - 1)?;
-        for (i, block) in blocks.into_iter().enumerate() {
+        for (i, block) in blocks.enumerate() {
             self.store.put(start + i as u64, block);
         }
         let bytes = self.charged_block_bytes * count;
@@ -403,7 +521,7 @@ mod tests {
         for addr in 0..64u64 {
             random.write_block(addr * 97 % 64, s.seal(addr, 0, b"d")).unwrap();
         }
-        streaming.write_run(0, (0..64).map(|a| s.seal(a, 0, b"d")).collect()).unwrap();
+        streaming.write_run(0, (0..64).map(|a| s.seal(a, 0, b"d")).collect::<Vec<_>>()).unwrap();
         assert!(
             streaming.stats().busy.as_nanos() * 5 < random.stats().busy.as_nanos(),
             "streaming {} vs random {}",
@@ -428,6 +546,112 @@ mod tests {
         assert!(dev.read_run(0, 0).unwrap().is_empty());
         dev.write_run(9, Vec::new()).unwrap();
         assert_eq!(dev.stats().reads + dev.stats().writes, 0);
+    }
+
+    fn hdd_device() -> Device {
+        Device::new(DeviceId(0), "hdd", Box::new(HddModel::paper_calibrated()), SimClock::new(), None)
+    }
+
+    #[test]
+    fn read_scatter_trace_and_counts_match_sequential_reads() {
+        let s = sealer();
+        let addrs: Vec<u64> = vec![9, 3, 27, 14];
+        let build = |trace: AccessTrace| {
+            let mut dev = Device::new(
+                DeviceId(0),
+                "hdd",
+                Box::new(HddModel::paper_calibrated()),
+                SimClock::new(),
+                Some(trace),
+            );
+            for &a in &addrs {
+                dev.write_block(a, s.seal(a, 0, b"x")).unwrap();
+            }
+            dev.reset_accounting();
+            dev
+        };
+        let seq_trace = AccessTrace::new();
+        let mut sequential = build(seq_trace.clone());
+        seq_trace.clear();
+        let seq_blocks: Vec<SealedBlock> =
+            addrs.iter().map(|&a| sequential.read_block(a).unwrap()).collect();
+
+        let bat_trace = AccessTrace::new();
+        let mut batched = build(bat_trace.clone());
+        bat_trace.clear();
+        let bat_items = batched.read_scatter(&addrs).unwrap();
+
+        // Identical adversary view: same events, same order (timestamps
+        // aside — the shared clock is advanced by the caller).
+        let strip = |t: &AccessTrace| {
+            t.snapshot().into_iter().map(|e| (e.device, e.kind, e.addr, e.bytes)).collect::<Vec<_>>()
+        };
+        assert_eq!(strip(&seq_trace), strip(&bat_trace));
+        // Identical data and op/byte accounting.
+        let bat_blocks: Vec<SealedBlock> =
+            bat_items.into_iter().map(|i| i.block.unwrap()).collect();
+        assert_eq!(seq_blocks, bat_blocks);
+        assert_eq!(sequential.stats().reads, batched.stats().reads);
+        assert_eq!(sequential.stats().bytes_read, batched.stats().bytes_read);
+        // Strictly cheaper in simulated time (queued scheduling).
+        assert!(batched.stats().busy < sequential.stats().busy);
+    }
+
+    #[test]
+    fn write_scatter_stores_and_is_cheaper_than_sequential_on_hdd() {
+        let s = sealer();
+        let writes: Vec<(u64, SealedBlock)> =
+            (0..32u64).map(|i| (i * 97 % 64, s.seal(i, 0, b"w"))).collect();
+        let mut sequential = hdd_device();
+        for (a, b) in writes.clone() {
+            sequential.write_block(a, b).unwrap();
+        }
+        let mut batched = hdd_device();
+        batched.write_scatter(writes.clone()).unwrap();
+        for (a, b) in &writes {
+            assert_eq!(batched.peek_block(*a), Some(b));
+        }
+        assert_eq!(batched.stats().writes, sequential.stats().writes);
+        assert!(batched.stats().busy < sequential.stats().busy);
+    }
+
+    #[test]
+    fn scatter_on_empty_input_is_free() {
+        let mut dev = dram_device(None);
+        assert!(dev.read_scatter(&[]).unwrap().is_empty());
+        dev.write_scatter(Vec::new()).unwrap();
+        assert_eq!(dev.stats().ops(), 0);
+    }
+
+    #[test]
+    fn scatter_capacity_checked_before_any_charge() {
+        let mut dev = dram_device(None);
+        dev.set_capacity_slots(4);
+        assert!(matches!(
+            dev.read_scatter(&[1, 9]),
+            Err(StorageError::OutOfCapacity { addr: 9, .. })
+        ));
+        assert_eq!(dev.stats().ops(), 0);
+    }
+
+    #[test]
+    fn take_run_charges_like_read_run_and_removes() {
+        let s = sealer();
+        let mut reader = dram_device(None);
+        let mut taker = dram_device(None);
+        for dev in [&mut reader, &mut taker] {
+            for a in 0..4u64 {
+                dev.write_block(a, s.seal(a, 0, b"r")).unwrap();
+            }
+            dev.reset_accounting();
+        }
+        let read = reader.read_run(0, 4).unwrap();
+        let taken = taker.take_run(0, 4).unwrap();
+        assert_eq!(read, taken);
+        assert_eq!(reader.stats(), taker.stats());
+        assert_eq!(reader.stored_blocks(), 4, "read_run clones");
+        assert_eq!(taker.stored_blocks(), 0, "take_run removes");
+        assert!(taker.take_run(0, 0).unwrap().is_empty());
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub mod trace;
 
 pub use calibration::MachineConfig;
 pub use clock::{SimClock, SimDuration, SimTime};
-pub use device::{AccessKind, Device, DeviceId, TimingModel};
+pub use device::{AccessKind, Device, DeviceId, ScatterItem, TimingModel};
 pub use dram::DramModel;
 pub use hdd::HddModel;
 pub use hierarchy::MemoryHierarchy;
