@@ -69,5 +69,11 @@ fn bench_prp(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_chacha, bench_siphash, bench_sealing, bench_prp);
+criterion_group!(
+    benches,
+    bench_chacha,
+    bench_siphash,
+    bench_sealing,
+    bench_prp
+);
 criterion_main!(benches);

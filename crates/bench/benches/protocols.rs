@@ -6,8 +6,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use horam::crypto::keys::{KeyHierarchy, MasterKey};
-use horam::protocols::{Oram, PartitionOram, PathOram, PathOramConfig, SquareRootOram};
 use horam::protocols::BlockId;
+use horam::protocols::{Oram, PartitionOram, PathOram, PathOramConfig, SquareRootOram};
 use horam::storage::calibration::MachineConfig;
 use horam::storage::clock::SimClock;
 use std::hint::black_box;
@@ -18,8 +18,7 @@ const PAYLOAD: usize = 64;
 fn bench_path_oram(c: &mut Criterion) {
     let device = MachineConfig::dac2019().build_memory(SimClock::new(), None);
     let keys = MasterKey::from_bytes([2u8; 32]).derive("bench/path", 0);
-    let mut oram =
-        PathOram::new(PathOramConfig::new(CAPACITY, PAYLOAD), device, &keys).unwrap();
+    let mut oram = PathOram::new(PathOramConfig::new(CAPACITY, PAYLOAD), device, &keys).unwrap();
     let mut i = 0u64;
     c.bench_function("path_oram_access_1024", |b| {
         b.iter(|| {

@@ -13,17 +13,13 @@ fn bench_shuffles(c: &mut Criterion) {
     for n in [1024usize, 8192] {
         for algorithm in ShuffleAlgorithm::ALL {
             group.throughput(Throughput::Elements(n as u64));
-            group.bench_with_input(
-                BenchmarkId::new(algorithm.to_string(), n),
-                &n,
-                |b, &n| {
-                    b.iter(|| {
-                        let mut items: Vec<u64> = (0..n as u64).collect();
-                        algorithm.shuffle(black_box(&mut items), 42);
-                        black_box(items)
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(algorithm.to_string(), n), &n, |b, &n| {
+                b.iter(|| {
+                    let mut items: Vec<u64> = (0..n as u64).collect();
+                    algorithm.shuffle(black_box(&mut items), 42);
+                    black_box(items)
+                });
+            });
         }
     }
     group.finish();

@@ -57,7 +57,11 @@ fn main() {
         let stats = oram.stats();
         table.row(vec![
             algorithm.to_string(),
-            if algorithm.is_oblivious() { "yes".into() } else { "NO (in-enclave only)".to_string() },
+            if algorithm.is_oblivious() {
+                "yes".into()
+            } else {
+                "NO (in-enclave only)".to_string()
+            },
             stats.shuffles.to_string(),
             stats.shuffle_wall_time.to_string(),
             stats.total_wall_time().to_string(),

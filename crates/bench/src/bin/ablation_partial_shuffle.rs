@@ -43,9 +43,12 @@ fn main() {
         "io loads",
     ]);
 
-    for (label, ratio) in
-        [("1 (full)", None), ("1/2", Some(0.5)), ("1/4", Some(0.25)), ("1/8", Some(0.125))]
-    {
+    for (label, ratio) in [
+        ("1 (full)", None),
+        ("1/2", Some(0.5)),
+        ("1/4", Some(0.25)),
+        ("1/8", Some(0.125)),
+    ] {
         let mut config = HOramConfig::new(
             params.capacity_blocks,
             params.payload_len,

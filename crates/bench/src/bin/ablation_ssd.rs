@@ -42,17 +42,14 @@ fn run_pair(machine: MachineConfig, params: &TableParams) -> (SimDuration, SimDu
     )
     .expect("baseline builds");
     baseline
-        .bulk_load(
-            (0..params.capacity_blocks).map(|i| (BlockId(i), vec![0u8; params.payload_len])),
-        )
+        .bulk_load((0..params.capacity_blocks).map(|i| (BlockId(i), vec![0u8; params.payload_len])))
         .expect("bulk load");
     let (mem_before, st_before) = baseline.backend().stats();
     for request in &requests {
         baseline.access(request).expect("access");
     }
     let (mem, st) = baseline.backend().stats();
-    let baseline_total =
-        mem.delta_since(&mem_before).busy + st.delta_since(&st_before).busy;
+    let baseline_total = mem.delta_since(&mem_before).busy + st.delta_since(&st_before).busy;
     (horam_total, baseline_total)
 }
 
@@ -68,7 +65,12 @@ fn main() {
         "Storage-technology ablation — {} blocks, {} requests\n",
         params.capacity_blocks, params.requests
     );
-    let mut table = Table::new(vec!["machine", "H-ORAM total", "Path ORAM total", "speedup"]);
+    let mut table = Table::new(vec![
+        "machine",
+        "H-ORAM total",
+        "Path ORAM total",
+        "speedup",
+    ]);
     for (label, machine) in [
         ("HDD (paper)", MachineConfig::dac2019()),
         ("SSD (2019 SATA)", MachineConfig::dac2019_ssd()),

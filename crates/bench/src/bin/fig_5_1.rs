@@ -36,7 +36,11 @@ fn main() {
                     .iter()
                     .find(|p| p.c == c && p.ratio == ratio)
                     .expect("grid point");
-                let value = if metric == 0 { point.gain_per_request } else { point.gain_per_io_access };
+                let value = if metric == 0 {
+                    point.gain_per_request
+                } else {
+                    point.gain_per_io_access
+                };
                 row.push(format!("{value:.2}"));
             }
             table.row(row);
@@ -46,7 +50,10 @@ fn main() {
 
     // The quotes the paper makes about this figure, versus our model.
     let at = |c: u32, ratio: u64| {
-        points.iter().find(|p| p.c == c && p.ratio == ratio).expect("point")
+        points
+            .iter()
+            .find(|p| p.c == c && p.ratio == ratio)
+            .expect("point")
     };
     let mut report = ExperimentReport::new(
         "fig-5-1",
@@ -77,7 +84,11 @@ fn main() {
         "12x or 16x",
         format!("{best_c4:.1}x (c=4) / {best_c8:.1}x (c=8) per request, at N/n=2"),
     );
-    report.compare("ideal no-shuffle gain at N/n=8", "32x", format!("{:.0}x", at(4, 8).gain_ideal));
+    report.compare(
+        "ideal no-shuffle gain at N/n=8",
+        "32x",
+        format!("{:.0}x", at(4, 8).gain_ideal),
+    );
     report.note(
         "The paper's Eq. 5-4 amortizes the shuffle per I/O access but compares against \
          the baseline's per-request cost; its quoted 8x falls between our two \

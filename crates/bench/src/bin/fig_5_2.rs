@@ -48,7 +48,10 @@ fn main() {
     let mut report = ExperimentReport::new(
         "fig-5-2",
         "Non-shuffle (offload) case",
-        format!("{} requests on the Table 5-3 configuration", params.requests),
+        format!(
+            "{} requests on the Table 5-3 configuration",
+            params.requests
+        ),
     );
     report.compare(
         "ideal per-I/O gain without shuffle (model)",

@@ -1,184 +1,16 @@
 //! I/O-pipeline ablation: per-block vs batched vs batched+zero-copy.
 //!
-//! Three configurations of the same H-ORAM instance serve byte-identical
-//! request traces:
-//!
-//! * **per-block** — `io_batch = 1`, legacy (allocating) crypto: every
-//!   miss and dummy load is its own device round-trip, `BlockSealer::open`
-//!   clones each ciphertext, the shuffle materializes partition images;
-//! * **batched** — `io_batch = 32`, legacy crypto: each scheduling window
-//!   submits its loads as one queued scatter read, so per-op device
-//!   overhead (seek floor, command latency) coalesces;
-//! * **batched+zero-copy** — `io_batch = 32` plus the in-place
-//!   open/seal pipeline with pooled buffers (host-side win only; the
-//!   simulated timing is identical to **batched** by construction).
-//!
-//! Two workloads: a hit-bound Zipf mix (the serving-layer hot-set case —
-//! mostly dummy loads) and a sequential scan (miss-heavy cold sweep).
-//! Responses must be byte-identical across modes (the pipeline is a pure
-//! timing/host optimization) and the batched+zero-copy configuration must
-//! beat per-block simulated I/O time by ≥ 1.5× on the Zipf workload —
-//! the run exits nonzero otherwise, and a machine-readable summary lands
-//! in `BENCH_io.json` for CI trend tracking.
+//! Thin wrapper over [`bench::gates::io_pipeline_gate`]; see that module
+//! for the three configurations and the ≥ 1.5× regression threshold.
+//! Writes the machine-readable report to `BENCH_io.json` (or
+//! `--out <path>`) and exits nonzero when the gate fails.
 //!
 //! ```sh
-//! cargo run --release -p bench --bin io_pipeline [-- --quick]
+//! cargo run --release -p bench --bin io_pipeline [-- --quick] [-- --out <path>]
 //! ```
 
-use bench::quick_flag;
-use horam::analysis::table::Table;
-use horam::prelude::*;
-use horam::workload::{SequentialWorkload, WorkloadGenerator, ZipfWorkload};
-use std::time::Instant;
-
-const CAPACITY: u64 = 4096;
-const MEMORY_SLOTS: u64 = 1024;
-const PAYLOAD_LEN: usize = 16;
-const IO_BATCH: u64 = 32;
-const ZIPF_EXPONENT: f64 = 1.2;
-const WRITE_RATIO: f64 = 0.2;
-const SEED: u64 = 0x10b1;
-const MIN_IO_SPEEDUP: f64 = 1.5;
-
-#[derive(Debug, Clone, Copy, serde::Serialize)]
-struct ModeRow {
-    mode: &'static str,
-    io_batch: u64,
-    zero_copy: bool,
-    /// Simulated storage occupancy of the access periods' loads, µs.
-    sim_io_us: f64,
-    /// Mean simulated latency per I/O load, µs.
-    mean_io_latency_us: f64,
-    /// Simulated end-to-end wall time (access + shuffle), µs.
-    sim_wall_us: f64,
-    /// Host-side wall clock of the run, ms (allocation/copy ablation).
-    host_ms: f64,
-}
-
-#[derive(Debug, serde::Serialize)]
-struct WorkloadReport {
-    workload: &'static str,
-    requests: usize,
-    modes: Vec<ModeRow>,
-    /// per-block simulated I/O time over batched+zero-copy.
-    io_speedup: f64,
-    /// per-block simulated wall time over batched+zero-copy.
-    wall_speedup: f64,
-    responses_match: bool,
-}
-
-#[derive(Debug, serde::Serialize)]
-struct BenchReport {
-    bench: &'static str,
-    gate_workload: &'static str,
-    min_io_speedup: f64,
-    pass: bool,
-    workloads: Vec<WorkloadReport>,
-}
-
-fn run_mode(mode: &'static str, io_batch: u64, zero_copy: bool, requests: &[Request]) -> (ModeRow, Vec<Vec<u8>>) {
-    let config = HOramConfig::new(CAPACITY, PAYLOAD_LEN, MEMORY_SLOTS)
-        .with_seed(SEED)
-        .with_io_batch(io_batch)
-        .with_zero_copy_io(zero_copy);
-    let mut oram = HOram::new(config, MemoryHierarchy::dac2019(), MasterKey::from_bytes([0xC7; 32]))
-        .expect("builds");
-    let started = Instant::now();
-    let responses = oram.run_batch(requests).expect("runs");
-    let host_ms = started.elapsed().as_secs_f64() * 1e3;
-    let stats = oram.stats();
-    let row = ModeRow {
-        mode,
-        io_batch,
-        zero_copy,
-        sim_io_us: stats.io_time.as_micros_f64(),
-        mean_io_latency_us: stats.mean_io_latency().as_micros_f64(),
-        sim_wall_us: stats.total_wall_time().as_micros_f64(),
-        host_ms,
-    };
-    (row, responses)
-}
-
-fn run_workload(workload: &'static str, requests: Vec<Request>) -> WorkloadReport {
-    let (per_block, base_responses) = run_mode("per-block", 1, false, &requests);
-    let (batched, batched_responses) = run_mode("batched", IO_BATCH, false, &requests);
-    let (zero_copy, zc_responses) = run_mode("batched+zero-copy", IO_BATCH, true, &requests);
-    let responses_match = base_responses == batched_responses && base_responses == zc_responses;
-    WorkloadReport {
-        workload,
-        requests: requests.len(),
-        io_speedup: per_block.sim_io_us / zero_copy.sim_io_us.max(f64::MIN_POSITIVE),
-        wall_speedup: per_block.sim_wall_us / zero_copy.sim_wall_us.max(f64::MIN_POSITIVE),
-        modes: vec![per_block, batched, zero_copy],
-        responses_match,
-    }
-}
+use bench::gates::{gate_main, io_pipeline_gate};
 
 fn main() {
-    let mut requests = 6_000usize;
-    if quick_flag() {
-        requests /= 4;
-        println!("(--quick: scaled to 1/4)\n");
-    }
-    println!(
-        "I/O pipeline ablation — {CAPACITY} blocks, {MEMORY_SLOTS} memory slots, \
-         window {IO_BATCH}, {requests} requests per workload\n"
-    );
-
-    let zipf_trace = ZipfWorkload::new(CAPACITY, ZIPF_EXPONENT, WRITE_RATIO, SEED)
-        .with_payload_len(PAYLOAD_LEN)
-        .generate(requests);
-    let scan_trace = SequentialWorkload::new(CAPACITY).generate(requests);
-    let reports = vec![
-        run_workload("zipf-hit-bound", zipf_trace),
-        run_workload("sequential-scan", scan_trace),
-    ];
-
-    for report in &reports {
-        let mut table = Table::new(vec![
-            "mode",
-            "sim I/O time",
-            "mean load",
-            "sim wall",
-            "host time",
-        ]);
-        for row in &report.modes {
-            table.row(vec![
-                row.mode.into(),
-                format!("{:.1} ms", row.sim_io_us / 1e3),
-                format!("{:.1} µs", row.mean_io_latency_us),
-                format!("{:.1} ms", row.sim_wall_us / 1e3),
-                format!("{:.1} ms", row.host_ms),
-            ]);
-        }
-        println!("workload: {} ({} requests)", report.workload, report.requests);
-        println!("{table}");
-        println!(
-            "  sim I/O speedup (per-block / batched+zero-copy): {:.2}x   wall: {:.2}x   responses match: {}\n",
-            report.io_speedup, report.wall_speedup, report.responses_match
-        );
-    }
-
-    let gate = &reports[0];
-    let pass = gate.io_speedup >= MIN_IO_SPEEDUP && reports.iter().all(|r| r.responses_match);
-    let summary = BenchReport {
-        bench: "io_pipeline",
-        gate_workload: gate.workload,
-        min_io_speedup: MIN_IO_SPEEDUP,
-        pass,
-        workloads: reports,
-    };
-    let json = serde_json::to_string_pretty(&summary).expect("serializes");
-    std::fs::write("BENCH_io.json", &json).expect("writes BENCH_io.json");
-    println!("wrote BENCH_io.json");
-
-    if pass {
-        println!(
-            "OK: batched+zero-copy >= {MIN_IO_SPEEDUP}x simulated I/O speedup on the hit-bound \
-             Zipf workload, responses identical across modes."
-        );
-    } else {
-        println!("REGRESSION: pipeline gate failed (see BENCH_io.json).");
-        std::process::exit(1);
-    }
+    gate_main("BENCH_io.json", io_pipeline_gate)
 }

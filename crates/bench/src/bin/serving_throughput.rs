@@ -1,209 +1,17 @@
 //! Serving-layer ablation: batched multi-tenant `OramService` vs the
 //! sequential `run_batch` evaluation mode.
 //!
-//! Three execution modes see the **byte-identical** Zipf arrival
-//! sequence, dealt round-robin across the tenants:
-//!
-//! * **per-request** — every request drained synchronously before the
-//!   next is submitted (one blocking caller; the ROB never holds more
-//!   than one request, so grouping degenerates to dummy padding);
-//! * **sequential run_batch** — the whole trace pushed through
-//!   `HOram::run_batch` at once (the paper's single-user evaluation
-//!   mode: full grouping, no dedup);
-//! * **batched server** — `OramService` pumping fixed-size batches under
-//!   an admission policy, coalescing duplicate reads within each batch.
-//!
-//! The serving layer must meet or beat sequential `run_batch`: it keeps
-//! the scheduler's grouping and adds cross-tenant dedup of the shared
-//! Zipf hot set. Per-tenant latency and fairness come out per policy.
+//! Thin wrapper over [`bench::gates::serving_gate`]; see that module for
+//! the modes and the regression threshold. Writes the machine-readable
+//! report to `BENCH_serving.json` (or `--out <path>`) and exits nonzero
+//! when the gate fails.
 //!
 //! ```sh
-//! cargo run --release -p bench --bin serving_throughput [-- --quick]
+//! cargo run --release -p bench --bin serving_throughput [-- --quick] [-- --out <path>]
 //! ```
 
-use bench::quick_flag;
-use horam::analysis::table::Table;
-use horam::core::UserId;
-use horam::prelude::*;
-use horam::workload::{TenantSchedule, ZipfWorkload};
-use horam_server::{
-    AdmissionPolicy, DeadlinePolicy, FairSharePolicy, FifoPolicy, OramService, ServiceConfig,
-};
-
-const CAPACITY: u64 = 4096;
-const MEMORY_SLOTS: u64 = 1024;
-const PAYLOAD_LEN: usize = 16;
-const TENANTS: u32 = 8;
-const BATCH_SIZE: usize = 128;
-const ZIPF_EXPONENT: f64 = 1.2;
-const WRITE_RATIO: f64 = 0.2;
-const SEED: u64 = 0x5e57;
-
-fn fresh_oram() -> HOram {
-    let config = HOramConfig::new(CAPACITY, PAYLOAD_LEN, MEMORY_SLOTS).with_seed(SEED);
-    HOram::new(config, MemoryHierarchy::dac2019(), MasterKey::from_bytes([0xA5; 32]))
-        .expect("builds")
-}
-
-fn schedule(requests: usize) -> TenantSchedule {
-    let mut generator = ZipfWorkload::new(CAPACITY, ZIPF_EXPONENT, WRITE_RATIO, SEED)
-        .with_payload_len(PAYLOAD_LEN);
-    TenantSchedule::shard(
-        format!("zipf(α={ZIPF_EXPONENT})×{TENANTS} tenants"),
-        &mut generator,
-        TENANTS,
-        requests,
-    )
-}
-
-fn throughput(requests: usize, wall: SimDuration) -> f64 {
-    let secs = wall.as_secs_f64();
-    if secs > 0.0 {
-        requests as f64 / secs
-    } else {
-        0.0
-    }
-}
-
-/// One blocking caller: submit, drain, repeat.
-fn run_per_request(requests: &[Request]) -> SimDuration {
-    let mut oram = fresh_oram();
-    for request in requests {
-        oram.run_batch(std::slice::from_ref(request)).expect("runs");
-    }
-    oram.stats().total_wall_time()
-}
-
-/// The paper's evaluation mode: the whole trace as one batch.
-fn run_sequential_batch(requests: &[Request]) -> SimDuration {
-    let mut oram = fresh_oram();
-    oram.run_batch(requests).expect("runs");
-    oram.stats().total_wall_time()
-}
-
-struct ServerRun {
-    wall: SimDuration,
-    deduped: u64,
-    oram_requests: u64,
-    mean_latency: SimDuration,
-    worst_tenant_latency: SimDuration,
-}
-
-fn run_server(schedule: &TenantSchedule, policy: Box<dyn AdmissionPolicy>) -> ServerRun {
-    let mut service = OramService::new(
-        fresh_oram(),
-        policy,
-        ServiceConfig { batch_size: BATCH_SIZE, ..ServiceConfig::default() },
-    );
-    for tenant in schedule.tenants() {
-        service.register_tenant(UserId(tenant), 0..CAPACITY, Permission::ReadWrite);
-    }
-    let arrivals = schedule
-        .arrivals
-        .iter()
-        .map(|arrival| (UserId(arrival.tenant), arrival.request.clone()));
-    let (_tickets, _report) = service.serve_all(arrivals).expect("serves");
-
-    let mut latency_sum = SimDuration::ZERO;
-    let mut completed = 0u64;
-    let mut worst = SimDuration::ZERO;
-    for tenant in schedule.tenants() {
-        let stats = service.tenant_stats(UserId(tenant)).expect("registered");
-        latency_sum += stats.latency_total;
-        completed += stats.completed;
-        worst = worst.max(stats.mean_latency());
-    }
-    ServerRun {
-        wall: service.oram().stats().total_wall_time(),
-        deduped: service.stats().deduped,
-        oram_requests: service.stats().oram.requests,
-        mean_latency: if completed == 0 { SimDuration::ZERO } else { latency_sum / completed },
-        worst_tenant_latency: worst,
-    }
-}
-
-use horam::core::Permission;
+use bench::gates::{gate_main, serving_gate};
 
 fn main() {
-    let mut requests = 6_000usize;
-    if quick_flag() {
-        requests /= 8;
-        println!("(--quick: scaled to 1/8)\n");
-    }
-    let schedule = schedule(requests);
-    let flat = schedule.to_trace();
-
-    println!(
-        "Serving-layer throughput — {CAPACITY} blocks, {MEMORY_SLOTS} memory slots, \
-         {TENANTS} tenants, batch {BATCH_SIZE}, {} requests ({})\n",
-        requests, schedule.label
-    );
-
-    let per_request_wall = run_per_request(&flat.requests);
-    let sequential_wall = run_sequential_batch(&flat.requests);
-
-    let mut table = Table::new(vec![
-        "mode",
-        "wall time",
-        "throughput (req/s)",
-        "oram reqs",
-        "deduped",
-        "mean latency",
-        "worst tenant",
-    ]);
-    table.row(vec![
-        "per-request (sync caller)".into(),
-        per_request_wall.to_string(),
-        format!("{:.0}", throughput(requests, per_request_wall)),
-        requests.to_string(),
-        "-".into(),
-        "-".into(),
-        "-".into(),
-    ]);
-    table.row(vec![
-        "sequential run_batch".into(),
-        sequential_wall.to_string(),
-        format!("{:.0}", throughput(requests, sequential_wall)),
-        requests.to_string(),
-        "-".into(),
-        "-".into(),
-        "-".into(),
-    ]);
-
-    let mut batched_wall = None;
-    for policy in [
-        Box::new(FifoPolicy) as Box<dyn AdmissionPolicy>,
-        Box::new(FairSharePolicy::default()),
-        Box::new(DeadlinePolicy),
-    ] {
-        let name = policy.name();
-        let run = run_server(&schedule, policy);
-        if name == "fair-share" {
-            batched_wall = Some(run.wall);
-        }
-        table.row(vec![
-            format!("server ({name})"),
-            run.wall.to_string(),
-            format!("{:.0}", throughput(requests, run.wall)),
-            run.oram_requests.to_string(),
-            run.deduped.to_string(),
-            run.mean_latency.to_string(),
-            run.worst_tenant_latency.to_string(),
-        ]);
-    }
-    println!("{table}");
-
-    let batched_wall = batched_wall.expect("fair-share run present");
-    let vs_sequential =
-        throughput(requests, batched_wall) / throughput(requests, sequential_wall).max(1e-9);
-    let vs_per_request =
-        throughput(requests, batched_wall) / throughput(requests, per_request_wall).max(1e-9);
-    println!("batched server (fair-share) vs sequential run_batch: {vs_sequential:.2}x");
-    println!("batched server (fair-share) vs per-request callers:  {vs_per_request:.2}x");
-    if vs_sequential >= 1.0 {
-        println!("OK: batched serving >= sequential run_batch (dedup of the shared hot set).");
-    } else {
-        println!("REGRESSION: batched serving fell below sequential run_batch.");
-        std::process::exit(1);
-    }
+    gate_main("BENCH_serving.json", serving_gate)
 }

@@ -1,0 +1,20 @@
+//! Sharded scale-out: the shard router's aggregate throughput vs a
+//! single instance.
+//!
+//! Thin wrapper over [`bench::gates::sharding_gate`]: the same Zipf
+//! tenant schedule is served through `OramService<ShardedOram>` at 1, 2,
+//! 4 and 8 shards (same total memory budget), and 4 shards must deliver
+//! ≥ 2.5× the single instance's aggregate simulated-I/O throughput with
+//! byte-identical responses. Writes the machine-readable report to
+//! `BENCH_sharding.json` (or `--out <path>`) and exits nonzero when the
+//! gate fails.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin sharding [-- --quick] [-- --out <path>]
+//! ```
+
+use bench::gates::{gate_main, sharding_gate};
+
+fn main() {
+    gate_main("BENCH_sharding.json", sharding_gate)
+}

@@ -1,0 +1,35 @@
+//! The consolidated CI bench suite: serving + I/O pipeline + sharding.
+//!
+//! Runs every regression gate in sequence, merges their machine-readable
+//! reports into one `BENCH.json` (or `--out <path>`), and exits nonzero
+//! if **any** gate fails — CI runs this one binary and uploads the one
+//! artifact instead of a step and file per gate.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin suite [-- --quick] [-- --out <path>]
+//! ```
+
+use bench::gates::{
+    io_pipeline_gate, merge_outcomes, out_path, serving_gate, sharding_gate, write_report,
+};
+use bench::quick_flag;
+
+fn main() {
+    let quick = quick_flag();
+    let outcomes = vec![
+        serving_gate(quick),
+        io_pipeline_gate(quick),
+        sharding_gate(quick),
+    ];
+
+    let (report, pass) = merge_outcomes(&outcomes);
+    for outcome in &outcomes {
+        println!(
+            "gate {:<12} {}",
+            outcome.name,
+            if outcome.pass { "PASS" } else { "FAIL" }
+        );
+    }
+    write_report(&out_path("BENCH.json"), &report);
+    std::process::exit(if pass { 0 } else { 1 });
+}

@@ -33,7 +33,10 @@ fn main() {
     report.compare(
         "Storage (Path ORAM)",
         "1.875 GB",
-        format!("{:.2} GB (2N-slot tree)", overhead.path_storage_bytes as f64 / (1u64 << 30) as f64),
+        format!(
+            "{:.2} GB (2N-slot tree)",
+            overhead.path_storage_bytes as f64 / (1u64 << 30) as f64
+        ),
     );
     report.compare(
         "Path ORAM level",

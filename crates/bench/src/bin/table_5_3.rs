@@ -31,8 +31,16 @@ fn main() {
     let mut table = Table::new(vec!["", "H-ORAM", "Path ORAM"]);
     table.row(vec![
         "Storage/Memory Size".into(),
-        format!("{} MB / {} MB", horam.storage_bytes >> 20, horam.memory_bytes >> 20),
-        format!("{} MB / {} MB", baseline.storage_bytes >> 20, baseline.memory_bytes >> 20),
+        format!(
+            "{} MB / {} MB",
+            horam.storage_bytes >> 20,
+            horam.memory_bytes >> 20
+        ),
+        format!(
+            "{} MB / {} MB",
+            baseline.storage_bytes >> 20,
+            baseline.memory_bytes >> 20
+        ),
     ]);
     table.row(vec![
         "Number of I/O Access".into(),
@@ -46,7 +54,11 @@ fn main() {
     ]);
     table.row(vec![
         "Shuffle Time".into(),
-        format!("{} * {}", horam.shuffle_time / horam.shuffles.max(1), horam.shuffles),
+        format!(
+            "{} * {}",
+            horam.shuffle_time / horam.shuffles.max(1),
+            horam.shuffles
+        ),
         "N/A".into(),
     ]);
     table.row(vec![
@@ -77,7 +89,11 @@ fn main() {
     report.compare(
         "Shuffle Time",
         "729 ms * 1",
-        format!("{} * {}", horam.shuffle_time / horam.shuffles.max(1), horam.shuffles),
+        format!(
+            "{} * {}",
+            horam.shuffle_time / horam.shuffles.max(1),
+            horam.shuffles
+        ),
     );
     report.compare(
         "Total Time",

@@ -53,7 +53,11 @@ fn main() {
     ]);
     table.row(vec![
         "Shuffle Time".into(),
-        format!("{} * {}", horam.shuffle_time / horam.shuffles.max(1), horam.shuffles),
+        format!(
+            "{} * {}",
+            horam.shuffle_time / horam.shuffles.max(1),
+            horam.shuffles
+        ),
         "N/A".into(),
     ]);
     table.row(vec![
@@ -84,7 +88,11 @@ fn main() {
     report.compare(
         "Shuffle Time",
         "9743 ms * 2",
-        format!("{} * {}", horam.shuffle_time / horam.shuffles.max(1), horam.shuffles),
+        format!(
+            "{} * {}",
+            horam.shuffle_time / horam.shuffles.max(1),
+            horam.shuffles
+        ),
     );
     report.compare(
         "Total Time",

@@ -6,7 +6,7 @@
 //! serial correlation of the storage-read address sequence.
 //!
 //! ```sh
-//! cargo run --release -p bench --bin trace_dump -- [out.json]
+//! cargo run --release -p bench --bin trace_dump -- [--out <path>]
 //! ```
 
 use horam::analysis::autocorr::{serial_correlation, zero_correlation_band};
@@ -18,7 +18,7 @@ use horam::storage::device::AccessKind;
 use horam::workload::WorkloadGenerator;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "trace.json".into());
+    let out_path = bench::gates::out_path("trace.json");
 
     // A small but period-crossing run.
     let config = HOramConfig::new(4096, 32, 512).with_seed(99);
@@ -33,11 +33,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let events = oram.trace().snapshot();
     std::fs::write(&out_path, serde_json::to_string_pretty(&events)?)?;
-    println!("wrote {} bus events to {out_path}\n", events.len());
+    println!(
+        "wrote {} bus events to {}\n",
+        events.len(),
+        out_path.display()
+    );
 
     // Shape summary.
     let shape = TraceShape::of(&events);
-    let mut table = Table::new(vec!["device", "reads", "writes", "bytes read", "bytes written"]);
+    let mut table = Table::new(vec![
+        "device",
+        "reads",
+        "writes",
+        "bytes read",
+        "bytes written",
+    ]);
     for ((device, reads, writes), (_, bytes_read, bytes_written)) in
         shape.ops_per_device.iter().zip(&shape.bytes_per_device)
     {

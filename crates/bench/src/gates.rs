@@ -1,0 +1,752 @@
+//! The CI bench gates — serving, I/O pipeline, sharding — as library
+//! functions.
+//!
+//! Each gate runs a deterministic simulated experiment, prints the
+//! human-readable comparison table, and returns a [`GateOutcome`]: a
+//! machine-readable report (a `serde` value tree, serialized to JSON by
+//! the binaries) plus the pass/fail verdict CI keys on. The per-gate
+//! binaries (`serving_throughput`, `io_pipeline`, `sharding`) are thin
+//! wrappers over these functions; the consolidated `suite` binary runs
+//! all three and merges their reports into one `BENCH.json` artifact, so
+//! CI has a single gate step and a single trend file.
+
+use crate::quick_flag;
+use horam::analysis::table::Table;
+use horam::core::shard::{ShardedConfig, ShardedOram};
+use horam::core::{Permission, UserId};
+use horam::prelude::*;
+use horam::workload::{SequentialWorkload, TenantSchedule, WorkloadGenerator, ZipfWorkload};
+use horam_server::{
+    AdmissionPolicy, DeadlinePolicy, FairSharePolicy, FifoPolicy, OramService, ServiceConfig,
+};
+use serde::{Serialize, Value};
+use std::time::Instant;
+
+/// One gate's verdict and machine-readable report.
+#[derive(Debug, Clone)]
+pub struct GateOutcome {
+    /// Gate identifier (`serving`, `io_pipeline`, `sharding`).
+    pub name: &'static str,
+    /// Whether the gate's regression threshold held.
+    pub pass: bool,
+    /// The full report, ready for JSON serialization.
+    pub report: Value,
+}
+
+/// Merges gate outcomes into the consolidated suite report: one JSON
+/// object with the overall verdict and every gate's report under its
+/// name. Returns the report and whether every gate passed.
+pub fn merge_outcomes(outcomes: &[GateOutcome]) -> (Value, bool) {
+    let pass = outcomes.iter().all(|o| o.pass);
+    let gates: Vec<Value> = outcomes
+        .iter()
+        .map(|o| {
+            Value::Map(vec![
+                ("gate".into(), Value::Str(o.name.into())),
+                ("pass".into(), Value::Bool(o.pass)),
+                ("report".into(), o.report.clone()),
+            ])
+        })
+        .collect();
+    let report = Value::Map(vec![
+        ("bench".into(), Value::Str("suite".into())),
+        ("pass".into(), Value::Bool(pass)),
+        ("gates".into(), Value::Seq(gates)),
+    ]);
+    (report, pass)
+}
+
+/// Parses the conventional `--out <path>` flag; `default` applies when
+/// the flag is absent.
+///
+/// # Panics
+///
+/// Panics if `--out` is given without a following path.
+pub fn out_path(default: &str) -> std::path::PathBuf {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--out" {
+            let path = args.next().expect("--out requires a path argument");
+            return path.into();
+        }
+    }
+    default.into()
+}
+
+/// Serializes `report` to pretty JSON at `path`.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written (CI treats that as a failed
+/// gate run).
+pub fn write_report(path: &std::path::Path, report: &Value) {
+    let json = serde_json::to_string_pretty(report).expect("serializes");
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("writes {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+}
+
+/// Runs one gate binary's standard main: gate, report file, exit code.
+///
+/// Reads `--quick` and `--out` from the command line; exits nonzero when
+/// the gate fails, after writing the report either way.
+pub fn gate_main(default_out: &str, gate: impl FnOnce(bool) -> GateOutcome) -> ! {
+    let outcome = gate(quick_flag());
+    write_report(&out_path(default_out), &outcome.report);
+    std::process::exit(if outcome.pass { 0 } else { 1 });
+}
+
+// Shared workload shape: every gate drives the same simulated machine
+// and the same hit-bound Zipf mix, so their numbers are comparable and
+// cannot drift apart. Seeds and thresholds stay per-gate.
+const CAPACITY: u64 = 4096;
+const MEMORY_SLOTS: u64 = 1024;
+const PAYLOAD_LEN: usize = 16;
+const TENANTS: u32 = 8;
+const BATCH_SIZE: usize = 128;
+const ZIPF_EXPONENT: f64 = 1.2;
+const WRITE_RATIO: f64 = 0.2;
+
+/// The shared multi-tenant arrival sequence: `requests` Zipf draws dealt
+/// round-robin across the tenants.
+fn zipf_schedule(requests: usize, seed: u64) -> TenantSchedule {
+    let mut generator =
+        ZipfWorkload::new(CAPACITY, ZIPF_EXPONENT, WRITE_RATIO, seed).with_payload_len(PAYLOAD_LEN);
+    TenantSchedule::shard(
+        format!("zipf(α={ZIPF_EXPONENT})×{TENANTS} tenants"),
+        &mut generator,
+        TENANTS,
+        requests,
+    )
+}
+
+fn throughput(requests: usize, wall: SimDuration) -> f64 {
+    let secs = wall.as_secs_f64();
+    if secs > 0.0 {
+        requests as f64 / secs
+    } else {
+        0.0
+    }
+}
+
+// ------------------------------------------------------------- serving
+
+mod serving {
+    use super::*;
+
+    const SEED: u64 = 0x5e57;
+
+    #[derive(Debug, Clone, Serialize)]
+    struct ModeRow {
+        mode: String,
+        sim_wall_us: f64,
+        throughput_rps: f64,
+        oram_requests: u64,
+        deduped: u64,
+        mean_latency_us: f64,
+        worst_tenant_latency_us: f64,
+    }
+
+    #[derive(Debug, Serialize)]
+    struct Report {
+        bench: &'static str,
+        requests: usize,
+        tenants: u32,
+        batch_size: usize,
+        pass: bool,
+        /// fair-share server throughput over sequential `run_batch`.
+        vs_sequential: f64,
+        /// fair-share server throughput over per-request callers.
+        vs_per_request: f64,
+        modes: Vec<ModeRow>,
+    }
+
+    fn fresh_oram() -> HOram {
+        let config = HOramConfig::new(CAPACITY, PAYLOAD_LEN, MEMORY_SLOTS).with_seed(SEED);
+        HOram::new(
+            config,
+            MemoryHierarchy::dac2019(),
+            MasterKey::from_bytes([0xA5; 32]),
+        )
+        .expect("builds")
+    }
+
+    /// One blocking caller: submit, drain, repeat.
+    fn run_per_request(requests: &[Request]) -> SimDuration {
+        let mut oram = fresh_oram();
+        for request in requests {
+            oram.run_batch(std::slice::from_ref(request)).expect("runs");
+        }
+        oram.stats().total_wall_time()
+    }
+
+    /// The paper's evaluation mode: the whole trace as one batch.
+    fn run_sequential_batch(requests: &[Request]) -> SimDuration {
+        let mut oram = fresh_oram();
+        oram.run_batch(requests).expect("runs");
+        oram.stats().total_wall_time()
+    }
+
+    struct ServerRun {
+        wall: SimDuration,
+        deduped: u64,
+        oram_requests: u64,
+        mean_latency: SimDuration,
+        worst_tenant_latency: SimDuration,
+    }
+
+    fn run_server(schedule: &TenantSchedule, policy: Box<dyn AdmissionPolicy>) -> ServerRun {
+        let mut service = OramService::new(
+            fresh_oram(),
+            policy,
+            ServiceConfig {
+                batch_size: BATCH_SIZE,
+                ..ServiceConfig::default()
+            },
+        );
+        for tenant in schedule.tenants() {
+            service.register_tenant(UserId(tenant), 0..CAPACITY, Permission::ReadWrite);
+        }
+        let arrivals = schedule
+            .arrivals
+            .iter()
+            .map(|arrival| (UserId(arrival.tenant), arrival.request.clone()));
+        let (_tickets, _report) = service.serve_all(arrivals).expect("serves");
+
+        let mut latency_sum = SimDuration::ZERO;
+        let mut completed = 0u64;
+        let mut worst = SimDuration::ZERO;
+        for tenant in schedule.tenants() {
+            let stats = service.tenant_stats(UserId(tenant)).expect("registered");
+            latency_sum += stats.latency_total;
+            completed += stats.completed;
+            worst = worst.max(stats.mean_latency());
+        }
+        ServerRun {
+            wall: service.oram().stats().total_wall_time(),
+            deduped: service.stats().deduped,
+            oram_requests: service.stats().oram.requests,
+            mean_latency: if completed == 0 {
+                SimDuration::ZERO
+            } else {
+                latency_sum / completed
+            },
+            worst_tenant_latency: worst,
+        }
+    }
+
+    pub(super) fn gate(quick: bool) -> GateOutcome {
+        let mut requests = 6_000usize;
+        if quick {
+            requests /= 8;
+            println!("(--quick: scaled to 1/8)\n");
+        }
+        let schedule = zipf_schedule(requests, SEED);
+        let flat = schedule.to_trace();
+
+        println!(
+            "Serving-layer throughput — {CAPACITY} blocks, {MEMORY_SLOTS} memory slots, \
+             {TENANTS} tenants, batch {BATCH_SIZE}, {} requests ({})\n",
+            requests, schedule.label
+        );
+
+        let per_request_wall = run_per_request(&flat.requests);
+        let sequential_wall = run_sequential_batch(&flat.requests);
+        let mut modes = vec![
+            ModeRow {
+                mode: "per-request (sync caller)".into(),
+                sim_wall_us: per_request_wall.as_micros_f64(),
+                throughput_rps: throughput(requests, per_request_wall),
+                oram_requests: requests as u64,
+                deduped: 0,
+                mean_latency_us: 0.0,
+                worst_tenant_latency_us: 0.0,
+            },
+            ModeRow {
+                mode: "sequential run_batch".into(),
+                sim_wall_us: sequential_wall.as_micros_f64(),
+                throughput_rps: throughput(requests, sequential_wall),
+                oram_requests: requests as u64,
+                deduped: 0,
+                mean_latency_us: 0.0,
+                worst_tenant_latency_us: 0.0,
+            },
+        ];
+
+        let mut table = Table::new(vec![
+            "mode",
+            "wall time",
+            "throughput (req/s)",
+            "oram reqs",
+            "deduped",
+            "mean latency",
+            "worst tenant",
+        ]);
+        table.row(vec![
+            "per-request (sync caller)".into(),
+            per_request_wall.to_string(),
+            format!("{:.0}", throughput(requests, per_request_wall)),
+            requests.to_string(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ]);
+        table.row(vec![
+            "sequential run_batch".into(),
+            sequential_wall.to_string(),
+            format!("{:.0}", throughput(requests, sequential_wall)),
+            requests.to_string(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ]);
+
+        let mut batched_wall = None;
+        for policy in [
+            Box::new(FifoPolicy) as Box<dyn AdmissionPolicy>,
+            Box::new(FairSharePolicy::default()),
+            Box::new(DeadlinePolicy),
+        ] {
+            let name = policy.name();
+            let run = run_server(&schedule, policy);
+            if name == "fair-share" {
+                batched_wall = Some(run.wall);
+            }
+            table.row(vec![
+                format!("server ({name})"),
+                run.wall.to_string(),
+                format!("{:.0}", throughput(requests, run.wall)),
+                run.oram_requests.to_string(),
+                run.deduped.to_string(),
+                run.mean_latency.to_string(),
+                run.worst_tenant_latency.to_string(),
+            ]);
+            modes.push(ModeRow {
+                mode: format!("server ({name})"),
+                sim_wall_us: run.wall.as_micros_f64(),
+                throughput_rps: throughput(requests, run.wall),
+                oram_requests: run.oram_requests,
+                deduped: run.deduped,
+                mean_latency_us: run.mean_latency.as_micros_f64(),
+                worst_tenant_latency_us: run.worst_tenant_latency.as_micros_f64(),
+            });
+        }
+        println!("{table}");
+
+        let batched_wall = batched_wall.expect("fair-share run present");
+        let vs_sequential =
+            throughput(requests, batched_wall) / throughput(requests, sequential_wall).max(1e-9);
+        let vs_per_request =
+            throughput(requests, batched_wall) / throughput(requests, per_request_wall).max(1e-9);
+        println!("batched server (fair-share) vs sequential run_batch: {vs_sequential:.2}x");
+        println!("batched server (fair-share) vs per-request callers:  {vs_per_request:.2}x");
+        let pass = vs_sequential >= 1.0;
+        if pass {
+            println!(
+                "OK: batched serving >= sequential run_batch (dedup of the shared hot set).\n"
+            );
+        } else {
+            println!("REGRESSION: batched serving fell below sequential run_batch.\n");
+        }
+
+        let report = Report {
+            bench: "serving",
+            requests,
+            tenants: TENANTS,
+            batch_size: BATCH_SIZE,
+            pass,
+            vs_sequential,
+            vs_per_request,
+            modes,
+        };
+        GateOutcome {
+            name: "serving",
+            pass,
+            report: report.to_value(),
+        }
+    }
+}
+
+/// The serving-layer gate: the batched multi-tenant server must meet or
+/// beat sequential `run_batch` on the shared-hot-set Zipf schedule.
+pub fn serving_gate(quick: bool) -> GateOutcome {
+    serving::gate(quick)
+}
+
+// --------------------------------------------------------- io_pipeline
+
+mod io_pipeline {
+    use super::*;
+
+    const IO_BATCH: u64 = 32;
+    const SEED: u64 = 0x10b1;
+    const MIN_IO_SPEEDUP: f64 = 1.5;
+
+    #[derive(Debug, Clone, Copy, Serialize)]
+    struct ModeRow {
+        mode: &'static str,
+        io_batch: u64,
+        zero_copy: bool,
+        /// Simulated storage occupancy of the access periods' loads, µs.
+        sim_io_us: f64,
+        /// Mean simulated latency per I/O load, µs.
+        mean_io_latency_us: f64,
+        /// Simulated end-to-end wall time (access + shuffle), µs.
+        sim_wall_us: f64,
+        /// Host-side wall clock of the run, ms (allocation/copy ablation).
+        host_ms: f64,
+    }
+
+    #[derive(Debug, Serialize)]
+    struct WorkloadReport {
+        workload: &'static str,
+        requests: usize,
+        modes: Vec<ModeRow>,
+        /// per-block simulated I/O time over batched+zero-copy.
+        io_speedup: f64,
+        /// per-block simulated wall time over batched+zero-copy.
+        wall_speedup: f64,
+        responses_match: bool,
+    }
+
+    #[derive(Debug, Serialize)]
+    struct Report {
+        bench: &'static str,
+        gate_workload: &'static str,
+        min_io_speedup: f64,
+        pass: bool,
+        workloads: Vec<WorkloadReport>,
+    }
+
+    fn run_mode(
+        mode: &'static str,
+        io_batch: u64,
+        zero_copy: bool,
+        requests: &[Request],
+    ) -> (ModeRow, Vec<Vec<u8>>) {
+        let config = HOramConfig::new(CAPACITY, PAYLOAD_LEN, MEMORY_SLOTS)
+            .with_seed(SEED)
+            .with_io_batch(io_batch)
+            .with_zero_copy_io(zero_copy);
+        let mut oram = HOram::new(
+            config,
+            MemoryHierarchy::dac2019(),
+            MasterKey::from_bytes([0xC7; 32]),
+        )
+        .expect("builds");
+        let started = Instant::now();
+        let responses = oram.run_batch(requests).expect("runs");
+        let host_ms = started.elapsed().as_secs_f64() * 1e3;
+        let stats = oram.stats();
+        let row = ModeRow {
+            mode,
+            io_batch,
+            zero_copy,
+            sim_io_us: stats.io_time.as_micros_f64(),
+            mean_io_latency_us: stats.mean_io_latency().as_micros_f64(),
+            sim_wall_us: stats.total_wall_time().as_micros_f64(),
+            host_ms,
+        };
+        (row, responses)
+    }
+
+    fn run_workload(workload: &'static str, requests: Vec<Request>) -> WorkloadReport {
+        let (per_block, base_responses) = run_mode("per-block", 1, false, &requests);
+        let (batched, batched_responses) = run_mode("batched", IO_BATCH, false, &requests);
+        let (zero_copy, zc_responses) = run_mode("batched+zero-copy", IO_BATCH, true, &requests);
+        let responses_match = base_responses == batched_responses && base_responses == zc_responses;
+        WorkloadReport {
+            workload,
+            requests: requests.len(),
+            io_speedup: per_block.sim_io_us / zero_copy.sim_io_us.max(f64::MIN_POSITIVE),
+            wall_speedup: per_block.sim_wall_us / zero_copy.sim_wall_us.max(f64::MIN_POSITIVE),
+            modes: vec![per_block, batched, zero_copy],
+            responses_match,
+        }
+    }
+
+    pub(super) fn gate(quick: bool) -> GateOutcome {
+        let mut requests = 6_000usize;
+        if quick {
+            requests /= 4;
+            println!("(--quick: scaled to 1/4)\n");
+        }
+        println!(
+            "I/O pipeline ablation — {CAPACITY} blocks, {MEMORY_SLOTS} memory slots, \
+             window {IO_BATCH}, {requests} requests per workload\n"
+        );
+
+        let zipf_trace = ZipfWorkload::new(CAPACITY, ZIPF_EXPONENT, WRITE_RATIO, SEED)
+            .with_payload_len(PAYLOAD_LEN)
+            .generate(requests);
+        let scan_trace = SequentialWorkload::new(CAPACITY).generate(requests);
+        let reports = vec![
+            run_workload("zipf-hit-bound", zipf_trace),
+            run_workload("sequential-scan", scan_trace),
+        ];
+
+        for report in &reports {
+            let mut table = Table::new(vec![
+                "mode",
+                "sim I/O time",
+                "mean load",
+                "sim wall",
+                "host time",
+            ]);
+            for row in &report.modes {
+                table.row(vec![
+                    row.mode.into(),
+                    format!("{:.1} ms", row.sim_io_us / 1e3),
+                    format!("{:.1} µs", row.mean_io_latency_us),
+                    format!("{:.1} ms", row.sim_wall_us / 1e3),
+                    format!("{:.1} ms", row.host_ms),
+                ]);
+            }
+            println!(
+                "workload: {} ({} requests)",
+                report.workload, report.requests
+            );
+            println!("{table}");
+            println!(
+                "  sim I/O speedup (per-block / batched+zero-copy): {:.2}x   wall: {:.2}x   \
+                 responses match: {}\n",
+                report.io_speedup, report.wall_speedup, report.responses_match
+            );
+        }
+
+        let gate = &reports[0];
+        let pass = gate.io_speedup >= MIN_IO_SPEEDUP && reports.iter().all(|r| r.responses_match);
+        if pass {
+            println!(
+                "OK: batched+zero-copy >= {MIN_IO_SPEEDUP}x simulated I/O speedup on the \
+                 hit-bound Zipf workload, responses identical across modes.\n"
+            );
+        } else {
+            println!("REGRESSION: pipeline gate failed.\n");
+        }
+        let report = Report {
+            bench: "io_pipeline",
+            gate_workload: gate.workload,
+            min_io_speedup: MIN_IO_SPEEDUP,
+            pass,
+            workloads: reports,
+        };
+        GateOutcome {
+            name: "io_pipeline",
+            pass,
+            report: report.to_value(),
+        }
+    }
+}
+
+/// The I/O-pipeline gate: batched+zero-copy must keep ≥ 1.5× simulated
+/// I/O speedup over the per-block path, with byte-identical responses.
+pub fn io_pipeline_gate(quick: bool) -> GateOutcome {
+    io_pipeline::gate(quick)
+}
+
+// ------------------------------------------------------------ sharding
+
+mod sharding {
+    use super::*;
+
+    const SEED: u64 = 0x54a6d;
+    const SHARD_COUNTS: [u64; 4] = [1, 2, 4, 8];
+    const GATE_SHARDS: u64 = 4;
+    const MIN_IO_SPEEDUP: f64 = 2.5;
+
+    #[derive(Debug, Clone, Serialize)]
+    struct ShardRow {
+        shards: u64,
+        /// Concurrent simulated I/O time: the busiest shard's storage
+        /// occupancy during access periods, µs (shards overlap).
+        sim_io_us: f64,
+        /// Elapsed simulated wall time on the shared clock, µs.
+        sim_wall_us: f64,
+        /// Requests per second of concurrent simulated I/O time.
+        io_throughput_rps: f64,
+        /// Requests per second of elapsed simulated wall time.
+        wall_throughput_rps: f64,
+        /// Busiest shard's request share over the ideal 1/shards share.
+        balance: f64,
+        /// Reads served by batch dedup instead of their own ORAM access.
+        deduped: u64,
+        /// Host-side wall clock of the run, ms.
+        host_ms: f64,
+    }
+
+    #[derive(Debug, Serialize)]
+    struct Report {
+        bench: &'static str,
+        requests: usize,
+        tenants: u32,
+        batch_size: usize,
+        gate_shards: u64,
+        min_io_speedup: f64,
+        pass: bool,
+        /// Concurrent-I/O throughput of the gate row over the 1-shard row.
+        io_speedup: f64,
+        /// Wall throughput of the gate row over the 1-shard row.
+        wall_speedup: f64,
+        responses_match: bool,
+        rows: Vec<ShardRow>,
+    }
+
+    /// Serves the schedule through the shard router; returns the row and
+    /// every response in submission order (the equivalence check).
+    fn run_sharded(schedule: &TenantSchedule, shards: u64) -> (ShardRow, Vec<Vec<u8>>) {
+        let base = HOramConfig::new(CAPACITY, PAYLOAD_LEN, MEMORY_SLOTS).with_seed(SEED);
+        let oram = ShardedOram::new(
+            ShardedConfig::new(base, shards),
+            MasterKey::from_bytes([0xD4; 32]),
+            |_| MemoryHierarchy::dac2019(),
+        )
+        .expect("builds");
+        let balance = {
+            let counts = schedule.route_counts(shards as usize, |id| {
+                oram.mapper().shard_of(id).expect("in range") as usize
+            });
+            let max = *counts.iter().max().expect("non-empty") as f64;
+            let ideal = schedule.len() as f64 / shards as f64;
+            max / ideal
+        };
+        let mut service = OramService::new(
+            oram,
+            Box::new(FairSharePolicy::default()) as Box<dyn AdmissionPolicy>,
+            ServiceConfig {
+                batch_size: BATCH_SIZE,
+                ..ServiceConfig::default()
+            },
+        );
+        for tenant in schedule.tenants() {
+            service.register_tenant(UserId(tenant), 0..CAPACITY, Permission::ReadWrite);
+        }
+        let started = Instant::now();
+        let arrivals = schedule
+            .arrivals
+            .iter()
+            .map(|arrival| (UserId(arrival.tenant), arrival.request.clone()));
+        let (tickets, _report) = service.serve_all(arrivals).expect("serves");
+        let host_ms = started.elapsed().as_secs_f64() * 1e3;
+        let responses: Vec<Vec<u8>> = tickets
+            .iter()
+            .map(|t| service.take_response(*t).expect("completed"))
+            .collect();
+
+        // Shards run concurrently: the aggregate I/O time is the busiest
+        // shard's, and elapsed time comes from the shared clock.
+        let concurrent_io = service
+            .shard_stats()
+            .iter()
+            .map(|s| s.io_time)
+            .fold(SimDuration::ZERO, SimDuration::max);
+        let elapsed = service
+            .oram()
+            .clock()
+            .now()
+            .duration_since(horam::storage::clock::SimTime::ZERO);
+        let deduped = service.stats().deduped;
+        let row = ShardRow {
+            shards,
+            sim_io_us: concurrent_io.as_micros_f64(),
+            sim_wall_us: elapsed.as_micros_f64(),
+            io_throughput_rps: throughput(schedule.len(), concurrent_io),
+            wall_throughput_rps: throughput(schedule.len(), elapsed),
+            balance,
+            deduped,
+            host_ms,
+        };
+        (row, responses)
+    }
+
+    pub(super) fn gate(quick: bool) -> GateOutcome {
+        let mut requests = 6_000usize;
+        if quick {
+            requests /= 4;
+            println!("(--quick: scaled to 1/4)\n");
+        }
+        let schedule = zipf_schedule(requests, SEED);
+        println!(
+            "Sharded scale-out — {CAPACITY} blocks, {MEMORY_SLOTS} total memory slots, \
+             {TENANTS} tenants, batch {BATCH_SIZE}, {requests} requests ({})\n",
+            schedule.label
+        );
+
+        let mut rows = Vec::new();
+        let mut responses: Vec<Vec<Vec<u8>>> = Vec::new();
+        for shards in SHARD_COUNTS {
+            let (row, response) = run_sharded(&schedule, shards);
+            rows.push(row);
+            responses.push(response);
+        }
+        let responses_match = responses.iter().all(|r| r == &responses[0]);
+
+        let mut table = Table::new(vec![
+            "shards",
+            "concurrent I/O",
+            "sim wall",
+            "I/O throughput",
+            "balance",
+            "deduped",
+            "host time",
+        ]);
+        for row in &rows {
+            table.row(vec![
+                row.shards.to_string(),
+                format!("{:.1} ms", row.sim_io_us / 1e3),
+                format!("{:.1} ms", row.sim_wall_us / 1e3),
+                format!("{:.0} req/s", row.io_throughput_rps),
+                format!("{:.2}x ideal", row.balance),
+                row.deduped.to_string(),
+                format!("{:.1} ms", row.host_ms),
+            ]);
+        }
+        println!("{table}");
+
+        let single = &rows[0];
+        let gate_row = rows
+            .iter()
+            .find(|r| r.shards == GATE_SHARDS)
+            .expect("gate shard count measured");
+        let io_speedup = gate_row.io_throughput_rps / single.io_throughput_rps.max(1e-9);
+        let wall_speedup = gate_row.wall_throughput_rps / single.wall_throughput_rps.max(1e-9);
+        println!(
+            "{GATE_SHARDS} shards vs 1: concurrent-I/O throughput {io_speedup:.2}x, \
+             wall throughput {wall_speedup:.2}x, responses match: {responses_match}"
+        );
+
+        let pass = io_speedup >= MIN_IO_SPEEDUP && responses_match;
+        if pass {
+            println!(
+                "OK: {GATE_SHARDS}-shard aggregate simulated-I/O throughput >= \
+                 {MIN_IO_SPEEDUP}x the single instance, responses identical.\n"
+            );
+        } else {
+            println!("REGRESSION: sharding gate failed.\n");
+        }
+        let report = Report {
+            bench: "sharding",
+            requests,
+            tenants: TENANTS,
+            batch_size: BATCH_SIZE,
+            gate_shards: GATE_SHARDS,
+            min_io_speedup: MIN_IO_SPEEDUP,
+            pass,
+            io_speedup,
+            wall_speedup,
+            responses_match,
+            rows,
+        };
+        GateOutcome {
+            name: "sharding",
+            pass,
+            report: report.to_value(),
+        }
+    }
+}
+
+/// The sharding gate: 4 shards must deliver ≥ 2.5× the single-instance
+/// aggregate simulated-I/O throughput on the hit-bound Zipf schedule,
+/// with byte-identical responses at every shard count.
+pub fn sharding_gate(quick: bool) -> GateOutcome {
+    sharding::gate(quick)
+}

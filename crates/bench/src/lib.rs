@@ -25,6 +25,8 @@ use horam::storage::calibration::MachineConfig;
 use horam::storage::clock::SimClock;
 use horam::workload::WorkloadGenerator;
 
+pub mod gates;
+
 /// Parameters of one table experiment.
 #[derive(Debug, Clone)]
 pub struct TableParams {
@@ -73,16 +75,9 @@ impl TableParams {
 
     /// The paper-calibrated hot-region workload (see module docs).
     pub fn workload(&self) -> Vec<Request> {
-        let hot_fraction =
-            (self.memory_slots as f64 / 8.0) / self.capacity_blocks as f64;
-        let mut generator = HotspotWorkload::new(
-            self.capacity_blocks,
-            0.8,
-            hot_fraction,
-            0.0,
-            0,
-            self.seed,
-        );
+        let hot_fraction = (self.memory_slots as f64 / 8.0) / self.capacity_blocks as f64;
+        let mut generator =
+            HotspotWorkload::new(self.capacity_blocks, 0.8, hot_fraction, 0.0, 0, self.seed);
         generator.generate(self.requests)
     }
 }
@@ -187,7 +182,10 @@ pub fn speedup(baseline: SimDuration, ours: SimDuration) -> String {
     if ours.as_nanos() == 0 {
         return "n/a".into();
     }
-    format!("{:.1}x", baseline.as_nanos() as f64 / ours.as_nanos() as f64)
+    format!(
+        "{:.1}x",
+        baseline.as_nanos() as f64 / ours.as_nanos() as f64
+    )
 }
 
 #[cfg(test)]

@@ -106,7 +106,10 @@ impl AccessControl {
     /// Panics on an empty range.
     pub fn grant(&mut self, user: UserId, range: Range<u64>, permission: Permission) {
         assert!(range.start < range.end, "grant range must be non-empty");
-        self.grants.entry(user).or_default().push((range, permission));
+        self.grants
+            .entry(user)
+            .or_default()
+            .push((range, permission));
     }
 
     /// Revokes every grant of `user`.
@@ -128,17 +131,28 @@ impl AccessControl {
     /// forbidden.
     pub fn check(&self, user: UserId, request: &Request) -> Result<(), AccessDenied> {
         let Some(grants) = self.grants.get(&user) else {
-            return Err(AccessDenied::NoGrant { user, block: request.id });
+            return Err(AccessDenied::NoGrant {
+                user,
+                block: request.id,
+            });
         };
-        let covering: Vec<&(Range<u64>, Permission)> =
-            grants.iter().filter(|(range, _)| range.contains(&request.id.0)).collect();
+        let covering: Vec<&(Range<u64>, Permission)> = grants
+            .iter()
+            .filter(|(range, _)| range.contains(&request.id.0))
+            .collect();
         if covering.is_empty() {
-            return Err(AccessDenied::NoGrant { user, block: request.id });
+            return Err(AccessDenied::NoGrant {
+                user,
+                block: request.id,
+            });
         }
         if covering.iter().any(|(_, p)| p.allows(&request.op)) {
             Ok(())
         } else {
-            Err(AccessDenied::ReadOnly { user, block: request.id })
+            Err(AccessDenied::ReadOnly {
+                user,
+                block: request.id,
+            })
         }
     }
 
@@ -179,8 +193,13 @@ mod tests {
         let mut acl = AccessControl::new();
         acl.grant(UserId(1), 10..20, Permission::ReadWrite);
         assert!(acl.check(UserId(1), &Request::read(15u64)).is_ok());
-        assert!(acl.check(UserId(1), &Request::write(15u64, vec![0])).is_ok());
-        assert!(acl.check(UserId(1), &Request::read(20u64)).is_err(), "end is exclusive");
+        assert!(acl
+            .check(UserId(1), &Request::write(15u64, vec![0]))
+            .is_ok());
+        assert!(
+            acl.check(UserId(1), &Request::read(20u64)).is_err(),
+            "end is exclusive"
+        );
     }
 
     #[test]
@@ -188,7 +207,9 @@ mod tests {
         let mut acl = AccessControl::new();
         acl.grant(UserId(2), 0..5, Permission::ReadOnly);
         assert!(acl.check(UserId(2), &Request::read(3u64)).is_ok());
-        let err = acl.check(UserId(2), &Request::write(3u64, vec![0])).unwrap_err();
+        let err = acl
+            .check(UserId(2), &Request::write(3u64, vec![0]))
+            .unwrap_err();
         assert!(matches!(err, AccessDenied::ReadOnly { .. }));
     }
 
@@ -198,7 +219,9 @@ mod tests {
         acl.grant(UserId(3), 0..10, Permission::ReadOnly);
         acl.grant(UserId(3), 5..10, Permission::ReadWrite);
         assert!(acl.check(UserId(3), &Request::write(7u64, vec![0])).is_ok());
-        assert!(acl.check(UserId(3), &Request::write(2u64, vec![0])).is_err());
+        assert!(acl
+            .check(UserId(3), &Request::write(2u64, vec![0]))
+            .is_err());
     }
 
     #[test]
@@ -235,7 +258,9 @@ mod tests {
     fn denial_messages_are_specific() {
         let mut acl = AccessControl::new();
         acl.grant(UserId(4), 0..2, Permission::ReadOnly);
-        let err = acl.check(UserId(4), &Request::write(1u64, vec![0])).unwrap_err();
+        let err = acl
+            .check(UserId(4), &Request::write(1u64, vec![0]))
+            .unwrap_err();
         assert!(err.to_string().contains("read-only"));
     }
 }

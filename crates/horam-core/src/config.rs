@@ -106,9 +106,18 @@ impl HOramConfig {
     /// The paper's evaluation schedule: `{c=1: 20 %, c=3: 13 %, c=5: 67 %}`.
     pub fn paper_stages() -> Vec<StagePlan> {
         vec![
-            StagePlan { c: 1, fraction: 0.20 },
-            StagePlan { c: 3, fraction: 0.13 },
-            StagePlan { c: 5, fraction: 0.67 },
+            StagePlan {
+                c: 1,
+                fraction: 0.20,
+            },
+            StagePlan {
+                c: 3,
+                fraction: 0.13,
+            },
+            StagePlan {
+                c: 5,
+                fraction: 0.67,
+            },
         ]
     }
 
@@ -128,7 +137,10 @@ impl HOramConfig {
         assert!(!stages.is_empty(), "at least one stage required");
         assert!(stages.iter().all(|s| s.c >= 1), "stage c must be ≥ 1");
         let total: f64 = stages.iter().map(|s| s.fraction).sum();
-        assert!((total - 1.0).abs() < 1e-6, "stage fractions must sum to 1, got {total}");
+        assert!(
+            (total - 1.0).abs() < 1e-6,
+            "stage fractions must sum to 1, got {total}"
+        );
         self.stages = stages;
         self
     }
@@ -150,7 +162,10 @@ impl HOramConfig {
     ///
     /// Panics unless `0 < r ≤ 1`.
     pub fn with_partial_shuffle(mut self, r: f64) -> Self {
-        assert!(r > 0.0 && r <= 1.0, "partial shuffle ratio must be in (0, 1]");
+        assert!(
+            r > 0.0 && r <= 1.0,
+            "partial shuffle ratio must be in (0, 1]"
+        );
         self.partial_shuffle_ratio = Some(r);
         self
     }
@@ -193,13 +208,21 @@ impl HOramConfig {
             "memory budget smaller than one bucket"
         );
         assert!(self.z > 0, "bucket size must be positive");
-        let c_max = self.stages.iter().map(|s| s.c).max().expect("non-empty stages");
+        let c_max = self
+            .stages
+            .iter()
+            .map(|s| s.c)
+            .max()
+            .expect("non-empty stages");
         assert!(
             self.prefetch_distance > c_max as usize,
             "prefetch distance d={} must exceed the largest stage c={c_max}",
             self.prefetch_distance
         );
-        assert!(self.partition_headroom >= 1.0, "headroom factor must be ≥ 1.0");
+        assert!(
+            self.partition_headroom >= 1.0,
+            "headroom factor must be ≥ 1.0"
+        );
         assert!(self.io_batch >= 1, "io_batch must be at least 1");
         let total: f64 = self.stages.iter().map(|s| s.fraction).sum();
         assert!((total - 1.0).abs() < 1e-6, "stage fractions must sum to 1");
@@ -301,12 +324,17 @@ mod tests {
 
     #[test]
     fn io_pipeline_knobs() {
-        let config = HOramConfig::new(1024, 64, 256).with_io_batch(32).with_zero_copy_io(false);
+        let config = HOramConfig::new(1024, 64, 256)
+            .with_io_batch(32)
+            .with_zero_copy_io(false);
         config.validate();
         assert_eq!(config.io_batch, 32);
         assert!(!config.zero_copy_io);
         let defaults = HOramConfig::new(1024, 64, 256);
-        assert_eq!(defaults.io_batch, 1, "default must reproduce the sequential path");
+        assert_eq!(
+            defaults.io_batch, 1,
+            "default must reproduce the sequential path"
+        );
         assert!(defaults.zero_copy_io);
     }
 
@@ -319,14 +347,18 @@ mod tests {
     #[test]
     #[should_panic(expected = "must exceed the largest stage c")]
     fn validate_checks_prefetch_distance() {
-        HOramConfig::new(1024, 64, 256).with_prefetch_distance(3).validate();
+        HOramConfig::new(1024, 64, 256)
+            .with_prefetch_distance(3)
+            .validate();
     }
 
     #[test]
     #[should_panic(expected = "fractions must sum to 1")]
     fn stage_fractions_must_sum_to_one() {
-        HOramConfig::new(1024, 64, 256)
-            .with_stages(vec![StagePlan { c: 1, fraction: 0.5 }]);
+        HOramConfig::new(1024, 64, 256).with_stages(vec![StagePlan {
+            c: 1,
+            fraction: 0.5,
+        }]);
     }
 
     #[test]

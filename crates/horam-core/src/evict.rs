@@ -60,11 +60,10 @@ pub fn oblivious_tree_evict(
     // The buffer lives in (untrusted) memory during the shuffle: charge its
     // touches to the memory device as one streaming transfer.
     let block_bytes = memory.device().charged_block_bytes();
-    let shuffle_cost = memory.device_mut().charge(
-        AccessKind::Read,
-        0,
-        stats.touches.max(1) * block_bytes,
-    );
+    let shuffle_cost =
+        memory
+            .device_mut()
+            .charge(AccessKind::Read, 0, stats.touches.max(1) * block_bytes);
 
     let survivors: Vec<(BlockId, Vec<u8>)> = buffer.into_iter().flatten().collect();
     Ok(EvictOutcome {
@@ -105,8 +104,7 @@ mod tests {
         let mut oram = memory_oram();
         let ids: Vec<u64> = (0..40).map(|i| i * 31 % 1000).collect();
         populate(&mut oram, &ids);
-        let outcome =
-            oblivious_tree_evict(&mut oram, ShuffleAlgorithm::Bitonic, 1).unwrap();
+        let outcome = oblivious_tree_evict(&mut oram, ShuffleAlgorithm::Bitonic, 1).unwrap();
         let got: HashSet<u64> = outcome.blocks.iter().map(|(id, _)| id.0).collect();
         let want: HashSet<u64> = ids.iter().copied().collect();
         assert_eq!(got, want);
@@ -120,8 +118,7 @@ mod tests {
         let mut oram = memory_oram();
         let ids: Vec<u64> = (0..64).collect();
         populate(&mut oram, &ids);
-        let outcome =
-            oblivious_tree_evict(&mut oram, ShuffleAlgorithm::Bitonic, 42).unwrap();
+        let outcome = oblivious_tree_evict(&mut oram, ShuffleAlgorithm::Bitonic, 42).unwrap();
         let order: Vec<u64> = outcome.blocks.iter().map(|(id, _)| id.0).collect();
         assert_ne!(order, ids, "order should not be the insertion order");
     }
@@ -157,8 +154,7 @@ mod tests {
     fn evict_charges_memory_time() {
         let mut oram = memory_oram();
         populate(&mut oram, &[1, 2, 3, 4, 5]);
-        let outcome =
-            oblivious_tree_evict(&mut oram, ShuffleAlgorithm::Cache, 7).unwrap();
+        let outcome = oblivious_tree_evict(&mut oram, ShuffleAlgorithm::Cache, 7).unwrap();
         assert!(outcome.memory_time > SimDuration::ZERO);
     }
 

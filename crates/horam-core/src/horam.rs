@@ -86,7 +86,11 @@ impl HOram {
         config.validate();
         let clock = hierarchy.clock().clone();
         let trace = hierarchy.trace().clone();
-        let MemoryHierarchy { memory: memory_device, storage: storage_device, .. } = hierarchy;
+        let MemoryHierarchy {
+            memory: memory_device,
+            storage: storage_device,
+            ..
+        } = hierarchy;
 
         let memory_keys = master.derive("horam/memory", 0);
         let memory = PathOram::for_slot_budget(
@@ -158,7 +162,8 @@ impl HOram {
 
     /// Total storage footprint in bytes (for the paper's size rows).
     pub fn storage_bytes(&self) -> u64 {
-        self.storage.storage_bytes(self.storage.device().charged_block_bytes())
+        self.storage
+            .storage_bytes(self.storage.device().charged_block_bytes())
     }
 
     /// Clears all timing/tracing/statistics state (not data).
@@ -171,7 +176,8 @@ impl HOram {
     }
 
     fn period_seed(&self, purpose: u64) -> u64 {
-        self.seed_prf.eval_words("period-seed", &[self.period_seq, purpose, self.config.seed])
+        self.seed_prf
+            .eval_words("period-seed", &[self.period_seq, purpose, self.config.seed])
     }
 
     /// The admission queue: pending count, per-ticket response readiness.
@@ -286,7 +292,10 @@ impl HOram {
     ///
     /// Panics if `max_cycles` is zero.
     pub fn run_cycle_window(&mut self, max_cycles: u64) -> Result<u64, OramError> {
-        assert!(max_cycles >= 1, "a cycle window must cover at least one cycle");
+        assert!(
+            max_cycles >= 1,
+            "a cycle window must cover at least one cycle"
+        );
         // Clamp to the period budget: shuffles happen between windows, so
         // the once-per-period invariant never spans a commit.
         let window = max_cycles.min(self.config.period_io_limit() - self.io_used_in_period);
@@ -438,8 +447,12 @@ mod tests {
 
     fn build(capacity: u64, memory_slots: u64) -> HOram {
         let config = HOramConfig::new(capacity, 8, memory_slots).with_seed(17);
-        HOram::new(config, MemoryHierarchy::dac2019(), MasterKey::from_bytes([9; 32]))
-            .unwrap()
+        HOram::new(
+            config,
+            MemoryHierarchy::dac2019(),
+            MasterKey::from_bytes([9; 32]),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -482,14 +495,22 @@ mod tests {
                 assert_eq!(got, expected, "block {id}");
             }
         }
-        assert!(oram.stats().shuffles >= 1, "workload must cross a period boundary");
+        assert!(
+            oram.stats().shuffles >= 1,
+            "workload must cross a period boundary"
+        );
     }
 
     fn build_batched(capacity: u64, memory_slots: u64, io_batch: u64) -> HOram {
-        let config =
-            HOramConfig::new(capacity, 8, memory_slots).with_seed(17).with_io_batch(io_batch);
-        HOram::new(config, MemoryHierarchy::dac2019(), MasterKey::from_bytes([9; 32]))
-            .unwrap()
+        let config = HOramConfig::new(capacity, 8, memory_slots)
+            .with_seed(17)
+            .with_io_batch(io_batch);
+        HOram::new(
+            config,
+            MemoryHierarchy::dac2019(),
+            MasterKey::from_bytes([9; 32]),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -556,7 +577,10 @@ mod tests {
         oram.enqueue(Request::read(1u64)).unwrap();
         oram.enqueue(Request::read(2u64)).unwrap();
         let executed = oram.run_cycle_window(32).unwrap();
-        assert!(executed < 32, "window should stop early, ran {executed} cycles");
+        assert!(
+            executed < 32,
+            "window should stop early, ran {executed} cycles"
+        );
         assert!(oram.queue().is_drained());
     }
 
@@ -574,8 +598,7 @@ mod tests {
         let mut oram = build(256, 128);
         // Touch 4 blocks repeatedly: after the first misses, everything is
         // a hit and I/O loads become dummies.
-        let requests: Vec<Request> =
-            (0..100u64).map(|i| Request::read(i % 4)).collect();
+        let requests: Vec<Request> = (0..100u64).map(|i| Request::read(i % 4)).collect();
         oram.run_batch(&requests).unwrap();
         let stats = oram.stats();
         assert_eq!(stats.real_io_loads, 4, "only the cold misses hit storage");
@@ -605,10 +628,15 @@ mod tests {
 
     #[test]
     fn partial_shuffle_mode_works_end_to_end() {
-        let config = HOramConfig::new(256, 8, 16).with_seed(5).with_partial_shuffle(0.25);
-        let mut oram =
-            HOram::new(config, MemoryHierarchy::dac2019(), MasterKey::from_bytes([8; 32]))
-                .unwrap();
+        let config = HOramConfig::new(256, 8, 16)
+            .with_seed(5)
+            .with_partial_shuffle(0.25);
+        let mut oram = HOram::new(
+            config,
+            MemoryHierarchy::dac2019(),
+            MasterKey::from_bytes([8; 32]),
+        )
+        .unwrap();
         let mut reference: HashMap<u64, Vec<u8>> = HashMap::new();
         let mut rng = DeterministicRng::from_u64_seed(6);
         for _ in 0..120 {
@@ -629,10 +657,15 @@ mod tests {
     fn stash_stays_bounded() {
         let mut oram = build(512, 64);
         let mut rng = DeterministicRng::from_u64_seed(12);
-        let requests: Vec<Request> =
-            (0..400).map(|_| Request::read(rng.gen_range(0..512u64))).collect();
+        let requests: Vec<Request> = (0..400)
+            .map(|_| Request::read(rng.gen_range(0..512u64)))
+            .collect();
         oram.run_batch(&requests).unwrap();
-        assert!(oram.memory_stash_peak() < 200, "stash peak {}", oram.memory_stash_peak());
+        assert!(
+            oram.memory_stash_peak() < 200,
+            "stash peak {}",
+            oram.memory_stash_peak()
+        );
     }
 
     #[test]
@@ -650,7 +683,10 @@ mod tests {
         let mut oram = build(256, 64);
         assert!(matches!(
             oram.write(BlockId(0), &[1, 2]),
-            Err(OramError::PayloadSize { expected: 8, got: 2 })
+            Err(OramError::PayloadSize {
+                expected: 8,
+                got: 2
+            })
         ));
     }
 

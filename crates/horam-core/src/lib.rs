@@ -24,6 +24,8 @@
 //! | multi-user sharing (§5.3.2) | [`multi_user`] |
 //! | multi-user access control (§5.3.2) | [`access_control`] |
 //! | run statistics (Tables 5-3/5-4 rows) | [`stats`] |
+//! | sharded scale-out (beyond the paper) | [`shard`] |
+//! | serving-layer engine contract | [`engine`] |
 //!
 //! The memory layer reuses [`oram_protocols::path_oram::PathOram`]; see
 //! that crate for the baselines the evaluation compares against.
@@ -32,6 +34,7 @@
 
 pub mod access_control;
 pub mod config;
+pub mod engine;
 pub mod evict;
 pub mod horam;
 pub mod multi_user;
@@ -39,11 +42,13 @@ pub mod permutation_list;
 pub mod queue;
 pub mod rob;
 pub mod scheduler;
+pub mod shard;
 pub mod stats;
 pub mod storage_layer;
 
 pub use access_control::{AccessControl, AccessDenied, Permission};
 pub use config::{HOramConfig, StagePlan};
+pub use engine::OramEngine;
 pub use evict::{oblivious_tree_evict, EvictOutcome};
 pub use horam::HOram;
 pub use multi_user::{run_multi_user, MultiUserReport, UserId};
@@ -51,5 +56,6 @@ pub use permutation_list::{Location, PermutationList};
 pub use queue::RequestQueue;
 pub use rob::{RobEntry, RobTable};
 pub use scheduler::{plan_cycle, CyclePlan};
+pub use shard::{ShardMapper, ShardSlot, ShardedConfig, ShardedOram};
 pub use stats::HOramStats;
 pub use storage_layer::{BatchLoad, IoLoad, LoadPlan, ShuffleReport, StorageLayer};

@@ -58,7 +58,10 @@ pub fn run_multi_user(
     // Round-robin merge into the shared admission queue, collecting each
     // user's tickets; the scheduler packs cycles exactly as in the
     // single-user case, and tickets demultiplex the responses afterwards.
-    let mut tickets: Vec<Vec<u64>> = queues.iter().map(|(_, q)| Vec::with_capacity(q.len())).collect();
+    let mut tickets: Vec<Vec<u64>> = queues
+        .iter()
+        .map(|(_, q)| Vec::with_capacity(q.len()))
+        .collect();
     let mut requests = 0u64;
     let max_len = queues.iter().map(|(_, q)| q.len()).max().unwrap_or(0);
     for round in 0..max_len {
@@ -77,8 +80,17 @@ pub fn run_multi_user(
 
     let wall_time = oram.clock().now().duration_since(start);
     let secs = wall_time.as_secs_f64();
-    let requests_per_sec = if secs > 0.0 { requests as f64 / secs } else { 0.0 };
-    Ok(MultiUserReport { responses, wall_time, requests, requests_per_sec })
+    let requests_per_sec = if secs > 0.0 {
+        requests as f64 / secs
+    } else {
+        0.0
+    };
+    Ok(MultiUserReport {
+        responses,
+        wall_time,
+        requests,
+        requests_per_sec,
+    })
 }
 
 #[cfg(test)]
@@ -90,26 +102,27 @@ mod tests {
 
     fn build() -> HOram {
         let config = HOramConfig::new(256, 8, 64).with_seed(2);
-        HOram::new(config, MemoryHierarchy::dac2019(), MasterKey::from_bytes([3; 32]))
-            .unwrap()
+        HOram::new(
+            config,
+            MemoryHierarchy::dac2019(),
+            MasterKey::from_bytes([3; 32]),
+        )
+        .unwrap()
     }
 
     #[test]
     fn users_get_their_own_answers() {
         let mut oram = build();
         // Seed data via one user.
-        let setup: Vec<Request> =
-            (0..8u64).map(|i| Request::write(i, vec![i as u8; 8])).collect();
+        let setup: Vec<Request> = (0..8u64)
+            .map(|i| Request::write(i, vec![i as u8; 8]))
+            .collect();
         run_multi_user(&mut oram, vec![(UserId(0), setup)]).unwrap();
 
         // Two users read disjoint halves concurrently.
         let alice: Vec<Request> = (0..4u64).map(Request::read).collect();
         let bob: Vec<Request> = (4..8u64).map(Request::read).collect();
-        let report = run_multi_user(
-            &mut oram,
-            vec![(UserId(0), alice), (UserId(1), bob)],
-        )
-        .unwrap();
+        let report = run_multi_user(&mut oram, vec![(UserId(0), alice), (UserId(1), bob)]).unwrap();
 
         for (i, data) in report.responses[0].iter().enumerate() {
             assert_eq!(data, &vec![i as u8; 8], "alice block {i}");
@@ -135,7 +148,9 @@ mod tests {
         let mut oram = build();
         let queues: Vec<(UserId, Vec<Request>)> = (0..4)
             .map(|u| {
-                let requests = (0..10u64).map(|i| Request::read(i * 4 + u as u64)).collect();
+                let requests = (0..10u64)
+                    .map(|i| Request::read(i * 4 + u as u64))
+                    .collect();
                 (UserId(u), requests)
             })
             .collect();

@@ -38,7 +38,10 @@ impl PermutationList {
     ///
     /// [`set_storage_slot`]: Self::set_storage_slot
     pub fn new(capacity: u64) -> Self {
-        Self { locations: vec![Location::Storage { slot: 0 }; capacity as usize], in_memory: 0 }
+        Self {
+            locations: vec![Location::Storage { slot: 0 }; capacity as usize],
+            in_memory: 0,
+        }
     }
 
     /// Number of blocks tracked.

@@ -63,7 +63,10 @@ impl RequestQueue {
     /// [`OramError::PayloadSize`] for mis-sized write payloads.
     pub fn validate(&self, request: &Request) -> Result<(), OramError> {
         if request.id.0 >= self.capacity {
-            return Err(OramError::BlockOutOfRange { id: request.id.0, capacity: self.capacity });
+            return Err(OramError::BlockOutOfRange {
+                id: request.id.0,
+                capacity: self.capacity,
+            });
         }
         if let RequestOp::Write(payload) = &request.op {
             if payload.len() != self.payload_len {
@@ -111,12 +114,7 @@ impl RequestQueue {
 
     /// Plans one scheduling cycle over the queue's ROB (see
     /// [`plan_cycle`]).
-    pub fn plan(
-        &mut self,
-        c: u32,
-        d: usize,
-        is_hit: impl FnMut(BlockId) -> bool,
-    ) -> CyclePlan {
+    pub fn plan(&mut self, c: u32, d: usize, is_hit: impl FnMut(BlockId) -> bool) -> CyclePlan {
         plan_cycle(&mut self.rob, c, d, is_hit)
     }
 
@@ -153,11 +151,17 @@ mod tests {
         let mut queue = RequestQueue::new(16, 4);
         assert!(matches!(
             queue.submit(Request::read(99u64)),
-            Err(OramError::BlockOutOfRange { id: 99, capacity: 16 })
+            Err(OramError::BlockOutOfRange {
+                id: 99,
+                capacity: 16
+            })
         ));
         assert!(matches!(
             queue.submit(Request::write(1u64, vec![0; 3])),
-            Err(OramError::PayloadSize { expected: 4, got: 3 })
+            Err(OramError::PayloadSize {
+                expected: 4,
+                got: 3
+            })
         ));
         assert_eq!(queue.pending(), 0, "invalid requests never reach the ROB");
         assert_eq!(queue.submitted(), 0);

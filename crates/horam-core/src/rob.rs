@@ -39,7 +39,11 @@ impl RobTable {
     pub fn push(&mut self, request: Request) -> u64 {
         let ticket = self.next_ticket;
         self.next_ticket += 1;
-        self.entries.push_back(RobEntry { ticket, request, io_issued: false });
+        self.entries.push_back(RobEntry {
+            ticket,
+            request,
+            io_issued: false,
+        });
         ticket
     }
 

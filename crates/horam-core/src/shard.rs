@@ -1,0 +1,783 @@
+//! Sharded H-ORAM: the logical address space partitioned across `N`
+//! fully independent instances.
+//!
+//! One [`HOram`] funnels every request through a
+//! single storage device and one shuffle schedule, so aggregate
+//! throughput is capped by one device queue no matter how many tenants
+//! submit. [`ShardedOram`] removes that ceiling the way parallel
+//! oblivious memories do (Palermo, BIOS ORAM): split the address space
+//! into `N` banks, give each bank its *own* complete H-ORAM instance —
+//! private storage device, memory tree, stash, permutation list and
+//! shuffle schedule — and drive the banks concurrently in simulated time.
+//!
+//! **Address partitioning.** A keyed Feistel PRP π over the padded
+//! domain `shards · ⌈N/shards⌉` maps each logical id to
+//! `(shard, local) = (π(id) / cap, π(id) mod cap)`. The PRP is keyed from
+//! the instance master key, so the shard an address lands on is
+//! pseudorandom and balanced: each shard owns exactly `cap` images, and
+//! any workload's blocks spread near-uniformly. Because π is a secret
+//! bijection, the adversary's view of *which shard* serves an access is
+//! the image of the request sequence under a secret permutation — the
+//! partition-repeat pattern of Stefanov-style partition ORAMs. Within
+//! each shard, the full H-ORAM obliviousness argument applies unchanged;
+//! see `docs/ARCHITECTURE.md` §7 for the complete leakage discussion.
+//!
+//! **Clock interleaving.** Each shard keeps its own device clock, which
+//! advances only while that shard works. The sharded instance exposes one
+//! shared clock — the **frontier**, the maximum over the per-shard
+//! timelines — updated after every
+//! [`run_cycle_window`](ShardedOram::run_cycle_window) round-robin round.
+//! The shards have no cross-shard data dependencies, so their windows
+//! (and the shuffle periods they trigger) execute fully concurrently in
+//! simulated time: elapsed time is the *busiest* shard's busy time, not
+//! the sum, and aggregate I/O time approaches max-per-shard — which is
+//! where the throughput scaling comes from (see `bench --bin sharding`).
+//! Per-shard device time stays exact; what the frontier abstracts away is
+//! arrival timing (a request is processed where its shard's timeline
+//! stands, even if other shards have advanced further), matching the
+//! deep-queue regime the serving layer and benches operate in.
+
+use crate::config::HOramConfig;
+use crate::engine::OramEngine;
+use crate::horam::HOram;
+use crate::stats::HOramStats;
+use oram_crypto::keys::MasterKey;
+use oram_crypto::prp::FeistelPrp;
+use oram_protocols::error::OramError;
+use oram_protocols::oram_trait::Oram;
+use oram_protocols::types::{BlockId, Request, RequestOp};
+use oram_storage::clock::{SimClock, SimTime};
+use oram_storage::hierarchy::MemoryHierarchy;
+use std::collections::HashMap;
+
+/// Configuration of a sharded instance: the aggregate geometry plus the
+/// shard count.
+///
+/// The aggregate `capacity` and `memory_slots` of [`base`](Self::base)
+/// are *divided* across the shards (each shard gets
+/// `⌈capacity/shards⌉` blocks and `⌊memory_slots/shards⌋` tree slots),
+/// so a sharded instance never exceeds the total memory budget of the
+/// single instance it replaces — the comparison the sharding bench
+/// makes. The floor division drops up to `shards − 1` remainder slots
+/// (conservative for that comparison); a budget too small to give every
+/// shard at least one bucket is rejected by [`validate`](Self::validate)
+/// rather than silently inflated.
+///
+/// # Example
+///
+/// ```
+/// use horam_core::config::HOramConfig;
+/// use horam_core::shard::ShardedConfig;
+///
+/// let config = ShardedConfig::new(HOramConfig::new(4096, 16, 1024), 4);
+/// assert_eq!(config.shard_capacity(), 1024);
+/// assert_eq!(config.shard_config(0).memory_slots, 256);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedConfig {
+    /// Aggregate geometry and scheduling knobs; every per-shard option
+    /// (stage schedule, prefetch distance, `io_batch`, shuffles) is
+    /// inherited unchanged.
+    pub base: HOramConfig,
+    /// Number of independent instances the address space is split over.
+    pub shards: u64,
+}
+
+impl ShardedConfig {
+    /// Wraps an aggregate configuration with a shard count.
+    pub fn new(base: HOramConfig, shards: u64) -> Self {
+        Self { base, shards }
+    }
+
+    /// Validates cross-field constraints. Called by [`ShardedOram::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero shard count, more shards than blocks, or an
+    /// inconsistent per-shard configuration (see [`HOramConfig::validate`]).
+    pub fn validate(&self) {
+        assert!(self.shards >= 1, "at least one shard required");
+        assert!(
+            self.shards <= self.base.capacity,
+            "more shards ({}) than blocks ({})",
+            self.shards,
+            self.base.capacity
+        );
+        self.shard_config(0).validate();
+    }
+
+    /// Blocks per shard: `⌈capacity / shards⌉`.
+    pub fn shard_capacity(&self) -> u64 {
+        self.base.capacity.div_ceil(self.shards)
+    }
+
+    /// The padded PRP domain (`shards · shard_capacity ≥ capacity`).
+    pub fn mapped_domain(&self) -> u64 {
+        self.shard_capacity() * self.shards
+    }
+
+    /// The configuration one shard runs under: per-shard capacity and
+    /// memory budget, a shard-distinct protocol seed, everything else
+    /// inherited from [`base`](Self::base).
+    pub fn shard_config(&self, shard: u64) -> HOramConfig {
+        let mut config = self.base.clone();
+        config.capacity = self.shard_capacity();
+        // Floor division: the sharded instance may under-use, but never
+        // exceed, the aggregate budget. A share below one bucket fails
+        // the per-shard validation instead of being clamped up.
+        config.memory_slots = self.base.memory_slots / self.shards;
+        // Distinct per-shard seeds keep dummy/permutation randomness
+        // independent across shards (key material is separately derived
+        // from the master key; the seed only decorrelates replayable
+        // protocol choices).
+        config.seed = self
+            .base
+            .seed
+            .wrapping_add(shard.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        config
+    }
+}
+
+/// Where the mapper routed a logical address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSlot {
+    /// The owning shard's index.
+    pub shard: u64,
+    /// The shard-local block id.
+    pub local: BlockId,
+}
+
+/// The keyed address-space partition: a Feistel PRP over the padded
+/// domain, split contiguously into per-shard ranges.
+///
+/// Routing is a pure function of `(key, id)`: deterministic for the
+/// instance lifetime (a block's shard never changes), bijective (distinct
+/// ids never collide on `(shard, local)`), and pseudorandom (the shard an
+/// id lands on is unpredictable without the key, and shard loads are
+/// balanced for *any* workload, adversarial or not).
+#[derive(Debug, Clone)]
+pub struct ShardMapper {
+    prp: FeistelPrp,
+    shards: u64,
+    shard_capacity: u64,
+}
+
+impl ShardMapper {
+    /// Builds a mapper for `capacity` logical blocks over `shards` shards,
+    /// keyed by `key`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates PRP construction errors (empty domain).
+    pub fn new(key: [u8; 16], capacity: u64, shards: u64) -> Result<Self, OramError> {
+        assert!(shards >= 1, "at least one shard required");
+        let shard_capacity = capacity.div_ceil(shards);
+        let prp = FeistelPrp::new(key, shard_capacity * shards)?;
+        Ok(Self {
+            prp,
+            shards,
+            shard_capacity,
+        })
+    }
+
+    /// Number of shards addresses are split across.
+    pub fn shards(&self) -> u64 {
+        self.shards
+    }
+
+    /// Blocks per shard.
+    pub fn shard_capacity(&self) -> u64 {
+        self.shard_capacity
+    }
+
+    /// Routes a logical id to its `(shard, local)` slot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OramError::Crypto`] for ids outside the padded domain
+    /// (callers validate against the logical capacity first).
+    pub fn route(&self, id: BlockId) -> Result<ShardSlot, OramError> {
+        let image = self.prp.permute(id.0)?;
+        Ok(ShardSlot {
+            shard: image / self.shard_capacity,
+            local: BlockId(image % self.shard_capacity),
+        })
+    }
+
+    /// The shard a logical id lives on (workload-balance reporting).
+    ///
+    /// # Errors
+    ///
+    /// As [`route`](Self::route).
+    pub fn shard_of(&self, id: BlockId) -> Result<u64, OramError> {
+        Ok(self.route(id)?.shard)
+    }
+}
+
+/// A response ticket's routing entry: which shard carries it, under which
+/// shard-local ticket.
+#[derive(Debug, Clone, Copy)]
+struct TicketRoute {
+    shard: usize,
+    local_ticket: u64,
+}
+
+/// `N` independent H-ORAM instances behind one address space.
+///
+/// See the [module docs](self) for the partitioning and timing model.
+///
+/// # Example
+///
+/// ```
+/// use horam_core::config::HOramConfig;
+/// use horam_core::shard::{ShardedConfig, ShardedOram};
+/// use oram_crypto::keys::MasterKey;
+/// use oram_protocols::{BlockId, Oram};
+/// use oram_storage::MemoryHierarchy;
+///
+/// # fn main() -> Result<(), oram_protocols::OramError> {
+/// let config = ShardedConfig::new(HOramConfig::new(256, 16, 64).with_seed(1), 4);
+/// let mut oram = ShardedOram::new(config, MasterKey::from_bytes([1; 32]), |_| {
+///     MemoryHierarchy::dac2019()
+/// })?;
+/// oram.write(BlockId(3), &[7u8; 16])?;
+/// assert_eq!(oram.read(BlockId(3))?, vec![7u8; 16]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ShardedOram {
+    config: ShardedConfig,
+    mapper: ShardMapper,
+    shards: Vec<HOram>,
+    clock: SimClock,
+    routes: HashMap<u64, TicketRoute>,
+    next_ticket: u64,
+}
+
+impl ShardedOram {
+    /// Builds the sharded instance: one full [`HOram`] per shard, each on
+    /// its own hierarchy from `hierarchy_for`, all keyed from independent
+    /// derivations of `master`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors from any shard's initial layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent
+    /// (see [`ShardedConfig::validate`]).
+    pub fn new(
+        config: ShardedConfig,
+        master: MasterKey,
+        mut hierarchy_for: impl FnMut(u64) -> MemoryHierarchy,
+    ) -> Result<Self, OramError> {
+        config.validate();
+        let map_key = *master.derive("horam/shard-map", 0).prp();
+        let mapper = ShardMapper::new(map_key, config.base.capacity, config.shards)?;
+        let mut shards = Vec::with_capacity(config.shards as usize);
+        for shard in 0..config.shards {
+            // Each shard gets a computationally independent master key, so
+            // shard devices never share encryption/PRP material.
+            let shard_master =
+                MasterKey::from_bytes(*master.derive("horam/shard", shard).encryption());
+            shards.push(HOram::new(
+                config.shard_config(shard),
+                hierarchy_for(shard),
+                shard_master,
+            )?);
+        }
+        Ok(Self {
+            config,
+            mapper,
+            shards,
+            clock: SimClock::new(),
+            routes: HashMap::new(),
+            next_ticket: 0,
+        })
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &ShardedConfig {
+        &self.config
+    }
+
+    /// The address-space partition (for balance reporting and tests).
+    pub fn mapper(&self) -> &ShardMapper {
+        &self.mapper
+    }
+
+    /// The shard instances, in index order.
+    pub fn shards(&self) -> &[HOram] {
+        &self.shards
+    }
+
+    /// The shared simulated clock the round-robin pump advances.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Per-shard run statistics, in shard-index order.
+    pub fn shard_stats(&self) -> Vec<HOramStats> {
+        self.shards.iter().map(HOram::stats).collect()
+    }
+
+    /// Aggregate run statistics: the field-wise sum over shards. Counter
+    /// fields aggregate exactly; the time fields are summed *busy* time
+    /// across shards, which exceeds elapsed time when shards overlap — use
+    /// [`clock`](Self::clock) for the concurrent-elapsed view.
+    pub fn stats(&self) -> HOramStats {
+        self.shards
+            .iter()
+            .map(HOram::stats)
+            .fold(HOramStats::default(), |acc, s| acc + s)
+    }
+
+    /// Checks a request against the *aggregate* geometry without queueing
+    /// it (errors report logical, not shard-local, coordinates).
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::BlockOutOfRange`] / [`OramError::PayloadSize`], as
+    /// [`enqueue`](Self::enqueue).
+    pub fn validate(&self, request: &Request) -> Result<(), OramError> {
+        if request.id.0 >= self.config.base.capacity {
+            return Err(OramError::BlockOutOfRange {
+                id: request.id.0,
+                capacity: self.config.base.capacity,
+            });
+        }
+        if let RequestOp::Write(payload) = &request.op {
+            if payload.len() != self.config.base.payload_len {
+                return Err(OramError::PayloadSize {
+                    expected: self.config.base.payload_len,
+                    got: payload.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Routes and queues a request on its owning shard; returns a ticket
+    /// scoped to the sharded instance.
+    ///
+    /// # Errors
+    ///
+    /// As [`validate`](Self::validate) — invalid requests are rejected
+    /// before routing, so they never reach (or reveal) a shard.
+    pub fn enqueue(&mut self, request: Request) -> Result<u64, OramError> {
+        self.validate(&request)?;
+        let slot = self.mapper.route(request.id)?;
+        let local = Request {
+            id: slot.local,
+            op: request.op,
+        };
+        let local_ticket = self.shards[slot.shard as usize].enqueue(local)?;
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        self.routes.insert(
+            ticket,
+            TicketRoute {
+                shard: slot.shard as usize,
+                local_ticket,
+            },
+        );
+        Ok(ticket)
+    }
+
+    /// Removes and returns the response for `ticket`, if it has been
+    /// serviced.
+    pub fn take_response(&mut self, ticket: u64) -> Option<Vec<u8>> {
+        let route = *self.routes.get(&ticket)?;
+        let response = self.shards[route.shard].take_response(route.local_ticket)?;
+        self.routes.remove(&ticket);
+        Some(response)
+    }
+
+    /// Total requests queued and not yet serviced, across shards.
+    pub fn pending(&self) -> usize {
+        self.shards.iter().map(|s| s.queue().pending()).sum()
+    }
+
+    /// Whether every shard's queue has drained.
+    pub fn is_drained(&self) -> bool {
+        self.shards.iter().all(|s| s.queue().is_drained())
+    }
+
+    /// One round-robin pump round: every shard with pending work runs one
+    /// I/O window of up to `max_cycles` cycles
+    /// ([`HOram::run_cycle_window`]), then the shared clock advances to
+    /// the **frontier** — the maximum over the per-shard timelines. The
+    /// shards' windows (and any shuffle periods they trigger) execute
+    /// fully concurrently in simulated time; idle shards cost nothing.
+    /// Returns the total cycles executed this round.
+    ///
+    /// # Errors
+    ///
+    /// Storage/crypto/protocol errors propagate and are fail-stop, as for
+    /// a single instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_cycles` is zero.
+    pub fn run_cycle_window(&mut self, max_cycles: u64) -> Result<u64, OramError> {
+        assert!(
+            max_cycles >= 1,
+            "a cycle window must cover at least one cycle"
+        );
+        let mut executed = 0;
+        for shard in &mut self.shards {
+            if shard.queue().is_drained() {
+                continue;
+            }
+            executed += shard.run_cycle_window(max_cycles)?;
+        }
+        self.advance_to_frontier();
+        Ok(executed)
+    }
+
+    /// Advances the shared clock to the busiest shard's timeline. Each
+    /// shard clock only moves while that shard works, so the frontier is
+    /// exactly `max_i(busy_i)` — the fully-concurrent elapsed time.
+    fn advance_to_frontier(&self) {
+        let frontier = self
+            .shards
+            .iter()
+            .map(|s| s.clock().now())
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let now = self.clock.now();
+        if frontier > now {
+            self.clock.advance(frontier.duration_since(now));
+        }
+    }
+
+    /// Pumps round-robin until every shard drains, then returns responses
+    /// for the given tickets in order.
+    ///
+    /// # Errors
+    ///
+    /// Storage/crypto/protocol errors propagate;
+    /// [`OramError::UnknownTicket`] for tickets never issued or already
+    /// collected.
+    pub fn drain(&mut self, tickets: &[u64]) -> Result<Vec<Vec<u8>>, OramError> {
+        while !self.is_drained() {
+            self.run_cycle_window(self.config.base.io_batch)?;
+        }
+        let mut out = Vec::with_capacity(tickets.len());
+        for ticket in tickets {
+            let response = self
+                .take_response(*ticket)
+                .ok_or(OramError::UnknownTicket { ticket: *ticket })?;
+            out.push(response);
+        }
+        Ok(out)
+    }
+
+    /// Queues a whole batch and drains it — the shard-level counterpart
+    /// of [`HOram::run_batch`].
+    ///
+    /// # Errors
+    ///
+    /// As [`drain`](Self::drain).
+    pub fn run_batch(&mut self, requests: &[Request]) -> Result<Vec<Vec<u8>>, OramError> {
+        let tickets: Vec<u64> = requests
+            .iter()
+            .map(|r| self.enqueue(r.clone()))
+            .collect::<Result<_, _>>()?;
+        self.drain(&tickets)
+    }
+
+    /// Clears all timing/tracing/statistics state on every shard and the
+    /// shared clock (not data).
+    pub fn reset_accounting(&mut self) {
+        for shard in &mut self.shards {
+            shard.reset_accounting();
+        }
+        self.clock.reset();
+    }
+}
+
+impl OramEngine for ShardedOram {
+    fn validate(&self, request: &Request) -> Result<(), OramError> {
+        self.validate(request)
+    }
+
+    fn enqueue(&mut self, request: Request) -> Result<u64, OramError> {
+        self.enqueue(request)
+    }
+
+    fn take_response(&mut self, ticket: u64) -> Option<Vec<u8>> {
+        self.take_response(ticket)
+    }
+
+    fn run_cycle_window(&mut self, max_cycles: u64) -> Result<u64, OramError> {
+        self.run_cycle_window(max_cycles)
+    }
+
+    fn pending_requests(&self) -> usize {
+        self.pending()
+    }
+
+    fn aggregate_stats(&self) -> HOramStats {
+        self.stats()
+    }
+
+    fn per_shard_stats(&self) -> Vec<HOramStats> {
+        self.shard_stats()
+    }
+
+    fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+impl Oram for ShardedOram {
+    fn capacity(&self) -> u64 {
+        self.config.base.capacity
+    }
+
+    fn payload_len(&self) -> usize {
+        self.config.base.payload_len
+    }
+
+    fn read(&mut self, id: BlockId) -> Result<Vec<u8>, OramError> {
+        let mut out = self.run_batch(&[Request::read(id)])?;
+        Ok(out.pop().expect("one response per request"))
+    }
+
+    fn write(&mut self, id: BlockId, data: &[u8]) -> Result<Vec<u8>, OramError> {
+        let mut out = self.run_batch(&[Request::write(id, data.to_vec())])?;
+        Ok(out.pop().expect("one response per request"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oram_crypto::rng::DeterministicRng;
+    use rand::Rng;
+    use std::collections::HashMap;
+
+    fn build(capacity: u64, memory_slots: u64, shards: u64) -> ShardedOram {
+        let config = ShardedConfig::new(
+            HOramConfig::new(capacity, 8, memory_slots).with_seed(17),
+            shards,
+        );
+        ShardedOram::new(config, MasterKey::from_bytes([9; 32]), |_| {
+            MemoryHierarchy::dac2019()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn read_your_writes_across_shards() {
+        let mut oram = build(256, 64, 4);
+        for id in [0u64, 1, 77, 200, 255] {
+            oram.write(BlockId(id), &[id as u8; 8]).unwrap();
+        }
+        for id in [0u64, 1, 77, 200, 255] {
+            assert_eq!(oram.read(BlockId(id)).unwrap(), vec![id as u8; 8]);
+        }
+    }
+
+    #[test]
+    fn mapper_is_a_bijection_onto_shard_slots() {
+        let mapper = ShardMapper::new([3u8; 16], 300, 4).unwrap();
+        assert_eq!(mapper.shard_capacity(), 75);
+        let mut seen = std::collections::HashSet::new();
+        for id in 0..300u64 {
+            let slot = mapper.route(BlockId(id)).unwrap();
+            assert!(slot.shard < 4);
+            assert!(slot.local.0 < 75);
+            assert!(
+                seen.insert((slot.shard, slot.local.0)),
+                "collision at id {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn mapper_balances_shards() {
+        let mapper = ShardMapper::new([5u8; 16], 4096, 4).unwrap();
+        let mut counts = [0usize; 4];
+        for id in 0..4096u64 {
+            counts[mapper.shard_of(BlockId(id)).unwrap() as usize] += 1;
+        }
+        // The PRP covers the domain exactly: perfect balance.
+        assert_eq!(counts, [1024; 4]);
+    }
+
+    #[test]
+    fn distinct_keys_give_distinct_routings() {
+        let a = ShardMapper::new([1u8; 16], 1 << 12, 8).unwrap();
+        let b = ShardMapper::new([2u8; 16], 1 << 12, 8).unwrap();
+        let differing = (0..1u64 << 12)
+            .filter(|&x| a.shard_of(BlockId(x)).unwrap() != b.shard_of(BlockId(x)).unwrap())
+            .count();
+        // Two independent 8-way routings agree on ~1/8 of points.
+        assert!(
+            differing > 3000,
+            "routings too similar: {differing} differences"
+        );
+    }
+
+    #[test]
+    fn geometry_validation_reports_logical_coordinates() {
+        let mut oram = build(256, 64, 4);
+        assert!(matches!(
+            oram.enqueue(Request::read(999u64)),
+            Err(OramError::BlockOutOfRange {
+                id: 999,
+                capacity: 256
+            })
+        ));
+        assert!(matches!(
+            oram.enqueue(Request::write(3u64, vec![0; 2])),
+            Err(OramError::PayloadSize {
+                expected: 8,
+                got: 2
+            })
+        ));
+        assert_eq!(oram.pending(), 0);
+    }
+
+    #[test]
+    fn responses_match_a_reference_map_across_periods() {
+        // Small per-shard trees (64/4 = 16 slots ⇒ period 8) force several
+        // shuffle periods on every shard.
+        let mut oram = build(256, 64, 4);
+        let mut rng = DeterministicRng::from_u64_seed(3);
+        let mut reference: HashMap<u64, Vec<u8>> = HashMap::new();
+        for _ in 0..300 {
+            let id = rng.gen_range(0..256u64);
+            if rng.gen_bool(0.3) {
+                let payload = vec![rng.gen::<u8>(); 8];
+                oram.write(BlockId(id), &payload).unwrap();
+                reference.insert(id, payload);
+            } else {
+                let got = oram.read(BlockId(id)).unwrap();
+                let expected = reference.get(&id).cloned().unwrap_or(vec![0u8; 8]);
+                assert_eq!(got, expected, "block {id}");
+            }
+        }
+        assert!(
+            oram.stats().shuffles >= 4,
+            "each shard must cross period boundaries"
+        );
+    }
+
+    #[test]
+    fn shared_clock_tracks_max_not_sum() {
+        let mut oram = build(1024, 256, 4);
+        let requests: Vec<Request> = (0..200u64).map(Request::read).collect();
+        oram.run_batch(&requests).unwrap();
+        let elapsed = oram.clock().now().as_nanos();
+        let busy_sum: u64 = oram
+            .shard_stats()
+            .iter()
+            .map(|s| s.total_wall_time().as_nanos())
+            .sum();
+        let busy_max = oram
+            .shard_stats()
+            .iter()
+            .map(|s| s.total_wall_time().as_nanos())
+            .max()
+            .unwrap();
+        assert!(
+            elapsed < busy_sum,
+            "clock {elapsed} should undercut serial sum {busy_sum}"
+        );
+        assert!(
+            elapsed >= busy_max,
+            "clock {elapsed} cannot undercut the slowest shard {busy_max}"
+        );
+    }
+
+    #[test]
+    fn one_shard_degenerates_to_a_single_instance() {
+        let mut oram = build(256, 64, 1);
+        assert_eq!(oram.shards().len(), 1);
+        let requests: Vec<Request> = (0..40u64).map(Request::read).collect();
+        let responses = oram.run_batch(&requests).unwrap();
+        assert!(responses.iter().all(|r| r == &vec![0u8; 8]));
+        // The shared clock mirrors the lone shard's timeline exactly.
+        assert_eq!(
+            oram.clock().now().as_nanos(),
+            oram.shards()[0].clock().now().as_nanos()
+        );
+    }
+
+    #[test]
+    fn tickets_collect_once_and_unknown_tickets_error() {
+        let mut oram = build(256, 64, 2);
+        let ticket = oram.enqueue(Request::read(1u64)).unwrap();
+        while !oram.is_drained() {
+            oram.run_cycle_window(4).unwrap();
+        }
+        assert_eq!(oram.take_response(ticket), Some(vec![0u8; 8]));
+        assert!(matches!(
+            oram.drain(&[ticket]),
+            Err(OramError::UnknownTicket { ticket: t }) if t == ticket
+        ));
+        assert!(matches!(
+            oram.drain(&[999]),
+            Err(OramError::UnknownTicket { ticket: 999 })
+        ));
+    }
+
+    #[test]
+    fn aggregate_stats_sum_per_shard_counters() {
+        let mut oram = build(256, 64, 4);
+        let requests: Vec<Request> = (0..60u64).map(Request::read).collect();
+        oram.run_batch(&requests).unwrap();
+        let per_shard = oram.shard_stats();
+        let aggregate = oram.stats();
+        assert_eq!(aggregate.requests, 60);
+        assert_eq!(
+            aggregate.cycles,
+            per_shard.iter().map(|s| s.cycles).sum::<u64>()
+        );
+        // Every shard keeps the one-I/O-per-cycle invariant.
+        for (i, stats) in per_shard.iter().enumerate() {
+            assert_eq!(stats.total_io_loads(), stats.cycles, "shard {i}");
+        }
+    }
+
+    #[test]
+    fn config_plumbing_divides_the_budget() {
+        let config = ShardedConfig::new(HOramConfig::new(1000, 16, 256), 4);
+        config.validate();
+        assert_eq!(config.shard_capacity(), 250);
+        assert_eq!(config.mapped_domain(), 1000);
+        let shard0 = config.shard_config(0);
+        assert_eq!(shard0.capacity, 250);
+        assert_eq!(shard0.memory_slots, 64);
+        assert_ne!(shard0.seed, config.shard_config(1).seed);
+    }
+
+    #[test]
+    #[should_panic(expected = "memory budget smaller than one bucket")]
+    fn under_bucket_memory_share_rejected() {
+        // 16 slots over 8 shards = 2 per shard < one bucket (z = 4):
+        // rejected instead of silently inflating the aggregate budget.
+        ShardedConfig::new(HOramConfig::new(4096, 16, 16), 8).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "more shards")]
+    fn more_shards_than_blocks_rejected() {
+        ShardedConfig::new(HOramConfig::new(4, 8, 8), 8).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        ShardedConfig::new(HOramConfig::new(256, 8, 64), 0).validate();
+    }
+}

@@ -207,8 +207,9 @@ impl StorageLayer {
         };
         // Initial build: treat every block as "hot" with zero payloads and
         // run the standard full shuffle machinery.
-        let all: Vec<(BlockId, Vec<u8>)> =
-            (0..config.capacity).map(|id| (BlockId(id), vec![0u8; config.payload_len])).collect();
+        let all: Vec<(BlockId, Vec<u8>)> = (0..config.capacity)
+            .map(|id| (BlockId(id), vec![0u8; config.payload_len]))
+            .collect();
         layer.rebuild_full(all, config.seed)?;
         Ok(layer)
     }
@@ -265,7 +266,10 @@ impl StorageLayer {
 
     /// Marks `slot` as holding the current copy of `id`.
     fn set_owner(&mut self, slot: u64, id: BlockId) {
-        debug_assert!(self.owners[slot as usize].is_none(), "slot {slot} doubly owned");
+        debug_assert!(
+            self.owners[slot as usize].is_none(),
+            "slot {slot} doubly owned"
+        );
         self.owners[slot as usize] = Some(id);
         self.partition_live[(slot / self.partition_slots) as usize] += 1;
     }
@@ -284,7 +288,10 @@ impl StorageLayer {
     fn next_dummy_slot(&mut self) -> Option<u64> {
         let total = self.total_slots();
         while self.dummy_cursor < total {
-            let slot = self.dummy_prp.permute(self.dummy_cursor).expect("cursor within domain");
+            let slot = self
+                .dummy_prp
+                .permute(self.dummy_cursor)
+                .expect("cursor within domain");
             self.dummy_cursor += 1;
             if !self.touched[slot as usize] {
                 return Some(slot);
@@ -327,7 +334,11 @@ impl StorageLayer {
 
     /// Verifies and decrypts, in place when the zero-copy path is on.
     fn open_sealed(&self, sealer: &BlockSealer, sealed: SealedBlock) -> Result<Vec<u8>, OramError> {
-        let body = if self.zero_copy { sealer.open_in_place(sealed) } else { sealer.open(&sealed) };
+        let body = if self.zero_copy {
+            sealer.open_in_place(sealed)
+        } else {
+            sealer.open(&sealed)
+        };
         Ok(body?)
     }
 
@@ -367,21 +378,30 @@ impl StorageLayer {
                 let owner = self.clear_owner(slot);
                 debug_assert_eq!(owner, Some(id), "location table and slot owners diverged");
                 self.locations.set_in_memory(id);
-                PlannedLoad { slot: Some(slot), expect: Some(id) }
+                PlannedLoad {
+                    slot: Some(slot),
+                    expect: Some(id),
+                }
             }
             LoadPlan::Dummy => match self.next_dummy_slot() {
                 // Every slot touched: the period is over-long; the caller's
                 // period accounting forces a shuffle before this can happen
                 // in a correct configuration. Commit treats it as a
                 // zero-cost no-op.
-                None => PlannedLoad { slot: None, expect: None },
+                None => PlannedLoad {
+                    slot: None,
+                    expect: None,
+                },
                 Some(slot) => {
                     self.touched[slot as usize] = true;
                     let expect = self.clear_owner(slot);
                     if let Some(id) = expect {
                         self.locations.set_in_memory(id);
                     }
-                    PlannedLoad { slot: Some(slot), expect }
+                    PlannedLoad {
+                        slot: Some(slot),
+                        expect,
+                    }
                 }
             },
         };
@@ -416,7 +436,10 @@ impl StorageLayer {
             let planned = self.pending.pop().expect("one pending load");
             let load = self.commit_single(planned)?;
             let io_time = load.duration;
-            return Ok(BatchLoad { loads: vec![load], io_time });
+            return Ok(BatchLoad {
+                loads: vec![load],
+                io_time,
+            });
         }
         let pending = std::mem::take(&mut self.pending);
         let before = *self.device.stats();
@@ -425,7 +448,10 @@ impl StorageLayer {
         let mut loads = Vec::with_capacity(pending.len());
         for planned in pending {
             let Some(slot) = planned.slot else {
-                loads.push(IoLoad { block: None, duration: SimDuration::ZERO });
+                loads.push(IoLoad {
+                    block: None,
+                    duration: SimDuration::ZERO,
+                });
                 continue;
             };
             let item = items.next().expect("one scatter item per planned slot");
@@ -440,14 +466,19 @@ impl StorageLayer {
                     };
                     let body = self.open_sealed(&self.sealer, sealed)?;
                     match BlockContent::decode_owned(body, slot)? {
-                        BlockContent::Real { id: stored, payload, .. } if stored == id => {
-                            Some((id, payload))
-                        }
+                        BlockContent::Real {
+                            id: stored,
+                            payload,
+                            ..
+                        } if stored == id => Some((id, payload)),
                         _ => return Err(OramError::MalformedBlock { slot }),
                     }
                 }
             };
-            loads.push(IoLoad { block, duration: item.cost });
+            loads.push(IoLoad {
+                block,
+                duration: item.cost,
+            });
         }
         let io_time = self.storage_delta(&before).busy;
         Ok(BatchLoad { loads, io_time })
@@ -456,7 +487,10 @@ impl StorageLayer {
     /// Commits one planned load without the batch machinery.
     fn commit_single(&mut self, planned: PlannedLoad) -> Result<IoLoad, OramError> {
         let Some(slot) = planned.slot else {
-            return Ok(IoLoad { block: None, duration: SimDuration::ZERO });
+            return Ok(IoLoad {
+                block: None,
+                duration: SimDuration::ZERO,
+            });
         };
         let before = *self.device.stats();
         let sealed = self.device.read_block(slot)?;
@@ -466,9 +500,11 @@ impl StorageLayer {
             Some(id) => {
                 let body = self.open_sealed(&self.sealer, sealed)?;
                 match BlockContent::decode_owned(body, slot)? {
-                    BlockContent::Real { id: stored, payload, .. } if stored == id => {
-                        Some((id, payload))
-                    }
+                    BlockContent::Real {
+                        id: stored,
+                        payload,
+                        ..
+                    } if stored == id => Some((id, payload)),
                     _ => return Err(OramError::MalformedBlock { slot }),
                 }
             }
@@ -488,7 +524,10 @@ impl StorageLayer {
     /// As [`plan_io`](Self::plan_io); also panics if loads are already
     /// staged (mixing the two interfaces mid-batch is a caller bug).
     pub fn load_batch(&mut self, plans: &[LoadPlan]) -> Result<BatchLoad, OramError> {
-        assert!(self.pending.is_empty(), "load_batch while a planned batch is uncommitted");
+        assert!(
+            self.pending.is_empty(),
+            "load_batch while a planned batch is uncommitted"
+        );
         for &plan in plans {
             self.plan_io(plan);
         }
@@ -623,7 +662,10 @@ impl StorageLayer {
         window: &[u64],
         seed: u64,
     ) -> Result<ShuffleReport, OramError> {
-        assert!(self.pending.is_empty(), "shuffle while a planned I/O batch is uncommitted");
+        assert!(
+            self.pending.is_empty(),
+            "shuffle while a planned I/O batch is uncommitted"
+        );
         let before = *self.device.stats();
         // New epoch unless this is a partial pass (partial passes keep the
         // epoch key so untouched partitions remain readable). Partitions
@@ -640,7 +682,10 @@ impl StorageLayer {
         // Capacity-aware contiguous split of the hot list (§4.3.2's "i-th
         // piece of evicted data"): each partition's piece is its fair share
         // clamped to its free slots, with the remainder flowing onward.
-        let free: Vec<u64> = window.iter().map(|&p| self.partition_free_slots(p)).collect();
+        let free: Vec<u64> = window
+            .iter()
+            .map(|&p| self.partition_free_slots(p))
+            .collect();
         let total_free: u64 = free.iter().sum();
         assert!(
             hot.len() as u64 <= total_free,
@@ -732,7 +777,11 @@ impl StorageLayer {
             spilled_total += (piece.len() as u64).saturating_sub(fair_share);
             for (id, payload) in piece {
                 let mut body = self.take_buffer(wire_len);
-                let content = BlockContent::Real { id, leaf: 0, payload };
+                let content = BlockContent::Real {
+                    id,
+                    leaf: 0,
+                    payload,
+                };
                 content.encode_into(self.payload_len, &mut body);
                 if let BlockContent::Real { payload, .. } = content {
                     self.recycle_buffer(payload);
@@ -834,7 +883,10 @@ mod tests {
         let layer = build(100);
         for id in 0..100 {
             assert!(
-                matches!(layer.locations().location(BlockId(id)), Location::Storage { .. }),
+                matches!(
+                    layer.locations().location(BlockId(id)),
+                    Location::Storage { .. }
+                ),
                 "block {id} missing"
             );
         }
@@ -883,7 +935,10 @@ mod tests {
             }
         }
         assert_eq!(layer.device().stats().reads - trace_start, 30);
-        assert!(produced > 0, "dummy loads should prefetch live blocks sometimes");
+        assert!(
+            produced > 0,
+            "dummy loads should prefetch live blocks sometimes"
+        );
     }
 
     #[test]
@@ -896,12 +951,26 @@ mod tests {
             b.dummy_load().unwrap();
         }
         let order_a = trace_a.address_sequence(a.device().id());
-        assert_eq!(order_a, trace_b.address_sequence(b.device().id()), "order must be replayable");
+        assert_eq!(
+            order_a,
+            trace_b.address_sequence(b.device().id()),
+            "order must be replayable"
+        );
         let distinct: HashSet<u64> = order_a.iter().copied().collect();
-        assert_eq!(distinct.len() as u64, total, "each slot consumed exactly once");
+        assert_eq!(
+            distinct.len() as u64,
+            total,
+            "each slot consumed exactly once"
+        );
         // Exhausted period: further dummies are zero-cost no-ops.
         let exhausted = a.dummy_load().unwrap();
-        assert_eq!(exhausted, IoLoad { block: None, duration: SimDuration::ZERO });
+        assert_eq!(
+            exhausted,
+            IoLoad {
+                block: None,
+                duration: SimDuration::ZERO
+            }
+        );
         assert_eq!(trace_a.len() as u64, total);
         // A new period re-keys the order.
         a.rebuild_full(Vec::new(), 3).unwrap();
@@ -909,7 +978,10 @@ mod tests {
         for _ in 0..8 {
             a.dummy_load().unwrap();
         }
-        assert_ne!(trace_a.address_sequence(a.device().id()), order_a[..8].to_vec());
+        assert_ne!(
+            trace_a.address_sequence(a.device().id()),
+            order_a[..8].to_vec()
+        );
     }
 
     #[test]
@@ -947,14 +1019,22 @@ mod tests {
         // ... identical adversary view (same slots, same order, same op
         // shape — oblivious-trace equality) ...
         let strip = |t: &AccessTrace| {
-            t.snapshot().into_iter().map(|e| (e.device, e.kind, e.addr, e.bytes)).collect::<Vec<_>>()
+            t.snapshot()
+                .into_iter()
+                .map(|e| (e.device, e.kind, e.addr, e.bytes))
+                .collect::<Vec<_>>()
         };
         assert_eq!(strip(&seq_trace), strip(&bat_trace));
         // ... identical op/byte accounting, strictly cheaper in simulated
         // time (queued scheduling is the whole point).
         assert_eq!(seq_stats.reads, bat_stats.reads);
         assert_eq!(seq_stats.bytes_read, bat_stats.bytes_read);
-        assert!(bat_stats.busy < seq_stats.busy, "batched {:?} !< {:?}", bat_stats.busy, seq_stats.busy);
+        assert!(
+            bat_stats.busy < seq_stats.busy,
+            "batched {:?} !< {:?}",
+            bat_stats.busy,
+            seq_stats.busy
+        );
         assert_eq!(batch.io_time, bat_stats.busy);
     }
 
@@ -965,10 +1045,16 @@ mod tests {
         layer
             .load_batch(&[Miss(BlockId(1)), Dummy, Dummy, Miss(BlockId(9)), Dummy])
             .unwrap();
-        layer.load_batch(&[Dummy, Dummy, Miss(BlockId(30)), Dummy]).unwrap();
+        layer
+            .load_batch(&[Dummy, Dummy, Miss(BlockId(30)), Dummy])
+            .unwrap();
         let addrs = trace.address_sequence(layer.device().id());
         let distinct: HashSet<u64> = addrs.iter().copied().collect();
-        assert_eq!(distinct.len(), addrs.len(), "a slot was read twice within the period");
+        assert_eq!(
+            distinct.len(),
+            addrs.len(),
+            "a slot was read twice within the period"
+        );
         // After the shuffle the budget resets: the same blocks load again.
         layer
             .rebuild_full(
@@ -987,13 +1073,19 @@ mod tests {
     fn batched_dummy_exhaustion_is_a_zero_cost_no_op() {
         let mut layer = build(16);
         let total = layer.total_slots() as usize;
-        let plan: Vec<LoadPlan> = std::iter::repeat(LoadPlan::Dummy).take(total + 5).collect();
+        let plan: Vec<LoadPlan> = std::iter::repeat_n(LoadPlan::Dummy, total + 5).collect();
         let before_reads = layer.device().stats().reads;
         let batch = layer.load_batch(&plan).unwrap();
         assert_eq!(batch.loads.len(), total + 5);
         assert_eq!(layer.device().stats().reads - before_reads, total as u64);
         for load in &batch.loads[total..] {
-            assert_eq!(*load, IoLoad { block: None, duration: SimDuration::ZERO });
+            assert_eq!(
+                *load,
+                IoLoad {
+                    block: None,
+                    duration: SimDuration::ZERO
+                }
+            );
         }
     }
 
@@ -1007,7 +1099,9 @@ mod tests {
         assert_eq!(split.pending_io(), 0);
 
         let (mut whole, whole_trace) = build_traced(64);
-        let whole_batch = whole.load_batch(&[LoadPlan::Miss(BlockId(2)), LoadPlan::Dummy]).unwrap();
+        let whole_batch = whole
+            .load_batch(&[LoadPlan::Miss(BlockId(2)), LoadPlan::Dummy])
+            .unwrap();
         assert_eq!(split_batch, whole_batch);
         assert_eq!(
             split_trace.address_sequence(split.device().id()),
@@ -1023,8 +1117,12 @@ mod tests {
         let mut zc = build_with(64, Some(trace_zc.clone()), true);
         let trace_legacy = AccessTrace::new();
         let mut legacy = build_with(64, Some(trace_legacy.clone()), false);
-        let plan =
-            [LoadPlan::Miss(BlockId(7)), LoadPlan::Dummy, LoadPlan::Miss(BlockId(3)), LoadPlan::Dummy];
+        let plan = [
+            LoadPlan::Miss(BlockId(7)),
+            LoadPlan::Dummy,
+            LoadPlan::Miss(BlockId(3)),
+            LoadPlan::Dummy,
+        ];
         let batch_zc = zc.load_batch(&plan).unwrap();
         let batch_legacy = legacy.load_batch(&plan).unwrap();
         assert_eq!(batch_zc, batch_legacy);
@@ -1036,7 +1134,10 @@ mod tests {
             trace_legacy.address_sequence(legacy.device().id())
         );
         assert_eq!(zc.device().stats(), legacy.device().stats());
-        assert_eq!(zc.fetch(BlockId(7)).unwrap().block, legacy.fetch(BlockId(7)).unwrap().block);
+        assert_eq!(
+            zc.fetch(BlockId(7)).unwrap().block,
+            legacy.fetch(BlockId(7)).unwrap().block
+        );
     }
 
     #[test]
@@ -1047,7 +1148,9 @@ mod tests {
         for _ in 0..12 {
             layer.dummy_load().unwrap();
         }
-        layer.rebuild_partial(vec![(BlockId(3), vec![0u8; 8])], 4, 6).unwrap();
+        layer
+            .rebuild_partial(vec![(BlockId(3), vec![0u8; 8])], 4, 6)
+            .unwrap();
         for partition in 0..layer.partition_count() {
             let base = (partition * layer.partition_slots) as usize;
             let scanned = layer.owners[base..base + layer.partition_slots as usize]
@@ -1058,7 +1161,10 @@ mod tests {
                 layer.partition_live[partition as usize], scanned,
                 "partition {partition} live count drifted"
             );
-            assert_eq!(layer.partition_free_slots(partition), layer.partition_slots - scanned);
+            assert_eq!(
+                layer.partition_free_slots(partition),
+                layer.partition_slots - scanned
+            );
         }
     }
 
@@ -1067,7 +1173,7 @@ mod tests {
         let mut layer = build(256);
         // One warm-up period with real traffic (misses + dummies + a hot
         // set folding back in) fills the pool to its working set...
-        let mut period = |layer: &mut StorageLayer, seed: u64| {
+        let period = |layer: &mut StorageLayer, seed: u64| {
             let mut hot = Vec::new();
             for id in [seed % 256, (seed + 100) % 256] {
                 if !layer.is_in_memory(BlockId(id)) {
@@ -1088,7 +1194,10 @@ mod tests {
         period(&mut layer, 2);
         period(&mut layer, 3);
         let (reused, allocated_after) = layer.pool.counters();
-        assert_eq!(allocated_after, allocated_before, "steady-state shuffle must not allocate");
+        assert_eq!(
+            allocated_after, allocated_before,
+            "steady-state shuffle must not allocate"
+        );
         assert!(reused > 0, "pool must actually be exercised");
     }
 
@@ -1213,7 +1322,7 @@ mod tests {
                     }
                     intended.push(LoadPlan::Miss(BlockId(id)));
                 }
-                intended.extend(gaps.flat_map(|n| std::iter::repeat(LoadPlan::Dummy).take(n)));
+                intended.extend(gaps.flat_map(|n| std::iter::repeat_n(LoadPlan::Dummy, n)));
 
                 // Run the sequential reference, downgrading misses whose
                 // block an earlier dummy already prefetched (the scheduler

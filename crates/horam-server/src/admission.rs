@@ -62,7 +62,11 @@ impl AdmissionPolicy for FifoPolicy {
     fn plan_batch(&mut self, queued: &[QueuedSnapshot], batch_size: usize) -> Vec<UserId> {
         let mut by_arrival: Vec<&QueuedSnapshot> = queued.iter().collect();
         by_arrival.sort_by_key(|entry| entry.arrival_seq);
-        by_arrival.iter().take(batch_size).map(|entry| entry.tenant).collect()
+        by_arrival
+            .iter()
+            .take(batch_size)
+            .map(|entry| entry.tenant)
+            .collect()
     }
 }
 
@@ -91,8 +95,7 @@ impl AdmissionPolicy for FairSharePolicy {
         if occupancy.is_empty() {
             return Vec::new();
         }
-        let (tenants, mut remaining): (Vec<UserId>, Vec<usize>) =
-            occupancy.into_iter().unzip();
+        let (tenants, mut remaining): (Vec<UserId>, Vec<usize>) = occupancy.into_iter().unzip();
 
         let start = self.rotation % tenants.len();
         self.rotation = self.rotation.wrapping_add(1);
@@ -126,9 +129,12 @@ impl AdmissionPolicy for DeadlinePolicy {
 
     fn plan_batch(&mut self, queued: &[QueuedSnapshot], batch_size: usize) -> Vec<UserId> {
         let mut by_deadline: Vec<&QueuedSnapshot> = queued.iter().collect();
+        by_deadline.sort_by_key(|entry| (entry.deadline.unwrap_or(u64::MAX), entry.arrival_seq));
         by_deadline
-            .sort_by_key(|entry| (entry.deadline.unwrap_or(u64::MAX), entry.arrival_seq));
-        by_deadline.iter().take(batch_size).map(|entry| entry.tenant).collect()
+            .iter()
+            .take(batch_size)
+            .map(|entry| entry.tenant)
+            .collect()
     }
 }
 
@@ -137,13 +143,22 @@ mod tests {
     use super::*;
 
     fn snap(tenant: u32, arrival: u64, deadline: Option<u64>) -> QueuedSnapshot {
-        QueuedSnapshot { tenant: UserId(tenant), arrival_seq: arrival, deadline, position: 0 }
+        QueuedSnapshot {
+            tenant: UserId(tenant),
+            arrival_seq: arrival,
+            deadline,
+            position: 0,
+        }
     }
 
     #[test]
     fn fifo_follows_arrival_order() {
-        let queued =
-            vec![snap(1, 5, None), snap(0, 2, None), snap(1, 3, None), snap(2, 4, None)];
+        let queued = vec![
+            snap(1, 5, None),
+            snap(0, 2, None),
+            snap(1, 3, None),
+            snap(2, 4, None),
+        ];
         let plan = FifoPolicy.plan_batch(&queued, 3);
         assert_eq!(plan, vec![UserId(0), UserId(1), UserId(2)]);
     }
@@ -171,7 +186,12 @@ mod tests {
 
     #[test]
     fn fair_share_rotates_the_extra_slot() {
-        let queued = vec![snap(0, 0, None), snap(0, 1, None), snap(1, 2, None), snap(1, 3, None)];
+        let queued = vec![
+            snap(0, 0, None),
+            snap(0, 1, None),
+            snap(1, 2, None),
+            snap(1, 3, None),
+        ];
         let mut policy = FairSharePolicy::default();
         let first = policy.plan_batch(&queued, 3);
         let second = policy.plan_batch(&queued, 3);
@@ -195,10 +215,16 @@ mod tests {
     #[test]
     fn plans_never_exceed_batch_size() {
         let queued: Vec<QueuedSnapshot> = (0..50).map(|i| snap(i % 5, i as u64, None)).collect();
-        for policy in [&mut FifoPolicy as &mut dyn AdmissionPolicy,
-                       &mut FairSharePolicy::default(),
-                       &mut DeadlinePolicy] {
-            assert!(policy.plan_batch(&queued, 8).len() <= 8, "{}", policy.name());
+        for policy in [
+            &mut FifoPolicy as &mut dyn AdmissionPolicy,
+            &mut FairSharePolicy::default(),
+            &mut DeadlinePolicy,
+        ] {
+            assert!(
+                policy.plan_batch(&queued, 8).len() <= 8,
+                "{}",
+                policy.name()
+            );
         }
     }
 }

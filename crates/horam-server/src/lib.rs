@@ -11,7 +11,12 @@
 //!   coalesces duplicate reads, and drives the shared
 //!   [`RequestQueue`](horam_core::queue::RequestQueue)/scheduler on a
 //!   deterministic pump loop. Responses come back through
-//!   [`ServiceTicket`]s, so tenants never block each other.
+//!   [`ServiceTicket`]s, so tenants never block each other. The service
+//!   is generic over its [`OramEngine`](horam_core::engine::OramEngine)
+//!   back-end: with a [`ShardedOram`](horam_core::shard::ShardedOram) it
+//!   becomes a shard router, splitting each admitted batch across
+//!   independent instances and pumping them concurrently in simulated
+//!   time.
 //! * [`admission`] — pluggable batch-filling policies:
 //!   [`FifoPolicy`], [`FairSharePolicy`] (starvation-free round-robin)
 //!   and [`DeadlinePolicy`] (earliest-deadline-first).
@@ -32,9 +37,7 @@ pub mod service;
 pub mod stats;
 
 pub use admission::{AdmissionPolicy, DeadlinePolicy, FairSharePolicy, FifoPolicy, QueuedSnapshot};
-pub use service::{
-    OramService, PumpReport, ServeError, ServeReport, ServiceConfig, ServiceTicket,
-};
+pub use service::{OramService, PumpReport, ServeError, ServeReport, ServiceConfig, ServiceTicket};
 pub use stats::{ServiceStats, TenantStats};
 
 /// A tenant of the serving layer — the same identity `horam-core` uses

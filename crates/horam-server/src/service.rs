@@ -1,7 +1,10 @@
 //! The multi-tenant serving front-end.
 //!
 //! [`OramService`] multiplexes many logical tenants onto one
-//! [`HOram`] instance. The flow for each request:
+//! [`OramEngine`] back-end — a single [`HOram`] instance by default, or a
+//! sharded pool of instances (see
+//! [`ShardedOram`](horam_core::shard::ShardedOram)). The flow for each
+//! request:
 //!
 //! 1. **submit** — access control ([`AccessControl`]) and geometry
 //!    validation run in the trusted control layer; rejected requests
@@ -31,6 +34,7 @@
 use crate::admission::{AdmissionPolicy, QueuedSnapshot};
 use crate::stats::{ServiceStats, TenantStats};
 use horam_core::access_control::{AccessControl, AccessDenied, Permission};
+use horam_core::engine::OramEngine;
 use horam_core::horam::HOram;
 use horam_core::multi_user::UserId;
 use horam_core::stats::HOramStats;
@@ -71,7 +75,12 @@ pub struct ServiceConfig {
 
 impl Default for ServiceConfig {
     fn default() -> Self {
-        Self { batch_size: 64, max_pending_per_tenant: 4096, dedup: true, io_batch: 16 }
+        Self {
+            batch_size: 64,
+            max_pending_per_tenant: 4096,
+            dedup: true,
+            io_batch: 16,
+        }
     }
 }
 
@@ -175,7 +184,16 @@ struct InFlight {
     piggybacked: bool,
 }
 
-/// The batched multi-tenant front-end over one [`HOram`].
+/// The batched multi-tenant front-end over one [`OramEngine`] back-end.
+///
+/// The engine parameter defaults to a single [`HOram`] instance; plugging
+/// in a [`ShardedOram`](horam_core::shard::ShardedOram) turns the service
+/// into a **shard router**: admitted batches split across shards at
+/// `enqueue` (each request routed by the engine's keyed address
+/// partition), the pump drives every busy shard round-robin against the
+/// engine's shared simulated clock, and responses merge back through the
+/// same per-ticket collection path in arrival order. Admission policies,
+/// access control, dedup and backpressure are engine-agnostic.
 ///
 /// # Example
 ///
@@ -210,8 +228,8 @@ struct InFlight {
 /// # }
 /// ```
 #[derive(Debug)]
-pub struct OramService {
-    oram: HOram,
+pub struct OramService<E: OramEngine = HOram> {
+    oram: E,
     acl: AccessControl,
     policy: Box<dyn AdmissionPolicy>,
     config: ServiceConfig,
@@ -223,11 +241,14 @@ pub struct OramService {
     stats: ServiceStats,
 }
 
-impl OramService {
-    /// Wraps an ORAM instance with the given policy and config.
-    pub fn new(oram: HOram, policy: Box<dyn AdmissionPolicy>, config: ServiceConfig) -> Self {
+impl<E: OramEngine> OramService<E> {
+    /// Wraps an ORAM engine with the given policy and config.
+    pub fn new(oram: E, policy: Box<dyn AdmissionPolicy>, config: ServiceConfig) -> Self {
         assert!(config.batch_size > 0, "batch_size must be positive");
-        assert!(config.max_pending_per_tenant > 0, "backpressure bound must be positive");
+        assert!(
+            config.max_pending_per_tenant > 0,
+            "backpressure bound must be positive"
+        );
         assert!(config.io_batch > 0, "io_batch must be positive");
         Self {
             oram,
@@ -261,7 +282,10 @@ impl OramService {
         slack: u64,
     ) {
         self.register_tenant(tenant, range, permission);
-        self.tenants.get_mut(&tenant).expect("just registered").deadline_slack = Some(slack);
+        self.tenants
+            .get_mut(&tenant)
+            .expect("just registered")
+            .deadline_slack = Some(slack);
     }
 
     /// Adds a further grant to a registered tenant.
@@ -278,7 +302,11 @@ impl OramService {
     /// [`ServeError::QueueFull`] at the backpressure bound and
     /// [`ServeError::Oram`] for geometry violations. None of these
     /// produce observable accesses.
-    pub fn submit(&mut self, tenant: UserId, request: Request) -> Result<ServiceTicket, ServeError> {
+    pub fn submit(
+        &mut self,
+        tenant: UserId,
+        request: Request,
+    ) -> Result<ServiceTicket, ServeError> {
         if !self.tenants.contains_key(&tenant) {
             return Err(ServeError::UnknownTenant(tenant));
         }
@@ -286,7 +314,7 @@ impl OramService {
             self.tenants.get_mut(&tenant).expect("checked").stats.denied += 1;
             return Err(denial.into());
         }
-        self.oram.queue().validate(&request)?;
+        self.oram.validate(&request)?;
         let state = self.tenants.get_mut(&tenant).expect("checked");
         if state.pending.len() >= self.config.max_pending_per_tenant {
             state.stats.rejected_backpressure += 1;
@@ -306,7 +334,7 @@ impl OramService {
             request,
             arrival_seq,
             deadline,
-            submitted_at: self.oram.clock().now(),
+            submitted_at: self.oram.now(),
         });
         state.stats.submitted += 1;
         state.stats.queue_peak = state.stats.queue_peak.max(state.pending.len());
@@ -329,11 +357,14 @@ impl OramService {
     ///
     /// ORAM storage/crypto errors propagate.
     pub fn pump(&mut self) -> Result<PumpReport, ServeError> {
-        let baseline: HOramStats = self.oram.stats();
-        let wall_start = self.oram.clock().now();
+        let baseline: HOramStats = self.oram.aggregate_stats();
+        let wall_start = self.oram.now();
 
         // Admission: fill the ROB up to the batch size.
-        let space = self.config.batch_size.saturating_sub(self.oram.queue().pending());
+        let space = self
+            .config
+            .batch_size
+            .saturating_sub(self.oram.pending_requests());
         let mut deduped = 0u64;
         let mut admitted_count = 0u64;
         if space > 0 && self.pending_total() > 0 {
@@ -351,8 +382,12 @@ impl OramService {
             let mut read_carriers: HashMap<BlockId, u64> = HashMap::new();
             let mut batch_tenants: Vec<UserId> = Vec::new();
             for tenant in plan.into_iter().take(space) {
-                let Some(state) = self.tenants.get_mut(&tenant) else { continue };
-                let Some(pending) = state.pending.pop_front() else { continue };
+                let Some(state) = self.tenants.get_mut(&tenant) else {
+                    continue;
+                };
+                let Some(pending) = state.pending.pop_front() else {
+                    continue;
+                };
                 state.stats.admitted += 1;
                 if !batch_tenants.contains(&tenant) {
                     batch_tenants.push(tenant);
@@ -362,8 +397,7 @@ impl OramService {
 
                 let is_write = pending.request.op.is_write();
                 let block = pending.request.id;
-                let (oram_ticket, piggybacked) = match (&pending.request.op, self.config.dedup)
-                {
+                let (oram_ticket, piggybacked) = match (&pending.request.op, self.config.dedup) {
                     (RequestOp::Read, true) => match read_carriers.get(&block) {
                         Some(carrier) => {
                             deduped += 1;
@@ -416,21 +450,22 @@ impl OramService {
         // up to a window's worth of retirements before the next check —
         // a deliberate trade (full scatter batches) over stopping
         // per-cycle.
-        while self.oram.queue().pending() > watermark {
-            let above = (self.oram.queue().pending() - watermark) as u64;
-            self.oram.run_cycle_window(self.config.io_batch.min(above))?;
+        while self.oram.pending_requests() > watermark {
+            let above = (self.oram.pending_requests() - watermark) as u64;
+            self.oram
+                .run_cycle_window(self.config.io_batch.min(above))?;
         }
 
         // Collect every response that completed. Piggybackers share their
         // carrier's ORAM ticket (and were admitted in the same round), so
         // each completed ticket is taken once and fanned out.
-        let now = self.oram.clock().now();
+        let now = self.oram.now();
         let mut completed = 0u64;
         let mut ready: HashMap<u64, Vec<u8>> = HashMap::new();
         for flight in &self.in_flight {
-            if !ready.contains_key(&flight.oram_ticket) {
+            if let std::collections::hash_map::Entry::Vacant(e) = ready.entry(flight.oram_ticket) {
                 if let Some(payload) = self.oram.take_response(flight.oram_ticket) {
-                    ready.insert(flight.oram_ticket, payload);
+                    e.insert(payload);
                 }
             }
         }
@@ -443,12 +478,14 @@ impl OramService {
             completed += 1;
             let latency = now.duration_since(flight.submitted_at);
             let state = self.tenants.get_mut(&flight.tenant).expect("registered");
-            state.stats.record_completion(flight.is_write, flight.piggybacked, latency);
+            state
+                .stats
+                .record_completion(flight.is_write, flight.piggybacked, latency);
             self.responses.insert(flight.ticket, payload.clone());
         }
         self.in_flight = still_in_flight;
 
-        let oram_delta = self.oram.stats().delta_since(&baseline);
+        let oram_delta = self.oram.aggregate_stats().delta_since(&baseline);
         let wall_time = now.duration_since(wall_start);
         self.stats.batches += 1;
         self.stats.admitted += admitted_count;
@@ -578,14 +615,28 @@ impl OramService {
         self.policy.name()
     }
 
-    /// The underlying ORAM (stats, clock, config).
-    pub fn oram(&self) -> &HOram {
+    /// The underlying ORAM engine (stats, clock, config).
+    pub fn oram(&self) -> &E {
         &self.oram
     }
 
-    /// Unwraps the service, returning the ORAM instance.
-    pub fn into_oram(self) -> HOram {
+    /// Unwraps the service, returning the ORAM engine.
+    pub fn into_oram(self) -> E {
         self.oram
+    }
+
+    /// Number of independent ORAM instances behind the engine (1 unless
+    /// the engine shards).
+    pub fn shard_count(&self) -> usize {
+        self.oram.shard_count()
+    }
+
+    /// Per-shard ORAM statistics, in shard-index order (one entry for a
+    /// single-instance engine). The aggregate across shards accumulates
+    /// into [`ServiceStats::oram`](crate::stats::ServiceStats::oram) as
+    /// batches pump, exactly as for a single instance.
+    pub fn shard_stats(&self) -> Vec<HOramStats> {
+        self.oram.per_shard_stats()
     }
 
     /// Snapshots at most `limit` entries per tenant: policies only ever

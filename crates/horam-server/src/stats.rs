@@ -51,7 +51,12 @@ impl TenantStats {
     }
 
     /// Records one completed request.
-    pub(crate) fn record_completion(&mut self, is_write: bool, piggybacked: bool, latency: SimDuration) {
+    pub(crate) fn record_completion(
+        &mut self,
+        is_write: bool,
+        piggybacked: bool,
+        latency: SimDuration,
+    ) {
         self.completed += 1;
         if is_write {
             self.writes += 1;

@@ -73,7 +73,9 @@ mod tests {
 
     #[test]
     fn alternating_sequence_is_anticorrelated() {
-        let values: Vec<u64> = (0..1000).map(|i| if i % 2 == 0 { 0 } else { 100 }).collect();
+        let values: Vec<u64> = (0..1000)
+            .map(|i| if i % 2 == 0 { 0 } else { 100 })
+            .collect();
         let r = serial_correlation(&values, 1).expect("enough samples");
         assert!(r < -0.99, "got {r}");
     }

@@ -52,7 +52,11 @@ pub fn gain_series(cs: &[u32], ratios: &[u64], write_cost_ratio: f64) -> Vec<Gai
 /// The sweep the paper's figure uses: `c ∈ {1, 2, 4, 8, 16}`,
 /// `N/n ∈ {2, 4, …, 1024}`.
 pub fn paper_sweep(write_cost_ratio: f64) -> Vec<GainPoint> {
-    gain_series(&[1, 2, 4, 8, 16], &[2, 4, 8, 16, 32, 64, 128, 256, 512, 1024], write_cost_ratio)
+    gain_series(
+        &[1, 2, 4, 8, 16],
+        &[2, 4, 8, 16, 32, 64, 128, 256, 512, 1024],
+        write_cost_ratio,
+    )
 }
 
 #[cfg(test)]
@@ -89,8 +93,16 @@ mod tests {
         // this); our two clean metrics bracket the quoted value:
         // per-I/O-access ≈ 3.8×, per-request ≈ 15.1×.
         let point = gain_series(&[4], &[8], 1.0)[0];
-        assert!((3.5..4.0).contains(&point.gain_per_io_access), "{}", point.gain_per_io_access);
-        assert!((14.5..15.5).contains(&point.gain_per_request), "{}", point.gain_per_request);
+        assert!(
+            (3.5..4.0).contains(&point.gain_per_io_access),
+            "{}",
+            point.gain_per_io_access
+        );
+        assert!(
+            (14.5..15.5).contains(&point.gain_per_request),
+            "{}",
+            point.gain_per_request
+        );
         assert!(point.gain_per_io_access < 8.0 && 8.0 < point.gain_per_request);
     }
 
@@ -113,7 +125,11 @@ mod tests {
         // The no-shuffle case keeps improving as the tree deepens.
         let points = paper_sweep(1.0);
         let ideal = |ratio: u64| {
-            points.iter().find(|p| p.c == 1 && p.ratio == ratio).unwrap().gain_ideal
+            points
+                .iter()
+                .find(|p| p.c == 1 && p.ratio == ratio)
+                .unwrap()
+                .gain_ideal
         };
         assert!(ideal(1024) > ideal(8));
         // Table 5-1's point (ratio 8): 32×.

@@ -35,7 +35,10 @@ impl LatencySummary {
     /// Panics on an empty sample (no meaningful percentiles exist; callers
     /// decide how to report "no data").
     pub fn of(samples: &[SimDuration]) -> Self {
-        assert!(!samples.is_empty(), "latency summary needs at least one sample");
+        assert!(
+            !samples.is_empty(),
+            "latency summary needs at least one sample"
+        );
         let mut sorted: Vec<SimDuration> = samples.to_vec();
         sorted.sort_unstable();
         let total_nanos: u64 = sorted.iter().map(|d| d.as_nanos()).sum();

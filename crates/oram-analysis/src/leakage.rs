@@ -79,7 +79,10 @@ pub fn once_per_period(
     }
     // Tail after the last boundary forms the final (possibly open) period.
     let mut seen = std::collections::HashSet::new();
-    reads[start..].iter().find(|&&addr| !seen.insert(addr)).copied()
+    reads[start..]
+        .iter()
+        .find(|&&addr| !seen.insert(addr))
+        .copied()
 }
 
 /// The adversary-comparable summary of a trace: everything observable that
@@ -121,7 +124,10 @@ impl TraceShape {
         let mut bytes_per_device: Vec<(DeviceId, u64, u64)> =
             bytes.into_iter().map(|(d, (r, w))| (d, r, w)).collect();
         bytes_per_device.sort_by_key(|&(d, _, _)| d);
-        Self { ops_per_device, bytes_per_device }
+        Self {
+            ops_per_device,
+            bytes_per_device,
+        }
     }
 }
 
@@ -136,7 +142,10 @@ pub fn address_histogram(
 ) -> Vec<u64> {
     assert!(bins > 0 && address_space > 0);
     let mut counts = vec![0u64; bins];
-    for event in events.iter().filter(|e| e.device == device && e.kind == kind) {
+    for event in events
+        .iter()
+        .filter(|e| e.device == device && e.kind == kind)
+    {
         let bin = (event.addr as u128 * bins as u128 / address_space as u128) as usize;
         counts[bin.min(bins - 1)] += 1;
     }
@@ -149,7 +158,13 @@ mod tests {
     use oram_storage::clock::SimTime;
 
     fn event(device: u16, kind: AccessKind, addr: u64) -> TraceEvent {
-        TraceEvent { at: SimTime::ZERO, device: DeviceId(device), kind, addr, bytes: 1024 }
+        TraceEvent {
+            at: SimTime::ZERO,
+            device: DeviceId(device),
+            kind,
+            addr,
+            bytes: 1024,
+        }
     }
 
     #[test]
@@ -199,8 +214,14 @@ mod tests {
 
     #[test]
     fn shapes_compare_volume_not_addresses() {
-        let a = vec![event(0, AccessKind::Read, 1), event(0, AccessKind::Write, 2)];
-        let b = vec![event(0, AccessKind::Read, 99), event(0, AccessKind::Write, 7)];
+        let a = vec![
+            event(0, AccessKind::Read, 1),
+            event(0, AccessKind::Write, 2),
+        ];
+        let b = vec![
+            event(0, AccessKind::Read, 99),
+            event(0, AccessKind::Write, 7),
+        ];
         assert_eq!(TraceShape::of(&a), TraceShape::of(&b));
         let c = vec![event(0, AccessKind::Read, 1), event(0, AccessKind::Read, 2)];
         assert_ne!(TraceShape::of(&a), TraceShape::of(&c));
@@ -208,8 +229,7 @@ mod tests {
 
     #[test]
     fn histogram_bins_addresses() {
-        let events: Vec<TraceEvent> =
-            (0..100).map(|i| event(0, AccessKind::Read, i)).collect();
+        let events: Vec<TraceEvent> = (0..100).map(|i| event(0, AccessKind::Read, i)).collect();
         let hist = address_histogram(&events, DeviceId(0), AccessKind::Read, 4, 100);
         assert_eq!(hist, vec![25, 25, 25, 25]);
     }

@@ -21,7 +21,10 @@
 /// Average grouping factor ĉ over a stage schedule (Eq. 5-1): stages are
 /// `(c_i, fraction_i)` with fractions summing to 1.
 pub fn average_c(stages: &[(u32, f64)]) -> f64 {
-    stages.iter().map(|&(c, fraction)| c as f64 * fraction).sum()
+    stages
+        .iter()
+        .map(|&(c, fraction)| c as f64 * fraction)
+        .sum()
 }
 
 /// I/O cost of one logical operation, in blocks moved per direction.
@@ -62,10 +65,18 @@ impl OramModel {
     /// Panics unless `capacity > memory_slots > 0` and `ĉ ≥ 1`.
     pub fn new(capacity: u64, memory_slots: u64, z: u32, average_c: f64) -> Self {
         assert!(memory_slots > 0, "memory must be positive");
-        assert!(capacity > memory_slots, "model applies when data exceeds memory");
+        assert!(
+            capacity > memory_slots,
+            "model applies when data exceeds memory"
+        );
         assert!(average_c >= 1.0, "average c must be ≥ 1");
         assert!(z > 0, "bucket size must be positive");
-        Self { capacity, memory_slots, z, average_c }
+        Self {
+            capacity,
+            memory_slots,
+            z,
+            average_c,
+        }
     }
 
     /// `N/n` — the storage-to-memory ratio the paper's Figure 5-1 sweeps.
@@ -88,7 +99,10 @@ impl OramModel {
     /// each direction.
     pub fn path_oram_io_per_request(&self) -> AccessCost {
         let blocks = self.z as f64 * self.storage_levels();
-        AccessCost { reads: blocks, writes: blocks }
+        AccessCost {
+            reads: blocks,
+            writes: blocks,
+        }
     }
 
     /// H-ORAM per-I/O-access cost (Eq. 5-4): the unit the paper's
@@ -97,7 +111,10 @@ impl OramModel {
         let n = self.memory_slots as f64;
         let cap = self.capacity as f64;
         let nc = n * self.average_c;
-        AccessCost { reads: 1.0 + 2.0 * (cap - n) / nc, writes: 2.0 * cap / nc }
+        AccessCost {
+            reads: 1.0 + 2.0 * (cap - n) / nc,
+            writes: 2.0 * cap / nc,
+        }
     }
 
     /// H-ORAM per-*request* cost: one request is 1/ĉ of an I/O access

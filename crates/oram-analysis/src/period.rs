@@ -80,8 +80,16 @@ impl PeriodOverhead {
         let mut table = Table::new(vec!["", "H-ORAM", "Path ORAM"]);
         table.row(vec![
             "Storage/Memory Size".into(),
-            format!("{} / {}", gb(self.horam_storage_bytes), mb(self.memory_bytes)),
-            format!("{} / {}", gb(self.path_storage_bytes), mb(self.memory_bytes)),
+            format!(
+                "{} / {}",
+                gb(self.horam_storage_bytes),
+                mb(self.memory_bytes)
+            ),
+            format!(
+                "{} / {}",
+                gb(self.path_storage_bytes),
+                mb(self.memory_bytes)
+            ),
         ]);
         table.row(vec![
             "Path ORAM level".into(),

@@ -71,10 +71,17 @@ impl ExperimentReport {
 
     /// Renders the report for terminal output.
     pub fn render(&self) -> String {
-        let mut out = format!("== {} — {} ==\nSetup: {}\n\n", self.id, self.title, self.setup);
+        let mut out = format!(
+            "== {} — {} ==\nSetup: {}\n\n",
+            self.id, self.title, self.setup
+        );
         let mut table = Table::new(vec!["metric", "paper", "measured"]);
         for row in &self.rows {
-            table.row(vec![row.metric.clone(), row.paper.clone(), row.measured.clone()]);
+            table.row(vec![
+                row.metric.clone(),
+                row.paper.clone(),
+                row.measured.clone(),
+            ]);
         }
         out.push_str(&table.render());
         if !self.notes.is_empty() {
@@ -114,7 +121,9 @@ mod tests {
     #[test]
     fn render_includes_everything() {
         let mut report = ExperimentReport::new("table-5-3", "Small dataset", "64 MB, 25k requests");
-        report.compare("Total Time", "1290 ms", "1350 ms").note("simulated HDD");
+        report
+            .compare("Total Time", "1290 ms", "1350 ms")
+            .note("simulated HDD");
         let text = report.render();
         assert!(text.contains("table-5-3"));
         assert!(text.contains("1290 ms"));

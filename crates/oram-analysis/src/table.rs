@@ -23,7 +23,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(header: Vec<&str>) -> Self {
-        Self { header: header.into_iter().map(String::from).collect(), rows: Vec::new() }
+        Self {
+            header: header.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.

@@ -62,7 +62,11 @@ impl ChaCha20 {
         for (i, word) in nonce_words.iter_mut().enumerate() {
             *word = u32::from_le_bytes(nonce[4 * i..4 * i + 4].try_into().expect("4-byte chunk"));
         }
-        Self { key: key_words, nonce: nonce_words, counter }
+        Self {
+            key: key_words,
+            nonce: nonce_words,
+            counter,
+        }
     }
 
     /// Returns the current block counter (the next block to be produced by
@@ -242,7 +246,11 @@ mod tests {
         let b = ChaCha20::new(&key, &[1u8; NONCE_LEN]).keystream_block(0);
         assert_ne!(a, b);
         // Keystream blocks should differ in roughly half their bits.
-        let differing: u32 = a.iter().zip(b.iter()).map(|(x, y)| (x ^ y).count_ones()).sum();
+        let differing: u32 = a
+            .iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x ^ y).count_ones())
+            .sum();
         assert!(differing > 150, "only {differing} differing bits");
     }
 

@@ -24,7 +24,9 @@ pub struct MasterKey {
 // Deliberately opaque Debug: never print key material.
 impl fmt::Debug for MasterKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("MasterKey").field("bytes", &"<redacted>").finish()
+        f.debug_struct("MasterKey")
+            .field("bytes", &"<redacted>")
+            .finish()
     }
 }
 
@@ -55,7 +57,10 @@ impl MasterKey {
         let mut hash_input = Vec::with_capacity(domain.len() + 8);
         hash_input.extend_from_slice(domain.as_bytes());
         hash_input.extend_from_slice(&(epoch >> 32).to_le_bytes());
-        let domain_hash = siphash24(&self.bytes[..16].try_into().expect("16-byte half"), &hash_input);
+        let domain_hash = siphash24(
+            &self.bytes[..16].try_into().expect("16-byte half"),
+            &hash_input,
+        );
 
         let mut nonce = [0u8; NONCE_LEN];
         nonce[..8].copy_from_slice(&domain_hash.to_le_bytes());
@@ -76,7 +81,14 @@ impl MasterKey {
         let mut rng_seed = [0u8; 32];
         rng_seed.copy_from_slice(&block1[16..48]);
 
-        SubKeys { enc, mac, prp, prf, rng_seed, epoch }
+        SubKeys {
+            enc,
+            mac,
+            prp,
+            prf,
+            rng_seed,
+            epoch,
+        }
     }
 }
 
@@ -157,7 +169,10 @@ pub struct KeyHierarchy {
 impl KeyHierarchy {
     /// Creates a hierarchy for one protocol domain.
     pub fn new(master: MasterKey, domain: impl Into<String>) -> Self {
-        Self { master, domain: domain.into() }
+        Self {
+            master,
+            domain: domain.into(),
+        }
     }
 
     /// The protocol domain string.

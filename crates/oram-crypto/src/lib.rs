@@ -93,7 +93,10 @@ impl fmt::Display for CryptoError {
             }
             CryptoError::EmptyDomain => write!(f, "permutation domain must be non-empty"),
             CryptoError::OutOfDomain { value, domain } => {
-                write!(f, "value {value} outside permutation domain of size {domain}")
+                write!(
+                    f,
+                    "value {value} outside permutation domain of size {domain}"
+                )
             }
         }
     }
@@ -109,8 +112,14 @@ mod tests {
     fn error_display_is_lowercase_and_specific() {
         let err = CryptoError::TagMismatch { block_id: 9 };
         assert_eq!(err.to_string(), "authentication tag mismatch for block 9");
-        assert_eq!(CryptoError::EmptyDomain.to_string(), "permutation domain must be non-empty");
-        let err = CryptoError::OutOfDomain { value: 10, domain: 4 };
+        assert_eq!(
+            CryptoError::EmptyDomain.to_string(),
+            "permutation domain must be non-empty"
+        );
+        let err = CryptoError::OutOfDomain {
+            value: 10,
+            domain: 4,
+        };
         assert!(err.to_string().contains("outside permutation domain"));
     }
 

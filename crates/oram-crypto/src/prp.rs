@@ -60,7 +60,11 @@ impl FeistelPrp {
         for (i, rk) in round_keys.iter_mut().enumerate() {
             *rk = prf.subkey("feistel-round", i as u64);
         }
-        Ok(Self { domain, half_bits, round_keys })
+        Ok(Self {
+            domain,
+            half_bits,
+            round_keys,
+        })
     }
 
     /// The size of the permuted domain.
@@ -105,7 +109,10 @@ impl FeistelPrp {
 
     fn check(&self, v: u64) -> Result<(), CryptoError> {
         if v >= self.domain {
-            Err(CryptoError::OutOfDomain { value: v, domain: self.domain })
+            Err(CryptoError::OutOfDomain {
+                value: v,
+                domain: self.domain,
+            })
         } else {
             Ok(())
         }
@@ -154,7 +161,10 @@ mod tests {
 
     #[test]
     fn empty_domain_is_rejected() {
-        assert_eq!(FeistelPrp::new([0u8; 16], 0).unwrap_err(), CryptoError::EmptyDomain);
+        assert_eq!(
+            FeistelPrp::new([0u8; 16], 0).unwrap_err(),
+            CryptoError::EmptyDomain
+        );
     }
 
     #[test]
@@ -167,8 +177,17 @@ mod tests {
     #[test]
     fn out_of_domain_is_rejected() {
         let prp = FeistelPrp::new([0u8; 16], 10).unwrap();
-        assert!(matches!(prp.permute(10), Err(CryptoError::OutOfDomain { value: 10, domain: 10 })));
-        assert!(matches!(prp.invert(11), Err(CryptoError::OutOfDomain { .. })));
+        assert!(matches!(
+            prp.permute(10),
+            Err(CryptoError::OutOfDomain {
+                value: 10,
+                domain: 10
+            })
+        ));
+        assert!(matches!(
+            prp.invert(11),
+            Err(CryptoError::OutOfDomain { .. })
+        ));
     }
 
     #[test]
@@ -194,7 +213,10 @@ mod tests {
             .filter(|&x| a.permute(x).unwrap() != b.permute(x).unwrap())
             .count();
         // Two random permutations of 4096 elements agree on ~1 point.
-        assert!(differing > 4000, "permutations too similar: {differing} differences");
+        assert!(
+            differing > 4000,
+            "permutations too similar: {differing} differences"
+        );
     }
 
     #[test]

@@ -115,14 +115,19 @@ pub struct BlockSealer {
 
 impl fmt::Debug for BlockSealer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("BlockSealer").field("keys", &"<redacted>").finish()
+        f.debug_struct("BlockSealer")
+            .field("keys", &"<redacted>")
+            .finish()
     }
 }
 
 impl BlockSealer {
     /// Creates a sealer from an epoch key bundle.
     pub fn new(keys: &SubKeys) -> Self {
-        Self { enc_key: *keys.encryption(), mac_key: *keys.mac() }
+        Self {
+            enc_key: *keys.encryption(),
+            mac_key: *keys.mac(),
+        }
     }
 
     /// Creates a sealer from raw keys (used by unit tests and tooling).
@@ -146,7 +151,12 @@ impl BlockSealer {
     pub fn seal_into(&self, block_id: u64, epoch: u64, mut body: Vec<u8>) -> SealedBlock {
         ChaCha20::new(&self.enc_key, &Self::nonce(block_id, epoch)).apply_keystream(&mut body);
         let tag = self.compute_tag(block_id, epoch, &body);
-        SealedBlock { block_id, epoch, body, tag }
+        SealedBlock {
+            block_id,
+            epoch,
+            body,
+            tag,
+        }
     }
 
     /// Verifies and decrypts a sealed block.
@@ -170,7 +180,12 @@ impl BlockSealer {
     ///
     /// As [`open`](Self::open); the buffer is dropped on tag mismatch.
     pub fn open_in_place(&self, block: SealedBlock) -> Result<Vec<u8>, CryptoError> {
-        let SealedBlock { block_id, epoch, mut body, tag } = block;
+        let SealedBlock {
+            block_id,
+            epoch,
+            mut body,
+            tag,
+        } = block;
         let expected = self.compute_tag(block_id, epoch, &body);
         if expected != tag {
             return Err(CryptoError::TagMismatch { block_id });
@@ -300,7 +315,10 @@ mod tests {
         let sealer = sealer();
         let mut sealed = sealer.seal(5, 0, b"integrity matters");
         sealed.corrupt_bit(13);
-        assert_eq!(sealer.open(&sealed).unwrap_err(), CryptoError::TagMismatch { block_id: 5 });
+        assert_eq!(
+            sealer.open(&sealed).unwrap_err(),
+            CryptoError::TagMismatch { block_id: 5 }
+        );
     }
 
     #[test]

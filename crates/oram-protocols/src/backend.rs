@@ -117,7 +117,11 @@ impl SplitBackend {
     /// with a whole-level boundary for the geometry in use (the
     /// tree-top-cache constructor computes it).
     pub fn new(memory: Device, storage: Device, boundary_addr: u64) -> Self {
-        Self { memory, storage, boundary_addr }
+        Self {
+            memory,
+            storage,
+            boundary_addr,
+        }
     }
 
     /// First slot address on the storage device.
@@ -263,8 +267,7 @@ mod tests {
     #[test]
     fn single_device_backend_roundtrip() {
         let config = MachineConfig::dac2019();
-        let mut backend =
-            SingleDeviceBackend::new(config.build_memory(SimClock::new(), None));
+        let mut backend = SingleDeviceBackend::new(config.build_memory(SimClock::new(), None));
         let s = sealer();
         backend.write_slot(3, s.seal(3, 0, b"v")).unwrap();
         assert_eq!(s.open(&backend.read_slot(3).unwrap()).unwrap(), b"v");

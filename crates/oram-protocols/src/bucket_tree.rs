@@ -169,7 +169,11 @@ mod tests {
     fn for_capacity_small_sizes() {
         for n in [1u64, 2, 3, 5, 10, 100] {
             let g = TreeGeometry::for_capacity(n, 4);
-            assert!(g.total_slots() + 4 >= 2 * n, "n={n}: {} slots", g.total_slots());
+            assert!(
+                g.total_slots() + 4 >= 2 * n,
+                "n={n}: {} slots",
+                g.total_slots()
+            );
         }
     }
 

@@ -54,7 +54,10 @@ impl fmt::Display for OramError {
                 write!(f, "block {id} out of range for capacity {capacity}")
             }
             OramError::PayloadSize { expected, got } => {
-                write!(f, "payload length {got} does not match configured {expected}")
+                write!(
+                    f,
+                    "payload length {got} does not match configured {expected}"
+                )
             }
             OramError::StashOverflow { limit } => {
                 write!(f, "stash exceeded its bound of {limit} entries")
@@ -99,9 +102,15 @@ mod tests {
 
     #[test]
     fn displays_are_specific() {
-        let e = OramError::BlockOutOfRange { id: 10, capacity: 4 };
+        let e = OramError::BlockOutOfRange {
+            id: 10,
+            capacity: 4,
+        };
         assert!(e.to_string().contains("block 10"));
-        let e = OramError::PayloadSize { expected: 64, got: 3 };
+        let e = OramError::PayloadSize {
+            expected: 64,
+            got: 3,
+        };
         assert!(e.to_string().contains("64"));
         let e = OramError::StashOverflow { limit: 100 };
         assert!(e.to_string().contains("100"));
@@ -109,7 +118,10 @@ mod tests {
 
     #[test]
     fn sources_chain() {
-        let inner = StorageError::MissingBlock { device: "hdd".into(), addr: 1 };
+        let inner = StorageError::MissingBlock {
+            device: "hdd".into(),
+            addr: 1,
+        };
         let err = OramError::from(inner.clone());
         assert_eq!(err.source().unwrap().to_string(), inner.to_string());
         let inner = CryptoError::TagMismatch { block_id: 3 };

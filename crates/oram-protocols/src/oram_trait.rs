@@ -84,10 +84,17 @@ mod tests {
             2
         }
         fn read(&mut self, id: BlockId) -> Result<Vec<u8>, OramError> {
-            Ok(self.blocks.get(&id.0).cloned().unwrap_or_else(|| vec![0; 2]))
+            Ok(self
+                .blocks
+                .get(&id.0)
+                .cloned()
+                .unwrap_or_else(|| vec![0; 2]))
         }
         fn write(&mut self, id: BlockId, data: &[u8]) -> Result<Vec<u8>, OramError> {
-            Ok(self.blocks.insert(id.0, data.to_vec()).unwrap_or_else(|| vec![0; 2]))
+            Ok(self
+                .blocks
+                .insert(id.0, data.to_vec())
+                .unwrap_or_else(|| vec![0; 2]))
         }
     }
 

@@ -153,10 +153,15 @@ impl PartitionOram {
         partition as u64 * self.partition_slots as u64
     }
 
-    fn seal_content(&mut self, slot: u64, content: &BlockContent) -> oram_crypto::seal::SealedBlock {
+    fn seal_content(
+        &mut self,
+        slot: u64,
+        content: &BlockContent,
+    ) -> oram_crypto::seal::SealedBlock {
         let seq = self.seal_seq;
         self.seal_seq += 1;
-        self.sealer.seal(slot, seq, &content.encode(self.payload_len))
+        self.sealer
+            .seal(slot, seq, &content.encode(self.payload_len))
     }
 
     /// Round-robin initial distribution, then per-partition permutation and
@@ -182,8 +187,10 @@ impl PartitionOram {
             .position(|s| s.is_none())
             .expect("partition headroom exhausted — eviction policy broken");
         slots[index] = Some(id);
-        self.residence[id.0 as usize] =
-            Residence::Stored { partition, index: index as u32 };
+        self.residence[id.0 as usize] = Residence::Stored {
+            partition,
+            index: index as u32,
+        };
     }
 
     /// Rewrites one partition: fresh in-partition permutation, fresh
@@ -212,8 +219,11 @@ impl PartitionOram {
         }
 
         // Fresh permutation of in-partition positions.
-        let members: Vec<BlockId> =
-            self.partitions[partition as usize].iter().flatten().copied().collect();
+        let members: Vec<BlockId> = self.partitions[partition as usize]
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
         let perm = Permutation::random(slot_count, {
             use rand::RngCore;
             self.rng.next_u64()
@@ -236,7 +246,11 @@ impl PartitionOram {
                         .or_else(|| current.get(&id))
                         .cloned()
                         .unwrap_or_else(|| vec![0u8; self.payload_len]);
-                    BlockContent::Real { id, leaf: 0, payload }
+                    BlockContent::Real {
+                        id,
+                        leaf: 0,
+                        payload,
+                    }
                 }
                 None => BlockContent::Dummy,
             };
@@ -248,7 +262,10 @@ impl PartitionOram {
 
     fn check_range(&self, id: BlockId) -> Result<(), OramError> {
         if id.0 >= self.capacity {
-            return Err(OramError::BlockOutOfRange { id: id.0, capacity: self.capacity });
+            return Err(OramError::BlockOutOfRange {
+                id: id.0,
+                capacity: self.capacity,
+            });
         }
         Ok(())
     }
@@ -257,7 +274,10 @@ impl PartitionOram {
         self.check_range(id)?;
         if let Some(data) = update {
             if data.len() != self.payload_len {
-                return Err(OramError::PayloadSize { expected: self.payload_len, got: data.len() });
+                return Err(OramError::PayloadSize {
+                    expected: self.payload_len,
+                    got: data.len(),
+                });
             }
         }
 
@@ -318,7 +338,10 @@ impl PartitionOram {
             let Residence::Sheltered { assigned } = self.residence[id.0 as usize] else {
                 unreachable!("shelter and residence out of sync");
             };
-            by_partition.entry(assigned).or_default().push((id, payload));
+            by_partition
+                .entry(assigned)
+                .or_default()
+                .push((id, payload));
         }
 
         let mut touched: Vec<u32> = by_partition.keys().copied().collect();
@@ -328,10 +351,15 @@ impl PartitionOram {
             // Overflow handling (as in the published protocol): a partition
             // that cannot absorb all its assignees keeps the excess
             // sheltered under fresh random assignments until a later round.
-            let free =
-                self.partitions[partition as usize].iter().filter(|s| s.is_none()).count();
-            let overflow =
-                if members.len() > free { members.split_off(free) } else { Vec::new() };
+            let free = self.partitions[partition as usize]
+                .iter()
+                .filter(|s| s.is_none())
+                .count();
+            let overflow = if members.len() > free {
+                members.split_off(free)
+            } else {
+                Vec::new()
+            };
             for (id, payload) in overflow {
                 let assigned = self.rng.gen_range(0..self.partition_count);
                 self.residence[id.0 as usize] = Residence::Sheltered { assigned };
@@ -388,10 +416,12 @@ mod tests {
 
     fn build_traced(capacity: u64) -> (PartitionOram, AccessTrace) {
         let trace = AccessTrace::new();
-        let device =
-            MachineConfig::dac2019().build_storage(SimClock::new(), Some(trace.clone()));
+        let device = MachineConfig::dac2019().build_storage(SimClock::new(), Some(trace.clone()));
         let keys = KeyHierarchy::new(MasterKey::from_bytes([4; 32]), "partition-test");
-        (PartitionOram::new(capacity, 4, None, device, keys, 21).unwrap(), trace)
+        (
+            PartitionOram::new(capacity, 4, None, device, keys, 21).unwrap(),
+            trace,
+        )
     }
 
     #[test]
@@ -401,7 +431,11 @@ mod tests {
             oram.write(BlockId(i), &[i as u8; 4]).unwrap();
         }
         for i in (0..64u64).rev() {
-            assert_eq!(oram.read(BlockId(i)).unwrap(), vec![i as u8; 4], "block {i}");
+            assert_eq!(
+                oram.read(BlockId(i)).unwrap(),
+                vec![i as u8; 4],
+                "block {i}"
+            );
         }
         assert!(oram.stats().evictions > 0);
     }
@@ -423,7 +457,10 @@ mod tests {
         }
         let n = oram.evict_period().min(3) as u64;
         let reads = oram.device().stats().reads - reads_before;
-        assert_eq!(reads, n, "exactly one storage read per access before eviction");
+        assert_eq!(
+            reads, n,
+            "exactly one storage read per access before eviction"
+        );
     }
 
     #[test]
@@ -444,7 +481,10 @@ mod tests {
         }
         assert_eq!(oram.stats().evictions, 1);
         assert!(oram.stats().partitions_shuffled >= 1);
-        assert!(oram.stats().partitions_shuffled <= v, "only assigned partitions reshuffle");
+        assert!(
+            oram.stats().partitions_shuffled <= v,
+            "only assigned partitions reshuffle"
+        );
     }
 
     #[test]
@@ -462,10 +502,16 @@ mod tests {
     #[test]
     fn validation_errors() {
         let mut oram = build(16);
-        assert!(matches!(oram.read(BlockId(16)), Err(OramError::BlockOutOfRange { .. })));
+        assert!(matches!(
+            oram.read(BlockId(16)),
+            Err(OramError::BlockOutOfRange { .. })
+        ));
         assert!(matches!(
             oram.write(BlockId(0), &[9]),
-            Err(OramError::PayloadSize { expected: 4, got: 1 })
+            Err(OramError::PayloadSize {
+                expected: 4,
+                got: 1
+            })
         ));
     }
 
@@ -477,7 +523,7 @@ mod tests {
         for _ in 0..600 {
             let id = rng.gen_range(0..49u64);
             if rng.gen_bool(0.4) {
-                let payload = vec![rng.gen_range(0..=255u8) as u8; 4];
+                let payload = vec![rng.gen_range(0..=255u8); 4];
                 let prev = oram.write(BlockId(id), &payload).unwrap();
                 let expected = reference.insert(id, payload).unwrap_or(vec![0u8; 4]);
                 assert_eq!(prev, expected);

@@ -55,7 +55,10 @@ pub struct AccessReceipt {
 impl AccessReceipt {
     /// Component-wise sum.
     pub fn merged(&self, other: &AccessReceipt) -> AccessReceipt {
-        AccessReceipt { memory: self.memory + other.memory, storage: self.storage + other.storage }
+        AccessReceipt {
+            memory: self.memory + other.memory,
+            storage: self.storage + other.storage,
+        }
     }
 
     /// Serial wall-clock interpretation (`memory + storage`).
@@ -83,7 +86,13 @@ impl PathOramConfig {
     /// A conventional configuration: Z=4, generous stash, given capacity
     /// and payload size.
     pub fn new(capacity: u64, payload_len: usize) -> Self {
-        Self { capacity, z: 4, payload_len, stash_limit: 4096, seed: 0x0_5e_ed }
+        Self {
+            capacity,
+            z: 4,
+            payload_len,
+            stash_limit: 4096,
+            seed: 0x0_5e_ed,
+        }
     }
 }
 
@@ -218,10 +227,15 @@ impl<B: TreeBackend> PathOramCore<B> {
         Ok(())
     }
 
-    fn seal_content(&mut self, slot_addr: u64, content: &BlockContent) -> oram_crypto::seal::SealedBlock {
+    fn seal_content(
+        &mut self,
+        slot_addr: u64,
+        content: &BlockContent,
+    ) -> oram_crypto::seal::SealedBlock {
         let seq = self.seal_seq;
         self.seal_seq += 1;
-        self.sealer.seal(slot_addr, seq, &content.encode(self.payload_len))
+        self.sealer
+            .seal(slot_addr, seq, &content.encode(self.payload_len))
     }
 
     fn open_content(
@@ -265,14 +279,20 @@ impl<B: TreeBackend> PathOramCore<B> {
 
     fn check_range(&self, id: BlockId) -> Result<(), OramError> {
         if id.0 >= self.capacity {
-            return Err(OramError::BlockOutOfRange { id: id.0, capacity: self.capacity });
+            return Err(OramError::BlockOutOfRange {
+                id: id.0,
+                capacity: self.capacity,
+            });
         }
         Ok(())
     }
 
     fn busy_delta(&self, before: (SimDuration, SimDuration)) -> AccessReceipt {
         let (mem, storage) = self.backend.busy();
-        AccessReceipt { memory: mem - before.0, storage: storage - before.1 }
+        AccessReceipt {
+            memory: mem - before.0,
+            storage: storage - before.1,
+        }
     }
 
     /// Core path access: read path into stash, serve `op`, remap, write
@@ -290,7 +310,8 @@ impl<B: TreeBackend> PathOramCore<B> {
         let leaf_count = self.geometry.leaf_count();
         let leaf = {
             let rng = &mut self.rng;
-            self.position_map.get_or_assign(id, || rng_uniform(rng, leaf_count))
+            self.position_map
+                .get_or_assign(id, || rng_uniform(rng, leaf_count))
         };
 
         self.read_path_into_stash(leaf)?;
@@ -324,12 +345,19 @@ impl<B: TreeBackend> PathOramCore<B> {
                 let sealed = self.backend.read_slot(addr)?;
                 match self.open_content(addr, &sealed)? {
                     BlockContent::Dummy => {}
-                    BlockContent::Real { id, leaf: stored_leaf, payload } => {
+                    BlockContent::Real {
+                        id,
+                        leaf: stored_leaf,
+                        payload,
+                    } => {
                         // The position map is authoritative; the stored leaf
                         // should match it for tree-resident blocks.
-                        let current =
-                            self.position_map.get(id).unwrap_or(stored_leaf);
-                        self.stash.insert(StashEntry { id, leaf: current, payload })?;
+                        let current = self.position_map.get(id).unwrap_or(stored_leaf);
+                        self.stash.insert(StashEntry {
+                            id,
+                            leaf: current,
+                            payload,
+                        })?;
                     }
                 }
             }
@@ -397,7 +425,10 @@ impl<B: TreeBackend> PathOramCore<B> {
         op: impl FnMut(&mut StashEntry) -> Vec<u8>,
     ) -> Result<(Vec<u8>, AccessReceipt), OramError> {
         self.check_range(id)?;
-        assert!(new_leaf < self.geometry.leaf_count(), "new leaf out of range");
+        assert!(
+            new_leaf < self.geometry.leaf_count(),
+            "new leaf out of range"
+        );
         let busy_before = self.backend.busy();
         let leaf = match known_leaf {
             Some(leaf) => {
@@ -457,7 +488,10 @@ impl<B: TreeBackend> PathOramCore<B> {
         data: &[u8],
     ) -> Result<(Vec<u8>, AccessReceipt), OramError> {
         if data.len() != self.payload_len {
-            return Err(OramError::PayloadSize { expected: self.payload_len, got: data.len() });
+            return Err(OramError::PayloadSize {
+                expected: self.payload_len,
+                got: data.len(),
+            });
         }
         let data = data.to_vec();
         self.path_access(id, move |entry| {
@@ -491,7 +525,10 @@ impl<B: TreeBackend> PathOramCore<B> {
     pub fn insert_block(&mut self, id: BlockId, payload: Vec<u8>) -> Result<(), OramError> {
         self.check_range(id)?;
         if payload.len() != self.payload_len {
-            return Err(OramError::PayloadSize { expected: self.payload_len, got: payload.len() });
+            return Err(OramError::PayloadSize {
+                expected: self.payload_len,
+                got: payload.len(),
+            });
         }
         let leaf = rng_uniform(&mut self.rng, self.geometry.leaf_count());
         self.position_map.set(id, leaf);
@@ -692,7 +729,10 @@ mod tests {
         let mut oram = memory_oram(4, 2);
         assert!(matches!(
             oram.write(BlockId(0), &[1, 2, 3]),
-            Err(OramError::PayloadSize { expected: 2, got: 3 })
+            Err(OramError::PayloadSize {
+                expected: 2,
+                got: 3
+            })
         ));
     }
 
@@ -798,11 +838,15 @@ mod tests {
     #[test]
     fn bulk_load_places_everything() {
         let device = MachineConfig::dac2019().build_memory(SimClock::new(), None);
-        let mut oram =
-            PathOram::new(PathOramConfig::new(256, 4), device, &keys()).unwrap();
-        oram.bulk_load((0..256u64).map(|i| (BlockId(i), vec![i as u8; 4]))).unwrap();
+        let mut oram = PathOram::new(PathOramConfig::new(256, 4), device, &keys()).unwrap();
+        oram.bulk_load((0..256u64).map(|i| (BlockId(i), vec![i as u8; 4])))
+            .unwrap();
         for i in [0u64, 17, 100, 255] {
-            assert_eq!(oram.read(BlockId(i)).unwrap(), vec![i as u8; 4], "block {i}");
+            assert_eq!(
+                oram.read(BlockId(i)).unwrap(),
+                vec![i as u8; 4],
+                "block {i}"
+            );
         }
     }
 

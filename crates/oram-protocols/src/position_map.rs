@@ -17,7 +17,10 @@ pub struct PositionMap {
 impl PositionMap {
     /// Creates an unassigned map for `capacity` blocks.
     pub fn new(capacity: u64) -> Self {
-        Self { tags: vec![None; capacity as usize], assigned: 0 }
+        Self {
+            tags: vec![None; capacity as usize],
+            assigned: 0,
+        }
     }
 
     /// Capacity in blocks.

@@ -69,8 +69,14 @@ impl RecursivePathOram {
         mut device_factory: impl FnMut() -> Device,
         keys: &SubKeys,
     ) -> Result<Self, OramError> {
-        assert!(map_payload_len >= 2 * LABEL_BYTES, "fanout must be at least 2");
-        assert!(map_payload_len.is_multiple_of(LABEL_BYTES), "map payload must pack whole labels");
+        assert!(
+            map_payload_len >= 2 * LABEL_BYTES,
+            "fanout must be at least 2"
+        );
+        assert!(
+            map_payload_len.is_multiple_of(LABEL_BYTES),
+            "map payload must pack whole labels"
+        );
         assert!(root_threshold > 0, "root threshold must be positive");
         let fanout = (map_payload_len / LABEL_BYTES) as u64;
 
@@ -139,17 +145,13 @@ impl RecursivePathOram {
     ) -> Result<(u64, AccessReceipt), OramError> {
         let block = BlockId(index / self.fanout);
         let slot = (index % self.fanout) as usize;
-        let (old_bytes, receipt) = self.maps[level].access_explicit(
-            block,
-            known_leaf,
-            new_block_leaf,
-            move |entry| {
+        let (old_bytes, receipt) =
+            self.maps[level].access_explicit(block, known_leaf, new_block_leaf, move |entry| {
                 let range = slot * LABEL_BYTES..(slot + 1) * LABEL_BYTES;
                 let old = entry.payload[range.clone()].to_vec();
                 entry.payload[range].copy_from_slice(&new_label.to_le_bytes());
                 old
-            },
-        )?;
+            })?;
         let old = u64::from_le_bytes(old_bytes.try_into().expect("8-byte label"));
         Ok((old, receipt))
     }
@@ -161,7 +163,10 @@ impl RecursivePathOram {
         op: impl FnMut(&mut crate::stash::StashEntry) -> Vec<u8>,
     ) -> Result<(Vec<u8>, AccessReceipt), OramError> {
         if id.0 >= self.capacity {
-            return Err(OramError::BlockOutOfRange { id: id.0, capacity: self.capacity });
+            return Err(OramError::BlockOutOfRange {
+                id: id.0,
+                capacity: self.capacity,
+            });
         }
 
         // Indices of the covering map blocks, bottom-up: level 0 block
@@ -177,8 +182,9 @@ impl RecursivePathOram {
         // block, drawn up front (each level's new label is the leaf drawn
         // for the level below).
         let new_data_leaf = self.data.draw_leaf();
-        let new_map_leaves: Vec<u64> =
-            (0..self.maps.len()).map(|l| self.maps[l].draw_leaf()).collect();
+        let new_map_leaves: Vec<u64> = (0..self.maps.len())
+            .map(|l| self.maps[l].draw_leaf())
+            .collect();
 
         // Walk top-down. The top level is a plain ORAM (its internal map
         // is the root table), so its access uses the ordinary entry point.
@@ -187,8 +193,11 @@ impl RecursivePathOram {
         let mut child_leaf: Option<u64> = None; // leaf of the level below's block
         for level in (0..=top).rev() {
             let idx = indices[level];
-            let new_label_for_child =
-                if level == 0 { new_data_leaf } else { new_map_leaves[level - 1] };
+            let new_label_for_child = if level == 0 {
+                new_data_leaf
+            } else {
+                new_map_leaves[level - 1]
+            };
             let (old, r) = if level == top {
                 // Root level: internal map supplies/updates the block leaf.
                 let block = BlockId(idx / self.fanout);
@@ -196,18 +205,13 @@ impl RecursivePathOram {
                 let (old_bytes, r) = {
                     let new_leaf = new_map_leaves[level];
                     let hint = self.maps[level].leaf_hint(block);
-                    self.maps[level].access_explicit(
-                        block,
-                        hint,
-                        new_leaf,
-                        move |entry| {
-                            let range = slot * LABEL_BYTES..(slot + 1) * LABEL_BYTES;
-                            let old = entry.payload[range.clone()].to_vec();
-                            entry.payload[range]
-                                .copy_from_slice(&(new_label_for_child + 1).to_le_bytes());
-                            old
-                        },
-                    )?
+                    self.maps[level].access_explicit(block, hint, new_leaf, move |entry| {
+                        let range = slot * LABEL_BYTES..(slot + 1) * LABEL_BYTES;
+                        let old = entry.payload[range.clone()].to_vec();
+                        entry.payload[range]
+                            .copy_from_slice(&(new_label_for_child + 1).to_le_bytes());
+                        old
+                    })?
                 };
                 (u64::from_le_bytes(old_bytes.try_into().expect("label")), r)
             } else {
@@ -225,7 +229,9 @@ impl RecursivePathOram {
             child_leaf = old.checked_sub(1);
         }
 
-        let (out, r) = self.data.access_explicit(id, child_leaf, new_data_leaf, op)?;
+        let (out, r) = self
+            .data
+            .access_explicit(id, child_leaf, new_data_leaf, op)?;
         receipt = receipt.merged(&r);
         self.accesses += 1;
         Ok((out, receipt))
@@ -242,16 +248,22 @@ impl Oram for RecursivePathOram {
     }
 
     fn read(&mut self, id: BlockId) -> Result<Vec<u8>, OramError> {
-        self.access_chain(id, |entry| entry.payload.clone()).map(|(data, _)| data)
+        self.access_chain(id, |entry| entry.payload.clone())
+            .map(|(data, _)| data)
     }
 
     fn write(&mut self, id: BlockId, data: &[u8]) -> Result<Vec<u8>, OramError> {
         if data.len() != self.payload_len {
-            return Err(OramError::PayloadSize { expected: self.payload_len, got: data.len() });
+            return Err(OramError::PayloadSize {
+                expected: self.payload_len,
+                got: data.len(),
+            });
         }
         let data = data.to_vec();
-        self.access_chain(id, move |entry| std::mem::replace(&mut entry.payload, data.clone()))
-            .map(|(prev, _)| prev)
+        self.access_chain(id, move |entry| {
+            std::mem::replace(&mut entry.payload, data.clone())
+        })
+        .map(|(prev, _)| prev)
     }
 }
 
@@ -291,7 +303,11 @@ mod tests {
         let mut oram = build(64);
         oram.write(BlockId(7), &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
         assert_eq!(oram.read(BlockId(7)).unwrap(), vec![1, 2, 3, 4, 5, 6, 7, 8]);
-        assert_eq!(oram.read(BlockId(9)).unwrap(), vec![0u8; 8], "untouched block is zero");
+        assert_eq!(
+            oram.read(BlockId(9)).unwrap(),
+            vec![0u8; 8],
+            "untouched block is zero"
+        );
     }
 
     #[test]
@@ -316,7 +332,10 @@ mod tests {
     #[test]
     fn out_of_range_rejected() {
         let mut oram = build(32);
-        assert!(matches!(oram.read(BlockId(32)), Err(OramError::BlockOutOfRange { .. })));
+        assert!(matches!(
+            oram.read(BlockId(32)),
+            Err(OramError::BlockOutOfRange { .. })
+        ));
     }
 
     #[test]

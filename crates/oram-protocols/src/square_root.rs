@@ -130,10 +130,15 @@ impl SquareRootOram {
         self.permutation.apply(logical as usize) as u64
     }
 
-    fn seal_content(&mut self, slot: u64, content: &BlockContent) -> oram_crypto::seal::SealedBlock {
+    fn seal_content(
+        &mut self,
+        slot: u64,
+        content: &BlockContent,
+    ) -> oram_crypto::seal::SealedBlock {
         let seq = self.seal_seq;
         self.seal_seq += 1;
-        self.sealer.seal(slot, seq, &content.encode(self.payload_len))
+        self.sealer
+            .seal(slot, seq, &content.encode(self.payload_len))
     }
 
     /// Writes the full permuted layout, folding in `overrides` (id →
@@ -182,7 +187,10 @@ impl SquareRootOram {
             };
             image[slot as usize] = Some(self.seal_content(slot, &content));
         }
-        let blocks: Vec<_> = image.into_iter().map(|b| b.expect("all slots filled")).collect();
+        let blocks: Vec<_> = image
+            .into_iter()
+            .map(|b| b.expect("all slots filled"))
+            .collect();
         self.device.write_run(0, blocks)?;
         self.next_dummy = 0;
         Ok(())
@@ -190,21 +198,23 @@ impl SquareRootOram {
 
     fn check_range(&self, id: BlockId) -> Result<(), OramError> {
         if id.0 >= self.capacity {
-            return Err(OramError::BlockOutOfRange { id: id.0, capacity: self.capacity });
+            return Err(OramError::BlockOutOfRange {
+                id: id.0,
+                capacity: self.capacity,
+            });
         }
         Ok(())
     }
 
     /// One oblivious access; `update` optionally replaces the payload.
-    fn access_inner(
-        &mut self,
-        id: BlockId,
-        update: Option<&[u8]>,
-    ) -> Result<Vec<u8>, OramError> {
+    fn access_inner(&mut self, id: BlockId, update: Option<&[u8]>) -> Result<Vec<u8>, OramError> {
         self.check_range(id)?;
         if let Some(data) = update {
             if data.len() != self.payload_len {
-                return Err(OramError::PayloadSize { expected: self.payload_len, got: data.len() });
+                return Err(OramError::PayloadSize {
+                    expected: self.payload_len,
+                    got: data.len(),
+                });
             }
         }
 
@@ -289,10 +299,12 @@ mod tests {
 
     fn build_traced(capacity: u64) -> (SquareRootOram, AccessTrace) {
         let trace = AccessTrace::new();
-        let device =
-            MachineConfig::dac2019().build_storage(SimClock::new(), Some(trace.clone()));
+        let device = MachineConfig::dac2019().build_storage(SimClock::new(), Some(trace.clone()));
         let keys = KeyHierarchy::new(MasterKey::from_bytes([2; 32]), "sqrt-test");
-        (SquareRootOram::new(capacity, 4, device, keys, 11).unwrap(), trace)
+        (
+            SquareRootOram::new(capacity, 4, device, keys, 11).unwrap(),
+            trace,
+        )
     }
 
     #[test]
@@ -302,9 +314,16 @@ mod tests {
             oram.write(BlockId(i), &[i as u8; 4]).unwrap();
         }
         for i in 0..25u64 {
-            assert_eq!(oram.read(BlockId(i)).unwrap(), vec![i as u8; 4], "block {i}");
+            assert_eq!(
+                oram.read(BlockId(i)).unwrap(),
+                vec![i as u8; 4],
+                "block {i}"
+            );
         }
-        assert!(oram.stats().reshuffles >= 9, "50 accesses / √25 shelter = 10 periods");
+        assert!(
+            oram.stats().reshuffles >= 9,
+            "50 accesses / √25 shelter = 10 periods"
+        );
     }
 
     #[test]
@@ -335,7 +354,11 @@ mod tests {
             .map(|e| e.addr)
             .collect();
         let unique: HashSet<u64> = reads.iter().copied().collect();
-        assert_eq!(unique.len(), reads.len(), "a slot was read twice in one period");
+        assert_eq!(
+            unique.len(),
+            reads.len(),
+            "a slot was read twice in one period"
+        );
     }
 
     #[test]
@@ -358,10 +381,16 @@ mod tests {
     #[test]
     fn out_of_range_and_payload_validation() {
         let mut oram = build(9);
-        assert!(matches!(oram.read(BlockId(9)), Err(OramError::BlockOutOfRange { .. })));
+        assert!(matches!(
+            oram.read(BlockId(9)),
+            Err(OramError::BlockOutOfRange { .. })
+        ));
         assert!(matches!(
             oram.write(BlockId(0), &[1, 2]),
-            Err(OramError::PayloadSize { expected: 4, got: 2 })
+            Err(OramError::PayloadSize {
+                expected: 4,
+                got: 2
+            })
         ));
     }
 

@@ -32,7 +32,11 @@ pub struct Stash {
 impl Stash {
     /// Creates a stash bounded at `limit` entries.
     pub fn new(limit: usize) -> Self {
-        Self { entries: BTreeMap::new(), limit, peak: 0 }
+        Self {
+            entries: BTreeMap::new(),
+            limit,
+            peak: 0,
+        }
     }
 
     /// Current occupancy.
@@ -107,7 +111,9 @@ impl Stash {
             .take(max)
             .map(|e| e.id)
             .collect();
-        ids.into_iter().filter_map(|id| self.entries.remove(&id)).collect()
+        ids.into_iter()
+            .filter_map(|id| self.entries.remove(&id))
+            .collect()
     }
 
     /// Removes and returns all entries, ordered by block id.
@@ -127,7 +133,11 @@ mod tests {
     use super::*;
 
     fn entry(id: u64, leaf: u64) -> StashEntry {
-        StashEntry { id: BlockId(id), leaf, payload: vec![id as u8] }
+        StashEntry {
+            id: BlockId(id),
+            leaf,
+            payload: vec![id as u8],
+        }
     }
 
     #[test]
@@ -155,7 +165,10 @@ mod tests {
         let mut stash = Stash::new(2);
         stash.insert(entry(1, 0)).unwrap();
         stash.insert(entry(2, 0)).unwrap();
-        assert_eq!(stash.insert(entry(3, 0)), Err(OramError::StashOverflow { limit: 2 }));
+        assert_eq!(
+            stash.insert(entry(3, 0)),
+            Err(OramError::StashOverflow { limit: 2 })
+        );
     }
 
     #[test]

@@ -57,7 +57,10 @@ impl TreeTopSplit {
         {
             memory_levels += 1;
         }
-        assert!(memory_levels > 0, "memory budget smaller than the root bucket");
+        assert!(
+            memory_levels > 0,
+            "memory budget smaller than the root bucket"
+        );
         let boundary_buckets = (1u64 << memory_levels) - 1;
         TreeTopSplit {
             depth,
@@ -135,7 +138,10 @@ mod tests {
     #[test]
     fn small_split_reads_and_writes_correctly() {
         let (mut oram, split) = build(256, 64);
-        assert!(split.storage_levels > 0, "test should exercise both regions");
+        assert!(
+            split.storage_levels > 0,
+            "test should exercise both regions"
+        );
         for i in 0..32u64 {
             oram.write(BlockId(i), &[i as u8; 8]).unwrap();
         }
@@ -181,7 +187,8 @@ mod tests {
     #[test]
     fn bulk_load_spans_both_devices() {
         let (mut oram, _) = build(256, 64);
-        oram.bulk_load((0..256u64).map(|i| (BlockId(i), vec![i as u8; 8]))).unwrap();
+        oram.bulk_load((0..256u64).map(|i| (BlockId(i), vec![i as u8; 8])))
+            .unwrap();
         for i in [0u64, 63, 128, 255] {
             assert_eq!(oram.read(BlockId(i)).unwrap(), vec![i as u8; 8]);
         }

@@ -52,12 +52,18 @@ pub struct Request {
 impl Request {
     /// A read request.
     pub fn read(id: impl Into<BlockId>) -> Self {
-        Self { id: id.into(), op: RequestOp::Read }
+        Self {
+            id: id.into(),
+            op: RequestOp::Read,
+        }
     }
 
     /// A write request.
     pub fn write(id: impl Into<BlockId>, payload: Vec<u8>) -> Self {
-        Self { id: id.into(), op: RequestOp::Write(payload) }
+        Self {
+            id: id.into(),
+            op: RequestOp::Write(payload),
+        }
     }
 }
 
@@ -106,9 +112,11 @@ impl BlockContentRef<'_> {
     pub fn to_owned(self) -> BlockContent {
         match self {
             BlockContentRef::Dummy => BlockContent::Dummy,
-            BlockContentRef::Real { id, leaf, payload } => {
-                BlockContent::Real { id, leaf, payload: payload.to_vec() }
-            }
+            BlockContentRef::Real { id, leaf, payload } => BlockContent::Real {
+                id,
+                leaf,
+                payload: payload.to_vec(),
+            },
         }
     }
 
@@ -156,7 +164,11 @@ impl BlockContent {
                 out[0] = TAG_DUMMY;
             }
             BlockContent::Real { id, leaf, payload } => {
-                assert_eq!(payload.len(), payload_len, "payload length invariant broken");
+                assert_eq!(
+                    payload.len(),
+                    payload_len,
+                    "payload length invariant broken"
+                );
                 out[0] = TAG_REAL;
                 out[1..9].copy_from_slice(&id.0.to_le_bytes());
                 out[9..17].copy_from_slice(&leaf.to_le_bytes());
@@ -191,7 +203,11 @@ impl BlockContent {
             TAG_REAL => {
                 let id = u64::from_le_bytes(bytes[1..9].try_into().expect("8 bytes"));
                 let leaf = u64::from_le_bytes(bytes[9..17].try_into().expect("8 bytes"));
-                Ok(BlockContentRef::Real { id: BlockId(id), leaf, payload: &bytes[HEADER_LEN..] })
+                Ok(BlockContentRef::Real {
+                    id: BlockId(id),
+                    leaf,
+                    payload: &bytes[HEADER_LEN..],
+                })
             }
             _ => Err(OramError::MalformedBlock { slot }),
         }
@@ -209,7 +225,11 @@ impl BlockContent {
             BlockContentRef::Dummy => Ok(BlockContent::Dummy),
             BlockContentRef::Real { id, leaf, .. } => {
                 bytes.drain(..HEADER_LEN);
-                Ok(BlockContent::Real { id, leaf, payload: bytes })
+                Ok(BlockContent::Real {
+                    id,
+                    leaf,
+                    payload: bytes,
+                })
             }
         }
     }
@@ -222,7 +242,10 @@ impl BlockContent {
     ///
     /// Panics if `bytes` is not an encoded real block.
     pub fn patch_wire_leaf(bytes: &mut [u8], leaf: u64) {
-        assert!(bytes.len() >= HEADER_LEN && bytes[0] == TAG_REAL, "not an encoded real block");
+        assert!(
+            bytes.len() >= HEADER_LEN && bytes[0] == TAG_REAL,
+            "not an encoded real block"
+        );
         bytes[9..17].copy_from_slice(&leaf.to_le_bytes());
     }
 
@@ -238,8 +261,11 @@ mod tests {
 
     #[test]
     fn real_roundtrip() {
-        let content =
-            BlockContent::Real { id: BlockId(42), leaf: 7, payload: vec![1, 2, 3, 4] };
+        let content = BlockContent::Real {
+            id: BlockId(42),
+            leaf: 7,
+            payload: vec![1, 2, 3, 4],
+        };
         let bytes = content.encode(4);
         assert_eq!(bytes.len(), BlockContent::encoded_len(4));
         assert_eq!(BlockContent::decode(&bytes, 0).unwrap(), content);
@@ -248,40 +274,74 @@ mod tests {
     #[test]
     fn dummy_roundtrip_and_uniform_length() {
         let dummy = BlockContent::Dummy.encode(16);
-        let real = BlockContent::Real { id: BlockId(1), leaf: 0, payload: vec![9u8; 16] }.encode(16);
-        assert_eq!(dummy.len(), real.len(), "dummy and real must be indistinguishable by size");
-        assert_eq!(BlockContent::decode(&dummy, 3).unwrap(), BlockContent::Dummy);
+        let real = BlockContent::Real {
+            id: BlockId(1),
+            leaf: 0,
+            payload: vec![9u8; 16],
+        }
+        .encode(16);
+        assert_eq!(
+            dummy.len(),
+            real.len(),
+            "dummy and real must be indistinguishable by size"
+        );
+        assert_eq!(
+            BlockContent::decode(&dummy, 3).unwrap(),
+            BlockContent::Dummy
+        );
     }
 
     #[test]
     fn decode_ref_borrows_the_payload() {
-        let content = BlockContent::Real { id: BlockId(9), leaf: 2, payload: vec![5, 6, 7] };
+        let content = BlockContent::Real {
+            id: BlockId(9),
+            leaf: 2,
+            payload: vec![5, 6, 7],
+        };
         let bytes = content.encode(3);
         match BlockContent::decode_ref(&bytes, 0).unwrap() {
             BlockContentRef::Real { id, leaf, payload } => {
                 assert_eq!(id, BlockId(9));
                 assert_eq!(leaf, 2);
                 assert_eq!(payload, &[5, 6, 7]);
-                assert_eq!(payload.as_ptr(), bytes[17..].as_ptr(), "payload must borrow");
+                assert_eq!(
+                    payload.as_ptr(),
+                    bytes[17..].as_ptr(),
+                    "payload must borrow"
+                );
             }
             other => panic!("unexpected {other:?}"),
         }
         assert!(BlockContent::decode_ref(&bytes, 0).unwrap().is_real());
-        assert_eq!(BlockContent::decode_ref(&bytes, 0).unwrap().to_owned(), content);
+        assert_eq!(
+            BlockContent::decode_ref(&bytes, 0).unwrap().to_owned(),
+            content
+        );
     }
 
     #[test]
     fn decode_owned_reuses_the_buffer() {
-        let content = BlockContent::Real { id: BlockId(4), leaf: 0, payload: vec![1; 8] };
+        let content = BlockContent::Real {
+            id: BlockId(4),
+            leaf: 0,
+            payload: vec![1; 8],
+        };
         let bytes = content.encode(8);
         assert_eq!(BlockContent::decode_owned(bytes, 0).unwrap(), content);
         let dummy = BlockContent::Dummy.encode(8);
-        assert_eq!(BlockContent::decode_owned(dummy, 0).unwrap(), BlockContent::Dummy);
+        assert_eq!(
+            BlockContent::decode_owned(dummy, 0).unwrap(),
+            BlockContent::Dummy
+        );
     }
 
     #[test]
     fn encode_into_matches_encode_and_reuses_capacity() {
-        let content = BlockContent::Real { id: BlockId(1), leaf: 3, payload: vec![2; 4] };
+        let content = BlockContent::Real {
+            id: BlockId(1),
+            leaf: 3,
+            payload: vec![2; 4],
+        };
         let mut buffer = Vec::with_capacity(64);
         buffer.extend_from_slice(&[0xFF; 30]); // stale contents must not leak through
         content.encode_into(4, &mut buffer);
@@ -293,12 +353,20 @@ mod tests {
 
     #[test]
     fn patch_wire_leaf_rewrites_in_place() {
-        let content = BlockContent::Real { id: BlockId(7), leaf: 11, payload: vec![3; 4] };
+        let content = BlockContent::Real {
+            id: BlockId(7),
+            leaf: 11,
+            payload: vec![3; 4],
+        };
         let mut bytes = content.encode(4);
         BlockContent::patch_wire_leaf(&mut bytes, 0);
         assert_eq!(
             BlockContent::decode(&bytes, 0).unwrap(),
-            BlockContent::Real { id: BlockId(7), leaf: 0, payload: vec![3; 4] }
+            BlockContent::Real {
+                id: BlockId(7),
+                leaf: 0,
+                payload: vec![3; 4]
+            }
         );
     }
 
@@ -324,7 +392,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "payload length invariant")]
     fn encode_validates_payload_length() {
-        BlockContent::Real { id: BlockId(0), leaf: 0, payload: vec![1] }.encode(8);
+        BlockContent::Real {
+            id: BlockId(0),
+            leaf: 0,
+            payload: vec![1],
+        }
+        .encode(8);
     }
 
     #[test]

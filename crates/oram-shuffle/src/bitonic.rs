@@ -29,7 +29,11 @@ impl BitonicShuffle {
     pub fn shuffle<T>(&self, items: &mut Vec<T>, seed: u64) -> ShuffleStats {
         let n = items.len();
         if n < 2 {
-            return ShuffleStats { touches: 0, dummies: 0, passes: 1 };
+            return ShuffleStats {
+                touches: 0,
+                dummies: 0,
+                passes: 1,
+            };
         }
 
         let prf = Prf::new(key_from_seed(seed));
@@ -68,11 +72,18 @@ impl BitonicShuffle {
 
         // Dummies (None) hold the maximal keys, so the first n slots are the
         // real items in random-key order.
-        items.extend(tagged.into_iter().take(n).map(|(_, item)| {
-            item.expect("dummy sorted into the real prefix — network broken")
-        }));
+        items.extend(
+            tagged
+                .into_iter()
+                .take(n)
+                .map(|(_, item)| item.expect("dummy sorted into the real prefix — network broken")),
+        );
         let dummies = (padded - n) as u64;
-        ShuffleStats { touches, dummies, passes: 1 }
+        ShuffleStats {
+            touches,
+            dummies,
+            passes: 1,
+        }
     }
 }
 
@@ -143,7 +154,10 @@ mod tests {
         let mut b: Vec<u64> = (0..300).rev().collect();
         let s1 = shuffle.shuffle(&mut a, 1);
         let s2 = shuffle.shuffle(&mut b, 999);
-        assert_eq!(s1, s2, "compare-exchange count must be data- and seed-independent");
+        assert_eq!(
+            s1, s2,
+            "compare-exchange count must be data- and seed-independent"
+        );
     }
 
     #[test]

@@ -43,13 +43,17 @@ impl CacheShuffle {
     /// Intended for benchmarking bucket-size sensitivity.
     pub fn with_bucket_count(count: usize) -> Self {
         assert!(count > 0, "bucket count must be positive");
-        Self { bucket_count: Some(count.next_power_of_two()) }
+        Self {
+            bucket_count: Some(count.next_power_of_two()),
+        }
     }
 
     fn buckets_for(&self, n: usize) -> usize {
         match self.bucket_count {
             Some(b) => b,
-            None => ((n as f64).sqrt().ceil() as usize).next_power_of_two().max(1),
+            None => ((n as f64).sqrt().ceil() as usize)
+                .next_power_of_two()
+                .max(1),
         }
     }
 
@@ -57,7 +61,11 @@ impl CacheShuffle {
     pub fn shuffle<T>(&self, items: &mut Vec<T>, seed: u64) -> ShuffleStats {
         let n = items.len();
         if n < 2 {
-            return ShuffleStats { touches: 0, dummies: 0, passes: 2 };
+            return ShuffleStats {
+                touches: 0,
+                dummies: 0,
+                passes: 2,
+            };
         }
         let buckets = self.buckets_for(n);
         let bucket_bits = buckets.trailing_zeros();
@@ -69,7 +77,11 @@ impl CacheShuffle {
         for (i, item) in items.drain(..).enumerate() {
             let key = prf.eval_words("cache-shuffle-route", &[i as u64]);
             // Top `bucket_bits` bits select the bin (0 bits ⇒ single bin).
-            let bin = if bucket_bits == 0 { 0 } else { (key >> (64 - bucket_bits)) as usize };
+            let bin = if bucket_bits == 0 {
+                0
+            } else {
+                (key >> (64 - bucket_bits)) as usize
+            };
             bins[bin].push(item);
         }
 
@@ -85,7 +97,11 @@ impl CacheShuffle {
         }
         touches += 2 * n as u64; // collect read+write
 
-        ShuffleStats { touches, dummies: 0, passes: 2 }
+        ShuffleStats {
+            touches,
+            dummies: 0,
+            passes: 2,
+        }
     }
 }
 

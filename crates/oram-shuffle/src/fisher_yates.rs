@@ -28,14 +28,22 @@ use rand::Rng;
 pub fn fisher_yates_shuffle<T>(items: &mut [T], seed: u64) -> ShuffleStats {
     let n = items.len();
     if n < 2 {
-        return ShuffleStats { touches: 0, dummies: 0, passes: 1 };
+        return ShuffleStats {
+            touches: 0,
+            dummies: 0,
+            passes: 1,
+        };
     }
     let mut rng = DeterministicRng::from_u64_seed(seed ^ 0xf15e_75a7_e5e5_0001);
     for i in (1..n).rev() {
         let j = rng.gen_range(0..=i);
         items.swap(i, j);
     }
-    ShuffleStats { touches: 2 * (n as u64 - 1), dummies: 0, passes: 1 }
+    ShuffleStats {
+        touches: 2 * (n as u64 - 1),
+        dummies: 0,
+        passes: 1,
+    }
 }
 
 #[cfg(test)]

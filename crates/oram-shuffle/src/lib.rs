@@ -151,7 +151,11 @@ mod tests {
         for algo in ShuffleAlgorithm::ALL {
             let mut items: Vec<u32> = (0..1000).collect();
             algo.shuffle(&mut items, 3);
-            let fixed = items.iter().enumerate().filter(|(i, &v)| *i as u32 == v).count();
+            let fixed = items
+                .iter()
+                .enumerate()
+                .filter(|(i, &v)| *i as u32 == v)
+                .count();
             // A uniform permutation of 1000 items has ~1 fixed point.
             assert!(fixed < 50, "{algo} left {fixed} fixed points");
         }

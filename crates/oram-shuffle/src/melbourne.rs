@@ -42,7 +42,9 @@ impl MelbourneShuffle {
     /// raise the retry rate; intended for overflow-path testing.
     pub fn with_batch_capacity(capacity: usize) -> Self {
         assert!(capacity > 0, "batch capacity must be positive");
-        Self { batch_capacity: Some(capacity) }
+        Self {
+            batch_capacity: Some(capacity),
+        }
     }
 
     /// The fixed batch capacity for input length `n`.
@@ -68,7 +70,11 @@ impl MelbourneShuffle {
     pub fn shuffle<T>(&self, items: &mut Vec<T>, seed: u64) -> ShuffleStats {
         let n = items.len();
         if n < 2 {
-            return ShuffleStats { touches: 0, dummies: 0, passes: 2 };
+            return ShuffleStats {
+                touches: 0,
+                dummies: 0,
+                passes: 2,
+            };
         }
 
         for attempt in 0..64u64 {
@@ -89,7 +95,11 @@ impl MelbourneShuffle {
         let perm = Permutation::random(n, seed);
 
         // Tag each element with its secret destination, preserving source order.
-        let mut tagged: Vec<(usize, T)> = items.drain(..).enumerate().map(|(i, item)| (perm.apply(i), item)).collect();
+        let mut tagged: Vec<(usize, T)> = items
+            .drain(..)
+            .enumerate()
+            .map(|(i, item)| (perm.apply(i), item))
+            .collect();
 
         // Distribution phase. `batches[target]` receives `buckets` batches,
         // each padded to exactly p_max entries (None = dummy).
@@ -156,7 +166,11 @@ impl MelbourneShuffle {
         }
         debug_assert_eq!(output.len(), n);
         items.extend(output.into_iter().map(|(_, item)| item));
-        Ok(ShuffleStats { touches, dummies, passes: 2 })
+        Ok(ShuffleStats {
+            touches,
+            dummies,
+            passes: 2,
+        })
     }
 }
 

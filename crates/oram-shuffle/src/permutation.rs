@@ -31,9 +31,13 @@ pub struct Permutation {
 impl fmt::Debug for Permutation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.len() <= 16 {
-            f.debug_struct("Permutation").field("forward", &self.forward).finish()
+            f.debug_struct("Permutation")
+                .field("forward", &self.forward)
+                .finish()
         } else {
-            f.debug_struct("Permutation").field("len", &self.len()).finish()
+            f.debug_struct("Permutation")
+                .field("len", &self.len())
+                .finish()
         }
     }
 }
@@ -46,9 +50,15 @@ impl Permutation {
     /// Panics if `n > u32::MAX as usize` (explicit permutations are bounded
     /// to 2³²−1 elements; use the PRP for larger domains).
     pub fn identity(n: usize) -> Self {
-        assert!(n <= u32::MAX as usize, "explicit permutation too large; use FeistelPrp");
+        assert!(
+            n <= u32::MAX as usize,
+            "explicit permutation too large; use FeistelPrp"
+        );
         let forward: Vec<u32> = (0..n as u32).collect();
-        Self { inverse: forward.clone(), forward }
+        Self {
+            inverse: forward.clone(),
+            forward,
+        }
     }
 
     /// A uniformly random permutation of `n` elements, deterministic in
@@ -80,7 +90,10 @@ impl Permutation {
             assert!(!seen[image as usize], "duplicate image {image}");
             seen[image as usize] = true;
         }
-        let mut perm = Self { forward, inverse: vec![0; n] };
+        let mut perm = Self {
+            forward,
+            inverse: vec![0; n],
+        };
         perm.rebuild_inverse();
         perm
     }
@@ -126,10 +139,20 @@ impl Permutation {
     ///
     /// Panics if lengths differ.
     pub fn then(&self, other: &Permutation) -> Permutation {
-        assert_eq!(self.len(), other.len(), "composition requires equal lengths");
-        let forward: Vec<u32> =
-            self.forward.iter().map(|&mid| other.forward[mid as usize]).collect();
-        let mut perm = Permutation { forward, inverse: Vec::new() };
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "composition requires equal lengths"
+        );
+        let forward: Vec<u32> = self
+            .forward
+            .iter()
+            .map(|&mid| other.forward[mid as usize])
+            .collect();
+        let mut perm = Permutation {
+            forward,
+            inverse: Vec::new(),
+        };
         perm.rebuild_inverse();
         perm
     }
@@ -145,12 +168,18 @@ impl Permutation {
         for (i, item) in items.iter().enumerate() {
             out[self.apply(i)] = Some(item.clone());
         }
-        out.into_iter().map(|slot| slot.expect("bijection fills every slot")).collect()
+        out.into_iter()
+            .map(|slot| slot.expect("bijection fills every slot"))
+            .collect()
     }
 
     /// Number of fixed points (diagnostic for randomness tests).
     pub fn fixed_points(&self) -> usize {
-        self.forward.iter().enumerate().filter(|(i, &v)| *i as u32 == v).count()
+        self.forward
+            .iter()
+            .enumerate()
+            .filter(|(i, &v)| *i as u32 == v)
+            .count()
     }
 }
 
@@ -240,7 +269,11 @@ mod tests {
     fn random_permutations_have_few_fixed_points() {
         let perm = Permutation::random(10_000, 11);
         // Expected number of fixed points of a uniform permutation is 1.
-        assert!(perm.fixed_points() < 10, "too many fixed points: {}", perm.fixed_points());
+        assert!(
+            perm.fixed_points() < 10,
+            "too many fixed points: {}",
+            perm.fixed_points()
+        );
     }
 
     proptest! {

@@ -71,18 +71,31 @@ pub struct MachineConfig {
 impl MachineConfig {
     /// The machine of the paper's Table 5-2 with 1 KB blocks.
     pub fn dac2019() -> Self {
-        Self { label: "DAC'19 testbed (Table 5-2)".into(), storage: StorageKind::PaperHdd, block_bytes: 1024 }
+        Self {
+            label: "DAC'19 testbed (Table 5-2)".into(),
+            storage: StorageKind::PaperHdd,
+            block_bytes: 1024,
+        }
     }
 
     /// Same machine with an SSD storage backend (ablation).
     pub fn dac2019_ssd() -> Self {
-        Self { label: "DAC'19 testbed, SSD ablation".into(), storage: StorageKind::Ssd, block_bytes: 1024 }
+        Self {
+            label: "DAC'19 testbed, SSD ablation".into(),
+            storage: StorageKind::Ssd,
+            block_bytes: 1024,
+        }
     }
 
     /// Builds the memory device (DRAM).
     pub fn build_memory(&self, clock: SimClock, trace: Option<AccessTrace>) -> Device {
-        let mut dev =
-            Device::new(device_ids::MEMORY, "dram", Box::new(paper_dram()), clock, trace);
+        let mut dev = Device::new(
+            device_ids::MEMORY,
+            "dram",
+            Box::new(paper_dram()),
+            clock,
+            trace,
+        );
         dev.set_charged_block_bytes(self.block_bytes);
         dev
     }
@@ -90,12 +103,20 @@ impl MachineConfig {
     /// Builds the storage device (HDD or SSD per [`StorageKind`]).
     pub fn build_storage(&self, clock: SimClock, trace: Option<AccessTrace>) -> Device {
         let mut dev = match self.storage {
-            StorageKind::PaperHdd => {
-                Device::new(device_ids::STORAGE, "hdd", Box::new(paper_hdd()), clock, trace)
-            }
-            StorageKind::Ssd => {
-                Device::new(device_ids::STORAGE, "ssd", Box::new(ablation_ssd()), clock, trace)
-            }
+            StorageKind::PaperHdd => Device::new(
+                device_ids::STORAGE,
+                "hdd",
+                Box::new(paper_hdd()),
+                clock,
+                trace,
+            ),
+            StorageKind::Ssd => Device::new(
+                device_ids::STORAGE,
+                "ssd",
+                Box::new(ablation_ssd()),
+                clock,
+                trace,
+            ),
         };
         dev.set_charged_block_bytes(self.block_bytes);
         dev
@@ -105,14 +126,18 @@ impl MachineConfig {
     pub fn setup_rows(&self) -> Vec<(String, String)> {
         let mut rows = vec![
             ("Simulation".into(), self.label.clone()),
-            ("Memory".into(), "DDR4 PC4-2133 model (70 ns + 15 GB/s)".into()),
+            (
+                "Memory".into(),
+                "DDR4 PC4-2133 model (70 ns + 15 GB/s)".into(),
+            ),
         ];
         match self.storage {
             StorageKind::PaperHdd => {
                 rows.push(("Disk".into(), "HDD 7200RPM 500GB model".into()));
                 rows.push((
                     "Read/Write Throughput".into(),
-                    "102.7 MB/s, 55.2 MB/s (random); streaming writes coalesce to 102.7 MB/s".into(),
+                    "102.7 MB/s, 55.2 MB/s (random); streaming writes coalesce to 102.7 MB/s"
+                        .into(),
                 ));
                 rows.push((
                     "Seek model".into(),

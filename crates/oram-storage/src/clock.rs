@@ -13,7 +13,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A span of simulated time, in nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimDuration {
@@ -38,7 +40,10 @@ impl SimDuration {
     /// Creates a duration from (possibly fractional) seconds, rounding to
     /// the nearest nanosecond. Intended for configuration parsing only.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs >= 0.0 && secs.is_finite(), "duration must be finite and non-negative");
+        assert!(
+            secs >= 0.0 && secs.is_finite(),
+            "duration must be finite and non-negative"
+        );
         Self((secs * 1e9).round() as u64)
     }
 
@@ -81,7 +86,11 @@ impl SimDuration {
 impl Add for SimDuration {
     type Output = SimDuration;
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0.checked_add(rhs.0).expect("simulated duration overflow"))
+        SimDuration(
+            self.0
+                .checked_add(rhs.0)
+                .expect("simulated duration overflow"),
+        )
     }
 }
 
@@ -94,7 +103,11 @@ impl AddAssign for SimDuration {
 impl Sub for SimDuration {
     type Output = SimDuration;
     fn sub(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0.checked_sub(rhs.0).expect("simulated duration underflow"))
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("simulated duration underflow"),
+        )
     }
 }
 
@@ -107,7 +120,11 @@ impl SubAssign for SimDuration {
 impl Mul<u64> for SimDuration {
     type Output = SimDuration;
     fn mul(self, rhs: u64) -> SimDuration {
-        SimDuration(self.0.checked_mul(rhs).expect("simulated duration overflow"))
+        SimDuration(
+            self.0
+                .checked_mul(rhs)
+                .expect("simulated duration overflow"),
+        )
     }
 }
 
@@ -142,7 +159,9 @@ impl fmt::Display for SimDuration {
 
 /// An instant on the simulated timeline, in nanoseconds since simulation
 /// start.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -165,14 +184,22 @@ impl SimTime {
     ///
     /// Panics if `earlier` is later than `self`.
     pub fn duration_since(self, earlier: SimTime) -> SimDuration {
-        SimDuration(self.0.checked_sub(earlier.0).expect("duration_since: earlier is later"))
+        SimDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("duration_since: earlier is later"),
+        )
     }
 }
 
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0.checked_add(rhs.as_nanos()).expect("simulated time overflow"))
+        SimTime(
+            self.0
+                .checked_add(rhs.as_nanos())
+                .expect("simulated time overflow"),
+        )
     }
 }
 
@@ -240,8 +267,14 @@ mod tests {
     #[test]
     fn duration_constructors_agree() {
         assert_eq!(SimDuration::from_micros(3), SimDuration::from_nanos(3_000));
-        assert_eq!(SimDuration::from_millis(2), SimDuration::from_nanos(2_000_000));
-        assert_eq!(SimDuration::from_secs_f64(1.5), SimDuration::from_nanos(1_500_000_000));
+        assert_eq!(
+            SimDuration::from_millis(2),
+            SimDuration::from_nanos(2_000_000)
+        );
+        assert_eq!(
+            SimDuration::from_secs_f64(1.5),
+            SimDuration::from_nanos(1_500_000_000)
+        );
     }
 
     #[test]

@@ -43,7 +43,9 @@ impl fmt::Display for AccessKind {
 }
 
 /// Identifier distinguishing devices within one experiment's trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct DeviceId(pub u16);
 
 impl fmt::Display for DeviceId {
@@ -83,8 +85,16 @@ pub trait TimingModel: fmt::Debug + Send {
     /// (no batching benefit) — models with per-op overhead that command
     /// queuing can coalesce (HDD seeks, SSD/NVMe doorbell latency)
     /// override this.
-    fn scatter_costs(&mut self, kind: AccessKind, offsets: &[u64], bytes_per_op: u64) -> Vec<SimDuration> {
-        offsets.iter().map(|&offset| self.access_cost(kind, offset, bytes_per_op)).collect()
+    fn scatter_costs(
+        &mut self,
+        kind: AccessKind,
+        offsets: &[u64],
+        bytes_per_op: u64,
+    ) -> Vec<SimDuration> {
+        offsets
+            .iter()
+            .map(|&offset| self.access_cost(kind, offset, bytes_per_op))
+            .collect()
     }
 
     /// Peak sequential bandwidth in bytes/second, for analytical models.
@@ -243,9 +253,14 @@ impl Device {
             .store
             .get(addr)
             .cloned()
-            .ok_or_else(|| StorageError::MissingBlock { device: self.name.clone(), addr })?;
+            .ok_or_else(|| StorageError::MissingBlock {
+                device: self.name.clone(),
+                addr,
+            })?;
         let bytes = self.charged_block_bytes;
-        let cost = self.timing.access_cost(AccessKind::Read, addr * bytes, bytes);
+        let cost = self
+            .timing
+            .access_cost(AccessKind::Read, addr * bytes, bytes);
         self.record(AccessKind::Read, addr, bytes, cost);
         Ok(block)
     }
@@ -259,7 +274,9 @@ impl Device {
         self.check_capacity(addr)?;
         self.store.put(addr, block);
         let bytes = self.charged_block_bytes;
-        let cost = self.timing.access_cost(AccessKind::Write, addr * bytes, bytes);
+        let cost = self
+            .timing
+            .access_cost(AccessKind::Write, addr * bytes, bytes);
         self.record(AccessKind::Write, addr, bytes, cost);
         Ok(())
     }
@@ -290,7 +307,10 @@ impl Device {
         let mut out = Vec::with_capacity(addrs.len());
         for (&addr, cost) in addrs.iter().zip(costs) {
             self.record(AccessKind::Read, addr, bytes, cost);
-            out.push(ScatterItem { block: self.store.get(addr).cloned(), cost });
+            out.push(ScatterItem {
+                block: self.store.get(addr).cloned(),
+                cost,
+            });
         }
         Ok(out)
     }
@@ -315,7 +335,9 @@ impl Device {
         }
         let bytes = self.charged_block_bytes;
         let offsets: Vec<u64> = writes.iter().map(|(addr, _)| addr * bytes).collect();
-        let costs = self.timing.scatter_costs(AccessKind::Write, &offsets, bytes);
+        let costs = self
+            .timing
+            .scatter_costs(AccessKind::Write, &offsets, bytes);
         for ((addr, block), cost) in writes.into_iter().zip(costs) {
             self.store.put(addr, block);
             self.record(AccessKind::Write, addr, bytes, cost);
@@ -350,10 +372,13 @@ impl Device {
             return Ok(Vec::new());
         }
         self.check_capacity(start + count - 1)?;
-        let blocks: Vec<Option<SealedBlock>> =
-            (start..start + count).map(|a| self.store.get(a).cloned()).collect();
+        let blocks: Vec<Option<SealedBlock>> = (start..start + count)
+            .map(|a| self.store.get(a).cloned())
+            .collect();
         let bytes = self.charged_block_bytes * count;
-        let cost = self.timing.streaming_cost(AccessKind::Read, start * self.charged_block_bytes, bytes);
+        let cost =
+            self.timing
+                .streaming_cost(AccessKind::Read, start * self.charged_block_bytes, bytes);
         self.record(AccessKind::Read, start, bytes, cost);
         Ok(blocks)
     }
@@ -376,10 +401,13 @@ impl Device {
             return Ok(Vec::new());
         }
         self.check_capacity(start + count - 1)?;
-        let blocks: Vec<Option<SealedBlock>> =
-            (start..start + count).map(|a| self.store.remove(a)).collect();
+        let blocks: Vec<Option<SealedBlock>> = (start..start + count)
+            .map(|a| self.store.remove(a))
+            .collect();
         let bytes = self.charged_block_bytes * count;
-        let cost = self.timing.streaming_cost(AccessKind::Read, start * self.charged_block_bytes, bytes);
+        let cost =
+            self.timing
+                .streaming_cost(AccessKind::Read, start * self.charged_block_bytes, bytes);
         self.record(AccessKind::Read, start, bytes, cost);
         Ok(blocks)
     }
@@ -403,7 +431,9 @@ impl Device {
             self.store.put(start + i as u64, block);
         }
         let bytes = self.charged_block_bytes * count;
-        let cost = self.timing.streaming_cost(AccessKind::Write, start * self.charged_block_bytes, bytes);
+        let cost =
+            self.timing
+                .streaming_cost(AccessKind::Write, start * self.charged_block_bytes, bytes);
         self.record(AccessKind::Write, start, bytes, cost);
         Ok(())
     }
@@ -413,7 +443,9 @@ impl Device {
     /// Protocols use this for accesses whose data movement is modelled
     /// elsewhere (e.g. dummy reads that discard their result).
     pub fn charge(&mut self, kind: AccessKind, addr: u64, bytes: u64) -> SimDuration {
-        let cost = self.timing.access_cost(kind, addr * self.charged_block_bytes, bytes);
+        let cost = self
+            .timing
+            .access_cost(kind, addr * self.charged_block_bytes, bytes);
         self.record(kind, addr, bytes, cost);
         cost
     }
@@ -437,7 +469,13 @@ mod tests {
     }
 
     fn dram_device(trace: Option<AccessTrace>) -> Device {
-        Device::new(DeviceId(1), "dram", Box::new(DramModel::ddr4_2133()), SimClock::new(), trace)
+        Device::new(
+            DeviceId(1),
+            "dram",
+            Box::new(DramModel::ddr4_2133()),
+            SimClock::new(),
+            trace,
+        )
     }
 
     #[test]
@@ -452,7 +490,10 @@ mod tests {
     #[test]
     fn missing_block_errors() {
         let mut dev = dram_device(None);
-        assert!(matches!(dev.read_block(3), Err(StorageError::MissingBlock { addr: 3, .. })));
+        assert!(matches!(
+            dev.read_block(3),
+            Err(StorageError::MissingBlock { addr: 3, .. })
+        ));
     }
 
     #[test]
@@ -462,7 +503,11 @@ mod tests {
         let sealed = sealer().seal(4, 0, b"x");
         assert!(matches!(
             dev.write_block(4, sealed),
-            Err(StorageError::OutOfCapacity { addr: 4, capacity: 4, .. })
+            Err(StorageError::OutOfCapacity {
+                addr: 4,
+                capacity: 4,
+                ..
+            })
         ));
     }
 
@@ -501,7 +546,10 @@ mod tests {
         small.write_block(0, sealed.clone()).unwrap();
         big.write_block(0, sealed).unwrap();
         assert!(big.stats().busy > small.stats().busy);
-        assert_eq!(big.read_block(0).unwrap().ciphertext(), small.read_block(0).unwrap().ciphertext());
+        assert_eq!(
+            big.read_block(0).unwrap().ciphertext(),
+            small.read_block(0).unwrap().ciphertext()
+        );
     }
 
     #[test]
@@ -519,9 +567,13 @@ mod tests {
         let mut streaming = mk_hdd();
         let s = sealer();
         for addr in 0..64u64 {
-            random.write_block(addr * 97 % 64, s.seal(addr, 0, b"d")).unwrap();
+            random
+                .write_block(addr * 97 % 64, s.seal(addr, 0, b"d"))
+                .unwrap();
         }
-        streaming.write_run(0, (0..64).map(|a| s.seal(a, 0, b"d")).collect::<Vec<_>>()).unwrap();
+        streaming
+            .write_run(0, (0..64).map(|a| s.seal(a, 0, b"d")).collect::<Vec<_>>())
+            .unwrap();
         assert!(
             streaming.stats().busy.as_nanos() * 5 < random.stats().busy.as_nanos(),
             "streaming {} vs random {}",
@@ -549,7 +601,13 @@ mod tests {
     }
 
     fn hdd_device() -> Device {
-        Device::new(DeviceId(0), "hdd", Box::new(HddModel::paper_calibrated()), SimClock::new(), None)
+        Device::new(
+            DeviceId(0),
+            "hdd",
+            Box::new(HddModel::paper_calibrated()),
+            SimClock::new(),
+            None,
+        )
     }
 
     #[test]
@@ -573,8 +631,10 @@ mod tests {
         let seq_trace = AccessTrace::new();
         let mut sequential = build(seq_trace.clone());
         seq_trace.clear();
-        let seq_blocks: Vec<SealedBlock> =
-            addrs.iter().map(|&a| sequential.read_block(a).unwrap()).collect();
+        let seq_blocks: Vec<SealedBlock> = addrs
+            .iter()
+            .map(|&a| sequential.read_block(a).unwrap())
+            .collect();
 
         let bat_trace = AccessTrace::new();
         let mut batched = build(bat_trace.clone());
@@ -584,7 +644,10 @@ mod tests {
         // Identical adversary view: same events, same order (timestamps
         // aside — the shared clock is advanced by the caller).
         let strip = |t: &AccessTrace| {
-            t.snapshot().into_iter().map(|e| (e.device, e.kind, e.addr, e.bytes)).collect::<Vec<_>>()
+            t.snapshot()
+                .into_iter()
+                .map(|e| (e.device, e.kind, e.addr, e.bytes))
+                .collect::<Vec<_>>()
         };
         assert_eq!(strip(&seq_trace), strip(&bat_trace));
         // Identical data and op/byte accounting.
@@ -600,8 +663,9 @@ mod tests {
     #[test]
     fn write_scatter_stores_and_is_cheaper_than_sequential_on_hdd() {
         let s = sealer();
-        let writes: Vec<(u64, SealedBlock)> =
-            (0..32u64).map(|i| (i * 97 % 64, s.seal(i, 0, b"w"))).collect();
+        let writes: Vec<(u64, SealedBlock)> = (0..32u64)
+            .map(|i| (i * 97 % 64, s.seal(i, 0, b"w")))
+            .collect();
         let mut sequential = hdd_device();
         for (a, b) in writes.clone() {
             sequential.write_block(a, b).unwrap();

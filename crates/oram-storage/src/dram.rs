@@ -22,7 +22,10 @@ pub struct DramParams {
 impl DramParams {
     /// DDR4-2133 as in the paper's Table 5-2.
     pub fn ddr4_2133() -> Self {
-        Self { latency_nanos: 70, bandwidth: 15.0e9 }
+        Self {
+            latency_nanos: 70,
+            bandwidth: 15.0e9,
+        }
     }
 }
 
@@ -106,6 +109,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "bandwidth must be positive")]
     fn zero_bandwidth_rejected() {
-        DramModel::new(DramParams { latency_nanos: 1, bandwidth: 0.0 });
+        DramModel::new(DramParams {
+            latency_nanos: 1,
+            bandwidth: 0.0,
+        });
     }
 }

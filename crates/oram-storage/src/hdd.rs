@@ -79,9 +79,18 @@ impl HddModel {
     /// Creates a model from explicit parameters.
     pub fn new(params: HddParams) -> Self {
         assert!(params.capacity_bytes > 0, "capacity must be positive");
-        assert!(params.read_bandwidth > 0.0, "read bandwidth must be positive");
-        assert!(params.write_bandwidth_random > 0.0, "write bandwidth must be positive");
-        assert!(params.write_bandwidth_streaming > 0.0, "streaming bandwidth must be positive");
+        assert!(
+            params.read_bandwidth > 0.0,
+            "read bandwidth must be positive"
+        );
+        assert!(
+            params.write_bandwidth_random > 0.0,
+            "write bandwidth must be positive"
+        );
+        assert!(
+            params.write_bandwidth_streaming > 0.0,
+            "streaming bandwidth must be positive"
+        );
         Self { params, head: None }
     }
 
@@ -152,7 +161,12 @@ impl TimingModel for HddModel {
         cost
     }
 
-    fn scatter_costs(&mut self, kind: AccessKind, offsets: &[u64], bytes_per_op: u64) -> Vec<SimDuration> {
+    fn scatter_costs(
+        &mut self,
+        kind: AccessKind,
+        offsets: &[u64],
+        bytes_per_op: u64,
+    ) -> Vec<SimDuration> {
         // Elevator scheduling: the head visits the batch in address order
         // (one sweep), while each cost is reported against its submission
         // index. The first command pays a cold seek from the current head
@@ -163,7 +177,11 @@ impl TimingModel for HddModel {
         let mut costs = vec![SimDuration::ZERO; offsets.len()];
         for (position, &i) in order.iter().enumerate() {
             let offset = offsets[i];
-            let seek = if position == 0 { self.seek_cost(offset) } else { self.queued_seek_cost(offset) };
+            let seek = if position == 0 {
+                self.seek_cost(offset)
+            } else {
+                self.queued_seek_cost(offset)
+            };
             costs[i] = seek + self.transfer_cost(kind, bytes_per_op, false);
             self.head = Some(offset + bytes_per_op);
         }
@@ -195,9 +213,15 @@ mod tests {
         let mut m = model();
         let first = m.access_cost(AccessKind::Read, 0, 1024);
         let second = m.access_cost(AccessKind::Read, 1024, 1024);
-        assert!(second < first, "sequential {second} should beat first {first}");
+        assert!(
+            second < first,
+            "sequential {second} should beat first {first}"
+        );
         // Pure transfer: 1024 B / 102.7 MB/s ≈ 9.97 µs.
-        assert_eq!(second.as_nanos(), (1024.0 / 102.7e6 * 1e9f64).round() as u64);
+        assert_eq!(
+            second.as_nanos(),
+            (1024.0 / 102.7e6 * 1e9f64).round() as u64
+        );
     }
 
     #[test]
@@ -268,19 +292,28 @@ mod tests {
         a.access_cost(AccessKind::Read, 0, 1024);
         b.access_cost(AccessKind::Read, 0, 1024);
         let single = a.scatter_costs(AccessKind::Read, &[40 << 20], 1024);
-        assert_eq!(single, vec![b.access_cost(AccessKind::Read, 40 << 20, 1024)]);
+        assert_eq!(
+            single,
+            vec![b.access_cost(AccessKind::Read, 40 << 20, 1024)]
+        );
     }
 
     #[test]
     fn scatter_batch_beats_sequential_random_reads() {
-        let offsets: Vec<u64> =
-            (0..64u64).map(|i| (i.wrapping_mul(2654435761) % (64 << 20)) & !1023).collect();
+        let offsets: Vec<u64> = (0..64u64)
+            .map(|i| (i.wrapping_mul(2654435761) % (64 << 20)) & !1023)
+            .collect();
         let mut sequential = model();
-        let sequential_total: u64 =
-            offsets.iter().map(|&o| sequential.access_cost(AccessKind::Read, o, 1024).as_nanos()).sum();
+        let sequential_total: u64 = offsets
+            .iter()
+            .map(|&o| sequential.access_cost(AccessKind::Read, o, 1024).as_nanos())
+            .sum();
         let mut batched = model();
-        let batched_total: u64 =
-            batched.scatter_costs(AccessKind::Read, &offsets, 1024).iter().map(|c| c.as_nanos()).sum();
+        let batched_total: u64 = batched
+            .scatter_costs(AccessKind::Read, &offsets, 1024)
+            .iter()
+            .map(|c| c.as_nanos())
+            .sum();
         let ratio = sequential_total as f64 / batched_total as f64;
         assert!(ratio > 1.5, "queued batch speedup only {ratio:.2}x");
     }
@@ -293,7 +326,12 @@ mod tests {
         m.access_cost(AccessKind::Read, 0, 1024);
         let costs = m.scatter_costs(AccessKind::Read, &[400 << 30, 1 << 20], 1024);
         assert_eq!(costs.len(), 2);
-        assert!(costs[0] > costs[1], "far hop {:?} should exceed near first seek {:?}", costs[0], costs[1]);
+        assert!(
+            costs[0] > costs[1],
+            "far hop {:?} should exceed near first seek {:?}",
+            costs[0],
+            costs[1]
+        );
     }
 
     #[test]
@@ -327,6 +365,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
-        HddModel::new(HddParams { capacity_bytes: 0, ..HddParams::dac2019() });
+        HddModel::new(HddParams {
+            capacity_bytes: 0,
+            ..HddParams::dac2019()
+        });
     }
 }

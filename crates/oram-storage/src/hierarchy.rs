@@ -37,7 +37,13 @@ impl MemoryHierarchy {
         let trace = AccessTrace::new();
         let memory = config.build_memory(clock.clone(), Some(trace.clone()));
         let storage = config.build_storage(clock.clone(), Some(trace.clone()));
-        Self { memory, storage, clock, trace, config }
+        Self {
+            memory,
+            storage,
+            clock,
+            trace,
+            config,
+        }
     }
 
     /// The paper's testbed with 1 KB blocks.
@@ -138,7 +144,9 @@ mod tests {
     fn reset_accounting_preserves_data() {
         let mut h = MemoryHierarchy::dac2019();
         let sealer = BlockSealer::new(&MasterKey::from_bytes([1; 32]).derive("h", 0));
-        h.storage.write_block(7, sealer.seal(7, 0, b"keep")).unwrap();
+        h.storage
+            .write_block(7, sealer.seal(7, 0, b"keep"))
+            .unwrap();
         h.spend_serial(SimDuration::from_micros(1), SimDuration::ZERO);
         h.reset_accounting();
         assert_eq!(h.clock().now().as_nanos(), 0);

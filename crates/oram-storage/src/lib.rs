@@ -104,8 +104,15 @@ impl fmt::Display for StorageError {
             StorageError::MissingBlock { device, addr } => {
                 write!(f, "no block stored at address {addr} on device {device}")
             }
-            StorageError::OutOfCapacity { device, addr, capacity } => {
-                write!(f, "address {addr} beyond capacity {capacity} of device {device}")
+            StorageError::OutOfCapacity {
+                device,
+                addr,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "address {addr} beyond capacity {capacity} of device {device}"
+                )
             }
         }
     }
@@ -119,9 +126,16 @@ mod tests {
 
     #[test]
     fn errors_are_descriptive() {
-        let err = StorageError::MissingBlock { device: "hdd".into(), addr: 12 };
+        let err = StorageError::MissingBlock {
+            device: "hdd".into(),
+            addr: 12,
+        };
         assert!(err.to_string().contains("address 12"));
-        let err = StorageError::OutOfCapacity { device: "hdd".into(), addr: 9, capacity: 4 };
+        let err = StorageError::OutOfCapacity {
+            device: "hdd".into(),
+            addr: 9,
+            capacity: 4,
+        };
         assert!(err.to_string().contains("capacity 4"));
     }
 

@@ -61,7 +61,10 @@ pub struct PageCacheModel<M> {
 impl<M: TimingModel> PageCacheModel<M> {
     /// Wraps `inner` with a page cache.
     pub fn new(inner: M, params: PageCacheParams) -> Self {
-        assert!(params.capacity_pages > 0, "cache must hold at least one page");
+        assert!(
+            params.capacity_pages > 0,
+            "cache must hold at least one page"
+        );
         assert!(params.page_bytes > 0, "page size must be positive");
         assert!((0.0..=1.0).contains(&params.writeback_sync_fraction));
         Self {
@@ -171,8 +174,8 @@ impl<M: TimingModel> TimingModel for PageCacheModel<M> {
             AccessKind::Read => self.inner.streaming_cost(kind, offset, bytes),
             AccessKind::Write => {
                 let device = self.inner.streaming_cost(kind, offset, bytes);
-                let sync = (device.as_nanos() as f64 * self.params.writeback_sync_fraction)
-                    .round() as u64;
+                let sync =
+                    (device.as_nanos() as f64 * self.params.writeback_sync_fraction).round() as u64;
                 SimDuration::from_nanos(sync)
             }
         }
@@ -223,13 +226,19 @@ mod tests {
     fn lru_evicts_beyond_capacity() {
         let mut model = PageCacheModel::new(
             HddModel::paper_calibrated(),
-            PageCacheParams { capacity_pages: 2, ..PageCacheParams::linux_16gb() },
+            PageCacheParams {
+                capacity_pages: 2,
+                ..PageCacheParams::linux_16gb()
+            },
         );
         model.access_cost(AccessKind::Read, 0, 4096); // page 0
         model.access_cost(AccessKind::Read, 4096, 4096); // page 1
         model.access_cost(AccessKind::Read, 8192, 4096); // page 2 evicts page 0
         let re_read = model.access_cost(AccessKind::Read, 0, 4096);
-        assert!(re_read.as_micros_f64() > 10.0, "page 0 should have been evicted");
+        assert!(
+            re_read.as_micros_f64() > 10.0,
+            "page 0 should have been evicted"
+        );
     }
 
     #[test]

@@ -72,7 +72,11 @@ impl SsdModel {
 impl TimingModel for SsdModel {
     fn access_cost(&mut self, kind: AccessKind, _offset: u64, bytes: u64) -> SimDuration {
         let (latency, bandwidth, amp) = match kind {
-            AccessKind::Read => (self.params.read_latency_nanos, self.params.read_bandwidth, 1.0),
+            AccessKind::Read => (
+                self.params.read_latency_nanos,
+                self.params.read_bandwidth,
+                1.0,
+            ),
             AccessKind::Write => (
                 self.params.write_latency_nanos,
                 self.params.write_bandwidth,
@@ -92,7 +96,12 @@ impl TimingModel for SsdModel {
         SimDuration::from_nanos(latency + transfer.round() as u64)
     }
 
-    fn scatter_costs(&mut self, kind: AccessKind, offsets: &[u64], bytes_per_op: u64) -> Vec<SimDuration> {
+    fn scatter_costs(
+        &mut self,
+        kind: AccessKind,
+        offsets: &[u64],
+        bytes_per_op: u64,
+    ) -> Vec<SimDuration> {
         // Die-level parallelism: the first command pays the cold latency,
         // queued follow-ups the amortized floor. Transfer terms (and write
         // amplification) are charged per command as for random access.
@@ -164,7 +173,12 @@ mod tests {
         let mut m = SsdModel::sata_2019();
         let offsets = [0u64, 1 << 20, 2 << 20, 3 << 20];
         let costs = m.scatter_costs(AccessKind::Read, &offsets, 1024);
-        assert!(costs[1] < costs[0], "queued {:?} should beat cold {:?}", costs[1], costs[0]);
+        assert!(
+            costs[1] < costs[0],
+            "queued {:?} should beat cold {:?}",
+            costs[1],
+            costs[0]
+        );
         assert_eq!(costs[1], costs[2]);
         let mut cold = SsdModel::sata_2019();
         assert_eq!(costs[0], cold.access_cost(AccessKind::Read, 0, 1024));
@@ -173,6 +187,9 @@ mod tests {
     #[test]
     #[should_panic]
     fn sub_unit_amplification_rejected() {
-        SsdModel::new(SsdParams { random_write_amplification: 0.5, ..SsdParams::sata_2019() });
+        SsdModel::new(SsdParams {
+            random_write_amplification: 0.5,
+            ..SsdParams::sata_2019()
+        });
     }
 }

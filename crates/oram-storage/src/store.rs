@@ -68,8 +68,11 @@ mod tests {
     use oram_crypto::seal::BlockSealer;
 
     fn sealed(id: u64) -> SealedBlock {
-        BlockSealer::new(&MasterKey::from_bytes([0u8; 32]).derive("store", 0))
-            .seal(id, 0, &id.to_le_bytes())
+        BlockSealer::new(&MasterKey::from_bytes([0u8; 32]).derive("store", 0)).seal(
+            id,
+            0,
+            &id.to_le_bytes(),
+        )
     }
 
     #[test]

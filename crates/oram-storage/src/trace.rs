@@ -90,13 +90,23 @@ impl AccessTrace {
 
     /// Events targeting one device, in record order.
     pub fn for_device(&self, device: DeviceId) -> Vec<TraceEvent> {
-        self.events.lock().iter().copied().filter(|e| e.device == device).collect()
+        self.events
+            .lock()
+            .iter()
+            .copied()
+            .filter(|e| e.device == device)
+            .collect()
     }
 
     /// The sequence of addresses touched on one device — the core object of
     /// obliviousness arguments.
     pub fn address_sequence(&self, device: DeviceId) -> Vec<u64> {
-        self.events.lock().iter().filter(|e| e.device == device).map(|e| e.addr).collect()
+        self.events
+            .lock()
+            .iter()
+            .filter(|e| e.device == device)
+            .map(|e| e.addr)
+            .collect()
     }
 }
 
@@ -105,7 +115,13 @@ mod tests {
     use super::*;
 
     fn ev(device: u16, addr: u64, kind: AccessKind) -> TraceEvent {
-        TraceEvent { at: SimTime::ZERO, device: DeviceId(device), kind, addr, bytes: 1024 }
+        TraceEvent {
+            at: SimTime::ZERO,
+            device: DeviceId(device),
+            kind,
+            addr,
+            bytes: 1024,
+        }
     }
 
     #[test]

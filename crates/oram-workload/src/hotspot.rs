@@ -52,7 +52,10 @@ impl HotspotWorkload {
         seed: u64,
     ) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        assert!((0.0..=1.0).contains(&hot_probability), "hot probability in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&hot_probability),
+            "hot probability in [0,1]"
+        );
         assert!((0.0..=1.0).contains(&hot_fraction), "hot fraction in [0,1]");
         assert!((0.0..=1.0).contains(&write_ratio), "write ratio in [0,1]");
         let hot_len = ((capacity as f64 * hot_fraction).round() as u64).clamp(1, capacity);

@@ -74,8 +74,7 @@ mod tests {
 
     #[test]
     fn generators_are_object_safe() {
-        let mut boxed: Box<dyn WorkloadGenerator> =
-            Box::new(HotspotWorkload::paper_default(64, 2));
+        let mut boxed: Box<dyn WorkloadGenerator> = Box::new(HotspotWorkload::paper_default(64, 2));
         let request = boxed.next_request();
         assert!(request.id.0 < 64);
     }

@@ -26,7 +26,11 @@ impl SequentialWorkload {
     pub fn with_stride(capacity: u64, stride: u64) -> Self {
         assert!(capacity > 0, "capacity must be positive");
         assert!(stride > 0, "stride must be positive");
-        Self { capacity, cursor: 0, stride }
+        Self {
+            capacity,
+            cursor: 0,
+            stride,
+        }
     }
 }
 

@@ -27,12 +27,18 @@ impl RequestTrace {
         generator: &mut dyn WorkloadGenerator,
         count: usize,
     ) -> Self {
-        Self { label: label.into(), requests: generator.generate(count) }
+        Self {
+            label: label.into(),
+            requests: generator.generate(count),
+        }
     }
 
     /// Wraps an explicit request list.
     pub fn from_requests(label: impl Into<String>, requests: Vec<Request>) -> Self {
-        Self { label: label.into(), requests }
+        Self {
+            label: label.into(),
+            requests,
+        }
     }
 
     /// Number of recorded requests.

@@ -74,7 +74,10 @@ impl ZipfWorkload {
 
     fn draw_rank(&mut self) -> usize {
         let u: f64 = self.rng.gen();
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("finite"))
+        {
             Ok(idx) => idx,
             Err(idx) => idx.min(self.cdf.len() - 1),
         }
@@ -114,7 +117,10 @@ mod tests {
         }
         let max = counts.values().max().copied().unwrap_or(0);
         // Rank-0 mass for zipf(1) over 1000 ≈ 1/H(1000) ≈ 13 %.
-        assert!(max as f64 / requests.len() as f64 > 0.08, "max share too small");
+        assert!(
+            max as f64 / requests.len() as f64 > 0.08,
+            "max share too small"
+        );
     }
 
     #[test]
@@ -149,9 +155,16 @@ mod tests {
                 for r in &requests {
                     *counts.entry(r.id.0).or_default() += 1;
                 }
-                counts.into_iter().max_by_key(|(_, c)| *c).map(|(id, _)| id).unwrap()
+                counts
+                    .into_iter()
+                    .max_by_key(|(_, c)| *c)
+                    .map(|(id, _)| id)
+                    .unwrap()
             })
             .collect();
-        assert!(hot_ids.iter().any(|&id| id != 0), "hot block always id 0: {hot_ids:?}");
+        assert!(
+            hot_ids.iter().any(|&id| id != 0),
+            "hot block always id 0: {hot_ids:?}"
+        );
     }
 }

@@ -37,7 +37,9 @@ fn main() -> Result<(), OramError> {
     let queues: Vec<(UserId, Vec<Request>)> = vec![
         (
             UserId(0),
-            (0..32u64).map(|i| Request::write(i, vec![0xA0; 32])).collect(),
+            (0..32u64)
+                .map(|i| Request::write(i, vec![0xA0; 32]))
+                .collect(),
         ),
         (
             UserId(1),
@@ -63,7 +65,11 @@ fn main() -> Result<(), OramError> {
     for (user, queue) in queues {
         let (admitted, rejected) = acl.admit(user, queue);
         for (request, denial) in &rejected {
-            println!("denied  {user}: {} {} — {denial}", kind(&request.op), request.id);
+            println!(
+                "denied  {user}: {} {} — {denial}",
+                kind(&request.op),
+                request.id
+            );
         }
         total_rejected += rejected.len();
         admitted_queues.push((user, admitted));
@@ -74,8 +80,10 @@ fn main() -> Result<(), OramError> {
         "\nserviced {} requests from 3 tenants ({} denied at admission)",
         report.requests, total_rejected
     );
-    println!("wall time {}, throughput {:.0} req/s (simulated)",
-        report.wall_time, report.requests_per_sec);
+    println!(
+        "wall time {}, throughput {:.0} req/s (simulated)",
+        report.wall_time, report.requests_per_sec
+    );
 
     // Tenant 2 reads tenant 0's published data — consistently.
     let published = &report.responses[2][..16];

@@ -127,7 +127,10 @@ fn main() -> Result<(), OramError> {
         ]);
     }
 
-    println!("{} requests, hotspot 80/20, {CAPACITY} blocks x {PAYLOAD} B\n", requests.len());
+    println!(
+        "{} requests, hotspot 80/20, {CAPACITY} blocks x {PAYLOAD} B\n",
+        requests.len()
+    );
     println!("{table}");
     Ok(())
 }

@@ -40,8 +40,12 @@ fn main() -> Result<(), OramError> {
     let stats = oram.stats();
     println!("requests serviced      : {}", stats.requests);
     println!("scheduling cycles      : {}", stats.cycles);
-    println!("I/O loads (real+dummy) : {} ({} real, {} dummy)",
-        stats.total_io_loads(), stats.real_io_loads, stats.dummy_io_loads);
+    println!(
+        "I/O loads (real+dummy) : {} ({} real, {} dummy)",
+        stats.total_io_loads(),
+        stats.real_io_loads,
+        stats.dummy_io_loads
+    );
     println!("mean I/O latency       : {}", stats.mean_io_latency());
     println!("requests per I/O load  : {:.2}", stats.requests_per_io());
     println!("shuffle periods        : {}", stats.shuffles);

@@ -35,15 +35,15 @@ fn main() -> Result<(), OramError> {
 
     // The ROB contents of Figure 4-2: H1 H2 H3 M1 H4 H5 M2 M2 H6.
     let figure_mix: Vec<Request> = vec![
-        Request::read(0u64), // H1
-        Request::read(1u64), // H2
-        Request::read(2u64), // H3
+        Request::read(0u64),  // H1
+        Request::read(1u64),  // H2
+        Request::read(2u64),  // H3
         Request::read(60u64), // M1
-        Request::read(3u64), // H4
-        Request::read(4u64), // H5
+        Request::read(3u64),  // H4
+        Request::read(4u64),  // H5
         Request::read(61u64), // M2
         Request::read(61u64), // M2 (duplicate, as in the figure)
-        Request::read(5u64), // H6
+        Request::read(5u64),  // H6
     ];
 
     let tickets: Vec<u64> = figure_mix
@@ -59,16 +59,21 @@ fn main() -> Result<(), OramError> {
         let after = oram.stats();
         let hits = after.memory_hits - before.memory_hits;
         let dummy_mem = after.dummy_memory_accesses - before.dummy_memory_accesses;
-        let io = if after.real_io_loads > before.real_io_loads { "load miss" } else { "load dummy" };
-        println!(
-            "cycle {cycle}: {hits} hit(s) + {dummy_mem} dummy path access(es) | I/O: {io}"
-        );
+        let io = if after.real_io_loads > before.real_io_loads {
+            "load miss"
+        } else {
+            "load dummy"
+        };
+        println!("cycle {cycle}: {hits} hit(s) + {dummy_mem} dummy path access(es) | I/O: {io}");
         after.requests < figure_mix.len() as u64
     } {}
 
     // Collect responses to prove every request was served.
     let responses = oram.drain(&tickets)?;
-    println!("all {} requests serviced across {cycle} cycles", responses.len());
+    println!(
+        "all {} requests serviced across {cycle} cycles",
+        responses.len()
+    );
     println!(
         "every cycle issued exactly one I/O: {} cycles, {} loads",
         oram.stats().cycles,

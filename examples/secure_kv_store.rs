@@ -38,11 +38,18 @@ impl ObliviousKv {
             MemoryHierarchy::dac2019(),
             MasterKey::from_bytes([3u8; 32]),
         )?;
-        Ok(Self { oram, directory: HashMap::new(), next_slot: 0 })
+        Ok(Self {
+            oram,
+            directory: HashMap::new(),
+            next_slot: 0,
+        })
     }
 
     fn put(&mut self, key: &str, value: &[u8]) -> Result<(), OramError> {
-        assert!(value.len() <= VALUE_LEN, "value too large for the record layout");
+        assert!(
+            value.len() <= VALUE_LEN,
+            "value too large for the record layout"
+        );
         let slot = *self.directory.entry(key.to_string()).or_insert_with(|| {
             let slot = self.next_slot;
             self.next_slot += 1;
@@ -97,13 +104,23 @@ fn main() -> Result<(), OramError> {
     let shape_b = TraceShape::of(&store.oram.trace().snapshot());
     let stats_b = store.oram.stats();
 
-    println!("key set A (100..105): {} cycles, {} I/O loads",
-        stats_a.cycles, stats_a.total_io_loads());
-    println!("key set B (150..155): {} cycles, {} I/O loads",
-        stats_b.cycles, stats_b.total_io_loads());
+    println!(
+        "key set A (100..105): {} cycles, {} I/O loads",
+        stats_a.cycles,
+        stats_a.total_io_loads()
+    );
+    println!(
+        "key set B (150..155): {} cycles, {} I/O loads",
+        stats_b.cycles,
+        stats_b.total_io_loads()
+    );
     println!(
         "observable trace shapes identical: {}",
-        if shape_a == shape_b { "yes — record identity hidden" } else { "NO (leak!)" }
+        if shape_a == shape_b {
+            "yes — record identity hidden"
+        } else {
+            "NO (leak!)"
+        }
     );
 
     let value = store.get("patient/0007")?.expect("present");

@@ -29,7 +29,10 @@ fn main() -> Result<(), ServeError> {
     let mut service = OramService::new(
         oram,
         Box::new(FairSharePolicy::default()),
-        ServiceConfig { batch_size: 64, ..ServiceConfig::default() },
+        ServiceConfig {
+            batch_size: 64,
+            ..ServiceConfig::default()
+        },
     );
 
     // Tenants 0-2 own disjoint ranges; tenant 3 is a read-only auditor

@@ -51,16 +51,22 @@ fn horam_period_volumes_match_model() {
     let memory_slots: u64 = 1 << 6; // period = 32 loads
     let config = HOramConfig::new(capacity, 8, memory_slots).with_seed(3);
     let period_limit = config.period_io_limit();
-    let mut oram =
-        HOram::new(config, MemoryHierarchy::dac2019(), MasterKey::from_bytes([42u8; 32]))
-            .expect("h-oram builds");
+    let mut oram = HOram::new(
+        config,
+        MemoryHierarchy::dac2019(),
+        MasterKey::from_bytes([42u8; 32]),
+    )
+    .expect("h-oram builds");
 
     let mut generator = UniformWorkload::new(capacity, 0.0, 8);
     // Enough to finish exactly one shuffle.
     let requests = generator.generate(40);
     oram.run_batch(&requests).expect("batch");
     let stats = oram.stats();
-    assert_eq!(stats.shuffles, 1, "setup: exactly one period boundary expected");
+    assert_eq!(
+        stats.shuffles, 1,
+        "setup: exactly one period boundary expected"
+    );
     // Loads in the first period equal the period limit exactly.
     assert!(stats.total_io_loads() >= period_limit);
 
@@ -70,8 +76,14 @@ fn horam_period_volumes_match_model() {
     let block = 1024u64; // charged block bytes
     let total_slots_bytes = oram.storage_bytes();
     let shuffle_reads = storage.bytes_read - stats.total_io_loads() * block;
-    assert_eq!(shuffle_reads, total_slots_bytes, "shuffle reads every slot once");
-    assert_eq!(storage.bytes_written, total_slots_bytes, "shuffle writes every slot once");
+    assert_eq!(
+        shuffle_reads, total_slots_bytes,
+        "shuffle reads every slot once"
+    );
+    assert_eq!(
+        storage.bytes_written, total_slots_bytes,
+        "shuffle writes every slot once"
+    );
 }
 
 /// The measured mean I/O latency must sit in the band the calibrated seek
@@ -81,9 +93,12 @@ fn horam_period_volumes_match_model() {
 fn io_latency_sits_in_the_calibrated_band() {
     let capacity: u64 = 1 << 16; // 64 Mi"B" at 1 KB blocks
     let config = HOramConfig::new(capacity, 8, 1 << 13).with_seed(4);
-    let mut oram =
-        HOram::new(config, MemoryHierarchy::dac2019(), MasterKey::from_bytes([43u8; 32]))
-            .expect("h-oram builds");
+    let mut oram = HOram::new(
+        config,
+        MemoryHierarchy::dac2019(),
+        MasterKey::from_bytes([43u8; 32]),
+    )
+    .expect("h-oram builds");
     let mut generator = UniformWorkload::new(capacity, 0.0, 9);
     let requests = generator.generate(300);
     oram.run_batch(&requests).expect("batch");

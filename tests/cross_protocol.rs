@@ -21,7 +21,10 @@ fn workload(seed: u64) -> Vec<Request> {
 
 /// Collects each protocol's responses for the trace.
 fn responses_of(oram: &mut dyn Oram, requests: &[Request]) -> Vec<Vec<u8>> {
-    requests.iter().map(|r| oram.access(r).expect("access succeeds")).collect()
+    requests
+        .iter()
+        .map(|r| oram.access(r).expect("access succeeds"))
+        .collect()
 }
 
 fn all_protocols(master: &MasterKey) -> Vec<(&'static str, Box<dyn Oram>)> {

@@ -7,25 +7,27 @@ use std::collections::HashMap;
 
 /// Runs a request trace against H-ORAM and a HashMap reference, asserting
 /// byte equality of every response.
-fn check_against_reference(
-    mut oram: HOram,
-    requests: &[Request],
-    payload_len: usize,
-) -> HOram {
+fn check_against_reference(mut oram: HOram, requests: &[Request], payload_len: usize) -> HOram {
     let mut reference: HashMap<u64, Vec<u8>> = HashMap::new();
     let responses = oram.run_batch(requests).expect("batch runs");
     for (request, response) in requests.iter().zip(&responses) {
         match &request.op {
             RequestOp::Read => {
-                let expected =
-                    reference.get(&request.id.0).cloned().unwrap_or(vec![0u8; payload_len]);
+                let expected = reference
+                    .get(&request.id.0)
+                    .cloned()
+                    .unwrap_or(vec![0u8; payload_len]);
                 assert_eq!(response, &expected, "read of block {}", request.id);
             }
             RequestOp::Write(payload) => {
                 let expected = reference
                     .insert(request.id.0, payload.clone())
                     .unwrap_or(vec![0u8; payload_len]);
-                assert_eq!(response, &expected, "write-previous of block {}", request.id);
+                assert_eq!(
+                    response, &expected,
+                    "write-previous of block {}",
+                    request.id
+                );
             }
         }
     }
@@ -34,8 +36,12 @@ fn check_against_reference(
 
 fn build(capacity: u64, memory_slots: u64, payload_len: usize, seed: u64) -> HOram {
     let config = HOramConfig::new(capacity, payload_len, memory_slots).with_seed(seed);
-    HOram::new(config, MemoryHierarchy::dac2019(), MasterKey::from_bytes([21u8; 32]))
-        .expect("construction succeeds")
+    HOram::new(
+        config,
+        MemoryHierarchy::dac2019(),
+        MasterKey::from_bytes([21u8; 32]),
+    )
+    .expect("construction succeeds")
 }
 
 #[test]
@@ -79,8 +85,9 @@ fn burst_workload_survives_working_set_shifts() {
 fn interleaved_batches_preserve_state() {
     let mut oram = build(128, 32, 8, 5);
     for round in 0..5u8 {
-        let writes: Vec<Request> =
-            (0..16u64).map(|i| Request::write(i, vec![round; 8])).collect();
+        let writes: Vec<Request> = (0..16u64)
+            .map(|i| Request::write(i, vec![round; 8]))
+            .collect();
         oram.run_batch(&writes).expect("write batch");
         let reads: Vec<Request> = (0..16u64).map(Request::read).collect();
         let values = oram.run_batch(&reads).expect("read batch");
@@ -121,7 +128,11 @@ fn deterministic_replay_gives_identical_timing() {
     first.run_batch(&requests).expect("first run");
     let mut second = build(256, 64, 8, 7);
     second.run_batch(&requests).expect("second run");
-    assert_eq!(first.stats(), second.stats(), "whole runs must be replayable");
+    assert_eq!(
+        first.stats(),
+        second.stats(),
+        "whole runs must be replayable"
+    );
     assert_eq!(first.clock().now(), second.clock().now());
 }
 
@@ -132,16 +143,26 @@ fn partial_shuffle_equals_full_shuffle_functionally() {
 
     let full = HOramConfig::new(256, 8, 32).with_seed(8);
     check_against_reference(
-        HOram::new(full, MemoryHierarchy::dac2019(), MasterKey::from_bytes([1u8; 32]))
-            .unwrap(),
+        HOram::new(
+            full,
+            MemoryHierarchy::dac2019(),
+            MasterKey::from_bytes([1u8; 32]),
+        )
+        .unwrap(),
         &requests,
         8,
     );
 
-    let partial = HOramConfig::new(256, 8, 32).with_seed(8).with_partial_shuffle(0.25);
+    let partial = HOramConfig::new(256, 8, 32)
+        .with_seed(8)
+        .with_partial_shuffle(0.25);
     let oram = check_against_reference(
-        HOram::new(partial, MemoryHierarchy::dac2019(), MasterKey::from_bytes([1u8; 32]))
-            .unwrap(),
+        HOram::new(
+            partial,
+            MemoryHierarchy::dac2019(),
+            MasterKey::from_bytes([1u8; 32]),
+        )
+        .unwrap(),
         &requests,
         8,
     );

@@ -5,13 +5,13 @@
 use horam::core::access_control::{AccessControl, Permission};
 use horam::core::{run_multi_user, UserId};
 use horam::prelude::*;
+use horam::protocols::BlockId;
 use horam::protocols::{PathOramConfig, RecursivePathOram};
 use horam::storage::calibration::MachineConfig;
 use horam::storage::clock::SimClock;
 use horam::storage::device::{AccessKind, TimingModel};
 use horam::storage::hdd::HddModel;
 use horam::storage::page_cache::{PageCacheModel, PageCacheParams};
-use horam::protocols::BlockId;
 
 #[test]
 fn recursive_oram_agrees_with_flat_path_oram() {
@@ -39,7 +39,9 @@ fn recursive_oram_agrees_with_flat_path_oram() {
     // Same logical trace through both; answers must agree.
     for i in 0..128u64 {
         let payload = vec![(i % 251) as u8; 8];
-        recursive.write(BlockId(i), &payload).expect("recursive write");
+        recursive
+            .write(BlockId(i), &payload)
+            .expect("recursive write");
         flat.write(BlockId(i), &payload).expect("flat write");
     }
     for i in (0..128u64).rev() {
@@ -65,7 +67,11 @@ fn recursive_oram_shrinks_the_trusted_table() {
     )
     .expect("builds");
     // Naive map: 4096 × 8 B = 32 768 B; the recursive root is far smaller.
-    assert!(oram.enclave_bytes() < 8192, "enclave {} B", oram.enclave_bytes());
+    assert!(
+        oram.enclave_bytes() < 8192,
+        "enclave {} B",
+        oram.enclave_bytes()
+    );
     assert!(oram.map_levels() >= 2);
 }
 
@@ -102,19 +108,21 @@ fn admission_control_blocks_cross_tenant_traffic_end_to_end() {
     acl.grant(UserId(1), 128..256, Permission::ReadWrite);
 
     // Tenant 0 stores a secret; tenant 1 tries to read and overwrite it.
-    let (mine, rejected) =
-        acl.admit(UserId(0), vec![Request::write(5u64, vec![0x5E; 8])]);
+    let (mine, rejected) = acl.admit(UserId(0), vec![Request::write(5u64, vec![0x5E; 8])]);
     assert!(rejected.is_empty());
     let (theirs, rejected) = acl.admit(
         UserId(1),
-        vec![Request::read(5u64), Request::write(5u64, vec![0xFF; 8]), Request::read(200u64)],
+        vec![
+            Request::read(5u64),
+            Request::write(5u64, vec![0xFF; 8]),
+            Request::read(200u64),
+        ],
     );
     assert_eq!(rejected.len(), 2, "both cross-tenant requests rejected");
     assert_eq!(theirs.len(), 1);
 
     let report =
-        run_multi_user(&mut oram, vec![(UserId(0), mine), (UserId(1), theirs)])
-            .expect("runs");
+        run_multi_user(&mut oram, vec![(UserId(0), mine), (UserId(1), theirs)]).expect("runs");
     assert_eq!(report.requests, 2);
 
     // The secret is intact and readable only through tenant 0's grant.

@@ -36,7 +36,10 @@ fn path_oram_detects_tree_corruption() {
     corrupt_one_block(oram.device_mut(), 0);
     let result = oram.read(BlockId(1));
     assert!(
-        matches!(result, Err(OramError::Crypto(CryptoError::TagMismatch { .. }))),
+        matches!(
+            result,
+            Err(OramError::Crypto(CryptoError::TagMismatch { .. }))
+        ),
         "corruption not detected: {result:?}"
     );
 }
@@ -49,7 +52,10 @@ fn sealer_contract_rejects_any_corruption() {
     for bit in [0usize, 7, 11, 29] {
         let mut sealed = sealer.seal(7, 0, &[1, 2, 3, 4]);
         sealed.corrupt_bit(bit);
-        assert!(sealer.open(&sealed).is_err(), "bit {bit} flip went undetected");
+        assert!(
+            sealer.open(&sealed).is_err(),
+            "bit {bit} flip went undetected"
+        );
     }
 }
 
@@ -73,14 +79,16 @@ fn horam_storage_corruption_is_detected_on_fetch() {
     let mut layer = StorageLayer::new(&config, device, keys).unwrap();
 
     // Corrupt the slot of block 9, then fetch it.
-    let horam::core::Location::Storage { slot } = layer.locations().location(BlockId(9))
-    else {
+    let horam::core::Location::Storage { slot } = layer.locations().location(BlockId(9)) else {
         panic!("block 9 must start on storage");
     };
     corrupt_one_block(layer.device_mut(), slot);
     let result = layer.fetch(BlockId(9));
     assert!(
-        matches!(result, Err(OramError::Crypto(CryptoError::TagMismatch { .. }))),
+        matches!(
+            result,
+            Err(OramError::Crypto(CryptoError::TagMismatch { .. }))
+        ),
         "corruption not detected: {result:?}"
     );
 }
@@ -89,7 +97,10 @@ fn horam_storage_corruption_is_detected_on_fetch() {
 fn reads_of_missing_slots_are_storage_errors() {
     let mut device = MachineConfig::dac2019().build_storage(SimClock::new(), None);
     let result = device.read_block(12345);
-    assert!(matches!(result, Err(StorageError::MissingBlock { addr: 12345, .. })));
+    assert!(matches!(
+        result,
+        Err(StorageError::MissingBlock { addr: 12345, .. })
+    ));
 }
 
 #[test]
@@ -98,7 +109,10 @@ fn capacity_violations_are_storage_errors() {
     device.set_capacity_slots(10);
     let sealer = BlockSealer::new(&MasterKey::from_bytes([55u8; 32]).derive("fi/cap", 0));
     let result = device.write_block(10, sealer.seal(10, 0, b"x"));
-    assert!(matches!(result, Err(StorageError::OutOfCapacity { capacity: 10, .. })));
+    assert!(matches!(
+        result,
+        Err(StorageError::OutOfCapacity { capacity: 10, .. })
+    ));
 }
 
 #[test]
@@ -109,8 +123,7 @@ fn horam_remains_usable_for_other_blocks_after_detecting_corruption() {
     let keys = KeyHierarchy::new(MasterKey::from_bytes([56u8; 32]), "fi/recover");
     let mut layer = StorageLayer::new(&config, device, keys).unwrap();
 
-    let horam::core::Location::Storage { slot } = layer.locations().location(BlockId(2))
-    else {
+    let horam::core::Location::Storage { slot } = layer.locations().location(BlockId(2)) else {
         panic!("block 2 must start on storage");
     };
     corrupt_one_block(layer.device_mut(), slot);

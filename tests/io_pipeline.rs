@@ -21,8 +21,12 @@ fn build(io_batch: u64, zero_copy: bool) -> HOram {
         .with_seed(23)
         .with_io_batch(io_batch)
         .with_zero_copy_io(zero_copy);
-    HOram::new(config, MemoryHierarchy::dac2019(), MasterKey::from_bytes([5u8; 32]))
-        .expect("construction succeeds")
+    HOram::new(
+        config,
+        MemoryHierarchy::dac2019(),
+        MasterKey::from_bytes([5u8; 32]),
+    )
+    .expect("construction succeeds")
 }
 
 fn mixed_workload(len: usize) -> Vec<Request> {
@@ -55,12 +59,18 @@ fn batched_pipeline_is_observably_identical_to_per_block() {
     let batched_addrs = batched.trace().address_sequence(device_ids::STORAGE);
 
     assert_eq!(per_block_responses, batched_responses, "responses diverged");
-    assert_eq!(per_block_addrs, batched_addrs, "storage access patterns diverged");
+    assert_eq!(
+        per_block_addrs, batched_addrs,
+        "storage access patterns diverged"
+    );
     let (seq, bat) = (per_block.stats(), batched.stats());
     assert!(seq.shuffles >= 1, "setup: must cross a shuffle period");
     assert_eq!(seq.total_io_loads(), bat.total_io_loads());
     assert_eq!(seq.real_io_loads, bat.real_io_loads);
-    assert!(bat.io_time < seq.io_time, "batching must win simulated I/O time");
+    assert!(
+        bat.io_time < seq.io_time,
+        "batching must win simulated I/O time"
+    );
 }
 
 /// §4.4.1 under batching: within one access period no storage slot is
@@ -71,7 +81,11 @@ fn batched_loads_keep_the_once_per_period_invariant() {
     // Hot-set hammering maximizes dummy loads — the risky case.
     let requests: Vec<Request> = (0..180u64).map(|i| Request::read(i % 12)).collect();
     oram.run_batch(&requests).expect("batch");
-    assert_eq!(oram.stats().shuffles, 0, "setup: stay within one period (budget 64)");
+    assert_eq!(
+        oram.stats().shuffles,
+        0,
+        "setup: stay within one period (budget 64)"
+    );
     let events = oram.trace().snapshot();
     assert_eq!(
         once_per_period(&events, device_ids::STORAGE, &[]),
@@ -113,7 +127,10 @@ fn storage_layer_load_batch_equals_sequential_calls() {
     let batch = batched.load_batch(&plan).expect("batch");
     let bat_blocks: Vec<_> = batch.loads.iter().map(|l| l.block.clone()).collect();
     assert_eq!(seq_blocks, bat_blocks);
-    assert_eq!(sequential.device().stats().reads, batched.device().stats().reads);
+    assert_eq!(
+        sequential.device().stats().reads,
+        batched.device().stats().reads
+    );
     assert!(batched.device().stats().busy < sequential.device().stats().busy);
 }
 
@@ -126,7 +143,10 @@ fn windowed_service_matches_per_cycle_service() {
         let mut service = OramService::new(
             oram,
             Box::new(FairSharePolicy::default()),
-            ServiceConfig { io_batch, ..ServiceConfig::default() },
+            ServiceConfig {
+                io_batch,
+                ..ServiceConfig::default()
+            },
         );
         for tenant in 0..4u32 {
             service.register_tenant(UserId(tenant), 0..512, Permission::ReadWrite);

@@ -11,8 +11,12 @@ use horam::workload::WorkloadGenerator;
 
 fn build(capacity: u64, memory_slots: u64, seed: u64) -> HOram {
     let config = HOramConfig::new(capacity, 8, memory_slots).with_seed(seed);
-    HOram::new(config, MemoryHierarchy::dac2019(), MasterKey::from_bytes([31u8; 32]))
-        .expect("construction succeeds")
+    HOram::new(
+        config,
+        MemoryHierarchy::dac2019(),
+        MasterKey::from_bytes([31u8; 32]),
+    )
+    .expect("construction succeeds")
 }
 
 /// §4.4.1 (access security, storage side): within one access period, no
@@ -32,7 +36,11 @@ fn storage_slots_read_at_most_once_per_period() {
     let mut single_period = build(256, 256, 2); // period = 128 > workload
     let requests: Vec<Request> = (0..100u64).map(|i| Request::read(i % 10)).collect();
     single_period.run_batch(&requests).expect("batch");
-    assert_eq!(single_period.stats().shuffles, 0, "setup: must stay in one period");
+    assert_eq!(
+        single_period.stats().shuffles,
+        0,
+        "setup: must stay in one period"
+    );
     let events = single_period.trace().snapshot();
     assert_eq!(
         once_per_period(&events, device_ids::STORAGE, &[]),
@@ -71,7 +79,10 @@ fn memory_path_leaf_choices_are_uniform() {
             }
         }
     }
-    assert!(visits.iter().sum::<u64>() > 300, "setup: need enough path reads");
+    assert!(
+        visits.iter().sum::<u64>() > 300,
+        "setup: need enough path reads"
+    );
     let (stat, df) = chi_square_uniform(&visits);
     assert!(
         stat < chi_square_critical_p001(df),
@@ -96,7 +107,10 @@ fn different_workloads_same_profile_are_indistinguishable() {
     // Workload B: 40 *different* distinct cold blocks, scattered.
     let (shape_b, stats_b) = run((0..40).map(|i| 255 - i * 3).collect(), 7);
 
-    assert_eq!(shape_a, shape_b, "bus shapes must not depend on which blocks are read");
+    assert_eq!(
+        shape_a, shape_b,
+        "bus shapes must not depend on which blocks are read"
+    );
     assert_eq!(stats_a.cycles, stats_b.cycles);
     assert_eq!(stats_a.total_io_loads(), stats_b.total_io_loads());
 }

@@ -27,7 +27,14 @@ fn service(batch_size: usize, policy: &str) -> OramService {
         "deadline" => Box::new(DeadlinePolicy),
         other => panic!("unknown policy {other}"),
     };
-    OramService::new(oram, policy, ServiceConfig { batch_size, ..ServiceConfig::default() })
+    OramService::new(
+        oram,
+        policy,
+        ServiceConfig {
+            batch_size,
+            ..ServiceConfig::default()
+        },
+    )
 }
 
 fn payload(tag: u8) -> Vec<u8> {
@@ -53,12 +60,14 @@ fn mixed_read_write_matches_reference() {
         for round in 0..120u64 {
             for t in 0..tenants {
                 let block = (round * 7 + t as u64 * 13) % 64;
-                if (round + t as u64) % 3 == 0 {
+                if (round + t as u64).is_multiple_of(3) {
                     let tag = (round as u8).wrapping_mul(31).wrapping_add(t as u8);
-                    let ticket =
-                        service.submit(UserId(t), Request::write(block, payload(tag))).unwrap();
-                    let previous =
-                        reference.insert(block, payload(tag)).unwrap_or(vec![0; PAYLOAD]);
+                    let ticket = service
+                        .submit(UserId(t), Request::write(block, payload(tag)))
+                        .unwrap();
+                    let previous = reference
+                        .insert(block, payload(tag))
+                        .unwrap_or(vec![0; PAYLOAD]);
                     expected.insert(ticket, previous);
                 } else {
                     let ticket = service.submit(UserId(t), Request::read(block)).unwrap();
@@ -77,9 +86,16 @@ fn mixed_read_write_matches_reference() {
 
         for (ticket, want) in expected {
             let got = service.take_response(ticket);
-            assert_eq!(got.as_ref(), Some(&want), "policy {policy}, ticket {ticket:?}");
+            assert_eq!(
+                got.as_ref(),
+                Some(&want),
+                "policy {policy}, ticket {ticket:?}"
+            );
         }
-        assert!(service.oram().stats().shuffles >= 1, "workload must cross a period");
+        assert!(
+            service.oram().stats().shuffles >= 1,
+            "workload must cross a period"
+        );
     }
 }
 
@@ -95,14 +111,27 @@ fn ticket_response_ordering() {
     // the chain.
     let block = 5u64;
     let tickets: Vec<ServiceTicket> = (1..=20u8)
-        .map(|tag| service.submit(UserId(0), Request::write(block, payload(tag))).unwrap())
+        .map(|tag| {
+            service
+                .submit(UserId(0), Request::write(block, payload(tag)))
+                .unwrap()
+        })
         .collect();
     service.pump_until_idle().unwrap();
 
     // Collect in reverse order: buffering must not care.
     for (i, ticket) in tickets.iter().enumerate().rev() {
-        let want = if i == 0 { vec![0; PAYLOAD] } else { payload(i as u8) };
-        assert_eq!(service.take_response(*ticket), Some(want), "write {}", i + 1);
+        let want = if i == 0 {
+            vec![0; PAYLOAD]
+        } else {
+            payload(i as u8)
+        };
+        assert_eq!(
+            service.take_response(*ticket),
+            Some(want),
+            "write {}",
+            i + 1
+        );
     }
 }
 
@@ -114,7 +143,9 @@ fn dedup_of_same_block_requests() {
     service.register_tenant(UserId(0), 0..CAPACITY, Permission::ReadWrite);
     service.register_tenant(UserId(1), 0..CAPACITY, Permission::ReadOnly);
 
-    let seed = service.submit(UserId(0), Request::write(9u64, payload(0xAB))).unwrap();
+    let seed = service
+        .submit(UserId(0), Request::write(9u64, payload(0xAB)))
+        .unwrap();
     service.pump_until_idle().unwrap();
     assert_eq!(service.take_response(seed), Some(vec![0; PAYLOAD]));
     let oram_requests_before = service.stats().oram.requests;
@@ -145,13 +176,27 @@ fn dedup_respects_intervening_writes() {
     service.register_tenant(UserId(0), 0..CAPACITY, Permission::ReadWrite);
 
     let r1 = service.submit(UserId(0), Request::read(3u64)).unwrap();
-    let w = service.submit(UserId(0), Request::write(3u64, payload(0x77))).unwrap();
+    let w = service
+        .submit(UserId(0), Request::write(3u64, payload(0x77)))
+        .unwrap();
     let r2 = service.submit(UserId(0), Request::read(3u64)).unwrap();
     service.pump_until_idle().unwrap();
 
-    assert_eq!(service.take_response(r1), Some(vec![0; PAYLOAD]), "pre-write value");
-    assert_eq!(service.take_response(w), Some(vec![0; PAYLOAD]), "previous bytes");
-    assert_eq!(service.take_response(r2), Some(payload(0x77)), "post-write value");
+    assert_eq!(
+        service.take_response(r1),
+        Some(vec![0; PAYLOAD]),
+        "pre-write value"
+    );
+    assert_eq!(
+        service.take_response(w),
+        Some(vec![0; PAYLOAD]),
+        "previous bytes"
+    );
+    assert_eq!(
+        service.take_response(r2),
+        Some(payload(0x77)),
+        "post-write value"
+    );
 }
 
 /// Under a hot tenant submitting 8x everyone else's traffic, fair-share
@@ -167,8 +212,7 @@ fn fairness_under_a_hot_tenant() {
             service.register_tenant(UserId(t), 0..CAPACITY, Permission::ReadWrite);
         }
         let mut generator = ZipfWorkload::new(CAPACITY, 1.1, 0.0, 5);
-        let schedule =
-            TenantSchedule::with_hot_tenant("hot", &mut generator, tenants, 8, 1200);
+        let schedule = TenantSchedule::with_hot_tenant("hot", &mut generator, tenants, 8, 1200);
         let arrivals = schedule
             .arrivals
             .iter()
@@ -180,8 +224,10 @@ fn fairness_under_a_hot_tenant() {
             .map(|t| service.tenant_stats(UserId(t)).unwrap().mean_latency())
             .max()
             .unwrap();
-        latency_ratio
-            .insert(policy, cold_worst.as_nanos() as f64 / hot.as_nanos().max(1) as f64);
+        latency_ratio.insert(
+            policy,
+            cold_worst.as_nanos() as f64 / hot.as_nanos().max(1) as f64,
+        );
     }
 
     let fifo = latency_ratio["fifo"];
@@ -191,7 +237,10 @@ fn fairness_under_a_hot_tenant() {
         "fair-share must serve cold tenants sooner relative to the hot tenant \
          (cold/hot latency ratio: fifo {fifo:.2}, fair {fair:.2})"
     );
-    assert!(fair <= 1.5, "cold tenants track the hot tenant under fair share, got {fair:.2}");
+    assert!(
+        fair <= 1.5,
+        "cold tenants track the hot tenant under fair share, got {fair:.2}"
+    );
 }
 
 /// `serve_all` must complete even when `batch_size` exceeds the total
@@ -210,12 +259,18 @@ fn serve_all_survives_tight_backpressure() {
         oram,
         Box::new(FairSharePolicy::default()),
         // batch_size far above what one tenant may ever queue.
-        ServiceConfig { batch_size: 256, max_pending_per_tenant: 10, ..ServiceConfig::default() },
+        ServiceConfig {
+            batch_size: 256,
+            max_pending_per_tenant: 10,
+            ..ServiceConfig::default()
+        },
     );
     service.register_tenant(UserId(0), 0..CAPACITY, Permission::ReadWrite);
 
     let arrivals = (0..150u64).map(|i| (UserId(0), Request::read(i % 32)));
-    let (tickets, report) = service.serve_all(arrivals).expect("completes without QueueFull");
+    let (tickets, report) = service
+        .serve_all(arrivals)
+        .expect("completes without QueueFull");
     assert_eq!(tickets.len(), 150);
     assert_eq!(report.completed, 150);
     for ticket in tickets {
@@ -237,7 +292,11 @@ fn rejections_produce_no_accesses() {
     let mut service = OramService::new(
         oram,
         Box::new(FifoPolicy),
-        ServiceConfig { batch_size: 8, max_pending_per_tenant: 4, ..ServiceConfig::default() },
+        ServiceConfig {
+            batch_size: 8,
+            max_pending_per_tenant: 4,
+            ..ServiceConfig::default()
+        },
     );
     service.register_tenant(UserId(0), 0..16, Permission::ReadOnly);
 
@@ -258,7 +317,10 @@ fn rejections_produce_no_accesses() {
     }
     assert!(matches!(
         service.submit(UserId(0), Request::read(2u64)),
-        Err(ServeError::QueueFull { tenant: UserId(0), limit: 4 })
+        Err(ServeError::QueueFull {
+            tenant: UserId(0),
+            limit: 4
+        })
     ));
 
     let stats = service.tenant_stats(UserId(0)).unwrap();

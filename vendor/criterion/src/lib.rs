@@ -30,12 +30,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Function name plus parameter, like `shuffle/1024`.
     pub fn new(function: impl Display, parameter: impl Display) -> Self {
-        Self { label: format!("{function}/{parameter}") }
+        Self {
+            label: format!("{function}/{parameter}"),
+        }
     }
 
     /// Parameter-only id.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        Self { label: parameter.to_string() }
+        Self {
+            label: parameter.to_string(),
+        }
     }
 }
 
@@ -90,7 +94,10 @@ fn report(name: &str, throughput: Option<Throughput>, measured: Option<(Duration
         }
         None => String::new(),
     };
-    println!("{name:<40} {:>12.3} µs/iter{rate}   ({iters} iters)", per_iter * 1e6);
+    println!(
+        "{name:<40} {:>12.3} µs/iter{rate}   ({iters} iters)",
+        per_iter * 1e6
+    );
 }
 
 /// Top-level benchmark driver.
@@ -101,14 +108,19 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Self { sample_size: 10_000 }
+        Self {
+            sample_size: 10_000,
+        }
     }
 }
 
 impl Criterion {
     /// Runs a standalone benchmark.
     pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
-        let mut bencher = Bencher { iters_hint: self.sample_size, measured: None };
+        let mut bencher = Bencher {
+            iters_hint: self.sample_size,
+            measured: None,
+        };
         f(&mut bencher);
         report(name, None, bencher.measured);
         self
@@ -118,7 +130,12 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         println!("-- {name}");
-        BenchmarkGroup { _criterion: self, name, throughput: None, sample_size: 10_000 }
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            throughput: None,
+            sample_size: 10_000,
+        }
     }
 }
 
@@ -151,17 +168,35 @@ impl BenchmarkGroup<'_> {
         input: &I,
         mut f: impl FnMut(&mut Bencher, &I),
     ) -> &mut Self {
-        let mut bencher = Bencher { iters_hint: self.sample_size, measured: None };
+        let mut bencher = Bencher {
+            iters_hint: self.sample_size,
+            measured: None,
+        };
         f(&mut bencher, input);
-        report(&format!("{}/{}", self.name, id.label), self.throughput, bencher.measured);
+        report(
+            &format!("{}/{}", self.name, id.label),
+            self.throughput,
+            bencher.measured,
+        );
         self
     }
 
     /// Runs one named benchmark in the group.
-    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
-        let mut bencher = Bencher { iters_hint: self.sample_size, measured: None };
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            iters_hint: self.sample_size,
+            measured: None,
+        };
         f(&mut bencher);
-        report(&format!("{}/{id}", self.name), self.throughput, bencher.measured);
+        report(
+            &format!("{}/{id}", self.name),
+            self.throughput,
+            bencher.measured,
+        );
         self
     }
 

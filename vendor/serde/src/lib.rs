@@ -73,7 +73,9 @@ impl Value {
                 .find(|(k, _)| k == name)
                 .map(|(_, v)| v)
                 .ok_or_else(|| Error::msg(format!("missing field `{name}`"))),
-            other => Err(Error::msg(format!("expected map with field `{name}`, got {other:?}"))),
+            other => Err(Error::msg(format!(
+                "expected map with field `{name}`, got {other:?}"
+            ))),
         }
     }
 
@@ -112,6 +114,18 @@ pub trait Serialize {
 pub trait Deserialize: Sized {
     /// Rebuilds `Self` from a value tree.
     fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
 }
 
 impl Serialize for bool {
@@ -254,7 +268,11 @@ impl<T: Serialize, const N: usize> Serialize for [T; N] {
 
 impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
     fn from_value(value: &Value) -> Result<Self, Error> {
-        let items: Vec<T> = value.as_seq()?.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        let items: Vec<T> = value
+            .as_seq()?
+            .iter()
+            .map(T::from_value)
+            .collect::<Result<_, _>>()?;
         let len = items.len();
         items
             .try_into()
@@ -310,14 +328,20 @@ impl_serde_tuple! {
 
 impl<K: fmt::Display + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
     fn to_value(&self) -> Value {
-        Value::Map(self.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect())
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
     }
 }
 
 impl<K: fmt::Display, V: Serialize> Serialize for HashMap<K, V> {
     fn to_value(&self) -> Value {
-        let mut entries: Vec<(String, Value)> =
-            self.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect();
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_value()))
+            .collect();
         entries.sort_by(|(a, _), (b, _)| a.cmp(b));
         Value::Map(entries)
     }
@@ -331,9 +355,18 @@ mod tests {
     fn primitive_round_trips() {
         assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
         assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
-        assert_eq!(String::from_value(&"hi".to_string().to_value()).unwrap(), "hi");
-        assert_eq!(Option::<u8>::from_value(&None::<u8>.to_value()).unwrap(), None);
-        assert_eq!(Vec::<u8>::from_value(&vec![1u8, 2].to_value()).unwrap(), vec![1, 2]);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Option::<u8>::from_value(&None::<u8>.to_value()).unwrap(),
+            None
+        );
+        assert_eq!(
+            Vec::<u8>::from_value(&vec![1u8, 2].to_value()).unwrap(),
+            vec![1, 2]
+        );
     }
 
     #[test]

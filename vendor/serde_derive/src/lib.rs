@@ -19,8 +19,14 @@ enum Fields {
 
 #[derive(Debug)]
 enum Item {
-    Struct { name: String, fields: Fields },
-    Enum { name: String, variants: Vec<(String, Fields)> },
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
 }
 
 /// Derives `serde::Serialize` (value-tree shim flavour).
@@ -39,10 +45,16 @@ fn expand(input: TokenStream, serialize: bool) -> TokenStream {
     let item = match parse_item(input) {
         Ok(item) => item,
         Err(message) => {
-            return format!("::core::compile_error!({message:?});").parse().unwrap()
+            return format!("::core::compile_error!({message:?});")
+                .parse()
+                .unwrap()
         }
     };
-    let code = if serialize { gen_serialize(&item) } else { gen_deserialize(&item) };
+    let code = if serialize {
+        gen_serialize(&item)
+    } else {
+        gen_deserialize(&item)
+    };
     code.parse().unwrap()
 }
 
@@ -56,7 +68,9 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
     let keyword = expect_ident(&tokens, &mut pos)?;
     let name = expect_ident(&tokens, &mut pos)?;
     if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
-        return Err(format!("serde shim derive: generic type `{name}` not supported"));
+        return Err(format!(
+            "serde shim derive: generic type `{name}` not supported"
+        ));
     }
 
     match keyword.as_str() {
@@ -76,11 +90,20 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
         "enum" => {
             let body = match tokens.get(pos) {
                 Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
-                other => return Err(format!("serde shim derive: expected enum body, got {other:?}")),
+                other => {
+                    return Err(format!(
+                        "serde shim derive: expected enum body, got {other:?}"
+                    ))
+                }
             };
-            Ok(Item::Enum { name, variants: parse_variants(body)? })
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
         }
-        other => Err(format!("serde shim derive: expected struct or enum, got `{other}`")),
+        other => Err(format!(
+            "serde shim derive: expected struct or enum, got `{other}`"
+        )),
     }
 }
 
@@ -114,7 +137,9 @@ fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> Result<String, String>
             *pos += 1;
             Ok(i.to_string())
         }
-        other => Err(format!("serde shim derive: expected identifier, got {other:?}")),
+        other => Err(format!(
+            "serde shim derive: expected identifier, got {other:?}"
+        )),
     }
 }
 
@@ -190,9 +215,9 @@ fn gen_serialize(item: &Item) -> String {
                         .collect();
                     format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
                 }
-                Fields::Named(names) => map_literal(
-                    names.iter().map(|f| (f.clone(), format!("&self.{f}"))),
-                ),
+                Fields::Named(names) => {
+                    map_literal(names.iter().map(|f| (f.clone(), format!("&self.{f}"))))
+                }
             };
             write!(
                 out,
@@ -235,8 +260,7 @@ fn gen_serialize(item: &Item) -> String {
                         .unwrap();
                     }
                     Fields::Named(names) => {
-                        let inner =
-                            map_literal(names.iter().map(|f| (f.clone(), f.clone())));
+                        let inner = map_literal(names.iter().map(|f| (f.clone(), f.clone())));
                         write!(
                             arms,
                             "Self::{variant} {{ {binds} }} => ::serde::Value::Map(::std::vec![(\
@@ -300,15 +324,10 @@ fn gen_deserialize(item: &Item) -> String {
                     let inits: Vec<String> = names
                         .iter()
                         .map(|f| {
-                            format!(
-                                "{f}: ::serde::Deserialize::from_value(value.field(\"{f}\")?)?"
-                            )
+                            format!("{f}: ::serde::Deserialize::from_value(value.field(\"{f}\")?)?")
                         })
                         .collect();
-                    format!(
-                        "::std::result::Result::Ok(Self {{ {} }})",
-                        inits.join(", ")
-                    )
+                    format!("::std::result::Result::Ok(Self {{ {} }})", inits.join(", "))
                 }
             };
             write!(

@@ -56,7 +56,10 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
 ///
 /// Malformed JSON or a shape mismatch with `T`.
 pub fn from_str<T: Deserialize>(input: &str) -> Result<T, Error> {
-    let mut parser = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
     parser.skip_ws();
     let value = parser.parse_value()?;
     parser.skip_ws();
@@ -336,11 +339,20 @@ impl Parser<'_> {
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| Error("invalid number".into()))?;
         let number = if is_float {
-            Number::F(text.parse::<f64>().map_err(|e| Error(format!("bad number {text}: {e}")))?)
+            Number::F(
+                text.parse::<f64>()
+                    .map_err(|e| Error(format!("bad number {text}: {e}")))?,
+            )
         } else if text.starts_with('-') {
-            Number::I(text.parse::<i64>().map_err(|e| Error(format!("bad number {text}: {e}")))?)
+            Number::I(
+                text.parse::<i64>()
+                    .map_err(|e| Error(format!("bad number {text}: {e}")))?,
+            )
         } else {
-            Number::U(text.parse::<u64>().map_err(|e| Error(format!("bad number {text}: {e}")))?)
+            Number::U(
+                text.parse::<u64>()
+                    .map_err(|e| Error(format!("bad number {text}: {e}")))?,
+            )
         };
         Ok(Value::Num(number))
     }
@@ -375,7 +387,10 @@ mod tests {
         let compact = to_string(&Raw(value.clone())).unwrap();
         let pretty = to_string_pretty(&Raw(value.clone())).unwrap();
         for text in [compact, pretty] {
-            let mut parser = Parser { bytes: text.as_bytes(), pos: 0 };
+            let mut parser = Parser {
+                bytes: text.as_bytes(),
+                pos: 0,
+            };
             assert_eq!(parser.parse_value().unwrap(), value, "from {text}");
         }
     }
