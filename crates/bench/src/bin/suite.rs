@@ -1,4 +1,5 @@
-//! The consolidated CI bench suite: serving + I/O pipeline + sharding.
+//! The consolidated CI bench suite: serving + I/O pipeline + sharding +
+//! the wall-clock parallel engine.
 //!
 //! Runs every regression gate in sequence, merges their machine-readable
 //! reports into one `BENCH.json` (or `--out <path>`), and exits nonzero
@@ -10,7 +11,8 @@
 //! ```
 
 use bench::gates::{
-    io_pipeline_gate, merge_outcomes, out_path, serving_gate, sharding_gate, write_report,
+    io_pipeline_gate, merge_outcomes, out_path, parallel_gate, serving_gate, sharding_gate,
+    write_report,
 };
 use bench::quick_flag;
 
@@ -20,6 +22,7 @@ fn main() {
         serving_gate(quick),
         io_pipeline_gate(quick),
         sharding_gate(quick),
+        parallel_gate(quick),
     ];
 
     let (report, pass) = merge_outcomes(&outcomes);

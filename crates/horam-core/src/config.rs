@@ -70,6 +70,20 @@ pub struct HOramConfig {
     /// pooled buffers). Simulated timing is identical either way; `false`
     /// restores the allocating legacy path for host-cost ablations.
     pub zero_copy_io: bool,
+    /// Wall-clock worker threads for the parallel execution engine:
+    /// per-shard cycle windows (`ShardedOram`) and the shuffle's
+    /// data-parallel seal/open stream (`StorageLayer::rebuild_window`)
+    /// run across this many OS threads. `1` is the fully serial path;
+    /// the default is the host's available parallelism. On error-free
+    /// runs, responses, storage traces, and statistics are
+    /// **byte-identical for every value** — the thread count changes
+    /// wall-clock time only (see `docs/ARCHITECTURE.md` §8 and
+    /// `tests/parallel.rs`). Errors are fail-stop everywhere (the
+    /// instance must be discarded); only on those discarded-instance
+    /// paths may internal state differ by thread count, because a
+    /// threaded round finishes its sibling shards before reporting where
+    /// the serial round stops at the first failure.
+    pub worker_threads: usize,
     /// Extra slot headroom per storage partition, as a factor ≥ 1.0. The
     /// tree evict randomizes which partition each hot block lands in, so
     /// partition occupancy drifts; headroom absorbs it (excess flows to
@@ -98,6 +112,7 @@ impl HOramConfig {
             partial_shuffle_ratio: None,
             io_batch: 1,
             zero_copy_io: true,
+            worker_threads: default_worker_threads(),
             partition_headroom: 1.10,
             seed: DEFAULT_SEED,
         }
@@ -194,6 +209,18 @@ impl HOramConfig {
         self
     }
 
+    /// Sets the wall-clock worker-thread count (see
+    /// [`worker_threads`](Self::worker_threads); `1` = serial).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_worker_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "worker_threads must be at least 1");
+        self.worker_threads = threads;
+        self
+    }
+
     /// Validates cross-field constraints. Called by `HOram::new`.
     ///
     /// # Panics
@@ -224,6 +251,10 @@ impl HOramConfig {
             "headroom factor must be ≥ 1.0"
         );
         assert!(self.io_batch >= 1, "io_batch must be at least 1");
+        assert!(
+            self.worker_threads >= 1,
+            "worker_threads must be at least 1"
+        );
         let total: f64 = self.stages.iter().map(|s| s.fraction).sum();
         assert!((total - 1.0).abs() < 1e-6, "stage fractions must sum to 1");
     }
@@ -275,6 +306,14 @@ impl HOramConfig {
 
 /// Default protocol seed (arbitrary; fixed for replayability).
 const DEFAULT_SEED: u64 = 0x04a3_2019;
+
+/// Default worker-thread count: everything the host offers. Results are
+/// byte-identical at any count, so the default trades nothing but CPUs.
+fn default_worker_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
 
 #[cfg(test)]
 mod tests {
@@ -342,6 +381,27 @@ mod tests {
     #[should_panic(expected = "io_batch must be at least 1")]
     fn zero_io_batch_rejected() {
         let _ = HOramConfig::new(1024, 64, 256).with_io_batch(0);
+    }
+
+    #[test]
+    fn worker_thread_knob() {
+        let defaults = HOramConfig::new(1024, 64, 256);
+        assert!(defaults.worker_threads >= 1, "auto default is at least 1");
+        let serial = defaults.clone().with_worker_threads(1);
+        serial.validate();
+        assert_eq!(serial.worker_threads, 1);
+        assert_eq!(
+            HOramConfig::new(1024, 64, 256)
+                .with_worker_threads(4)
+                .worker_threads,
+            4
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "worker_threads must be at least 1")]
+    fn zero_worker_threads_rejected() {
+        let _ = HOramConfig::new(1024, 64, 256).with_worker_threads(0);
     }
 
     #[test]

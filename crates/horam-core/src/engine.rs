@@ -55,6 +55,12 @@ pub trait OramEngine {
     /// Runs up to `max_cycles` scheduling cycles (per shard, for sharded
     /// engines) as one I/O window; returns the cycles executed.
     ///
+    /// Engines may execute the window on real worker threads (see
+    /// `HOramConfig::worker_threads`); the contract requires that
+    /// responses, statistics, and simulated time stay byte-identical at
+    /// any thread count, so the serving layer never observes *how* a
+    /// window ran — only that it did.
+    ///
     /// # Errors
     ///
     /// Storage/crypto/protocol errors propagate and are fail-stop.

@@ -26,6 +26,7 @@
 //! | run statistics (Tables 5-3/5-4 rows) | [`stats`] |
 //! | sharded scale-out (beyond the paper) | [`shard`] |
 //! | serving-layer engine contract | [`engine`] |
+//! | wall-clock worker pool (beyond the paper) | [`pool`] |
 //!
 //! The memory layer reuses [`oram_protocols::path_oram::PathOram`]; see
 //! that crate for the baselines the evaluation compares against.
@@ -39,6 +40,7 @@ pub mod evict;
 pub mod horam;
 pub mod multi_user;
 pub mod permutation_list;
+pub mod pool;
 pub mod queue;
 pub mod rob;
 pub mod scheduler;
@@ -53,6 +55,7 @@ pub use evict::{oblivious_tree_evict, EvictOutcome};
 pub use horam::HOram;
 pub use multi_user::{run_multi_user, MultiUserReport, UserId};
 pub use permutation_list::{Location, PermutationList};
+pub use pool::WorkerPool;
 pub use queue::RequestQueue;
 pub use rob::{RobEntry, RobTable};
 pub use scheduler::{plan_cycle, CyclePlan};

@@ -40,6 +40,7 @@
 use crate::config::HOramConfig;
 use crate::engine::OramEngine;
 use crate::horam::HOram;
+use crate::pool::WorkerPool;
 use crate::stats::HOramStats;
 use oram_crypto::keys::MasterKey;
 use oram_crypto::prp::FeistelPrp;
@@ -49,6 +50,7 @@ use oram_protocols::types::{BlockId, Request, RequestOp};
 use oram_storage::clock::{SimClock, SimTime};
 use oram_storage::hierarchy::MemoryHierarchy;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Configuration of a sharded instance: the aggregate geometry plus the
 /// shard count.
@@ -134,6 +136,12 @@ impl ShardedConfig {
             .base
             .seed
             .wrapping_add(shard.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        // One level of wall-clock parallelism: the sharded instance owns
+        // the worker pool and dispatches whole shards onto it, so each
+        // shard runs its own crypto serially (nesting pools would only
+        // oversubscribe the same cores). A standalone instance keeps the
+        // base thread count and parallelizes its shuffle stream instead.
+        config.worker_threads = 1;
         config
     }
 }
@@ -253,7 +261,19 @@ pub struct ShardedOram {
     clock: SimClock,
     routes: HashMap<u64, TicketRoute>,
     next_ticket: u64,
+    /// Wall-clock worker pool the pump dispatches shard windows onto
+    /// (`None` at `worker_threads = 1` — the serial round-robin).
+    workers: Option<Arc<WorkerPool>>,
 }
+
+/// Shard instances are moved onto pool workers by reference; everything
+/// inside an [`HOram`] is owned or `Arc`-shared (clock, trace), so this
+/// holds by construction — the compile-time check keeps it that way.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<HOram>();
+    assert_send::<ShardedOram>();
+};
 
 impl ShardedOram {
     /// Builds the sharded instance: one full [`HOram`] per shard, each on
@@ -288,6 +308,7 @@ impl ShardedOram {
                 shard_master,
             )?);
         }
+        let workers = WorkerPool::for_threads(config.base.worker_threads);
         Ok(Self {
             config,
             mapper,
@@ -295,6 +316,7 @@ impl ShardedOram {
             clock: SimClock::new(),
             routes: HashMap::new(),
             next_ticket: 0,
+            workers,
         })
     }
 
@@ -413,25 +435,71 @@ impl ShardedOram {
     /// fully concurrently in simulated time; idle shards cost nothing.
     /// Returns the total cycles executed this round.
     ///
+    /// With `worker_threads > 1` the busy shards' windows also execute
+    /// concurrently in **wall-clock** time: each is dispatched to the
+    /// worker pool, and the round barriers before the frontier merge.
+    /// Shards share no mutable state (own device, tree, stash, RNG), so
+    /// responses, traces, and stats are byte-identical to the serial
+    /// round at any thread count — only real elapsed time changes. The
+    /// frontier merge itself is unchanged: per-shard clocks advance only
+    /// while their shard works, whichever OS thread does the working.
+    ///
     /// # Errors
     ///
     /// Storage/crypto/protocol errors propagate and are fail-stop, as for
-    /// a single instance.
+    /// a single instance: after an error the instance must be discarded.
+    /// When several shards fail in one threaded round, the
+    /// lowest-indexed shard's error is reported (the one the serial
+    /// round would have hit first). A threaded round runs its sibling
+    /// shards to the barrier before reporting, while the serial round
+    /// stops at the first failure — so the byte-identical-at-any-thread-
+    /// count guarantee covers error-free runs; post-error state is
+    /// unspecified either way (both are discarded-instance states).
     ///
     /// # Panics
     ///
-    /// Panics if `max_cycles` is zero.
+    /// Panics if `max_cycles` is zero. A panic inside a threaded shard
+    /// task propagates to this caller after the round's barrier — it
+    /// cannot deadlock the pump.
     pub fn run_cycle_window(&mut self, max_cycles: u64) -> Result<u64, OramError> {
         assert!(
             max_cycles >= 1,
             "a cycle window must cover at least one cycle"
         );
+        let busy = self
+            .shards
+            .iter()
+            .filter(|shard| !shard.queue().is_drained())
+            .count();
         let mut executed = 0;
-        for shard in &mut self.shards {
-            if shard.queue().is_drained() {
-                continue;
+        match self.workers.clone() {
+            // Threading pays only when two or more shards have work this
+            // round; a lone busy shard runs on the caller, serially.
+            Some(pool) if busy > 1 => {
+                let mut results: Vec<Option<Result<u64, OramError>>> =
+                    (0..self.shards.len()).map(|_| None).collect();
+                pool.scope(|scope| {
+                    for (shard, slot) in self.shards.iter_mut().zip(results.iter_mut()) {
+                        if shard.queue().is_drained() {
+                            continue;
+                        }
+                        scope.spawn(move || *slot = Some(shard.run_cycle_window(max_cycles)));
+                    }
+                });
+                // Merge in shard-index order — deterministic totals and
+                // deterministic error selection.
+                for result in results.into_iter().flatten() {
+                    executed += result?;
+                }
             }
-            executed += shard.run_cycle_window(max_cycles)?;
+            _ => {
+                for shard in &mut self.shards {
+                    if shard.queue().is_drained() {
+                        continue;
+                    }
+                    executed += shard.run_cycle_window(max_cycles)?;
+                }
+            }
         }
         self.advance_to_frontier();
         Ok(executed)
@@ -564,15 +632,26 @@ mod tests {
     use rand::Rng;
     use std::collections::HashMap;
 
-    fn build(capacity: u64, memory_slots: u64, shards: u64) -> ShardedOram {
+    fn build_threaded(
+        capacity: u64,
+        memory_slots: u64,
+        shards: u64,
+        worker_threads: usize,
+    ) -> ShardedOram {
         let config = ShardedConfig::new(
-            HOramConfig::new(capacity, 8, memory_slots).with_seed(17),
+            HOramConfig::new(capacity, 8, memory_slots)
+                .with_seed(17)
+                .with_worker_threads(worker_threads),
             shards,
         );
         ShardedOram::new(config, MasterKey::from_bytes([9; 32]), |_| {
             MemoryHierarchy::dac2019()
         })
         .unwrap()
+    }
+
+    fn build(capacity: u64, memory_slots: u64, shards: u64) -> ShardedOram {
+        build_threaded(capacity, memory_slots, shards, 1)
     }
 
     #[test]
@@ -747,6 +826,59 @@ mod tests {
         for (i, stats) in per_shard.iter().enumerate() {
             assert_eq!(stats.total_io_loads(), stats.cycles, "shard {i}");
         }
+    }
+
+    #[test]
+    fn threaded_pump_matches_serial_byte_for_byte() {
+        // The wall-clock pump must be invisible in every observable:
+        // responses, per-shard traces, per-shard and aggregate stats, and
+        // the shared frontier clock.
+        let mut rng = DeterministicRng::from_u64_seed(29);
+        let requests: Vec<Request> = (0..180)
+            .map(|_| {
+                let id = rng.gen_range(0..256u64);
+                if rng.gen_bool(0.3) {
+                    Request::write(id, vec![rng.gen::<u8>(); 8])
+                } else {
+                    Request::read(id)
+                }
+            })
+            .collect();
+        let mut serial = build_threaded(256, 64, 4, 1);
+        let serial_responses = serial.run_batch(&requests).unwrap();
+        assert!(serial.stats().shuffles >= 4, "setup: periods must turn");
+        for threads in [2usize, 4] {
+            let mut threaded = build_threaded(256, 64, 4, threads);
+            let responses = threaded.run_batch(&requests).unwrap();
+            assert_eq!(serial_responses, responses, "threads={threads}");
+            assert_eq!(serial.stats(), threaded.stats(), "threads={threads}");
+            assert_eq!(
+                serial.shard_stats(),
+                threaded.shard_stats(),
+                "threads={threads}"
+            );
+            assert_eq!(
+                serial.clock().now(),
+                threaded.clock().now(),
+                "threads={threads} frontier diverged"
+            );
+            for (i, (a, b)) in serial.shards().iter().zip(threaded.shards()).enumerate() {
+                assert_eq!(
+                    a.trace().snapshot(),
+                    b.trace().snapshot(),
+                    "threads={threads} shard {i} trace diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_configs_keep_their_crypto_serial() {
+        // The pool lives at the sharded instance; nesting per-shard pools
+        // would only oversubscribe the same cores.
+        let config = ShardedConfig::new(HOramConfig::new(1000, 16, 256).with_worker_threads(8), 4);
+        assert_eq!(config.shard_config(0).worker_threads, 1);
+        assert_eq!(config.base.worker_threads, 8);
     }
 
     #[test]

@@ -45,6 +45,7 @@
 
 use crate::config::HOramConfig;
 use crate::permutation_list::{Location, PermutationList};
+use crate::pool::WorkerPool;
 use oram_crypto::keys::KeyHierarchy;
 use oram_crypto::pool::BufferPool;
 use oram_crypto::prf::Prf;
@@ -57,6 +58,7 @@ use oram_storage::clock::SimDuration;
 use oram_storage::device::Device;
 use oram_storage::stats::DeviceStats;
 use oram_storage::StorageError;
+use std::sync::Arc;
 
 /// Result of one I/O load (real miss or dummy/prefetch load).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -118,6 +120,188 @@ pub struct ShuffleReport {
     pub spilled: u64,
 }
 
+/// One slot's content between the open and seal halves of a rebuild pass.
+#[derive(Debug)]
+enum PassEntry {
+    /// A live cold block: its decrypted wire body, carried through the
+    /// permutation and re-sealed without re-encoding.
+    Wire(BlockId, Vec<u8>),
+    /// An evicted hot block: raw payload bytes, encoded onto a pooled
+    /// buffer at seal time.
+    Hot(BlockId, Vec<u8>),
+}
+
+impl PassEntry {
+    fn id(&self) -> BlockId {
+        match self {
+            PassEntry::Wire(id, _) | PassEntry::Hot(id, _) => *id,
+        }
+    }
+}
+
+/// A decrypted slot of the read stream: `None` for stale/dummy slots.
+type OpenedSlot = Option<(BlockId, Vec<u8>)>;
+
+/// Crypto parameters shared by every slot of one rebuild pass. `Copy`
+/// borrows only, so the parallel chunks can each carry one.
+#[derive(Clone, Copy)]
+struct PassCrypto<'a> {
+    /// Sealer for the outgoing epoch (the pass reads under it).
+    read_sealer: &'a BlockSealer,
+    /// Sealer for the fresh epoch (the pass writes under it).
+    write_sealer: &'a BlockSealer,
+    zero_copy: bool,
+    payload_len: usize,
+    wire_len: usize,
+    /// Device name for fail-stop error reports.
+    device: &'a str,
+}
+
+/// Pops a wire-sized buffer (pooled in zero-copy mode, fresh otherwise).
+fn take_wire_buffer(ctx: &PassCrypto<'_>, pool: &mut BufferPool) -> Vec<u8> {
+    if ctx.zero_copy {
+        pool.take(ctx.wire_len)
+    } else {
+        vec![0u8; ctx.wire_len]
+    }
+}
+
+/// Returns a spent buffer to `pool` (dropped in legacy mode). Undersized
+/// buffers (e.g. bare payloads) are dropped rather than recycled —
+/// pooling them would just turn the next take into a reallocation.
+fn recycle_wire_buffer(ctx: &PassCrypto<'_>, pool: &mut BufferPool, buffer: Vec<u8>) {
+    if ctx.zero_copy && buffer.capacity() >= ctx.wire_len {
+        pool.recycle(buffer);
+    }
+}
+
+/// The open half of one slot: verify+decrypt a live block into its wire
+/// body, recycle a discarded stale ciphertext, fail-stop on a slot the
+/// metadata calls live but the device lost. Pure over `(ctx, inputs)` —
+/// safe to run on any worker in any order.
+fn open_pass_slot(
+    ctx: &PassCrypto<'_>,
+    pool: &mut BufferPool,
+    addr: u64,
+    owner: Option<BlockId>,
+    sealed: Option<SealedBlock>,
+) -> Result<OpenedSlot, OramError> {
+    let Some(sealed) = sealed else {
+        // A slot the metadata calls live must hold a block; fail-stop
+        // (like `commit_io`) rather than silently dropping it and
+        // corrupting the occupancy counts.
+        if owner.is_some() {
+            return Err(OramError::Storage(StorageError::MissingBlock {
+                device: ctx.device.to_string(),
+                addr,
+            }));
+        }
+        return Ok(None);
+    };
+    match owner {
+        None => {
+            recycle_wire_buffer(ctx, pool, sealed.into_body());
+            Ok(None)
+        }
+        Some(owner) => {
+            let body = if ctx.zero_copy {
+                ctx.read_sealer.open_in_place(sealed)
+            } else {
+                ctx.read_sealer.open(&sealed)
+            }?;
+            match BlockContent::decode_ref(&body, addr)? {
+                BlockContentRef::Real { id, .. } if id == owner => Ok(Some((id, body))),
+                _ => Err(OramError::MalformedBlock { slot: addr }),
+            }
+        }
+    }
+}
+
+/// The seal half of one slot: re-home the permuted entry (or a dummy)
+/// under the fresh epoch. `seq` is assigned by the caller in slot order,
+/// so the ciphertext depends only on `(addr, seq, body)` — byte-identical
+/// whichever worker seals it.
+fn seal_pass_slot(
+    ctx: &PassCrypto<'_>,
+    pool: &mut BufferPool,
+    addr: u64,
+    seq: u64,
+    entry: Option<PassEntry>,
+) -> SealedBlock {
+    let body = match entry {
+        Some(PassEntry::Wire(_, mut body)) => {
+            BlockContent::patch_wire_leaf(&mut body, 0);
+            body
+        }
+        Some(PassEntry::Hot(id, payload)) => {
+            let mut body = take_wire_buffer(ctx, pool);
+            let content = BlockContent::Real {
+                id,
+                leaf: 0,
+                payload,
+            };
+            content.encode_into(ctx.payload_len, &mut body);
+            if let BlockContent::Real { payload, .. } = content {
+                recycle_wire_buffer(ctx, pool, payload);
+            }
+            body
+        }
+        None => {
+            let mut body = take_wire_buffer(ctx, pool);
+            BlockContent::Dummy.encode_into(ctx.payload_len, &mut body);
+            body
+        }
+    };
+    if ctx.zero_copy {
+        ctx.write_sealer.seal_into(addr, seq, body)
+    } else {
+        ctx.write_sealer.seal(addr, seq, &body)
+    }
+}
+
+/// Chunk length for splitting one pass's slots across `threads` workers.
+/// Deterministic in `(len, threads)` — both phases of a pass and the
+/// pre-stocking sweep must agree on it.
+fn chunk_len(len: usize, threads: usize) -> usize {
+    len.div_ceil(threads).max(1)
+}
+
+/// Runs `per_slot` over every `(inputs[i], outputs[i])` pair, chunked
+/// across the worker pool — the shared scaffolding of both crypto halves
+/// of a rebuild pass. Chunk boundaries depend only on `(len, threads)`,
+/// each chunk gets exclusive use of one per-worker buffer pool, and every
+/// worker pool is drained back into `shared` before returning, so buffer
+/// pooling stays globally balanced and results land in slot order.
+fn dispatch_chunks<I: Send, O: Send>(
+    pool: &WorkerPool,
+    worker_pools: &mut [BufferPool],
+    shared: &mut BufferPool,
+    inputs: &mut [I],
+    outputs: &mut [O],
+    per_slot: impl Fn(&mut BufferPool, usize, &mut I, &mut O) + Sync,
+) {
+    let chunk = chunk_len(inputs.len(), pool.threads());
+    let per_slot = &per_slot;
+    pool.scope(|scope| {
+        for (chunk_index, ((in_chunk, out_chunk), wpool)) in inputs
+            .chunks_mut(chunk)
+            .zip(outputs.chunks_mut(chunk))
+            .zip(worker_pools.iter_mut())
+            .enumerate()
+        {
+            let chunk_base = chunk_index * chunk;
+            scope.spawn(move || {
+                for (j, (input, output)) in in_chunk.iter_mut().zip(out_chunk).enumerate() {
+                    per_slot(wpool, chunk_base + j, input, output);
+                }
+            });
+        }
+    });
+    for wpool in worker_pools {
+        wpool.drain_into(shared);
+    }
+}
+
 /// The storage layer. See the [module docs](self).
 #[derive(Debug)]
 pub struct StorageLayer {
@@ -148,6 +332,14 @@ pub struct StorageLayer {
     pending: Vec<PlannedLoad>,
     /// Recycled wire-body buffers for the zero-copy seal/open stream.
     pool: BufferPool,
+    /// Wall-clock worker pool for the rebuild stream's data-parallel
+    /// crypto (`None` at `worker_threads = 1` — the serial path).
+    workers: Option<Arc<WorkerPool>>,
+    /// Per-chunk buffer pools for the parallel stream. Between passes the
+    /// buffers live in [`pool`](Self::pool); each seal phase pre-stocks
+    /// chunk `i`'s pool with exactly the buffers its slots will take, so
+    /// chunked execution allocates no more than the serial path.
+    worker_pools: Vec<BufferPool>,
     /// Zero-copy crypto path toggle (see [`HOramConfig::zero_copy_io`]);
     /// simulated timing is identical either way — this ablates host-side
     /// allocation and copying only.
@@ -197,6 +389,10 @@ impl StorageLayer {
             dummy_prf,
             pending: Vec::new(),
             pool: BufferPool::new(),
+            workers: WorkerPool::for_threads(config.worker_threads),
+            worker_pools: (0..config.worker_threads)
+                .map(|_| BufferPool::new())
+                .collect(),
             zero_copy: config.zero_copy_io,
             partition_count,
             partition_slots,
@@ -313,25 +509,6 @@ impl StorageLayer {
         self.dummy_cursor = 0;
     }
 
-    /// Pops a wire-body buffer (pooled in zero-copy mode, fresh otherwise).
-    fn take_buffer(&mut self, len: usize) -> Vec<u8> {
-        if self.zero_copy {
-            self.pool.take(len)
-        } else {
-            vec![0u8; len]
-        }
-    }
-
-    /// Returns a spent buffer to the pool (dropped in legacy mode). Every
-    /// take from this layer's pool is wire-sized, so undersized buffers
-    /// (e.g. bare payloads) are dropped rather than recycled — pooling
-    /// them would just turn the next take into a reallocation.
-    fn recycle_buffer(&mut self, buffer: Vec<u8>) {
-        if self.zero_copy && buffer.capacity() >= BlockContent::encoded_len(self.payload_len) {
-            self.pool.recycle(buffer);
-        }
-    }
-
     /// Verifies and decrypts, in place when the zero-copy path is on.
     fn open_sealed(&self, sealer: &BlockSealer, sealed: SealedBlock) -> Result<Vec<u8>, OramError> {
         let body = if self.zero_copy {
@@ -340,18 +517,6 @@ impl StorageLayer {
             sealer.open(&sealed)
         };
         Ok(body?)
-    }
-
-    /// Seals a wire body for `slot`, consuming the buffer in place when
-    /// the zero-copy path is on.
-    fn seal_body(&mut self, slot: u64, body: Vec<u8>) -> SealedBlock {
-        let seq = self.seal_seq;
-        self.seal_seq += 1;
-        if self.zero_copy {
-            self.sealer.seal_into(slot, seq, body)
-        } else {
-            self.sealer.seal(slot, seq, &body)
-        }
     }
 
     /// Stages one load: applies every control-layer state transition now
@@ -720,74 +885,102 @@ impl StorageLayer {
 
         let wire_len = BlockContent::encoded_len(self.payload_len);
         let slots_per_pass = self.partition_slots as usize;
+        let workers = self.workers.clone();
         let mut spilled_total = 0u64;
-        // The write-side buffer of the double-buffered stream, reused
-        // across passes: `image[offset]` holds the decrypted wire body
-        // destined for slot `base + offset`.
-        let mut image: Vec<Option<(BlockId, Vec<u8>)>> = Vec::with_capacity(slots_per_pass);
         for (pass, &partition) in window.iter().enumerate() {
             let base = partition * self.partition_slots;
 
             // Read stream: one streaming op. Zero-copy mode takes the
             // ciphertexts out of the store (every slot is rewritten below);
             // legacy mode clones them like the original implementation.
-            let taken = if self.zero_copy {
+            let mut taken = if self.zero_copy {
                 self.device.take_run(base, self.partition_slots)?
             } else {
                 self.device.read_run(base, self.partition_slots)?
             };
 
+            // Control sweep: release every slot's ownership up front so
+            // the crypto half below is pure over its inputs (the order of
+            // releases within one pass is immaterial — re-ownership only
+            // happens in the seal sweep).
+            let owners: Vec<Option<BlockId>> = (0..slots_per_pass)
+                .map(|offset| self.clear_owner(base + offset as u64))
+                .collect();
+
             // Open: keep only live blocks (cold data) as decrypted wire
-            // bodies; discarded ciphertext buffers refill the pool.
-            let mut union: Vec<(BlockId, Vec<u8>)> = Vec::with_capacity(slots_per_pass);
-            for (offset, sealed) in taken.into_iter().enumerate() {
-                let addr = base + offset as u64;
-                let owner = self.clear_owner(addr);
-                let Some(sealed) = sealed else {
-                    // A slot the metadata calls live must hold a block;
-                    // fail-stop (like `commit_io`) rather than silently
-                    // dropping it and corrupting the occupancy counts.
-                    if owner.is_some() {
-                        return Err(OramError::Storage(StorageError::MissingBlock {
-                            device: self.device.name().to_string(),
-                            addr,
-                        }));
-                    }
-                    continue;
+            // bodies; discarded ciphertext buffers refill the pool. With
+            // a worker pool the per-slot crypto runs data-parallel over
+            // deterministic chunks; results land in slot order either way.
+            let mut opened: Vec<OpenedSlot> = Vec::with_capacity(slots_per_pass);
+            {
+                let ctx = PassCrypto {
+                    read_sealer: &read_sealer,
+                    write_sealer: &self.sealer,
+                    zero_copy: self.zero_copy,
+                    payload_len: self.payload_len,
+                    wire_len,
+                    device: self.device.name(),
                 };
-                match owner {
-                    None => self.recycle_buffer(sealed.into_body()),
-                    Some(owner) => {
-                        let body = self.open_sealed(&read_sealer, sealed)?;
-                        match BlockContent::decode_ref(&body, addr)? {
-                            BlockContentRef::Real { id, .. } if id == owner => {
-                                union.push((id, body));
-                            }
-                            _ => return Err(OramError::MalformedBlock { slot: addr }),
+                match &workers {
+                    None => {
+                        for (offset, (sealed, owner)) in
+                            taken.drain(..).zip(owners.iter()).enumerate()
+                        {
+                            let addr = base + offset as u64;
+                            opened.push(open_pass_slot(
+                                &ctx,
+                                &mut self.pool,
+                                addr,
+                                *owner,
+                                sealed,
+                            )?);
+                        }
+                    }
+                    Some(pool_handle) => {
+                        let mut results: Vec<Option<Result<OpenedSlot, OramError>>> =
+                            (0..slots_per_pass).map(|_| None).collect();
+                        let owners = owners.as_slice();
+                        dispatch_chunks(
+                            pool_handle,
+                            &mut self.worker_pools,
+                            &mut self.pool,
+                            &mut taken,
+                            &mut results,
+                            |wpool, offset, sealed, out| {
+                                *out = Some(open_pass_slot(
+                                    &ctx,
+                                    wpool,
+                                    base + offset as u64,
+                                    owners[offset],
+                                    sealed.take(),
+                                ));
+                            },
+                        );
+                        // Errors surface in slot order — the same slot the
+                        // serial path would fail on first.
+                        for result in results {
+                            opened.push(result.expect("every slot processed")?);
                         }
                     }
                 }
             }
+            let mut union: Vec<PassEntry> = opened
+                .into_iter()
+                .flatten()
+                .map(|(id, body)| PassEntry::Wire(id, body))
+                .collect();
 
-            // Concatenate the hot piece (sized to fit by construction),
-            // encoding each evicted block onto a recycled buffer. Blocks
-            // beyond the fair equal split indicate capacity-driven
-            // redistribution and are reported as `spilled`.
+            // Concatenate the hot piece (sized to fit by construction);
+            // payload bytes are encoded onto recycled buffers at seal
+            // time. Blocks beyond the fair equal split indicate
+            // capacity-driven redistribution and are reported as `spilled`.
             let piece = std::mem::take(&mut pieces[pass]);
             spilled_total += (piece.len() as u64).saturating_sub(fair_share);
-            for (id, payload) in piece {
-                let mut body = self.take_buffer(wire_len);
-                let content = BlockContent::Real {
-                    id,
-                    leaf: 0,
-                    payload,
-                };
-                content.encode_into(self.payload_len, &mut body);
-                if let BlockContent::Real { payload, .. } = content {
-                    self.recycle_buffer(payload);
-                }
-                union.push((id, body));
-            }
+            union.extend(
+                piece
+                    .into_iter()
+                    .map(|(id, payload)| PassEntry::Hot(id, payload)),
+            );
             debug_assert!(
                 union.len() <= slots_per_pass,
                 "piece sizing exceeded partition capacity"
@@ -795,43 +988,95 @@ impl StorageLayer {
 
             // Fresh intra-partition permutation (in-enclave; the paper's
             // CacheShuffle — cost negligible next to the streaming I/O).
+            // `image[offset]` holds the entry destined for slot
+            // `base + offset`; unfilled slots become dummies below.
             let perm = Permutation::random(
                 slots_per_pass,
                 piece_prf.eval_words("partition-perm", &[partition, self.epoch]),
             );
-            image.clear();
-            image.resize_with(slots_per_pass, || None);
-            for (dense, entry) in union.into_iter().enumerate() {
-                let target = perm.apply(dense);
-                debug_assert!(image[target].is_none(), "permutation collision");
-                image[target] = Some(entry);
+            let mut image: Vec<Option<PassEntry>> = perm.scatter(union);
+
+            // Control sweep: re-home ownership and reset the read-once
+            // budget before the crypto half (slots in partitions outside
+            // a partial window keep their markers until their own
+            // rebuild).
+            for (offset, entry) in image.iter().enumerate() {
+                let addr = base + offset as u64;
+                if let Some(entry) = entry {
+                    self.locations.set_storage_slot(entry.id(), addr);
+                    self.set_owner(addr, entry.id());
+                }
+                self.touched[addr as usize] = false;
             }
 
             // Seal + write stream: re-home every slot under the fresh
             // epoch — real blocks re-seal their decrypted body in place,
-            // dummies encode onto pooled buffers — and stream the run out.
-            let mut sealed_run: Vec<SealedBlock> = Vec::with_capacity(slots_per_pass);
-            for (offset, entry) in image.iter_mut().enumerate() {
-                let addr = base + offset as u64;
-                let sealed = match entry.take() {
-                    Some((id, mut body)) => {
-                        self.locations.set_storage_slot(id, addr);
-                        self.set_owner(addr, id);
-                        BlockContent::patch_wire_leaf(&mut body, 0);
-                        self.seal_body(addr, body)
+            // dummies and hot blocks encode onto pooled buffers — and
+            // stream the run out. Seal sequence numbers are assigned in
+            // slot order *before* dispatch, so the ciphertext of every
+            // slot is byte-identical at any worker count.
+            let seq_base = self.seal_seq;
+            self.seal_seq += slots_per_pass as u64;
+            let ctx = PassCrypto {
+                read_sealer: &read_sealer,
+                write_sealer: &self.sealer,
+                zero_copy: self.zero_copy,
+                payload_len: self.payload_len,
+                wire_len,
+                device: self.device.name(),
+            };
+            let sealed_run: Vec<SealedBlock> = match &workers {
+                None => image
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(offset, entry)| {
+                        seal_pass_slot(
+                            &ctx,
+                            &mut self.pool,
+                            base + offset as u64,
+                            seq_base + offset as u64,
+                            entry.take(),
+                        )
+                    })
+                    .collect(),
+                Some(pool_handle) => {
+                    // Pre-stock each chunk's pool with exactly the buffers
+                    // its dummy/hot slots will take, so the chunked stream
+                    // allocates no more than the serial one (chunk
+                    // boundaries match `dispatch_chunks` by construction).
+                    let chunk = chunk_len(slots_per_pass, pool_handle.threads());
+                    for (chunk_index, image_chunk) in image.chunks(chunk).enumerate() {
+                        let need = image_chunk
+                            .iter()
+                            .filter(|entry| !matches!(entry, Some(PassEntry::Wire(..))))
+                            .count();
+                        self.pool
+                            .transfer_to(&mut self.worker_pools[chunk_index], need);
                     }
-                    None => {
-                        let mut body = self.take_buffer(wire_len);
-                        BlockContent::Dummy.encode_into(self.payload_len, &mut body);
-                        self.seal_body(addr, body)
-                    }
-                };
-                // Rewriting resets the slot's read-once budget; slots in
-                // partitions outside a partial window keep their markers
-                // until their own rebuild.
-                self.touched[addr as usize] = false;
-                sealed_run.push(sealed);
-            }
+                    let mut outputs: Vec<Option<SealedBlock>> =
+                        (0..slots_per_pass).map(|_| None).collect();
+                    dispatch_chunks(
+                        pool_handle,
+                        &mut self.worker_pools,
+                        &mut self.pool,
+                        &mut image,
+                        &mut outputs,
+                        |wpool, offset, entry, out| {
+                            *out = Some(seal_pass_slot(
+                                &ctx,
+                                wpool,
+                                base + offset as u64,
+                                seq_base + offset as u64,
+                                entry.take(),
+                            ));
+                        },
+                    );
+                    outputs
+                        .into_iter()
+                        .map(|sealed| sealed.expect("every slot sealed"))
+                        .collect()
+                }
+            };
             self.device.write_run(base, sealed_run)?;
         }
         // New period: fresh PRP key for the lazy dummy order (touched
@@ -859,12 +1104,24 @@ mod tests {
     use oram_storage::trace::AccessTrace;
     use std::collections::HashSet;
 
-    fn build_with(capacity: u64, trace: Option<AccessTrace>, zero_copy: bool) -> StorageLayer {
-        let mut config = HOramConfig::new(capacity, 8, 64);
+    fn build_threaded(
+        capacity: u64,
+        trace: Option<AccessTrace>,
+        zero_copy: bool,
+        worker_threads: usize,
+    ) -> StorageLayer {
+        let mut config = HOramConfig::new(capacity, 8, 64).with_worker_threads(worker_threads);
         config.zero_copy_io = zero_copy;
         let device = MachineConfig::dac2019().build_storage(SimClock::new(), trace);
         let keys = KeyHierarchy::new(MasterKey::from_bytes([8; 32]), "storage-layer-test");
         StorageLayer::new(&config, device, keys).unwrap()
+    }
+
+    // The baseline fixtures pin `worker_threads = 1` (the serial path) so
+    // assertions about the shared pool's counters stay machine-independent;
+    // the `parallel_*` tests below compare the threaded path against them.
+    fn build_with(capacity: u64, trace: Option<AccessTrace>, zero_copy: bool) -> StorageLayer {
+        build_threaded(capacity, trace, zero_copy, 1)
     }
 
     fn build(capacity: u64) -> StorageLayer {
@@ -1199,6 +1456,99 @@ mod tests {
             "steady-state shuffle must not allocate"
         );
         assert!(reused > 0, "pool must actually be exercised");
+    }
+
+    /// Drives one instance through misses, dummies and a rebuild; returns
+    /// the storage trace and a probe fetch for cross-config comparison.
+    fn shuffle_fingerprint(layer: &mut StorageLayer, trace: &AccessTrace) -> (Vec<u64>, Vec<u8>) {
+        let mut hot = Vec::new();
+        for id in [3u64, 77, 150] {
+            hot.push(layer.fetch(BlockId(id)).unwrap().block.unwrap());
+        }
+        for _ in 0..10 {
+            if let Some(block) = layer.dummy_load().unwrap().block {
+                hot.push(block);
+            }
+        }
+        hot[0].1 = vec![9u8; 8];
+        layer.rebuild_full(hot, 21).unwrap();
+        let probe = layer.fetch(BlockId(3)).unwrap().block.unwrap().1;
+        (trace.address_sequence(layer.device().id()), probe)
+    }
+
+    #[test]
+    fn parallel_rebuild_is_byte_identical_to_serial() {
+        // The data-parallel seal/open stream must leave no observable
+        // difference: same storage trace, same device bytes, same data.
+        let (mut serial, serial_trace) = build_traced(256);
+        let serial_fp = shuffle_fingerprint(&mut serial, &serial_trace);
+        for threads in [2usize, 4] {
+            let trace = AccessTrace::new();
+            let mut layer = build_threaded(256, Some(trace.clone()), true, threads);
+            trace.clear();
+            let fp = shuffle_fingerprint(&mut layer, &trace);
+            assert_eq!(serial_fp, fp, "threads={threads} diverged");
+            assert_eq!(
+                serial.device().stats(),
+                layer.device().stats(),
+                "threads={threads} device accounting diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_rebuild_legacy_mode_matches_too() {
+        let trace_a = AccessTrace::new();
+        let mut serial = build_threaded(256, Some(trace_a.clone()), false, 1);
+        trace_a.clear();
+        let fp_a = shuffle_fingerprint(&mut serial, &trace_a);
+        let trace_b = AccessTrace::new();
+        let mut threaded = build_threaded(256, Some(trace_b.clone()), false, 4);
+        trace_b.clear();
+        let fp_b = shuffle_fingerprint(&mut threaded, &trace_b);
+        assert_eq!(fp_a, fp_b);
+    }
+
+    #[test]
+    fn parallel_steady_state_shuffle_recycles_buffers() {
+        // The per-worker pools (pre-stocked per chunk, drained back each
+        // phase) must preserve the zero-allocation steady state: after a
+        // warm-up period, whole periods allocate nothing across the shared
+        // pool and every worker pool combined.
+        let mut layer = build_threaded(256, None, true, 4);
+        let period = |layer: &mut StorageLayer, seed: u64| {
+            let mut hot = Vec::new();
+            for id in [seed % 256, (seed + 100) % 256] {
+                if !layer.is_in_memory(BlockId(id)) {
+                    hot.push(layer.fetch(BlockId(id)).unwrap().block.unwrap());
+                }
+            }
+            for _ in 0..6 {
+                if let Some(block) = layer.dummy_load().unwrap().block {
+                    hot.push(block);
+                }
+            }
+            layer.rebuild_full(hot, seed).unwrap();
+        };
+        let total_counters = |layer: &StorageLayer| {
+            let (mut reused, mut allocated) = layer.pool.counters();
+            for pool in &layer.worker_pools {
+                let (r, a) = pool.counters();
+                reused += r;
+                allocated += a;
+            }
+            (reused, allocated)
+        };
+        period(&mut layer, 1);
+        let (_, allocated_before) = total_counters(&layer);
+        period(&mut layer, 2);
+        period(&mut layer, 3);
+        let (reused, allocated_after) = total_counters(&layer);
+        assert_eq!(
+            allocated_after, allocated_before,
+            "steady-state parallel shuffle must not allocate"
+        );
+        assert!(reused > 0, "worker pools must actually be exercised");
     }
 
     #[test]

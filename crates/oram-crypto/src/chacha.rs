@@ -7,6 +7,23 @@
 //!
 //! Test vectors were generated with OpenSSL 3.5 (`openssl enc -chacha20`),
 //! which agrees byte-for-byte with the RFC 8439 block-function vector.
+//!
+//! # The batch hot path
+//!
+//! The ORAM rebuild stream seals and opens every physical slot once per
+//! shuffle period, so per-call overhead here is a top-line cost. Three
+//! batch optimizations keep it down, all bit-identical to the scalar path:
+//!
+//! * **cached key schedule** — [`ChaChaKey`] parses the 32 key bytes into
+//!   state words once; long-lived callers (`BlockSealer`) construct
+//!   streams from it instead of re-parsing the raw key per block;
+//! * **wide keystream generation** — runs of four keystream blocks are
+//!   computed together, each quarter-round pass advancing four
+//!   independent lanes (plain `u32` lane loops the compiler
+//!   auto-vectorizes), instead of one 16-word state at a time;
+//! * **fused copy+XOR** — [`ChaCha20::apply_keystream_into`] writes
+//!   `src ⊕ keystream` straight into a destination buffer, removing the
+//!   copy-then-XOR-in-place round trip from the borrowing seal path.
 
 /// Key length in bytes (256-bit key).
 pub const KEY_LEN: usize = 32;
@@ -15,8 +32,48 @@ pub const NONCE_LEN: usize = 12;
 /// Keystream block length in bytes.
 pub const BLOCK_LEN: usize = 64;
 
+/// Keystream blocks generated per wide pass.
+const LANES: usize = 4;
+/// Bytes produced by one wide pass.
+const WIDE_LEN: usize = BLOCK_LEN * LANES;
+
 /// The four ChaCha constants: ASCII `"expand 32-byte k"` as little-endian words.
 const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// A parsed ChaCha20 key schedule: the eight little-endian state words of
+/// a 256-bit key.
+///
+/// Parsing is trivial but shows up when done once per sealed block; a
+/// [`ChaChaKey`] is computed once per key lifetime (e.g. per
+/// `BlockSealer` epoch) and shared by every stream built from it.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ChaChaKey {
+    words: [u32; 8],
+}
+
+impl std::fmt::Debug for ChaChaKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaChaKey")
+            .field("words", &"<redacted>")
+            .finish()
+    }
+}
+
+impl ChaChaKey {
+    /// Parses a raw 256-bit key into its state words.
+    pub fn new(key: &[u8; KEY_LEN]) -> Self {
+        let mut words = [0u32; 8];
+        for (i, word) in words.iter_mut().enumerate() {
+            *word = u32::from_le_bytes(key[4 * i..4 * i + 4].try_into().expect("4-byte chunk"));
+        }
+        Self { words }
+    }
+
+    /// The key's eight state words (rows 4..12 of the ChaCha state).
+    pub fn words(&self) -> &[u32; 8] {
+        &self.words
+    }
+}
 
 /// A ChaCha20 keystream generator bound to one key and nonce.
 ///
@@ -54,16 +111,18 @@ impl ChaCha20 {
     /// RFC 8439 uses an initial counter of 1 for AEAD payloads; plain stream
     /// encryption conventionally starts at 0.
     pub fn with_counter(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], counter: u32) -> Self {
-        let mut key_words = [0u32; 8];
-        for (i, word) in key_words.iter_mut().enumerate() {
-            *word = u32::from_le_bytes(key[4 * i..4 * i + 4].try_into().expect("4-byte chunk"));
-        }
+        Self::from_key(&ChaChaKey::new(key), nonce, counter)
+    }
+
+    /// Creates a keystream generator from a pre-parsed key schedule —
+    /// the batch entry point (no per-call key parsing).
+    pub fn from_key(key: &ChaChaKey, nonce: &[u8; NONCE_LEN], counter: u32) -> Self {
         let mut nonce_words = [0u32; 3];
         for (i, word) in nonce_words.iter_mut().enumerate() {
             *word = u32::from_le_bytes(nonce[4 * i..4 * i + 4].try_into().expect("4-byte chunk"));
         }
         Self {
-            key: key_words,
+            key: key.words,
             nonce: nonce_words,
             counter,
         }
@@ -80,15 +139,21 @@ impl ChaCha20 {
         self.counter = counter;
     }
 
-    /// Produces the 64-byte keystream block for an explicit counter value,
-    /// without touching the stream position.
-    pub fn keystream_block(&self, counter: u32) -> [u8; BLOCK_LEN] {
+    /// The initial 16-word state for an explicit counter value.
+    #[inline(always)]
+    fn state(&self, counter: u32) -> [u32; 16] {
         let mut state = [0u32; 16];
         state[..4].copy_from_slice(&CONSTANTS);
         state[4..12].copy_from_slice(&self.key);
         state[12] = counter;
         state[13..16].copy_from_slice(&self.nonce);
+        state
+    }
 
+    /// Produces the 64-byte keystream block for an explicit counter value,
+    /// without touching the stream position.
+    pub fn keystream_block(&self, counter: u32) -> [u8; BLOCK_LEN] {
+        let state = self.state(counter);
         let mut working = state;
         for _ in 0..10 {
             // Column round.
@@ -111,6 +176,55 @@ impl ChaCha20 {
         out
     }
 
+    /// Produces four consecutive keystream blocks (`counter .. counter+4`)
+    /// in one pass. The quarter rounds advance four independent lanes per
+    /// operation — plain `u32` lane loops the compiler auto-vectorizes —
+    /// so the per-pass bookkeeping amortizes over 256 bytes of keystream.
+    fn keystream_wide(&self, counter: u32) -> [u8; WIDE_LEN] {
+        let template = self.state(counter);
+        let mut init = [[0u32; LANES]; 16];
+        for (i, row) in init.iter_mut().enumerate() {
+            *row = [template[i]; LANES];
+        }
+        for (lane, cell) in init[12].iter_mut().enumerate() {
+            *cell = counter.wrapping_add(lane as u32);
+        }
+
+        let mut working = init;
+        for _ in 0..10 {
+            // Column round.
+            quarter_round_wide(&mut working, 0, 4, 8, 12);
+            quarter_round_wide(&mut working, 1, 5, 9, 13);
+            quarter_round_wide(&mut working, 2, 6, 10, 14);
+            quarter_round_wide(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round_wide(&mut working, 0, 5, 10, 15);
+            quarter_round_wide(&mut working, 1, 6, 11, 12);
+            quarter_round_wide(&mut working, 2, 7, 8, 13);
+            quarter_round_wide(&mut working, 3, 4, 9, 14);
+        }
+
+        let mut out = [0u8; WIDE_LEN];
+        for lane in 0..LANES {
+            for i in 0..16 {
+                let word = working[i][lane].wrapping_add(init[i][lane]);
+                let at = lane * BLOCK_LEN + 4 * i;
+                out[at..at + 4].copy_from_slice(&word.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Asserts the counter can cover `data` and returns the block count.
+    fn check_budget(&self, len: usize) -> u64 {
+        let blocks = len.div_ceil(BLOCK_LEN) as u64;
+        assert!(
+            u64::from(self.counter) + blocks <= u64::from(u32::MAX) + 1,
+            "chacha20 counter overflow: keystream exhausted for this (key, nonce)"
+        );
+        blocks
+    }
+
     /// XORs the keystream into `data`, advancing the stream position.
     ///
     /// Encryption and decryption are the same operation. The stream position
@@ -125,17 +239,68 @@ impl ChaCha20 {
     /// keystream from a single (key, nonce) pair), which indicates key
     /// management misuse.
     pub fn apply_keystream(&mut self, data: &mut [u8]) {
-        let blocks = data.len().div_ceil(BLOCK_LEN) as u64;
-        assert!(
-            u64::from(self.counter) + blocks <= u64::from(u32::MAX) + 1,
-            "chacha20 counter overflow: keystream exhausted for this (key, nonce)"
-        );
-        for chunk in data.chunks_mut(BLOCK_LEN) {
+        self.check_budget(data.len());
+        let mut offset = 0;
+        // Wide passes while ≥4 blocks remain: every generated block is
+        // consumed, so the wide path is never wasted work.
+        while data.len() - offset > 3 * BLOCK_LEN {
+            let take = WIDE_LEN.min(data.len() - offset);
+            let ks = self.keystream_wide(self.counter);
+            for (byte, k) in data[offset..offset + take].iter_mut().zip(ks.iter()) {
+                *byte ^= k;
+            }
+            self.counter = self.counter.wrapping_add(take.div_ceil(BLOCK_LEN) as u32);
+            offset += take;
+        }
+        for chunk in data[offset..].chunks_mut(BLOCK_LEN) {
             let ks = self.keystream_block(self.counter);
             for (byte, k) in chunk.iter_mut().zip(ks.iter()) {
                 *byte ^= k;
             }
             self.counter = self.counter.wrapping_add(1);
+        }
+    }
+
+    /// Writes `src ⊕ keystream` into `dst`, advancing the stream position —
+    /// the fused copy+XOR used by the borrowing seal path (one pass over
+    /// the bytes instead of copy-then-encrypt-in-place). Bit-identical to
+    /// copying `src` into `dst` and calling
+    /// [`apply_keystream`](Self::apply_keystream).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer lengths differ, or on counter overflow as
+    /// [`apply_keystream`](Self::apply_keystream).
+    pub fn apply_keystream_into(&mut self, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "src/dst length mismatch");
+        self.check_budget(src.len());
+        let mut offset = 0;
+        while src.len() - offset > 3 * BLOCK_LEN {
+            let take = WIDE_LEN.min(src.len() - offset);
+            let ks = self.keystream_wide(self.counter);
+            for ((out, byte), k) in dst[offset..offset + take]
+                .iter_mut()
+                .zip(src[offset..offset + take].iter())
+                .zip(ks.iter())
+            {
+                *out = byte ^ k;
+            }
+            self.counter = self.counter.wrapping_add(take.div_ceil(BLOCK_LEN) as u32);
+            offset += take;
+        }
+        let mut at = offset;
+        while at < src.len() {
+            let take = BLOCK_LEN.min(src.len() - at);
+            let ks = self.keystream_block(self.counter);
+            for ((out, byte), k) in dst[at..at + take]
+                .iter_mut()
+                .zip(src[at..at + take].iter())
+                .zip(ks.iter())
+            {
+                *out = byte ^ k;
+            }
+            self.counter = self.counter.wrapping_add(1);
+            at += take;
         }
     }
 
@@ -157,6 +322,41 @@ fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) 
     state[d] = (state[d] ^ state[a]).rotate_left(8);
     state[c] = state[c].wrapping_add(state[d]);
     state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// The quarter round over four independent lanes. Each statement of the
+/// scalar round becomes a lane loop over plain `u32`s, which the compiler
+/// turns into 4-wide vector ops where the target supports them.
+// Indexed lane loops are deliberate: every statement reads one state row
+// and writes another (`s[a][l]`, `s[d][l]`), which zipped iterators cannot
+// express without splitting borrows and defeating the vectorizable shape.
+#[allow(clippy::needless_range_loop)]
+#[inline(always)]
+fn quarter_round_wide(s: &mut [[u32; LANES]; 16], a: usize, b: usize, c: usize, d: usize) {
+    for l in 0..LANES {
+        s[a][l] = s[a][l].wrapping_add(s[b][l]);
+    }
+    for l in 0..LANES {
+        s[d][l] = (s[d][l] ^ s[a][l]).rotate_left(16);
+    }
+    for l in 0..LANES {
+        s[c][l] = s[c][l].wrapping_add(s[d][l]);
+    }
+    for l in 0..LANES {
+        s[b][l] = (s[b][l] ^ s[c][l]).rotate_left(12);
+    }
+    for l in 0..LANES {
+        s[a][l] = s[a][l].wrapping_add(s[b][l]);
+    }
+    for l in 0..LANES {
+        s[d][l] = (s[d][l] ^ s[a][l]).rotate_left(8);
+    }
+    for l in 0..LANES {
+        s[c][l] = s[c][l].wrapping_add(s[d][l]);
+    }
+    for l in 0..LANES {
+        s[b][l] = (s[b][l] ^ s[c][l]).rotate_left(7);
+    }
 }
 
 #[cfg(test)]
@@ -228,6 +428,59 @@ mod tests {
     }
 
     #[test]
+    fn cached_key_schedule_matches_raw_key() {
+        let schedule = ChaChaKey::new(&rfc_key());
+        let from_schedule = ChaCha20::from_key(&schedule, &rfc_nonce(), 1);
+        let from_raw = ChaCha20::with_counter(&rfc_key(), &rfc_nonce(), 1);
+        assert_eq!(from_schedule, from_raw);
+        assert_eq!(
+            from_schedule.keystream_block(1),
+            from_raw.keystream_block(1)
+        );
+    }
+
+    #[test]
+    fn wide_keystream_matches_per_block_path() {
+        // Any length that crosses the 4-block wide path must agree byte
+        // for byte with the scalar block function.
+        let reference = ChaCha20::with_counter(&rfc_key(), &rfc_nonce(), 7);
+        for len in [193usize, 256, 257, 300, 512, 1000, 1024, 64 * 20 + 5] {
+            let mut data = vec![0u8; len];
+            let mut stream = ChaCha20::with_counter(&rfc_key(), &rfc_nonce(), 7);
+            stream.apply_keystream(&mut data);
+            for (i, chunk) in data.chunks(BLOCK_LEN).enumerate() {
+                let block = reference.keystream_block(7 + i as u32);
+                assert_eq!(chunk, &block[..chunk.len()], "len {len}, block {i}");
+            }
+            assert_eq!(stream.counter(), 7 + len.div_ceil(BLOCK_LEN) as u32);
+        }
+    }
+
+    #[test]
+    fn apply_keystream_into_fuses_copy_and_xor() {
+        let src: Vec<u8> = (0..777).map(|i| (i * 31 % 256) as u8).collect();
+        for counter in [0u32, 9] {
+            let mut fused = vec![0u8; src.len()];
+            let mut stream = ChaCha20::with_counter(&rfc_key(), &rfc_nonce(), counter);
+            stream.apply_keystream_into(&src, &mut fused);
+
+            let mut copied = src.clone();
+            let mut reference = ChaCha20::with_counter(&rfc_key(), &rfc_nonce(), counter);
+            reference.apply_keystream(&mut copied);
+            assert_eq!(fused, copied);
+            assert_eq!(stream.counter(), reference.counter());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn apply_keystream_into_checks_lengths() {
+        let mut stream = ChaCha20::new(&rfc_key(), &rfc_nonce());
+        let mut dst = [0u8; 3];
+        stream.apply_keystream_into(&[0u8; 4], &mut dst);
+    }
+
+    #[test]
     fn roundtrip_restores_plaintext() {
         let key = [0xAB; KEY_LEN];
         let nonce = [0xCD; NONCE_LEN];
@@ -281,10 +534,25 @@ mod tests {
     }
 
     #[test]
+    fn debug_redacts_key_schedule() {
+        let debug = format!("{:?}", ChaChaKey::new(&rfc_key()));
+        assert!(debug.contains("redacted"));
+        assert!(!debug.contains("0x"));
+    }
+
+    #[test]
     #[should_panic(expected = "counter overflow")]
     fn counter_overflow_panics() {
         let mut stream = ChaCha20::with_counter(&[0u8; KEY_LEN], &[0u8; NONCE_LEN], u32::MAX);
         let mut data = [0u8; 128]; // needs 2 blocks, only 1 remains
+        stream.apply_keystream(&mut data);
+    }
+
+    #[test]
+    #[should_panic(expected = "counter overflow")]
+    fn wide_path_respects_counter_budget() {
+        let mut stream = ChaCha20::with_counter(&[0u8; KEY_LEN], &[0u8; NONCE_LEN], u32::MAX - 2);
+        let mut data = [0u8; WIDE_LEN]; // needs 4 blocks, only 3 remain
         stream.apply_keystream(&mut data);
     }
 }

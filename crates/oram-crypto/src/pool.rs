@@ -74,6 +74,22 @@ impl BufferPool {
         self.free.len()
     }
 
+    /// Moves up to `n` free buffers into `other` without touching either
+    /// pool's reuse/allocation counters. The parallel rebuild stream uses
+    /// this to pre-stock per-worker pools with exactly the buffers their
+    /// chunk will take, so chunked execution allocates no more than the
+    /// serial path would.
+    pub fn transfer_to(&mut self, other: &mut BufferPool, n: usize) {
+        let at = self.free.len().saturating_sub(n);
+        other.free.extend(self.free.drain(at..));
+    }
+
+    /// Moves every free buffer into `other` (counters untouched) — the
+    /// end-of-phase sweep returning per-worker pools to the shared one.
+    pub fn drain_into(&mut self, other: &mut BufferPool) {
+        other.free.append(&mut self.free);
+    }
+
     /// Lifetime counters `(reused, allocated)` — observability for the
     /// zero-copy claim (steady state should reuse, not allocate).
     pub fn counters(&self) -> (u64, u64) {
@@ -111,6 +127,28 @@ mod tests {
         let mut pool = BufferPool::new();
         pool.recycle(Vec::new());
         assert_eq!(pool.free(), 0);
+    }
+
+    #[test]
+    fn transfers_move_buffers_without_counting() {
+        let mut a = BufferPool::new();
+        let mut b = BufferPool::new();
+        for _ in 0..5 {
+            let buffer = a.take(8);
+            a.recycle(buffer);
+        }
+        // 5 take/recycle rounds on one buffer leave one free buffer.
+        let before = a.counters();
+        a.transfer_to(&mut b, 3); // only 1 available
+        assert_eq!(a.free(), 0);
+        assert_eq!(b.free(), 1);
+        assert_eq!(a.counters(), before, "transfer must not count");
+        assert_eq!(b.counters(), (0, 0));
+        let buffer = b.take(4);
+        b.recycle(buffer);
+        b.drain_into(&mut a);
+        assert_eq!(b.free(), 0);
+        assert_eq!(a.free(), 1);
     }
 
     #[test]

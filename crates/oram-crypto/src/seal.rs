@@ -7,7 +7,7 @@
 //! identical code path, so real and dummy ciphertexts are indistinguishable
 //! on the bus.
 
-use crate::chacha::{ChaCha20, NONCE_LEN};
+use crate::chacha::{ChaCha20, ChaChaKey, NONCE_LEN};
 use crate::keys::SubKeys;
 use crate::siphash::SipHash24;
 use crate::CryptoError;
@@ -109,8 +109,15 @@ impl SealedBlock {
 /// ```
 #[derive(Clone)]
 pub struct BlockSealer {
-    enc_key: [u8; 32],
-    mac_key: [u8; 16],
+    /// Cached ChaCha20 key schedule: the 32 raw key bytes are parsed into
+    /// state words **once per sealer**, not once per `seal_into`/`open`
+    /// call. The rebuild stream seals every physical slot each period, so
+    /// the per-call setup cost is measurable — see
+    /// `crates/bench/benches/crypto.rs` (`sealer_key_schedule`).
+    enc_key: ChaChaKey,
+    /// Prepared SipHash-2-4 initial state for the MAC key; cloned per tag
+    /// instead of re-deriving `v0..v3` from the raw key bytes.
+    mac: SipHash24,
 }
 
 impl fmt::Debug for BlockSealer {
@@ -124,15 +131,15 @@ impl fmt::Debug for BlockSealer {
 impl BlockSealer {
     /// Creates a sealer from an epoch key bundle.
     pub fn new(keys: &SubKeys) -> Self {
-        Self {
-            enc_key: *keys.encryption(),
-            mac_key: *keys.mac(),
-        }
+        Self::from_raw_keys(*keys.encryption(), *keys.mac())
     }
 
     /// Creates a sealer from raw keys (used by unit tests and tooling).
     pub fn from_raw_keys(enc_key: [u8; 32], mac_key: [u8; 16]) -> Self {
-        Self { enc_key, mac_key }
+        Self {
+            enc_key: ChaChaKey::new(&enc_key),
+            mac: SipHash24::new(&mac_key),
+        }
     }
 
     /// Seals `plaintext` as block `block_id` under `epoch`.
@@ -141,7 +148,18 @@ impl BlockSealer {
     /// the ORAM reshuffle discipline guarantees this by bumping the epoch
     /// whenever blocks are rewritten.
     pub fn seal(&self, block_id: u64, epoch: u64, plaintext: &[u8]) -> SealedBlock {
-        self.seal_into(block_id, epoch, plaintext.to_vec())
+        // Fused copy+XOR: the ciphertext buffer is filled in one pass over
+        // the plaintext instead of copy-then-encrypt-in-place.
+        let mut body = vec![0u8; plaintext.len()];
+        ChaCha20::from_key(&self.enc_key, &Self::nonce(block_id, epoch), 0)
+            .apply_keystream_into(plaintext, &mut body);
+        let tag = self.compute_tag(block_id, epoch, &body);
+        SealedBlock {
+            block_id,
+            epoch,
+            body,
+            tag,
+        }
     }
 
     /// Seals a caller-provided plaintext buffer, encrypting it **in place**
@@ -149,7 +167,8 @@ impl BlockSealer {
     /// zero-copy core of [`seal`](Self::seal); the shuffle stream feeds it
     /// buffers recycled through a [`crate::pool::BufferPool`].
     pub fn seal_into(&self, block_id: u64, epoch: u64, mut body: Vec<u8>) -> SealedBlock {
-        ChaCha20::new(&self.enc_key, &Self::nonce(block_id, epoch)).apply_keystream(&mut body);
+        ChaCha20::from_key(&self.enc_key, &Self::nonce(block_id, epoch), 0)
+            .apply_keystream(&mut body);
         let tag = self.compute_tag(block_id, epoch, &body);
         SealedBlock {
             block_id,
@@ -190,7 +209,8 @@ impl BlockSealer {
         if expected != tag {
             return Err(CryptoError::TagMismatch { block_id });
         }
-        ChaCha20::new(&self.enc_key, &Self::nonce(block_id, epoch)).apply_keystream(&mut body);
+        ChaCha20::from_key(&self.enc_key, &Self::nonce(block_id, epoch), 0)
+            .apply_keystream(&mut body);
         Ok(body)
     }
 
@@ -211,7 +231,7 @@ impl BlockSealer {
     }
 
     fn compute_tag(&self, block_id: u64, epoch: u64, ciphertext: &[u8]) -> u64 {
-        let mut mac = SipHash24::new(&self.mac_key);
+        let mut mac = self.mac.clone();
         mac.write_u64(block_id);
         mac.write_u64(epoch);
         mac.write_u64(ciphertext.len() as u64);

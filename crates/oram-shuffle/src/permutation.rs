@@ -173,6 +173,27 @@ impl Permutation {
             .collect()
     }
 
+    /// Scatters a *prefix* of the domain into a full-length table: slot
+    /// `π(i)` receives `items[i]`, every other slot is `None`. This is
+    /// the partition-rebuild placement primitive (a pass's live+hot union
+    /// is usually shorter than the partition), taking items by value so
+    /// large payloads move instead of cloning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is longer than the permutation's domain.
+    pub fn scatter<T>(&self, items: impl IntoIterator<Item = T>) -> Vec<Option<T>> {
+        let mut out: Vec<Option<T>> = Vec::with_capacity(self.len());
+        out.resize_with(self.len(), || None);
+        for (dense, item) in items.into_iter().enumerate() {
+            assert!(dense < self.len(), "scatter input longer than domain");
+            let target = self.apply(dense);
+            debug_assert!(out[target].is_none(), "permutation collision");
+            out[target] = Some(item);
+        }
+        out
+    }
+
     /// Number of fixed points (diagnostic for randomness tests).
     pub fn fixed_points(&self) -> usize {
         self.forward
@@ -255,6 +276,34 @@ mod tests {
         let rearranged = perm.apply_to_slice(&['a', 'b', 'c']);
         // new[π(i)] = old[i]: new[1]='a', new[2]='b', new[0]='c'.
         assert_eq!(rearranged, vec!['c', 'a', 'b']);
+    }
+
+    #[test]
+    fn scatter_places_a_prefix_and_pads_with_none() {
+        let perm = Permutation::from_forward(vec![3, 0, 2, 1]);
+        let table = perm.scatter(["x".to_string(), "y".to_string()]);
+        // table[π(0)=3]="x", table[π(1)=0]="y"; slots 1 and 2 stay empty.
+        assert_eq!(
+            table,
+            vec![Some("y".to_string()), None, None, Some("x".to_string())]
+        );
+        // A full-length input fills every slot, agreeing with
+        // `apply_to_slice`.
+        let perm = Permutation::random(16, 7);
+        let items: Vec<usize> = (0..16).collect();
+        let full: Vec<usize> = perm
+            .scatter(items.clone())
+            .into_iter()
+            .map(|slot| slot.expect("bijection fills every slot"))
+            .collect();
+        assert_eq!(full, perm.apply_to_slice(&items));
+    }
+
+    #[test]
+    #[should_panic(expected = "longer than domain")]
+    fn scatter_rejects_oversized_input() {
+        let perm = Permutation::identity(2);
+        let _ = perm.scatter([1, 2, 3]);
     }
 
     #[test]
