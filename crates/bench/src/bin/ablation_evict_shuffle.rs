@@ -9,7 +9,7 @@
 //! cargo run --release -p bench --bin ablation_evict_shuffle
 //! ```
 
-use bench::{quick_flag, TableParams};
+use bench::{BenchArgs, TableParams};
 use horam::analysis::table::Table;
 use horam::prelude::*;
 use horam::shuffle::ShuffleAlgorithm;
@@ -17,7 +17,7 @@ use horam::workload::{UniformWorkload, WorkloadGenerator};
 
 fn main() {
     let mut params = TableParams::table_5_3();
-    if quick_flag() {
+    if BenchArgs::parse().quick {
         params = params.quick();
         println!("(--quick: scaled to 1/8)\n");
     }

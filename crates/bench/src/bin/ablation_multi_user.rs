@@ -10,7 +10,7 @@
 //! cargo run --release -p bench --bin ablation_multi_user
 //! ```
 
-use bench::{quick_flag, TableParams};
+use bench::{BenchArgs, TableParams};
 use horam::analysis::table::Table;
 use horam::core::{run_multi_user, UserId};
 use horam::prelude::*;
@@ -19,7 +19,7 @@ use horam::workload::WorkloadGenerator;
 fn main() {
     let mut params = TableParams::table_5_3();
     params.requests = 8_000;
-    if quick_flag() {
+    if BenchArgs::parse().quick {
         params = params.quick();
         println!("(--quick: scaled to 1/8)\n");
     }

@@ -11,14 +11,14 @@
 //! cargo run --release -p bench --bin ablation_partial_shuffle
 //! ```
 
-use bench::{quick_flag, TableParams};
+use bench::{BenchArgs, TableParams};
 use horam::analysis::table::Table;
 use horam::prelude::*;
 use horam::workload::{UniformWorkload, WorkloadGenerator};
 
 fn main() {
     let mut params = TableParams::table_5_3();
-    if quick_flag() {
+    if BenchArgs::parse().quick {
         params = params.quick();
         println!("(--quick: scaled to 1/8)\n");
     }

@@ -9,14 +9,14 @@
 //! cargo run --release -p bench --bin ablation_prefetch
 //! ```
 
-use bench::{quick_flag, TableParams};
+use bench::{BenchArgs, TableParams};
 use horam::analysis::table::Table;
 use horam::prelude::*;
 
 fn main() {
     let mut params = TableParams::table_5_3();
     params.requests = 10_000;
-    if quick_flag() {
+    if BenchArgs::parse().quick {
         params = params.quick();
         println!("(--quick: scaled to 1/8)\n");
     }

@@ -9,7 +9,7 @@
 //! cargo run --release -p bench --bin ablation_ssd
 //! ```
 
-use bench::{quick_flag, TableParams};
+use bench::{BenchArgs, TableParams};
 use horam::analysis::table::Table;
 use horam::prelude::*;
 use horam::protocols::{build_tree_top_cache, Oram, PathOramConfig, TreeBackend};
@@ -56,7 +56,7 @@ fn run_pair(machine: MachineConfig, params: &TableParams) -> (SimDuration, SimDu
 fn main() {
     let mut params = TableParams::table_5_3();
     params.requests /= 2; // two machines to run
-    if quick_flag() {
+    if BenchArgs::parse().quick {
         params = params.quick();
         println!("(--quick: scaled to 1/8)\n");
     }

@@ -11,7 +11,7 @@
 //! cargo run --release -p bench --bin fig_5_2 -- --quick
 //! ```
 
-use bench::{quick_flag, run_horam, run_tree_top_baseline, speedup, TableParams};
+use bench::{run_horam, run_tree_top_baseline, speedup, BenchArgs, TableParams};
 use horam::analysis::model::OramModel;
 use horam::analysis::report::ExperimentReport;
 use horam::analysis::table::Table;
@@ -19,7 +19,7 @@ use horam::storage::clock::SimDuration;
 
 fn main() {
     let mut params = TableParams::table_5_3();
-    if quick_flag() {
+    if BenchArgs::parse().quick {
         params = params.quick();
         println!("(--quick: scaled to 1/8)\n");
     }

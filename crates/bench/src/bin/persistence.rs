@@ -1,0 +1,17 @@
+//! Durability/recovery regression gate: snapshot a file-backed engine on
+//! the shared Zipf schedule, kill it mid-workload, restore from the
+//! snapshot + device file, replay — byte-identical responses, traces,
+//! statistics, and clock are required versus the uninterrupted run, and
+//! snapshot+restore must stay within a host wall-clock budget. Writes
+//! the machine-readable report to `BENCH_persistence.json` (or
+//! `--out <path>`) and exits nonzero when the gate fails.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin persistence [-- --quick] [-- --out <path>]
+//! ```
+
+use bench::gates::{gate_main, persistence_gate};
+
+fn main() {
+    gate_main("BENCH_persistence.json", persistence_gate)
+}

@@ -1,31 +1,43 @@
 //! The consolidated CI bench suite: serving + I/O pipeline + sharding +
-//! the wall-clock parallel engine.
+//! the wall-clock parallel engine + durability/recovery.
 //!
 //! Runs every regression gate in sequence, merges their machine-readable
 //! reports into one `BENCH.json` (or `--out <path>`), and exits nonzero
 //! if **any** gate fails — CI runs this one binary and uploads the one
 //! artifact instead of a step and file per gate.
 //!
+//! With `--baseline <path>` the fresh report is additionally diffed
+//! against a committed one (`BENCH_baseline.json`): the deterministic
+//! simulated-time throughput ratios (serving, I/O pipeline, sharding)
+//! must not fall more than 25 % below their baseline values. The ratios
+//! are pure functions of the simulation, so this check is runner-
+//! independent.
+//!
 //! ```sh
-//! cargo run --release -p bench --bin suite [-- --quick] [-- --out <path>]
+//! cargo run --release -p bench --bin suite -- \
+//!     [--quick] [--out <path>] [--baseline BENCH_baseline.json]
 //! ```
 
 use bench::gates::{
-    io_pipeline_gate, merge_outcomes, out_path, parallel_gate, serving_gate, sharding_gate,
-    write_report,
+    baseline_regressions, io_pipeline_gate, merge_outcomes, parallel_gate, persistence_gate,
+    serving_gate, sharding_gate, write_report,
 };
-use bench::quick_flag;
+use bench::BenchArgs;
+
+/// Trend tolerance: fail on >25 % regression of any tracked ratio.
+const TREND_TOLERANCE: f64 = 0.25;
 
 fn main() {
-    let quick = quick_flag();
+    let args = BenchArgs::parse();
     let outcomes = vec![
-        serving_gate(quick),
-        io_pipeline_gate(quick),
-        sharding_gate(quick),
-        parallel_gate(quick),
+        serving_gate(args.quick),
+        io_pipeline_gate(args.quick),
+        sharding_gate(args.quick),
+        parallel_gate(args.quick),
+        persistence_gate(args.quick),
     ];
 
-    let (report, pass) = merge_outcomes(&outcomes);
+    let (report, mut pass) = merge_outcomes(&outcomes);
     for outcome in &outcomes {
         println!(
             "gate {:<12} {}",
@@ -33,6 +45,28 @@ fn main() {
             if outcome.pass { "PASS" } else { "FAIL" }
         );
     }
-    write_report(&out_path("BENCH.json"), &report);
+
+    if let Some(baseline_path) = &args.baseline {
+        let baseline_json = std::fs::read_to_string(baseline_path)
+            .unwrap_or_else(|e| panic!("reading baseline {}: {e}", baseline_path.display()));
+        let baseline: serde::Value = serde_json::from_str(&baseline_json)
+            .unwrap_or_else(|e| panic!("parsing baseline {}: {e}", baseline_path.display()));
+        let regressions = baseline_regressions(&report, &baseline, TREND_TOLERANCE);
+        if regressions.is_empty() {
+            println!(
+                "trend        PASS (all ratios within {:.0}% of {})",
+                TREND_TOLERANCE * 100.0,
+                baseline_path.display()
+            );
+        } else {
+            println!("trend        FAIL vs {}:", baseline_path.display());
+            for regression in &regressions {
+                println!("  {regression}");
+            }
+            pass = false;
+        }
+    }
+
+    write_report(&args.out_or("BENCH.json"), &report);
     std::process::exit(if pass { 0 } else { 1 });
 }

@@ -9,13 +9,13 @@
 //! cargo run --release -p bench --bin table_5_3 -- --quick
 //! ```
 
-use bench::{quick_flag, run_horam, run_tree_top_baseline, speedup, TableParams};
+use bench::{run_horam, run_tree_top_baseline, speedup, BenchArgs, TableParams};
 use horam::analysis::report::ExperimentReport;
 use horam::analysis::table::Table;
 
 fn main() {
     let mut params = TableParams::table_5_3();
-    if quick_flag() {
+    if BenchArgs::parse().quick {
         params = params.quick();
         println!("(--quick: scaled to 1/8)\n");
     }

@@ -18,7 +18,7 @@ use horam::storage::device::AccessKind;
 use horam::workload::WorkloadGenerator;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let out_path = bench::gates::out_path("trace.json");
+    let out_path = bench::BenchArgs::parse().out_or("trace.json");
 
     // A small but period-crossing run.
     let config = HOramConfig::new(4096, 32, 512).with_seed(99);

@@ -1,19 +1,21 @@
 //! The CI bench gates — serving, I/O pipeline, sharding, wall-clock
-//! parallel engine — as library functions.
+//! parallel engine, durability/recovery — as library functions.
 //!
 //! Each gate runs a deterministic simulated experiment, prints the
 //! human-readable comparison table, and returns a [`GateOutcome`]: a
 //! machine-readable report (a `serde` value tree, serialized to JSON by
 //! the binaries) plus the pass/fail verdict CI keys on. The per-gate
 //! binaries (`serving_throughput`, `io_pipeline`, `sharding`,
-//! `parallel`) are thin wrappers over these functions; the consolidated
-//! `suite` binary runs all four and merges their reports into one
-//! `BENCH.json` artifact, so CI has a single gate step and a single
-//! trend file. The `parallel` gate is the one gate measuring *host*
-//! wall-clock time (`Instant`); everything else stays on the simulated
-//! clock.
+//! `parallel`, `persistence`) are thin wrappers over these functions;
+//! the consolidated `suite` binary runs all five, merges their reports
+//! into one `BENCH.json` artifact, and (with `--baseline`) diffs the
+//! deterministic throughput ratios against the committed
+//! `BENCH_baseline.json` ([`baseline_regressions`]), so CI has a single
+//! gate step and a single trend file. The `parallel` and `persistence`
+//! gates are the ones measuring *host* wall-clock time (`Instant`);
+//! everything else stays on the simulated clock.
 
-use crate::quick_flag;
+use crate::BenchArgs;
 use horam::analysis::table::Table;
 use horam::core::shard::{ShardedConfig, ShardedOram};
 use horam::core::{Permission, UserId};
@@ -59,23 +61,6 @@ pub fn merge_outcomes(outcomes: &[GateOutcome]) -> (Value, bool) {
     (report, pass)
 }
 
-/// Parses the conventional `--out <path>` flag; `default` applies when
-/// the flag is absent.
-///
-/// # Panics
-///
-/// Panics if `--out` is given without a following path.
-pub fn out_path(default: &str) -> std::path::PathBuf {
-    let mut args = std::env::args();
-    while let Some(arg) = args.next() {
-        if arg == "--out" {
-            let path = args.next().expect("--out requires a path argument");
-            return path.into();
-        }
-    }
-    default.into()
-}
-
 /// Serializes `report` to pretty JSON at `path`.
 ///
 /// # Panics
@@ -90,12 +75,104 @@ pub fn write_report(path: &std::path::Path, report: &Value) {
 
 /// Runs one gate binary's standard main: gate, report file, exit code.
 ///
-/// Reads `--quick` and `--out` from the command line; exits nonzero when
-/// the gate fails, after writing the report either way.
+/// Parses the shared [`BenchArgs`] flags (`--quick`, `--out`); exits
+/// nonzero when the gate fails, after writing the report either way.
 pub fn gate_main(default_out: &str, gate: impl FnOnce(bool) -> GateOutcome) -> ! {
-    let outcome = gate(quick_flag());
-    write_report(&out_path(default_out), &outcome.report);
+    let args = BenchArgs::parse();
+    let outcome = gate(args.quick);
+    write_report(&args.out_or(default_out), &outcome.report);
     std::process::exit(if outcome.pass { 0 } else { 1 });
+}
+
+/// The deterministic trend metrics of a merged suite report: the
+/// simulated-time throughput ratios each gate computes. These are pure
+/// functions of the simulation (no host wall-clock enters them), so a
+/// fresh run on any machine must reproduce the committed baseline within
+/// noise-free equality — the trend job fails on >25 % regression.
+pub fn trend_metrics(suite_report: &Value) -> Vec<(String, f64)> {
+    fn ratio(value: &Value) -> Option<f64> {
+        match value {
+            Value::Num(serde::Number::F(f)) => Some(*f),
+            Value::Num(serde::Number::U(u)) => Some(*u as f64),
+            Value::Num(serde::Number::I(i)) => Some(*i as f64),
+            _ => None,
+        }
+    }
+    let mut metrics = Vec::new();
+    let Ok(gates) = suite_report.field("gates").and_then(Value::as_seq) else {
+        return metrics;
+    };
+    for gate in gates {
+        let Ok(name) = gate.field("gate").and_then(Value::as_str) else {
+            continue;
+        };
+        let Ok(report) = gate.field("report") else {
+            continue;
+        };
+        let keys: &[&str] = match name {
+            "serving" => &["vs_sequential", "vs_per_request"],
+            "sharding" => &["io_speedup", "wall_speedup"],
+            // `parallel` measures host wall-clock; `persistence` gates on
+            // equality, not a ratio — neither belongs in the trend file.
+            _ => &[],
+        };
+        for key in keys {
+            if let Some(v) = report.field(key).ok().and_then(ratio) {
+                metrics.push((format!("{name}.{key}"), v));
+            }
+        }
+        // The io_pipeline report nests its ratios per workload row; track
+        // every row's pair under `io_pipeline.<workload>.<key>`.
+        if name == "io_pipeline" {
+            let rows = report
+                .field("workloads")
+                .and_then(Value::as_seq)
+                .unwrap_or(&[]);
+            for row in rows {
+                let Ok(workload) = row.field("workload").and_then(Value::as_str) else {
+                    continue;
+                };
+                for key in ["io_speedup", "wall_speedup"] {
+                    if let Some(v) = row.field(key).ok().and_then(ratio) {
+                        metrics.push((format!("{name}.{workload}.{key}"), v));
+                    }
+                }
+            }
+        }
+    }
+    metrics
+}
+
+/// Diffs a fresh suite report against a committed baseline: any tracked
+/// throughput ratio that fell below `(1 - tolerance)` of its baseline
+/// value is a regression. Metrics present in only one report are
+/// reported too (a silently vanished gate is a regression of the CI
+/// itself).
+pub fn baseline_regressions(fresh: &Value, baseline: &Value, tolerance: f64) -> Vec<String> {
+    let fresh_metrics = trend_metrics(fresh);
+    let baseline_metrics = trend_metrics(baseline);
+    let mut regressions = Vec::new();
+    for (name, base) in &baseline_metrics {
+        match fresh_metrics.iter().find(|(n, _)| n == name) {
+            None => regressions.push(format!("metric {name} missing from fresh report")),
+            Some((_, now)) if *now < base * (1.0 - tolerance) => {
+                regressions.push(format!(
+                    "{name} regressed: {now:.3} vs baseline {base:.3} \
+                     (allowed floor {:.3})",
+                    base * (1.0 - tolerance)
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    for (name, _) in &fresh_metrics {
+        if !baseline_metrics.iter().any(|(n, _)| n == name) {
+            regressions.push(format!(
+                "metric {name} absent from the baseline — re-commit BENCH_baseline.json"
+            ));
+        }
+    }
+    regressions
 }
 
 // Shared workload shape: every gate drives the same simulated machine
@@ -970,4 +1047,305 @@ mod parallel {
 /// responses and statistics at every thread count, enforced everywhere.
 pub fn parallel_gate(quick: bool) -> GateOutcome {
     parallel::gate(quick)
+}
+
+// --------------------------------------------------------- persistence
+
+mod persistence {
+    use super::*;
+    use horam::protocols::types::BlockContent;
+    use horam::storage::calibration::MachineConfig;
+    use horam::storage::file::{scratch_dir, FileStoreConfig};
+    use horam::storage::trace::TraceEvent;
+
+    const SEED: u64 = 0x9e25;
+    /// Memory budget for this gate only: smaller than the shared
+    /// `MEMORY_SLOTS` so the period (`n/2` I/O loads) turns several
+    /// times even on the hit-bound Zipf mix — a recovery gate that never
+    /// crosses a shuffle (the only phase that rewrites the device file)
+    /// would not test crash consistency at all.
+    const GATE_MEMORY_SLOTS: u64 = 128;
+    /// Host wall-clock budget for one snapshot + one restore, ms. The
+    /// operations serialize ~100s of KB and replay a journal; on any CI
+    /// runner they complete in low single-digit milliseconds, so this
+    /// bound only catches pathological regressions (quadratic
+    /// serialization, per-slot fsync).
+    const MAX_CHECKPOINT_MS: f64 = 2_000.0;
+    /// Cycles run past the checkpoint before the kill: enough to cross a
+    /// shuffle period at the gate geometry, so the kill lands with the
+    /// device file mid-rewrite.
+    const KILL_AFTER_CYCLES: u64 = 600;
+
+    #[derive(Debug, Serialize)]
+    struct Report {
+        bench: &'static str,
+        requests: usize,
+        pass: bool,
+        snapshot_bytes: usize,
+        /// Host wall time of the checkpoint (device sync + state seal).
+        snapshot_ms: f64,
+        /// Host wall time of recovery (journal rollback + state restore).
+        restore_ms: f64,
+        max_checkpoint_ms: f64,
+        kill_after_cycles: u64,
+        replayed_requests: usize,
+        responses_match: bool,
+        trace_match: bool,
+        stats_match: bool,
+        clock_match: bool,
+    }
+
+    fn engine_config() -> HOramConfig {
+        HOramConfig::new(CAPACITY, PAYLOAD_LEN, GATE_MEMORY_SLOTS)
+            .with_seed(SEED)
+            .with_io_batch(16)
+    }
+
+    fn file_hierarchy(path: &std::path::Path) -> MemoryHierarchy {
+        let config = engine_config();
+        let slots = config.partition_count() * config.partition_slots();
+        let body = BlockContent::encoded_len(config.payload_len);
+        MemoryHierarchy::with_file_storage(
+            MachineConfig::dac2019(),
+            path,
+            FileStoreConfig::new(slots, body).with_write_back_slots(64),
+        )
+        .expect("file hierarchy builds")
+    }
+
+    fn build(path: &std::path::Path) -> HOram {
+        HOram::new(
+            engine_config(),
+            file_hierarchy(path),
+            MasterKey::from_bytes([0xC9; 32]),
+        )
+        .expect("builds")
+    }
+
+    fn trace_shape(events: &[TraceEvent]) -> Vec<(u16, u64, u64, u64)> {
+        events
+            .iter()
+            .map(|e| (e.device.0, e.addr, e.bytes, e.at.as_nanos()))
+            .collect()
+    }
+
+    pub(super) fn gate(quick: bool) -> GateOutcome {
+        let mut requests = 6_000usize;
+        if quick {
+            requests /= 8;
+            println!("(--quick: scaled to 1/8)\n");
+        }
+        println!(
+            "Durability — {CAPACITY} blocks, {GATE_MEMORY_SLOTS} memory slots, file-backed \
+             storage, {requests} Zipf requests: snapshot, kill mid-workload, restore, replay\n"
+        );
+        let trace = zipf_schedule(requests, SEED).to_trace().requests;
+        let (pre, post) = trace.split_at(requests / 2);
+
+        let scratch = scratch_dir("bench-persistence");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run(&scratch, pre, post, requests)
+        }));
+        let _ = std::fs::remove_dir_all(&scratch);
+        match result {
+            Ok(outcome) => outcome,
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    }
+
+    fn run(
+        scratch: &std::path::Path,
+        pre: &[Request],
+        post: &[Request],
+        requests: usize,
+    ) -> GateOutcome {
+        // Reference: the uninterrupted run (same file backend).
+        let reference_path = scratch.join("reference.horam");
+        let mut reference = build(&reference_path);
+        reference.run_batch(pre).expect("reference prefix");
+        reference.snapshot().expect("reference snapshot");
+        let mark = reference.trace().snapshot().len();
+        let reference_responses = reference.run_batch(post).expect("reference suffix");
+        let reference_trace = trace_shape(&reference.trace().snapshot()[mark..]);
+        let reference_stats = reference.stats();
+        assert!(
+            reference_stats.shuffles >= 2,
+            "gate workload must cross shuffle periods"
+        );
+
+        // The run that dies: checkpoint, keep working, kill mid-flight.
+        let victim_path = scratch.join("victim.horam");
+        let mut victim = build(&victim_path);
+        victim.run_batch(pre).expect("victim prefix");
+        let snapshot_started = Instant::now();
+        let snapshot = victim.snapshot().expect("victim snapshot");
+        let snapshot_ms = snapshot_started.elapsed().as_secs_f64() * 1e3;
+        for request in post {
+            victim.enqueue(request.clone()).expect("enqueue");
+        }
+        let mut ran = 0;
+        while ran < KILL_AFTER_CYCLES && !victim.queue().is_drained() {
+            ran += victim.run_cycle_window(16).expect("cycles before the kill");
+        }
+        drop(victim); // the kill: no sync, no checkpoint, buffer mid-flight
+
+        // Recovery: reopen the device file (journal rollback) + restore.
+        let restore_started = Instant::now();
+        let mut recovered = HOram::restore(
+            file_hierarchy(&victim_path),
+            MasterKey::from_bytes([0xC9; 32]),
+            &snapshot,
+        )
+        .expect("restore");
+        let restore_ms = restore_started.elapsed().as_secs_f64() * 1e3;
+        let responses = recovered.run_batch(post).expect("replay");
+
+        let responses_match = responses == reference_responses;
+        let trace_match = trace_shape(&recovered.trace().snapshot()) == reference_trace;
+        let stats_match = recovered.stats() == reference_stats;
+        let clock_match = recovered.clock().now() == reference.clock().now();
+        let within_budget = snapshot_ms + restore_ms <= MAX_CHECKPOINT_MS;
+        let pass = responses_match && trace_match && stats_match && clock_match && within_budget;
+
+        println!(
+            "snapshot: {} KB sealed in {snapshot_ms:.1} ms; restore (journal rollback + \
+             state rebuild): {restore_ms:.1} ms",
+            snapshot.len() / 1024
+        );
+        println!(
+            "replayed {} requests after killing the engine {ran} cycles past the checkpoint",
+            post.len()
+        );
+        println!(
+            "byte-identical to the uninterrupted run — responses: {responses_match}, \
+             trace(+timestamps): {trace_match}, stats: {stats_match}, clock: {clock_match}"
+        );
+        if pass {
+            println!(
+                "OK: kill → restore → replay is byte-identical and checkpointing stays \
+                 under {MAX_CHECKPOINT_MS:.0} ms.\n"
+            );
+        } else {
+            println!("REGRESSION: persistence gate failed.\n");
+        }
+
+        let report = Report {
+            bench: "persistence",
+            requests,
+            pass,
+            snapshot_bytes: snapshot.len(),
+            snapshot_ms,
+            restore_ms,
+            max_checkpoint_ms: MAX_CHECKPOINT_MS,
+            kill_after_cycles: ran,
+            replayed_requests: post.len(),
+            responses_match,
+            trace_match,
+            stats_match,
+            clock_match,
+        };
+        GateOutcome {
+            name: "persistence",
+            pass,
+            report: report.to_value(),
+        }
+    }
+}
+
+/// The persistence gate: checkpoint a file-backed engine on the Zipf
+/// schedule, kill it mid-workload (write-back buffer and shuffle stream
+/// in flight), recover from the snapshot + device file, replay — and
+/// require byte-identical responses, traces, statistics, and clock
+/// versus the uninterrupted run, with snapshot+restore staying within a
+/// host wall-clock budget.
+pub fn persistence_gate(quick: bool) -> GateOutcome {
+    persistence::gate(quick)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_suite(serving: f64, io_zipf: f64, sharding: f64) -> Value {
+        let gate = |name: &str, report: Value| {
+            Value::Map(vec![
+                ("gate".into(), Value::Str(name.into())),
+                ("pass".into(), Value::Bool(true)),
+                ("report".into(), report),
+            ])
+        };
+        let num = |v: f64| Value::Num(serde::Number::F(v));
+        Value::Map(vec![(
+            "gates".into(),
+            Value::Seq(vec![
+                gate(
+                    "serving",
+                    Value::Map(vec![
+                        ("vs_sequential".into(), num(serving)),
+                        ("vs_per_request".into(), num(serving * 4.0)),
+                    ]),
+                ),
+                gate(
+                    "io_pipeline",
+                    Value::Map(vec![(
+                        "workloads".into(),
+                        Value::Seq(vec![Value::Map(vec![
+                            ("workload".into(), Value::Str("zipf-hit-bound".into())),
+                            ("io_speedup".into(), num(io_zipf)),
+                            ("wall_speedup".into(), num(io_zipf / 2.0)),
+                        ])]),
+                    )]),
+                ),
+                gate(
+                    "sharding",
+                    Value::Map(vec![
+                        ("io_speedup".into(), num(sharding)),
+                        ("wall_speedup".into(), num(sharding)),
+                    ]),
+                ),
+            ]),
+        )])
+    }
+
+    #[test]
+    fn trend_metrics_cover_all_three_gates_including_nested_io_rows() {
+        let metrics = trend_metrics(&fake_suite(1.5, 2.0, 3.0));
+        let names: Vec<&str> = metrics.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"serving.vs_sequential"));
+        assert!(names.contains(&"serving.vs_per_request"));
+        assert!(names.contains(&"io_pipeline.zipf-hit-bound.io_speedup"));
+        assert!(names.contains(&"io_pipeline.zipf-hit-bound.wall_speedup"));
+        assert!(names.contains(&"sharding.io_speedup"));
+        assert_eq!(metrics.len(), 6);
+    }
+
+    #[test]
+    fn baseline_diff_flags_regressions_and_missing_metrics() {
+        let baseline = fake_suite(1.5, 2.0, 3.0);
+        // Identical: clean.
+        assert!(baseline_regressions(&fake_suite(1.5, 2.0, 3.0), &baseline, 0.25).is_empty());
+        // Within tolerance: clean.
+        assert!(baseline_regressions(&fake_suite(1.2, 1.6, 2.4), &baseline, 0.25).is_empty());
+        // The nested io_pipeline ratio regressing below the floor trips.
+        let regressions = baseline_regressions(&fake_suite(1.5, 1.0, 3.0), &baseline, 0.25);
+        assert!(
+            regressions
+                .iter()
+                .any(|r| r.contains("io_pipeline.zipf-hit-bound.io_speedup")),
+            "{regressions:?}"
+        );
+        // A metric vanishing from the fresh report trips too.
+        let gutted = fake_suite(1.5, 2.0, 3.0);
+        let Value::Map(mut entries) = gutted else {
+            unreachable!()
+        };
+        let Value::Seq(gates) = &mut entries[0].1 else {
+            unreachable!()
+        };
+        gates.pop(); // drop the sharding gate
+        let regressions = baseline_regressions(&Value::Map(entries), &baseline, 0.25);
+        assert!(regressions
+            .iter()
+            .any(|r| r.contains("sharding.io_speedup")));
+    }
 }

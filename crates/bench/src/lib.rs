@@ -172,9 +172,78 @@ pub fn run_tree_top_baseline(params: &TableParams) -> SystemRow {
     }
 }
 
-/// Parses the conventional `--quick` flag.
+/// Command-line options shared by every bench binary. Historically each
+/// binary hand-parsed its flags (`--quick` here, `--out` there); this is
+/// the one parser they all go through now, so flags cannot drift in
+/// meaning between binaries.
+///
+/// Recognized flags:
+///
+/// * `--quick` — scale the experiment down for smoke runs;
+/// * `--out <path>` — where the machine-readable JSON report goes;
+/// * `--baseline <path>` — a previously committed report to diff the
+///   fresh one against (the suite's trend-regression check).
+///
+/// Unknown arguments are ignored (binaries historically tolerated them).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// `--quick` was given.
+    pub quick: bool,
+    /// `--out <path>`, if given.
+    pub out: Option<std::path::PathBuf>,
+    /// `--baseline <path>`, if given.
+    pub baseline: Option<std::path::PathBuf>,
+}
+
+impl BenchArgs {
+    /// Parses the process's command line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `--out` or `--baseline` is given without a following
+    /// path (CI treats that as a failed run, loudly).
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (testable core of
+    /// [`parse`](Self::parse)).
+    ///
+    /// # Panics
+    ///
+    /// As [`parse`](Self::parse).
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Self {
+        let mut parsed = Self::default();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => parsed.quick = true,
+                "--out" => {
+                    parsed.out = Some(args.next().expect("--out requires a path argument").into());
+                }
+                "--baseline" => {
+                    parsed.baseline = Some(
+                        args.next()
+                            .expect("--baseline requires a path argument")
+                            .into(),
+                    );
+                }
+                _ => {}
+            }
+        }
+        parsed
+    }
+
+    /// The report path: `--out` if given, else `default`.
+    pub fn out_or(&self, default: &str) -> std::path::PathBuf {
+        self.out.clone().unwrap_or_else(|| default.into())
+    }
+}
+
+/// Parses the conventional `--quick` flag (thin wrapper over
+/// [`BenchArgs`]; prefer parsing once).
 pub fn quick_flag() -> bool {
-    std::env::args().any(|a| a == "--quick")
+    BenchArgs::parse().quick
 }
 
 /// Formats a speedup factor.
@@ -191,6 +260,28 @@ pub fn speedup(baseline: SimDuration, ours: SimDuration) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bench_args_parse_flags_in_any_order() {
+        let args = BenchArgs::parse_from(
+            ["--out", "a.json", "--quick", "--baseline", "b.json", "junk"].map(String::from),
+        );
+        assert!(args.quick);
+        assert_eq!(args.out_or("x.json"), std::path::PathBuf::from("a.json"));
+        assert_eq!(args.baseline, Some("b.json".into()));
+        let defaults = BenchArgs::parse_from([]);
+        assert!(!defaults.quick);
+        assert_eq!(
+            defaults.out_or("x.json"),
+            std::path::PathBuf::from("x.json")
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "--out requires a path")]
+    fn out_without_path_panics() {
+        let _ = BenchArgs::parse_from(["--out".to_string()]);
+    }
 
     #[test]
     fn quick_scales_down() {

@@ -87,6 +87,21 @@ pub trait OramEngine {
     fn shard_count(&self) -> usize {
         1
     }
+
+    /// Seals the engine's complete trusted state into an encrypted,
+    /// authenticated snapshot (committing durable devices first). The
+    /// engine must be drained; the serving layer's checkpoint operation
+    /// guarantees it. Restore goes through the concrete type
+    /// ([`HOram::restore`](crate::horam::HOram::restore) /
+    /// [`ShardedOram::restore`](crate::shard::ShardedOram::restore)) —
+    /// it needs the master key and fresh devices, which the trait
+    /// deliberately does not model.
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::SnapshotInvalid`] when requests are in flight;
+    /// storage backend errors propagate.
+    fn snapshot(&mut self) -> Result<Vec<u8>, OramError>;
 }
 
 impl OramEngine for crate::horam::HOram {
@@ -120,5 +135,9 @@ impl OramEngine for crate::horam::HOram {
 
     fn now(&self) -> SimTime {
         self.clock().now()
+    }
+
+    fn snapshot(&mut self) -> Result<Vec<u8>, OramError> {
+        self.snapshot()
     }
 }

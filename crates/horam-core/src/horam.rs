@@ -34,11 +34,13 @@
 
 use crate::config::HOramConfig;
 use crate::evict::oblivious_tree_evict;
+use crate::persist::{self, KIND_SINGLE, SNAPSHOT_DOMAIN};
 use crate::queue::RequestQueue;
 use crate::scheduler::CyclePlan;
 use crate::stats::HOramStats;
 use crate::storage_layer::{LoadPlan, StorageLayer};
-use oram_crypto::keys::{KeyHierarchy, MasterKey};
+use oram_crypto::keys::{KeyHierarchy, MasterKey, SubKeys};
+use oram_crypto::persist::{open_envelope, seal_envelope, StateReader, StateWriter};
 use oram_crypto::prf::Prf;
 use oram_protocols::error::OramError;
 use oram_protocols::oram_trait::Oram;
@@ -61,6 +63,8 @@ pub struct HOram {
     period_seq: u64,
     seed_prf: Prf,
     stats: HOramStats,
+    /// Keys sealing this instance's snapshots (derived from the master).
+    snapshot_keys: SubKeys,
 }
 
 impl HOram {
@@ -92,15 +96,7 @@ impl HOram {
             ..
         } = hierarchy;
 
-        let memory_keys = master.derive("horam/memory", 0);
-        let memory = PathOram::for_slot_budget(
-            config.memory_slots,
-            Some(config.capacity),
-            config.payload_len,
-            memory_device,
-            &memory_keys,
-            config.seed ^ 0x6d65_6d6f,
-        )?;
+        let memory = Self::build_memory_layer(&config, memory_device, &master)?;
         let storage = StorageLayer::new(
             &config,
             storage_device,
@@ -109,6 +105,7 @@ impl HOram {
 
         let seed_prf = Prf::new(master.derive("horam/seeds", 0).prf().to_owned());
         let queue = RequestQueue::new(config.capacity, config.payload_len);
+        let snapshot_keys = master.derive(SNAPSHOT_DOMAIN, 0);
         let mut horam = Self {
             config,
             memory,
@@ -120,9 +117,160 @@ impl HOram {
             period_seq: 0,
             seed_prf,
             stats: HOramStats::default(),
+            snapshot_keys,
         };
         horam.reset_accounting();
         Ok(horam)
+    }
+
+    /// Builds the in-memory Path ORAM cache layer the way [`new`](Self::new)
+    /// does — shared with [`restore`](Self::restore) so derived key and
+    /// seed material cannot drift between the two construction paths.
+    fn build_memory_layer(
+        config: &HOramConfig,
+        device: oram_storage::device::Device,
+        master: &MasterKey,
+    ) -> Result<PathOram, OramError> {
+        let memory_keys = master.derive("horam/memory", 0);
+        PathOram::for_slot_budget(
+            config.memory_slots,
+            Some(config.capacity),
+            config.payload_len,
+            device,
+            &memory_keys,
+            config.seed ^ 0x6d65_6d6f,
+        )
+    }
+
+    /// Seals the complete trusted client state into an encrypted,
+    /// authenticated snapshot — stash, position map, permutation list,
+    /// key epochs, scheduling counters, clock, and statistics — and
+    /// **commits the storage device** first (a durable device flushes its
+    /// write-back buffer, fsyncs, and truncates its undo journal), so the
+    /// on-disk image a later recovery adopts is exactly the one this
+    /// snapshot describes.
+    ///
+    /// The snapshot leaks nothing beyond its size (and whether two
+    /// snapshots captured identical state — the envelope nonce is a
+    /// keyed PRF of the body); see `docs/ARCHITECTURE.md` §9 for the
+    /// trust-boundary argument.
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::SnapshotInvalid`] if requests are still queued
+    /// (snapshots are taken at batch boundaries — the serving layer's
+    /// checkpoint drains first); storage backend errors propagate.
+    pub fn snapshot(&mut self) -> Result<Vec<u8>, OramError> {
+        if !self.queue.is_drained() {
+            return Err(OramError::SnapshotInvalid {
+                reason: format!(
+                    "{} requests still queued; drain before snapshotting",
+                    self.queue.pending()
+                ),
+            });
+        }
+        // Commit point: everything the snapshot's control state refers to
+        // must be on stable storage before the snapshot exists.
+        self.memory
+            .device_mut()
+            .sync()
+            .map_err(OramError::Storage)?;
+        self.storage
+            .device_mut()
+            .sync()
+            .map_err(OramError::Storage)?;
+
+        let mut w = StateWriter::new();
+        persist::save_config(&self.config, &mut w);
+        w.put_u64(self.clock.now().as_nanos());
+        w.put_u64(self.io_used_in_period);
+        w.put_u64(self.period_seq);
+        self.stats.save_state(&mut w);
+        self.queue.save_state(&mut w);
+        self.memory.save_state(&mut w)?;
+        self.storage.save_state(&mut w)?;
+
+        let body = w.into_bytes();
+        let seq = persist::envelope_seq(&self.snapshot_keys, &body);
+        Ok(seal_envelope(&self.snapshot_keys, KIND_SINGLE, seq, &body))
+    }
+
+    /// Rebuilds an instance from a snapshot sealed by
+    /// [`snapshot`](Self::snapshot), the same master key, and a hierarchy
+    /// whose storage device holds the snapshot's data: the durable device
+    /// file for a file-backed hierarchy (its undo journal rolls partial
+    /// post-snapshot writes back on open), or nothing for a fully
+    /// volatile hierarchy (the snapshot embeds the data).
+    ///
+    /// The restored instance is byte-equivalent to the one the snapshot
+    /// captured: replaying the same request stream produces identical
+    /// responses, an identical bus trace (timestamps continue from the
+    /// snapshot's clock), and identical statistics —
+    /// `tests/persistence.rs` property-tests this end to end.
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::SnapshotInvalid`] for a truncated, corrupted,
+    /// wrong-key, or geometry-incompatible snapshot. Restores fail
+    /// closed: an error never yields a partially restored instance.
+    pub fn restore(
+        hierarchy: MemoryHierarchy,
+        master: MasterKey,
+        snapshot: &[u8],
+    ) -> Result<Self, OramError> {
+        let snapshot_keys = master.derive(SNAPSHOT_DOMAIN, 0);
+        let body = open_envelope(&snapshot_keys, KIND_SINGLE, snapshot)?;
+        let mut r = StateReader::new(&body);
+        let config = persist::load_config(&mut r)?;
+        config.validate();
+
+        let clock = hierarchy.clock().clone();
+        let trace = hierarchy.trace().clone();
+        let MemoryHierarchy {
+            memory: memory_device,
+            storage: storage_device,
+            ..
+        } = hierarchy;
+
+        let clock_nanos = r.get_u64()?;
+        let io_used_in_period = r.get_u64()?;
+        let period_seq = r.get_u64()?;
+        let stats = HOramStats::load_state(&mut r)?;
+        let mut queue = RequestQueue::new(config.capacity, config.payload_len);
+        queue.load_state(&mut r)?;
+        let mut memory = Self::build_memory_layer(&config, memory_device, &master)?;
+        memory.load_state(&mut r)?;
+        let storage = StorageLayer::restore(
+            &config,
+            storage_device,
+            KeyHierarchy::new(master.clone(), "horam/storage"),
+            &mut r,
+        )?;
+        r.finish()?;
+
+        // The hierarchy's accounting restarts at the snapshot's instant:
+        // the trace is empty (the adversary's pre-crash view is already
+        // recorded elsewhere) and the clock continues where it stopped,
+        // so post-restore trace timestamps line up with an uninterrupted
+        // run.
+        trace.clear();
+        clock.reset();
+        clock.advance(SimDuration::from_nanos(clock_nanos));
+
+        let seed_prf = Prf::new(master.derive("horam/seeds", 0).prf().to_owned());
+        Ok(Self {
+            config,
+            memory,
+            storage,
+            clock,
+            trace,
+            queue,
+            io_used_in_period,
+            period_seq,
+            seed_prf,
+            stats,
+            snapshot_keys,
+        })
     }
 
     /// The configuration in effect.

@@ -40,6 +40,7 @@ pub mod evict;
 pub mod horam;
 pub mod multi_user;
 pub mod permutation_list;
+pub mod persist;
 pub mod pool;
 pub mod queue;
 pub mod rob;

@@ -88,6 +88,51 @@ impl PermutationList {
     pub fn memory_bytes(&self) -> usize {
         self.locations.len() * std::mem::size_of::<Location>()
     }
+
+    /// Serializes the table (snapshot support): one entry per block,
+    /// `Memory` encoded as an absent slot.
+    pub fn save_state(&self, w: &mut oram_crypto::persist::StateWriter) {
+        w.put_usize(self.locations.len());
+        for location in &self.locations {
+            match location {
+                Location::Memory => w.put_opt_u64(None),
+                Location::Storage { slot } => w.put_opt_u64(Some(*slot)),
+            }
+        }
+    }
+
+    /// Restores a table serialized by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// [`oram_crypto::persist::PersistError`] on length mismatch or
+    /// malformed entries.
+    pub fn load_state(
+        &mut self,
+        r: &mut oram_crypto::persist::StateReader<'_>,
+    ) -> Result<(), oram_crypto::persist::PersistError> {
+        let len = r.get_usize()?;
+        if len != self.locations.len() {
+            return Err(oram_crypto::persist::PersistError::Malformed(format!(
+                "permutation list of {len} entries for capacity {}",
+                self.locations.len()
+            )));
+        }
+        let mut locations = Vec::with_capacity(len);
+        let mut in_memory = 0;
+        for _ in 0..len {
+            locations.push(match r.get_opt_u64()? {
+                None => {
+                    in_memory += 1;
+                    Location::Memory
+                }
+                Some(slot) => Location::Storage { slot },
+            });
+        }
+        self.locations = locations;
+        self.in_memory = in_memory;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -140,6 +140,70 @@ impl RequestQueue {
     pub fn void_in_flight_io(&mut self) {
         self.rob.clear_io_issued();
     }
+
+    /// Serializes the queue's durable state: ticket counter, submission
+    /// counters, and any completed-but-uncollected responses. Requires a
+    /// drained ROB (snapshots are taken between batches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if requests are still queued — the engines guard this with
+    /// a proper error before calling.
+    pub fn save_state(&self, w: &mut oram_crypto::persist::StateWriter) {
+        assert!(self.is_drained(), "snapshot of a non-drained queue");
+        w.put_u64(self.capacity);
+        w.put_usize(self.payload_len);
+        w.put_u64(self.rob.next_ticket());
+        w.put_u64(self.submitted);
+        w.put_u64(self.completed);
+        // Deterministic order for byte-stable snapshots.
+        let mut responses: Vec<(u64, &Vec<u8>)> =
+            self.responses.iter().map(|(t, r)| (*t, r)).collect();
+        responses.sort_unstable_by_key(|(t, _)| *t);
+        w.put_usize(responses.len());
+        for (ticket, response) in responses {
+            w.put_u64(ticket);
+            w.put_bytes(response);
+        }
+    }
+
+    /// Restores state captured by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::SnapshotInvalid`] on geometry mismatch or malformed
+    /// state.
+    pub fn load_state(
+        &mut self,
+        r: &mut oram_crypto::persist::StateReader<'_>,
+    ) -> Result<(), OramError> {
+        let capacity = r.get_u64()?;
+        let payload_len = r.get_usize()?;
+        if capacity != self.capacity || payload_len != self.payload_len {
+            return Err(OramError::SnapshotInvalid {
+                reason: format!(
+                    "queue geometry mismatch: snapshot {capacity}×{payload_len}B, \
+                     instance {}×{}B",
+                    self.capacity, self.payload_len
+                ),
+            });
+        }
+        let next_ticket = r.get_u64()?;
+        let submitted = r.get_u64()?;
+        let completed = r.get_u64()?;
+        let count = r.get_usize()?;
+        let mut responses = HashMap::with_capacity(count);
+        for _ in 0..count {
+            let ticket = r.get_u64()?;
+            let response = r.get_bytes()?.to_vec();
+            responses.insert(ticket, response);
+        }
+        self.rob.restore_next_ticket(next_ticket);
+        self.submitted = submitted;
+        self.completed = completed;
+        self.responses = responses;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -47,6 +47,23 @@ impl RobTable {
         ticket
     }
 
+    /// The ticket the next [`push`](Self::push) will hand out. Persisted
+    /// by snapshots so a restored instance never reissues a live ticket.
+    pub fn next_ticket(&self) -> u64 {
+        self.next_ticket
+    }
+
+    /// Restores the ticket counter (snapshot restore on a drained table).
+    ///
+    /// # Panics
+    ///
+    /// Panics if entries are queued — restoring mid-flight is not a
+    /// supported state.
+    pub fn restore_next_ticket(&mut self, next_ticket: u64) {
+        assert!(self.entries.is_empty(), "restore on a non-empty ROB");
+        self.next_ticket = next_ticket;
+    }
+
     /// Number of queued requests.
     pub fn len(&self) -> usize {
         self.entries.len()

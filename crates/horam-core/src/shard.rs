@@ -40,9 +40,11 @@
 use crate::config::HOramConfig;
 use crate::engine::OramEngine;
 use crate::horam::HOram;
+use crate::persist::{self, KIND_SHARDED, SNAPSHOT_DOMAIN};
 use crate::pool::WorkerPool;
 use crate::stats::HOramStats;
-use oram_crypto::keys::MasterKey;
+use oram_crypto::keys::{MasterKey, SubKeys};
+use oram_crypto::persist::{open_envelope, seal_envelope, StateReader, StateWriter};
 use oram_crypto::prp::FeistelPrp;
 use oram_protocols::error::OramError;
 use oram_protocols::oram_trait::Oram;
@@ -264,6 +266,8 @@ pub struct ShardedOram {
     /// Wall-clock worker pool the pump dispatches shard windows onto
     /// (`None` at `worker_threads = 1` — the serial round-robin).
     workers: Option<Arc<WorkerPool>>,
+    /// Keys sealing this instance's manifest snapshots.
+    snapshot_keys: SubKeys,
 }
 
 /// Shard instances are moved onto pool workers by reference; everything
@@ -276,6 +280,22 @@ const _: fn() = || {
 };
 
 impl ShardedOram {
+    /// The address-partition PRP key, derived from the instance master.
+    /// One derivation site shared by [`new`](Self::new) and
+    /// [`restore`](Self::restore) — the two construction paths must
+    /// agree byte-for-byte or restored instances route to wrong shards.
+    fn derive_map_key(master: &MasterKey) -> [u8; 16] {
+        *master.derive("horam/shard-map", 0).prp()
+    }
+
+    /// One shard's computationally independent master key, derived from
+    /// the instance master. Shared by [`new`](Self::new) and
+    /// [`restore`](Self::restore) for the same reason as
+    /// [`derive_map_key`](Self::derive_map_key).
+    fn derive_shard_master(master: &MasterKey, shard: u64) -> MasterKey {
+        MasterKey::from_bytes(*master.derive("horam/shard", shard).encryption())
+    }
+
     /// Builds the sharded instance: one full [`HOram`] per shard, each on
     /// its own hierarchy from `hierarchy_for`, all keyed from independent
     /// derivations of `master`.
@@ -294,14 +314,16 @@ impl ShardedOram {
         mut hierarchy_for: impl FnMut(u64) -> MemoryHierarchy,
     ) -> Result<Self, OramError> {
         config.validate();
-        let map_key = *master.derive("horam/shard-map", 0).prp();
-        let mapper = ShardMapper::new(map_key, config.base.capacity, config.shards)?;
+        let mapper = ShardMapper::new(
+            Self::derive_map_key(&master),
+            config.base.capacity,
+            config.shards,
+        )?;
         let mut shards = Vec::with_capacity(config.shards as usize);
         for shard in 0..config.shards {
             // Each shard gets a computationally independent master key, so
             // shard devices never share encryption/PRP material.
-            let shard_master =
-                MasterKey::from_bytes(*master.derive("horam/shard", shard).encryption());
+            let shard_master = Self::derive_shard_master(&master, shard);
             shards.push(HOram::new(
                 config.shard_config(shard),
                 hierarchy_for(shard),
@@ -309,6 +331,7 @@ impl ShardedOram {
             )?);
         }
         let workers = WorkerPool::for_threads(config.base.worker_threads);
+        let snapshot_keys = master.derive(SNAPSHOT_DOMAIN, 0);
         Ok(Self {
             config,
             mapper,
@@ -317,6 +340,123 @@ impl ShardedOram {
             routes: HashMap::new(),
             next_ticket: 0,
             workers,
+            snapshot_keys,
+        })
+    }
+
+    /// Seals the sharded instance's trusted state: a manifest (geometry,
+    /// ticket routing, shared clock) plus one embedded
+    /// [`HOram::snapshot`] per shard, each sealed under its own shard's
+    /// derived keys. Every shard's durable device commits before its
+    /// snapshot is taken, so one manifest describes one consistent
+    /// checkpoint across all shards.
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::SnapshotInvalid`] if any shard has requests queued;
+    /// storage backend errors propagate.
+    pub fn snapshot(&mut self) -> Result<Vec<u8>, OramError> {
+        if !self.is_drained() {
+            return Err(OramError::SnapshotInvalid {
+                reason: format!(
+                    "{} requests still queued; drain before snapshotting",
+                    self.pending()
+                ),
+            });
+        }
+        let mut w = StateWriter::new();
+        persist::save_config(&self.config.base, &mut w);
+        w.put_u64(self.config.shards);
+        w.put_u64(self.clock.now().as_nanos());
+        w.put_u64(self.next_ticket);
+        // Outstanding ticket routes (responses produced but not yet
+        // collected), in ticket order for byte-stable manifests.
+        let mut routes: Vec<(u64, TicketRoute)> =
+            self.routes.iter().map(|(t, r)| (*t, *r)).collect();
+        routes.sort_unstable_by_key(|(t, _)| *t);
+        w.put_usize(routes.len());
+        for (ticket, route) in routes {
+            w.put_u64(ticket);
+            w.put_usize(route.shard);
+            w.put_u64(route.local_ticket);
+        }
+        for shard in &mut self.shards {
+            let sealed = shard.snapshot()?;
+            w.put_bytes(&sealed);
+        }
+        let body = w.into_bytes();
+        let seq = persist::envelope_seq(&self.snapshot_keys, &body);
+        Ok(seal_envelope(&self.snapshot_keys, KIND_SHARDED, seq, &body))
+    }
+
+    /// Rebuilds a sharded instance from a manifest sealed by
+    /// [`snapshot`](Self::snapshot), the same master key, and one fresh
+    /// hierarchy per shard (durable shards' device files roll back to the
+    /// manifest's checkpoint on open). Byte-equivalent continuation, as
+    /// for [`HOram::restore`].
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::SnapshotInvalid`] for truncated, corrupted,
+    /// wrong-key, or geometry-incompatible manifests; restores fail
+    /// closed.
+    pub fn restore(
+        master: MasterKey,
+        mut hierarchy_for: impl FnMut(u64) -> MemoryHierarchy,
+        snapshot: &[u8],
+    ) -> Result<Self, OramError> {
+        let snapshot_keys = master.derive(SNAPSHOT_DOMAIN, 0);
+        let body = open_envelope(&snapshot_keys, KIND_SHARDED, snapshot)?;
+        let mut r = StateReader::new(&body);
+        let base = persist::load_config(&mut r)?;
+        let shard_count = r.get_u64()?;
+        let config = ShardedConfig::new(base, shard_count);
+        config.validate();
+        let clock_nanos = r.get_u64()?;
+        let next_ticket = r.get_u64()?;
+        let route_count = r.get_usize()?;
+        let mut routes = HashMap::with_capacity(route_count);
+        for _ in 0..route_count {
+            let ticket = r.get_u64()?;
+            let shard = r.get_usize()?;
+            let local_ticket = r.get_u64()?;
+            if shard >= shard_count as usize {
+                return Err(OramError::SnapshotInvalid {
+                    reason: format!("ticket route to shard {shard} of {shard_count}"),
+                });
+            }
+            routes.insert(
+                ticket,
+                TicketRoute {
+                    shard,
+                    local_ticket,
+                },
+            );
+        }
+        let mapper = ShardMapper::new(
+            Self::derive_map_key(&master),
+            config.base.capacity,
+            config.shards,
+        )?;
+        let mut shards = Vec::with_capacity(shard_count as usize);
+        for shard in 0..shard_count {
+            let sealed = r.get_bytes()?;
+            let shard_master = Self::derive_shard_master(&master, shard);
+            shards.push(HOram::restore(hierarchy_for(shard), shard_master, sealed)?);
+        }
+        r.finish()?;
+        let clock = SimClock::new();
+        clock.advance(oram_storage::clock::SimDuration::from_nanos(clock_nanos));
+        let workers = WorkerPool::for_threads(config.base.worker_threads);
+        Ok(Self {
+            config,
+            mapper,
+            shards,
+            clock,
+            routes,
+            next_ticket,
+            workers,
+            snapshot_keys,
         })
     }
 
@@ -602,6 +742,10 @@ impl OramEngine for ShardedOram {
 
     fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    fn snapshot(&mut self) -> Result<Vec<u8>, OramError> {
+        self.snapshot()
     }
 }
 

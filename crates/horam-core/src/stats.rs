@@ -70,6 +70,50 @@ impl HOramStats {
         }
     }
 
+    /// Serializes every counter (snapshot support).
+    pub fn save_state(&self, w: &mut oram_crypto::persist::StateWriter) {
+        w.put_u64(self.requests);
+        w.put_u64(self.writes);
+        w.put_u64(self.cycles);
+        w.put_u64(self.memory_hits);
+        w.put_u64(self.dummy_memory_accesses);
+        w.put_u64(self.real_io_loads);
+        w.put_u64(self.dummy_io_loads);
+        w.put_u64(self.prefetched_blocks);
+        w.put_u64(self.io_time.as_nanos());
+        w.put_u64(self.memory_time.as_nanos());
+        w.put_u64(self.access_wall_time.as_nanos());
+        w.put_u64(self.shuffle_wall_time.as_nanos());
+        w.put_u64(self.shuffles);
+        w.put_u64(self.spilled_blocks);
+    }
+
+    /// Reads counters serialized by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// [`oram_crypto::persist::PersistError`] on truncation.
+    pub fn load_state(
+        r: &mut oram_crypto::persist::StateReader<'_>,
+    ) -> Result<Self, oram_crypto::persist::PersistError> {
+        Ok(Self {
+            requests: r.get_u64()?,
+            writes: r.get_u64()?,
+            cycles: r.get_u64()?,
+            memory_hits: r.get_u64()?,
+            dummy_memory_accesses: r.get_u64()?,
+            real_io_loads: r.get_u64()?,
+            dummy_io_loads: r.get_u64()?,
+            prefetched_blocks: r.get_u64()?,
+            io_time: SimDuration::from_nanos(r.get_u64()?),
+            memory_time: SimDuration::from_nanos(r.get_u64()?),
+            access_wall_time: SimDuration::from_nanos(r.get_u64()?),
+            shuffle_wall_time: SimDuration::from_nanos(r.get_u64()?),
+            shuffles: r.get_u64()?,
+            spilled_blocks: r.get_u64()?,
+        })
+    }
+
     /// The counters accumulated since `baseline` was captured.
     ///
     /// Every field is monotone over a run, so subtracting an earlier

@@ -328,6 +328,10 @@ pub struct StorageLayer {
     dummy_cursor: u64,
     /// PRF from which each period's dummy-order PRP key is derived.
     dummy_prf: Prf,
+    /// The current period's dummy-order PRP key, kept so snapshots can
+    /// rebuild the cursor exactly (the key depends on the shuffle seed of
+    /// the period that installed it, which is not otherwise recoverable).
+    dummy_key: [u8; 16],
     /// Loads staged by [`plan_io`](Self::plan_io) awaiting commit.
     pending: Vec<PlannedLoad>,
     /// Recycled wire-body buffers for the zero-copy seal/open stream.
@@ -387,6 +391,7 @@ impl StorageLayer {
                 .expect("total slot count is positive"),
             dummy_cursor: 0,
             dummy_prf,
+            dummy_key: [0u8; 16],
             pending: Vec::new(),
             pool: BufferPool::new(),
             workers: WorkerPool::for_threads(config.worker_threads),
@@ -504,6 +509,7 @@ impl StorageLayer {
         let mut key = [0u8; 16];
         key[..8].copy_from_slice(&lo.to_le_bytes());
         key[8..].copy_from_slice(&hi.to_le_bytes());
+        self.dummy_key = key;
         self.dummy_prp =
             FeistelPrp::new(key, self.total_slots()).expect("total slot count is positive");
         self.dummy_cursor = 0;
@@ -517,6 +523,136 @@ impl StorageLayer {
             sealer.open(&sealed)
         };
         Ok(body?)
+    }
+
+    /// Serializes the layer's mutable control state plus the device state
+    /// (see [`Device::save_state`]). Requires no I/O batch in flight.
+    ///
+    /// # Errors
+    ///
+    /// Storage backend errors propagate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if loads are planned but uncommitted (snapshots are taken
+    /// between batches).
+    pub fn save_state(
+        &mut self,
+        w: &mut oram_crypto::persist::StateWriter,
+    ) -> Result<(), OramError> {
+        assert!(
+            self.pending.is_empty(),
+            "snapshot while a planned I/O batch is uncommitted"
+        );
+        w.put_u64(self.epoch);
+        w.put_u64(self.seal_seq);
+        w.put_u64(self.period_counter);
+        w.put_u64(self.partial_window_start);
+        w.put_u64(self.dummy_cursor);
+        w.put_bytes(&self.dummy_key);
+        self.locations.save_state(w);
+        w.put_usize(self.owners.len());
+        for owner in &self.owners {
+            w.put_opt_u64(owner.map(|id| id.0));
+        }
+        w.put_usize(self.touched.len());
+        for &touched in &self.touched {
+            w.put_bool(touched);
+        }
+        self.device.save_state(w).map_err(OramError::Storage)
+    }
+
+    /// Rebuilds a layer from a snapshot **without** writing the initial
+    /// layout: derived structures (keys, sealers, pools) are constructed
+    /// exactly as [`new`](Self::new) does, mutable state comes from the
+    /// snapshot, and the device's stored blocks come from the snapshot
+    /// (volatile store) or from the device's own durable file.
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::SnapshotInvalid`] on geometry mismatch or malformed
+    /// state.
+    pub fn restore(
+        config: &HOramConfig,
+        mut device: Device,
+        keys: KeyHierarchy,
+        r: &mut oram_crypto::persist::StateReader<'_>,
+    ) -> Result<Self, OramError> {
+        let partition_count = config.partition_count();
+        let partition_slots = config.partition_slots();
+        let total_slots = (partition_count * partition_slots) as usize;
+
+        let epoch = r.get_u64()?;
+        let seal_seq = r.get_u64()?;
+        let period_counter = r.get_u64()?;
+        let partial_window_start = r.get_u64()?;
+        let dummy_cursor = r.get_u64()?;
+        let key_bytes = r.get_bytes()?;
+        let dummy_key: [u8; 16] = key_bytes
+            .try_into()
+            .map_err(|_| OramError::SnapshotInvalid {
+                reason: "dummy-order key is not 16 bytes".into(),
+            })?;
+        let mut locations = PermutationList::new(config.capacity);
+        locations.load_state(r)?;
+        let owner_count = r.get_usize()?;
+        if owner_count != total_slots {
+            return Err(OramError::SnapshotInvalid {
+                reason: format!("{owner_count} slot owners for {total_slots} slots"),
+            });
+        }
+        let mut owners = Vec::with_capacity(total_slots);
+        let mut partition_live = vec![0u64; partition_count as usize];
+        for slot in 0..total_slots {
+            let owner = r.get_opt_u64()?.map(BlockId);
+            if owner.is_some() {
+                partition_live[slot / partition_slots as usize] += 1;
+            }
+            owners.push(owner);
+        }
+        let touched_count = r.get_usize()?;
+        if touched_count != total_slots {
+            return Err(OramError::SnapshotInvalid {
+                reason: format!("{touched_count} period markers for {total_slots} slots"),
+            });
+        }
+        let mut touched = Vec::with_capacity(total_slots);
+        for _ in 0..total_slots {
+            touched.push(r.get_bool()?);
+        }
+        device.load_state(r)?;
+
+        let sealer = BlockSealer::new(&keys.epoch_keys(epoch));
+        let dummy_prf = Prf::new(*keys.epoch_keys(0).prf());
+        Ok(Self {
+            device,
+            keys,
+            sealer,
+            epoch,
+            seal_seq,
+            locations,
+            owners,
+            partition_live,
+            touched,
+            dummy_prp: FeistelPrp::new(dummy_key, (total_slots as u64).max(1))
+                .expect("total slot count is positive"),
+            dummy_cursor,
+            dummy_prf,
+            dummy_key,
+            pending: Vec::new(),
+            pool: BufferPool::new(),
+            workers: WorkerPool::for_threads(config.worker_threads),
+            worker_pools: (0..config.worker_threads)
+                .map(|_| BufferPool::new())
+                .collect(),
+            zero_copy: config.zero_copy_io,
+            partition_count,
+            partition_slots,
+            capacity: config.capacity,
+            payload_len: config.payload_len,
+            partial_window_start,
+            period_counter,
+        })
     }
 
     /// Stages one load: applies every control-layer state transition now

@@ -554,6 +554,31 @@ impl<E: OramEngine> OramService<E> {
         Ok(report)
     }
 
+    /// Checkpoint: drains every in-flight batch and queued request
+    /// ([`pump_until_idle`](Self::pump_until_idle)), then seals the
+    /// engine's complete trusted state into an encrypted, authenticated
+    /// snapshot ([`OramEngine::snapshot`]) — committing durable storage
+    /// devices first, so snapshot and device file describe one consistent
+    /// recovery point.
+    ///
+    /// Deployment-side restore builds a fresh engine from the snapshot
+    /// (`HOram::restore` / `ShardedOram::restore`) and wraps it in a new
+    /// service. Service-level state — tenant registrations, grants,
+    /// uncollected [`ServiceTicket`] responses — is configuration and
+    /// delivery state outside the ORAM trust boundary; re-register
+    /// tenants on the new service and collect responses before
+    /// checkpointing.
+    ///
+    /// # Errors
+    ///
+    /// ORAM storage/crypto errors propagate; the engine reports
+    /// `SnapshotInvalid` if an admission-policy stall left requests
+    /// queued (see [`pump_until_idle`](Self::pump_until_idle)).
+    pub fn checkpoint(&mut self) -> Result<Vec<u8>, ServeError> {
+        self.pump_until_idle()?;
+        Ok(self.oram.snapshot()?)
+    }
+
     /// Submits a whole arrival sequence and serves it to completion,
     /// returning each arrival's ticket in submission order. This is the
     /// entry point workload `TenantSchedule`s feed (see

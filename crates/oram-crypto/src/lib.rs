@@ -44,6 +44,7 @@
 
 pub mod chacha;
 pub mod keys;
+pub mod persist;
 pub mod pool;
 pub mod prf;
 pub mod prp;
@@ -53,6 +54,7 @@ pub mod siphash;
 
 pub use chacha::ChaCha20;
 pub use keys::{KeyHierarchy, MasterKey, SubKeys};
+pub use persist::{PersistError, StateReader, StateWriter};
 pub use pool::BufferPool;
 pub use prf::Prf;
 pub use prp::FeistelPrp;

@@ -58,6 +58,39 @@ impl DeterministicRng {
         self.cipher.apply_keystream(&mut self.buffer);
         self.cursor = 0;
     }
+
+    /// The stream position as `(block counter, byte cursor)`: the ChaCha20
+    /// block counter after the last refill and the next unserved byte
+    /// within the current 64-byte buffer. Together with the seed this
+    /// pins the generator's state exactly — snapshot/restore uses it.
+    pub fn stream_pos(&self) -> (u32, usize) {
+        (self.cipher.counter(), self.cursor)
+    }
+
+    /// Repositions a generator (freshly built from the same seed) at a
+    /// position previously captured by [`stream_pos`](Self::stream_pos).
+    /// The regenerated output continues byte-for-byte where the captured
+    /// generator left off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cursor > 64`, or if `cursor < 64` while `counter` is 0
+    /// (a partially consumed buffer implies at least one refill happened).
+    pub fn seek_to(&mut self, counter: u32, cursor: usize) {
+        assert!(cursor <= BLOCK_LEN, "cursor beyond one keystream block");
+        if cursor == BLOCK_LEN {
+            // Buffer exhausted (or never filled): contents are irrelevant.
+            self.cipher.seek(counter);
+            self.cursor = BLOCK_LEN;
+        } else {
+            assert!(counter > 0, "partially consumed buffer needs a refill");
+            // Regenerate the block the captured buffer held, then restore
+            // the cursor into it.
+            self.cipher.seek(counter - 1);
+            self.refill();
+            self.cursor = cursor;
+        }
+    }
 }
 
 impl RngCore for DeterministicRng {

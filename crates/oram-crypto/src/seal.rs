@@ -70,6 +70,26 @@ impl SealedBlock {
         8 + 8 + 8 + self.body.len()
     }
 
+    /// The authentication tag (encrypt-then-MAC SipHash-2-4). Exposed so
+    /// storage backends can serialize a block verbatim; forging a block
+    /// requires forging this tag, which [`BlockSealer::open`] checks.
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// Reassembles a block from serialized parts (a storage backend
+    /// reading its file, a snapshot restore). No validation happens here:
+    /// a tampered block is rejected by [`BlockSealer::open`] when the
+    /// trusted layer next touches it.
+    pub fn from_parts(block_id: u64, epoch: u64, body: Vec<u8>, tag: u64) -> Self {
+        Self {
+            block_id,
+            epoch,
+            body,
+            tag,
+        }
+    }
+
     /// Consumes the block, returning its ciphertext buffer. Used to
     /// recycle discarded blocks' allocations through a
     /// [`crate::pool::BufferPool`] (the bytes are ciphertext under a key

@@ -45,6 +45,14 @@ pub enum OramError {
     Storage(StorageError),
     /// An underlying cryptographic error (tag mismatch, PRP misuse).
     Crypto(CryptoError),
+    /// A state snapshot could not be taken or restored: truncated,
+    /// corrupted, wrong key, wrong geometry, or the instance was not in a
+    /// snapshottable state (e.g. requests in flight). Restores fail
+    /// closed — no partial state is ever adopted.
+    SnapshotInvalid {
+        /// What was wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for OramError {
@@ -70,6 +78,9 @@ impl fmt::Display for OramError {
             }
             OramError::Storage(e) => write!(f, "storage error: {e}"),
             OramError::Crypto(e) => write!(f, "crypto error: {e}"),
+            OramError::SnapshotInvalid { reason } => {
+                write!(f, "snapshot invalid: {reason}")
+            }
         }
     }
 }
@@ -93,6 +104,14 @@ impl From<StorageError> for OramError {
 impl From<CryptoError> for OramError {
     fn from(e: CryptoError) -> Self {
         OramError::Crypto(e)
+    }
+}
+
+impl From<oram_crypto::persist::PersistError> for OramError {
+    fn from(e: oram_crypto::persist::PersistError) -> Self {
+        OramError::SnapshotInvalid {
+            reason: e.to_string(),
+        }
     }
 }
 

@@ -186,6 +186,135 @@ impl PathOram {
     pub fn device_mut(&mut self) -> &mut Device {
         self.backend.device_mut()
     }
+
+    /// Serializes every piece of mutable state a restore needs to resume
+    /// byte-identically: position map, stash (plaintext — the caller
+    /// seals the snapshot), RNG stream position, seal sequence,
+    /// statistics, and the device image (tree ciphertexts, device stats,
+    /// timing-model locality state).
+    ///
+    /// # Errors
+    ///
+    /// Storage backend errors propagate.
+    pub fn save_state(
+        &mut self,
+        w: &mut oram_crypto::persist::StateWriter,
+    ) -> Result<(), OramError> {
+        w.put_u64(self.capacity);
+        w.put_usize(self.payload_len);
+        w.put_u64(self.geometry.total_slots());
+        w.put_u64(self.seal_seq);
+        let (counter, cursor) = self.rng.stream_pos();
+        w.put_u32(counter);
+        w.put_usize(cursor);
+        w.put_u64(self.stats.accesses);
+        w.put_u64(self.stats.dummy_accesses);
+        w.put_u64(self.stats.stash_inserts);
+        w.put_u64(self.stats.rebuilds);
+        let positions: Vec<(u64, u64)> = self.position_map.assigned_entries().collect();
+        w.put_usize(positions.len());
+        for (id, tag) in positions {
+            w.put_u64(id);
+            w.put_u64(tag);
+        }
+        w.put_usize(self.stash.len());
+        for entry in self.stash.iter() {
+            w.put_u64(entry.id.0);
+            w.put_u64(entry.leaf);
+            w.put_bytes(&entry.payload);
+        }
+        w.put_usize(self.stash.peak());
+        self.backend
+            .device_mut()
+            .save_state(w)
+            .map_err(OramError::Storage)
+    }
+
+    /// Restores state captured by [`save_state`](Self::save_state) onto a
+    /// freshly constructed instance of the same configuration. After this
+    /// returns, the instance behaves byte-identically to the one the
+    /// state was captured from.
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::SnapshotInvalid`] on geometry mismatch or malformed
+    /// state; nothing is partially adopted on error paths that matter
+    /// (validation happens before mutation).
+    pub fn load_state(
+        &mut self,
+        r: &mut oram_crypto::persist::StateReader<'_>,
+    ) -> Result<(), OramError> {
+        let capacity = r.get_u64()?;
+        let payload_len = r.get_usize()?;
+        let total_slots = r.get_u64()?;
+        if capacity != self.capacity
+            || payload_len != self.payload_len
+            || total_slots != self.geometry.total_slots()
+        {
+            return Err(OramError::SnapshotInvalid {
+                reason: format!(
+                    "memory-tree geometry mismatch: snapshot has \
+                     {capacity}×{payload_len}B over {total_slots} slots, instance has {}×{}B \
+                     over {}",
+                    self.capacity,
+                    self.payload_len,
+                    self.geometry.total_slots()
+                ),
+            });
+        }
+        let seal_seq = r.get_u64()?;
+        let rng_counter = r.get_u32()?;
+        let rng_cursor = r.get_usize()?;
+        if rng_cursor > 64 || (rng_cursor < 64 && rng_counter == 0) {
+            return Err(OramError::SnapshotInvalid {
+                reason: "rng stream position out of range".into(),
+            });
+        }
+        let stats = PathOramStats {
+            accesses: r.get_u64()?,
+            dummy_accesses: r.get_u64()?,
+            stash_inserts: r.get_u64()?,
+            rebuilds: r.get_u64()?,
+        };
+        let position_count = r.get_usize()?;
+        let mut positions = Vec::with_capacity(position_count);
+        for _ in 0..position_count {
+            let id = r.get_u64()?;
+            let tag = r.get_u64()?;
+            if id >= self.capacity || tag >= self.geometry.leaf_count() {
+                return Err(OramError::SnapshotInvalid {
+                    reason: format!("position entry ({id}, {tag}) out of range"),
+                });
+            }
+            positions.push((id, tag));
+        }
+        let stash_count = r.get_usize()?;
+        let mut entries = Vec::with_capacity(stash_count);
+        for _ in 0..stash_count {
+            let id = BlockId(r.get_u64()?);
+            let leaf = r.get_u64()?;
+            let payload = r.get_bytes()?.to_vec();
+            if id.0 >= self.capacity || leaf >= self.geometry.leaf_count() {
+                return Err(OramError::SnapshotInvalid {
+                    reason: format!("stash entry {id} out of range"),
+                });
+            }
+            entries.push(StashEntry { id, leaf, payload });
+        }
+        if entries.len() > self.stash.limit() {
+            return Err(OramError::SnapshotInvalid {
+                reason: "stash beyond configured bound".into(),
+            });
+        }
+        let stash_peak = r.get_usize()?;
+        self.backend.device_mut().load_state(r)?;
+        self.seal_seq = seal_seq;
+        self.rng.seek_to(rng_counter, rng_cursor);
+        self.stats = stats;
+        self.position_map.restore(positions);
+        self.stash.restore(entries, stash_peak);
+        Ok(())
+    }
 }
 
 impl<B: TreeBackend> PathOramCore<B> {

@@ -83,6 +83,29 @@ impl PositionMap {
     pub fn memory_bytes(&self) -> usize {
         self.tags.len() * std::mem::size_of::<Option<u64>>()
     }
+
+    /// The assigned `(id, tag)` pairs in id order (snapshot serialization;
+    /// sparse on purpose — most H-ORAM memory-layer maps are mostly
+    /// unassigned between periods).
+    pub fn assigned_entries(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.tags
+            .iter()
+            .enumerate()
+            .filter_map(|(id, tag)| tag.map(|t| (id as u64, t)))
+    }
+
+    /// Replaces all assignments with the given `(id, tag)` pairs
+    /// (snapshot restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is beyond capacity.
+    pub fn restore(&mut self, entries: impl IntoIterator<Item = (u64, u64)>) {
+        self.clear_all();
+        for (id, tag) in entries {
+            self.set(BlockId(id), tag);
+        }
+    }
 }
 
 #[cfg(test)]

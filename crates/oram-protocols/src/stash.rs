@@ -116,6 +116,21 @@ impl Stash {
             .collect()
     }
 
+    /// Replaces the stash contents and peak watermark (snapshot restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` exceeds the configured bound — a snapshot from
+    /// a compatible instance cannot (inserts enforced the bound).
+    pub fn restore(&mut self, entries: Vec<StashEntry>, peak: usize) {
+        assert!(
+            entries.len() <= self.limit,
+            "restored stash exceeds its bound"
+        );
+        self.entries = entries.into_iter().map(|e| (e.id, e)).collect();
+        self.peak = peak.max(self.entries.len());
+    }
+
     /// Removes and returns all entries, ordered by block id.
     pub fn drain_all(&mut self) -> Vec<StashEntry> {
         std::mem::take(&mut self.entries).into_values().collect()

@@ -122,6 +122,26 @@ impl MachineConfig {
         dev
     }
 
+    /// Builds the storage device over an explicit data store (e.g. the
+    /// durable [`crate::file::FileStore`]) with this machine's timing
+    /// model — timing and trace shape are identical to
+    /// [`build_storage`](Self::build_storage); only where the bytes live
+    /// changes.
+    pub fn build_storage_with_store(
+        &self,
+        clock: SimClock,
+        trace: Option<AccessTrace>,
+        store: Box<dyn crate::store::DataStore>,
+    ) -> Device {
+        let (name, timing): (&str, Box<dyn crate::device::TimingModel>) = match self.storage {
+            StorageKind::PaperHdd => ("hdd", Box::new(paper_hdd())),
+            StorageKind::Ssd => ("ssd", Box::new(ablation_ssd())),
+        };
+        let mut dev = Device::with_store(device_ids::STORAGE, name, timing, clock, trace, store);
+        dev.set_charged_block_bytes(self.block_bytes);
+        dev
+    }
+
     /// Rows of the machine-setup table (reproduces Table 5-2 in reports).
     pub fn setup_rows(&self) -> Vec<(String, String)> {
         let mut rows = vec![

@@ -18,9 +18,10 @@
 
 use crate::clock::{SimClock, SimDuration};
 use crate::stats::DeviceStats;
-use crate::store::BlockStore;
+use crate::store::{BlockStore, DataStore};
 use crate::trace::{AccessTrace, TraceEvent};
 use crate::StorageError;
+use oram_crypto::persist::{PersistError, StateReader, StateWriter};
 use oram_crypto::seal::SealedBlock;
 use std::fmt;
 
@@ -103,6 +104,20 @@ pub trait TimingModel: fmt::Debug + Send {
     /// Forgets locality state (e.g. parks the head). Used between
     /// experiment phases.
     fn reset(&mut self);
+
+    /// The model's internal locality state as plain words, for snapshots.
+    /// Stateless models return an empty vector (the default); stateful
+    /// models (HDD head position, page caches) must round-trip through
+    /// [`restore_state_words`](Self::restore_state_words) so that a
+    /// restored run charges byte-identical costs.
+    fn state_words(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Restores state previously captured by
+    /// [`state_words`](Self::state_words). The default ignores the words
+    /// (stateless models).
+    fn restore_state_words(&mut self, _words: &[u64]) {}
 }
 
 /// One element of a [`Device::read_scatter`] result: the block found at
@@ -126,7 +141,7 @@ pub struct Device {
     id: DeviceId,
     name: String,
     timing: Box<dyn TimingModel>,
-    store: BlockStore,
+    store: Box<dyn DataStore>,
     stats: DeviceStats,
     trace: Option<AccessTrace>,
     clock: SimClock,
@@ -153,11 +168,26 @@ impl Device {
         clock: SimClock,
         trace: Option<AccessTrace>,
     ) -> Self {
+        Self::with_store(id, name, timing, clock, trace, Box::new(BlockStore::new()))
+    }
+
+    /// Creates a device over an explicit data store — the file-backed
+    /// durable store, or any other [`DataStore`]. Timing, tracing, and
+    /// accounting are identical regardless of where the bytes live; the
+    /// store changes only durability (and host cost).
+    pub fn with_store(
+        id: DeviceId,
+        name: impl Into<String>,
+        timing: Box<dyn TimingModel>,
+        clock: SimClock,
+        trace: Option<AccessTrace>,
+        store: Box<dyn DataStore>,
+    ) -> Self {
         Self {
             id,
             name: name.into(),
             timing,
-            store: BlockStore::new(),
+            store,
             stats: DeviceStats::default(),
             trace,
             clock,
@@ -251,8 +281,7 @@ impl Device {
         self.check_capacity(addr)?;
         let block = self
             .store
-            .get(addr)
-            .cloned()
+            .get(addr)?
             .ok_or_else(|| StorageError::MissingBlock {
                 device: self.name.clone(),
                 addr,
@@ -272,7 +301,7 @@ impl Device {
     /// [`StorageError::OutOfCapacity`] if beyond a configured capacity.
     pub fn write_block(&mut self, addr: u64, block: SealedBlock) -> Result<(), StorageError> {
         self.check_capacity(addr)?;
-        self.store.put(addr, block);
+        self.store.put(addr, block)?;
         let bytes = self.charged_block_bytes;
         let cost = self
             .timing
@@ -308,7 +337,7 @@ impl Device {
         for (&addr, cost) in addrs.iter().zip(costs) {
             self.record(AccessKind::Read, addr, bytes, cost);
             out.push(ScatterItem {
-                block: self.store.get(addr).cloned(),
+                block: self.store.get(addr)?,
                 cost,
             });
         }
@@ -339,7 +368,7 @@ impl Device {
             .timing
             .scatter_costs(AccessKind::Write, &offsets, bytes);
         for ((addr, block), cost) in writes.into_iter().zip(costs) {
-            self.store.put(addr, block);
+            self.store.put(addr, block)?;
             self.record(AccessKind::Write, addr, bytes, cost);
         }
         Ok(())
@@ -348,15 +377,20 @@ impl Device {
     /// Removes and returns the block at `addr` without charging time
     /// (used by shuffle logic that has already paid for a streaming read).
     pub fn take_block(&mut self, addr: u64) -> Option<SealedBlock> {
-        self.store.remove(addr)
+        self.store
+            .remove(addr)
+            .expect("take_block is simulator-internal; backend I/O failure is fail-stop")
     }
 
     /// Looks at the block at `addr` without charging time or tracing.
     ///
     /// This is a *simulator-internal* peek (e.g. for assertions); protocol
-    /// code must use [`read_block`](Self::read_block).
-    pub fn peek_block(&self, addr: u64) -> Option<&SealedBlock> {
-        self.store.get(addr)
+    /// code must use [`read_block`](Self::read_block). Returns an owned
+    /// clone (file-backed stores cannot hand out references).
+    pub fn peek_block(&mut self, addr: u64) -> Option<SealedBlock> {
+        self.store
+            .get(addr)
+            .expect("peek_block is simulator-internal; backend I/O failure is fail-stop")
     }
 
     /// Reads `count` consecutive slots starting at `start` as one streaming
@@ -373,8 +407,8 @@ impl Device {
         }
         self.check_capacity(start + count - 1)?;
         let blocks: Vec<Option<SealedBlock>> = (start..start + count)
-            .map(|a| self.store.get(a).cloned())
-            .collect();
+            .map(|a| self.store.get(a))
+            .collect::<Result<_, _>>()?;
         let bytes = self.charged_block_bytes * count;
         let cost =
             self.timing
@@ -403,7 +437,7 @@ impl Device {
         self.check_capacity(start + count - 1)?;
         let blocks: Vec<Option<SealedBlock>> = (start..start + count)
             .map(|a| self.store.remove(a))
-            .collect();
+            .collect::<Result<_, _>>()?;
         let bytes = self.charged_block_bytes * count;
         let cost =
             self.timing
@@ -428,7 +462,7 @@ impl Device {
         }
         self.check_capacity(start + count - 1)?;
         for (i, block) in blocks.enumerate() {
-            self.store.put(start + i as u64, block);
+            self.store.put(start + i as u64, block)?;
         }
         let bytes = self.charged_block_bytes * count;
         let cost =
@@ -452,7 +486,172 @@ impl Device {
 
     /// Drops all stored blocks (data only; stats and timing state remain).
     pub fn clear(&mut self) {
-        self.store.clear();
+        self.store
+            .clear()
+            .expect("clear is simulator-internal; backend I/O failure is fail-stop");
+    }
+
+    /// Whether the underlying store survives process exit (file-backed).
+    pub fn is_durable(&self) -> bool {
+        self.store.durable()
+    }
+
+    /// Durability barrier: flushes and commits the underlying store
+    /// (no-op for volatile stores). Checkpoints call this before sealing
+    /// the trusted-state snapshot, so the on-disk image a recovery adopts
+    /// is exactly the one the snapshot describes.
+    ///
+    /// # Errors
+    ///
+    /// Backend I/O errors propagate.
+    pub fn sync(&mut self) -> Result<(), StorageError> {
+        self.store.sync()
+    }
+
+    /// Keyed fingerprint over the store's full logical contents (slot
+    /// order), used to pin a snapshot to the exact device image it was
+    /// taken against. The key is fixed and non-secret — this is an
+    /// integrity cross-check between two locally produced artifacts, not
+    /// an authenticator (the blocks are already sealed).
+    fn store_fingerprint(&mut self) -> Result<u64, StorageError> {
+        let mut blocks = self.store.snapshot_blocks()?;
+        blocks.sort_unstable_by_key(|(addr, _)| *addr);
+        let mut mac = oram_crypto::siphash::SipHash24::new(b"horam-dev-fngrpt");
+        mac.write_u64(blocks.len() as u64);
+        for (addr, block) in blocks {
+            mac.write_u64(addr);
+            mac.write_u64(block.block_id());
+            mac.write_u64(block.epoch());
+            mac.write_u64(block.tag());
+            mac.write_u64(block.ciphertext().len() as u64);
+            mac.write(block.ciphertext());
+        }
+        Ok(mac.finish())
+    }
+
+    /// Serializes the device's mutable state: statistics, timing-model
+    /// locality state, and — for volatile stores only — the stored
+    /// blocks. Durable stores persist their own data; the snapshot
+    /// records their occupancy count and a content fingerprint, so a
+    /// restore against a device file from a *different* checkpoint fails
+    /// closed instead of adopting mismatched state.
+    ///
+    /// # Errors
+    ///
+    /// Backend I/O errors propagate.
+    pub fn save_state(&mut self, w: &mut StateWriter) -> Result<(), StorageError> {
+        let stats = self.stats;
+        w.put_u64(stats.reads);
+        w.put_u64(stats.writes);
+        w.put_u64(stats.bytes_read);
+        w.put_u64(stats.bytes_written);
+        w.put_u64(stats.busy.as_nanos());
+        w.put_u64(stats.busy_read.as_nanos());
+        w.put_u64(stats.busy_write.as_nanos());
+        let words = self.timing.state_words();
+        w.put_usize(words.len());
+        for word in words {
+            w.put_u64(word);
+        }
+        w.put_u64(self.charged_block_bytes);
+        w.put_bool(self.store.durable());
+        if self.store.durable() {
+            w.put_usize(self.store.len());
+            w.put_u64(self.store_fingerprint()?);
+        } else {
+            let blocks = self.store.snapshot_blocks()?;
+            w.put_usize(blocks.len());
+            for (addr, block) in blocks {
+                w.put_u64(addr);
+                w.put_u64(block.block_id());
+                w.put_u64(block.epoch());
+                w.put_u64(block.tag());
+                w.put_bytes(block.ciphertext());
+            }
+        }
+        Ok(())
+    }
+
+    /// Restores state captured by [`save_state`](Self::save_state) onto a
+    /// freshly built device of the same shape. For durable stores the
+    /// on-disk contents are adopted as-is, after the occupancy count
+    /// *and* content fingerprint are verified against the snapshot — a
+    /// device file committed at a different checkpoint than the snapshot
+    /// (e.g. restoring an old snapshot over a file whose journal rolled
+    /// back to a newer sync) is rejected here; for volatile stores the
+    /// snapshot's blocks replace the store contents.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError`] for malformed snapshots or a durability/occupancy
+    /// mismatch between snapshot and device.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), PersistError> {
+        let stats = DeviceStats {
+            reads: r.get_u64()?,
+            writes: r.get_u64()?,
+            bytes_read: r.get_u64()?,
+            bytes_written: r.get_u64()?,
+            busy: SimDuration::from_nanos(r.get_u64()?),
+            busy_read: SimDuration::from_nanos(r.get_u64()?),
+            busy_write: SimDuration::from_nanos(r.get_u64()?),
+        };
+        let word_count = r.get_usize()?;
+        let mut words = Vec::with_capacity(word_count);
+        for _ in 0..word_count {
+            words.push(r.get_u64()?);
+        }
+        let charged = r.get_u64()?;
+        let durable = r.get_bool()?;
+        if durable != self.store.durable() {
+            return Err(PersistError::Malformed(format!(
+                "snapshot taken on a {} store, restoring onto a {} one",
+                if durable { "durable" } else { "volatile" },
+                if self.store.durable() {
+                    "durable"
+                } else {
+                    "volatile"
+                },
+            )));
+        }
+        if durable {
+            let expected = r.get_usize()?;
+            let expected_fingerprint = r.get_u64()?;
+            if self.store.len() != expected {
+                return Err(PersistError::Malformed(format!(
+                    "durable store holds {} blocks, snapshot expects {expected} \
+                     (device file does not match the snapshot's checkpoint)",
+                    self.store.len()
+                )));
+            }
+            let fingerprint = self
+                .store_fingerprint()
+                .map_err(|e| PersistError::Malformed(format!("fingerprinting store: {e}")))?;
+            if fingerprint != expected_fingerprint {
+                return Err(PersistError::Malformed(
+                    "durable store contents do not match the snapshot's checkpoint \
+                     (the device file was committed at a different sync point)"
+                        .to_string(),
+                ));
+            }
+        } else {
+            let count = r.get_usize()?;
+            let mut blocks = Vec::with_capacity(count);
+            for _ in 0..count {
+                let addr = r.get_u64()?;
+                let block_id = r.get_u64()?;
+                let epoch = r.get_u64()?;
+                let tag = r.get_u64()?;
+                let body = r.get_bytes()?.to_vec();
+                blocks.push((addr, SealedBlock::from_parts(block_id, epoch, body, tag)));
+            }
+            self.store
+                .install_blocks(blocks)
+                .map_err(|e| PersistError::Malformed(format!("installing blocks: {e}")))?;
+        }
+        self.stats = stats;
+        self.timing.restore_state_words(&words);
+        self.charged_block_bytes = charged;
+        Ok(())
     }
 }
 
@@ -673,7 +872,7 @@ mod tests {
         let mut batched = hdd_device();
         batched.write_scatter(writes.clone()).unwrap();
         for (a, b) in &writes {
-            assert_eq!(batched.peek_block(*a), Some(b));
+            assert_eq!(batched.peek_block(*a).as_ref(), Some(b));
         }
         assert_eq!(batched.stats().writes, sequential.stats().writes);
         assert!(batched.stats().busy < sequential.stats().busy);

@@ -198,6 +198,23 @@ impl TimingModel for HddModel {
     fn reset(&mut self) {
         self.head = None;
     }
+
+    fn state_words(&self) -> Vec<u64> {
+        // Head position matters: a restored run must charge the same seek
+        // costs as the uninterrupted one.
+        match self.head {
+            None => vec![0],
+            Some(head) => vec![1, head],
+        }
+    }
+
+    fn restore_state_words(&mut self, words: &[u64]) {
+        self.head = match words {
+            [0] => None,
+            [1, head] => Some(*head),
+            _ => panic!("malformed HDD timing state"),
+        };
+    }
 }
 
 #[cfg(test)]

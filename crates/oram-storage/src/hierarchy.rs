@@ -51,6 +51,35 @@ impl MemoryHierarchy {
         Self::new(MachineConfig::dac2019())
     }
 
+    /// Builds the hierarchy with a **durable, file-backed** storage device:
+    /// DRAM stays in memory (it is trusted client state, captured by
+    /// snapshots), while the flat ORAM region lives in a real file at
+    /// `path` (see [`crate::file::FileStore`]). Timing, tracing, and the
+    /// adversary's view are identical to the in-memory hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-backend open/recovery errors.
+    pub fn with_file_storage(
+        config: MachineConfig,
+        path: impl Into<std::path::PathBuf>,
+        store_config: crate::file::FileStoreConfig,
+    ) -> Result<Self, crate::StorageError> {
+        let clock = SimClock::new();
+        let trace = AccessTrace::new();
+        let memory = config.build_memory(clock.clone(), Some(trace.clone()));
+        let store = crate::file::FileStore::open(path, store_config)?;
+        let storage =
+            config.build_storage_with_store(clock.clone(), Some(trace.clone()), Box::new(store));
+        Ok(Self {
+            memory,
+            storage,
+            clock,
+            trace,
+            config,
+        })
+    }
+
     /// The shared simulated clock.
     pub fn clock(&self) -> &SimClock {
         &self.clock

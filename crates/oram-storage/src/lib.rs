@@ -53,6 +53,7 @@ pub mod calibration;
 pub mod clock;
 pub mod device;
 pub mod dram;
+pub mod file;
 pub mod hdd;
 pub mod hierarchy;
 pub mod page_cache;
@@ -65,12 +66,13 @@ pub use calibration::MachineConfig;
 pub use clock::{SimClock, SimDuration, SimTime};
 pub use device::{AccessKind, Device, DeviceId, ScatterItem, TimingModel};
 pub use dram::DramModel;
+pub use file::{FileStore, FileStoreConfig};
 pub use hdd::HddModel;
 pub use hierarchy::MemoryHierarchy;
 pub use page_cache::PageCacheModel;
 pub use ssd::SsdModel;
 pub use stats::DeviceStats;
-pub use store::BlockStore;
+pub use store::{BlockStore, DataStore};
 pub use trace::{AccessTrace, TraceEvent};
 
 use std::error::Error;
@@ -96,6 +98,14 @@ pub enum StorageError {
         /// Device capacity in slots.
         capacity: u64,
     },
+    /// A storage backend (e.g. the file-backed store) failed an I/O
+    /// operation or rejected malformed on-disk state.
+    Backend {
+        /// Backing path (or other backend identifier).
+        path: String,
+        /// What failed.
+        reason: String,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -113,6 +123,9 @@ impl fmt::Display for StorageError {
                     f,
                     "address {addr} beyond capacity {capacity} of device {device}"
                 )
+            }
+            StorageError::Backend { path, reason } => {
+                write!(f, "storage backend {path}: {reason}")
             }
         }
     }

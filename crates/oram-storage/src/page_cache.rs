@@ -192,6 +192,49 @@ impl<M: TimingModel> TimingModel for PageCacheModel<M> {
         self.hits = 0;
         self.misses = 0;
     }
+
+    fn state_words(&self) -> Vec<u64> {
+        // Sorted by page so the serialization is deterministic regardless
+        // of hash-map iteration order.
+        let mut words = vec![self.tick, self.hits, self.misses];
+        let mut resident: Vec<(u64, u64)> = self.resident.iter().map(|(p, t)| (*p, *t)).collect();
+        resident.sort_unstable();
+        words.push(resident.len() as u64);
+        for (page, tick) in resident {
+            words.push(page);
+            words.push(tick);
+        }
+        let mut dirty: Vec<u64> = self.dirty.keys().copied().collect();
+        dirty.sort_unstable();
+        words.push(dirty.len() as u64);
+        words.extend(dirty);
+        let inner = self.inner.state_words();
+        words.push(inner.len() as u64);
+        words.extend(inner);
+        words
+    }
+
+    fn restore_state_words(&mut self, words: &[u64]) {
+        let mut it = words.iter().copied();
+        let mut next = || it.next().expect("malformed page-cache timing state");
+        self.tick = next();
+        self.hits = next();
+        self.misses = next();
+        self.resident.clear();
+        for _ in 0..next() {
+            let page = next();
+            let tick = next();
+            self.resident.insert(page, tick);
+        }
+        self.dirty.clear();
+        for _ in 0..next() {
+            let page = next();
+            self.dirty.insert(page, true);
+        }
+        let inner_len = next() as usize;
+        let inner: Vec<u64> = (0..inner_len).map(|_| next()).collect();
+        self.inner.restore_state_words(&inner);
+    }
 }
 
 #[cfg(test)]

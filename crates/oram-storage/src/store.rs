@@ -1,12 +1,74 @@
-//! Sparse block-addressed backing store.
+//! Block-addressed backing stores: the pluggable *data* half of a device.
 //!
-//! Devices store [`SealedBlock`]s at `u64` slot addresses. The store is
-//! sparse (a hash map) so simulating a 500 GB device costs memory only for
-//! slots actually written — essential for running the paper's 1 GB
-//! experiments with payload scaling.
+//! A [`crate::device::Device`] couples a [`DataStore`] (where the sealed
+//! bytes live) with a timing model (what an access costs). Two stores
+//! exist:
+//!
+//! * [`BlockStore`] — a sparse in-memory map, the simulation default: a
+//!   500 GB device costs memory only for slots actually written.
+//! * [`crate::file::FileStore`] — a slot-indexed real file with a
+//!   write-back buffer and an undo journal, for durable experiments that
+//!   must survive a restart (see the `file` module docs).
+//!
+//! The trait is deliberately owned-value (`get` returns a clone):
+//! file-backed stores cannot hand out references into the file, and the
+//! protocol paths either clone anyway or take ownership via `remove`.
 
+use crate::StorageError;
 use oram_crypto::seal::SealedBlock;
 use std::collections::HashMap;
+use std::fmt;
+
+/// Where a device's sealed blocks physically live.
+///
+/// Implementations must behave like a map from slot address to block:
+/// `put` then `get` round-trips, `remove` empties the slot. I/O-backed
+/// stores surface failures as [`StorageError::Backend`]; the in-memory
+/// store is infallible.
+pub trait DataStore: fmt::Debug + Send {
+    /// The block at `addr`, if present (cloned/decoded out of the store).
+    fn get(&mut self, addr: u64) -> Result<Option<SealedBlock>, StorageError>;
+
+    /// Stores `block` at `addr`.
+    fn put(&mut self, addr: u64, block: SealedBlock) -> Result<(), StorageError>;
+
+    /// Removes and returns the block at `addr`.
+    fn remove(&mut self, addr: u64) -> Result<Option<SealedBlock>, StorageError>;
+
+    /// Number of occupied slots.
+    fn len(&self) -> usize;
+
+    /// Whether no slot is occupied.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes all blocks.
+    fn clear(&mut self) -> Result<(), StorageError>;
+
+    /// Durability barrier: flush buffered writes to stable storage and
+    /// commit them (checkpoint point for crash recovery). No-op for
+    /// volatile stores.
+    fn sync(&mut self) -> Result<(), StorageError>;
+
+    /// Whether the store's contents survive process exit. Durable stores
+    /// are *excluded* from state snapshots (the on-disk file is the
+    /// authoritative copy); volatile stores embed their blocks.
+    fn durable(&self) -> bool;
+
+    /// Every occupied `(addr, block)` pair, for embedding a volatile
+    /// store's contents into a snapshot. Order is unspecified.
+    fn snapshot_blocks(&mut self) -> Result<Vec<(u64, SealedBlock)>, StorageError>;
+
+    /// Replaces the store's contents with `blocks` (snapshot restore).
+    fn install_blocks(&mut self, blocks: Vec<(u64, SealedBlock)>) -> Result<(), StorageError> {
+        self.clear()?;
+        for (addr, block) in blocks {
+            self.put(addr, block)?;
+        }
+        Ok(())
+    }
+}
 
 /// A sparse map from slot address to sealed block.
 #[derive(Debug, Clone, Default)]
@@ -58,6 +120,42 @@ impl BlockStore {
     /// Removes all blocks.
     pub fn clear(&mut self) {
         self.slots.clear();
+    }
+}
+
+impl DataStore for BlockStore {
+    fn get(&mut self, addr: u64) -> Result<Option<SealedBlock>, StorageError> {
+        Ok(BlockStore::get(self, addr).cloned())
+    }
+
+    fn put(&mut self, addr: u64, block: SealedBlock) -> Result<(), StorageError> {
+        BlockStore::put(self, addr, block);
+        Ok(())
+    }
+
+    fn remove(&mut self, addr: u64) -> Result<Option<SealedBlock>, StorageError> {
+        Ok(BlockStore::remove(self, addr))
+    }
+
+    fn len(&self) -> usize {
+        BlockStore::len(self)
+    }
+
+    fn clear(&mut self) -> Result<(), StorageError> {
+        BlockStore::clear(self);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        Ok(())
+    }
+
+    fn durable(&self) -> bool {
+        false
+    }
+
+    fn snapshot_blocks(&mut self) -> Result<Vec<(u64, SealedBlock)>, StorageError> {
+        Ok(self.iter().map(|(a, b)| (a, b.clone())).collect())
     }
 }
 

@@ -1,0 +1,476 @@
+//! Durability and crash-consistent recovery: the invariant this suite
+//! pins down is
+//!
+//! > kill the engine at an arbitrary cycle boundary, restore from the
+//! > latest snapshot + the on-disk device file, and replay — responses,
+//! > traces, and statistics are **byte-identical** to an uninterrupted
+//! > run.
+//!
+//! Three layers of evidence:
+//!
+//! * proptests over arbitrary access prefixes: `snapshot → restore` is
+//!   the identity on all observable behavior, at 1 and 4 shards;
+//! * torn-write tests: a snapshot truncated at *every* byte boundary (or
+//!   bit-flipped anywhere) must fail restore with an error — never a
+//!   panic, never wrong data;
+//! * a real kill: a file-backed engine is dropped mid-workload with its
+//!   write-back buffer half flushed; reopening rolls the undo journal
+//!   back to the checkpoint and replay matches the uninterrupted run.
+
+use horam::core::shard::{ShardedConfig, ShardedOram};
+use horam::crypto::rng::DeterministicRng;
+use horam::prelude::*;
+use horam::protocols::types::BlockContent;
+use horam::storage::calibration::MachineConfig;
+use horam::storage::file::{scratch_dir, FileStoreConfig};
+use horam::storage::trace::TraceEvent;
+use rand::Rng;
+use std::path::{Path, PathBuf};
+
+const CAPACITY: u64 = 64;
+const PAYLOAD: usize = 8;
+const MEMORY_SLOTS: u64 = 16; // period = 8 I/O loads: shuffles happen often
+
+fn config() -> HOramConfig {
+    HOramConfig::new(CAPACITY, PAYLOAD, MEMORY_SLOTS)
+        .with_seed(1213)
+        .with_worker_threads(1)
+}
+
+fn master() -> MasterKey {
+    MasterKey::from_bytes([0x5A; 32])
+}
+
+fn build() -> HOram {
+    HOram::new(config(), MemoryHierarchy::dac2019(), master()).unwrap()
+}
+
+/// Splits a generated op list into requests.
+fn requests_from(ops: &[(u64, Option<u8>)]) -> Vec<Request> {
+    ops.iter()
+        .map(|(id, write)| match write {
+            Some(byte) => Request::write(*id, vec![*byte; PAYLOAD]),
+            None => Request::read(*id),
+        })
+        .collect()
+}
+
+/// A deterministic mixed read/write workload.
+fn workload(len: usize, seed: u64) -> Vec<Request> {
+    let mut rng = DeterministicRng::from_u64_seed(seed);
+    (0..len)
+        .map(|_| {
+            let id = rng.gen_range(0..CAPACITY);
+            if rng.gen_bool(0.35) {
+                Request::write(id, vec![rng.gen::<u8>(); PAYLOAD])
+            } else {
+                Request::read(id)
+            }
+        })
+        .collect()
+}
+
+/// The file-backed hierarchy for this suite's geometry. `write_back` is
+/// kept tiny so mid-workload kills catch the buffer half flushed.
+fn file_hierarchy(path: &Path) -> MemoryHierarchy {
+    let cfg = config();
+    let slots = cfg.partition_count() * cfg.partition_slots();
+    let body = BlockContent::encoded_len(cfg.payload_len);
+    MemoryHierarchy::with_file_storage(
+        MachineConfig::dac2019(),
+        path,
+        FileStoreConfig::new(slots, body).with_write_back_slots(8),
+    )
+    .unwrap()
+}
+
+struct Scratch(PathBuf);
+impl Scratch {
+    fn new(label: &str) -> Self {
+        Self(scratch_dir(label))
+    }
+    fn device(&self) -> PathBuf {
+        self.0.join("storage.horam")
+    }
+}
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn strip_times(events: &[TraceEvent]) -> Vec<(u16, u64, u64)> {
+    events
+        .iter()
+        .map(|e| (e.device.0, e.addr, e.bytes))
+        .collect()
+}
+
+#[test]
+fn snapshot_restore_continues_byte_identically() {
+    let prefix = workload(60, 7);
+    let suffix = workload(90, 8);
+
+    let mut original = build();
+    original.run_batch(&prefix).unwrap();
+    let snapshot = original.snapshot().unwrap();
+    let trace_mark = original.trace().snapshot().len();
+    let original_suffix_responses = original.run_batch(&suffix).unwrap();
+    let original_suffix_trace = original.trace().snapshot()[trace_mark..].to_vec();
+
+    let restored = HOram::restore(MemoryHierarchy::dac2019(), master(), &snapshot);
+    let mut restored = restored.unwrap();
+    let restored_responses = restored.run_batch(&suffix).unwrap();
+
+    assert_eq!(original_suffix_responses, restored_responses);
+    assert_eq!(
+        original_suffix_trace,
+        restored.trace().snapshot(),
+        "bus trace diverged after restore (timestamps included)"
+    );
+    assert_eq!(original.stats(), restored.stats());
+    assert_eq!(original.clock().now(), restored.clock().now());
+    assert!(
+        original.stats().shuffles >= 2,
+        "workload must cross period boundaries for the test to mean anything"
+    );
+}
+
+#[test]
+fn snapshot_requires_a_drained_queue() {
+    let mut oram = build();
+    oram.enqueue(Request::read(1u64)).unwrap();
+    assert!(matches!(
+        oram.snapshot(),
+        Err(OramError::SnapshotInvalid { .. })
+    ));
+    // Draining unblocks it.
+    while !oram.queue().is_drained() {
+        oram.run_cycle().unwrap();
+    }
+    oram.snapshot().unwrap();
+}
+
+#[test]
+fn torn_snapshot_errors_at_every_byte_boundary() {
+    let mut oram = build();
+    oram.run_batch(&workload(20, 3)).unwrap();
+    let snapshot = oram.snapshot().unwrap();
+
+    for cut in 0..snapshot.len() {
+        let result = HOram::restore(MemoryHierarchy::dac2019(), master(), &snapshot[..cut]);
+        assert!(
+            matches!(result, Err(OramError::SnapshotInvalid { .. })),
+            "truncation at byte {cut} did not error"
+        );
+    }
+}
+
+#[test]
+fn corrupted_and_wrong_key_snapshots_error() {
+    let mut oram = build();
+    oram.run_batch(&workload(16, 5)).unwrap();
+    let snapshot = oram.snapshot().unwrap();
+
+    let mut rng = DeterministicRng::from_u64_seed(11);
+    for _ in 0..64 {
+        let mut corrupt = snapshot.clone();
+        let at = rng.gen_range(0..corrupt.len());
+        corrupt[at] ^= 1 << rng.gen_range(0..8u32);
+        assert!(
+            HOram::restore(MemoryHierarchy::dac2019(), master(), &corrupt).is_err(),
+            "bit flip at byte {at} accepted"
+        );
+    }
+    let wrong_key = MasterKey::from_bytes([0x77; 32]);
+    assert!(HOram::restore(MemoryHierarchy::dac2019(), wrong_key, &snapshot).is_err());
+}
+
+#[test]
+fn kill_at_arbitrary_cycle_boundary_with_file_backend() {
+    // One uninterrupted reference run against a file-backed device, and
+    // many killed-and-recovered runs that must match it exactly.
+    let pre = workload(40, 21);
+    let post = workload(70, 22);
+
+    let reference_scratch = Scratch::new("persist-reference");
+    let mut reference = HOram::new(
+        config(),
+        file_hierarchy(&reference_scratch.device()),
+        master(),
+    )
+    .unwrap();
+    reference.run_batch(&pre).unwrap();
+    let _ = reference.snapshot().unwrap();
+    let ref_mark = reference.trace().snapshot().len();
+    let ref_responses = reference.run_batch(&post).unwrap();
+    let ref_trace = reference.trace().snapshot()[ref_mark..].to_vec();
+    let ref_stats = reference.stats();
+    assert!(ref_stats.shuffles >= 2, "setup: periods must turn");
+
+    for kill_after_cycles in [0u64, 1, 3, 7, 13, 29] {
+        let scratch = Scratch::new("persist-kill");
+        let mut engine = HOram::new(config(), file_hierarchy(&scratch.device()), master()).unwrap();
+        engine.run_batch(&pre).unwrap();
+        let snapshot = engine.snapshot().unwrap();
+
+        // Run past the checkpoint, then kill at a cycle boundary: enqueue
+        // the post-snapshot work and execute only some of its cycles, so
+        // the shuffle stream and write-back buffer are mid-flight.
+        for request in &post {
+            engine.enqueue(request.clone()).unwrap();
+        }
+        for _ in 0..kill_after_cycles {
+            if engine.queue().is_drained() {
+                break;
+            }
+            engine.run_cycle().unwrap();
+        }
+        drop(engine); // the kill: no sync, no checkpoint
+
+        // Recovery: reopen the device file (undo journal rolls partial
+        // writes back), restore the snapshot, replay the post-snapshot
+        // requests from scratch.
+        let mut recovered =
+            HOram::restore(file_hierarchy(&scratch.device()), master(), &snapshot).unwrap();
+        let responses = recovered.run_batch(&post).unwrap();
+        assert_eq!(
+            ref_responses, responses,
+            "kill after {kill_after_cycles} cycles: responses diverged"
+        );
+        assert_eq!(
+            ref_trace,
+            recovered.trace().snapshot(),
+            "kill after {kill_after_cycles} cycles: trace diverged"
+        );
+        assert_eq!(
+            ref_stats,
+            recovered.stats(),
+            "kill after {kill_after_cycles} cycles: stats diverged"
+        );
+        assert_eq!(reference.clock().now(), recovered.clock().now());
+    }
+}
+
+#[test]
+fn file_backed_run_matches_in_memory_run_exactly() {
+    // The backend must be invisible to the protocol: same responses,
+    // same trace shape, same simulated time as the in-memory store.
+    let requests = workload(80, 31);
+    let mut volatile = build();
+    let volatile_responses = volatile.run_batch(&requests).unwrap();
+
+    let scratch = Scratch::new("persist-backend-equiv");
+    let mut durable = HOram::new(config(), file_hierarchy(&scratch.device()), master()).unwrap();
+    let durable_responses = durable.run_batch(&requests).unwrap();
+
+    assert_eq!(volatile_responses, durable_responses);
+    assert_eq!(
+        strip_times(&volatile.trace().snapshot()),
+        strip_times(&durable.trace().snapshot())
+    );
+    assert_eq!(volatile.stats(), durable.stats());
+    assert_eq!(volatile.clock().now(), durable.clock().now());
+}
+
+mod sharded {
+    use super::*;
+
+    const SHARDS: u64 = 4;
+
+    fn sharded_config() -> ShardedConfig {
+        ShardedConfig::new(
+            HOramConfig::new(256, PAYLOAD, 64)
+                .with_seed(4242)
+                .with_worker_threads(1),
+            SHARDS,
+        )
+    }
+
+    fn build_sharded() -> ShardedOram {
+        ShardedOram::new(sharded_config(), master(), |_| MemoryHierarchy::dac2019()).unwrap()
+    }
+
+    fn sharded_workload(len: usize, seed: u64) -> Vec<Request> {
+        let mut rng = DeterministicRng::from_u64_seed(seed);
+        (0..len)
+            .map(|_| {
+                let id = rng.gen_range(0..256u64);
+                if rng.gen_bool(0.35) {
+                    Request::write(id, vec![rng.gen::<u8>(); PAYLOAD])
+                } else {
+                    Request::read(id)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn snapshot_restore_continues_byte_identically_across_shards() {
+        let prefix = sharded_workload(80, 91);
+        let suffix = sharded_workload(120, 92);
+
+        let mut original = build_sharded();
+        original.run_batch(&prefix).unwrap();
+        let snapshot = original.snapshot().unwrap();
+        let marks: Vec<usize> = original
+            .shards()
+            .iter()
+            .map(|s| s.trace().snapshot().len())
+            .collect();
+        let original_responses = original.run_batch(&suffix).unwrap();
+
+        let mut restored =
+            ShardedOram::restore(master(), |_| MemoryHierarchy::dac2019(), &snapshot).unwrap();
+        let restored_responses = restored.run_batch(&suffix).unwrap();
+
+        assert_eq!(original_responses, restored_responses);
+        assert_eq!(original.stats(), restored.stats());
+        assert_eq!(original.shard_stats(), restored.shard_stats());
+        assert_eq!(original.clock().now(), restored.clock().now());
+        for (i, ((a, mark), b)) in original
+            .shards()
+            .iter()
+            .zip(marks)
+            .zip(restored.shards())
+            .enumerate()
+        {
+            assert_eq!(
+                a.trace().snapshot()[mark..].to_vec(),
+                b.trace().snapshot(),
+                "shard {i} trace diverged"
+            );
+        }
+        assert!(original.stats().shuffles >= SHARDS, "periods must turn");
+    }
+
+    #[test]
+    fn sharded_manifest_rejects_truncation_and_single_kind() {
+        let mut oram = build_sharded();
+        oram.run_batch(&sharded_workload(30, 77)).unwrap();
+        let manifest = oram.snapshot().unwrap();
+        // Stride through boundaries (every byte is covered by the single-
+        // instance torn test; the manifest adds the nested layer).
+        for cut in (0..manifest.len()).step_by(97).chain([manifest.len() - 1]) {
+            assert!(
+                ShardedOram::restore(master(), |_| MemoryHierarchy::dac2019(), &manifest[..cut])
+                    .is_err(),
+                "cut at {cut}"
+            );
+        }
+        // A sharded manifest is not a single-instance snapshot.
+        assert!(HOram::restore(MemoryHierarchy::dac2019(), master(), &manifest).is_err());
+    }
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arbitrary_ops(max: usize) -> impl Strategy<Value = Vec<(u64, Option<u8>)>> {
+        proptest::collection::vec((0u64..CAPACITY, proptest::option::of(any::<u8>())), 1..max)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// `snapshot → restore` is the identity over arbitrary access
+        /// prefixes: the restored instance and the original produce
+        /// byte-identical responses, traces, stats, and clocks on any
+        /// continuation.
+        #[test]
+        fn restore_is_identity_on_arbitrary_prefixes(
+            prefix in arbitrary_ops(50),
+            suffix in arbitrary_ops(40),
+        ) {
+            let prefix = requests_from(&prefix);
+            let suffix = requests_from(&suffix);
+
+            let mut original = build();
+            original.run_batch(&prefix).expect("prefix");
+            let snapshot = original.snapshot().expect("snapshot");
+            let mark = original.trace().snapshot().len();
+            let original_responses = original.run_batch(&suffix).expect("suffix");
+
+            let mut restored =
+                HOram::restore(MemoryHierarchy::dac2019(), master(), &snapshot).expect("restore");
+            let restored_responses = restored.run_batch(&suffix).expect("replay");
+
+            prop_assert_eq!(original_responses, restored_responses);
+            prop_assert_eq!(
+                original.trace().snapshot()[mark..].to_vec(),
+                restored.trace().snapshot()
+            );
+            prop_assert_eq!(original.stats(), restored.stats());
+            prop_assert_eq!(original.clock().now(), restored.clock().now());
+        }
+
+        /// The same identity at 4 shards, through the manifest path.
+        #[test]
+        fn sharded_restore_is_identity(
+            prefix in proptest::collection::vec((0u64..256, proptest::option::of(any::<u8>())), 1..40),
+            suffix in proptest::collection::vec((0u64..256, proptest::option::of(any::<u8>())), 1..30),
+        ) {
+            let config = ShardedConfig::new(
+                HOramConfig::new(256, PAYLOAD, 64).with_seed(5151).with_worker_threads(1),
+                4,
+            );
+            let prefix = requests_from(&prefix);
+            let suffix = requests_from(&suffix);
+
+            let mut original =
+                ShardedOram::new(config, master(), |_| MemoryHierarchy::dac2019()).expect("builds");
+            original.run_batch(&prefix).expect("prefix");
+            let snapshot = original.snapshot().expect("snapshot");
+            let original_responses = original.run_batch(&suffix).expect("suffix");
+
+            let mut restored =
+                ShardedOram::restore(master(), |_| MemoryHierarchy::dac2019(), &snapshot)
+                    .expect("restore");
+            let restored_responses = restored.run_batch(&suffix).expect("replay");
+
+            prop_assert_eq!(original_responses, restored_responses);
+            prop_assert_eq!(original.stats(), restored.stats());
+            prop_assert_eq!(original.shard_stats(), restored.shard_stats());
+            prop_assert_eq!(original.clock().now(), restored.clock().now());
+        }
+    }
+}
+
+mod service {
+    use super::*;
+    use horam::core::{Permission, UserId};
+    use horam_server::{FifoPolicy, OramService, ServiceConfig};
+
+    #[test]
+    fn service_checkpoint_drains_then_snapshots() {
+        let mut service = OramService::new(
+            build(),
+            Box::new(FifoPolicy),
+            ServiceConfig {
+                batch_size: 16,
+                ..ServiceConfig::default()
+            },
+        );
+        service.register_tenant(UserId(0), 0..CAPACITY, Permission::ReadWrite);
+        let mut tickets = Vec::new();
+        for request in workload(40, 61) {
+            tickets.push(service.submit(UserId(0), request).unwrap());
+        }
+        // Checkpoint with everything still queued: it must drain first.
+        let snapshot = service.checkpoint().unwrap();
+        for ticket in tickets {
+            assert!(
+                service.take_response(ticket).is_some(),
+                "checkpoint must have completed queued work"
+            );
+        }
+
+        // The snapshot restores into a working engine that continues the
+        // same timeline.
+        let mut restored = HOram::restore(MemoryHierarchy::dac2019(), master(), &snapshot).unwrap();
+        let continuation = workload(20, 62);
+        let responses = restored.run_batch(&continuation).unwrap();
+        assert_eq!(responses.len(), continuation.len());
+    }
+}
