@@ -1,5 +1,6 @@
 //! The consolidated CI bench suite: serving + I/O pipeline + sharding +
-//! the wall-clock parallel engine + durability/recovery.
+//! the wall-clock parallel engine + durability/recovery + the oblivious
+//! block cache.
 //!
 //! Runs every regression gate in sequence, merges their machine-readable
 //! reports into one `BENCH.json` (or `--out <path>`), and exits nonzero
@@ -19,8 +20,8 @@
 //! ```
 
 use bench::gates::{
-    baseline_regressions, io_pipeline_gate, merge_outcomes, parallel_gate, persistence_gate,
-    serving_gate, sharding_gate, write_report,
+    baseline_regressions, cache_gate, io_pipeline_gate, merge_outcomes, parallel_gate,
+    persistence_gate, serving_gate, sharding_gate, write_report,
 };
 use bench::BenchArgs;
 
@@ -35,6 +36,7 @@ fn main() {
         sharding_gate(args.quick),
         parallel_gate(args.quick),
         persistence_gate(args.quick),
+        cache_gate(args.quick),
     ];
 
     let (report, mut pass) = merge_outcomes(&outcomes);

@@ -92,6 +92,14 @@ pub struct HOramConfig {
     /// 10 % for every evaluated configuration, and the shuffle streams
     /// every physical slot, so headroom directly scales shuffle time.
     pub partition_headroom: f64,
+    /// Optional block cache (and middle tier) installed in front of the
+    /// storage device. `Some` overrides whatever the machine's
+    /// `MachineConfig` installed; `None` (the default) leaves the
+    /// machine's choice in place. Caching changes simulated I/O time
+    /// only: responses, protocol counters, and the device-visible trace
+    /// shape are byte-identical cache-on vs. cache-off (see
+    /// `oram_storage::cache` and `docs/ARCHITECTURE.md` §10).
+    pub cache: Option<oram_storage::cache::CacheConfig>,
     /// Master seed for all protocol randomness (fully replayable runs).
     pub seed: u64,
 }
@@ -114,6 +122,7 @@ impl HOramConfig {
             zero_copy_io: true,
             worker_threads: default_worker_threads(),
             partition_headroom: 1.10,
+            cache: None,
             seed: DEFAULT_SEED,
         }
     }
@@ -221,6 +230,13 @@ impl HOramConfig {
         self
     }
 
+    /// Installs a block cache in front of the storage device (see
+    /// [`cache`](Self::cache)).
+    pub fn with_cache(mut self, cache: oram_storage::cache::CacheConfig) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
     /// Validates cross-field constraints. Called by `HOram::new`.
     ///
     /// # Panics
@@ -246,6 +262,9 @@ impl HOramConfig {
             "prefetch distance d={} must exceed the largest stage c={c_max}",
             self.prefetch_distance
         );
+        if let Some(cache) = &self.cache {
+            cache.validate();
+        }
         assert!(
             self.partition_headroom >= 1.0,
             "headroom factor must be ≥ 1.0"

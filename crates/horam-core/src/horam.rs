@@ -303,6 +303,14 @@ impl HOram {
         *self.storage.device().stats()
     }
 
+    /// Block-cache counters of the storage device, when a cache is
+    /// installed (via [`HOramConfig::cache`] or the machine description).
+    ///
+    /// [`HOramConfig::cache`]: crate::config::HOramConfig::cache
+    pub fn cache_stats(&self) -> Option<oram_storage::cache::CacheStats> {
+        self.storage.cache_stats()
+    }
+
     /// Peak stash occupancy of the memory layer.
     pub fn memory_stash_peak(&self) -> usize {
         self.memory.stash_peak()

@@ -31,6 +31,7 @@
 use crate::config::{HOramConfig, StagePlan};
 use oram_crypto::persist::{PersistError, StateReader, StateWriter};
 use oram_shuffle::ShuffleAlgorithm;
+use oram_storage::cache::{CacheConfig, CachePolicy, MidTierConfig};
 
 /// Envelope kind of a single-instance snapshot.
 pub const KIND_SINGLE: u32 = 1;
@@ -110,7 +111,82 @@ pub fn save_config(config: &HOramConfig, w: &mut StateWriter) {
     w.put_bool(config.zero_copy_io);
     w.put_usize(config.worker_threads);
     w.put_f64(config.partition_headroom);
+    save_cache_config(config.cache.as_ref(), w);
     w.put_u64(config.seed);
+}
+
+fn save_cache_config(cache: Option<&CacheConfig>, w: &mut StateWriter) {
+    let Some(cache) = cache else {
+        w.put_bool(false);
+        return;
+    };
+    w.put_bool(true);
+    w.put_u64(cache.capacity_blocks);
+    w.put_u8(match cache.policy {
+        CachePolicy::Lru => 0,
+        CachePolicy::Clock => 1,
+    });
+    w.put_u64(cache.hit_nanos);
+    w.put_f64(cache.writeback_sync_fraction);
+    match &cache.mid {
+        None => w.put_bool(false),
+        Some(mid) => {
+            w.put_bool(true);
+            w.put_u64(mid.capacity_blocks);
+            match &mid.file {
+                None => w.put_bool(false),
+                Some(path) => {
+                    w.put_bool(true);
+                    w.put_bytes(path.as_bytes());
+                }
+            }
+            w.put_usize(mid.file_slot_bytes);
+        }
+    }
+    w.put_bool(cache.leaky_hits);
+}
+
+fn load_cache_config(r: &mut StateReader<'_>) -> Result<Option<CacheConfig>, PersistError> {
+    if !r.get_bool()? {
+        return Ok(None);
+    }
+    let capacity_blocks = r.get_u64()?;
+    let policy = match r.get_u8()? {
+        0 => CachePolicy::Lru,
+        1 => CachePolicy::Clock,
+        other => {
+            return Err(PersistError::Malformed(format!("cache policy tag {other}")));
+        }
+    };
+    let hit_nanos = r.get_u64()?;
+    let writeback_sync_fraction = r.get_f64()?;
+    let mid = if r.get_bool()? {
+        let capacity_blocks = r.get_u64()?;
+        let file = if r.get_bool()? {
+            let path = String::from_utf8(r.get_bytes()?.to_vec())
+                .map_err(|_| PersistError::Malformed("mid-tier path not UTF-8".into()))?;
+            Some(path)
+        } else {
+            None
+        };
+        let file_slot_bytes = r.get_usize()?;
+        Some(MidTierConfig {
+            capacity_blocks,
+            file,
+            file_slot_bytes,
+        })
+    } else {
+        None
+    };
+    let leaky_hits = r.get_bool()?;
+    Ok(Some(CacheConfig {
+        capacity_blocks,
+        policy,
+        hit_nanos,
+        writeback_sync_fraction,
+        mid,
+        leaky_hits,
+    }))
 }
 
 /// Reads a configuration serialized by [`save_config`].
@@ -148,6 +224,7 @@ pub fn load_config(r: &mut StateReader<'_>) -> Result<HOramConfig, PersistError>
     let zero_copy_io = r.get_bool()?;
     let worker_threads = r.get_usize()?;
     let partition_headroom = r.get_f64()?;
+    let cache = load_cache_config(r)?;
     let seed = r.get_u64()?;
     Ok(HOramConfig {
         capacity,
@@ -163,6 +240,7 @@ pub fn load_config(r: &mut StateReader<'_>) -> Result<HOramConfig, PersistError>
         zero_copy_io,
         worker_threads,
         partition_headroom,
+        cache,
         seed,
     })
 }
@@ -179,6 +257,21 @@ mod tests {
             .with_partial_shuffle(0.25)
             .with_worker_threads(3)
             .with_zero_copy_io(false);
+        let mut w = StateWriter::new();
+        save_config(&config, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = StateReader::new(&bytes);
+        let back = load_config(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(config, back);
+    }
+
+    #[test]
+    fn cached_config_roundtrips_exactly() {
+        let mut cache = CacheConfig::clock(128).with_mid_tier(512);
+        cache.mid.as_mut().unwrap().file = Some("/tmp/mid.dat".into());
+        cache.mid.as_mut().unwrap().file_slot_bytes = 96;
+        let config = HOramConfig::new(4096, 16, 1024).with_cache(cache);
         let mut w = StateWriter::new();
         save_config(&config, &mut w);
         let bytes = w.into_bytes();

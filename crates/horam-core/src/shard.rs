@@ -496,6 +496,18 @@ impl ShardedOram {
             .fold(HOramStats::default(), |acc, s| acc + s)
     }
 
+    /// Aggregate block-cache counters over shards whose storage device
+    /// has a cache installed; `None` when no shard is cached.
+    pub fn cache_stats(&self) -> Option<oram_storage::cache::CacheStats> {
+        let mut merged: Option<oram_storage::cache::CacheStats> = None;
+        for shard in &self.shards {
+            if let Some(stats) = shard.cache_stats() {
+                merged.get_or_insert_with(Default::default).merge(&stats);
+            }
+        }
+        merged
+    }
+
     /// Checks a request against the *aggregate* geometry without queueing
     /// it (errors report logical, not shard-local, coordinates).
     ///

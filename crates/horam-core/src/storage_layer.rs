@@ -368,9 +368,15 @@ impl StorageLayer {
     /// Propagates storage errors from the initial layout write.
     pub fn new(
         config: &HOramConfig,
-        device: Device,
+        mut device: Device,
         keys: KeyHierarchy,
     ) -> Result<Self, OramError> {
+        // A cache chosen at the engine level overrides whatever the
+        // machine description installed; `None` leaves the machine's
+        // cache (if any) in place.
+        if let Some(cache) = &config.cache {
+            device.install_cache(cache.clone())?;
+        }
         let partition_count = config.partition_count();
         let partition_slots = config.partition_slots();
         let total_slots = partition_count * partition_slots;
@@ -444,6 +450,12 @@ impl StorageLayer {
     /// shuffle and by tests).
     pub fn device_mut(&mut self) -> &mut Device {
         &mut self.device
+    }
+
+    /// Block-cache counters of the storage device, when a cache is
+    /// installed.
+    pub fn cache_stats(&self) -> Option<oram_storage::cache::CacheStats> {
+        self.device.cache_stats()
     }
 
     /// Whether the scheduler should treat `id` as a memory hit.
@@ -619,6 +631,13 @@ impl StorageLayer {
         let mut touched = Vec::with_capacity(total_slots);
         for _ in 0..total_slots {
             touched.push(r.get_bool()?);
+        }
+        // Install the configured cache *before* the device state loads:
+        // the snapshot's cache section repopulates residency from the
+        // restored store, and a presence mismatch fails closed inside
+        // `load_state`.
+        if let Some(cache) = &config.cache {
+            device.install_cache(cache.clone())?;
         }
         device.load_state(r)?;
 

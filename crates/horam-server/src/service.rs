@@ -81,6 +81,14 @@ pub struct ServiceConfig {
     /// Responses and stats are byte-identical at any value. Defaults to
     /// the host's available parallelism.
     pub worker_threads: usize,
+    /// Optional storage block cache the deployment should build its
+    /// engine with (`HOramConfig::cache`). Like
+    /// [`worker_threads`](Self::worker_threads), this changes simulated
+    /// I/O time only — responses, protocol counters, and the
+    /// device-visible trace shape are byte-identical with or without it.
+    /// Consume through [`engine_config`](Self::engine_config). `None`
+    /// (the default) leaves the engine's machine description in charge.
+    pub cache: Option<oram_storage::cache::CacheConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -93,6 +101,7 @@ impl Default for ServiceConfig {
             worker_threads: std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
+            cache: None,
         }
     }
 }
@@ -108,7 +117,11 @@ impl ServiceConfig {
         &self,
         base: horam_core::config::HOramConfig,
     ) -> horam_core::config::HOramConfig {
-        base.with_worker_threads(self.worker_threads)
+        let base = base.with_worker_threads(self.worker_threads);
+        match &self.cache {
+            Some(cache) => base.with_cache(cache.clone()),
+            None => base,
+        }
     }
 }
 

@@ -66,6 +66,9 @@ pub struct MachineConfig {
     /// Logical ORAM block size in bytes, charged per block access
     /// (the paper uses 1 KB).
     pub block_bytes: u64,
+    /// Optional block cache (and middle tier) installed in front of the
+    /// storage device; `None` reproduces the paper's uncached setup.
+    pub cache: Option<crate::cache::CacheConfig>,
 }
 
 impl MachineConfig {
@@ -75,6 +78,7 @@ impl MachineConfig {
             label: "DAC'19 testbed (Table 5-2)".into(),
             storage: StorageKind::PaperHdd,
             block_bytes: 1024,
+            cache: None,
         }
     }
 
@@ -84,7 +88,14 @@ impl MachineConfig {
             label: "DAC'19 testbed, SSD ablation".into(),
             storage: StorageKind::Ssd,
             block_bytes: 1024,
+            cache: None,
         }
+    }
+
+    /// Adds a block cache in front of the storage device.
+    pub fn with_cache(mut self, cache: crate::cache::CacheConfig) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
     /// Builds the memory device (DRAM).
@@ -119,6 +130,10 @@ impl MachineConfig {
             ),
         };
         dev.set_charged_block_bytes(self.block_bytes);
+        if let Some(cache) = &self.cache {
+            dev.install_cache(cache.clone())
+                .expect("machine cache configuration is valid");
+        }
         dev
     }
 
@@ -139,6 +154,10 @@ impl MachineConfig {
         };
         let mut dev = Device::with_store(device_ids::STORAGE, name, timing, clock, trace, store);
         dev.set_charged_block_bytes(self.block_bytes);
+        if let Some(cache) = &self.cache {
+            dev.install_cache(cache.clone())
+                .expect("machine cache configuration is valid");
+        }
         dev
     }
 

@@ -16,6 +16,7 @@
 //! for the paper's full logical block size, keeping simulated time faithful
 //! at a fraction of the host cost. See DESIGN.md §2.
 
+use crate::cache::{BlockCache, CacheConfig, CacheStats, ReadTier};
 use crate::clock::{SimClock, SimDuration};
 use crate::stats::DeviceStats;
 use crate::store::{BlockStore, DataStore};
@@ -150,6 +151,10 @@ pub struct Device {
     charged_block_bytes: u64,
     /// Optional capacity bound in slots; `None` = unbounded.
     capacity_slots: Option<u64>,
+    /// Optional block-cache tier(s) in front of the store. See
+    /// [`crate::cache`]: hits are timing-padded (the trace event is
+    /// recorded unconditionally with the same shape), never elided.
+    cache: Option<BlockCache>,
 }
 
 impl Device {
@@ -193,7 +198,31 @@ impl Device {
             clock,
             charged_block_bytes: Self::DEFAULT_BLOCK_BYTES,
             capacity_slots: None,
+            cache: None,
         }
+    }
+
+    /// Installs a block cache (and optional middle tier) in front of the
+    /// store, replacing any existing one. Residency starts empty; the
+    /// cache warms from subsequent traffic ([`write_run`](Self::write_run)
+    /// populates it write-through, random reads promote on miss).
+    ///
+    /// # Errors
+    ///
+    /// File-backed middle tiers propagate open errors.
+    pub fn install_cache(&mut self, config: CacheConfig) -> Result<(), StorageError> {
+        self.cache = Some(BlockCache::new(config)?);
+        Ok(())
+    }
+
+    /// The installed cache's configuration, if any.
+    pub fn cache_config(&self) -> Option<&CacheConfig> {
+        self.cache.as_ref().map(|c| c.config())
+    }
+
+    /// The installed cache's counters, if any.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
     }
 
     /// The device identifier used in traces.
@@ -228,10 +257,19 @@ impl Device {
         &self.stats
     }
 
-    /// Resets statistics and timing-model locality state.
+    /// Resets statistics and timing-model locality state. Cache
+    /// *counters* reset too; cache *residency* is deliberately kept —
+    /// benches reset accounting after warm-up precisely to measure the
+    /// warm cache.
     pub fn reset_accounting(&mut self) {
         self.stats = DeviceStats::default();
         self.timing.reset();
+        if let Some(cache) = &mut self.cache {
+            cache.reset_stats();
+            if let Some(mid_timing) = cache.mid_timing() {
+                mid_timing.reset();
+            }
+        }
     }
 
     /// Number of blocks currently stored.
@@ -279,6 +317,31 @@ impl Device {
     /// [`StorageError::OutOfCapacity`] if beyond a configured capacity.
     pub fn read_block(&mut self, addr: u64) -> Result<SealedBlock, StorageError> {
         self.check_capacity(addr)?;
+        let bytes = self.charged_block_bytes;
+        match self.cache.as_ref().map(|c| c.probe(addr)) {
+            Some(ReadTier::Ram) => {
+                let cache = self.cache.as_mut().expect("probed");
+                let block = cache.serve_ram(addr);
+                let cost = cache.hit_cost();
+                let leaky = cache.leaky_hits();
+                if !leaky {
+                    self.record(AccessKind::Read, addr, bytes, cost);
+                }
+                return Ok(block);
+            }
+            Some(ReadTier::Mid) => {
+                let cache = self.cache.as_mut().expect("probed");
+                let block = cache.serve_mid(addr);
+                let cost = cache
+                    .mid_timing()
+                    .expect("mid hit requires a mid tier")
+                    .access_cost(AccessKind::Read, addr * bytes, bytes);
+                self.record(AccessKind::Read, addr, bytes, cost);
+                return Ok(block);
+            }
+            Some(ReadTier::Cold) => self.cache.as_mut().expect("probed").note_miss(),
+            None => {}
+        }
         let block = self
             .store
             .get(addr)?
@@ -286,7 +349,9 @@ impl Device {
                 device: self.name.clone(),
                 addr,
             })?;
-        let bytes = self.charged_block_bytes;
+        if let Some(cache) = &mut self.cache {
+            cache.promote_cold(addr, &block, &mut *self.store)?;
+        }
         let cost = self
             .timing
             .access_cost(AccessKind::Read, addr * bytes, bytes);
@@ -301,11 +366,26 @@ impl Device {
     /// [`StorageError::OutOfCapacity`] if beyond a configured capacity.
     pub fn write_block(&mut self, addr: u64, block: SealedBlock) -> Result<(), StorageError> {
         self.check_capacity(addr)?;
-        self.store.put(addr, block)?;
         let bytes = self.charged_block_bytes;
-        let cost = self
+        // The cold cost is computed in both paths: the write eventually
+        // lands on the device, so its timing model must see the command
+        // (head/locality state advances identically).
+        let cold_cost = self
             .timing
             .access_cost(AccessKind::Write, addr * bytes, bytes);
+        let cost = if let Some(cache) = &mut self.cache {
+            // Write-back absorb: the cache becomes the authority; the
+            // caller pays the DRAM copy plus the synchronous fraction of
+            // the cold write, the rest being flushed in the background
+            // (eviction/sync move the data without further charge).
+            cache.absorb_write(addr, block, &mut *self.store)?;
+            let sync_nanos =
+                (cold_cost.as_nanos() as f64 * cache.writeback_sync_fraction()).round() as u64;
+            cache.hit_cost() + SimDuration::from_nanos(sync_nanos)
+        } else {
+            self.store.put(addr, block)?;
+            cold_cost
+        };
         self.record(AccessKind::Write, addr, bytes, cost);
         Ok(())
     }
@@ -331,6 +411,9 @@ impl Device {
             self.check_capacity(addr)?;
         }
         let bytes = self.charged_block_bytes;
+        if self.cache.is_some() {
+            return self.read_scatter_cached(addrs, bytes);
+        }
         let offsets: Vec<u64> = addrs.iter().map(|&addr| addr * bytes).collect();
         let costs = self.timing.scatter_costs(AccessKind::Read, &offsets, bytes);
         let mut out = Vec::with_capacity(addrs.len());
@@ -340,6 +423,86 @@ impl Device {
                 block: self.store.get(addr)?,
                 cost,
             });
+        }
+        Ok(out)
+    }
+
+    /// The cached half of [`read_scatter`](Self::read_scatter): the batch
+    /// splits into per-tier sub-batches — RAM hits at the flat hit cost,
+    /// middle-tier hits through the tier's own queued-batch timing, cold
+    /// misses through the device's — while the *recorded* op sequence
+    /// stays exactly the uncached one: one event per slot, in submission
+    /// order, same addresses and byte counts. Only the attributed costs
+    /// change; see [`crate::cache`] for the obliviousness argument.
+    fn read_scatter_cached(
+        &mut self,
+        addrs: &[u64],
+        bytes: u64,
+    ) -> Result<Vec<ScatterItem>, StorageError> {
+        let cache = self.cache.as_mut().expect("caller checked");
+        let tiers: Vec<ReadTier> = addrs.iter().map(|&a| cache.probe(a)).collect();
+        let leaky = cache.leaky_hits();
+        let hit_cost = cache.hit_cost();
+
+        // Each tier prices its own sub-batch as the command sequence that
+        // tier actually receives, in submission order.
+        let mid_offsets: Vec<u64> = addrs
+            .iter()
+            .zip(&tiers)
+            .filter(|(_, t)| **t == ReadTier::Mid)
+            .map(|(&a, _)| a * bytes)
+            .collect();
+        let mut mid_costs = if mid_offsets.is_empty() {
+            Vec::new()
+        } else {
+            cache
+                .mid_timing()
+                .expect("mid hits require a mid tier")
+                .scatter_costs(AccessKind::Read, &mid_offsets, bytes)
+        }
+        .into_iter();
+        // Serve upper-tier hits *before* any cold promotion can evict a
+        // planned hit out from under the batch.
+        let mut blocks: Vec<Option<SealedBlock>> = addrs
+            .iter()
+            .zip(&tiers)
+            .map(|(&addr, tier)| match tier {
+                ReadTier::Ram => Some(cache.serve_ram(addr)),
+                ReadTier::Mid => Some(cache.serve_mid(addr)),
+                ReadTier::Cold => None,
+            })
+            .collect();
+        let cold_offsets: Vec<u64> = addrs
+            .iter()
+            .zip(&tiers)
+            .filter(|(_, t)| **t == ReadTier::Cold)
+            .map(|(&a, _)| a * bytes)
+            .collect();
+        let mut cold_costs = self
+            .timing
+            .scatter_costs(AccessKind::Read, &cold_offsets, bytes)
+            .into_iter();
+        for ((&addr, tier), slot) in addrs.iter().zip(&tiers).zip(blocks.iter_mut()) {
+            if *tier == ReadTier::Cold {
+                let cache = self.cache.as_mut().expect("caller checked");
+                cache.note_miss();
+                if let Some(block) = self.store.get(addr)? {
+                    cache.promote_cold(addr, &block, &mut *self.store)?;
+                    *slot = Some(block);
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(addrs.len());
+        for ((&addr, tier), block) in addrs.iter().zip(&tiers).zip(blocks) {
+            let cost = match tier {
+                ReadTier::Ram => hit_cost,
+                ReadTier::Mid => mid_costs.next().expect("one cost per mid op"),
+                ReadTier::Cold => cold_costs.next().expect("one cost per cold op"),
+            };
+            if !(leaky && *tier == ReadTier::Ram) {
+                self.record(AccessKind::Read, addr, bytes, cost);
+            }
+            out.push(ScatterItem { block, cost });
         }
         Ok(out)
     }
@@ -364,11 +527,25 @@ impl Device {
         }
         let bytes = self.charged_block_bytes;
         let offsets: Vec<u64> = writes.iter().map(|(addr, _)| addr * bytes).collect();
+        // The cold timing model sees the full command batch in both
+        // paths — every write eventually lands on the device.
         let costs = self
             .timing
             .scatter_costs(AccessKind::Write, &offsets, bytes);
-        for ((addr, block), cost) in writes.into_iter().zip(costs) {
-            self.store.put(addr, block)?;
+        let absorb = self
+            .cache
+            .as_ref()
+            .map(|c| (c.hit_cost(), c.writeback_sync_fraction()));
+        for ((addr, block), cold_cost) in writes.into_iter().zip(costs) {
+            let cost = if let Some((hit_cost, fraction)) = absorb {
+                let cache = self.cache.as_mut().expect("probed");
+                cache.absorb_write(addr, block, &mut *self.store)?;
+                let sync_nanos = (cold_cost.as_nanos() as f64 * fraction).round() as u64;
+                hit_cost + SimDuration::from_nanos(sync_nanos)
+            } else {
+                self.store.put(addr, block)?;
+                cold_cost
+            };
             self.record(AccessKind::Write, addr, bytes, cost);
         }
         Ok(())
@@ -377,9 +554,14 @@ impl Device {
     /// Removes and returns the block at `addr` without charging time
     /// (used by shuffle logic that has already paid for a streaming read).
     pub fn take_block(&mut self, addr: u64) -> Option<SealedBlock> {
-        self.store
+        // The cache is the authority for slots it holds dirty; either way
+        // every tier's copy must go.
+        let dirty = self.cache.as_mut().and_then(|c| c.invalidate(addr));
+        let stored = self
+            .store
             .remove(addr)
-            .expect("take_block is simulator-internal; backend I/O failure is fail-stop")
+            .expect("take_block is simulator-internal; backend I/O failure is fail-stop");
+        dirty.or(stored)
     }
 
     /// Looks at the block at `addr` without charging time or tracing.
@@ -388,6 +570,9 @@ impl Device {
     /// code must use [`read_block`](Self::read_block). Returns an owned
     /// clone (file-backed stores cannot hand out references).
     pub fn peek_block(&mut self, addr: u64) -> Option<SealedBlock> {
+        if let Some(block) = self.cache.as_ref().and_then(|c| c.peek(addr)) {
+            return Some(block.clone());
+        }
         self.store
             .get(addr)
             .expect("peek_block is simulator-internal; backend I/O failure is fail-stop")
@@ -406,8 +591,15 @@ impl Device {
             return Ok(Vec::new());
         }
         self.check_capacity(start + count - 1)?;
+        // Merge the cache's dirty copies over the stored run: the cache is
+        // the authority for slots it absorbed write-back.
         let blocks: Vec<Option<SealedBlock>> = (start..start + count)
-            .map(|a| self.store.get(a))
+            .map(
+                |a| match self.cache.as_ref().and_then(|c| c.dirty_copy(a)) {
+                    Some(dirty) => Ok(Some(dirty.clone())),
+                    None => self.store.get(a),
+                },
+            )
             .collect::<Result<_, _>>()?;
         let bytes = self.charged_block_bytes * count;
         let cost =
@@ -435,9 +627,15 @@ impl Device {
             return Ok(Vec::new());
         }
         self.check_capacity(start + count - 1)?;
+        // Taking a slot removes every tier's copy; the cache's dirty copy
+        // (when it holds one) is the authoritative value handed back.
         let blocks: Vec<Option<SealedBlock>> = (start..start + count)
-            .map(|a| self.store.remove(a))
-            .collect::<Result<_, _>>()?;
+            .map(|a| {
+                let dirty = self.cache.as_mut().and_then(|c| c.invalidate(a));
+                let stored = self.store.remove(a)?;
+                Ok(dirty.or(stored))
+            })
+            .collect::<Result<_, StorageError>>()?;
         let bytes = self.charged_block_bytes * count;
         let cost =
             self.timing
@@ -461,8 +659,18 @@ impl Device {
             return Ok(());
         }
         self.check_capacity(start + count - 1)?;
+        // Streaming runs are write-*through*: the store is updated
+        // immediately (shuffle rebuilds make cold storage authoritative),
+        // and the cache keeps clean copies of the run — this population
+        // is exactly where next period's hits come from, since the
+        // once-per-period invariant means a promoted random read is never
+        // re-read before the next shuffle rewrites it.
         for (i, block) in blocks.enumerate() {
-            self.store.put(start + i as u64, block)?;
+            let addr = start + i as u64;
+            if let Some(cache) = &mut self.cache {
+                cache.populate(addr, block.clone(), &mut *self.store)?;
+            }
+            self.store.put(addr, block)?;
         }
         let bytes = self.charged_block_bytes * count;
         let cost =
@@ -484,8 +692,12 @@ impl Device {
         cost
     }
 
-    /// Drops all stored blocks (data only; stats and timing state remain).
+    /// Drops all stored blocks, in every cache tier and the store (data
+    /// only; stats and timing state remain).
     pub fn clear(&mut self) {
+        if let Some(cache) = &mut self.cache {
+            cache.clear();
+        }
         self.store
             .clear()
             .expect("clear is simulator-internal; backend I/O failure is fail-stop");
@@ -505,6 +717,9 @@ impl Device {
     ///
     /// Backend I/O errors propagate.
     pub fn sync(&mut self) -> Result<(), StorageError> {
+        if let Some(cache) = &mut self.cache {
+            cache.flush(&mut *self.store)?;
+        }
         self.store.sync()
     }
 
@@ -540,6 +755,13 @@ impl Device {
     ///
     /// Backend I/O errors propagate.
     pub fn save_state(&mut self, w: &mut StateWriter) -> Result<(), StorageError> {
+        // Flush the cache's dirty blocks first, so the store contents the
+        // snapshot embeds (or fingerprints) already include every
+        // absorbed write — the cache section then only needs residency
+        // metadata, never block bytes.
+        if let Some(cache) = &mut self.cache {
+            cache.flush(&mut *self.store)?;
+        }
         let stats = self.stats;
         w.put_u64(stats.reads);
         w.put_u64(stats.writes);
@@ -568,6 +790,10 @@ impl Device {
                 w.put_u64(block.tag());
                 w.put_bytes(block.ciphertext());
             }
+        }
+        w.put_bool(self.cache.is_some());
+        if let Some(cache) = &self.cache {
+            cache.save_state(w);
         }
         Ok(())
     }
@@ -647,6 +873,25 @@ impl Device {
             self.store
                 .install_blocks(blocks)
                 .map_err(|e| PersistError::Malformed(format!("installing blocks: {e}")))?;
+        }
+        let has_cache = r.get_bool()?;
+        if has_cache != self.cache.is_some() {
+            return Err(PersistError::Malformed(format!(
+                "snapshot taken with a cache {}, restoring onto a device {} one",
+                if has_cache { "installed" } else { "absent" },
+                if self.cache.is_some() {
+                    "with"
+                } else {
+                    "without"
+                },
+            )));
+        }
+        // Temporarily take the cache so it can repopulate from the store
+        // without aliasing `self`.
+        if let Some(mut cache) = self.cache.take() {
+            let result = cache.load_state(r, &mut *self.store);
+            self.cache = Some(cache);
+            result?;
         }
         self.stats = stats;
         self.timing.restore_state_words(&words);

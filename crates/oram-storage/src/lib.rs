@@ -49,6 +49,7 @@
 //! # }
 //! ```
 
+pub mod cache;
 pub mod calibration;
 pub mod clock;
 pub mod device;
@@ -62,6 +63,7 @@ pub mod stats;
 pub mod store;
 pub mod trace;
 
+pub use cache::{BlockCache, CacheConfig, CachePolicy, CacheStats, MidTierConfig, TieredStore};
 pub use calibration::MachineConfig;
 pub use clock::{SimClock, SimDuration, SimTime};
 pub use device::{AccessKind, Device, DeviceId, ScatterItem, TimingModel};

@@ -189,6 +189,12 @@ impl<M: TimingModel> TimingModel for PageCacheModel<M> {
         self.inner.reset();
         self.resident.clear();
         self.dirty.clear();
+        // The recency tick must reset with the residency map it orders:
+        // leaving it running would make a reset model serialize different
+        // state words than a fresh one, breaking snapshot determinism
+        // across a reset-then-save (`Device::reset_accounting` followed
+        // by `Device::save_state`).
+        self.tick = 0;
         self.hits = 0;
         self.misses = 0;
     }
@@ -310,5 +316,40 @@ mod tests {
         assert_eq!(model.hits() + model.misses(), 0);
         let cold_again = model.access_cost(AccessKind::Read, 0, 4096);
         assert!(cold_again.as_micros_f64() > 10.0);
+    }
+
+    /// Regression: `reset()` once left the recency tick running, so a
+    /// reset model serialized different state words than a fresh one —
+    /// a reset-then-snapshot was not reproducible.
+    #[test]
+    fn reset_model_serializes_like_a_fresh_one() {
+        let mut model = cached();
+        model.access_cost(AccessKind::Read, 0, 4096);
+        model.access_cost(AccessKind::Write, 8192, 4096);
+        model.reset();
+        assert_eq!(model.state_words(), cached().state_words());
+    }
+
+    /// Hit/miss counters (and residency, and the tick ordering it) must
+    /// round-trip through `state_words`/`restore_state_words`, so a
+    /// restored run charges byte-identical costs and reports the same
+    /// ablation statistics.
+    #[test]
+    fn counters_and_residency_roundtrip_through_state_words() {
+        let mut model = cached();
+        model.access_cost(AccessKind::Read, 0, 4096);
+        model.access_cost(AccessKind::Read, 0, 4096);
+        model.access_cost(AccessKind::Write, 1 << 20, 4096);
+        let words = model.state_words();
+
+        let mut restored = cached();
+        restored.restore_state_words(&words);
+        assert_eq!(restored.hits(), model.hits());
+        assert_eq!(restored.misses(), model.misses());
+        assert_eq!(restored.state_words(), words);
+        // Behavior continues identically: the next access costs the same.
+        let a = model.access_cost(AccessKind::Read, 0, 4096);
+        let b = restored.access_cost(AccessKind::Read, 0, 4096);
+        assert_eq!(a, b);
     }
 }

@@ -5,8 +5,10 @@ use horam::analysis::leakage::{
     chi_square_critical_p001, chi_square_uniform, once_per_period, TraceShape,
 };
 use horam::prelude::*;
+use horam::storage::cache::CacheConfig;
 use horam::storage::calibration::device_ids;
 use horam::storage::device::AccessKind;
+use horam::storage::trace::TraceEvent;
 use horam::workload::WorkloadGenerator;
 
 fn build(capacity: u64, memory_slots: u64, seed: u64) -> HOram {
@@ -17,6 +19,27 @@ fn build(capacity: u64, memory_slots: u64, seed: u64) -> HOram {
         MasterKey::from_bytes([31u8; 32]),
     )
     .expect("construction succeeds")
+}
+
+fn build_cached(capacity: u64, memory_slots: u64, seed: u64, cache: CacheConfig) -> HOram {
+    let config = HOramConfig::new(capacity, 8, memory_slots)
+        .with_seed(seed)
+        .with_cache(cache);
+    HOram::new(
+        config,
+        MemoryHierarchy::dac2019(),
+        MasterKey::from_bytes([31u8; 32]),
+    )
+    .expect("construction succeeds")
+}
+
+/// The adversary's per-event view, minus timestamps: device, direction,
+/// physical slot, byte count, in submission order.
+fn observable(events: &[TraceEvent]) -> Vec<(u16, bool, u64, u64)> {
+    events
+        .iter()
+        .map(|e| (e.device.0, e.kind == AccessKind::Read, e.addr, e.bytes))
+        .collect()
 }
 
 /// §4.4.1 (access security, storage side): within one access period, no
@@ -178,4 +201,132 @@ fn dummy_loads_look_like_real_loads() {
         .map(|e| e.bytes)
         .collect();
     assert_eq!(sizes.len(), 1, "load sizes vary: {sizes:?}");
+}
+
+/// Cache obliviousness, schedule side: §4.4.2's indistinguishability
+/// survives a hit-bound cache. Two same-profile schedules over disjoint
+/// block sets — whose physical slots hit the cache differently — still
+/// produce identical bus shapes and cycle counts. (Schedules with
+/// *different* warm/cold profiles differ by scheduler design, cache or
+/// no cache; the capacity test below isolates the cache axis.)
+#[test]
+fn cached_same_profile_schedules_stay_indistinguishable() {
+    let run = |targets: Vec<u64>| {
+        let mut oram = build_cached(256, 64, 19, CacheConfig::lru(1 << 20));
+        let requests: Vec<Request> = targets.into_iter().map(Request::read).collect();
+        oram.run_batch(&requests).expect("batch");
+        assert!(oram.stats().shuffles >= 1, "setup: periods must turn");
+        (
+            TraceShape::of(&oram.trace().snapshot()),
+            oram.stats().cycles,
+            oram.cache_stats().expect("cache installed"),
+        )
+    };
+
+    // Same profile (60 distinct cold blocks each), disjoint identities.
+    let (shape_a, cycles_a, cache_a) = run((0..60).collect());
+    let (shape_b, cycles_b, cache_b) = run((0..60).map(|i| 255 - i * 3).collect());
+
+    assert_eq!(shape_a, shape_b, "bus shape depends on which blocks hit");
+    assert_eq!(cycles_a, cycles_b);
+    assert!(
+        cache_a.hits + cache_b.hits > 0,
+        "setup: the cache must see hits ({cache_a:?} vs {cache_b:?})"
+    );
+}
+
+/// Cache obliviousness, capacity side: the **same** schedule against a
+/// hit-bound cache (capacity covers every slot) and a trivial one-block
+/// cache produces the identical event sequence — device, direction,
+/// slot, bytes, order. Capacity moves only simulated time.
+#[test]
+fn cache_capacity_is_invisible_on_the_bus() {
+    let run = |cache: CacheConfig| {
+        let mut oram = build_cached(256, 64, 19, cache);
+        let requests: Vec<Request> = (0..150u64).map(|i| Request::read(i % 10)).collect();
+        oram.run_batch(&requests).expect("batch");
+        (
+            observable(&oram.trace().snapshot()),
+            oram.cache_stats().expect("cache installed"),
+        )
+    };
+    let (hit_heavy, hit_stats) = run(CacheConfig::lru(1 << 20));
+    let (miss_heavy, miss_stats) = run(CacheConfig::lru(1));
+    assert!(
+        hit_stats.hits > miss_stats.hits,
+        "setup: the regimes must actually differ ({hit_stats:?} vs {miss_stats:?})"
+    );
+    assert_eq!(hit_heavy, miss_heavy, "cache capacity leaked onto the bus");
+}
+
+/// The same two checks at 4 shards: per-shard caches must not let hit
+/// rate or capacity show through any shard's trace.
+#[test]
+fn sharded_cache_traces_are_hit_rate_independent() {
+    use horam::core::shard::{ShardedConfig, ShardedOram};
+
+    let run = |cache_capacity: u64| {
+        let config = HOramConfig::new(256, 8, 64)
+            .with_seed(19)
+            .with_cache(CacheConfig::lru(cache_capacity));
+        let mut oram = ShardedOram::new(
+            ShardedConfig::new(config, 4),
+            MasterKey::from_bytes([31u8; 32]),
+            |_| MemoryHierarchy::dac2019(),
+        )
+        .expect("sharded instance builds");
+        let requests: Vec<Request> = (0..200u64).map(|i| Request::read(i % 16)).collect();
+        oram.run_batch(&requests).expect("batch");
+        let traces: Vec<_> = oram
+            .shards()
+            .iter()
+            .map(|s| observable(&s.trace().snapshot()))
+            .collect();
+        (traces, oram.cache_stats().expect("cache installed"))
+    };
+
+    let (hit_traces, hit_stats) = run(1 << 20);
+    let (miss_traces, miss_stats) = run(1);
+    assert!(
+        hit_stats.hits > miss_stats.hits,
+        "setup: regimes must differ"
+    );
+    for (i, (a, b)) in hit_traces.iter().zip(&miss_traces).enumerate() {
+        assert_eq!(a, b, "shard {i}: cache capacity leaked onto the bus");
+    }
+}
+
+/// The battery can fail: a deliberately broken cache that serves RAM
+/// hits *without* emitting the padded bus event (`leaky_hits`) is caught
+/// by exactly the comparison the tests above run — its trace visibly
+/// shrinks in the hit-bound regime.
+#[test]
+fn leaky_cache_fixture_is_detected() {
+    let run = |leaky: bool| {
+        let mut cache = CacheConfig::lru(1 << 20);
+        cache.leaky_hits = leaky;
+        let mut oram = build_cached(256, 64, 19, cache);
+        let requests: Vec<Request> = (0..150u64).map(|i| Request::read(i % 10)).collect();
+        oram.run_batch(&requests).expect("batch");
+        (
+            observable(&oram.trace().snapshot()),
+            oram.cache_stats().expect("cache installed"),
+        )
+    };
+    let (honest, honest_stats) = run(false);
+    let (leaky, leaky_stats) = run(true);
+    assert!(honest_stats.hits > 0, "setup: hits must occur");
+    assert_eq!(honest_stats.hits, leaky_stats.hits, "same hit pattern");
+    assert_ne!(
+        honest, leaky,
+        "a cache that skips hit padding must be visible to this battery"
+    );
+    // The leak is precisely the missing hit events: the leaky trace is
+    // shorter by the number of events the honest cache padded.
+    assert!(
+        leaky.len() < honest.len(),
+        "leaky trace should drop events ({} vs {})",
+        leaky.len(),
+        honest.len()
+    );
 }

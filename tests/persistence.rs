@@ -21,6 +21,7 @@ use horam::core::shard::{ShardedConfig, ShardedOram};
 use horam::crypto::rng::DeterministicRng;
 use horam::prelude::*;
 use horam::protocols::types::BlockContent;
+use horam::storage::cache::CacheConfig;
 use horam::storage::calibration::MachineConfig;
 use horam::storage::file::{scratch_dir, FileStoreConfig};
 use horam::storage::trace::TraceEvent;
@@ -271,6 +272,216 @@ fn file_backed_run_matches_in_memory_run_exactly() {
     );
     assert_eq!(volatile.stats(), durable.stats());
     assert_eq!(volatile.clock().now(), durable.clock().now());
+}
+
+mod cached {
+    //! The same recovery invariant with the block cache in the loop: a
+    //! snapshot must flush dirty cached blocks into the durable store
+    //! before fingerprinting it, restore must re-install the cache and
+    //! repopulate its residency from the recovered store, and a kill
+    //! that strands dirty blocks in RAM must lose nothing the snapshot
+    //! promised to keep.
+
+    use super::*;
+    use horam::crypto::persist::{StateReader, StateWriter};
+    use horam::crypto::seal::BlockSealer;
+    use horam::storage::clock::SimClock;
+    use horam::storage::device::Device;
+    use horam::storage::device::DeviceId;
+    use horam::storage::file::FileStore;
+    use horam::storage::hdd::HddModel;
+
+    fn cached_config() -> HOramConfig {
+        // Hit-bound capacity: after the first shuffle every slot is
+        // cached, so restore must rebuild real residency to stay
+        // byte-identical on the clock.
+        config().with_cache(CacheConfig::lru(1 << 20))
+    }
+
+    /// The engine-level kill test, with a cache installed on both the
+    /// reference and every killed run.
+    #[test]
+    fn kill_with_cache_installed_recovers_byte_identically() {
+        let pre = workload(40, 121);
+        let post = workload(70, 122);
+
+        let reference_scratch = Scratch::new("persist-cache-reference");
+        let mut reference = HOram::new(
+            cached_config(),
+            file_hierarchy(&reference_scratch.device()),
+            master(),
+        )
+        .unwrap();
+        reference.run_batch(&pre).unwrap();
+        let _ = reference.snapshot().unwrap();
+        let ref_mark = reference.trace().snapshot().len();
+        let ref_responses = reference.run_batch(&post).unwrap();
+        let ref_trace = reference.trace().snapshot()[ref_mark..].to_vec();
+        let ref_stats = reference.stats();
+        assert!(ref_stats.shuffles >= 2, "setup: periods must turn");
+        assert!(
+            reference.cache_stats().unwrap().hits > 0,
+            "setup: the cache must be live"
+        );
+
+        for kill_after_cycles in [0u64, 5, 17] {
+            let scratch = Scratch::new("persist-cache-kill");
+            let mut engine =
+                HOram::new(cached_config(), file_hierarchy(&scratch.device()), master()).unwrap();
+            engine.run_batch(&pre).unwrap();
+            let snapshot = engine.snapshot().unwrap();
+
+            for request in &post {
+                engine.enqueue(request.clone()).unwrap();
+            }
+            for _ in 0..kill_after_cycles {
+                if engine.queue().is_drained() {
+                    break;
+                }
+                engine.run_cycle().unwrap();
+            }
+            drop(engine); // the kill: cached state dies with the process
+
+            let mut recovered =
+                HOram::restore(file_hierarchy(&scratch.device()), master(), &snapshot).unwrap();
+            let responses = recovered.run_batch(&post).unwrap();
+            assert_eq!(
+                ref_responses, responses,
+                "kill after {kill_after_cycles} cycles: responses diverged"
+            );
+            assert_eq!(
+                ref_trace,
+                recovered.trace().snapshot(),
+                "kill after {kill_after_cycles} cycles: trace diverged"
+            );
+            assert_eq!(ref_stats, recovered.stats());
+            assert_eq!(reference.clock().now(), recovered.clock().now());
+        }
+    }
+
+    /// A cached file-backed run equals a cached in-memory run equals an
+    /// uncached run on responses — the cache and the backend compose
+    /// without touching protocol semantics.
+    #[test]
+    fn cached_file_backed_run_matches_in_memory_run() {
+        let requests = workload(80, 131);
+        let mut volatile =
+            HOram::new(cached_config(), MemoryHierarchy::dac2019(), master()).unwrap();
+        let volatile_responses = volatile.run_batch(&requests).unwrap();
+
+        let scratch = Scratch::new("persist-cache-backend-equiv");
+        let mut durable =
+            HOram::new(cached_config(), file_hierarchy(&scratch.device()), master()).unwrap();
+        let durable_responses = durable.run_batch(&requests).unwrap();
+
+        assert_eq!(volatile_responses, durable_responses);
+        assert_eq!(
+            strip_times(&volatile.trace().snapshot()),
+            strip_times(&durable.trace().snapshot())
+        );
+        assert_eq!(volatile.stats(), durable.stats());
+        assert_eq!(volatile.clock().now(), durable.clock().now());
+        assert_eq!(volatile.cache_stats(), durable.cache_stats());
+    }
+
+    // ---- Device-level: the dirty write-back path under a kill. The
+    // engine writes storage write-through (shuffle rebuilds), so dirty
+    // cached blocks only arise for direct Device users; this pins the
+    // contract down where it lives.
+
+    const SLOTS: u64 = 64;
+    const BODY: usize = 256;
+
+    fn sealer() -> BlockSealer {
+        BlockSealer::new(&master().derive("cache-persist-test", 0))
+    }
+
+    fn open_device(path: &Path, clock: SimClock) -> Device {
+        let store = FileStore::open(path, FileStoreConfig::new(SLOTS, BODY)).unwrap();
+        let mut dev = Device::with_store(
+            DeviceId(7),
+            "cold",
+            Box::new(HddModel::paper_calibrated()),
+            clock,
+            None,
+            Box::new(store),
+        );
+        dev.install_cache(CacheConfig::lru(8)).unwrap();
+        dev
+    }
+
+    /// Write-back dirty blocks + a kill: `sync` + `save_state` is the
+    /// commit point (it flushes the cache into the journaled file);
+    /// dirty blocks absorbed *after* it die with the process, and the
+    /// reopened device reads back exactly the committed bytes.
+    #[test]
+    fn dirty_write_back_blocks_flush_at_snapshot_and_roll_back_after() {
+        let scratch = Scratch::new("persist-cache-dirty");
+        let committed: Vec<_> = (0..SLOTS)
+            .map(|a| sealer().seal(a, 0, format!("committed {a}").as_bytes()))
+            .collect();
+
+        let mut dev = open_device(&scratch.device(), SimClock::new());
+        for (a, block) in committed.iter().enumerate() {
+            // write_block absorbs into the cache dirty; evictions beyond
+            // the 8-slot capacity write back as we go.
+            dev.write_block(a as u64, block.clone()).unwrap();
+        }
+        dev.sync().unwrap(); // commit point: flush + file sync
+        let mut w = StateWriter::new();
+        dev.save_state(&mut w).unwrap();
+        let saved = w.into_bytes();
+
+        // Post-snapshot dirty writes: stranded in RAM, never synced.
+        for a in 0..16u64 {
+            dev.write_block(a, sealer().seal(a, 1, b"doomed")).unwrap();
+        }
+        assert!(
+            dev.cache_stats().unwrap().writebacks < SLOTS + 16,
+            "setup: some post-snapshot writes must still sit dirty in RAM"
+        );
+        drop(dev); // the kill: no sync, no state save
+
+        // Reopen: the journal rolls the file back to the commit point,
+        // load_state re-installs residency, and every slot reads the
+        // committed value — the doomed writes are gone without a trace.
+        let mut recovered = open_device(&scratch.device(), SimClock::new());
+        let mut r = StateReader::new(&saved);
+        recovered.load_state(&mut r).unwrap();
+        r.finish().unwrap();
+        for (a, block) in committed.iter().enumerate() {
+            assert_eq!(
+                recovered.read_block(a as u64).unwrap(),
+                *block,
+                "slot {a} lost the committed bytes"
+            );
+        }
+    }
+
+    /// A torn state blob never panics and never half-loads: the device
+    /// state (cache section included — it sits at the end) errors at
+    /// every truncation boundary.
+    #[test]
+    fn torn_device_state_with_cache_errors_at_every_boundary() {
+        let scratch = Scratch::new("persist-cache-torn");
+        let mut dev = open_device(&scratch.device(), SimClock::new());
+        for a in 0..SLOTS {
+            dev.write_block(a, sealer().seal(a, 0, b"payload")).unwrap();
+        }
+        dev.sync().unwrap();
+        let mut w = StateWriter::new();
+        dev.save_state(&mut w).unwrap();
+        let saved = w.into_bytes();
+
+        for cut in 0..saved.len() {
+            let mut torn = open_device(&scratch.device(), SimClock::new());
+            let mut r = StateReader::new(&saved[..cut]);
+            assert!(
+                torn.load_state(&mut r).and_then(|_| r.finish()).is_err(),
+                "truncation at byte {cut} accepted"
+            );
+        }
+    }
 }
 
 mod sharded {
