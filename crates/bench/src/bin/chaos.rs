@@ -1,0 +1,21 @@
+//! Failure hardening under deterministic fault injection.
+//!
+//! Thin wrapper over [`bench::gates::chaos_gate`]: the shared Zipf mix
+//! is served on a 4-shard engine whose every storage store injects
+//! seeded 1 % transient faults, and the run must uphold the end-to-end
+//! failure contract — no panics, every ticket resolves to a typed error
+//! or a response byte-identical to the fault-free run's, and simulated
+//! throughput stays within 10 % of fault-free (capped retry backoff is
+//! the only cost). Writes the machine-readable report to
+//! `BENCH_chaos.json` (or `--out <path>`) and exits nonzero when the
+//! gate fails.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin chaos [-- --quick] [-- --out <path>]
+//! ```
+
+use bench::gates::{chaos_gate, gate_main};
+
+fn main() {
+    gate_main("BENCH_chaos.json", chaos_gate)
+}

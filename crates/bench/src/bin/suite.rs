@@ -1,6 +1,6 @@
 //! The consolidated CI bench suite: serving + I/O pipeline + sharding +
 //! the wall-clock parallel engine + durability/recovery + the oblivious
-//! block cache.
+//! block cache + chaos (failure hardening under fault injection).
 //!
 //! Runs every regression gate in sequence, merges their machine-readable
 //! reports into one `BENCH.json` (or `--out <path>`), and exits nonzero
@@ -20,7 +20,7 @@
 //! ```
 
 use bench::gates::{
-    baseline_regressions, cache_gate, io_pipeline_gate, merge_outcomes, parallel_gate,
+    baseline_regressions, cache_gate, chaos_gate, io_pipeline_gate, merge_outcomes, parallel_gate,
     persistence_gate, serving_gate, sharding_gate, write_report,
 };
 use bench::BenchArgs;
@@ -37,6 +37,7 @@ fn main() {
         parallel_gate(args.quick),
         persistence_gate(args.quick),
         cache_gate(args.quick),
+        chaos_gate(args.quick),
     ];
 
     let (report, mut pass) = merge_outcomes(&outcomes);

@@ -114,6 +114,7 @@ pub fn trend_metrics(suite_report: &Value) -> Vec<(String, f64)> {
             "serving" => &["vs_sequential", "vs_per_request"],
             "sharding" => &["io_speedup", "wall_speedup"],
             "cache" => &["io_speedup"],
+            "chaos" => &["throughput_ratio"],
             // `parallel` measures host wall-clock; `persistence` gates on
             // equality, not a ratio — neither belongs in the trend file.
             _ => &[],
@@ -1431,6 +1432,219 @@ mod cache {
 /// periods. The speedup ratio feeds the trend file.
 pub fn cache_gate(quick: bool) -> GateOutcome {
     cache::gate(quick)
+}
+
+// --------------------------------------------------------------- chaos
+
+mod chaos {
+    use super::*;
+    use horam::core::error::HOramError;
+    use horam::storage::clock::SimTime;
+    use horam::storage::fault::FaultConfig;
+
+    const SEED: u64 = 0xC4A0;
+    const SHARDS: u64 = 4;
+    /// 1 % of storage reads *and* writes fail transiently — roughly two
+    /// orders of magnitude worse than a badly degraded disk, so the
+    /// retry layer is exercised thousands of times per run.
+    const FAULT_PERMILLE: u32 = 10;
+    /// Floor on the faulted run's simulated throughput relative to the
+    /// fault-free run. Retries charge capped exponential backoff in
+    /// simulated time; at 1 % incidence the charge must stay small
+    /// against calibrated device time.
+    const MIN_THROUGHPUT_RATIO: f64 = 0.9;
+
+    #[derive(Debug, Serialize)]
+    struct Report {
+        bench: &'static str,
+        requests: usize,
+        shards: u64,
+        fault_permille: u32,
+        pass: bool,
+        /// Transient faults the injector raised (reads + writes).
+        injected_transients: u64,
+        /// Device-level retries those faults triggered.
+        retries: u64,
+        /// Simulated backoff charged for them, ms.
+        backoff_ms: f64,
+        /// Retry budgets exhausted (each fails one shard window).
+        exhausted: u64,
+        /// Tickets that resolved to a typed failure instead of a
+        /// response.
+        failed_tickets: u64,
+        /// Shards quarantined by the end of the run.
+        degraded_shards: usize,
+        throughput_clean_rps: f64,
+        throughput_faulted_rps: f64,
+        /// faulted / clean simulated throughput — the trend metric.
+        throughput_ratio: f64,
+        min_throughput_ratio: f64,
+        /// Every completed ticket byte-identical to the fault-free run.
+        responses_match: bool,
+    }
+
+    fn engine(fault: Option<u32>) -> ShardedOram {
+        let config = ShardedConfig::new(
+            HOramConfig::new(CAPACITY, PAYLOAD_LEN, MEMORY_SLOTS).with_seed(SEED),
+            SHARDS,
+        );
+        ShardedOram::new(config, MasterKey::from_bytes([0xFA; 32]), |shard| {
+            let hierarchy = MemoryHierarchy::dac2019();
+            match fault {
+                Some(permille) => hierarchy
+                    .with_storage_faults(FaultConfig::transient(SEED ^ (shard + 1), permille)),
+                None => hierarchy,
+            }
+        })
+        .expect("builds")
+    }
+
+    /// Runs the trace to completion, tolerating per-ticket typed
+    /// failures: every ticket resolves to `Some(response)` or `None`
+    /// (typed failure — recorded, never a panic).
+    fn drive(oram: &mut ShardedOram, trace: &[Request]) -> Vec<Option<Vec<u8>>> {
+        let tickets: Vec<Result<u64, HOramError>> = trace
+            .iter()
+            .map(|request| oram.enqueue(request.clone()))
+            .collect();
+        while !oram.is_drained() {
+            oram.run_cycle_window(16).expect("engine-level failure");
+        }
+        tickets
+            .into_iter()
+            .map(|ticket| {
+                let ticket = ticket.ok()?;
+                match oram.take_response(ticket) {
+                    Some(response) => Some(response),
+                    None => {
+                        // A lost ticket must carry its typed failure.
+                        oram.take_failure(ticket)
+                            .expect("ticket resolved with neither response nor failure");
+                        None
+                    }
+                }
+            })
+            .collect()
+    }
+
+    pub(super) fn gate(quick: bool) -> GateOutcome {
+        let mut requests = 6_000usize;
+        if quick {
+            requests /= 8;
+            println!("(--quick: scaled to 1/8)\n");
+        }
+        println!(
+            "Chaos — {SHARDS} shards, {}‰ transient storage faults, {requests} Zipf requests\n",
+            FAULT_PERMILLE
+        );
+        let trace = zipf_schedule(requests, SEED).to_trace().requests;
+
+        let mut clean = engine(None);
+        let clean_outcomes = drive(&mut clean, &trace);
+        let clean_elapsed = clean.clock().now();
+        assert!(
+            clean_outcomes.iter().all(Option::is_some),
+            "fault-free run must complete every ticket"
+        );
+
+        let mut faulted = engine(Some(FAULT_PERMILLE));
+        let faulted_outcomes = drive(&mut faulted, &trace);
+        let faulted_elapsed = faulted.clock().now();
+        let fault_stats = faulted.storage_fault_stats().unwrap_or_default();
+        let retry_stats = faulted.storage_retry_stats();
+
+        let failed_tickets = faulted_outcomes.iter().filter(|o| o.is_none()).count() as u64;
+        let responses_match =
+            clean_outcomes
+                .iter()
+                .zip(&faulted_outcomes)
+                .all(|(clean, faulted)| match faulted {
+                    Some(response) => clean.as_ref() == Some(response),
+                    None => true,
+                });
+        let degraded = faulted.degraded_shards().len();
+        let throughput_clean = throughput(requests, clean_elapsed.duration_since(SimTime::ZERO));
+        let throughput_faulted =
+            throughput(requests, faulted_elapsed.duration_since(SimTime::ZERO));
+        let throughput_ratio = if throughput_clean > 0.0 {
+            throughput_faulted / throughput_clean
+        } else {
+            0.0
+        };
+        let injected = fault_stats.transient_reads + fault_stats.transient_writes;
+        let pass = responses_match
+            && injected > 0
+            && retry_stats.retries > 0
+            && throughput_ratio >= MIN_THROUGHPUT_RATIO;
+
+        let mut table = Table::new(vec![
+            "engine",
+            "elapsed (sim)",
+            "req / s",
+            "retries",
+            "failed tickets",
+        ]);
+        table.row(vec![
+            "fault-free".into(),
+            format!("{}", clean_elapsed.duration_since(SimTime::ZERO)),
+            format!("{throughput_clean:.0}"),
+            "0".into(),
+            "0".into(),
+        ]);
+        table.row(vec![
+            format!("{FAULT_PERMILLE}‰ transient"),
+            format!("{}", faulted_elapsed.duration_since(SimTime::ZERO)),
+            format!("{throughput_faulted:.0}"),
+            retry_stats.retries.to_string(),
+            failed_tickets.to_string(),
+        ]);
+        println!("{table}");
+        println!(
+            "injected {injected} transients; {} exhausted budgets; {degraded} degraded \
+             shards; completed responses byte-identical: {responses_match}; throughput \
+             ratio {throughput_ratio:.3} (floor {MIN_THROUGHPUT_RATIO:.2})",
+            retry_stats.exhausted
+        );
+        if pass {
+            println!("OK: typed errors or identical answers under fault injection.\n");
+        } else {
+            println!("REGRESSION: chaos gate failed.\n");
+        }
+
+        let report = Report {
+            bench: "chaos",
+            requests,
+            shards: SHARDS,
+            fault_permille: FAULT_PERMILLE,
+            pass,
+            injected_transients: injected,
+            retries: retry_stats.retries,
+            backoff_ms: retry_stats.backoff_nanos as f64 / 1e6,
+            exhausted: retry_stats.exhausted,
+            failed_tickets,
+            degraded_shards: degraded,
+            throughput_clean_rps: throughput_clean,
+            throughput_faulted_rps: throughput_faulted,
+            throughput_ratio,
+            min_throughput_ratio: MIN_THROUGHPUT_RATIO,
+            responses_match,
+        };
+        GateOutcome {
+            name: "chaos",
+            pass,
+            report: report.to_value(),
+        }
+    }
+}
+
+/// The chaos gate: serve the shared Zipf mix on a 4-shard engine whose
+/// every storage store injects seeded 1 % transient faults, and require
+/// the end-to-end contract — no panics, every ticket resolves to a typed
+/// error or a response byte-identical to the fault-free run's, and
+/// simulated throughput within 10 % of fault-free (retry backoff is the
+/// only cost). The throughput ratio feeds the trend file.
+pub fn chaos_gate(quick: bool) -> GateOutcome {
+    chaos::gate(quick)
 }
 
 #[cfg(test)]

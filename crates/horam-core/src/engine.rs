@@ -16,6 +16,7 @@
 //! [`HOram`]: crate::horam::HOram
 //! [`ShardedOram`]: crate::shard::ShardedOram
 
+use crate::error::HOramError;
 use crate::stats::HOramStats;
 use oram_protocols::error::OramError;
 use oram_protocols::types::Request;
@@ -46,11 +47,30 @@ pub trait OramEngine {
     /// # Errors
     ///
     /// As [`validate`](Self::validate); invalid requests never produce
-    /// observable accesses.
-    fn enqueue(&mut self, request: Request) -> Result<u64, OramError>;
+    /// observable accesses. Sharded engines additionally report
+    /// [`HOramError::ShardDegraded`] when the request routes to a shard
+    /// that has been quarantined — still with no observable access.
+    fn enqueue(&mut self, request: Request) -> Result<u64, HOramError>;
 
     /// Removes and returns the response for `ticket`, if serviced.
     fn take_response(&mut self, ticket: u64) -> Option<Vec<u8>>;
+
+    /// Removes and returns the *failure* recorded for `ticket`, if its
+    /// request was lost to a shard failure instead of completing. A
+    /// ticket resolves through exactly one of
+    /// [`take_response`](Self::take_response) or this method. Engines
+    /// without partial-failure handling (a single instance is all-or-
+    /// nothing) never record any.
+    fn take_failure(&mut self, _ticket: u64) -> Option<HOramError> {
+        None
+    }
+
+    /// Indices of shards currently quarantined (empty for healthy or
+    /// single-instance engines). Degraded shards serve no requests but
+    /// the engine keeps pumping the rest.
+    fn degraded_shards(&self) -> Vec<usize> {
+        Vec::new()
+    }
 
     /// Runs up to `max_cycles` scheduling cycles (per shard, for sharded
     /// engines) as one I/O window; returns the cycles executed.
@@ -63,8 +83,13 @@ pub trait OramEngine {
     ///
     /// # Errors
     ///
-    /// Storage/crypto/protocol errors propagate and are fail-stop.
-    fn run_cycle_window(&mut self, max_cycles: u64) -> Result<u64, OramError>;
+    /// Storage/crypto/protocol errors propagate and are fail-stop for the
+    /// failing instance. Engines with independent shards absorb per-shard
+    /// failures instead (quarantining the shard and recording failures
+    /// for its tickets — see [`take_failure`](Self::take_failure)), so an
+    /// `Err` from a sharded engine means the engine as a whole cannot
+    /// continue.
+    fn run_cycle_window(&mut self, max_cycles: u64) -> Result<u64, HOramError>;
 
     /// Requests queued and not yet serviced.
     fn pending_requests(&self) -> usize;
@@ -109,16 +134,16 @@ impl OramEngine for crate::horam::HOram {
         self.queue().validate(request)
     }
 
-    fn enqueue(&mut self, request: Request) -> Result<u64, OramError> {
-        self.enqueue(request)
+    fn enqueue(&mut self, request: Request) -> Result<u64, HOramError> {
+        self.enqueue(request).map_err(HOramError::from)
     }
 
     fn take_response(&mut self, ticket: u64) -> Option<Vec<u8>> {
         self.take_response(ticket)
     }
 
-    fn run_cycle_window(&mut self, max_cycles: u64) -> Result<u64, OramError> {
-        self.run_cycle_window(max_cycles)
+    fn run_cycle_window(&mut self, max_cycles: u64) -> Result<u64, HOramError> {
+        self.run_cycle_window(max_cycles).map_err(HOramError::from)
     }
 
     fn pending_requests(&self) -> usize {

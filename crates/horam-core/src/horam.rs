@@ -322,6 +322,37 @@ impl HOram {
             .storage_bytes(self.storage.device().charged_block_bytes())
     }
 
+    /// Wraps the storage device's backing store in a deterministic fault
+    /// injector ([`oram_storage::fault::FaultyStore`]) — the entry point
+    /// fault-injection tests use to make an already-populated, healthy
+    /// instance start failing mid-run. Calling again stacks another
+    /// injector over the first.
+    pub fn inject_storage_faults(&mut self, config: oram_storage::fault::FaultConfig) {
+        self.storage
+            .device_mut()
+            .wrap_store(|inner| Box::new(oram_storage::fault::FaultyStore::new(inner, config)));
+    }
+
+    /// Test fixture access to the storage device (e.g. the doc-hidden
+    /// leaky-retry fixture the leakage battery must detect).
+    #[doc(hidden)]
+    pub fn storage_device_mut(&mut self) -> &mut oram_storage::device::Device {
+        self.storage.device_mut()
+    }
+
+    /// Counters of injected storage faults, when
+    /// [`inject_storage_faults`](Self::inject_storage_faults) (or a
+    /// faulted hierarchy) is in effect.
+    pub fn storage_fault_stats(&self) -> Option<oram_storage::fault::FaultStats> {
+        self.storage.device().fault_stats()
+    }
+
+    /// Transient-fault retry counters of the storage device (volatile;
+    /// not part of snapshots).
+    pub fn storage_retry_stats(&self) -> oram_storage::device::RetryStats {
+        self.storage.device().retry_stats()
+    }
+
     /// Clears all timing/tracing/statistics state (not data).
     pub fn reset_accounting(&mut self) {
         self.memory.device_mut().reset_accounting();
@@ -469,7 +500,7 @@ impl HOram {
             self.storage.plan_io(match plan.miss_block {
                 Some(id) => LoadPlan::Miss(id),
                 None => LoadPlan::Dummy,
-            });
+            })?;
             plans.push(plan);
         }
 
@@ -585,12 +616,14 @@ impl Oram for HOram {
 
     fn read(&mut self, id: BlockId) -> Result<Vec<u8>, OramError> {
         let mut out = self.run_batch(&[Request::read(id)])?;
-        Ok(out.pop().expect("one response per request"))
+        out.pop()
+            .ok_or_else(|| OramError::internal("one-request batch returned no response"))
     }
 
     fn write(&mut self, id: BlockId, data: &[u8]) -> Result<Vec<u8>, OramError> {
         let mut out = self.run_batch(&[Request::write(id, data.to_vec())])?;
-        Ok(out.pop().expect("one response per request"))
+        out.pop()
+            .ok_or_else(|| OramError::internal("one-request batch returned no response"))
     }
 }
 

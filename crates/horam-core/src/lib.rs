@@ -36,6 +36,7 @@
 pub mod access_control;
 pub mod config;
 pub mod engine;
+pub mod error;
 pub mod evict;
 pub mod horam;
 pub mod multi_user;
@@ -52,6 +53,7 @@ pub mod storage_layer;
 pub use access_control::{AccessControl, AccessDenied, Permission};
 pub use config::{HOramConfig, StagePlan};
 pub use engine::OramEngine;
+pub use error::HOramError;
 pub use evict::{oblivious_tree_evict, EvictOutcome};
 pub use horam::HOram;
 pub use multi_user::{run_multi_user, MultiUserReport, UserId};

@@ -39,6 +39,7 @@
 
 use crate::config::HOramConfig;
 use crate::engine::OramEngine;
+use crate::error::HOramError;
 use crate::horam::HOram;
 use crate::persist::{self, KIND_SHARDED, SNAPSHOT_DOMAIN};
 use crate::pool::WorkerPool;
@@ -232,6 +233,26 @@ struct TicketRoute {
     local_ticket: u64,
 }
 
+/// The quarantine-and-restore machinery: a factory for fresh per-shard
+/// hierarchies plus the last per-shard checkpoint, captured by
+/// [`ShardedOram::enable_recovery`] /
+/// [`ShardedOram::refresh_checkpoints`]. With a kit installed, a shard
+/// that fails authentication (or any other non-permanent fault) is
+/// rebuilt from its checkpoint instead of degrading.
+struct RecoveryKit {
+    hierarchy_for: Box<dyn FnMut(u64) -> MemoryHierarchy + Send>,
+    /// One sealed [`HOram::snapshot`] per shard.
+    checkpoints: Vec<Vec<u8>>,
+}
+
+impl std::fmt::Debug for RecoveryKit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecoveryKit")
+            .field("checkpoints", &self.checkpoints.len())
+            .finish_non_exhaustive()
+    }
+}
+
 /// `N` independent H-ORAM instances behind one address space.
 ///
 /// See the [module docs](self) for the partitioning and timing model.
@@ -268,6 +289,20 @@ pub struct ShardedOram {
     workers: Option<Arc<WorkerPool>>,
     /// Keys sealing this instance's manifest snapshots.
     snapshot_keys: SubKeys,
+    /// Per-shard derived master keys, retained so a quarantined shard can
+    /// be restored from its checkpoint without the instance master.
+    shard_masters: Vec<MasterKey>,
+    /// Quarantine-and-restore state; `None` until
+    /// [`enable_recovery`](Self::enable_recovery).
+    recovery: Option<RecoveryKit>,
+    /// Per-shard degradation reason; `Some` marks the shard out of
+    /// service (its requests fail typed, the rest keep serving).
+    degraded: Vec<Option<String>>,
+    /// Failures recorded for tickets lost to a shard failure, collected
+    /// via [`take_failure`](Self::take_failure).
+    failures: HashMap<u64, HOramError>,
+    /// Checkpoint restores performed after shard failures.
+    recoveries: u64,
 }
 
 /// Shard instances are moved onto pool workers by reference; everything
@@ -320,6 +355,7 @@ impl ShardedOram {
             config.shards,
         )?;
         let mut shards = Vec::with_capacity(config.shards as usize);
+        let mut shard_masters = Vec::with_capacity(config.shards as usize);
         for shard in 0..config.shards {
             // Each shard gets a computationally independent master key, so
             // shard devices never share encryption/PRP material.
@@ -327,11 +363,13 @@ impl ShardedOram {
             shards.push(HOram::new(
                 config.shard_config(shard),
                 hierarchy_for(shard),
-                shard_master,
+                shard_master.clone(),
             )?);
+            shard_masters.push(shard_master);
         }
         let workers = WorkerPool::for_threads(config.base.worker_threads);
         let snapshot_keys = master.derive(SNAPSHOT_DOMAIN, 0);
+        let degraded = vec![None; shards.len()];
         Ok(Self {
             config,
             mapper,
@@ -341,6 +379,11 @@ impl ShardedOram {
             next_ticket: 0,
             workers,
             snapshot_keys,
+            shard_masters,
+            recovery: None,
+            degraded,
+            failures: HashMap::new(),
+            recoveries: 0,
         })
     }
 
@@ -356,6 +399,11 @@ impl ShardedOram {
     /// [`OramError::SnapshotInvalid`] if any shard has requests queued;
     /// storage backend errors propagate.
     pub fn snapshot(&mut self) -> Result<Vec<u8>, OramError> {
+        if let Some(shard) = self.degraded_shards().first() {
+            return Err(OramError::SnapshotInvalid {
+                reason: format!("shard {shard} is degraded; a checkpoint would lose its blocks"),
+            });
+        }
         if !self.is_drained() {
             return Err(OramError::SnapshotInvalid {
                 reason: format!(
@@ -439,15 +487,22 @@ impl ShardedOram {
             config.shards,
         )?;
         let mut shards = Vec::with_capacity(shard_count as usize);
+        let mut shard_masters = Vec::with_capacity(shard_count as usize);
         for shard in 0..shard_count {
             let sealed = r.get_bytes()?;
             let shard_master = Self::derive_shard_master(&master, shard);
-            shards.push(HOram::restore(hierarchy_for(shard), shard_master, sealed)?);
+            shards.push(HOram::restore(
+                hierarchy_for(shard),
+                shard_master.clone(),
+                sealed,
+            )?);
+            shard_masters.push(shard_master);
         }
         r.finish()?;
         let clock = SimClock::new();
         clock.advance(oram_storage::clock::SimDuration::from_nanos(clock_nanos));
         let workers = WorkerPool::for_threads(config.base.worker_threads);
+        let degraded = vec![None; shards.len()];
         Ok(Self {
             config,
             mapper,
@@ -457,6 +512,11 @@ impl ShardedOram {
             next_ticket,
             workers,
             snapshot_keys,
+            shard_masters,
+            recovery: None,
+            degraded,
+            failures: HashMap::new(),
+            recoveries: 0,
         })
     }
 
@@ -540,14 +600,25 @@ impl ShardedOram {
     ///
     /// As [`validate`](Self::validate) — invalid requests are rejected
     /// before routing, so they never reach (or reveal) a shard.
-    pub fn enqueue(&mut self, request: Request) -> Result<u64, OramError> {
-        self.validate(&request)?;
-        let slot = self.mapper.route(request.id)?;
+    /// [`HOramError::ShardDegraded`] when the owning shard is quarantined;
+    /// the request is rejected without any observable access, and requests
+    /// to healthy shards keep flowing.
+    pub fn enqueue(&mut self, request: Request) -> Result<u64, HOramError> {
+        self.validate(&request).map_err(HOramError::from)?;
+        let slot = self.mapper.route(request.id).map_err(HOramError::from)?;
+        if let Some(reason) = &self.degraded[slot.shard as usize] {
+            return Err(HOramError::ShardDegraded {
+                shard: slot.shard as usize,
+                reason: reason.clone(),
+            });
+        }
         let local = Request {
             id: slot.local,
             op: request.op,
         };
-        let local_ticket = self.shards[slot.shard as usize].enqueue(local)?;
+        let local_ticket = self.shards[slot.shard as usize]
+            .enqueue(local)
+            .map_err(HOramError::from)?;
         let ticket = self.next_ticket;
         self.next_ticket += 1;
         self.routes.insert(
@@ -569,14 +640,21 @@ impl ShardedOram {
         Some(response)
     }
 
-    /// Total requests queued and not yet serviced, across shards.
+    /// Total requests queued and not yet serviced, across *healthy*
+    /// shards. A degraded shard's queue is abandoned (its tickets already
+    /// resolved to typed failures), so it never keeps the pump spinning.
     pub fn pending(&self) -> usize {
-        self.shards.iter().map(|s| s.queue().pending()).sum()
+        self.shards
+            .iter()
+            .zip(&self.degraded)
+            .filter(|(_, d)| d.is_none())
+            .map(|(s, _)| s.queue().pending())
+            .sum()
     }
 
-    /// Whether every shard's queue has drained.
+    /// Whether every healthy shard's queue has drained.
     pub fn is_drained(&self) -> bool {
-        self.shards.iter().all(|s| s.queue().is_drained())
+        self.pending() == 0
     }
 
     /// One round-robin pump round: every shard with pending work runs one
@@ -598,22 +676,25 @@ impl ShardedOram {
     ///
     /// # Errors
     ///
-    /// Storage/crypto/protocol errors propagate and are fail-stop, as for
-    /// a single instance: after an error the instance must be discarded.
-    /// When several shards fail in one threaded round, the
-    /// lowest-indexed shard's error is reported (the one the serial
-    /// round would have hit first). A threaded round runs its sibling
-    /// shards to the barrier before reporting, while the serial round
-    /// stops at the first failure — so the byte-identical-at-any-thread-
-    /// count guarantee covers error-free runs; post-error state is
-    /// unspecified either way (both are discarded-instance states).
+    /// Per-shard failures do **not** propagate: a shard whose window
+    /// errors is handed to the quarantine machinery — every uncollected
+    /// ticket routed to it resolves to a typed failure (see
+    /// [`take_failure`](Self::take_failure)), and the shard is either
+    /// restored from its checkpoint (when a [recovery
+    /// kit](Self::enable_recovery) is installed and the fault is not
+    /// permanent media failure) or marked degraded while the remaining
+    /// shards keep serving. `Err` from this method therefore means the
+    /// engine as a whole cannot continue, which the current absorption
+    /// policy never concludes — the signature reserves the channel.
+    /// When several shards fail in one threaded round they are processed
+    /// in shard-index order (the order the serial round encounters them).
     ///
     /// # Panics
     ///
     /// Panics if `max_cycles` is zero. A panic inside a threaded shard
     /// task propagates to this caller after the round's barrier — it
     /// cannot deadlock the pump.
-    pub fn run_cycle_window(&mut self, max_cycles: u64) -> Result<u64, OramError> {
+    pub fn run_cycle_window(&mut self, max_cycles: u64) -> Result<u64, HOramError> {
         assert!(
             max_cycles >= 1,
             "a cycle window must cover at least one cycle"
@@ -621,40 +702,106 @@ impl ShardedOram {
         let busy = self
             .shards
             .iter()
-            .filter(|shard| !shard.queue().is_drained())
+            .zip(&self.degraded)
+            .filter(|(shard, down)| down.is_none() && !shard.queue().is_drained())
             .count();
         let mut executed = 0;
+        let mut failed: Vec<(usize, OramError)> = Vec::new();
         match self.workers.clone() {
             // Threading pays only when two or more shards have work this
             // round; a lone busy shard runs on the caller, serially.
             Some(pool) if busy > 1 => {
                 let mut results: Vec<Option<Result<u64, OramError>>> =
                     (0..self.shards.len()).map(|_| None).collect();
+                let degraded = &self.degraded;
                 pool.scope(|scope| {
-                    for (shard, slot) in self.shards.iter_mut().zip(results.iter_mut()) {
-                        if shard.queue().is_drained() {
+                    for (index, (shard, slot)) in
+                        self.shards.iter_mut().zip(results.iter_mut()).enumerate()
+                    {
+                        if degraded[index].is_some() || shard.queue().is_drained() {
                             continue;
                         }
                         scope.spawn(move || *slot = Some(shard.run_cycle_window(max_cycles)));
                     }
                 });
                 // Merge in shard-index order — deterministic totals and
-                // deterministic error selection.
-                for result in results.into_iter().flatten() {
-                    executed += result?;
+                // deterministic failure-handling order.
+                for (index, result) in results.into_iter().enumerate() {
+                    match result {
+                        Some(Ok(cycles)) => executed += cycles,
+                        Some(Err(e)) => failed.push((index, e)),
+                        None => {}
+                    }
                 }
             }
             _ => {
-                for shard in &mut self.shards {
-                    if shard.queue().is_drained() {
+                for (index, shard) in self.shards.iter_mut().enumerate() {
+                    if self.degraded[index].is_some() || shard.queue().is_drained() {
                         continue;
                     }
-                    executed += shard.run_cycle_window(max_cycles)?;
+                    match shard.run_cycle_window(max_cycles) {
+                        Ok(cycles) => executed += cycles,
+                        Err(e) => failed.push((index, e)),
+                    }
                 }
             }
         }
+        for (index, error) in failed {
+            self.handle_shard_failure(index, error);
+        }
         self.advance_to_frontier();
         Ok(executed)
+    }
+
+    /// Absorbs one shard's window failure: fails every uncollected ticket
+    /// routed to it with a typed error, then either restores the shard
+    /// from its checkpoint or quarantines it. Permanent media failures
+    /// ([`StorageError::PermanentFault`](oram_storage::StorageError))
+    /// always degrade — re-mounting the same dead device would fail the
+    /// same way; anything else (authentication failures from corrupted
+    /// blocks, exhausted transient faults, invariant violations) is
+    /// recoverable from the last checkpoint when a kit is installed.
+    fn handle_shard_failure(&mut self, shard: usize, error: OramError) {
+        let lost: Vec<u64> = self
+            .routes
+            .iter()
+            .filter(|(_, route)| route.shard == shard)
+            .map(|(ticket, _)| *ticket)
+            .collect();
+        let permanent = matches!(
+            &error,
+            OramError::Storage(oram_storage::StorageError::PermanentFault { .. })
+        );
+        let restored = !permanent
+            && match self.recovery.as_mut() {
+                Some(kit) => {
+                    let hierarchy = (kit.hierarchy_for)(shard as u64);
+                    match HOram::restore(
+                        hierarchy,
+                        self.shard_masters[shard].clone(),
+                        &kit.checkpoints[shard],
+                    ) {
+                        Ok(fresh) => {
+                            self.shards[shard] = fresh;
+                            self.recoveries += 1;
+                            true
+                        }
+                        Err(_) => false,
+                    }
+                }
+                None => false,
+            };
+        let ticket_error = if restored {
+            HOramError::Protocol(error)
+        } else {
+            let reason = error.to_string();
+            self.degraded[shard] = Some(reason.clone());
+            HOramError::ShardDegraded { shard, reason }
+        };
+        for ticket in lost {
+            self.routes.remove(&ticket);
+            self.failures.insert(ticket, ticket_error.clone());
+        }
     }
 
     /// Advances the shared clock to the busiest shard's timeline. Each
@@ -673,24 +820,28 @@ impl ShardedOram {
         }
     }
 
-    /// Pumps round-robin until every shard drains, then returns responses
-    /// for the given tickets in order.
+    /// Pumps round-robin until every healthy shard drains, then returns
+    /// responses for the given tickets in order.
     ///
     /// # Errors
     ///
-    /// Storage/crypto/protocol errors propagate;
-    /// [`OramError::UnknownTicket`] for tickets never issued or already
-    /// collected.
-    pub fn drain(&mut self, tickets: &[u64]) -> Result<Vec<Vec<u8>>, OramError> {
+    /// A ticket lost to a shard failure reports its recorded typed
+    /// failure; [`OramError::UnknownTicket`] for tickets never issued or
+    /// already collected.
+    pub fn drain(&mut self, tickets: &[u64]) -> Result<Vec<Vec<u8>>, HOramError> {
         while !self.is_drained() {
             self.run_cycle_window(self.config.base.io_batch)?;
         }
         let mut out = Vec::with_capacity(tickets.len());
         for ticket in tickets {
-            let response = self
-                .take_response(*ticket)
-                .ok_or(OramError::UnknownTicket { ticket: *ticket })?;
-            out.push(response);
+            match self.take_response(*ticket) {
+                Some(response) => out.push(response),
+                None => {
+                    return Err(self.take_failure(*ticket).unwrap_or(HOramError::Protocol(
+                        OramError::UnknownTicket { ticket: *ticket },
+                    )));
+                }
+            }
         }
         Ok(out)
     }
@@ -701,12 +852,141 @@ impl ShardedOram {
     /// # Errors
     ///
     /// As [`drain`](Self::drain).
-    pub fn run_batch(&mut self, requests: &[Request]) -> Result<Vec<Vec<u8>>, OramError> {
+    pub fn run_batch(&mut self, requests: &[Request]) -> Result<Vec<Vec<u8>>, HOramError> {
         let tickets: Vec<u64> = requests
             .iter()
             .map(|r| self.enqueue(r.clone()))
             .collect::<Result<_, _>>()?;
         self.drain(&tickets)
+    }
+
+    /// Installs the quarantine-and-restore machinery: a factory producing
+    /// a fresh hierarchy for any shard index, plus one checkpoint per
+    /// shard captured *now*. After this, a shard failing with anything
+    /// other than permanent media failure is rebuilt from its checkpoint
+    /// (rolling back to it) instead of degrading; call
+    /// [`refresh_checkpoints`](Self::refresh_checkpoints) after writes
+    /// you want a future restore to keep.
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::SnapshotInvalid`] while requests are in flight or a
+    /// shard is already degraded; storage errors propagate.
+    pub fn enable_recovery(
+        &mut self,
+        hierarchy_for: impl FnMut(u64) -> MemoryHierarchy + Send + 'static,
+    ) -> Result<(), OramError> {
+        let mut kit = RecoveryKit {
+            hierarchy_for: Box::new(hierarchy_for),
+            checkpoints: Vec::new(),
+        };
+        self.recovery = None;
+        kit.checkpoints = self.capture_checkpoints()?;
+        self.recovery = Some(kit);
+        Ok(())
+    }
+
+    /// Re-captures every shard's checkpoint so future restores roll back
+    /// to the current state rather than the one
+    /// [`enable_recovery`](Self::enable_recovery) saw.
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::SnapshotInvalid`] while requests are in flight, a
+    /// shard is degraded, or no kit is installed; on error the previous
+    /// checkpoints stay in effect.
+    pub fn refresh_checkpoints(&mut self) -> Result<(), OramError> {
+        if self.recovery.is_none() {
+            return Err(OramError::SnapshotInvalid {
+                reason: "no recovery kit installed".into(),
+            });
+        }
+        let checkpoints = self.capture_checkpoints()?;
+        if let Some(kit) = self.recovery.as_mut() {
+            kit.checkpoints = checkpoints;
+        }
+        Ok(())
+    }
+
+    /// One [`HOram::snapshot`] per shard, for the recovery kit.
+    fn capture_checkpoints(&mut self) -> Result<Vec<Vec<u8>>, OramError> {
+        if let Some(shard) = self.degraded_shards().first() {
+            return Err(OramError::SnapshotInvalid {
+                reason: format!("shard {shard} is degraded; nothing left to checkpoint"),
+            });
+        }
+        if !self.is_drained() {
+            return Err(OramError::SnapshotInvalid {
+                reason: format!(
+                    "{} requests still queued; drain before checkpointing",
+                    self.pending()
+                ),
+            });
+        }
+        self.shards.iter_mut().map(HOram::snapshot).collect()
+    }
+
+    /// Removes and returns the typed failure recorded for `ticket`, if
+    /// its request was lost to a shard failure. A ticket resolves through
+    /// exactly one of [`take_response`](Self::take_response) or this.
+    pub fn take_failure(&mut self, ticket: u64) -> Option<HOramError> {
+        self.failures.remove(&ticket)
+    }
+
+    /// Indices of quarantined shards, ascending. Empty while healthy.
+    pub fn degraded_shards(&self) -> Vec<usize> {
+        self.degraded
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_some())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Checkpoint restores performed after shard failures so far.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// Wraps one shard's storage store in a deterministic fault injector
+    /// ([`HOram::inject_storage_faults`]) — the chaos tests' entry point
+    /// for failing a single shard of a healthy, populated instance.
+    pub fn inject_storage_faults(
+        &mut self,
+        shard: usize,
+        config: oram_storage::fault::FaultConfig,
+    ) {
+        self.shards[shard].inject_storage_faults(config);
+    }
+
+    /// Injected-fault counters summed over shards with an injector
+    /// installed; `None` when no shard is faulted.
+    pub fn storage_fault_stats(&self) -> Option<oram_storage::fault::FaultStats> {
+        let mut merged: Option<oram_storage::fault::FaultStats> = None;
+        for shard in &self.shards {
+            if let Some(stats) = shard.storage_fault_stats() {
+                let acc = merged.get_or_insert_with(Default::default);
+                acc.transient_reads += stats.transient_reads;
+                acc.transient_writes += stats.transient_writes;
+                acc.permanent_hits += stats.permanent_hits;
+                acc.corruptions += stats.corruptions;
+                acc.fsync_failures += stats.fsync_failures;
+                acc.latency_spikes += stats.latency_spikes;
+            }
+        }
+        merged
+    }
+
+    /// Storage retry counters summed over shards (volatile).
+    pub fn storage_retry_stats(&self) -> oram_storage::device::RetryStats {
+        let mut acc = oram_storage::device::RetryStats::default();
+        for shard in &self.shards {
+            let s = shard.storage_retry_stats();
+            acc.retries += s.retries;
+            acc.backoff_nanos += s.backoff_nanos;
+            acc.exhausted += s.exhausted;
+        }
+        acc
     }
 
     /// Clears all timing/tracing/statistics state on every shard and the
@@ -724,7 +1004,7 @@ impl OramEngine for ShardedOram {
         self.validate(request)
     }
 
-    fn enqueue(&mut self, request: Request) -> Result<u64, OramError> {
+    fn enqueue(&mut self, request: Request) -> Result<u64, HOramError> {
         self.enqueue(request)
     }
 
@@ -732,7 +1012,15 @@ impl OramEngine for ShardedOram {
         self.take_response(ticket)
     }
 
-    fn run_cycle_window(&mut self, max_cycles: u64) -> Result<u64, OramError> {
+    fn take_failure(&mut self, ticket: u64) -> Option<HOramError> {
+        self.take_failure(ticket)
+    }
+
+    fn degraded_shards(&self) -> Vec<usize> {
+        self.degraded_shards()
+    }
+
+    fn run_cycle_window(&mut self, max_cycles: u64) -> Result<u64, HOramError> {
         self.run_cycle_window(max_cycles)
     }
 
@@ -771,13 +1059,19 @@ impl Oram for ShardedOram {
     }
 
     fn read(&mut self, id: BlockId) -> Result<Vec<u8>, OramError> {
-        let mut out = self.run_batch(&[Request::read(id)])?;
-        Ok(out.pop().expect("one response per request"))
+        let mut out = self
+            .run_batch(&[Request::read(id)])
+            .map_err(HOramError::into_protocol)?;
+        out.pop()
+            .ok_or_else(|| OramError::internal("one-request batch returned no response"))
     }
 
     fn write(&mut self, id: BlockId, data: &[u8]) -> Result<Vec<u8>, OramError> {
-        let mut out = self.run_batch(&[Request::write(id, data.to_vec())])?;
-        Ok(out.pop().expect("one response per request"))
+        let mut out = self
+            .run_batch(&[Request::write(id, data.to_vec())])
+            .map_err(HOramError::into_protocol)?;
+        out.pop()
+            .ok_or_else(|| OramError::internal("one-request batch returned no response"))
     }
 }
 
@@ -867,17 +1161,17 @@ mod tests {
         let mut oram = build(256, 64, 4);
         assert!(matches!(
             oram.enqueue(Request::read(999u64)),
-            Err(OramError::BlockOutOfRange {
+            Err(HOramError::Protocol(OramError::BlockOutOfRange {
                 id: 999,
                 capacity: 256
-            })
+            }))
         ));
         assert!(matches!(
             oram.enqueue(Request::write(3u64, vec![0; 2])),
-            Err(OramError::PayloadSize {
+            Err(HOramError::Protocol(OramError::PayloadSize {
                 expected: 8,
                 got: 2
-            })
+            }))
         ));
         assert_eq!(oram.pending(), 0);
     }
@@ -958,11 +1252,13 @@ mod tests {
         assert_eq!(oram.take_response(ticket), Some(vec![0u8; 8]));
         assert!(matches!(
             oram.drain(&[ticket]),
-            Err(OramError::UnknownTicket { ticket: t }) if t == ticket
+            Err(HOramError::Protocol(OramError::UnknownTicket { ticket: t })) if t == ticket
         ));
         assert!(matches!(
             oram.drain(&[999]),
-            Err(OramError::UnknownTicket { ticket: 999 })
+            Err(HOramError::Protocol(OramError::UnknownTicket {
+                ticket: 999
+            }))
         ));
     }
 
@@ -1067,5 +1363,152 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         ShardedConfig::new(HOramConfig::new(256, 8, 64), 0).validate();
+    }
+
+    /// Always-failing reads: every retry re-rolls and fails, so the first
+    /// storage load exhausts the retry budget and errors the shard.
+    fn dead_reads() -> oram_storage::fault::FaultConfig {
+        oram_storage::fault::FaultConfig {
+            seed: 99,
+            transient_read_permille: 1000,
+            ..Default::default()
+        }
+    }
+
+    /// A block routed to `shard` plus one routed elsewhere, with the
+    /// payloads written for both.
+    fn pick_blocks(oram: &mut ShardedOram, shard: u64) -> (BlockId, BlockId) {
+        let on = (0..256u64)
+            .map(BlockId)
+            .find(|id| oram.mapper().shard_of(*id).unwrap() == shard)
+            .expect("shard owns some block");
+        let off = (0..256u64)
+            .map(BlockId)
+            .find(|id| oram.mapper().shard_of(*id).unwrap() != shard)
+            .expect("other shards own some block");
+        (on, off)
+    }
+
+    #[test]
+    fn failed_shard_degrades_while_others_keep_serving() {
+        let mut oram = build(256, 64, 4);
+        let (on, off) = pick_blocks(&mut oram, 2);
+        oram.write(on, &[7u8; 8]).unwrap();
+        oram.write(off, &[9u8; 8]).unwrap();
+
+        oram.inject_storage_faults(2, dead_reads());
+        let doomed = oram.enqueue(Request::read(on)).unwrap();
+        let healthy = oram.enqueue(Request::read(off)).unwrap();
+        while !oram.is_drained() {
+            oram.run_cycle_window(4).unwrap();
+        }
+
+        // No kit installed: the shard quarantines, its ticket fails typed.
+        assert_eq!(oram.degraded_shards(), vec![2]);
+        assert_eq!(oram.take_response(doomed), None);
+        assert!(matches!(
+            oram.take_failure(doomed),
+            Some(HOramError::ShardDegraded { shard: 2, .. })
+        ));
+        // The healthy shard's response is unaffected.
+        assert_eq!(oram.take_response(healthy), Some(vec![9u8; 8]));
+
+        // New requests to the degraded shard fail typed with no access;
+        // the rest of the address space keeps serving.
+        assert!(matches!(
+            oram.enqueue(Request::read(on)),
+            Err(HOramError::ShardDegraded { shard: 2, .. })
+        ));
+        assert_eq!(oram.read(off).unwrap(), vec![9u8; 8]);
+
+        // A degraded instance cannot checkpoint — that would lose blocks.
+        assert!(matches!(
+            oram.snapshot(),
+            Err(OramError::SnapshotInvalid { .. })
+        ));
+    }
+
+    #[test]
+    fn recovery_kit_restores_a_failed_shard_from_its_checkpoint() {
+        let mut oram = build(256, 64, 4);
+        let (on, off) = pick_blocks(&mut oram, 1);
+        oram.write(on, &[5u8; 8]).unwrap();
+        oram.write(off, &[6u8; 8]).unwrap();
+        oram.enable_recovery(|_| MemoryHierarchy::dac2019())
+            .unwrap();
+
+        oram.inject_storage_faults(1, dead_reads());
+        let doomed = oram.enqueue(Request::read(on)).unwrap();
+        while !oram.is_drained() {
+            oram.run_cycle_window(4).unwrap();
+        }
+
+        // The transient-exhaustion failure is recoverable: the shard was
+        // rebuilt from its checkpoint and stays in service.
+        assert_eq!(oram.recoveries(), 1);
+        assert!(oram.degraded_shards().is_empty());
+        // The in-flight ticket still failed — the restore rolled the
+        // shard back, so its answer cannot be produced.
+        assert!(matches!(
+            oram.take_failure(doomed),
+            Some(HOramError::Protocol(OramError::Storage(
+                oram_storage::StorageError::TransientFault { .. }
+            )))
+        ));
+        // Post-restore the shard serves the checkpointed bytes again.
+        assert_eq!(oram.read(on).unwrap(), vec![5u8; 8]);
+        assert_eq!(oram.read(off).unwrap(), vec![6u8; 8]);
+    }
+
+    #[test]
+    fn permanent_faults_degrade_even_with_a_recovery_kit() {
+        let mut oram = build(256, 64, 4);
+        let (on, _) = pick_blocks(&mut oram, 3);
+        oram.write(on, &[4u8; 8]).unwrap();
+        oram.enable_recovery(|_| MemoryHierarchy::dac2019())
+            .unwrap();
+
+        // Every slot permanently dead: re-mounting the device would fail
+        // identically, so restore is pointless and the shard degrades.
+        oram.inject_storage_faults(
+            3,
+            oram_storage::fault::FaultConfig {
+                seed: 7,
+                permanent_slots: (0..8192).collect(),
+                ..Default::default()
+            },
+        );
+        let doomed = oram.enqueue(Request::read(on)).unwrap();
+        while !oram.is_drained() {
+            oram.run_cycle_window(4).unwrap();
+        }
+        assert_eq!(oram.recoveries(), 0);
+        assert_eq!(oram.degraded_shards(), vec![3]);
+        assert!(matches!(
+            oram.take_failure(doomed),
+            Some(HOramError::ShardDegraded { shard: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn refreshed_checkpoints_preserve_later_writes() {
+        let mut oram = build(256, 64, 2);
+        let (on, _) = pick_blocks(&mut oram, 0);
+        oram.write(on, &[1u8; 8]).unwrap();
+        oram.enable_recovery(|_| MemoryHierarchy::dac2019())
+            .unwrap();
+        oram.write(on, &[2u8; 8]).unwrap();
+        // Without a refresh a restore would roll back to [1; 8]; the
+        // refreshed checkpoint keeps the later write.
+        oram.refresh_checkpoints().unwrap();
+
+        oram.inject_storage_faults(0, dead_reads());
+        let doomed = oram.enqueue(Request::read(on)).unwrap();
+        while !oram.is_drained() {
+            oram.run_cycle_window(4).unwrap();
+        }
+        assert_eq!(oram.recoveries(), 1);
+        assert!(oram.take_failure(doomed).is_some());
+        assert_eq!(oram.read(on).unwrap(), vec![2u8; 8]);
     }
 }

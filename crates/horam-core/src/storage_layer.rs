@@ -393,8 +393,7 @@ impl StorageLayer {
             owners: vec![None; total_slots as usize],
             partition_live: vec![0; partition_count as usize],
             touched: vec![false; total_slots as usize],
-            dummy_prp: FeistelPrp::new([0u8; 16], total_slots)
-                .expect("total slot count is positive"),
+            dummy_prp: FeistelPrp::new([0u8; 16], total_slots)?,
             dummy_cursor: 0,
             dummy_prf,
             dummy_key: [0u8; 16],
@@ -498,23 +497,20 @@ impl StorageLayer {
 
     /// The next untouched slot of the period's PRP dummy order, walking
     /// the lazy Feistel cursor past slots consumed by real misses.
-    fn next_dummy_slot(&mut self) -> Option<u64> {
+    fn next_dummy_slot(&mut self) -> Result<Option<u64>, OramError> {
         let total = self.total_slots();
         while self.dummy_cursor < total {
-            let slot = self
-                .dummy_prp
-                .permute(self.dummy_cursor)
-                .expect("cursor within domain");
+            let slot = self.dummy_prp.permute(self.dummy_cursor)?;
             self.dummy_cursor += 1;
             if !self.touched[slot as usize] {
-                return Some(slot);
+                return Ok(Some(slot));
             }
         }
-        None
+        Ok(None)
     }
 
     /// Re-keys the dummy-order PRP for a fresh period.
-    fn reset_dummy_order(&mut self, seed: u64) {
+    fn reset_dummy_order(&mut self, seed: u64) -> Result<(), OramError> {
         let words = [seed, self.epoch, self.period_counter];
         let lo = self.dummy_prf.eval_words("dummy-order-lo", &words);
         let hi = self.dummy_prf.eval_words("dummy-order-hi", &words);
@@ -522,9 +518,9 @@ impl StorageLayer {
         key[..8].copy_from_slice(&lo.to_le_bytes());
         key[8..].copy_from_slice(&hi.to_le_bytes());
         self.dummy_key = key;
-        self.dummy_prp =
-            FeistelPrp::new(key, self.total_slots()).expect("total slot count is positive");
+        self.dummy_prp = FeistelPrp::new(key, self.total_slots())?;
         self.dummy_cursor = 0;
+        Ok(())
     }
 
     /// Verifies and decrypts, in place when the zero-copy path is on.
@@ -543,19 +539,17 @@ impl StorageLayer {
     /// # Errors
     ///
     /// Storage backend errors propagate.
-    ///
-    /// # Panics
-    ///
-    /// Panics if loads are planned but uncommitted (snapshots are taken
-    /// between batches).
+    /// [`OramError::SnapshotInvalid`] if loads are planned but uncommitted
+    /// (snapshots are taken between batches).
     pub fn save_state(
         &mut self,
         w: &mut oram_crypto::persist::StateWriter,
     ) -> Result<(), OramError> {
-        assert!(
-            self.pending.is_empty(),
-            "snapshot while a planned I/O batch is uncommitted"
-        );
+        if !self.pending.is_empty() {
+            return Err(OramError::SnapshotInvalid {
+                reason: "snapshot while a planned I/O batch is uncommitted".into(),
+            });
+        }
         w.put_u64(self.epoch);
         w.put_u64(self.seal_seq);
         w.put_u64(self.period_counter);
@@ -653,8 +647,7 @@ impl StorageLayer {
             owners,
             partition_live,
             touched,
-            dummy_prp: FeistelPrp::new(dummy_key, (total_slots as u64).max(1))
-                .expect("total slot count is positive"),
+            dummy_prp: FeistelPrp::new(dummy_key, (total_slots as u64).max(1))?,
             dummy_cursor,
             dummy_prf,
             dummy_key,
@@ -678,22 +671,27 @@ impl StorageLayer {
     /// (so later plans — and the scheduler's hit test — observe it) and
     /// queues the device read for [`commit_io`](Self::commit_io).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// For a [`LoadPlan::Miss`], panics if the block is already marked
-    /// in-memory (the scheduler must classify hits before issuing I/O) or
-    /// if its slot was already read this period (the once-per-period
-    /// invariant would be violated).
-    pub fn plan_io(&mut self, plan: LoadPlan) {
+    /// For a [`LoadPlan::Miss`], [`OramError::Internal`] if the block is
+    /// already marked in-memory (the scheduler must classify hits before
+    /// issuing I/O) or if its slot was already read this period (the
+    /// once-per-period invariant would be violated). Either means the
+    /// instance's control state is damaged: fail-stop, quarantine, restore
+    /// from a checkpoint.
+    pub fn plan_io(&mut self, plan: LoadPlan) -> Result<(), OramError> {
         let planned = match plan {
             LoadPlan::Miss(id) => {
                 let Location::Storage { slot } = self.locations.location(id) else {
-                    panic!("fetch of in-memory block {id} — scheduler hit classification broken");
+                    return Err(OramError::internal(format!(
+                        "fetch of in-memory block {id} — scheduler hit classification broken"
+                    )));
                 };
-                assert!(
-                    !self.touched[slot as usize],
-                    "slot {slot} read twice in one period — invariant broken"
-                );
+                if self.touched[slot as usize] {
+                    return Err(OramError::internal(format!(
+                        "slot {slot} read twice in one period — invariant broken"
+                    )));
+                }
                 self.touched[slot as usize] = true;
                 let owner = self.clear_owner(slot);
                 debug_assert_eq!(owner, Some(id), "location table and slot owners diverged");
@@ -703,7 +701,7 @@ impl StorageLayer {
                     expect: Some(id),
                 }
             }
-            LoadPlan::Dummy => match self.next_dummy_slot() {
+            LoadPlan::Dummy => match self.next_dummy_slot()? {
                 // Every slot touched: the period is over-long; the caller's
                 // period accounting forces a shuffle before this can happen
                 // in a correct configuration. Commit treats it as a
@@ -726,6 +724,7 @@ impl StorageLayer {
             },
         };
         self.pending.push(planned);
+        Ok(())
     }
 
     /// Number of loads staged and not yet committed.
@@ -753,7 +752,10 @@ impl StorageLayer {
         // and issue a plain read (a singleton scatter charges exactly the
         // same cost, so timing and trace are unchanged).
         if self.pending.len() == 1 {
-            let planned = self.pending.pop().expect("one pending load");
+            let planned = self
+                .pending
+                .pop()
+                .ok_or_else(|| OramError::internal("one pending load vanished before commit"))?;
             let load = self.commit_single(planned)?;
             let io_time = load.duration;
             return Ok(BatchLoad {
@@ -774,7 +776,9 @@ impl StorageLayer {
                 });
                 continue;
             };
-            let item = items.next().expect("one scatter item per planned slot");
+            let item = items
+                .next()
+                .ok_or_else(|| OramError::internal("fewer scatter items than planned slots"))?;
             let block = match planned.expect {
                 None => None,
                 Some(id) => {
@@ -837,19 +841,18 @@ impl StorageLayer {
     ///
     /// # Errors
     ///
-    /// As [`commit_io`](Self::commit_io) — fail-stop, not retryable.
-    ///
-    /// # Panics
-    ///
-    /// As [`plan_io`](Self::plan_io); also panics if loads are already
-    /// staged (mixing the two interfaces mid-batch is a caller bug).
+    /// As [`plan_io`](Self::plan_io) and [`commit_io`](Self::commit_io) —
+    /// fail-stop, not retryable; also [`OramError::Internal`] if loads are
+    /// already staged (mixing the two interfaces mid-batch is a caller
+    /// bug).
     pub fn load_batch(&mut self, plans: &[LoadPlan]) -> Result<BatchLoad, OramError> {
-        assert!(
-            self.pending.is_empty(),
-            "load_batch while a planned batch is uncommitted"
-        );
+        if !self.pending.is_empty() {
+            return Err(OramError::internal(
+                "load_batch while a planned batch is uncommitted",
+            ));
+        }
         for &plan in plans {
-            self.plan_io(plan);
+            self.plan_io(plan)?;
         }
         self.commit_io()
     }
@@ -863,14 +866,14 @@ impl StorageLayer {
     ///
     /// Returns [`OramError::MalformedBlock`] if the slot does not hold the
     /// expected block (protocol invariant violation); storage/crypto
-    /// errors propagate.
-    ///
-    /// # Panics
-    ///
-    /// As [`plan_io`](Self::plan_io).
+    /// errors propagate; invariant violations surface as
+    /// [`OramError::Internal`] (see [`plan_io`](Self::plan_io)).
     pub fn fetch(&mut self, id: BlockId) -> Result<IoLoad, OramError> {
         let mut batch = self.load_batch(&[LoadPlan::Miss(id)])?;
-        Ok(batch.loads.pop().expect("one load planned"))
+        batch
+            .loads
+            .pop()
+            .ok_or_else(|| OramError::internal("one-load batch committed no load"))
     }
 
     /// A **dummy** load: reads the next untouched slot in the PRP order.
@@ -884,7 +887,10 @@ impl StorageLayer {
     /// Storage/crypto errors propagate.
     pub fn dummy_load(&mut self) -> Result<IoLoad, OramError> {
         let mut batch = self.load_batch(&[LoadPlan::Dummy])?;
-        Ok(batch.loads.pop().expect("one load planned"))
+        batch
+            .loads
+            .pop()
+            .ok_or_else(|| OramError::internal("one-load batch committed no load"))
     }
 
     /// Full group+partition shuffle (§4.3.2): rebuild every partition in
@@ -971,21 +977,21 @@ impl StorageLayer {
     /// per the paper's model, and the in-place pipeline keeps its host
     /// cost from dominating wall-clock runs.
     ///
-    /// # Panics
-    ///
-    /// Panics if the window's free capacity cannot hold the hot set — the
-    /// callers guarantee it (full windows by the `N ≤ P·S` invariant,
-    /// partial windows by extension).
+    /// Capacity violations ([`OramError::Internal`]) cannot happen from
+    /// the public callers — full windows by the `N ≤ P·S` invariant,
+    /// partial windows by extension — but surface as typed errors rather
+    /// than panics so a damaged instance can be quarantined.
     fn rebuild_window(
         &mut self,
         hot: Vec<(BlockId, Vec<u8>)>,
         window: &[u64],
         seed: u64,
     ) -> Result<ShuffleReport, OramError> {
-        assert!(
-            self.pending.is_empty(),
-            "shuffle while a planned I/O batch is uncommitted"
-        );
+        if !self.pending.is_empty() {
+            return Err(OramError::internal(
+                "shuffle while a planned I/O batch is uncommitted",
+            ));
+        }
         let before = *self.device.stats();
         // New epoch unless this is a partial pass (partial passes keep the
         // epoch key so untouched partitions remain readable). Partitions
@@ -1007,11 +1013,12 @@ impl StorageLayer {
             .map(|&p| self.partition_free_slots(p))
             .collect();
         let total_free: u64 = free.iter().sum();
-        assert!(
-            hot.len() as u64 <= total_free,
-            "window free capacity {total_free} cannot hold {} evicted blocks",
-            hot.len()
-        );
+        if hot.len() as u64 > total_free {
+            return Err(OramError::internal(format!(
+                "window free capacity {total_free} cannot hold {} evicted blocks",
+                hot.len()
+            )));
+        }
         let fair_share = (hot.len() as u64).div_ceil(window.len() as u64);
         let mut pieces: Vec<Vec<(BlockId, Vec<u8>)>> =
             (0..window.len()).map(|_| Vec::new()).collect();
@@ -1035,7 +1042,9 @@ impl StorageLayer {
                 let take = room.min(residue.len());
                 pieces[pass].extend(residue.drain(..take));
             }
-            assert!(residue.is_empty(), "capacity accounting failed");
+            if !residue.is_empty() {
+                return Err(OramError::internal("capacity accounting failed"));
+            }
         }
 
         let wire_len = BlockContent::encoded_len(self.payload_len);
@@ -1114,7 +1123,10 @@ impl StorageLayer {
                         // Errors surface in slot order — the same slot the
                         // serial path would fail on first.
                         for result in results {
-                            opened.push(result.expect("every slot processed")?);
+                            let result = result.ok_or_else(|| {
+                                OramError::internal("worker left a shuffle slot unprocessed")
+                            })?;
+                            opened.push(result?);
                         }
                     }
                 }
@@ -1228,8 +1240,12 @@ impl StorageLayer {
                     );
                     outputs
                         .into_iter()
-                        .map(|sealed| sealed.expect("every slot sealed"))
-                        .collect()
+                        .map(|sealed| {
+                            sealed.ok_or_else(|| {
+                                OramError::internal("worker left a shuffle slot unsealed")
+                            })
+                        })
+                        .collect::<Result<Vec<_>, OramError>>()?
                 }
             };
             self.device.write_run(base, sealed_run)?;
@@ -1237,7 +1253,7 @@ impl StorageLayer {
         // New period: fresh PRP key for the lazy dummy order (touched
         // slots are skipped at consumption time).
         self.period_counter += 1;
-        self.reset_dummy_order(seed);
+        self.reset_dummy_order(seed)?;
 
         let delta = self.storage_delta(&before);
         Ok(ShuffleReport {
@@ -1329,11 +1345,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "scheduler hit classification broken")]
-    fn double_fetch_panics() {
+    fn double_fetch_is_a_typed_invariant_error() {
         let mut layer = build(64);
         layer.fetch(BlockId(5)).unwrap();
-        let _ = layer.fetch(BlockId(5));
+        let err = layer.fetch(BlockId(5)).unwrap_err();
+        let OramError::Internal { context } = err else {
+            panic!("expected Internal, got {err:?}");
+        };
+        assert!(context.contains("scheduler hit classification broken"));
     }
 
     #[test]
@@ -1504,8 +1523,8 @@ mod tests {
     #[test]
     fn plan_commit_interface_matches_load_batch() {
         let (mut split, split_trace) = build_traced(64);
-        split.plan_io(LoadPlan::Miss(BlockId(2)));
-        split.plan_io(LoadPlan::Dummy);
+        split.plan_io(LoadPlan::Miss(BlockId(2))).unwrap();
+        split.plan_io(LoadPlan::Dummy).unwrap();
         assert_eq!(split.pending_io(), 2);
         let split_batch = split.commit_io().unwrap();
         assert_eq!(split.pending_io(), 0);

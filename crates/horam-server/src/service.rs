@@ -35,6 +35,7 @@ use crate::admission::{AdmissionPolicy, QueuedSnapshot};
 use crate::stats::{ServiceStats, TenantStats};
 use horam_core::access_control::{AccessControl, AccessDenied, Permission};
 use horam_core::engine::OramEngine;
+use horam_core::error::HOramError;
 use horam_core::horam::HOram;
 use horam_core::multi_user::UserId;
 use horam_core::stats::HOramStats;
@@ -141,6 +142,16 @@ pub enum ServeError {
     },
     /// The request failed geometry validation or the ORAM failed.
     Oram(OramError),
+    /// The shard owning the request is quarantined (or was quarantined
+    /// while the request was in flight). Requests to other shards keep
+    /// serving; the tenant should retry elsewhere or wait for operator
+    /// intervention.
+    Degraded {
+        /// The degraded shard's index.
+        shard: usize,
+        /// Why the shard was taken out of service.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -152,6 +163,9 @@ impl fmt::Display for ServeError {
                 write!(f, "{tenant} queue full (limit {limit})")
             }
             ServeError::Oram(error) => write!(f, "oram: {error}"),
+            ServeError::Degraded { shard, reason } => {
+                write!(f, "shard {shard} degraded: {reason}")
+            }
         }
     }
 }
@@ -161,6 +175,18 @@ impl Error for ServeError {}
 impl From<OramError> for ServeError {
     fn from(error: OramError) -> Self {
         ServeError::Oram(error)
+    }
+}
+
+impl From<HOramError> for ServeError {
+    fn from(error: HOramError) -> Self {
+        match error {
+            HOramError::Protocol(e) => ServeError::Oram(e),
+            HOramError::ShardDegraded { shard, reason } => ServeError::Degraded { shard, reason },
+            // `HOramError` is non-exhaustive; future variants collapse to
+            // their protocol view.
+            other => ServeError::Oram(other.into_protocol()),
+        }
     }
 }
 
@@ -179,6 +205,10 @@ pub struct PumpReport {
     pub deduped: u64,
     /// Responses completed by this batch.
     pub completed: u64,
+    /// Requests resolved to a typed failure by this batch (shard
+    /// degraded at admission, or lost to a shard failure in flight) —
+    /// collect them via [`OramService::take_result`].
+    pub failed: u64,
     /// Scheduling cycles the batch consumed.
     pub cycles: u64,
     /// Simulated wall-clock time the batch consumed.
@@ -279,6 +309,10 @@ pub struct OramService<E: OramEngine = HOram> {
     arrival_seq: u64,
     in_flight: Vec<InFlight>,
     responses: HashMap<ServiceTicket, Vec<u8>>,
+    /// Typed failures for tickets that will never produce a response
+    /// (shard degraded at admission or failed in flight); delivered
+    /// through [`take_result`](Self::take_result).
+    failures: HashMap<ServiceTicket, HOramError>,
     stats: ServiceStats,
 }
 
@@ -302,6 +336,7 @@ impl<E: OramEngine> OramService<E> {
             arrival_seq: 0,
             in_flight: Vec::new(),
             responses: HashMap::new(),
+            failures: HashMap::new(),
             stats: ServiceStats::default(),
         }
     }
@@ -409,6 +444,7 @@ impl<E: OramEngine> OramService<E> {
             .saturating_sub(self.oram.pending_requests());
         let mut deduped = 0u64;
         let mut admitted_count = 0u64;
+        let mut failed_count = 0u64;
         if space > 0 && self.pending_total() > 0 {
             let plan = {
                 let snapshot = self.snapshot(space);
@@ -439,24 +475,32 @@ impl<E: OramEngine> OramService<E> {
 
                 let is_write = pending.request.op.is_write();
                 let block = pending.request.id;
-                let (oram_ticket, piggybacked) = match (&pending.request.op, self.config.dedup) {
+                let enqueued = match (&pending.request.op, self.config.dedup) {
                     (RequestOp::Read, true) => match read_carriers.get(&block) {
                         Some(carrier) => {
                             deduped += 1;
-                            (*carrier, true)
+                            Ok((*carrier, true))
                         }
-                        None => {
-                            let ticket = self.oram.enqueue(pending.request.clone())?;
+                        None => self.oram.enqueue(pending.request.clone()).map(|ticket| {
                             read_carriers.insert(block, ticket);
                             (ticket, false)
-                        }
+                        }),
                     },
-                    _ => {
-                        let ticket = self.oram.enqueue(pending.request.clone())?;
+                    _ => self.oram.enqueue(pending.request.clone()).map(|ticket| {
                         if is_write {
                             read_carriers.remove(&block);
                         }
                         (ticket, false)
+                    }),
+                };
+                // A degraded target shard fails the request typed at
+                // admission — no observable access, the batch goes on.
+                let (oram_ticket, piggybacked) = match enqueued {
+                    Ok(pair) => pair,
+                    Err(error) => {
+                        failed_count += 1;
+                        self.failures.insert(pending.ticket, error);
+                        continue;
                     }
                 };
                 self.in_flight.push(InFlight {
@@ -471,7 +515,17 @@ impl<E: OramEngine> OramService<E> {
         }
 
         if self.in_flight.is_empty() {
-            return Ok(PumpReport::default());
+            // Nothing runnable — but admissions that failed typed (all
+            // routed to degraded shards) must still be reported, or an
+            // idle-pump loop would stall with healthy work queued.
+            return Ok(PumpReport {
+                admitted: admitted_count,
+                deduped,
+                completed: 0,
+                failed: failed_count,
+                cycles: 0,
+                wall_time: self.oram.now().duration_since(wall_start),
+            });
         }
 
         // Schedule: drain to the low watermark — or fully, when no more
@@ -504,26 +558,35 @@ impl<E: OramEngine> OramService<E> {
         let now = self.oram.now();
         let mut completed = 0u64;
         let mut ready: HashMap<u64, Vec<u8>> = HashMap::new();
+        let mut lost: HashMap<u64, HOramError> = HashMap::new();
         for flight in &self.in_flight {
-            if let std::collections::hash_map::Entry::Vacant(e) = ready.entry(flight.oram_ticket) {
-                if let Some(payload) = self.oram.take_response(flight.oram_ticket) {
-                    e.insert(payload);
-                }
+            if ready.contains_key(&flight.oram_ticket) || lost.contains_key(&flight.oram_ticket) {
+                continue;
+            }
+            if let Some(payload) = self.oram.take_response(flight.oram_ticket) {
+                ready.insert(flight.oram_ticket, payload);
+            } else if let Some(error) = self.oram.take_failure(flight.oram_ticket) {
+                lost.insert(flight.oram_ticket, error);
             }
         }
         let mut still_in_flight = Vec::with_capacity(self.in_flight.len());
         for flight in self.in_flight.drain(..) {
-            let Some(payload) = ready.get(&flight.oram_ticket) else {
+            if let Some(payload) = ready.get(&flight.oram_ticket) {
+                completed += 1;
+                let latency = now.duration_since(flight.submitted_at);
+                let state = self.tenants.get_mut(&flight.tenant).expect("registered");
+                state
+                    .stats
+                    .record_completion(flight.is_write, flight.piggybacked, latency);
+                self.responses.insert(flight.ticket, payload.clone());
+            } else if let Some(error) = lost.get(&flight.oram_ticket) {
+                // The carrying shard failed in flight; every piggybacker
+                // inherits the carrier's typed failure.
+                failed_count += 1;
+                self.failures.insert(flight.ticket, error.clone());
+            } else {
                 still_in_flight.push(flight);
-                continue;
-            };
-            completed += 1;
-            let latency = now.duration_since(flight.submitted_at);
-            let state = self.tenants.get_mut(&flight.tenant).expect("registered");
-            state
-                .stats
-                .record_completion(flight.is_write, flight.piggybacked, latency);
-            self.responses.insert(flight.ticket, payload.clone());
+            }
         }
         self.in_flight = still_in_flight;
 
@@ -539,6 +602,7 @@ impl<E: OramEngine> OramService<E> {
             admitted: admitted_count,
             deduped,
             completed,
+            failed: failed_count,
             cycles: oram_delta.cycles,
             wall_time,
         })
@@ -557,10 +621,11 @@ impl<E: OramEngine> OramService<E> {
             report.batches += 1;
             report.completed += pump.completed;
             report.wall_time += pump.wall_time;
-            if pump.admitted == 0 && pump.completed == 0 {
+            if pump.admitted == 0 && pump.completed == 0 && pump.failed == 0 {
                 // A policy that refuses to admit queued work would
                 // otherwise spin forever; stop and leave the queues as
-                // they are.
+                // they are. (Typed failures count as progress — their
+                // requests left the pipeline.)
                 break;
             }
         }
@@ -631,7 +696,7 @@ impl<E: OramEngine> OramService<E> {
                 .is_some_and(|state| state.pending.len() >= self.config.max_pending_per_tenant)
             {
                 let pump = self.pump()?;
-                let stalled = pump.admitted == 0 && pump.completed == 0;
+                let stalled = pump.admitted == 0 && pump.completed == 0 && pump.failed == 0;
                 track(&mut report, pump);
                 if stalled {
                     break; // policy refuses to admit; surface the QueueFull
@@ -657,9 +722,31 @@ impl<E: OramEngine> OramService<E> {
         self.responses.remove(&ticket)
     }
 
+    /// Removes and returns a ticket's outcome: `Ok(response)` when it
+    /// completed, `Err` with the typed per-tenant failure when its shard
+    /// was degraded at admission or failed in flight, `None` while still
+    /// queued/in flight (or for tickets already taken). Prefer this over
+    /// [`take_response`](Self::take_response) when the engine can
+    /// degrade — a `None` from `take_response` cannot distinguish "not
+    /// yet" from "never".
+    pub fn take_result(&mut self, ticket: ServiceTicket) -> Option<Result<Vec<u8>, ServeError>> {
+        if let Some(payload) = self.responses.remove(&ticket) {
+            return Some(Ok(payload));
+        }
+        self.failures
+            .remove(&ticket)
+            .map(|error| Err(ServeError::from(error)))
+    }
+
     /// Whether a response is ready to take.
     pub fn response_ready(&self, ticket: ServiceTicket) -> bool {
         self.responses.contains_key(&ticket)
+    }
+
+    /// Indices of quarantined shards behind the engine (empty for a
+    /// healthy or single-instance engine).
+    pub fn degraded_shards(&self) -> Vec<usize> {
+        self.oram.degraded_shards()
     }
 
     /// Total queued-but-unadmitted requests across tenants.

@@ -44,7 +44,7 @@ pub trait TreeBackend: fmt::Debug {
     fn stats(&self) -> (DeviceStats, DeviceStats);
 
     /// Drops all stored slots (tree teardown).
-    fn clear(&mut self);
+    fn clear(&mut self) -> Result<(), StorageError>;
 }
 
 /// The whole tree on a single device.
@@ -95,8 +95,8 @@ impl TreeBackend for SingleDeviceBackend {
         (*self.device.stats(), DeviceStats::default())
     }
 
-    fn clear(&mut self) {
-        self.device.clear();
+    fn clear(&mut self) -> Result<(), StorageError> {
+        self.device.clear()
     }
 }
 
@@ -186,9 +186,9 @@ impl TreeBackend for SplitBackend {
         (*self.memory.stats(), *self.storage.stats())
     }
 
-    fn clear(&mut self) {
-        self.memory.clear();
-        self.storage.clear();
+    fn clear(&mut self) -> Result<(), StorageError> {
+        self.memory.clear()?;
+        self.storage.clear()
     }
 }
 
@@ -274,7 +274,7 @@ mod tests {
         let (mem, storage) = backend.busy();
         assert!(mem > SimDuration::ZERO);
         assert_eq!(storage, SimDuration::ZERO);
-        backend.clear();
+        backend.clear().unwrap();
         assert_eq!(backend.device().stored_blocks(), 0);
     }
 }

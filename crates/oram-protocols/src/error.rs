@@ -53,6 +53,25 @@ pub enum OramError {
         /// What was wrong.
         reason: String,
     },
+    /// A protocol invariant was violated — scheduler misclassification,
+    /// broken once-per-period accounting, impossible geometry. These used
+    /// to be panics; they now surface as typed errors so a damaged shard
+    /// can be quarantined instead of taking the whole process down. The
+    /// instance that raised one must be considered unrecoverable (restore
+    /// from a checkpoint or rebuild).
+    Internal {
+        /// Which invariant broke, and where.
+        context: String,
+    },
+}
+
+impl OramError {
+    /// Shorthand for an [`OramError::Internal`] invariant report.
+    pub fn internal(context: impl Into<String>) -> Self {
+        OramError::Internal {
+            context: context.into(),
+        }
+    }
 }
 
 impl fmt::Display for OramError {
@@ -80,6 +99,9 @@ impl fmt::Display for OramError {
             OramError::Crypto(e) => write!(f, "crypto error: {e}"),
             OramError::SnapshotInvalid { reason } => {
                 write!(f, "snapshot invalid: {reason}")
+            }
+            OramError::Internal { context } => {
+                write!(f, "internal invariant violated: {context}")
             }
         }
     }

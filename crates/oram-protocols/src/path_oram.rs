@@ -698,7 +698,7 @@ impl<B: TreeBackend> PathOramCore<B> {
         for entry in self.stash.drain_all() {
             blocks.push((entry.id, entry.payload));
         }
-        self.backend.clear();
+        self.backend.clear()?;
         self.position_map.clear_all();
         Ok((blocks, self.busy_delta(busy_before)))
     }

@@ -121,6 +121,54 @@ pub trait TimingModel: fmt::Debug + Send {
     fn restore_state_words(&mut self, _words: &[u64]) {}
 }
 
+/// Retry policy for transient store faults: capped exponential backoff,
+/// charged in **simulated** time. Attempt `k` (0-based) that fails
+/// transiently adds `min(base · 2^k, cap)` nanoseconds of backoff to the
+/// access's cost; the trace still records exactly one event per logical
+/// access, so retries are timing-only and leak nothing beyond what the
+/// access itself already reveals (the same argument as timing-padded
+/// cache hits — see the leakage battery's retry probe).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per store operation (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, simulated nanoseconds.
+    pub base_nanos: u64,
+    /// Backoff ceiling per retry, simulated nanoseconds.
+    pub cap_nanos: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_nanos: 100_000,  // 100 µs
+            cap_nanos: 5_000_000, // 5 ms
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff charged after failed attempt `attempt` (0-based).
+    fn backoff_step(&self, attempt: u32) -> SimDuration {
+        let scaled = self.base_nanos.saturating_mul(1u64 << attempt.min(20));
+        SimDuration::from_nanos(scaled.min(self.cap_nanos))
+    }
+}
+
+/// Counters of retry activity. Deliberately **not** part of
+/// [`DeviceStats`] (and not persisted in snapshots — the format is
+/// frozen); a restored device starts these at zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Individual retries performed (attempts beyond the first).
+    pub retries: u64,
+    /// Total simulated backoff charged, nanoseconds.
+    pub backoff_nanos: u64,
+    /// Operations that exhausted every attempt and surfaced their error.
+    pub exhausted: u64,
+}
+
 /// One element of a [`Device::read_scatter`] result: the block found at
 /// the requested slot (if any) and the simulated cost attributed to that
 /// command within the batch.
@@ -155,6 +203,16 @@ pub struct Device {
     /// [`crate::cache`]: hits are timing-padded (the trace event is
     /// recorded unconditionally with the same shape), never elided.
     cache: Option<BlockCache>,
+    /// Transient-fault retry policy (see [`RetryPolicy`]).
+    retry: RetryPolicy,
+    /// Retry counters; volatile (never snapshotted).
+    retry_stats: RetryStats,
+    /// Test-battery fixture: when set, every retry records its own trace
+    /// event, deliberately leaking the retry count into the trace shape.
+    /// Exists so the leakage tests can prove they would catch a retry
+    /// implementation that isn't timing-only. Never set in production
+    /// paths.
+    leaky_retry: bool,
 }
 
 impl Device {
@@ -199,6 +257,9 @@ impl Device {
             charged_block_bytes: Self::DEFAULT_BLOCK_BYTES,
             capacity_slots: None,
             cache: None,
+            retry: RetryPolicy::default(),
+            retry_stats: RetryStats::default(),
+            leaky_retry: false,
         }
     }
 
@@ -257,12 +318,51 @@ impl Device {
         &self.stats
     }
 
+    /// Sets the transient-fault retry policy.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        assert!(policy.max_attempts > 0, "at least one attempt is required");
+        self.retry = policy;
+    }
+
+    /// The transient-fault retry policy in effect.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Retry counters (volatile; not part of snapshots).
+    pub fn retry_stats(&self) -> RetryStats {
+        self.retry_stats
+    }
+
+    /// Test fixture: leak each retry as its own trace event. See the
+    /// field docs — this exists to prove the leakage battery catches a
+    /// non-timing-only retry implementation.
+    #[doc(hidden)]
+    pub fn set_leaky_retry(&mut self, leaky: bool) {
+        self.leaky_retry = leaky;
+    }
+
+    /// Replaces the backing store with `wrap(store)` — the seam for
+    /// interposing an adapter (e.g. [`crate::fault::FaultyStore`])
+    /// between a built device and its data.
+    pub fn wrap_store(&mut self, wrap: impl FnOnce(Box<dyn DataStore>) -> Box<dyn DataStore>) {
+        let inner = std::mem::replace(&mut self.store, Box::new(BlockStore::new()));
+        self.store = wrap(inner);
+    }
+
+    /// Counters of injected faults, when the backing store is a
+    /// [`crate::fault::FaultyStore`].
+    pub fn fault_stats(&self) -> Option<crate::fault::FaultStats> {
+        self.store.fault_stats()
+    }
+
     /// Resets statistics and timing-model locality state. Cache
     /// *counters* reset too; cache *residency* is deliberately kept —
     /// benches reset accounting after warm-up precisely to measure the
     /// warm cache.
     pub fn reset_accounting(&mut self) {
         self.stats = DeviceStats::default();
+        self.retry_stats = RetryStats::default();
         self.timing.reset();
         if let Some(cache) = &mut self.cache {
             cache.reset_stats();
@@ -296,6 +396,10 @@ impl Device {
     }
 
     fn record(&mut self, kind: AccessKind, addr: u64, bytes: u64, cost: SimDuration) {
+        // Fold in latency the store injected since the last access (fault
+        // simulation): spikes stretch the access's cost, never its shape.
+        let injected = self.store.take_injected_latency_nanos();
+        let cost = cost + SimDuration::from_nanos(injected);
         self.stats.record(kind, bytes, cost);
         if let Some(trace) = &self.trace {
             trace.record(TraceEvent {
@@ -305,6 +409,96 @@ impl Device {
                 addr,
                 bytes,
             });
+        }
+    }
+
+    /// Runs `op` against the store, retrying transient faults under the
+    /// device's [`RetryPolicy`]. Returns the result plus the simulated
+    /// backoff accrued, which the caller folds into the access's recorded
+    /// cost — retries never add trace events (unless the `leaky_retry`
+    /// fixture is armed), so the adversary-visible shape is that of a
+    /// single access that took longer.
+    fn with_store_retry<T>(
+        &mut self,
+        kind: AccessKind,
+        addr: u64,
+        bytes: u64,
+        mut op: impl FnMut(&mut dyn DataStore) -> Result<T, StorageError>,
+    ) -> Result<(T, SimDuration), StorageError> {
+        let policy = self.retry;
+        let mut backoff = SimDuration::ZERO;
+        let mut attempt: u32 = 0;
+        loop {
+            match op(&mut *self.store) {
+                Ok(value) => {
+                    self.note_retries(kind, addr, bytes, attempt, backoff, false);
+                    return Ok((value, backoff));
+                }
+                Err(e) if e.is_transient() && attempt + 1 < policy.max_attempts => {
+                    backoff += policy.backoff_step(attempt);
+                    attempt += 1;
+                }
+                Err(e) => {
+                    self.note_retries(kind, addr, bytes, attempt, backoff, e.is_transient());
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Writes `block` to the store with transient-fault retries, returning
+    /// the accrued backoff. Stores that declare fault potential
+    /// ([`DataStore::can_fault`]) cost one clone per attempt so the
+    /// payload survives a consumed-but-failed `put`; honest stores keep
+    /// the zero-copy path.
+    fn put_with_retry(
+        &mut self,
+        addr: u64,
+        block: SealedBlock,
+    ) -> Result<SimDuration, StorageError> {
+        if !self.store.can_fault() {
+            self.store.put(addr, block)?;
+            return Ok(SimDuration::ZERO);
+        }
+        let bytes = self.charged_block_bytes;
+        let ((), backoff) = self.with_store_retry(AccessKind::Write, addr, bytes, |s| {
+            s.put(addr, block.clone())
+        })?;
+        Ok(backoff)
+    }
+
+    /// Books retry activity into the volatile counters; under the
+    /// `leaky_retry` fixture, also emits one trace event per retry —
+    /// exactly the shape change an unsafe implementation would exhibit.
+    fn note_retries(
+        &mut self,
+        kind: AccessKind,
+        addr: u64,
+        bytes: u64,
+        retries: u32,
+        backoff: SimDuration,
+        exhausted: bool,
+    ) {
+        if retries == 0 && !exhausted {
+            return;
+        }
+        self.retry_stats.retries += u64::from(retries);
+        self.retry_stats.backoff_nanos += backoff.as_nanos();
+        if exhausted {
+            self.retry_stats.exhausted += 1;
+        }
+        if self.leaky_retry {
+            if let Some(trace) = &self.trace {
+                for _ in 0..retries {
+                    trace.record(TraceEvent {
+                        at: self.clock.now(),
+                        device: self.id,
+                        kind,
+                        addr,
+                        bytes,
+                    });
+                }
+            }
         }
     }
 
@@ -342,20 +536,19 @@ impl Device {
             Some(ReadTier::Cold) => self.cache.as_mut().expect("probed").note_miss(),
             None => {}
         }
-        let block = self
-            .store
-            .get(addr)?
-            .ok_or_else(|| StorageError::MissingBlock {
-                device: self.name.clone(),
-                addr,
-            })?;
+        let (fetched, backoff) =
+            self.with_store_retry(AccessKind::Read, addr, bytes, |s| s.get(addr))?;
+        let block = fetched.ok_or_else(|| StorageError::MissingBlock {
+            device: self.name.clone(),
+            addr,
+        })?;
         if let Some(cache) = &mut self.cache {
             cache.promote_cold(addr, &block, &mut *self.store)?;
         }
         let cost = self
             .timing
             .access_cost(AccessKind::Read, addr * bytes, bytes);
-        self.record(AccessKind::Read, addr, bytes, cost);
+        self.record(AccessKind::Read, addr, bytes, cost + backoff);
         Ok(block)
     }
 
@@ -383,8 +576,7 @@ impl Device {
                 (cold_cost.as_nanos() as f64 * cache.writeback_sync_fraction()).round() as u64;
             cache.hit_cost() + SimDuration::from_nanos(sync_nanos)
         } else {
-            self.store.put(addr, block)?;
-            cold_cost
+            cold_cost + self.put_with_retry(addr, block)?
         };
         self.record(AccessKind::Write, addr, bytes, cost);
         Ok(())
@@ -417,12 +609,12 @@ impl Device {
         let offsets: Vec<u64> = addrs.iter().map(|&addr| addr * bytes).collect();
         let costs = self.timing.scatter_costs(AccessKind::Read, &offsets, bytes);
         let mut out = Vec::with_capacity(addrs.len());
-        for (&addr, cost) in addrs.iter().zip(costs) {
+        for (&addr, base_cost) in addrs.iter().zip(costs) {
+            let (block, backoff) =
+                self.with_store_retry(AccessKind::Read, addr, bytes, |s| s.get(addr))?;
+            let cost = base_cost + backoff;
             self.record(AccessKind::Read, addr, bytes, cost);
-            out.push(ScatterItem {
-                block: self.store.get(addr)?,
-                cost,
-            });
+            out.push(ScatterItem { block, cost });
         }
         Ok(out)
     }
@@ -482,22 +674,26 @@ impl Device {
             .timing
             .scatter_costs(AccessKind::Read, &cold_offsets, bytes)
             .into_iter();
-        for ((&addr, tier), slot) in addrs.iter().zip(&tiers).zip(blocks.iter_mut()) {
+        let mut backoffs = vec![SimDuration::ZERO; addrs.len()];
+        for (i, (&addr, tier)) in addrs.iter().zip(&tiers).enumerate() {
             if *tier == ReadTier::Cold {
-                let cache = self.cache.as_mut().expect("caller checked");
-                cache.note_miss();
-                if let Some(block) = self.store.get(addr)? {
+                self.cache.as_mut().expect("caller checked").note_miss();
+                let (got, backoff) =
+                    self.with_store_retry(AccessKind::Read, addr, bytes, |s| s.get(addr))?;
+                backoffs[i] = backoff;
+                if let Some(block) = got {
+                    let cache = self.cache.as_mut().expect("caller checked");
                     cache.promote_cold(addr, &block, &mut *self.store)?;
-                    *slot = Some(block);
+                    blocks[i] = Some(block);
                 }
             }
         }
         let mut out = Vec::with_capacity(addrs.len());
-        for ((&addr, tier), block) in addrs.iter().zip(&tiers).zip(blocks) {
+        for (i, ((&addr, tier), block)) in addrs.iter().zip(&tiers).zip(blocks).enumerate() {
             let cost = match tier {
                 ReadTier::Ram => hit_cost,
                 ReadTier::Mid => mid_costs.next().expect("one cost per mid op"),
-                ReadTier::Cold => cold_costs.next().expect("one cost per cold op"),
+                ReadTier::Cold => cold_costs.next().expect("one cost per cold op") + backoffs[i],
             };
             if !(leaky && *tier == ReadTier::Ram) {
                 self.record(AccessKind::Read, addr, bytes, cost);
@@ -543,8 +739,7 @@ impl Device {
                 let sync_nanos = (cold_cost.as_nanos() as f64 * fraction).round() as u64;
                 hit_cost + SimDuration::from_nanos(sync_nanos)
             } else {
-                self.store.put(addr, block)?;
-                cold_cost
+                cold_cost + self.put_with_retry(addr, block)?
             };
             self.record(AccessKind::Write, addr, bytes, cost);
         }
@@ -553,15 +748,18 @@ impl Device {
 
     /// Removes and returns the block at `addr` without charging time
     /// (used by shuffle logic that has already paid for a streaming read).
-    pub fn take_block(&mut self, addr: u64) -> Option<SealedBlock> {
+    ///
+    /// # Errors
+    ///
+    /// Backend errors propagate (transient faults are retried first).
+    pub fn take_block(&mut self, addr: u64) -> Result<Option<SealedBlock>, StorageError> {
         // The cache is the authority for slots it holds dirty; either way
         // every tier's copy must go.
         let dirty = self.cache.as_mut().and_then(|c| c.invalidate(addr));
-        let stored = self
-            .store
-            .remove(addr)
-            .expect("take_block is simulator-internal; backend I/O failure is fail-stop");
-        dirty.or(stored)
+        let bytes = self.charged_block_bytes;
+        let (stored, _) =
+            self.with_store_retry(AccessKind::Read, addr, bytes, |s| s.remove(addr))?;
+        Ok(dirty.or(stored))
     }
 
     /// Looks at the block at `addr` without charging time or tracing.
@@ -569,13 +767,17 @@ impl Device {
     /// This is a *simulator-internal* peek (e.g. for assertions); protocol
     /// code must use [`read_block`](Self::read_block). Returns an owned
     /// clone (file-backed stores cannot hand out references).
-    pub fn peek_block(&mut self, addr: u64) -> Option<SealedBlock> {
+    ///
+    /// # Errors
+    ///
+    /// Backend errors propagate (transient faults are retried first).
+    pub fn peek_block(&mut self, addr: u64) -> Result<Option<SealedBlock>, StorageError> {
         if let Some(block) = self.cache.as_ref().and_then(|c| c.peek(addr)) {
-            return Some(block.clone());
+            return Ok(Some(block.clone()));
         }
-        self.store
-            .get(addr)
-            .expect("peek_block is simulator-internal; backend I/O failure is fail-stop")
+        let bytes = self.charged_block_bytes;
+        let (block, _) = self.with_store_retry(AccessKind::Read, addr, bytes, |s| s.get(addr))?;
+        Ok(block)
     }
 
     /// Reads `count` consecutive slots starting at `start` as one streaming
@@ -593,19 +795,24 @@ impl Device {
         self.check_capacity(start + count - 1)?;
         // Merge the cache's dirty copies over the stored run: the cache is
         // the authority for slots it absorbed write-back.
-        let blocks: Vec<Option<SealedBlock>> = (start..start + count)
-            .map(
-                |a| match self.cache.as_ref().and_then(|c| c.dirty_copy(a)) {
-                    Some(dirty) => Ok(Some(dirty.clone())),
-                    None => self.store.get(a),
-                },
-            )
-            .collect::<Result<_, _>>()?;
+        let slot_bytes = self.charged_block_bytes;
+        let mut backoff_total = SimDuration::ZERO;
+        let mut blocks: Vec<Option<SealedBlock>> = Vec::with_capacity(count as usize);
+        for a in start..start + count {
+            if let Some(dirty) = self.cache.as_ref().and_then(|c| c.dirty_copy(a)) {
+                blocks.push(Some(dirty.clone()));
+                continue;
+            }
+            let (got, backoff) =
+                self.with_store_retry(AccessKind::Read, a, slot_bytes, |s| s.get(a))?;
+            backoff_total += backoff;
+            blocks.push(got);
+        }
         let bytes = self.charged_block_bytes * count;
         let cost =
             self.timing
                 .streaming_cost(AccessKind::Read, start * self.charged_block_bytes, bytes);
-        self.record(AccessKind::Read, start, bytes, cost);
+        self.record(AccessKind::Read, start, bytes, cost + backoff_total);
         Ok(blocks)
     }
 
@@ -629,18 +836,21 @@ impl Device {
         self.check_capacity(start + count - 1)?;
         // Taking a slot removes every tier's copy; the cache's dirty copy
         // (when it holds one) is the authoritative value handed back.
-        let blocks: Vec<Option<SealedBlock>> = (start..start + count)
-            .map(|a| {
-                let dirty = self.cache.as_mut().and_then(|c| c.invalidate(a));
-                let stored = self.store.remove(a)?;
-                Ok(dirty.or(stored))
-            })
-            .collect::<Result<_, StorageError>>()?;
+        let slot_bytes = self.charged_block_bytes;
+        let mut backoff_total = SimDuration::ZERO;
+        let mut blocks: Vec<Option<SealedBlock>> = Vec::with_capacity(count as usize);
+        for a in start..start + count {
+            let dirty = self.cache.as_mut().and_then(|c| c.invalidate(a));
+            let (stored, backoff) =
+                self.with_store_retry(AccessKind::Read, a, slot_bytes, |s| s.remove(a))?;
+            backoff_total += backoff;
+            blocks.push(dirty.or(stored));
+        }
         let bytes = self.charged_block_bytes * count;
         let cost =
             self.timing
                 .streaming_cost(AccessKind::Read, start * self.charged_block_bytes, bytes);
-        self.record(AccessKind::Read, start, bytes, cost);
+        self.record(AccessKind::Read, start, bytes, cost + backoff_total);
         Ok(blocks)
     }
 
@@ -665,18 +875,19 @@ impl Device {
         // is exactly where next period's hits come from, since the
         // once-per-period invariant means a promoted random read is never
         // re-read before the next shuffle rewrites it.
+        let mut backoff_total = SimDuration::ZERO;
         for (i, block) in blocks.enumerate() {
             let addr = start + i as u64;
             if let Some(cache) = &mut self.cache {
                 cache.populate(addr, block.clone(), &mut *self.store)?;
             }
-            self.store.put(addr, block)?;
+            backoff_total += self.put_with_retry(addr, block)?;
         }
         let bytes = self.charged_block_bytes * count;
         let cost =
             self.timing
                 .streaming_cost(AccessKind::Write, start * self.charged_block_bytes, bytes);
-        self.record(AccessKind::Write, start, bytes, cost);
+        self.record(AccessKind::Write, start, bytes, cost + backoff_total);
         Ok(())
     }
 
@@ -694,13 +905,15 @@ impl Device {
 
     /// Drops all stored blocks, in every cache tier and the store (data
     /// only; stats and timing state remain).
-    pub fn clear(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// Backend I/O errors propagate.
+    pub fn clear(&mut self) -> Result<(), StorageError> {
         if let Some(cache) = &mut self.cache {
             cache.clear();
         }
-        self.store
-            .clear()
-            .expect("clear is simulator-internal; backend I/O failure is fail-stop");
+        self.store.clear()
     }
 
     /// Whether the underlying store survives process exit (file-backed).
@@ -720,7 +933,10 @@ impl Device {
         if let Some(cache) = &mut self.cache {
             cache.flush(&mut *self.store)?;
         }
-        self.store.sync()
+        // Sync is not a traced access; the backoff is dropped (checkpoint
+        // time is not part of the serving-time model).
+        let ((), _backoff) = self.with_store_retry(AccessKind::Write, 0, 0, |s| s.sync())?;
+        Ok(())
     }
 
     /// Keyed fingerprint over the store's full logical contents (slot
@@ -1117,7 +1333,7 @@ mod tests {
         let mut batched = hdd_device();
         batched.write_scatter(writes.clone()).unwrap();
         for (a, b) in &writes {
-            assert_eq!(batched.peek_block(*a).as_ref(), Some(b));
+            assert_eq!(batched.peek_block(*a).unwrap().as_ref(), Some(b));
         }
         assert_eq!(batched.stats().writes, sequential.stats().writes);
         assert!(batched.stats().busy < sequential.stats().busy);
@@ -1178,5 +1394,189 @@ mod tests {
         dev.reset_accounting();
         assert_eq!(dev.stats().writes, 0);
         assert_eq!(dev.stored_blocks(), 1);
+    }
+
+    use crate::fault::{FaultConfig, FaultyStore};
+
+    /// Builds a traced HDD device pre-loaded with `blocks` addresses, then
+    /// interposes the given fault schedule and clears all accounting so
+    /// only the faulted phase is observed.
+    fn faulted_device(trace: AccessTrace, config: FaultConfig, blocks: u64) -> Device {
+        let s = sealer();
+        let mut dev = Device::new(
+            DeviceId(0),
+            "hdd",
+            Box::new(HddModel::paper_calibrated()),
+            SimClock::new(),
+            Some(trace.clone()),
+        );
+        for a in 0..blocks {
+            dev.write_block(a, s.seal(a, 0, b"r")).unwrap();
+        }
+        dev.wrap_store(|inner| Box::new(FaultyStore::new(inner, config)));
+        dev.reset_accounting();
+        trace.clear();
+        dev
+    }
+
+    fn strip(trace: &AccessTrace) -> Vec<(DeviceId, AccessKind, u64, u64)> {
+        trace
+            .snapshot()
+            .into_iter()
+            .map(|e| (e.device, e.kind, e.addr, e.bytes))
+            .collect()
+    }
+
+    #[test]
+    fn transient_faults_are_retried_and_charged_as_backoff() {
+        let trace = AccessTrace::new();
+        // 20% fault rate, 8 attempts: the chance of any of 64 reads
+        // exhausting is negligible, and the run is seeded/deterministic.
+        let mut dev = faulted_device(trace, FaultConfig::transient(11, 200), 64);
+        dev.set_retry_policy(RetryPolicy {
+            max_attempts: 8,
+            ..RetryPolicy::default()
+        });
+        for a in 0..64u64 {
+            dev.read_block(a).unwrap();
+        }
+        let rs = dev.retry_stats();
+        assert!(rs.retries > 0, "seed 11 at 20% must fault at least once");
+        assert!(rs.backoff_nanos > 0);
+        assert_eq!(rs.exhausted, 0);
+        // Backoff is charged into device busy time.
+        let clean = faulted_device(AccessTrace::new(), FaultConfig::default(), 64);
+        let mut clean = clean;
+        for a in 0..64u64 {
+            clean.read_block(a).unwrap();
+        }
+        assert_eq!(
+            dev.stats().busy.as_nanos(),
+            clean.stats().busy.as_nanos() + rs.backoff_nanos
+        );
+    }
+
+    #[test]
+    fn retry_trace_shape_matches_fault_free_run() {
+        let clean_trace = AccessTrace::new();
+        let mut clean = faulted_device(clean_trace.clone(), FaultConfig::default(), 32);
+        let faulty_trace = AccessTrace::new();
+        let mut faulty = faulted_device(faulty_trace.clone(), FaultConfig::transient(7, 200), 32);
+        faulty.set_retry_policy(RetryPolicy {
+            max_attempts: 8,
+            ..RetryPolicy::default()
+        });
+        let s = sealer();
+        for dev in [&mut clean, &mut faulty] {
+            for a in 0..32u64 {
+                dev.read_block(a).unwrap();
+                dev.write_block(a, s.seal(a, 1, b"w")).unwrap();
+            }
+            dev.read_scatter(&[3, 17, 9]).unwrap();
+            dev.take_block(5).unwrap();
+        }
+        assert!(
+            faulty.retry_stats().retries > 0,
+            "fixture must exercise retries"
+        );
+        // Same events, same order, same sizes: retries are timing-only.
+        assert_eq!(strip(&clean_trace), strip(&faulty_trace));
+    }
+
+    #[test]
+    fn leaky_retry_fixture_changes_the_trace_shape() {
+        let trace = AccessTrace::new();
+        let mut dev = faulted_device(trace.clone(), FaultConfig::transient(7, 200), 32);
+        dev.set_retry_policy(RetryPolicy {
+            max_attempts: 8,
+            ..RetryPolicy::default()
+        });
+        dev.set_leaky_retry(true);
+        for a in 0..32u64 {
+            dev.read_block(a).unwrap();
+        }
+        let events = trace.snapshot().len() as u64;
+        assert_eq!(
+            events,
+            32 + dev.retry_stats().retries,
+            "leaky fixture records one extra event per retry"
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_transient_error() {
+        // 100% fault rate: every attempt fails, the policy runs dry.
+        let mut dev = faulted_device(AccessTrace::new(), FaultConfig::transient(3, 1000), 4);
+        let max = dev.retry_policy().max_attempts;
+        let err = dev.read_block(2).unwrap_err();
+        assert!(
+            err.is_transient(),
+            "exhaustion surfaces the last error: {err}"
+        );
+        let rs = dev.retry_stats();
+        assert_eq!(rs.exhausted, 1);
+        assert_eq!(rs.retries, u64::from(max) - 1);
+    }
+
+    #[test]
+    fn permanent_faults_are_not_retried() {
+        let config = FaultConfig {
+            permanent_slots: vec![2],
+            ..FaultConfig::default()
+        };
+        let mut dev = faulted_device(AccessTrace::new(), config, 4);
+        assert!(matches!(
+            dev.read_block(2),
+            Err(StorageError::PermanentFault { addr: 2, .. })
+        ));
+        assert_eq!(dev.retry_stats().retries, 0, "dead slots retry nothing");
+        // Other slots keep serving.
+        dev.read_block(1).unwrap();
+    }
+
+    #[test]
+    fn latency_spikes_charge_time_without_trace_changes() {
+        let config = FaultConfig {
+            seed: 5,
+            latency_spike_permille: 1000,
+            latency_spike_nanos: 1_000_000,
+            ..FaultConfig::default()
+        };
+        let trace = AccessTrace::new();
+        let mut dev = faulted_device(trace.clone(), config, 8);
+        for a in 0..8u64 {
+            dev.read_block(a).unwrap();
+        }
+        assert_eq!(trace.snapshot().len(), 8);
+        let clean = {
+            let mut d = faulted_device(AccessTrace::new(), FaultConfig::default(), 8);
+            for a in 0..8u64 {
+                d.read_block(a).unwrap();
+            }
+            d.stats().busy
+        };
+        assert_eq!(
+            dev.stats().busy.as_nanos(),
+            clean.as_nanos() + 8 * 1_000_000,
+            "every read pays its spike in simulated time"
+        );
+    }
+
+    #[test]
+    fn retry_stats_survive_wrapping_but_not_restore() {
+        let mut dev = faulted_device(AccessTrace::new(), FaultConfig::transient(3, 1000), 2);
+        let _ = dev.read_block(0);
+        assert!(dev.retry_stats().exhausted > 0);
+        let mut w = StateWriter::new();
+        dev.save_state(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut fresh = faulted_device(AccessTrace::new(), FaultConfig::default(), 0);
+        let mut r = StateReader::new(&bytes);
+        fresh.load_state(&mut r).unwrap();
+        assert_eq!(
+            fresh.retry_stats(),
+            RetryStats::default(),
+            "retry counters are volatile, never snapshotted"
+        );
     }
 }

@@ -80,6 +80,17 @@ impl MemoryHierarchy {
         })
     }
 
+    /// Interposes a [`crate::fault::FaultyStore`] with the given schedule
+    /// between the *storage* device and its backing store (chaos testing:
+    /// the flat ORAM region is the part that lives on untrusted, failing
+    /// media; DRAM is trusted client state). Returns `self` for builder
+    /// chaining.
+    pub fn with_storage_faults(mut self, config: crate::fault::FaultConfig) -> Self {
+        self.storage
+            .wrap_store(|inner| Box::new(crate::fault::FaultyStore::new(inner, config)));
+        self
+    }
+
     /// The shared simulated clock.
     pub fn clock(&self) -> &SimClock {
         &self.clock

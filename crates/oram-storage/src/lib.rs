@@ -1,4 +1,6 @@
 //! Deterministic storage-device timing simulator for the H-ORAM reproduction.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+//!
 //!
 //! The paper evaluates H-ORAM on a real machine (Intel i7-7700K, DDR4-2133,
 //! a 7200 RPM HDD with 102.7 MB/s read / 55.2 MB/s write throughput —
@@ -24,6 +26,11 @@
 //! view of an adversary probing the memory/I-O bus: device, direction,
 //! physical address, size, timestamp. The leakage tests in `oram-analysis`
 //! operate on those traces.
+//!
+//! The [`fault`] module injects deterministic, seeded failures (transient
+//! errors, dead slots, bit flips, fsync failures, latency spikes) between
+//! a device and its backing store, so every layer above can be chaos-tested
+//! replayably.
 //!
 //! # Example
 //!
@@ -54,6 +61,7 @@ pub mod calibration;
 pub mod clock;
 pub mod device;
 pub mod dram;
+pub mod fault;
 pub mod file;
 pub mod hdd;
 pub mod hierarchy;
@@ -66,8 +74,9 @@ pub mod trace;
 pub use cache::{BlockCache, CacheConfig, CachePolicy, CacheStats, MidTierConfig, TieredStore};
 pub use calibration::MachineConfig;
 pub use clock::{SimClock, SimDuration, SimTime};
-pub use device::{AccessKind, Device, DeviceId, ScatterItem, TimingModel};
+pub use device::{AccessKind, Device, DeviceId, RetryPolicy, RetryStats, ScatterItem, TimingModel};
 pub use dram::DramModel;
+pub use fault::{FaultConfig, FaultPlan, FaultStats, FaultyStore};
 pub use file::{FileStore, FileStoreConfig};
 pub use hdd::HddModel;
 pub use hierarchy::MemoryHierarchy;
@@ -108,6 +117,35 @@ pub enum StorageError {
         /// What failed.
         reason: String,
     },
+    /// A transient device fault (bus glitch, recoverable media error):
+    /// the same access may succeed if retried. Injected by
+    /// [`fault::FaultyStore`]; [`device::Device`] retries these with
+    /// capped exponential backoff charged in simulated time.
+    TransientFault {
+        /// Device that was addressed.
+        device: String,
+        /// Physical slot address (0 for whole-device ops like sync).
+        addr: u64,
+        /// The operation that faulted (`"get"`, `"put"`, `"sync"`, ...).
+        op: &'static str,
+    },
+    /// A permanent slot failure (dead sector): retrying cannot help and
+    /// the slot's contents are unrecoverable from this device.
+    PermanentFault {
+        /// Device that was addressed.
+        device: String,
+        /// Physical slot address.
+        addr: u64,
+    },
+}
+
+impl StorageError {
+    /// Whether retrying the same access may succeed. Only transient
+    /// faults qualify; everything else (missing blocks, capacity, backend
+    /// I/O failures, dead slots) is deterministic and must surface.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StorageError::TransientFault { .. })
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -128,6 +166,18 @@ impl fmt::Display for StorageError {
             }
             StorageError::Backend { path, reason } => {
                 write!(f, "storage backend {path}: {reason}")
+            }
+            StorageError::TransientFault { device, addr, op } => {
+                write!(
+                    f,
+                    "transient {op} fault at address {addr} on device {device}"
+                )
+            }
+            StorageError::PermanentFault { device, addr } => {
+                write!(
+                    f,
+                    "permanent slot failure at address {addr} on device {device}"
+                )
             }
         }
     }

@@ -68,6 +68,31 @@ pub trait DataStore: fmt::Debug + Send {
         }
         Ok(())
     }
+
+    /// Drains simulated latency (nanoseconds) the store accrued since the
+    /// last drain — e.g. injected latency spikes from
+    /// [`crate::fault::FaultyStore`]. The device folds the drained time
+    /// into the *cost* of the access that incurred it, so spikes slow the
+    /// simulation down without changing the trace shape. Defaults to zero
+    /// for stores that never stall.
+    fn take_injected_latency_nanos(&mut self) -> u64 {
+        0
+    }
+
+    /// Whether this store can return [`StorageError::TransientFault`].
+    /// Stores that can MUST return `true`: the device then preserves
+    /// write payloads across attempts (a clone per `put`) so transient
+    /// write faults are retryable. Stores that answer `false` get the
+    /// zero-copy write path and, by contract, never fault transiently.
+    fn can_fault(&self) -> bool {
+        false
+    }
+
+    /// Counters of injected faults, when this store (or a store it wraps)
+    /// is a [`crate::fault::FaultyStore`]. `None` for honest stores.
+    fn fault_stats(&self) -> Option<crate::fault::FaultStats> {
+        None
+    }
 }
 
 /// A sparse map from slot address to sealed block.

@@ -13,7 +13,10 @@ use horam::storage::StorageError;
 
 /// Flips one ciphertext bit of a stored block on the device.
 fn corrupt_one_block(device: &mut Device, addr: u64) {
-    let mut block = device.take_block(addr).expect("block present");
+    let mut block = device
+        .take_block(addr)
+        .expect("device healthy")
+        .expect("block present");
     block.corrupt_bit(3);
     // Re-inserting without timing charge: we are modelling an attacker
     // writing directly to the medium, not a protocol write.
@@ -132,4 +135,82 @@ fn horam_remains_usable_for_other_blocks_after_detecting_corruption() {
     // Undamaged blocks still fetch fine.
     let load = layer.fetch(BlockId(3)).expect("clean block fetches");
     assert_eq!(load.block.unwrap().0, BlockId(3));
+}
+
+/// Failed fsync is a *transient, recoverable* event for the durable
+/// backend: when every sync is refused, the undo journal is never
+/// truncated, so a crash after buffered writes leaves the journal
+/// replayable — reopening rolls the data file back to the last
+/// successful commit point, byte for byte, and the uncommitted epoch
+/// simply never happened.
+#[test]
+fn failed_fsync_leaves_journal_replayable_on_reopen() {
+    use horam::storage::fault::{FaultConfig, FaultyStore};
+    use horam::storage::file::{scratch_dir, FileStore, FileStoreConfig};
+    use horam::storage::store::DataStore;
+
+    let dir = scratch_dir("fsync-fault");
+    let path = dir.join("dev.horam");
+    let journal = dir.join("dev.horam.undo");
+    let config = FileStoreConfig::new(32, 64).with_write_back_slots(4);
+    let sealer = BlockSealer::new(&MasterKey::from_bytes([57u8; 32]).derive("fi/fsync", 0));
+
+    // Epoch 1: a committed state (sync succeeds, journal truncated).
+    {
+        let mut store = FileStore::open(&path, config.clone()).expect("open");
+        store.put(3, sealer.seal(3, 0, b"committed")).expect("put");
+        store.sync().expect("clean sync commits");
+
+        // Epoch 2 behind an fsync-refusing injector: overwrite slot 3 and
+        // add enough new slots to overflow the write-back buffer, forcing
+        // a flush whose undo images land in the journal. Every sync
+        // attempt fails typed-transient before reaching the file.
+        let mut faulty = FaultyStore::new(
+            Box::new(store),
+            FaultConfig {
+                seed: 11,
+                fsync_fail_permille: 1000,
+                ..FaultConfig::default()
+            },
+        );
+        faulty
+            .put(3, sealer.seal(3, 1, b"uncommitted"))
+            .expect("buffered put");
+        for slot in 7..12u64 {
+            faulty
+                .put(slot, sealer.seal(slot, 0, b"new"))
+                .expect("buffered put");
+        }
+        let refused = faulty.sync();
+        assert!(
+            matches!(
+                refused,
+                Err(StorageError::TransientFault { op: "sync", .. })
+            ),
+            "injected fsync failure must surface typed: {refused:?}"
+        );
+        assert_eq!(faulty.stats().fsync_failures, 1);
+        let journal_len = std::fs::metadata(&journal).expect("journal exists").len();
+        assert!(
+            journal_len > 0,
+            "the flushed epoch's undo images must be journaled"
+        );
+        // Crash: the store drops without ever committing epoch 2.
+    }
+
+    // Reopen: journal replay rolls the file back to the last commit.
+    let mut store = FileStore::open(&path, config).expect("reopen replays journal");
+    assert_eq!(
+        store.get(3).expect("get").expect("slot survives"),
+        sealer.seal(3, 0, b"committed"),
+        "rollback must restore the committed bytes"
+    );
+    for slot in 7..12u64 {
+        assert!(
+            store.get(slot).expect("get").is_none(),
+            "uncommitted slot {slot} must vanish with the rollback"
+        );
+    }
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
 }

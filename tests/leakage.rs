@@ -296,6 +296,109 @@ fn sharded_cache_traces_are_hit_rate_independent() {
     }
 }
 
+/// Fault-retry obliviousness: a run whose storage store injects seeded
+/// transient faults (absorbed by the device's retry/backoff layer) must
+/// present the **identical** bus view — device, direction, slot, bytes,
+/// order — as the fault-free run. Retries are charged in simulated time
+/// only; the adversary sees latency, never a changed access pattern.
+#[test]
+fn retries_are_timing_only_on_the_bus() {
+    use horam::storage::fault::FaultConfig;
+
+    let run = |fault: Option<FaultConfig>| {
+        let config = HOramConfig::new(256, 8, 64).with_seed(23);
+        let hierarchy = MemoryHierarchy::dac2019();
+        let hierarchy = match fault {
+            Some(config) => hierarchy.with_storage_faults(config),
+            None => hierarchy,
+        };
+        let mut oram = HOram::new(config, hierarchy, MasterKey::from_bytes([31u8; 32]))
+            .expect("construction succeeds");
+        // A deep budget keeps this 150‰ plan fully absorbed: the probe
+        // is about the bus view of *successful* retries, not exhaustion.
+        oram.storage_device_mut()
+            .set_retry_policy(horam::storage::device::RetryPolicy {
+                max_attempts: 10,
+                ..Default::default()
+            });
+        oram.reset_accounting();
+        let requests: Vec<Request> = (0..120u64).map(|i| Request::read(i % 30)).collect();
+        oram.run_batch(&requests).expect("batch");
+        (
+            observable(&oram.trace().snapshot()),
+            oram.clock().now().as_nanos(),
+            oram.storage_retry_stats(),
+        )
+    };
+
+    let (clean_trace, clean_nanos, clean_retries) = run(None);
+    let (faulted_trace, faulted_nanos, faulted_retries) = run(Some(FaultConfig::transient(5, 150)));
+    assert_eq!(clean_retries.retries, 0, "setup: clean run never retries");
+    assert!(
+        faulted_retries.retries > 0,
+        "setup: the fault plan must actually trigger retries"
+    );
+    assert_eq!(
+        faulted_retries.exhausted, 0,
+        "setup: this seed must stay within the retry budget"
+    );
+    assert_eq!(
+        clean_trace, faulted_trace,
+        "retries changed the observable access pattern"
+    );
+    assert!(
+        faulted_nanos > clean_nanos,
+        "backoff must be charged in simulated time ({faulted_nanos} vs {clean_nanos})"
+    );
+}
+
+/// The retry battery can fail: the doc-hidden `leaky_retry` fixture
+/// re-records each retry attempt as its own bus event, and exactly the
+/// trace comparison above catches it — the leaky trace grows by one
+/// event per retry.
+#[test]
+fn leaky_retry_fixture_is_detected() {
+    use horam::storage::fault::FaultConfig;
+
+    let run = |leaky: bool| {
+        let config = HOramConfig::new(256, 8, 64).with_seed(23);
+        let hierarchy =
+            MemoryHierarchy::dac2019().with_storage_faults(FaultConfig::transient(5, 150));
+        let mut oram = HOram::new(config, hierarchy, MasterKey::from_bytes([31u8; 32]))
+            .expect("construction succeeds");
+        oram.storage_device_mut()
+            .set_retry_policy(horam::storage::device::RetryPolicy {
+                max_attempts: 10,
+                ..Default::default()
+            });
+        oram.storage_device_mut().set_leaky_retry(leaky);
+        oram.reset_accounting();
+        let requests: Vec<Request> = (0..120u64).map(|i| Request::read(i % 30)).collect();
+        oram.run_batch(&requests).expect("batch");
+        (
+            observable(&oram.trace().snapshot()),
+            oram.storage_retry_stats(),
+        )
+    };
+
+    let (honest, honest_retries) = run(false);
+    let (leaky, leaky_retries) = run(true);
+    assert!(honest_retries.retries > 0, "setup: retries must occur");
+    assert_eq!(
+        honest_retries.retries, leaky_retries.retries,
+        "the fixture must not change retry behaviour, only visibility"
+    );
+    assert_ne!(
+        honest, leaky,
+        "a retry implementation that leaks onto the bus must be visible to this battery"
+    );
+    assert_eq!(
+        leaky.len(),
+        honest.len() + leaky_retries.retries as usize,
+        "the leak is exactly one extra bus event per retry"
+    );
+}
+
 /// The battery can fail: a deliberately broken cache that serves RAM
 /// hits *without* emitting the padded bus event (`leaky_hits`) is caught
 /// by exactly the comparison the tests above run — its trace visibly

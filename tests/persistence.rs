@@ -572,6 +572,92 @@ mod sharded {
         // A sharded manifest is not a single-instance snapshot.
         assert!(HOram::restore(MemoryHierarchy::dac2019(), master(), &manifest).is_err());
     }
+
+    /// The corruption → quarantine → restore round trip: a shard whose
+    /// storage returns bit-rotted blocks fails authentication, is
+    /// quarantined (its tickets resolve to typed failures, the healthy
+    /// shards keep serving byte-exact answers, and a new checkpoint is
+    /// refused), and a pre-failure snapshot restores the full instance
+    /// to byte-exact health.
+    #[test]
+    fn corrupted_shard_quarantines_and_restores_from_snapshot() {
+        use horam::storage::fault::FaultConfig;
+
+        let prefix = sharded_workload(80, 93);
+        let mut oram = build_sharded();
+        oram.run_batch(&prefix).unwrap();
+        let snapshot = oram.snapshot().unwrap();
+
+        // A deterministic twin provides the expected value of every block.
+        let mut twin = build_sharded();
+        twin.run_batch(&prefix).unwrap();
+
+        let target = 0usize;
+        oram.inject_storage_faults(
+            target,
+            FaultConfig {
+                seed: 17,
+                corrupt_permille: 1000,
+                ..FaultConfig::default()
+            },
+        );
+
+        let tickets: Vec<(u64, u64)> = (0..256u64)
+            .map(|id| (id, oram.enqueue(Request::read(id)).unwrap()))
+            .collect();
+        let mut rounds = 0;
+        while !oram.is_drained() {
+            oram.run_cycle_window(8).unwrap();
+            rounds += 1;
+            assert!(rounds < 100_000, "pump stalled");
+        }
+
+        assert_eq!(
+            oram.degraded_shards(),
+            vec![target],
+            "bit rot must quarantine exactly the corrupted shard"
+        );
+        let mut failed = 0;
+        for (id, ticket) in tickets {
+            match oram.take_response(ticket) {
+                Some(bytes) => assert_eq!(
+                    bytes,
+                    twin.read(BlockId(id)).unwrap(),
+                    "a served answer must stay byte-exact"
+                ),
+                None => {
+                    oram.take_failure(ticket)
+                        .expect("lost tickets resolve to typed failures");
+                    failed += 1;
+                    assert_eq!(
+                        oram.mapper().shard_of(BlockId(id)).unwrap() as usize,
+                        target,
+                        "only the corrupted shard may lose tickets"
+                    );
+                }
+            }
+        }
+        assert!(failed > 0, "the corrupted shard must actually fail");
+
+        // Quarantined: a checkpoint would lose the degraded shard's
+        // blocks, so it is refused typed.
+        assert!(matches!(
+            oram.snapshot(),
+            Err(OramError::SnapshotInvalid { .. })
+        ));
+
+        // The pre-failure snapshot restores full byte-exact health.
+        let mut restored =
+            ShardedOram::restore(master(), |_| MemoryHierarchy::dac2019(), &snapshot).unwrap();
+        assert!(restored.degraded_shards().is_empty());
+        for id in 0..256u64 {
+            assert_eq!(
+                restored.read(BlockId(id)).unwrap(),
+                twin.read(BlockId(id)).unwrap(),
+                "block {id} diverged after restore"
+            );
+        }
+    }
 }
 
 mod properties {

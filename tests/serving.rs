@@ -328,3 +328,112 @@ fn rejections_produce_no_accesses() {
     assert_eq!(stats.rejected_backpressure, 1);
     assert!(service.oram().trace().is_empty(), "rejections reach no bus");
 }
+
+/// Graceful degradation through the serving layer: when one shard of the
+/// engine dies mid-service, every ticket routed to it resolves to
+/// `Err(ServeError::Degraded)` through `take_result`, while the other
+/// shards' tenants keep receiving byte-exact answers — and later
+/// submissions to the dead shard fail typed at the same surface instead
+/// of stalling the pump.
+#[test]
+fn degraded_shard_fails_typed_while_others_keep_serving() {
+    use horam::core::shard::{ShardedConfig, ShardedOram};
+    use horam::storage::fault::FaultConfig;
+
+    const SHARDED_CAPACITY: u64 = 256;
+    let config = ShardedConfig::new(
+        HOramConfig::new(SHARDED_CAPACITY, PAYLOAD, 64).with_seed(33),
+        4,
+    );
+    let mut oram = ShardedOram::new(config, MasterKey::from_bytes([9u8; 32]), |_| {
+        MemoryHierarchy::dac2019()
+    })
+    .expect("sharded engine builds");
+
+    // Ground truth written while healthy, then shard 0's storage dies
+    // (every read faults; writes and the layout survive).
+    let init: Vec<Request> = (0..SHARDED_CAPACITY)
+        .map(|id| Request::write(id, vec![id as u8; PAYLOAD]))
+        .collect();
+    oram.run_batch(&init).expect("healthy init");
+    let dead_shard = 0usize;
+    oram.inject_storage_faults(
+        dead_shard,
+        FaultConfig {
+            seed: 41,
+            transient_read_permille: 1000,
+            ..FaultConfig::default()
+        },
+    );
+    let shard_of: Vec<usize> = (0..SHARDED_CAPACITY)
+        .map(|id| oram.mapper().shard_of(BlockId(id)).unwrap() as usize)
+        .collect();
+
+    let mut service = OramService::new(
+        oram,
+        Box::new(FifoPolicy),
+        ServiceConfig {
+            batch_size: 16,
+            ..ServiceConfig::default()
+        },
+    );
+    service.register_tenant(UserId(0), 0..SHARDED_CAPACITY, Permission::ReadWrite);
+
+    let tickets: Vec<(u64, ServiceTicket)> = (0..SHARDED_CAPACITY)
+        .map(|id| (id, service.submit(UserId(0), Request::read(id)).unwrap()))
+        .collect();
+    service
+        .pump_until_idle()
+        .expect("the pump absorbs the failure");
+
+    assert_eq!(service.degraded_shards(), vec![dead_shard]);
+    let mut failed = 0;
+    let mut served = 0;
+    for (id, ticket) in tickets {
+        match service
+            .take_result(ticket)
+            .expect("every ticket resolves to a response or a typed failure")
+        {
+            Ok(bytes) => {
+                served += 1;
+                assert_eq!(bytes, vec![id as u8; PAYLOAD], "block {id} served wrong");
+            }
+            Err(ServeError::Degraded { shard, .. }) => {
+                failed += 1;
+                assert_eq!(shard, dead_shard);
+                assert_eq!(shard_of[id as usize], dead_shard, "healthy ticket failed");
+            }
+            Err(other) => panic!("unexpected failure kind: {other}"),
+        }
+    }
+    assert!(failed > 0, "the dead shard must lose tickets");
+    assert!(served > 0, "healthy shards must keep serving");
+
+    // Submissions after the quarantine: the dead shard's tickets fail
+    // typed at admission into the engine; healthy ones still serve.
+    let (dead_id, _) = shard_of
+        .iter()
+        .enumerate()
+        .find(|(_, shard)| **shard == dead_shard)
+        .expect("some block maps to the dead shard");
+    let (live_id, _) = shard_of
+        .iter()
+        .enumerate()
+        .find(|(_, shard)| **shard != dead_shard)
+        .expect("some block maps to a healthy shard");
+    let dead_ticket = service
+        .submit(UserId(0), Request::read(dead_id as u64))
+        .expect("submission is accepted; the failure is typed at serve time");
+    let live_ticket = service
+        .submit(UserId(0), Request::read(live_id as u64))
+        .expect("healthy submission");
+    service.pump_until_idle().expect("pump stays live");
+    assert!(matches!(
+        service.take_result(dead_ticket),
+        Some(Err(ServeError::Degraded { shard, .. })) if shard == dead_shard
+    ));
+    assert_eq!(
+        service.take_result(live_ticket).unwrap().unwrap(),
+        vec![live_id as u8; PAYLOAD]
+    );
+}
