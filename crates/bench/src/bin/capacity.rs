@@ -1,0 +1,21 @@
+//! Recursive position map: capacity scaling and trusted-memory bounds.
+//!
+//! Thin wrapper over [`bench::gates::capacity_gate`]: a flat-vs-recursive
+//! run at the shared small capacity must be byte-identical on the data
+//! bus (responses, trace with timestamps, statistics, simulated clock),
+//! and a durable recursive engine at 16× the largest other bench
+//! capacity must round-trip a write/read-back sweep, survive
+//! snapshot → restore, and hold trusted posmap bytes ≥8× below the flat
+//! table with a snapshot bounded by trusted state rather than N. Writes
+//! the machine-readable report to `BENCH_capacity.json` (or
+//! `--out <path>`) and exits nonzero when the gate fails.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin capacity [-- --quick] [-- --out <path>]
+//! ```
+
+use bench::gates::{capacity_gate, gate_main};
+
+fn main() {
+    gate_main("BENCH_capacity.json", capacity_gate)
+}

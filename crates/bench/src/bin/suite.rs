@@ -1,6 +1,7 @@
 //! The consolidated CI bench suite: serving + I/O pipeline + sharding +
 //! the wall-clock parallel engine + durability/recovery + the oblivious
-//! block cache + chaos (failure hardening under fault injection).
+//! block cache + chaos (failure hardening under fault injection) +
+//! capacity (recursive position map at 16× scale).
 //!
 //! Runs every regression gate in sequence, merges their machine-readable
 //! reports into one `BENCH.json` (or `--out <path>`), and exits nonzero
@@ -20,8 +21,8 @@
 //! ```
 
 use bench::gates::{
-    baseline_regressions, cache_gate, chaos_gate, io_pipeline_gate, merge_outcomes, parallel_gate,
-    persistence_gate, serving_gate, sharding_gate, write_report,
+    baseline_regressions, cache_gate, capacity_gate, chaos_gate, io_pipeline_gate, merge_outcomes,
+    parallel_gate, persistence_gate, serving_gate, sharding_gate, write_report,
 };
 use bench::BenchArgs;
 
@@ -38,6 +39,7 @@ fn main() {
         persistence_gate(args.quick),
         cache_gate(args.quick),
         chaos_gate(args.quick),
+        capacity_gate(args.quick),
     ];
 
     let (report, mut pass) = merge_outcomes(&outcomes);

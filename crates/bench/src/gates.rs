@@ -1,6 +1,7 @@
 //! The CI bench gates — serving, I/O pipeline, sharding, wall-clock
-//! parallel engine, durability/recovery, oblivious block cache — as
-//! library functions.
+//! parallel engine, durability/recovery, oblivious block cache,
+//! fault-injection chaos, recursive-posmap capacity — as library
+//! functions.
 //!
 //! Each gate runs a deterministic simulated experiment, prints the
 //! human-readable comparison table, and returns a [`GateOutcome`]: a
@@ -115,6 +116,7 @@ pub fn trend_metrics(suite_report: &Value) -> Vec<(String, f64)> {
             "sharding" => &["io_speedup", "wall_speedup"],
             "cache" => &["io_speedup"],
             "chaos" => &["throughput_ratio"],
+            "capacity" => &["throughput_ratio", "trusted_shrink", "snapshot_shrink"],
             // `parallel` measures host wall-clock; `persistence` gates on
             // equality, not a ratio — neither belongs in the trend file.
             _ => &[],
@@ -1645,6 +1647,371 @@ mod chaos {
 /// only cost). The throughput ratio feeds the trend file.
 pub fn chaos_gate(quick: bool) -> GateOutcome {
     chaos::gate(quick)
+}
+
+// ------------------------------------------------------------ capacity
+
+mod capacity {
+    use super::*;
+    use horam::core::{PosmapMode, RecursivePosmapConfig};
+    use horam::protocols::types::BlockContent;
+    use horam::storage::calibration::MachineConfig;
+    use horam::storage::clock::SimTime;
+    use horam::storage::file::{scratch_dir, FileStoreConfig};
+    use horam::storage::trace::TraceEvent;
+
+    const SEED: u64 = 0xCA9;
+    /// Memory budget for the small parity leg: small enough that the
+    /// shared Zipf mix turns shuffle periods, so the recursive map's
+    /// rebuild path runs inside the comparison, not just steady serving.
+    const PARITY_MEMORY_SLOTS: u64 = 256;
+    /// The large leg runs at 16× the shared gate capacity — the largest
+    /// any other bench touches is `CAPACITY` (4096).
+    const LARGE_CAPACITY: u64 = 65_536;
+    const LARGE_MEMORY_SLOTS: u64 = 2_048;
+    /// Stride of the write/read-back sweep on the large engine (prime, so
+    /// the touched set spreads over every partition).
+    const LARGE_STRIDE: usize = 509;
+    /// At `LARGE_CAPACITY` the recursive map's trusted bytes must undercut
+    /// the flat table's by at least this factor.
+    const MIN_TRUSTED_SHRINK: f64 = 8.0;
+    /// Growing N by 16× may grow the recursive map's trusted bytes by at
+    /// most this factor (sublinearity: root is threshold-bounded, levels
+    /// grow logarithmically, caches are per-level constants).
+    const MAX_TRUSTED_GROWTH: f64 = 8.0;
+    /// With durable data and level devices, the recursive engine's
+    /// snapshot must undercut the flat engine's at the same N by at least
+    /// this factor (the flat snapshot carries the O(N) position table).
+    const MIN_SNAPSHOT_SHRINK: f64 = 2.0;
+    /// Simulated-throughput floor, recursive / flat at matched small N.
+    /// The recursive map's I/O lives on its own simulated devices and
+    /// never enters the engine clock, so the expected ratio is exactly
+    /// 1.0 — the floor only catches that invariant breaking.
+    const MIN_THROUGHPUT_RATIO: f64 = 0.99;
+
+    #[derive(Debug, Serialize)]
+    struct Report {
+        bench: &'static str,
+        requests: usize,
+        pass: bool,
+        // Small-N parity: flat vs recursive on the shared Zipf mix.
+        parity_capacity: u64,
+        responses_match: bool,
+        trace_match: bool,
+        stats_match: bool,
+        clock_match: bool,
+        throughput_flat_rps: f64,
+        throughput_recursive_rps: f64,
+        throughput_ratio: f64,
+        min_throughput_ratio: f64,
+        // Large-N demonstration: durable devices, recursive posmap.
+        large_capacity: u64,
+        capacity_factor: f64,
+        posmap_levels: usize,
+        large_roundtrip_ok: bool,
+        restore_roundtrip_ok: bool,
+        flat_trusted_bytes: u64,
+        recursive_trusted_bytes: u64,
+        trusted_shrink: f64,
+        min_trusted_shrink: f64,
+        recursive_small_trusted_bytes: u64,
+        trusted_growth: f64,
+        max_trusted_growth: f64,
+        flat_snapshot_bytes: usize,
+        recursive_snapshot_bytes: usize,
+        snapshot_shrink: f64,
+        min_snapshot_shrink: f64,
+    }
+
+    fn recursive_mode(backing: Option<&std::path::Path>) -> PosmapMode {
+        PosmapMode::Recursive(RecursivePosmapConfig {
+            backing_dir: backing.map(|p| p.to_string_lossy().into_owned()),
+            ..RecursivePosmapConfig::default()
+        })
+    }
+
+    fn parity_engine(posmap: PosmapMode) -> HOram {
+        let config = HOramConfig::new(CAPACITY, PAYLOAD_LEN, PARITY_MEMORY_SLOTS)
+            .with_seed(SEED)
+            .with_io_batch(16)
+            .with_posmap(posmap);
+        HOram::new(
+            config,
+            MemoryHierarchy::dac2019(),
+            MasterKey::from_bytes([0xCA; 32]),
+        )
+        .expect("parity engine builds")
+    }
+
+    fn large_config(posmap: PosmapMode) -> HOramConfig {
+        HOramConfig::new(LARGE_CAPACITY, PAYLOAD_LEN, LARGE_MEMORY_SLOTS)
+            .with_seed(SEED)
+            .with_io_batch(16)
+            .with_posmap(posmap)
+    }
+
+    fn large_hierarchy(config: &HOramConfig, path: &std::path::Path) -> MemoryHierarchy {
+        let slots = config.partition_count() * config.partition_slots();
+        let body = BlockContent::encoded_len(config.payload_len);
+        MemoryHierarchy::with_file_storage(
+            MachineConfig::dac2019(),
+            path,
+            FileStoreConfig::new(slots, body).with_write_back_slots(64),
+        )
+        .expect("file hierarchy builds")
+    }
+
+    fn large_engine(scratch: &std::path::Path, name: &str, posmap: PosmapMode) -> HOram {
+        let config = large_config(posmap);
+        let hierarchy = large_hierarchy(&config, &scratch.join(format!("{name}.horam")));
+        HOram::new(config, hierarchy, MasterKey::from_bytes([0xCB; 32]))
+            .expect("large engine builds")
+    }
+
+    fn trace_shape(events: &[TraceEvent]) -> Vec<(u16, u64, u64, u64)> {
+        events
+            .iter()
+            .map(|e| (e.device.0, e.addr, e.bytes, e.at.as_nanos()))
+            .collect()
+    }
+
+    /// The deterministic payload the large sweep writes to block `id`.
+    fn spot_payload(id: u64) -> Vec<u8> {
+        let mut payload = vec![0u8; PAYLOAD_LEN];
+        payload[..8].copy_from_slice(&id.to_le_bytes());
+        payload
+    }
+
+    fn spot_ids() -> Vec<u64> {
+        (0..LARGE_CAPACITY).step_by(LARGE_STRIDE).collect()
+    }
+
+    pub(super) fn gate(quick: bool) -> GateOutcome {
+        let mut requests = 6_000usize;
+        if quick {
+            requests /= 8;
+            println!("(--quick: scaled to 1/8)\n");
+        }
+        println!(
+            "Capacity — flat vs recursive position map at {CAPACITY} blocks \
+             ({requests} Zipf requests), then a durable recursive engine at \
+             {LARGE_CAPACITY} blocks ({}× the largest other bench)\n",
+            LARGE_CAPACITY / CAPACITY
+        );
+
+        let scratch = scratch_dir("bench-capacity");
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(&scratch, requests)));
+        let _ = std::fs::remove_dir_all(&scratch);
+        match result {
+            Ok(outcome) => outcome,
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    }
+
+    fn run(scratch: &std::path::Path, requests: usize) -> GateOutcome {
+        // Leg 1 — parity at matched small N: the posmap mode must be
+        // invisible on the data ORAM. Responses, the full bus trace
+        // (addresses *and* timestamps), protocol counters, and the
+        // simulated clock must all be byte-identical.
+        let trace = zipf_schedule(requests, SEED).to_trace().requests;
+
+        let mut flat = parity_engine(PosmapMode::Flat);
+        let flat_responses = flat.run_batch(&trace).expect("flat parity run");
+        let flat_trace = trace_shape(&flat.trace().snapshot());
+        let flat_stats = flat.stats();
+        assert!(
+            flat_stats.shuffles >= 1,
+            "parity leg must cross a shuffle period"
+        );
+
+        let mut recursive = parity_engine(recursive_mode(None));
+        let recursive_responses = recursive.run_batch(&trace).expect("recursive parity run");
+        let recursive_trace = trace_shape(&recursive.trace().snapshot());
+        let recursive_stats = recursive.stats();
+
+        let responses_match = recursive_responses == flat_responses;
+        let trace_match = recursive_trace == flat_trace;
+        let stats_match = recursive_stats == flat_stats;
+        let clock_match = recursive.clock().now() == flat.clock().now();
+        let flat_elapsed = flat.clock().now().duration_since(SimTime::ZERO);
+        let recursive_elapsed = recursive.clock().now().duration_since(SimTime::ZERO);
+        let throughput_flat_rps = throughput(requests, flat_elapsed);
+        let throughput_recursive_rps = throughput(requests, recursive_elapsed);
+        let throughput_ratio = if throughput_flat_rps > 0.0 {
+            throughput_recursive_rps / throughput_flat_rps
+        } else {
+            0.0
+        };
+        let recursive_small_trusted_bytes = recursive.posmap().memory_bytes();
+
+        // Leg 2 — the large engine: durable data device + file-backed
+        // posmap levels, write/read-back sweep, snapshot, restore.
+        let ids = spot_ids();
+        let posmap_dir = scratch.join("posmap");
+        let mut large = large_engine(scratch, "recursive", recursive_mode(Some(&posmap_dir)));
+        let writes: Vec<Request> = ids
+            .iter()
+            .map(|&id| Request::write(id, spot_payload(id)))
+            .collect();
+        large.run_batch(&writes).expect("large writes");
+        let reads: Vec<Request> = ids.iter().map(|&id| Request::read(id)).collect();
+        let read_back = large.run_batch(&reads).expect("large reads");
+        let large_roundtrip_ok = ids
+            .iter()
+            .zip(&read_back)
+            .all(|(&id, got)| *got == spot_payload(id));
+        let recursive_trusted_bytes = large.posmap().memory_bytes();
+        let posmap_levels = large.posmap().level_views().len();
+        let snapshot = large.snapshot().expect("large snapshot");
+        let recursive_snapshot_bytes = snapshot.len();
+        drop(large);
+
+        // Restore from the snapshot + device files and re-verify a few
+        // spot blocks: the PR-5 durability stack at 16× scale.
+        let restore_hierarchy = large_hierarchy(
+            &large_config(PosmapMode::Flat),
+            &scratch.join("recursive.horam"),
+        );
+        let mut restored = HOram::restore(
+            restore_hierarchy,
+            MasterKey::from_bytes([0xCB; 32]),
+            &snapshot,
+        )
+        .expect("large restore");
+        let spot_checks: Vec<Request> = ids
+            .iter()
+            .step_by(16)
+            .map(|&id| Request::read(id))
+            .collect();
+        let spot_responses = restored.run_batch(&spot_checks).expect("restored reads");
+        let restore_roundtrip_ok = ids
+            .iter()
+            .step_by(16)
+            .zip(&spot_responses)
+            .all(|(&id, got)| *got == spot_payload(id));
+        drop(restored);
+
+        // The flat yardstick at the same N, same durable device, same
+        // sweep: its snapshot embeds the O(N) position table.
+        let mut flat_large = large_engine(scratch, "flat", PosmapMode::Flat);
+        flat_large.run_batch(&writes).expect("flat large writes");
+        let flat_trusted_bytes = flat_large.posmap().memory_bytes();
+        let flat_snapshot_bytes = flat_large.snapshot().expect("flat snapshot").len();
+        drop(flat_large);
+
+        let trusted_shrink = flat_trusted_bytes as f64 / recursive_trusted_bytes.max(1) as f64;
+        let trusted_growth =
+            recursive_trusted_bytes as f64 / recursive_small_trusted_bytes.max(1) as f64;
+        let snapshot_shrink = flat_snapshot_bytes as f64 / recursive_snapshot_bytes.max(1) as f64;
+
+        let parity_ok = responses_match && trace_match && stats_match && clock_match;
+        let pass = parity_ok
+            && throughput_ratio >= MIN_THROUGHPUT_RATIO
+            && large_roundtrip_ok
+            && restore_roundtrip_ok
+            && trusted_shrink >= MIN_TRUSTED_SHRINK
+            && trusted_growth <= MAX_TRUSTED_GROWTH
+            && snapshot_shrink >= MIN_SNAPSHOT_SHRINK;
+
+        let mut table = Table::new(vec![
+            "engine",
+            "blocks",
+            "trusted posmap bytes",
+            "snapshot bytes",
+        ]);
+        table.row(vec![
+            "flat".into(),
+            format!("{LARGE_CAPACITY}"),
+            format!("{flat_trusted_bytes}"),
+            format!("{flat_snapshot_bytes}"),
+        ]);
+        table.row(vec![
+            format!("recursive ({posmap_levels} levels)"),
+            format!("{LARGE_CAPACITY}"),
+            format!("{recursive_trusted_bytes}"),
+            format!("{recursive_snapshot_bytes}"),
+        ]);
+        table.row(vec![
+            "recursive".into(),
+            format!("{CAPACITY}"),
+            format!("{recursive_small_trusted_bytes}"),
+            "n/a".into(),
+        ]);
+        println!("{table}");
+        println!(
+            "parity at {CAPACITY} blocks — responses: {responses_match}, \
+             trace(+timestamps): {trace_match}, stats: {stats_match}, clock: {clock_match}; \
+             simulated throughput ratio {throughput_ratio:.3} (floor {MIN_THROUGHPUT_RATIO:.2})"
+        );
+        println!(
+            "large leg — {} spot blocks round-trip: {large_roundtrip_ok}; \
+             restore round-trip: {restore_roundtrip_ok}",
+            ids.len()
+        );
+        println!(
+            "trusted bytes shrink {trusted_shrink:.1}× (floor {MIN_TRUSTED_SHRINK:.0}×); \
+             growth over 16× N: {trusted_growth:.2}× (ceiling {MAX_TRUSTED_GROWTH:.0}×); \
+             snapshot shrink {snapshot_shrink:.1}× (floor {MIN_SNAPSHOT_SHRINK:.0}×)"
+        );
+        if pass {
+            println!(
+                "OK: recursive map is invisible on the data bus and holds O(log N) \
+                 trusted bytes at {LARGE_CAPACITY} blocks.\n"
+            );
+        } else {
+            println!("REGRESSION: capacity gate failed.\n");
+        }
+
+        let report = Report {
+            bench: "capacity",
+            requests,
+            pass,
+            parity_capacity: CAPACITY,
+            responses_match,
+            trace_match,
+            stats_match,
+            clock_match,
+            throughput_flat_rps,
+            throughput_recursive_rps,
+            throughput_ratio,
+            min_throughput_ratio: MIN_THROUGHPUT_RATIO,
+            large_capacity: LARGE_CAPACITY,
+            capacity_factor: LARGE_CAPACITY as f64 / CAPACITY as f64,
+            posmap_levels,
+            large_roundtrip_ok,
+            restore_roundtrip_ok,
+            flat_trusted_bytes,
+            recursive_trusted_bytes,
+            trusted_shrink,
+            min_trusted_shrink: MIN_TRUSTED_SHRINK,
+            recursive_small_trusted_bytes,
+            trusted_growth,
+            max_trusted_growth: MAX_TRUSTED_GROWTH,
+            flat_snapshot_bytes,
+            recursive_snapshot_bytes,
+            snapshot_shrink,
+            min_snapshot_shrink: MIN_SNAPSHOT_SHRINK,
+        };
+        GateOutcome {
+            name: "capacity",
+            pass,
+            report: report.to_value(),
+        }
+    }
+}
+
+/// The capacity gate: prove the recursive position map changes the
+/// engine's trusted-memory scaling and nothing else. A flat-vs-recursive
+/// run at the shared small capacity must be byte-identical (responses,
+/// full bus trace, statistics, simulated clock); a durable recursive
+/// engine at 16× the largest other bench capacity must round-trip a
+/// write/read-back sweep, survive snapshot → restore, and hold trusted
+/// posmap bytes ≥8× below the flat table with a snapshot bounded by
+/// trusted state rather than N. The simulated throughput ratio (expected
+/// exactly 1.0) feeds the trend file.
+pub fn capacity_gate(quick: bool) -> GateOutcome {
+    capacity::gate(quick)
 }
 
 #[cfg(test)]

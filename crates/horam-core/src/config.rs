@@ -100,8 +100,124 @@ pub struct HOramConfig {
     /// shape are byte-identical cache-on vs. cache-off (see
     /// `oram_storage::cache` and `docs/ARCHITECTURE.md` §10).
     pub cache: Option<oram_storage::cache::CacheConfig>,
+    /// Position-map implementation: flat in-RAM tables (the default) or
+    /// the recursive O(log N)-trusted-memory variant (see
+    /// [`crate::posmap`] and `docs/ARCHITECTURE.md` §12). The choice is
+    /// invisible on the data ORAM's bus: responses, storage traces, and
+    /// simulated time are byte-identical either way.
+    pub posmap: PosmapMode,
     /// Master seed for all protocol randomness (fully replayable runs).
     pub seed: u64,
+}
+
+/// Which position-map implementation the engine builds.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum PosmapMode {
+    /// Both per-block tables as plain vectors in trusted memory: O(N)
+    /// trusted bytes, zero per-query overhead. The seed behaviour.
+    #[default]
+    Flat,
+    /// Path ORAM-style recursion: position entries packed into pages and
+    /// stored in progressively smaller ORAMs, O(log N) steady-state
+    /// trusted bytes.
+    Recursive(RecursivePosmapConfig),
+}
+
+/// Sizing knobs for the recursive position map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecursivePosmapConfig {
+    /// Position entries packed per page. `None` derives it: 32, or from
+    /// [`levels`](Self::levels) when that is set. Must be ≥ 2 when given.
+    pub fanout: Option<u64>,
+    /// Target number of recursion levels. `None` (the default) recurses
+    /// until a level fits under [`root_threshold`](Self::root_threshold);
+    /// `Some(k)` instead solves for the fanout that reaches the threshold
+    /// in `k` levels.
+    pub levels: Option<u32>,
+    /// Recursion stops once a level has at most this many pages; their
+    /// leaf labels form the flat trusted root. Default 64.
+    pub root_threshold: u64,
+    /// Pinned page-cache budget per level, in pages (≥ 1). Trusted memory
+    /// per level is `cache_pages + stash` pages. Default 8.
+    pub cache_pages: usize,
+    /// Directory for file-backed level devices. `None` keeps levels in
+    /// volatile stores (snapshots then embed the level blocks); `Some`
+    /// persists them like the data device, shrinking snapshots to the
+    /// trusted state. Sharded configs append `shard-{i}/` per shard.
+    pub backing_dir: Option<String>,
+}
+
+impl Default for RecursivePosmapConfig {
+    fn default() -> Self {
+        Self {
+            fanout: None,
+            levels: None,
+            root_threshold: 64,
+            cache_pages: 8,
+            backing_dir: None,
+        }
+    }
+}
+
+impl RecursivePosmapConfig {
+    /// The fanout actually used for a table of `entries` entries:
+    /// explicit [`fanout`](Self::fanout) wins; otherwise a
+    /// [`levels`](Self::levels) target solves `⌈(entries/threshold)^(1/k)⌉`
+    /// (clamped to ≥ 2); otherwise 32.
+    pub fn effective_fanout(&self, entries: u64) -> u64 {
+        if let Some(fanout) = self.fanout {
+            return fanout.max(2);
+        }
+        let Some(levels) = self.levels else {
+            return 32;
+        };
+        let ratio = entries.max(1) as f64 / self.root_threshold.max(1) as f64;
+        let mut fanout = (ratio.powf(1.0 / levels as f64).ceil() as u64).max(2);
+        // Float round-off can leave the estimate one level short or long;
+        // fix up against the actual level count.
+        while fanout > 2 && count_levels(entries, fanout - 1, self.root_threshold) <= levels {
+            fanout -= 1;
+        }
+        while count_levels(entries, fanout, self.root_threshold) > levels {
+            fanout += 1;
+        }
+        fanout
+    }
+
+    /// Validates the knobs (called from [`HOramConfig::validate`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a fanout below 2, a zero cache budget, a zero root
+    /// threshold, or a zero level target.
+    pub fn validate(&self) {
+        if let Some(fanout) = self.fanout {
+            assert!(fanout >= 2, "posmap fanout must be at least 2");
+        }
+        if let Some(levels) = self.levels {
+            assert!(levels >= 1, "posmap levels must be at least 1");
+        }
+        assert!(
+            self.root_threshold >= 1,
+            "posmap root threshold must be at least 1"
+        );
+        assert!(
+            self.cache_pages >= 1,
+            "posmap cache budget must be at least 1 page"
+        );
+    }
+}
+
+/// Levels a recursion over `entries` entries needs at `fanout` before
+/// fitting under `root_threshold` pages.
+fn count_levels(entries: u64, fanout: u64, root_threshold: u64) -> u32 {
+    let mut pages = entries.div_ceil(fanout.max(2)).max(1);
+    let mut levels = 1;
+    while pages > root_threshold {
+        pages = pages.div_ceil(fanout.max(2));
+        levels += 1;
+    }
+    levels
 }
 
 impl HOramConfig {
@@ -123,6 +239,7 @@ impl HOramConfig {
             worker_threads: default_worker_threads(),
             partition_headroom: 1.10,
             cache: None,
+            posmap: PosmapMode::Flat,
             seed: DEFAULT_SEED,
         }
     }
@@ -237,6 +354,33 @@ impl HOramConfig {
         self
     }
 
+    /// Switches to the recursive position map: `levels` is a target level
+    /// count (`None` = auto-recurse to the default root threshold),
+    /// `cache_pages` the pinned page budget per level. For full control
+    /// (fanout, root threshold, file backing) use
+    /// [`with_posmap`](Self::with_posmap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache_pages` is zero or `levels` is `Some(0)`.
+    pub fn with_recursive_posmap(mut self, levels: Option<u32>, cache_pages: usize) -> Self {
+        let rcfg = RecursivePosmapConfig {
+            levels,
+            cache_pages,
+            ..RecursivePosmapConfig::default()
+        };
+        rcfg.validate();
+        self.posmap = PosmapMode::Recursive(rcfg);
+        self
+    }
+
+    /// Replaces the position-map mode wholesale (see
+    /// [`posmap`](Self::posmap)).
+    pub fn with_posmap(mut self, posmap: PosmapMode) -> Self {
+        self.posmap = posmap;
+        self
+    }
+
     /// Validates cross-field constraints. Called by `HOram::new`.
     ///
     /// # Panics
@@ -264,6 +408,9 @@ impl HOramConfig {
         );
         if let Some(cache) = &self.cache {
             cache.validate();
+        }
+        if let PosmapMode::Recursive(rcfg) = &self.posmap {
+            rcfg.validate();
         }
         assert!(
             self.partition_headroom >= 1.0,
@@ -444,5 +591,43 @@ mod tests {
     #[should_panic(expected = "ratio must be in")]
     fn partial_ratio_validated() {
         HOramConfig::new(1024, 64, 256).with_partial_shuffle(0.0);
+    }
+
+    #[test]
+    fn posmap_defaults_to_flat() {
+        let config = HOramConfig::new(1024, 64, 256);
+        assert_eq!(config.posmap, PosmapMode::Flat);
+        config.validate();
+    }
+
+    #[test]
+    fn recursive_posmap_builder() {
+        let config = HOramConfig::new(1 << 16, 64, 1 << 10).with_recursive_posmap(None, 4);
+        config.validate();
+        let PosmapMode::Recursive(rcfg) = &config.posmap else {
+            panic!("expected recursive mode");
+        };
+        assert_eq!(rcfg.cache_pages, 4);
+        assert_eq!(rcfg.effective_fanout(1 << 16), 32);
+    }
+
+    #[test]
+    fn level_target_solves_fanout() {
+        let rcfg = RecursivePosmapConfig {
+            levels: Some(2),
+            ..RecursivePosmapConfig::default()
+        };
+        let fanout = rcfg.effective_fanout(1 << 20);
+        assert_eq!(count_levels(1 << 20, fanout, rcfg.root_threshold), 2);
+        // And the next smaller fanout would need more levels.
+        assert!(count_levels(1 << 20, fanout - 1, rcfg.root_threshold) > 2);
+        // Degenerate tiny tables still work.
+        assert!(rcfg.effective_fanout(4) >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cache budget must be at least 1")]
+    fn zero_posmap_cache_rejected() {
+        let _ = HOramConfig::new(1024, 64, 256).with_recursive_posmap(None, 0);
     }
 }

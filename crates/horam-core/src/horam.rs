@@ -97,10 +97,12 @@ impl HOram {
         } = hierarchy;
 
         let memory = Self::build_memory_layer(&config, memory_device, &master)?;
+        let posmap = crate::posmap::build_posmap(&config, &master, false)?;
         let storage = StorageLayer::new(
             &config,
             storage_device,
             KeyHierarchy::new(master.clone(), "horam/storage"),
+            posmap,
         )?;
 
         let seed_prf = Prf::new(master.derive("horam/seeds", 0).prf().to_owned());
@@ -179,6 +181,7 @@ impl HOram {
             .device_mut()
             .sync()
             .map_err(OramError::Storage)?;
+        self.storage.posmap_mut().sync()?;
 
         let mut w = StateWriter::new();
         persist::save_config(&self.config, &mut w);
@@ -240,10 +243,12 @@ impl HOram {
         queue.load_state(&mut r)?;
         let mut memory = Self::build_memory_layer(&config, memory_device, &master)?;
         memory.load_state(&mut r)?;
+        let posmap = crate::posmap::build_posmap(&config, &master, true)?;
         let storage = StorageLayer::restore(
             &config,
             storage_device,
             KeyHierarchy::new(master.clone(), "horam/storage"),
+            posmap,
             &mut r,
         )?;
         r.finish()?;
@@ -316,6 +321,13 @@ impl HOram {
         self.memory.stash_peak()
     }
 
+    /// The position map (control-layer view): trusted-byte accounting,
+    /// activity counters, and — on the recursive variant — per-level
+    /// oblivious traces.
+    pub fn posmap(&self) -> &dyn crate::posmap::PositionMap {
+        self.storage.posmap()
+    }
+
     /// Total storage footprint in bytes (for the paper's size rows).
     pub fn storage_bytes(&self) -> u64 {
         self.storage
@@ -357,6 +369,7 @@ impl HOram {
     pub fn reset_accounting(&mut self) {
         self.memory.device_mut().reset_accounting();
         self.storage.device_mut().reset_accounting();
+        self.storage.posmap_mut().reset_accounting();
         self.trace.clear();
         self.clock.reset();
         self.stats = HOramStats::default();
@@ -495,7 +508,7 @@ impl HOram {
                 break;
             }
             let c = self.config.stage_c(self.io_used_in_period + offset);
-            let storage = &self.storage;
+            let storage = &mut self.storage;
             let plan: CyclePlan = self.queue.plan(c, d, |id| storage.is_in_memory(id));
             self.storage.plan_io(match plan.miss_block {
                 Some(id) => LoadPlan::Miss(id),
@@ -972,7 +985,7 @@ mod tests {
                 let mut oram = build(256, 64);
                 for id in ids {
                     oram.read(BlockId(id)).expect("read");
-                    let resident = oram.storage.locations().in_memory_count();
+                    let resident = oram.storage.posmap().in_memory_count();
                     prop_assert!(
                         resident <= oram.config.period_io_limit() + oram.config().memory_slots,
                         "resident {} beyond budget",

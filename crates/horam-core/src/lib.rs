@@ -14,6 +14,7 @@
 //! |---|---|
 //! | configuration & stage schedule (§4.2) | [`config`] |
 //! | permutation list (§4.1) | [`permutation_list`] |
+//! | position map (flat + recursive, beyond the paper) | [`posmap`] |
 //! | request admission queue + tickets | [`queue`] |
 //! | ROB table (§4.1) | [`rob`] |
 //! | secure scheduler with prefetch (§4.2, Fig. 4-2) | [`scheduler`] |
@@ -43,6 +44,7 @@ pub mod multi_user;
 pub mod permutation_list;
 pub mod persist;
 pub mod pool;
+pub mod posmap;
 pub mod queue;
 pub mod rob;
 pub mod scheduler;
@@ -51,7 +53,7 @@ pub mod stats;
 pub mod storage_layer;
 
 pub use access_control::{AccessControl, AccessDenied, Permission};
-pub use config::{HOramConfig, StagePlan};
+pub use config::{HOramConfig, PosmapMode, RecursivePosmapConfig, StagePlan};
 pub use engine::OramEngine;
 pub use error::HOramError;
 pub use evict::{oblivious_tree_evict, EvictOutcome};
@@ -59,6 +61,9 @@ pub use horam::HOram;
 pub use multi_user::{run_multi_user, MultiUserReport, UserId};
 pub use permutation_list::{Location, PermutationList};
 pub use pool::WorkerPool;
+pub use posmap::{
+    build_posmap, FlatPositionMap, PositionMap, PosmapLevelView, PosmapStats, RecursivePositionMap,
+};
 pub use queue::RequestQueue;
 pub use rob::{RobEntry, RobTable};
 pub use scheduler::{plan_cycle, CyclePlan};

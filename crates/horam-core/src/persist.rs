@@ -28,7 +28,7 @@
 //! nonce derivation, and the [`HOramConfig`] codec (a snapshot embeds
 //! its configuration so restore can validate geometry).
 
-use crate::config::{HOramConfig, StagePlan};
+use crate::config::{HOramConfig, PosmapMode, RecursivePosmapConfig, StagePlan};
 use oram_crypto::persist::{PersistError, StateReader, StateWriter};
 use oram_shuffle::ShuffleAlgorithm;
 use oram_storage::cache::{CacheConfig, CachePolicy, MidTierConfig};
@@ -112,7 +112,57 @@ pub fn save_config(config: &HOramConfig, w: &mut StateWriter) {
     w.put_usize(config.worker_threads);
     w.put_f64(config.partition_headroom);
     save_cache_config(config.cache.as_ref(), w);
+    save_posmap_mode(&config.posmap, w);
     w.put_u64(config.seed);
+}
+
+fn save_posmap_mode(posmap: &PosmapMode, w: &mut StateWriter) {
+    let PosmapMode::Recursive(rcfg) = posmap else {
+        w.put_bool(false);
+        return;
+    };
+    w.put_bool(true);
+    w.put_opt_u64(rcfg.fanout);
+    w.put_opt_u64(rcfg.levels.map(u64::from));
+    w.put_u64(rcfg.root_threshold);
+    w.put_usize(rcfg.cache_pages);
+    match &rcfg.backing_dir {
+        None => w.put_bool(false),
+        Some(dir) => {
+            w.put_bool(true);
+            w.put_bytes(dir.as_bytes());
+        }
+    }
+}
+
+fn load_posmap_mode(r: &mut StateReader<'_>) -> Result<PosmapMode, PersistError> {
+    if !r.get_bool()? {
+        return Ok(PosmapMode::Flat);
+    }
+    let fanout = r.get_opt_u64()?;
+    let levels = match r.get_opt_u64()? {
+        None => None,
+        Some(levels) => Some(
+            u32::try_from(levels)
+                .map_err(|_| PersistError::Malformed(format!("posmap levels {levels}")))?,
+        ),
+    };
+    let root_threshold = r.get_u64()?;
+    let cache_pages = r.get_usize()?;
+    let backing_dir = if r.get_bool()? {
+        let dir = String::from_utf8(r.get_bytes()?.to_vec())
+            .map_err(|_| PersistError::Malformed("posmap backing dir not UTF-8".into()))?;
+        Some(dir)
+    } else {
+        None
+    };
+    Ok(PosmapMode::Recursive(RecursivePosmapConfig {
+        fanout,
+        levels,
+        root_threshold,
+        cache_pages,
+        backing_dir,
+    }))
 }
 
 fn save_cache_config(cache: Option<&CacheConfig>, w: &mut StateWriter) {
@@ -225,6 +275,7 @@ pub fn load_config(r: &mut StateReader<'_>) -> Result<HOramConfig, PersistError>
     let worker_threads = r.get_usize()?;
     let partition_headroom = r.get_f64()?;
     let cache = load_cache_config(r)?;
+    let posmap = load_posmap_mode(r)?;
     let seed = r.get_u64()?;
     Ok(HOramConfig {
         capacity,
@@ -241,6 +292,7 @@ pub fn load_config(r: &mut StateReader<'_>) -> Result<HOramConfig, PersistError>
         worker_threads,
         partition_headroom,
         cache,
+        posmap,
         seed,
     })
 }
@@ -272,6 +324,26 @@ mod tests {
         cache.mid.as_mut().unwrap().file = Some("/tmp/mid.dat".into());
         cache.mid.as_mut().unwrap().file_slot_bytes = 96;
         let config = HOramConfig::new(4096, 16, 1024).with_cache(cache);
+        let mut w = StateWriter::new();
+        save_config(&config, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = StateReader::new(&bytes);
+        let back = load_config(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(config, back);
+    }
+
+    #[test]
+    fn recursive_posmap_config_roundtrips_exactly() {
+        let config = HOramConfig::new(1 << 14, 32, 512).with_posmap(PosmapMode::Recursive(
+            RecursivePosmapConfig {
+                fanout: Some(16),
+                levels: Some(2),
+                root_threshold: 32,
+                cache_pages: 4,
+                backing_dir: Some("/tmp/posmap".into()),
+            },
+        ));
         let mut w = StateWriter::new();
         save_config(&config, &mut w);
         let bytes = w.into_bytes();

@@ -145,6 +145,13 @@ impl ShardedConfig {
         // oversubscribe the same cores). A standalone instance keeps the
         // base thread count and parallelizes its shuffle stream instead.
         config.worker_threads = 1;
+        // A durable recursive position map gets a per-shard subdirectory
+        // so the shards' level files never collide.
+        if let crate::config::PosmapMode::Recursive(rcfg) = &mut config.posmap {
+            if let Some(dir) = &rcfg.backing_dir {
+                rcfg.backing_dir = Some(format!("{dir}/shard-{shard}"));
+            }
+        }
         config
     }
 }

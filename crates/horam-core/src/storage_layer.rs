@@ -44,8 +44,9 @@
 //!   keys, so ciphertexts cannot be correlated across periods.
 
 use crate::config::HOramConfig;
-use crate::permutation_list::{Location, PermutationList};
+use crate::permutation_list::Location;
 use crate::pool::WorkerPool;
+use crate::posmap::PositionMap;
 use oram_crypto::keys::KeyHierarchy;
 use oram_crypto::pool::BufferPool;
 use oram_crypto::prf::Prf;
@@ -310,13 +311,16 @@ pub struct StorageLayer {
     sealer: BlockSealer,
     epoch: u64,
     seal_seq: u64,
-    /// Logical-block locations (shared view with the control layer).
-    locations: PermutationList,
-    /// Per-slot ownership: `Some(id)` while the slot holds the *current*
-    /// copy of block `id` (fetching clears it; stale ciphertext remains).
-    /// This is the inverse of [`PermutationList`] plus liveness, kept so
-    /// batch planning can resolve prefetches without device I/O.
-    owners: Vec<Option<BlockId>>,
+    /// The position map: logical-block locations plus the slot→owner
+    /// inverse (`Some(id)` while a slot holds the *current* copy of block
+    /// `id`; fetching clears it, stale ciphertext remains). Flat table or
+    /// recursive ORAM per [`crate::config::PosmapMode`] — built by the
+    /// engine via [`crate::posmap::build_posmap`].
+    posmap: Box<dyn PositionMap>,
+    /// First position-map failure observed by the infallible scheduler
+    /// hit test, deferred to the next [`plan_io`](Self::plan_io) call
+    /// (position-map errors are instance-fatal either way).
+    posmap_error: Option<OramError>,
     /// Per-partition live-block counts, maintained incrementally so
     /// rebuild capacity checks are O(1) per partition instead of a scan.
     partition_live: Vec<u64>,
@@ -362,6 +366,8 @@ pub struct StorageLayer {
 impl StorageLayer {
     /// Builds the layer and installs the initial permuted layout of all
     /// `N` zero-filled blocks (construction charge is reset by the caller).
+    /// `posmap` must match the config's geometry — the engine builds it
+    /// with [`crate::posmap::build_posmap`].
     ///
     /// # Errors
     ///
@@ -370,6 +376,7 @@ impl StorageLayer {
         config: &HOramConfig,
         mut device: Device,
         keys: KeyHierarchy,
+        posmap: Box<dyn PositionMap>,
     ) -> Result<Self, OramError> {
         // A cache chosen at the engine level overrides whatever the
         // machine description installed; `None` leaves the machine's
@@ -380,6 +387,8 @@ impl StorageLayer {
         let partition_count = config.partition_count();
         let partition_slots = config.partition_slots();
         let total_slots = partition_count * partition_slots;
+        debug_assert_eq!(posmap.capacity(), config.capacity);
+        debug_assert_eq!(posmap.total_slots(), total_slots);
         let epoch = 0;
         let sealer = BlockSealer::new(&keys.epoch_keys(epoch));
         let dummy_prf = Prf::new(*keys.epoch_keys(0).prf());
@@ -389,8 +398,8 @@ impl StorageLayer {
             sealer,
             epoch,
             seal_seq: 0,
-            locations: PermutationList::new(config.capacity),
-            owners: vec![None; total_slots as usize],
+            posmap,
+            posmap_error: None,
             partition_live: vec![0; partition_count as usize],
             touched: vec![false; total_slots as usize],
             dummy_prp: FeistelPrp::new([0u8; 16], total_slots)?,
@@ -430,9 +439,15 @@ impl StorageLayer {
         self.total_slots() * block_bytes
     }
 
-    /// The location table (control-layer view).
-    pub fn locations(&self) -> &PermutationList {
-        &self.locations
+    /// The position map (control-layer view).
+    pub fn posmap(&self) -> &dyn PositionMap {
+        self.posmap.as_ref()
+    }
+
+    /// Mutable position map access (lookups on the recursive variant walk
+    /// its level ORAMs, so even reads need `&mut`).
+    pub fn posmap_mut(&mut self) -> &mut dyn PositionMap {
+        self.posmap.as_mut()
     }
 
     /// Current key epoch.
@@ -457,9 +472,21 @@ impl StorageLayer {
         self.device.cache_stats()
     }
 
-    /// Whether the scheduler should treat `id` as a memory hit.
-    pub fn is_in_memory(&self, id: BlockId) -> bool {
-        self.locations.is_hit(id)
+    /// Whether the scheduler should treat `id` as a memory hit. The hit
+    /// test is infallible by contract; a position-map failure (possible on
+    /// the recursive variant) answers `false` and is re-raised by the next
+    /// [`plan_io`](Self::plan_io) — the error is instance-fatal, deferral
+    /// only moves where it surfaces.
+    pub fn is_in_memory(&mut self, id: BlockId) -> bool {
+        match self.posmap.is_in_memory(id) {
+            Ok(hit) => hit,
+            Err(error) => {
+                if self.posmap_error.is_none() {
+                    self.posmap_error = Some(error);
+                }
+                false
+            }
+        }
     }
 
     /// Dataset size `N` in blocks.
@@ -476,23 +503,22 @@ impl StorageLayer {
         self.device.stats().delta_since(before)
     }
 
-    /// Marks `slot` as holding the current copy of `id`.
-    fn set_owner(&mut self, slot: u64, id: BlockId) {
-        debug_assert!(
-            self.owners[slot as usize].is_none(),
-            "slot {slot} doubly owned"
-        );
-        self.owners[slot as usize] = Some(id);
+    /// Places `id` at `slot` in the position map and bumps the partition
+    /// live count.
+    fn place_tracked(&mut self, id: BlockId, slot: u64) -> Result<(), OramError> {
+        self.posmap.place(id, slot)?;
         self.partition_live[(slot / self.partition_slots) as usize] += 1;
+        Ok(())
     }
 
-    /// Clears `slot`'s ownership, returning the block it held (if live).
-    fn clear_owner(&mut self, slot: u64) -> Option<BlockId> {
-        let owner = self.owners[slot as usize].take();
+    /// Clears `slot`'s ownership, returning the block it held (if live)
+    /// and keeping the partition live count in step.
+    fn take_owner_tracked(&mut self, slot: u64) -> Result<Option<BlockId>, OramError> {
+        let owner = self.posmap.take_owner(slot)?;
         if owner.is_some() {
             self.partition_live[(slot / self.partition_slots) as usize] -= 1;
         }
-        owner
+        Ok(owner)
     }
 
     /// The next untouched slot of the period's PRP dummy order, walking
@@ -556,10 +582,10 @@ impl StorageLayer {
         w.put_u64(self.partial_window_start);
         w.put_u64(self.dummy_cursor);
         w.put_bytes(&self.dummy_key);
-        self.locations.save_state(w);
-        w.put_usize(self.owners.len());
-        for owner in &self.owners {
-            w.put_opt_u64(owner.map(|id| id.0));
+        self.posmap.save_state(w)?;
+        w.put_usize(self.partition_live.len());
+        for &live in &self.partition_live {
+            w.put_u64(live);
         }
         w.put_usize(self.touched.len());
         for &touched in &self.touched {
@@ -572,7 +598,10 @@ impl StorageLayer {
     /// layout: derived structures (keys, sealers, pools) are constructed
     /// exactly as [`new`](Self::new) does, mutable state comes from the
     /// snapshot, and the device's stored blocks come from the snapshot
-    /// (volatile store) or from the device's own durable file.
+    /// (volatile store) or from the device's own durable file. `posmap`
+    /// must be freshly built in restore mode
+    /// ([`crate::posmap::build_posmap`] with `restore = true`) — its
+    /// state loads from the snapshot here.
     ///
     /// # Errors
     ///
@@ -582,6 +611,7 @@ impl StorageLayer {
         config: &HOramConfig,
         mut device: Device,
         keys: KeyHierarchy,
+        mut posmap: Box<dyn PositionMap>,
         r: &mut oram_crypto::persist::StateReader<'_>,
     ) -> Result<Self, OramError> {
         let partition_count = config.partition_count();
@@ -599,22 +629,18 @@ impl StorageLayer {
             .map_err(|_| OramError::SnapshotInvalid {
                 reason: "dummy-order key is not 16 bytes".into(),
             })?;
-        let mut locations = PermutationList::new(config.capacity);
-        locations.load_state(r)?;
-        let owner_count = r.get_usize()?;
-        if owner_count != total_slots {
+        posmap.load_state(r)?;
+        let live_count = r.get_usize()?;
+        if live_count != partition_count as usize {
             return Err(OramError::SnapshotInvalid {
-                reason: format!("{owner_count} slot owners for {total_slots} slots"),
+                reason: format!(
+                    "{live_count} partition live counts for {partition_count} partitions"
+                ),
             });
         }
-        let mut owners = Vec::with_capacity(total_slots);
-        let mut partition_live = vec![0u64; partition_count as usize];
-        for slot in 0..total_slots {
-            let owner = r.get_opt_u64()?.map(BlockId);
-            if owner.is_some() {
-                partition_live[slot / partition_slots as usize] += 1;
-            }
-            owners.push(owner);
+        let mut partition_live = Vec::with_capacity(partition_count as usize);
+        for _ in 0..partition_count {
+            partition_live.push(r.get_u64()?);
         }
         let touched_count = r.get_usize()?;
         if touched_count != total_slots {
@@ -643,8 +669,8 @@ impl StorageLayer {
             sealer,
             epoch,
             seal_seq,
-            locations,
-            owners,
+            posmap,
+            posmap_error: None,
             partition_live,
             touched,
             dummy_prp: FeistelPrp::new(dummy_key, (total_slots as u64).max(1))?,
@@ -680,9 +706,14 @@ impl StorageLayer {
     /// instance's control state is damaged: fail-stop, quarantine, restore
     /// from a checkpoint.
     pub fn plan_io(&mut self, plan: LoadPlan) -> Result<(), OramError> {
+        // A position-map failure swallowed by the infallible hit test
+        // surfaces here, before any further control-state transitions.
+        if let Some(error) = self.posmap_error.take() {
+            return Err(error);
+        }
         let planned = match plan {
             LoadPlan::Miss(id) => {
-                let Location::Storage { slot } = self.locations.location(id) else {
+                let Location::Storage { slot } = self.posmap.location(id)? else {
                     return Err(OramError::internal(format!(
                         "fetch of in-memory block {id} — scheduler hit classification broken"
                     )));
@@ -693,9 +724,9 @@ impl StorageLayer {
                     )));
                 }
                 self.touched[slot as usize] = true;
-                let owner = self.clear_owner(slot);
+                let owner = self.take_owner_tracked(slot)?;
                 debug_assert_eq!(owner, Some(id), "location table and slot owners diverged");
-                self.locations.set_in_memory(id);
+                self.posmap.set_in_memory(id)?;
                 PlannedLoad {
                     slot: Some(slot),
                     expect: Some(id),
@@ -712,9 +743,9 @@ impl StorageLayer {
                 },
                 Some(slot) => {
                     self.touched[slot as usize] = true;
-                    let expect = self.clear_owner(slot);
+                    let expect = self.take_owner_tracked(slot)?;
                     if let Some(id) = expect {
-                        self.locations.set_in_memory(id);
+                        self.posmap.set_in_memory(id)?;
                     }
                     PlannedLoad {
                         slot: Some(slot),
@@ -1003,6 +1034,15 @@ impl StorageLayer {
             self.epoch += 1;
             self.sealer = BlockSealer::new(&self.keys.epoch_keys(self.epoch));
         }
+        // A window over every partition installs the new layout with one
+        // bulk position-map rebuild at the end (the recursive map turns
+        // this into a public linear level sweep instead of O(N) chain
+        // walks); partial windows re-home per entry.
+        let mut full_image: Vec<Option<BlockId>> = if full {
+            vec![None; self.total_slots() as usize]
+        } else {
+            Vec::new()
+        };
         let piece_prf = Prf::new(Prf::new([0u8; 16]).subkey("piece-split", seed ^ self.epoch));
 
         // Capacity-aware contiguous split of the hot list (§4.3.2's "i-th
@@ -1067,9 +1107,10 @@ impl StorageLayer {
             // the crypto half below is pure over its inputs (the order of
             // releases within one pass is immaterial — re-ownership only
             // happens in the seal sweep).
-            let owners: Vec<Option<BlockId>> = (0..slots_per_pass)
-                .map(|offset| self.clear_owner(base + offset as u64))
-                .collect();
+            let owners = self.posmap.take_pass_owners(base, self.partition_slots)?;
+            let live = owners.iter().flatten().count() as u64;
+            self.partition_live[partition as usize] -= live;
+            debug_assert_eq!(self.partition_live[partition as usize], 0);
 
             // Open: keep only live blocks (cold data) as decrypted wire
             // bodies; discarded ciphertext buffers refill the pool. With
@@ -1166,12 +1207,17 @@ impl StorageLayer {
             // Control sweep: re-home ownership and reset the read-once
             // budget before the crypto half (slots in partitions outside
             // a partial window keep their markers until their own
-            // rebuild).
+            // rebuild). Full windows only record the image here — the
+            // bulk rebuild after the loop installs it.
             for (offset, entry) in image.iter().enumerate() {
                 let addr = base + offset as u64;
                 if let Some(entry) = entry {
-                    self.locations.set_storage_slot(entry.id(), addr);
-                    self.set_owner(addr, entry.id());
+                    if full {
+                        full_image[addr as usize] = Some(entry.id());
+                        self.partition_live[partition as usize] += 1;
+                    } else {
+                        self.place_tracked(entry.id(), addr)?;
+                    }
                 }
                 self.touched[addr as usize] = false;
             }
@@ -1250,6 +1296,9 @@ impl StorageLayer {
             };
             self.device.write_run(base, sealed_run)?;
         }
+        if full {
+            self.posmap.rebuild_all(&full_image)?;
+        }
         // New period: fresh PRP key for the lazy dummy order (touched
         // slots are skipped at consumption time).
         self.period_counter += 1;
@@ -1284,8 +1333,10 @@ mod tests {
         let mut config = HOramConfig::new(capacity, 8, 64).with_worker_threads(worker_threads);
         config.zero_copy_io = zero_copy;
         let device = MachineConfig::dac2019().build_storage(SimClock::new(), trace);
-        let keys = KeyHierarchy::new(MasterKey::from_bytes([8; 32]), "storage-layer-test");
-        StorageLayer::new(&config, device, keys).unwrap()
+        let master = MasterKey::from_bytes([8; 32]);
+        let keys = KeyHierarchy::new(master.clone(), "storage-layer-test");
+        let posmap = crate::posmap::build_posmap(&config, &master, false).unwrap();
+        StorageLayer::new(&config, device, keys, posmap).unwrap()
     }
 
     // The baseline fixtures pin `worker_threads = 1` (the serial path) so
@@ -1308,27 +1359,29 @@ mod tests {
 
     #[test]
     fn initial_layout_places_every_block() {
-        let layer = build(100);
+        let mut layer = build(100);
         for id in 0..100 {
             assert!(
                 matches!(
-                    layer.locations().location(BlockId(id)),
+                    layer.posmap_mut().location(BlockId(id)).unwrap(),
                     Location::Storage { .. }
                 ),
                 "block {id} missing"
             );
         }
-        assert_eq!(layer.locations().in_memory_count(), 0);
+        assert_eq!(layer.posmap().in_memory_count(), 0);
     }
 
     #[test]
     fn initial_slots_are_distinct() {
-        let layer = build(64);
+        let mut layer = build(64);
         let slots: HashSet<u64> = (0..64)
-            .map(|id| match layer.locations().location(BlockId(id)) {
-                Location::Storage { slot } => slot,
-                Location::Memory => panic!("unexpected memory residence"),
-            })
+            .map(
+                |id| match layer.posmap_mut().location(BlockId(id)).unwrap() {
+                    Location::Storage { slot } => slot,
+                    Location::Memory => panic!("unexpected memory residence"),
+                },
+            )
             .collect();
         assert_eq!(slots.len(), 64);
     }
@@ -1582,19 +1635,22 @@ mod tests {
         layer
             .rebuild_partial(vec![(BlockId(3), vec![0u8; 8])], 4, 6)
             .unwrap();
+        // Cross-check the incremental counts against the location table:
+        // a slot is live iff some block's current location maps to it.
+        let mut scanned = vec![0u64; layer.partition_count() as usize];
+        for id in 0..256 {
+            if let Location::Storage { slot } = layer.posmap_mut().location(BlockId(id)).unwrap() {
+                scanned[(slot / layer.partition_slots) as usize] += 1;
+            }
+        }
         for partition in 0..layer.partition_count() {
-            let base = (partition * layer.partition_slots) as usize;
-            let scanned = layer.owners[base..base + layer.partition_slots as usize]
-                .iter()
-                .filter(|owner| owner.is_some())
-                .count() as u64;
             assert_eq!(
-                layer.partition_live[partition as usize], scanned,
+                layer.partition_live[partition as usize], scanned[partition as usize],
                 "partition {partition} live count drifted"
             );
             assert_eq!(
                 layer.partition_free_slots(partition),
-                layer.partition_slots - scanned
+                layer.partition_slots - scanned[partition as usize]
             );
         }
     }
@@ -1736,7 +1792,7 @@ mod tests {
         hot[0].1 = vec![9u8; 8];
         let report = layer.rebuild_full(hot, 33).unwrap();
         assert_eq!(report.partitions, layer.partition_count);
-        assert_eq!(layer.locations().in_memory_count(), 0);
+        assert_eq!(layer.posmap().in_memory_count(), 0);
         // Refetch the updated block and verify the new payload survived.
         let load = layer.fetch(BlockId(1)).unwrap();
         assert_eq!(load.block.unwrap().1, vec![9u8; 8]);
@@ -1746,17 +1802,21 @@ mod tests {
     fn rebuild_repermutes_slots() {
         let mut layer = build(256);
         let before: Vec<u64> = (0..256)
-            .map(|id| match layer.locations().location(BlockId(id)) {
-                Location::Storage { slot } => slot,
-                Location::Memory => unreachable!(),
-            })
+            .map(
+                |id| match layer.posmap_mut().location(BlockId(id)).unwrap() {
+                    Location::Storage { slot } => slot,
+                    Location::Memory => unreachable!(),
+                },
+            )
             .collect();
         layer.rebuild_full(Vec::new(), 77).unwrap();
         let after: Vec<u64> = (0..256)
-            .map(|id| match layer.locations().location(BlockId(id)) {
-                Location::Storage { slot } => slot,
-                Location::Memory => unreachable!(),
-            })
+            .map(
+                |id| match layer.posmap_mut().location(BlockId(id)).unwrap() {
+                    Location::Storage { slot } => slot,
+                    Location::Memory => unreachable!(),
+                },
+            )
             .collect();
         let moved = before.iter().zip(&after).filter(|(a, b)| a != b).count();
         assert!(moved > 200, "only {moved}/256 blocks moved");

@@ -90,6 +90,13 @@ pub struct ServiceConfig {
     /// Consume through [`engine_config`](Self::engine_config). `None`
     /// (the default) leaves the engine's machine description in charge.
     pub cache: Option<oram_storage::cache::CacheConfig>,
+    /// Position-map mode the deployment should build its engine with
+    /// (`HOramConfig::posmap`): the flat in-RAM table, or the recursive
+    /// oblivious map whose trusted state is O(log N) (see
+    /// `horam_core::posmap`). Like [`cache`](Self::cache), consumed
+    /// through [`engine_config`](Self::engine_config); responses are
+    /// byte-identical in either mode.
+    pub posmap: horam_core::config::PosmapMode,
 }
 
 impl Default for ServiceConfig {
@@ -103,6 +110,7 @@ impl Default for ServiceConfig {
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
             cache: None,
+            posmap: horam_core::config::PosmapMode::Flat,
         }
     }
 }
@@ -118,7 +126,9 @@ impl ServiceConfig {
         &self,
         base: horam_core::config::HOramConfig,
     ) -> horam_core::config::HOramConfig {
-        let base = base.with_worker_threads(self.worker_threads);
+        let base = base
+            .with_worker_threads(self.worker_threads)
+            .with_posmap(self.posmap.clone());
         match &self.cache {
             Some(cache) => base.with_cache(cache.clone()),
             None => base,

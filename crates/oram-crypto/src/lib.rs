@@ -41,6 +41,7 @@
 //! # Ok(())
 //! # }
 //! ```
+#![warn(missing_docs)]
 
 pub mod chacha;
 pub mod keys;

@@ -1,5 +1,6 @@
 //! Deterministic storage-device timing simulator for the H-ORAM reproduction.
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
+#![warn(missing_docs)]
 //!
 //!
 //! The paper evaluates H-ORAM on a real machine (Intel i7-7700K, DDR4-2133,

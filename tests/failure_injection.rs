@@ -78,11 +78,14 @@ fn horam_storage_corruption_is_detected_on_fetch() {
     use horam::core::StorageLayer;
     let config = HOramConfig::new(64, 8, 16).with_seed(5);
     let device = MachineConfig::dac2019().build_storage(SimClock::new(), None);
-    let keys = KeyHierarchy::new(MasterKey::from_bytes([54u8; 32]), "fi/horam");
-    let mut layer = StorageLayer::new(&config, device, keys).unwrap();
+    let master = MasterKey::from_bytes([54u8; 32]);
+    let keys = KeyHierarchy::new(master.clone(), "fi/horam");
+    let posmap = horam::core::build_posmap(&config, &master, false).unwrap();
+    let mut layer = StorageLayer::new(&config, device, keys, posmap).unwrap();
 
     // Corrupt the slot of block 9, then fetch it.
-    let horam::core::Location::Storage { slot } = layer.locations().location(BlockId(9)) else {
+    let horam::core::Location::Storage { slot } = layer.posmap_mut().location(BlockId(9)).unwrap()
+    else {
         panic!("block 9 must start on storage");
     };
     corrupt_one_block(layer.device_mut(), slot);
@@ -123,10 +126,13 @@ fn horam_remains_usable_for_other_blocks_after_detecting_corruption() {
     use horam::core::StorageLayer;
     let config = HOramConfig::new(64, 8, 16).with_seed(6);
     let device = MachineConfig::dac2019().build_storage(SimClock::new(), None);
-    let keys = KeyHierarchy::new(MasterKey::from_bytes([56u8; 32]), "fi/recover");
-    let mut layer = StorageLayer::new(&config, device, keys).unwrap();
+    let master = MasterKey::from_bytes([56u8; 32]);
+    let keys = KeyHierarchy::new(master.clone(), "fi/recover");
+    let posmap = horam::core::build_posmap(&config, &master, false).unwrap();
+    let mut layer = StorageLayer::new(&config, device, keys, posmap).unwrap();
 
-    let horam::core::Location::Storage { slot } = layer.locations().location(BlockId(2)) else {
+    let horam::core::Location::Storage { slot } = layer.posmap_mut().location(BlockId(2)).unwrap()
+    else {
         panic!("block 2 must start on storage");
     };
     corrupt_one_block(layer.device_mut(), slot);

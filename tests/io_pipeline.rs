@@ -103,8 +103,10 @@ fn storage_layer_load_batch_equals_sequential_calls() {
     let build_layer = || {
         let config = HOramConfig::new(128, 8, 64).with_seed(3);
         let device = MachineConfig::dac2019().build_storage(SimClock::new(), None);
-        let keys = KeyHierarchy::new(MasterKey::from_bytes([2u8; 32]), "io-pipeline-test");
-        StorageLayer::new(&config, device, keys).expect("layer builds")
+        let master = MasterKey::from_bytes([2u8; 32]);
+        let keys = KeyHierarchy::new(master.clone(), "io-pipeline-test");
+        let posmap = horam::core::build_posmap(&config, &master, false).expect("posmap builds");
+        StorageLayer::new(&config, device, keys, posmap).expect("layer builds")
     };
     let plan = [
         LoadPlan::Dummy,

@@ -771,3 +771,138 @@ mod service {
         assert_eq!(responses.len(), continuation.len());
     }
 }
+
+/// The PR-5 durability stack with the recursive position map installed:
+/// snapshots seal the per-level ORAM state (or the full level devices
+/// when the levels are volatile), and recovery must stay byte-identical
+/// to the uninterrupted run in both modes.
+mod recursive_posmap {
+    use super::*;
+    use horam::core::{PosmapMode, RecursivePosmapConfig};
+
+    fn recursive_config(backing: Option<&Path>) -> HOramConfig {
+        config().with_posmap(PosmapMode::Recursive(RecursivePosmapConfig {
+            cache_pages: 4,
+            backing_dir: backing.map(|p| p.to_string_lossy().into_owned()),
+            ..RecursivePosmapConfig::default()
+        }))
+    }
+
+    /// Volatile levels (no backing dir): the snapshot embeds the level
+    /// blocks, and restore continues the same timeline byte-for-byte.
+    #[test]
+    fn volatile_levels_snapshot_restores_byte_identically() {
+        let prefix = workload(60, 71);
+        let suffix = workload(90, 72);
+
+        let mut original =
+            HOram::new(recursive_config(None), MemoryHierarchy::dac2019(), master()).unwrap();
+        original.run_batch(&prefix).unwrap();
+        let snapshot = original.snapshot().unwrap();
+        let trace_mark = original.trace().snapshot().len();
+        let original_responses = original.run_batch(&suffix).unwrap();
+        let original_trace = original.trace().snapshot()[trace_mark..].to_vec();
+        assert!(original.stats().shuffles >= 2, "setup: periods must turn");
+
+        let mut restored = HOram::restore(MemoryHierarchy::dac2019(), master(), &snapshot).unwrap();
+        let restored_responses = restored.run_batch(&suffix).unwrap();
+
+        assert_eq!(original_responses, restored_responses);
+        assert_eq!(original_trace, restored.trace().snapshot());
+        assert_eq!(original.stats(), restored.stats());
+        assert_eq!(original.clock().now(), restored.clock().now());
+    }
+
+    /// Durable levels + durable data device: kill the engine mid-workload
+    /// at several cycle boundaries (level write-back and shuffle stream in
+    /// flight), recover from snapshot + files, replay — byte-identical to
+    /// the uninterrupted reference.
+    #[test]
+    fn kill_mid_workload_with_durable_levels_recovers_byte_identically() {
+        let pre = workload(40, 73);
+        let post = workload(70, 74);
+
+        let reference_scratch = Scratch::new("persist-rec-reference");
+        let reference_config = recursive_config(Some(&reference_scratch.0.join("posmap")));
+        let mut reference = HOram::new(
+            reference_config,
+            file_hierarchy(&reference_scratch.device()),
+            master(),
+        )
+        .unwrap();
+        reference.run_batch(&pre).unwrap();
+        let _ = reference.snapshot().unwrap();
+        let ref_mark = reference.trace().snapshot().len();
+        let ref_responses = reference.run_batch(&post).unwrap();
+        let ref_trace = reference.trace().snapshot()[ref_mark..].to_vec();
+        let ref_stats = reference.stats();
+        assert!(ref_stats.shuffles >= 2, "setup: periods must turn");
+
+        for kill_after_cycles in [0u64, 2, 5, 11, 23] {
+            let scratch = Scratch::new("persist-rec-kill");
+            let victim_config = recursive_config(Some(&scratch.0.join("posmap")));
+            let mut engine =
+                HOram::new(victim_config, file_hierarchy(&scratch.device()), master()).unwrap();
+            engine.run_batch(&pre).unwrap();
+            let snapshot = engine.snapshot().unwrap();
+
+            for request in &post {
+                engine.enqueue(request.clone()).unwrap();
+            }
+            for _ in 0..kill_after_cycles {
+                if engine.queue().is_drained() {
+                    break;
+                }
+                engine.run_cycle().unwrap();
+            }
+            drop(engine); // the kill: no sync, no checkpoint
+
+            let mut recovered =
+                HOram::restore(file_hierarchy(&scratch.device()), master(), &snapshot).unwrap();
+            let responses = recovered.run_batch(&post).unwrap();
+            assert_eq!(
+                ref_responses, responses,
+                "kill after {kill_after_cycles} cycles: responses diverged"
+            );
+            assert_eq!(
+                ref_trace,
+                recovered.trace().snapshot(),
+                "kill after {kill_after_cycles} cycles: trace diverged"
+            );
+            assert_eq!(
+                ref_stats,
+                recovered.stats(),
+                "kill after {kill_after_cycles} cycles: stats diverged"
+            );
+            assert_eq!(reference.clock().now(), recovered.clock().now());
+        }
+    }
+
+    /// Durable levels shrink the snapshot: the same engine state seals to
+    /// far fewer bytes when the level blocks live in files instead of
+    /// being embedded in the snapshot.
+    #[test]
+    fn durable_levels_keep_level_blocks_out_of_the_snapshot() {
+        let scratch = Scratch::new("persist-rec-size");
+        let mut durable = HOram::new(
+            recursive_config(Some(&scratch.0.join("posmap"))),
+            file_hierarchy(&scratch.device()),
+            master(),
+        )
+        .unwrap();
+        durable.run_batch(&workload(30, 75)).unwrap();
+        let durable_snapshot = durable.snapshot().unwrap();
+
+        let mut volatile =
+            HOram::new(recursive_config(None), MemoryHierarchy::dac2019(), master()).unwrap();
+        volatile.run_batch(&workload(30, 75)).unwrap();
+        let volatile_snapshot = volatile.snapshot().unwrap();
+
+        assert!(
+            durable_snapshot.len() * 2 < volatile_snapshot.len(),
+            "durable-level snapshot ({}) must be far smaller than the volatile one ({})",
+            durable_snapshot.len(),
+            volatile_snapshot.len()
+        );
+    }
+}
