@@ -1,0 +1,17 @@
+//! Standalone rpc gate binary: real client processes over TCP vs the
+//! in-process service (byte-identical, host-scaled throughput floor),
+//! then SIGTERM drain → checkpoint → restore → replay on a real server
+//! process. Same gate the `suite` binary runs; this wrapper writes
+//! `BENCH_rpc.json` and exits nonzero on failure.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin rpc -- [--quick] [--out <path>]
+//! ```
+
+use bench::gates::{gate_main, rpc_gate, rpc_role_hook};
+
+fn main() {
+    // Worker processes re-exec this binary with the role env var set.
+    rpc_role_hook();
+    gate_main("BENCH_rpc.json", rpc_gate);
+}

@@ -22,7 +22,8 @@
 
 use bench::gates::{
     baseline_regressions, cache_gate, capacity_gate, chaos_gate, io_pipeline_gate, merge_outcomes,
-    parallel_gate, persistence_gate, serving_gate, sharding_gate, write_report,
+    parallel_gate, persistence_gate, rpc_gate, rpc_role_hook, serving_gate, sharding_gate,
+    write_report,
 };
 use bench::BenchArgs;
 
@@ -30,6 +31,9 @@ use bench::BenchArgs;
 const TREND_TOLERANCE: f64 = 0.25;
 
 fn main() {
+    // The rpc gate re-execs this binary as its worker processes; when
+    // the role env var routes us there, run the role and exit.
+    rpc_role_hook();
     let args = BenchArgs::parse();
     let outcomes = vec![
         serving_gate(args.quick),
@@ -40,6 +44,7 @@ fn main() {
         cache_gate(args.quick),
         chaos_gate(args.quick),
         capacity_gate(args.quick),
+        rpc_gate(args.quick),
     ];
 
     let (report, mut pass) = merge_outcomes(&outcomes);

@@ -2014,6 +2014,654 @@ pub fn capacity_gate(quick: bool) -> GateOutcome {
     capacity::gate(quick)
 }
 
+// ------------------------------------------------------------------ rpc
+
+mod rpc {
+    use super::*;
+    use horam::storage::file::scratch_dir;
+    use horam_rpc::server::{
+        bind_signals_to_drain, run_server, Checkpoint, ServerConfig, ServerOutcome,
+    };
+    use horam_rpc::{status, ClientConfig, Endpoint, Listener, RpcClient, RpcError};
+    use std::io::BufRead;
+    use std::path::Path;
+    use std::process::{Command, Stdio};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const SEED: u64 = 0x59C0;
+    /// Real client processes in the throughput phase, one per tenant.
+    const CLIENTS: u32 = 4;
+    const SHARDS: u64 = 4;
+    /// Operations kept in flight per connection (`call_many` batch) —
+    /// well under the service's per-tenant queue bound, so the pipeline
+    /// never sheds and the comparison measures transport, not
+    /// backpressure.
+    const PIPELINE: usize = 200;
+    /// Writes landed before the SIGTERM in the drain phase.
+    const DRAIN_PREFIX: usize = 32;
+    /// Writes racing the drain: a prefix lands, the rest shed typed.
+    /// Issued in chunks of [`DRAIN_CHUNK`] — a fully pipelined batch
+    /// would be admitted wholesale before the signal watcher bridges
+    /// SIGTERM onto the drain flag (admitted work is finished, not
+    /// shed), so small chunks spread admission across the drain window
+    /// and the shed + replay path actually runs.
+    const DRAIN_SUFFIX: usize = 256;
+    const DRAIN_CHUNK: usize = 8;
+
+    /// Worker processes are this same binary re-exec'd via
+    /// `current_exe()`; the role env var routes them into
+    /// [`role_hook`] before any bench argument parsing happens.
+    const ROLE_ENV: &str = "HORAM_RPC_BENCH_ROLE";
+    const ENDPOINT_ENV: &str = "HORAM_RPC_BENCH_ENDPOINT";
+    const CLIENT_ENV: &str = "HORAM_RPC_BENCH_CLIENT";
+    const OPS_ENV: &str = "HORAM_RPC_BENCH_OPS";
+    const CHECKPOINT_ENV: &str = "HORAM_RPC_BENCH_CHECKPOINT";
+
+    /// RPC-vs-in-process throughput floor, host-scaled like the
+    /// parallel gate's wall-clock bar: with ≥4 cores the client
+    /// processes run beside the server and the single-threaded engine
+    /// dominates both sides, so real sockets must sustain ≥80 % of
+    /// in-process serving; on smaller hosts the processes time-share
+    /// cores with the server and the floor degrades to an overhead
+    /// bound. Byte-identical responses are enforced everywhere,
+    /// unconditionally.
+    fn min_ratio(cores: usize) -> f64 {
+        if cores >= 4 {
+            0.8
+        } else if cores >= 2 {
+            0.4
+        } else {
+            0.2
+        }
+    }
+
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+    /// FNV-1a over the length prefix then the bytes, so response
+    /// streams that differ only in framing hash differently.
+    fn fnv_update(mut digest: u64, bytes: &[u8]) -> u64 {
+        for byte in (bytes.len() as u64)
+            .to_le_bytes()
+            .into_iter()
+            .chain(bytes.iter().copied())
+        {
+            digest ^= u64::from(byte);
+            digest = digest.wrapping_mul(0x0100_0000_01b3);
+        }
+        digest
+    }
+
+    /// Write payload: a pure function of `(client, index)`.
+    fn op_payload(client: u32, index: usize) -> Vec<u8> {
+        let mut payload = vec![0u8; PAYLOAD_LEN];
+        let tag = (u64::from(client) << 32) | index as u64;
+        payload[..8].copy_from_slice(&tag.to_le_bytes());
+        let mix = (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        payload[8..16].copy_from_slice(&mix.to_le_bytes());
+        payload
+    }
+
+    /// Client `c`'s deterministic schedule: a mixed read/write stream
+    /// (one write per four ops) over its own tenant's disjoint block
+    /// range. Disjoint ranges make cross-client interleaving
+    /// irrelevant to response bytes, which is what lets N concurrent
+    /// processes be compared byte-for-byte against a serial in-process
+    /// run of the same streams.
+    fn client_ops(client: u32, count: usize) -> Vec<(u64, Option<Vec<u8>>)> {
+        let span = CAPACITY / u64::from(CLIENTS);
+        let base = u64::from(client) * span;
+        (0..count)
+            .map(|i| {
+                let block = base + (i as u64).wrapping_mul(0x9E37_79B9) % span;
+                let payload = (i % 4 == 0).then(|| op_payload(client, i));
+                (block, payload)
+            })
+            .collect()
+    }
+
+    /// The gate's service: one per-process build shared by the gate,
+    /// the in-process reference, and the re-exec'd server role, so
+    /// every side serves the identical deterministic engine.
+    fn fresh_service(snapshot: Option<&[u8]>) -> OramService<ShardedOram> {
+        let config = ServiceConfig {
+            batch_size: BATCH_SIZE,
+            ..ServiceConfig::default()
+        };
+        let base = config
+            .engine_config(HOramConfig::new(CAPACITY, PAYLOAD_LEN, MEMORY_SLOTS))
+            .with_seed(SEED);
+        let master = MasterKey::from_bytes([0xEC; 32]);
+        let oram = match snapshot {
+            Some(bytes) => ShardedOram::restore(master, |_| MemoryHierarchy::dac2019(), bytes)
+                .expect("checkpoint restores"),
+            None => ShardedOram::new(ShardedConfig::new(base, SHARDS), master, |_| {
+                MemoryHierarchy::dac2019()
+            })
+            .expect("engine builds"),
+        };
+        let mut service = OramService::new(oram, Box::new(FifoPolicy), config);
+        let span = CAPACITY / u64::from(CLIENTS);
+        for tenant in 0..CLIENTS {
+            let start = u64::from(tenant) * span;
+            service.register_tenant(UserId(tenant), start..start + span, Permission::ReadWrite);
+        }
+        service
+    }
+
+    fn server_config() -> ServerConfig {
+        ServerConfig {
+            // Sized so four fully-pipelined clients never trip
+            // backpressure — this gate measures transport cost, the
+            // backpressure path has its own end-to-end tests.
+            max_inflight: 4096,
+            dedup_window: 8192,
+            ..ServerConfig::default()
+        }
+    }
+
+    /// An in-gate server thread (the throughput server and the
+    /// restored post-drain server run inside the gate process; only
+    /// the SIGTERM victim needs to be a real child process).
+    struct GateServer {
+        endpoint: Endpoint,
+        drain: Arc<AtomicBool>,
+        join: std::thread::JoinHandle<ServerOutcome>,
+    }
+
+    fn spawn_server(
+        service: OramService<ShardedOram>,
+        config: ServerConfig,
+        endpoint: &Endpoint,
+    ) -> GateServer {
+        let listener = Listener::bind(endpoint).expect("gate server binds");
+        let endpoint = listener.local_endpoint().expect("local endpoint");
+        let drain = Arc::clone(&config.drain);
+        let join = std::thread::spawn(move || {
+            let mut service = service;
+            run_server(&mut service, &listener, &config).expect("gate server drains")
+        });
+        GateServer {
+            endpoint,
+            drain,
+            join,
+        }
+    }
+
+    impl GateServer {
+        fn drain_join(self) -> ServerOutcome {
+            self.drain.store(true, Ordering::Release);
+            self.join.join().expect("gate server thread")
+        }
+    }
+
+    fn gate_client(endpoint: &Endpoint, client_id: u64, tenant: u32) -> RpcClient {
+        let mut config = ClientConfig::new(endpoint.clone(), client_id, tenant);
+        config.call_deadline = Duration::from_secs(120);
+        config.resend_after = Duration::from_secs(2);
+        config.backoff = Duration::from_millis(2);
+        config.max_redials = 200;
+        RpcClient::new(config)
+    }
+
+    /// Re-exec hook: when the role env var is set, this process is a
+    /// gate worker spawned via `current_exe()`, not the bench — run
+    /// the role and exit. Called at the top of every bench `main` that
+    /// can host this gate.
+    pub(super) fn role_hook() {
+        match std::env::var(ROLE_ENV).ok().as_deref() {
+            None => {}
+            Some("client") => run_client_role(),
+            Some("server") => run_server_role(),
+            Some(other) => {
+                eprintln!("unknown {ROLE_ENV} role {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    fn role_env(name: &str) -> String {
+        std::env::var(name).unwrap_or_else(|_| panic!("{name} must be set for the worker role"))
+    }
+
+    /// The client role: run this process's deterministic op stream
+    /// through a pipelined [`RpcClient`], then report ops, host
+    /// elapsed, and the response digest on stdout for the gate parent.
+    fn run_client_role() -> ! {
+        let endpoint = Endpoint::parse(&role_env(ENDPOINT_ENV)).expect("role endpoint parses");
+        let client_index: u32 = role_env(CLIENT_ENV).parse().expect("client index parses");
+        let count: usize = role_env(OPS_ENV).parse().expect("op count parses");
+        let ops = client_ops(client_index, count);
+        let mut client = gate_client(&endpoint, 1_000 + u64::from(client_index), client_index);
+        let started = Instant::now();
+        let mut digest = FNV_OFFSET;
+        for chunk in ops.chunks(PIPELINE) {
+            let outcomes = client.call_many(chunk.to_vec()).expect("batch transport");
+            for outcome in outcomes {
+                digest = fnv_update(digest, &outcome.expect("op serves"));
+            }
+        }
+        let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+        println!("RESULT {count} {elapsed_ms:.3} {digest:016x}");
+        std::process::exit(0);
+    }
+
+    /// The server role: the SIGTERM victim. Serves the gate's fresh
+    /// engine until the signal-bridged drain completes, then writes
+    /// the checkpoint file and exits 0.
+    fn run_server_role() -> ! {
+        let endpoint = Endpoint::parse(&role_env(ENDPOINT_ENV)).expect("role endpoint parses");
+        let checkpoint_path = std::path::PathBuf::from(role_env(CHECKPOINT_ENV));
+        let mut service = fresh_service(None);
+        let drain = Arc::new(AtomicBool::new(false));
+        bind_signals_to_drain(Arc::clone(&drain));
+        let config = ServerConfig {
+            drain,
+            ..server_config()
+        };
+        let listener = Listener::bind(&endpoint).expect("role server binds");
+        println!("READY");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        let outcome = run_server(&mut service, &listener, &config).expect("role server drains");
+        std::fs::write(&checkpoint_path, outcome.checkpoint.to_bytes())
+            .expect("checkpoint file writes");
+        if let Endpoint::Unix(path) = &endpoint {
+            let _ = std::fs::remove_file(path);
+        }
+        std::process::exit(0);
+    }
+
+    #[derive(Debug, Serialize)]
+    struct ClientRow {
+        client: u32,
+        ops: usize,
+        /// Host wall clock of the op loop inside the client process.
+        elapsed_ms: f64,
+        digest: String,
+        matches_reference: bool,
+    }
+
+    #[derive(Debug, Serialize)]
+    struct Report {
+        bench: &'static str,
+        clients: u32,
+        ops_per_client: usize,
+        pipeline: usize,
+        available_parallelism: usize,
+        /// Host wall-clock ratios — deliberately absent from the trend
+        /// file, like the parallel gate's (runner-dependent).
+        in_process_rps: f64,
+        rpc_rps: f64,
+        throughput_ratio: f64,
+        min_ratio: f64,
+        digests_match: bool,
+        served: u64,
+        connections: u64,
+        rows: Vec<ClientRow>,
+        drain_writes: usize,
+        landed_before_exit: usize,
+        suffix_shed_typed: bool,
+        drain_exit_ok: bool,
+        checkpoint_bytes: usize,
+        window_entries: usize,
+        restored_epoch: u64,
+        epoch_visible: bool,
+        replayed: usize,
+        state_match: bool,
+        pass: bool,
+    }
+
+    pub(super) fn gate(quick: bool) -> GateOutcome {
+        let mut ops_per_client = 1_200usize;
+        if quick {
+            ops_per_client /= 4;
+            println!("(--quick: scaled to 1/4)\n");
+        }
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let threshold = min_ratio(cores);
+        println!(
+            "Network serving — {CLIENTS} client processes × {ops_per_client} pipelined ops \
+             against one server ({SHARDS} shards over {CAPACITY} blocks), then SIGTERM \
+             drain → checkpoint → restore → replay; {cores} host core(s)\n"
+        );
+
+        let scratch = scratch_dir("bench-rpc");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run(&scratch, ops_per_client, cores, threshold)
+        }));
+        let _ = std::fs::remove_dir_all(&scratch);
+        match result {
+            Ok(outcome) => outcome,
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    }
+
+    fn run(scratch: &Path, ops_per_client: usize, cores: usize, threshold: f64) -> GateOutcome {
+        // Phase 1 — N real client processes vs the in-process service.
+        let server = spawn_server(
+            fresh_service(None),
+            server_config(),
+            &Endpoint::Tcp("127.0.0.1:0".into()),
+        );
+        let exe = std::env::current_exe().expect("current exe");
+        let children: Vec<_> = (0..CLIENTS)
+            .map(|client| {
+                Command::new(&exe)
+                    .env(ROLE_ENV, "client")
+                    .env(ENDPOINT_ENV, server.endpoint.to_string())
+                    .env(CLIENT_ENV, client.to_string())
+                    .env(OPS_ENV, ops_per_client.to_string())
+                    .stdout(Stdio::piped())
+                    .stderr(Stdio::inherit())
+                    .spawn()
+                    .expect("client process spawns")
+            })
+            .collect();
+
+        let mut measured: Vec<(usize, f64, u64)> = Vec::new();
+        for child in children {
+            let output = child.wait_with_output().expect("client process runs");
+            assert!(
+                output.status.success(),
+                "client process failed: {:?}",
+                output.status
+            );
+            let stdout = String::from_utf8_lossy(&output.stdout);
+            let line = stdout
+                .lines()
+                .rev()
+                .find(|line| line.starts_with("RESULT "))
+                .unwrap_or_else(|| panic!("no RESULT line in {stdout:?}"));
+            let mut fields = line.split_whitespace().skip(1);
+            let ops: usize = fields.next().expect("ops field").parse().expect("ops");
+            let elapsed_ms: f64 = fields
+                .next()
+                .expect("elapsed field")
+                .parse()
+                .expect("elapsed");
+            let digest =
+                u64::from_str_radix(fields.next().expect("digest field"), 16).expect("digest");
+            measured.push((ops, elapsed_ms, digest));
+        }
+        let outcome = server.drain_join();
+
+        // In-process yardstick: the identical four streams through an
+        // identical service, no sockets, same pipelining depth.
+        let mut service = fresh_service(None);
+        let started = Instant::now();
+        let mut reference_digests = Vec::new();
+        for client in 0..CLIENTS {
+            let ops = client_ops(client, ops_per_client);
+            let mut digest = FNV_OFFSET;
+            for chunk in ops.chunks(PIPELINE) {
+                let tickets: Vec<_> = chunk
+                    .iter()
+                    .map(|(block, payload)| {
+                        let request = match payload {
+                            Some(bytes) => Request::write(*block, bytes.clone()),
+                            None => Request::read(*block),
+                        };
+                        service
+                            .submit(UserId(client), request)
+                            .expect("reference submit")
+                    })
+                    .collect();
+                for ticket in tickets {
+                    let response = service
+                        .take_result_timeout(ticket, 1_000_000)
+                        .expect("reference serves");
+                    digest = fnv_update(digest, &response);
+                }
+            }
+            reference_digests.push(digest);
+        }
+        let in_process_ms = started.elapsed().as_secs_f64() * 1e3;
+
+        let total_ops = ops_per_client * CLIENTS as usize;
+        let rpc_ms = measured.iter().map(|(_, ms, _)| *ms).fold(0.0f64, f64::max);
+        let rpc_rps = total_ops as f64 / (rpc_ms / 1e3).max(f64::MIN_POSITIVE);
+        let in_process_rps = total_ops as f64 / (in_process_ms / 1e3).max(f64::MIN_POSITIVE);
+        let ratio = rpc_rps / in_process_rps.max(f64::MIN_POSITIVE);
+
+        let rows: Vec<ClientRow> = measured
+            .iter()
+            .enumerate()
+            .map(|(i, (ops, elapsed_ms, digest))| ClientRow {
+                client: i as u32,
+                ops: *ops,
+                elapsed_ms: *elapsed_ms,
+                digest: format!("{digest:016x}"),
+                matches_reference: *digest == reference_digests[i],
+            })
+            .collect();
+        let digests_match = rows.iter().all(|row| row.matches_reference);
+
+        let mut table = Table::new(vec!["client", "ops", "wall", "throughput", "matches ref"]);
+        for row in &rows {
+            table.row(vec![
+                row.client.to_string(),
+                row.ops.to_string(),
+                format!("{:.1} ms", row.elapsed_ms),
+                format!("{:.0} req/s", row.ops as f64 / (row.elapsed_ms / 1e3)),
+                row.matches_reference.to_string(),
+            ]);
+        }
+        println!("{table}");
+        println!(
+            "aggregate: {rpc_rps:.0} req/s over sockets vs {in_process_rps:.0} req/s in-process \
+             → ratio {ratio:.2} (required ≥ {threshold:.2} on {cores} core(s)); server served \
+             {} over {} connections",
+            outcome.counters.served, outcome.counters.connections
+        );
+
+        // Phase 2 — SIGTERM a real server process mid-load, then
+        // restore its checkpoint and replay what the drain shed.
+        let sock = scratch.join("drain.sock");
+        let ckpt_path = scratch.join("drain.ckpt");
+        let mut child = Command::new(&exe)
+            .env(ROLE_ENV, "server")
+            .env(ENDPOINT_ENV, format!("unix://{}", sock.display()))
+            .env(CHECKPOINT_ENV, &ckpt_path)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("server process spawns");
+        {
+            let stdout = child.stdout.as_mut().expect("server stdout");
+            let mut line = String::new();
+            std::io::BufReader::new(stdout)
+                .read_line(&mut line)
+                .expect("server READY line");
+            assert!(line.starts_with("READY"), "server role said {line:?}");
+        }
+
+        let span = CAPACITY / u64::from(CLIENTS);
+        let drain_ops: Vec<(u64, Vec<u8>)> = (0..DRAIN_PREFIX + DRAIN_SUFFIX)
+            .map(|i| ((i as u64).wrapping_mul(13) % span, op_payload(9, i)))
+            .collect();
+        let endpoint = Endpoint::Unix(sock.clone());
+        let mut pusher = gate_client(&endpoint, 9_000, 0);
+        let prefix: Vec<(u64, Option<Vec<u8>>)> = drain_ops[..DRAIN_PREFIX]
+            .iter()
+            .map(|(block, payload)| (*block, Some(payload.clone())))
+            .collect();
+        for op in pusher.call_many(prefix).expect("pre-drain batch") {
+            op.expect("pre-drain write lands");
+        }
+
+        let kill = Command::new("kill")
+            .args(["-TERM", &child.id().to_string()])
+            .status()
+            .expect("kill spawns");
+        assert!(kill.success(), "kill -TERM failed");
+        let suffix: Vec<(u64, Option<Vec<u8>>)> = drain_ops[DRAIN_PREFIX..]
+            .iter()
+            .map(|(block, payload)| (*block, Some(payload.clone())))
+            .collect();
+        // The racing writes: because drain is monotonic and admission
+        // is per-connection FIFO, whatever lands must be a prefix and
+        // everything after it must shed with the typed SHUTTING_DOWN
+        // (or never reach a server at all once it has exited — those
+        // ops simply join the replay set).
+        let mut landed_suffix = 0usize;
+        let mut suffix_shed_typed = true;
+        'racing: for chunk in suffix.chunks(DRAIN_CHUNK) {
+            match pusher.call_many(chunk.to_vec()) {
+                Ok(outcomes) => {
+                    let mut seen_shed = false;
+                    for op in outcomes {
+                        match op {
+                            Ok(_) if !seen_shed => landed_suffix += 1,
+                            Ok(_) => suffix_shed_typed = false,
+                            Err(RpcError::Status { code, .. }) if code == status::SHUTTING_DOWN => {
+                                seen_shed = true;
+                            }
+                            Err(_) => suffix_shed_typed = false,
+                        }
+                    }
+                    if seen_shed {
+                        break 'racing;
+                    }
+                }
+                // The server finished draining under this chunk; its
+                // ops never landed. (Replaying a write that did land
+                // would be harmless anyway — same payload, same
+                // per-block order.)
+                Err(_) => break 'racing,
+            }
+        }
+
+        let drain_exit_ok = child.wait().expect("server role exits").success();
+        let ckpt_bytes = std::fs::read(&ckpt_path).expect("checkpoint file");
+        let checkpoint = Checkpoint::from_bytes(&ckpt_bytes).expect("checkpoint parses");
+        let window_entries = checkpoint.window.len();
+
+        let restored_epoch = checkpoint.epoch + 1;
+        let restored = spawn_server(
+            fresh_service(Some(&checkpoint.snapshot)),
+            ServerConfig {
+                epoch: restored_epoch,
+                preload_window: checkpoint.window,
+                ..server_config()
+            },
+            &Endpoint::Unix(scratch.join("restart.sock")),
+        );
+        let mut replayer = gate_client(&restored.endpoint, 9_001, 0);
+        let landed = DRAIN_PREFIX + landed_suffix;
+        let replay: Vec<(u64, Option<Vec<u8>>)> = drain_ops[landed..]
+            .iter()
+            .map(|(block, payload)| (*block, Some(payload.clone())))
+            .collect();
+        let replayed = replay.len();
+        if !replay.is_empty() {
+            for op in replayer.call_many(replay).expect("replay batch") {
+                op.expect("replayed write lands");
+            }
+        }
+
+        // Last-write-wins oracle: the uninterrupted run's final state,
+        // computed analytically. Reading it back through the restored
+        // server proves drain → checkpoint → restore → replay converges
+        // on exactly the uninterrupted outcome.
+        let mut expected: std::collections::BTreeMap<u64, Vec<u8>> =
+            std::collections::BTreeMap::new();
+        for (block, payload) in &drain_ops {
+            expected.insert(*block, payload.clone());
+        }
+        let mut state_match = true;
+        for (block, payload) in &expected {
+            let got = replayer.read(*block).expect("post-restore read-back");
+            if got != *payload {
+                state_match = false;
+            }
+        }
+        let epoch_visible = replayer.epoch() == Some(restored_epoch);
+        let restored_outcome = restored.drain_join();
+
+        println!(
+            "drain: {landed}/{} writes landed before exit (suffix shed typed: \
+             {suffix_shed_typed}), checkpoint {} KB with {window_entries} window entries, \
+             restored epoch {restored_epoch} replayed {replayed} and matches the \
+             uninterrupted run: {state_match} (restored server served {})",
+            drain_ops.len(),
+            ckpt_bytes.len() / 1024,
+            restored_outcome.counters.served,
+        );
+
+        let pass = digests_match
+            && ratio >= threshold
+            && drain_exit_ok
+            && suffix_shed_typed
+            && state_match
+            && epoch_visible;
+        if pass {
+            println!(
+                "OK: real client processes sustain the in-process floor byte-identically, \
+                 and SIGTERM drain → restore → replay converges on the uninterrupted run.\n"
+            );
+        } else {
+            println!("REGRESSION: rpc gate failed.\n");
+        }
+
+        let report = Report {
+            bench: "rpc",
+            clients: CLIENTS,
+            ops_per_client,
+            pipeline: PIPELINE,
+            available_parallelism: cores,
+            in_process_rps,
+            rpc_rps,
+            throughput_ratio: ratio,
+            min_ratio: threshold,
+            digests_match,
+            served: outcome.counters.served,
+            connections: outcome.counters.connections,
+            rows,
+            drain_writes: drain_ops.len(),
+            landed_before_exit: landed,
+            suffix_shed_typed,
+            drain_exit_ok,
+            checkpoint_bytes: ckpt_bytes.len(),
+            window_entries,
+            restored_epoch,
+            epoch_visible,
+            replayed,
+            state_match,
+            pass,
+        };
+        GateOutcome {
+            name: "rpc",
+            pass,
+            report: report.to_value(),
+        }
+    }
+}
+
+/// The rpc gate: four real client processes (re-exec'd via
+/// `current_exe()`) pipeline deterministic op streams over TCP against
+/// one `horam-rpc` server and must sustain the host-scaled fraction
+/// (≥80 % on ≥4 cores) of in-process serving throughput with
+/// byte-identical responses; then a real server process takes a SIGTERM
+/// mid-load, drains gracefully (suffix shed with the typed
+/// `SHUTTING_DOWN`), writes its checkpoint, and a restore + replay of
+/// the shed writes must converge on exactly the uninterrupted run's
+/// state. Host wall-clock ratios stay out of the trend file.
+pub fn rpc_gate(quick: bool) -> GateOutcome {
+    rpc::gate(quick)
+}
+
+/// Re-exec hook for the rpc gate's worker processes. Every bench
+/// binary that can host the gate calls this first in `main`; when the
+/// role env var is set the process runs as a gate worker (client or
+/// SIGTERM-victim server) and exits instead of benching.
+pub fn rpc_role_hook() {
+    rpc::role_hook();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

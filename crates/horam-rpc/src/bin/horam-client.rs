@@ -1,0 +1,147 @@
+//! `horam-client` — operator CLI for a running `horam-serverd`.
+//!
+//! ```text
+//! horam-client --connect tcp://127.0.0.1:7171 read 42
+//! horam-client --connect tcp://127.0.0.1:7171 write 42 68656c6c6f
+//! horam-client --connect tcp://127.0.0.1:7171 ping
+//! horam-client --connect tcp://127.0.0.1:7171 stats
+//! horam-client --connect tcp://127.0.0.1:7171 drain
+//! ```
+//!
+//! Payloads are hex; `read`/`write` print the (previous) payload as
+//! hex. Exit code 0 on success, 1 on any typed failure.
+
+use horam_rpc::{ClientConfig, Endpoint, RpcClient};
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "horam-client — H-ORAM RPC client CLI
+
+  horam-client [flags] <command>
+
+commands:
+  read <block>            read a block, print payload hex
+  write <block> <hex>     write a block, print previous payload hex
+  ping                    round-trip probe, print latency
+  stats                   print server counters
+  drain                   ask the server to drain and checkpoint
+
+flags:
+  --connect <endpoint>    tcp://host:port or unix://path (required)
+  --tenant <n>            tenant id (default 0)
+  --client-id <n>         retry-stable client identity (default pid)
+  --token <n>             Hello token
+  --deadline-ms <n>       total per-call budget (default 10000)
+  --server-deadline-ms <n>  advertised per-request deadline";
+
+fn parse<T: std::str::FromStr>(raw: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    raw.parse().map_err(|e| format!("bad value {raw:?}: {e}"))
+}
+
+fn hex_decode(raw: &str) -> Result<Vec<u8>, String> {
+    if !raw.len().is_multiple_of(2) {
+        return Err("hex payload must have even length".into());
+    }
+    (0..raw.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&raw[i..i + 2], 16).map_err(|e| format!("bad hex at {i}: {e}")))
+        .collect()
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn run() -> Result<(), String> {
+    let mut endpoint = None;
+    let mut tenant = 0u32;
+    let mut client_id = std::process::id() as u64;
+    let mut token = 0u64;
+    let mut deadline_ms = 10_000u64;
+    let mut server_deadline_ms: Option<u64> = None;
+    let mut command: Vec<String> = Vec::new();
+
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--connect" => {
+                endpoint = Some(Endpoint::parse(&value("--connect")?).map_err(|e| e.to_string())?)
+            }
+            "--tenant" => tenant = parse(&value("--tenant")?)?,
+            "--client-id" => client_id = parse(&value("--client-id")?)?,
+            "--token" => token = parse(&value("--token")?)?,
+            "--deadline-ms" => deadline_ms = parse(&value("--deadline-ms")?)?,
+            "--server-deadline-ms" => {
+                server_deadline_ms = Some(parse(&value("--server-deadline-ms")?)?)
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(());
+            }
+            other => command.push(other.to_string()),
+        }
+    }
+    let endpoint = endpoint.ok_or("missing --connect (see --help)")?;
+
+    let mut config = ClientConfig::new(endpoint, client_id, tenant);
+    config.token = token;
+    config.call_deadline = Duration::from_millis(deadline_ms);
+    config.server_deadline = server_deadline_ms.map(Duration::from_millis);
+    let mut client = RpcClient::new(config);
+
+    match command.first().map(String::as_str) {
+        Some("read") => {
+            let block: u64 = parse(command.get(1).ok_or("read needs a block id")?)?;
+            let payload = client.read(block).map_err(|e| e.to_string())?;
+            println!("{}", hex_encode(&payload));
+        }
+        Some("write") => {
+            let block: u64 = parse(command.get(1).ok_or("write needs a block id")?)?;
+            let payload = hex_decode(command.get(2).ok_or("write needs a hex payload")?)?;
+            let previous = client.write(block, payload).map_err(|e| e.to_string())?;
+            println!("{}", hex_encode(&previous));
+        }
+        Some("ping") => {
+            let rtt = client.ping().map_err(|e| e.to_string())?;
+            println!(
+                "pong in {rtt:?} (epoch {})",
+                client.epoch().unwrap_or_default()
+            );
+        }
+        Some("stats") => {
+            let counters = client.server_stats().map_err(|e| e.to_string())?;
+            println!(
+                "served {}\nshed_deadline {}\nbusy_rejects {}\nqueue_full_rejects {}\ndedup_hits {}\nshed_draining {}\nconnections {}\ndraining {}",
+                counters.served,
+                counters.shed_deadline,
+                counters.busy_rejects,
+                counters.queue_full_rejects,
+                counters.dedup_hits,
+                counters.shed_draining,
+                counters.connections,
+                counters.draining,
+            );
+        }
+        Some("drain") => {
+            client.drain().map_err(|e| e.to_string())?;
+            println!("drain started");
+        }
+        Some(other) => return Err(format!("unknown command {other} (see --help)")),
+        None => return Err(format!("no command given\n{USAGE}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("horam-client: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

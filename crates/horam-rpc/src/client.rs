@@ -1,0 +1,617 @@
+//! The retrying client: pipelined calls, idempotent retries, bounded
+//! deadlines.
+//!
+//! Every logical call is keyed by a `req_id` that stays fixed across
+//! resends and redials — the server's idempotency window turns a
+//! retried-but-already-executed request into a replay of the original
+//! outcome, so the client can retry aggressively without ever
+//! duplicating a write. The retry ladder, in order:
+//!
+//! 1. **Resend** — no response within [`ClientConfig::resend_after`]
+//!    (the frame may have been lost): send the same `req_id` again on
+//!    the same connection.
+//! 2. **Redial** — the connection died (reset, truncation, refused):
+//!    dial and handshake again, then resend everything unanswered.
+//!    Bounded by [`ClientConfig::max_redials`] per call.
+//! 3. **Backoff** — the server shed the request with a retryable code
+//!    (`BUSY`, `QUEUE_FULL`): wait [`ClientConfig::backoff`] and resend.
+//!
+//! The whole ladder lives under one [`ClientConfig::call_deadline`];
+//! when it expires the call returns a typed
+//! [`RpcError::DeadlineExpired`]. **No call ever hangs** — every socket
+//! wait uses a bounded read timeout.
+//!
+//! Calls are **pipelined**: [`RpcClient::call_many`] keeps a whole
+//! batch of requests in flight on one connection and matches responses
+//! by `req_id`, which is what lets a handful of client processes
+//! saturate the server's batched admission path (see the `rpc` bench
+//! gate).
+
+use crate::net::{Endpoint, NetStream};
+use crate::status;
+use crate::wire::{write_frame, Accept, Frame, FramePoll, FrameReader, PollError, ServerCounters};
+use oram_storage::fault::{ConnFaultPlan, FaultyConn};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::io;
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Client tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Where the server listens.
+    pub endpoint: Endpoint,
+    /// Retry-stable client identity; **must** stay fixed across redials
+    /// and process restarts of the client for idempotent retries to be
+    /// recognized.
+    pub client_id: u64,
+    /// Tenant to submit as.
+    pub tenant: u32,
+    /// `Hello` token (must match the server's, if it configured one).
+    pub token: u64,
+    /// Total budget for one call (or one pipelined batch) across every
+    /// resend, redial, and backoff.
+    pub call_deadline: Duration,
+    /// Relative per-request deadline advertised to the server (`None` =
+    /// none); the server sheds the request typed if the budget is spent
+    /// before admission.
+    pub server_deadline: Option<Duration>,
+    /// Resend an unanswered request after this long (rescues dropped
+    /// frames; safe because requests are idempotent by `req_id`).
+    pub resend_after: Duration,
+    /// Pause before retrying a `BUSY`/`QUEUE_FULL` shed or a failed
+    /// dial.
+    pub backoff: Duration,
+    /// Redials allowed within one call before giving up typed.
+    pub max_redials: u32,
+    /// Socket poll granularity; every read blocks at most this long.
+    pub tick: Duration,
+    /// When set, every connection is wrapped in a
+    /// [`FaultyConn`] drawing from this shared schedule — one seed, one
+    /// uninterrupted fault sequence across redials. Test-only in
+    /// spirit, but safe anywhere.
+    pub fault_plan: Option<Arc<Mutex<ConnFaultPlan>>>,
+}
+
+impl ClientConfig {
+    /// A config with conventional timeouts for `endpoint`.
+    pub fn new(endpoint: Endpoint, client_id: u64, tenant: u32) -> Self {
+        Self {
+            endpoint,
+            client_id,
+            tenant,
+            token: 0,
+            call_deadline: Duration::from_secs(30),
+            server_deadline: None,
+            resend_after: Duration::from_millis(250),
+            backoff: Duration::from_millis(10),
+            max_redials: 8,
+            tick: Duration::from_millis(1),
+            fault_plan: None,
+        }
+    }
+}
+
+/// Why a call failed, after the whole retry ladder.
+#[derive(Debug)]
+pub enum RpcError {
+    /// Transport failure that survived every redial.
+    Io(io::Error),
+    /// The server answered with a non-OK wire status (see
+    /// [`status`]); `shard`/`message` carry the
+    /// `Degraded { shard, reason }` detail when applicable.
+    Status {
+        /// The wire code.
+        code: u16,
+        /// Degraded shard index (when `code == DEGRADED`).
+        shard: u32,
+        /// Server-side detail.
+        message: String,
+    },
+    /// The call's total deadline elapsed.
+    DeadlineExpired {
+        /// How long the call waited.
+        waited: Duration,
+    },
+    /// The handshake was refused (`Busy`/`Draining`/`AuthFailed`) on
+    /// the final permitted attempt.
+    Rejected {
+        /// The server's verdict.
+        accept: Accept,
+    },
+    /// The redial budget ran out.
+    RedialsExhausted {
+        /// Redials attempted.
+        redials: u32,
+    },
+    /// The server sent something the protocol does not allow here.
+    Protocol(&'static str),
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::Io(e) => write!(f, "transport: {e}"),
+            RpcError::Status {
+                code,
+                shard,
+                message,
+            } => {
+                write!(f, "{} ({code})", status::name(*code))?;
+                if *code == status::DEGRADED {
+                    write!(f, " shard {shard}")?;
+                }
+                if message.is_empty() {
+                    Ok(())
+                } else {
+                    write!(f, ": {message}")
+                }
+            }
+            RpcError::DeadlineExpired { waited } => {
+                write!(f, "call deadline expired after {waited:?}")
+            }
+            RpcError::Rejected { accept } => write!(f, "handshake rejected: {accept:?}"),
+            RpcError::RedialsExhausted { redials } => {
+                write!(f, "gave up after {redials} redials")
+            }
+            RpcError::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl Error for RpcError {}
+
+impl From<io::Error> for RpcError {
+    fn from(e: io::Error) -> Self {
+        RpcError::Io(e)
+    }
+}
+
+/// Client-side retry accounting, for tests and the CLI.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Connections (re)established.
+    pub dials: u64,
+    /// Requests re-sent after a silent loss or reconnect.
+    pub resends: u64,
+    /// Backoffs taken on retryable sheds or failed dials.
+    pub backoffs: u64,
+    /// Retries that the server answered from its idempotency window
+    /// are invisible here by design — they look like normal responses.
+    pub calls: u64,
+}
+
+struct Conn {
+    stream: Box<dyn NetStream>,
+    reader: FrameReader,
+}
+
+/// One in-flight operation of a pipelined batch.
+struct OpState {
+    block: u64,
+    payload: Option<Vec<u8>>,
+    sent_at: Option<Instant>,
+    outcome: Option<Result<Vec<u8>, RpcError>>,
+}
+
+/// A synchronous, retrying connection to one `horam-serverd`.
+pub struct RpcClient {
+    config: ClientConfig,
+    conn: Option<Conn>,
+    next_req_id: u64,
+    epoch: Option<u64>,
+    stats: ClientStats,
+}
+
+impl RpcClient {
+    /// Creates a client; the connection is established lazily on the
+    /// first call (and re-established transparently after failures).
+    pub fn new(config: ClientConfig) -> Self {
+        Self {
+            config,
+            conn: None,
+            next_req_id: 1,
+            epoch: None,
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// The server epoch observed at the last successful handshake. A
+    /// change between calls means the server restarted in between.
+    pub fn epoch(&self) -> Option<u64> {
+        self.epoch
+    }
+
+    /// Client-side retry accounting.
+    pub fn client_stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Reads one block.
+    ///
+    /// # Errors
+    ///
+    /// See [`RpcError`]; never hangs past
+    /// [`ClientConfig::call_deadline`].
+    pub fn read(&mut self, block: u64) -> Result<Vec<u8>, RpcError> {
+        self.call_many(vec![(block, None)])?
+            .pop()
+            .unwrap_or(Err(RpcError::Protocol("empty batch result")))
+    }
+
+    /// Writes one block, returning the previous payload.
+    ///
+    /// # Errors
+    ///
+    /// See [`RpcError`]; retries cannot double-apply the write — the
+    /// server's idempotency window replays the original outcome.
+    pub fn write(&mut self, block: u64, payload: Vec<u8>) -> Result<Vec<u8>, RpcError> {
+        self.call_many(vec![(block, Some(payload))])?
+            .pop()
+            .unwrap_or(Err(RpcError::Protocol("empty batch result")))
+    }
+
+    /// Runs a pipelined batch of `(block, write-payload?)` operations,
+    /// returning per-operation outcomes in order. All requests share
+    /// one connection and one [`ClientConfig::call_deadline`]; lost
+    /// frames, disconnects, and retryable sheds are retried internally
+    /// with stable `req_id`s.
+    ///
+    /// # Errors
+    ///
+    /// The outer error is a whole-batch transport failure (deadline,
+    /// redial budget, handshake rejection); per-operation server
+    /// verdicts come back in the inner results.
+    pub fn call_many(
+        &mut self,
+        ops: Vec<(u64, Option<Vec<u8>>)>,
+    ) -> Result<Vec<Result<Vec<u8>, RpcError>>, RpcError> {
+        let start = Instant::now();
+        let mut pending: BTreeMap<u64, OpState> = BTreeMap::new();
+        let mut order = Vec::with_capacity(ops.len());
+        for (block, payload) in ops {
+            let req_id = self.next_req_id;
+            self.next_req_id += 1;
+            order.push(req_id);
+            pending.insert(
+                req_id,
+                OpState {
+                    block,
+                    payload,
+                    sent_at: None,
+                    outcome: None,
+                },
+            );
+            self.stats.calls += 1;
+        }
+        let mut redials = 0u32;
+        let mut open = order
+            .iter()
+            .filter(|id| pending[id].outcome.is_none())
+            .count();
+
+        while open > 0 {
+            if start.elapsed() >= self.config.call_deadline {
+                return Err(RpcError::DeadlineExpired {
+                    waited: start.elapsed(),
+                });
+            }
+            // (Re)establish the connection, consuming redial budget.
+            if self.conn.is_none() {
+                match self.dial_handshake(start) {
+                    Ok(()) => {
+                        // A fresh connection invalidates in-flight sends.
+                        for state in pending.values_mut() {
+                            if state.outcome.is_none() {
+                                state.sent_at = None;
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        redials += 1;
+                        if redials > self.config.max_redials {
+                            return Err(match e {
+                                RpcError::Rejected { .. } | RpcError::Io(_) => e,
+                                _ => RpcError::RedialsExhausted { redials },
+                            });
+                        }
+                        self.stats.backoffs += 1;
+                        std::thread::sleep(self.config.backoff);
+                        continue;
+                    }
+                }
+            }
+
+            // Send every unsent / resend-due request.
+            let mut conn_died = false;
+            for (&req_id, state) in pending.iter_mut() {
+                if state.outcome.is_some() {
+                    continue;
+                }
+                let due = match state.sent_at {
+                    None => true,
+                    Some(at) => at.elapsed() >= self.config.resend_after,
+                };
+                if !due {
+                    continue;
+                }
+                if state.sent_at.is_some() {
+                    self.stats.resends += 1;
+                }
+                let frame = Frame::Request {
+                    req_id,
+                    deadline_nanos: self
+                        .config
+                        .server_deadline
+                        .map_or(0, |d| d.as_nanos() as u64),
+                    block: state.block,
+                    payload: state.payload.clone(),
+                };
+                let conn = self.conn.as_mut().expect("connected above");
+                if write_frame(&mut conn.stream, &frame).is_err() {
+                    conn_died = true;
+                    break;
+                }
+                state.sent_at = Some(Instant::now());
+            }
+            if conn_died {
+                self.conn = None;
+                continue;
+            }
+
+            // Receive until the tick runs dry.
+            match self.poll_frame() {
+                Ok(Some(Frame::Response {
+                    req_id,
+                    status: code,
+                    shard,
+                    message,
+                    payload,
+                })) => {
+                    if let Some(state) = pending.get_mut(&req_id) {
+                        if state.outcome.is_none() {
+                            if code == status::OK {
+                                state.outcome = Some(Ok(payload));
+                                open -= 1;
+                            } else if status::is_retryable(code) {
+                                // Shed before execution: back off, then
+                                // resend the same req_id.
+                                state.sent_at = None;
+                                self.stats.backoffs += 1;
+                                std::thread::sleep(self.config.backoff);
+                            } else {
+                                state.outcome = Some(Err(RpcError::Status {
+                                    code,
+                                    shard,
+                                    message,
+                                }));
+                                open -= 1;
+                            }
+                        }
+                        // A duplicate response (we resent, both executed
+                        // server-side as one) is simply ignored.
+                    }
+                }
+                // Unsolicited but harmless frames during a batch.
+                Ok(Some(Frame::Pong { .. } | Frame::StatsReply(_) | Frame::DrainStarted)) => {}
+                Ok(Some(_)) => {
+                    self.conn = None;
+                    return Err(RpcError::Protocol("unexpected frame during batch"));
+                }
+                Ok(None) => {}
+                Err(_) => {
+                    // Reset, truncation, poisoned stream: redial.
+                    self.conn = None;
+                }
+            }
+        }
+
+        Ok(order
+            .into_iter()
+            .map(|id| {
+                pending
+                    .remove(&id)
+                    .and_then(|s| s.outcome)
+                    .unwrap_or(Err(RpcError::Protocol("lost batch slot")))
+            })
+            .collect())
+    }
+
+    /// Round-trip liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// See [`RpcError`].
+    pub fn ping(&mut self) -> Result<Duration, RpcError> {
+        let nonce = self.next_req_id;
+        self.next_req_id += 1;
+        let start = Instant::now();
+        self.transact(
+            &Frame::Ping { nonce },
+            |frame| matches!(frame, Frame::Pong { nonce: got } if *got == nonce),
+        )?;
+        Ok(start.elapsed())
+    }
+
+    /// Fetches the server's counters.
+    ///
+    /// # Errors
+    ///
+    /// See [`RpcError`].
+    pub fn server_stats(&mut self) -> Result<ServerCounters, RpcError> {
+        let frame = self.transact(&Frame::Stats, |frame| matches!(frame, Frame::StatsReply(_)))?;
+        match frame {
+            Frame::StatsReply(counters) => Ok(counters),
+            _ => Err(RpcError::Protocol("stats reply shape")),
+        }
+    }
+
+    /// Asks the server to drain (finish in-flight work, checkpoint,
+    /// exit) — the remote SIGTERM.
+    ///
+    /// # Errors
+    ///
+    /// See [`RpcError`].
+    pub fn drain(&mut self) -> Result<(), RpcError> {
+        self.transact(&Frame::Drain, |frame| matches!(frame, Frame::DrainStarted))?;
+        Ok(())
+    }
+
+    /// Sends one control frame and waits (bounded) for the frame
+    /// `matches` accepts, redialing on transport failure.
+    fn transact(
+        &mut self,
+        request: &Frame,
+        matches: impl Fn(&Frame) -> bool,
+    ) -> Result<Frame, RpcError> {
+        let start = Instant::now();
+        let mut redials = 0u32;
+        let mut sent = false;
+        loop {
+            if start.elapsed() >= self.config.call_deadline {
+                return Err(RpcError::DeadlineExpired {
+                    waited: start.elapsed(),
+                });
+            }
+            if self.conn.is_none() {
+                sent = false;
+                if let Err(e) = self.dial_handshake(start) {
+                    redials += 1;
+                    if redials > self.config.max_redials {
+                        return Err(e);
+                    }
+                    self.stats.backoffs += 1;
+                    std::thread::sleep(self.config.backoff);
+                    continue;
+                }
+            }
+            if !sent {
+                let conn = self.conn.as_mut().expect("connected above");
+                if write_frame(&mut conn.stream, request).is_err() {
+                    self.conn = None;
+                    continue;
+                }
+                sent = true;
+            }
+            match self.poll_frame() {
+                Ok(Some(frame)) if matches(&frame) => return Ok(frame),
+                Ok(Some(Frame::Response { .. })) | Ok(Some(_)) | Ok(None) => {}
+                Err(_) => self.conn = None,
+            }
+        }
+    }
+
+    /// Dials and wraps the endpoint (optionally in the shared fault
+    /// plan), then runs the handshake within the remaining budget.
+    fn dial_handshake(&mut self, start: Instant) -> Result<(), RpcError> {
+        let stream = self.dial()?;
+        stream
+            .set_read_timeout(Some(self.config.tick))
+            .map_err(RpcError::Io)?;
+        let mut conn = Conn {
+            stream,
+            reader: FrameReader::new(),
+        };
+        self.stats.dials += 1;
+        write_frame(
+            &mut conn.stream,
+            &Frame::Hello {
+                client_id: self.config.client_id,
+                tenant: self.config.tenant,
+                token: self.config.token,
+            },
+        )
+        .map_err(RpcError::Io)?;
+        loop {
+            if start.elapsed() >= self.config.call_deadline {
+                return Err(RpcError::DeadlineExpired {
+                    waited: start.elapsed(),
+                });
+            }
+            match conn.reader.poll(&mut conn.stream) {
+                Ok(FramePoll::Frame(Frame::HelloAck { accept, epoch })) => {
+                    return match accept {
+                        Accept::Ok => {
+                            self.epoch = Some(epoch);
+                            self.conn = Some(conn);
+                            Ok(())
+                        }
+                        refused => Err(RpcError::Rejected { accept: refused }),
+                    };
+                }
+                Ok(FramePoll::Frame(_)) => return Err(RpcError::Protocol("frame before ack")),
+                Ok(FramePoll::Pending) => {}
+                Ok(FramePoll::Closed) => {
+                    return Err(RpcError::Io(io::Error::new(
+                        io::ErrorKind::ConnectionAborted,
+                        "closed during handshake",
+                    )))
+                }
+                Err(PollError::Io(e)) => return Err(RpcError::Io(e)),
+                Err(PollError::Wire(e)) => {
+                    return Err(RpcError::Io(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        e.to_string(),
+                    )))
+                }
+            }
+        }
+    }
+
+    fn dial(&self) -> Result<Box<dyn NetStream>, RpcError> {
+        let stream: Box<dyn NetStream> = match &self.config.endpoint {
+            Endpoint::Tcp(addr) => {
+                let stream = TcpStream::connect(addr.as_str()).map_err(RpcError::Io)?;
+                stream.set_nodelay(true).map_err(RpcError::Io)?;
+                match &self.config.fault_plan {
+                    Some(plan) => Box::new(FaultyConn::new(stream, Arc::clone(plan))),
+                    None => Box::new(stream),
+                }
+            }
+            Endpoint::Unix(path) => {
+                let stream = UnixStream::connect(path).map_err(RpcError::Io)?;
+                match &self.config.fault_plan {
+                    Some(plan) => Box::new(FaultyConn::new(stream, Arc::clone(plan))),
+                    None => Box::new(stream),
+                }
+            }
+        };
+        Ok(stream)
+    }
+
+    /// One bounded poll on the live connection: `Ok(None)` when the
+    /// tick elapsed without a complete frame.
+    fn poll_frame(&mut self) -> Result<Option<Frame>, RpcError> {
+        let Some(conn) = self.conn.as_mut() else {
+            return Ok(None);
+        };
+        match conn.reader.poll(&mut conn.stream) {
+            Ok(FramePoll::Frame(frame)) => Ok(Some(frame)),
+            Ok(FramePoll::Pending) => Ok(None),
+            Ok(FramePoll::Closed) => Err(RpcError::Io(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "server closed the connection",
+            ))),
+            Err(PollError::Io(e)) => Err(RpcError::Io(e)),
+            Err(PollError::Wire(e)) => Err(RpcError::Io(io::Error::new(
+                io::ErrorKind::InvalidData,
+                e.to_string(),
+            ))),
+        }
+    }
+}
+
+impl fmt::Debug for RpcClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RpcClient")
+            .field("endpoint", &self.config.endpoint)
+            .field("client_id", &self.config.client_id)
+            .field("connected", &self.conn.is_some())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}

@@ -1,0 +1,919 @@
+//! The serving loop: accept, admit, pump, respond, drain.
+//!
+//! # Threading model
+//!
+//! Thread-per-connection on the existing
+//! [`WorkerPool`] — no async runtime. One
+//! **control thread** (the pool's scope body) owns the
+//! [`OramService`] outright and interleaves three duties per tick:
+//! accept pending connections (nonblocking), drain the job inbox into
+//! the service, and pump the engine / collect results. Each accepted
+//! connection runs on a pool worker, parsing frames and forwarding
+//! [`Frame::Request`]s to the control thread over an mpsc inbox;
+//! responses travel back on a per-connection channel. The service never
+//! crosses a thread boundary, so the engine needs no locks and the
+//! deterministic pump order is exactly the in-process one.
+//!
+//! # Failure semantics
+//!
+//! Every request resolves to exactly one of:
+//!
+//! * **executed** — admitted to the ORAM and run to completion; the
+//!   outcome (success or typed in-flight failure) is cached in the
+//!   bounded idempotency window keyed by `(client_id, req_id)`, so a
+//!   retry after a lost response replays the *original* outcome instead
+//!   of re-executing. Once admitted, a request is never cancelled — an
+//!   applied write cannot be idempotently un-applied.
+//! * **shed** — refused *before* reaching the ORAM engine with a typed
+//!   code (`BUSY`, `QUEUE_FULL`, `DEADLINE_EXPIRED`, `SHUTTING_DOWN`,
+//!   serving-layer rejections). Shed outcomes are deliberately **not**
+//!   cached: a retry must re-evaluate admission, or a transient `BUSY`
+//!   would be pinned forever.
+//!
+//! # Drain
+//!
+//! When the drain flag rises (SIGTERM in `horam-serverd`, or a
+//! [`Frame::Drain`]): stop accepting, shed new requests with
+//! `SHUTTING_DOWN`, finish every in-flight request and deliver its
+//! response, then [`OramService::checkpoint`]. The checkpoint bundles
+//! the sealed engine snapshot **and** the idempotency window, so a
+//! restarted server still recognizes retries of work the old process
+//! executed. Because drain completes or sheds everything, no request is
+//! ever half-applied at the checkpoint boundary — which is what makes
+//! restart + restore + replay byte-identical to an uninterrupted run.
+
+use crate::net::{Listener, NetStream};
+use crate::status;
+use crate::wire::{write_frame, Accept, Frame, FramePoll, FrameReader, PollError, ServerCounters};
+use horam_core::engine::OramEngine;
+use horam_core::multi_user::UserId;
+use horam_core::pool::WorkerPool;
+use horam_server::service::{OramService, ServeError, ServiceTicket};
+use oram_protocols::types::Request;
+use std::collections::{HashMap, VecDeque};
+use std::error::Error;
+use std::fmt;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How long a freshly accepted connection gets to present its `Hello`.
+const HANDSHAKE_BUDGET: Duration = Duration::from_secs(3);
+
+/// Server tuning and lifecycle knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Concurrent connection bound; excess dials get a `Busy` handshake
+    /// and are dropped (typed backpressure, not unbounded buffering).
+    pub max_connections: usize,
+    /// Server-wide in-flight request bound; excess requests get `BUSY`.
+    pub max_inflight: usize,
+    /// Executed-outcome entries retained for idempotent retries.
+    pub dedup_window: usize,
+    /// Required `Hello` token, if any.
+    pub token: Option<u64>,
+    /// Process start epoch reported in every `HelloAck` (bump it on
+    /// restart so clients can observe that they crossed a restart).
+    pub epoch: u64,
+    /// Control-loop park / connection read-timeout granularity. Every
+    /// blocking wait in the server is bounded by (a small multiple of)
+    /// this tick.
+    pub tick: Duration,
+    /// Raised by SIGTERM (see `horam-serverd`) or a [`Frame::Drain`];
+    /// starts the graceful drain. Hold a clone to trigger drain
+    /// externally.
+    pub drain: Arc<AtomicBool>,
+    /// Idempotency-window entries carried over from a previous process's
+    /// [`Checkpoint`], so retries of already-executed work survive a
+    /// restart.
+    pub preload_window: Vec<WindowEntry>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_connections: 16,
+            max_inflight: 256,
+            dedup_window: 1024,
+            token: None,
+            epoch: 0,
+            tick: Duration::from_millis(1),
+            drain: Arc::new(AtomicBool::new(false)),
+            preload_window: Vec::new(),
+        }
+    }
+}
+
+/// One executed outcome in the idempotency window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowEntry {
+    /// The retry-stable client identity from the `Hello`.
+    pub client_id: u64,
+    /// The request's idempotency key.
+    pub req_id: u64,
+    /// The cached response frame (always a [`Frame::Response`]).
+    pub response: Frame,
+}
+
+/// What a graceful drain produces: the sealed engine snapshot plus the
+/// idempotency window, serialized together so a restarted server
+/// resumes with both the data *and* the memory of what it already
+/// executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Sealed engine state from [`OramService::checkpoint`].
+    pub snapshot: Vec<u8>,
+    /// Idempotency-window entries, oldest first.
+    pub window: Vec<WindowEntry>,
+    /// The epoch of the process that took the checkpoint.
+    pub epoch: u64,
+}
+
+const CHECKPOINT_MAGIC: &[u8; 4] = b"HCKP";
+const CHECKPOINT_VERSION: u32 = 1;
+
+impl Checkpoint {
+    /// Serializes the checkpoint for the restart file.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(CHECKPOINT_MAGIC);
+        out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&(self.snapshot.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.snapshot);
+        out.extend_from_slice(&(self.window.len() as u32).to_le_bytes());
+        for entry in &self.window {
+            out.extend_from_slice(&entry.client_id.to_le_bytes());
+            out.extend_from_slice(&entry.req_id.to_le_bytes());
+            let frame = crate::wire::encode_frame(&entry.response);
+            out.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+            out.extend_from_slice(&frame);
+        }
+        out
+    }
+
+    /// Parses a checkpoint file.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on truncation, bad magic, or an unknown version —
+    /// restores fail closed, a corrupt checkpoint is never half-adopted.
+    pub fn from_bytes(bytes: &[u8]) -> io::Result<Self> {
+        fn bad(reason: &str) -> io::Error {
+            io::Error::new(io::ErrorKind::InvalidData, format!("checkpoint: {reason}"))
+        }
+        let mut pos = 0usize;
+        let mut take = |n: usize| -> io::Result<&[u8]> {
+            let end = pos.checked_add(n).ok_or_else(|| bad("length overflow"))?;
+            if end > bytes.len() {
+                return Err(bad("truncated"));
+            }
+            let slice = &bytes[pos..end];
+            pos = end;
+            Ok(slice)
+        };
+        if take(4)? != CHECKPOINT_MAGIC {
+            return Err(bad("bad magic"));
+        }
+        let version = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes"));
+        if version != CHECKPOINT_VERSION {
+            return Err(bad("unknown version"));
+        }
+        let epoch = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes"));
+        let snapshot_len = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes")) as usize;
+        let snapshot = take(snapshot_len)?.to_vec();
+        let count = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes"));
+        let mut window = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let client_id = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes"));
+            let req_id = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes"));
+            let frame_len = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes")) as usize;
+            let frame_bytes = take(frame_len)?;
+            if frame_bytes.len() < 5 {
+                return Err(bad("window frame too short"));
+            }
+            let response = crate::wire::decode_frame(frame_bytes[4], &frame_bytes[5..])
+                .map_err(|e| bad(&format!("window frame: {e}")))?;
+            window.push(WindowEntry {
+                client_id,
+                req_id,
+                response,
+            });
+        }
+        if pos != bytes.len() {
+            return Err(bad("trailing bytes"));
+        }
+        Ok(Self {
+            snapshot,
+            window,
+            epoch,
+        })
+    }
+}
+
+/// What [`run_server`] returns after a graceful drain.
+#[derive(Debug)]
+pub struct ServerOutcome {
+    /// Final counter values.
+    pub counters: ServerCounters,
+    /// The drain checkpoint (engine snapshot + idempotency window).
+    pub checkpoint: Checkpoint,
+}
+
+/// Why the server stopped other than a graceful drain.
+#[derive(Debug)]
+pub enum ServerError {
+    /// The listener or a control-path socket failed.
+    Io(io::Error),
+    /// The engine failed while pumping or checkpointing.
+    Serve(ServeError),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Io(e) => write!(f, "io: {e}"),
+            ServerError::Serve(e) => write!(f, "serve: {e}"),
+        }
+    }
+}
+
+impl Error for ServerError {}
+
+impl From<io::Error> for ServerError {
+    fn from(e: io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}
+
+impl From<ServeError> for ServerError {
+    fn from(e: ServeError) -> Self {
+        ServerError::Serve(e)
+    }
+}
+
+/// One parsed request travelling from a connection thread to the
+/// control thread.
+struct Job {
+    client_id: u64,
+    tenant: u32,
+    req_id: u64,
+    /// Absolute shed point, stamped at arrival on the connection thread
+    /// from the request's relative budget.
+    deadline_at: Option<Instant>,
+    block: u64,
+    payload: Option<Vec<u8>>,
+    reply: mpsc::Sender<Frame>,
+}
+
+/// Atomic counter block shared by the control thread and connections.
+#[derive(Default)]
+struct Counters {
+    served: AtomicU64,
+    shed_deadline: AtomicU64,
+    busy_rejects: AtomicU64,
+    queue_full_rejects: AtomicU64,
+    dedup_hits: AtomicU64,
+    shed_draining: AtomicU64,
+    connections: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self, draining: bool) -> ServerCounters {
+        ServerCounters {
+            served: self.served.load(Ordering::Relaxed),
+            shed_deadline: self.shed_deadline.load(Ordering::Relaxed),
+            busy_rejects: self.busy_rejects.load(Ordering::Relaxed),
+            queue_full_rejects: self.queue_full_rejects.load(Ordering::Relaxed),
+            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
+            shed_draining: self.shed_draining.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            draining,
+        }
+    }
+}
+
+/// Immutable context handed to every connection thread.
+struct ConnShared {
+    inbox: mpsc::Sender<Job>,
+    counters: Arc<Counters>,
+    draining: Arc<AtomicBool>,
+    stopped: Arc<AtomicBool>,
+    token: Option<u64>,
+    epoch: u64,
+    tick: Duration,
+}
+
+/// Control-thread bookkeeping for one admitted request.
+struct Inflight {
+    client_id: u64,
+    req_id: u64,
+    reply: mpsc::Sender<Frame>,
+}
+
+/// Bounded idempotency window of executed outcomes.
+struct DedupWindow {
+    entries: HashMap<(u64, u64), Frame>,
+    order: VecDeque<(u64, u64)>,
+    cap: usize,
+}
+
+impl DedupWindow {
+    fn new(cap: usize, preload: Vec<WindowEntry>) -> Self {
+        let mut window = Self {
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            cap: cap.max(1),
+        };
+        for entry in preload {
+            window.insert(entry.client_id, entry.req_id, entry.response);
+        }
+        window
+    }
+
+    fn get(&self, client_id: u64, req_id: u64) -> Option<&Frame> {
+        self.entries.get(&(client_id, req_id))
+    }
+
+    fn insert(&mut self, client_id: u64, req_id: u64, response: Frame) {
+        let key = (client_id, req_id);
+        if self.entries.insert(key, response).is_none() {
+            self.order.push_back(key);
+        }
+        while self.order.len() > self.cap {
+            if let Some(old) = self.order.pop_front() {
+                self.entries.remove(&old);
+            }
+        }
+    }
+
+    fn to_entries(&self) -> Vec<WindowEntry> {
+        self.order
+            .iter()
+            .filter_map(|key| {
+                self.entries.get(key).map(|response| WindowEntry {
+                    client_id: key.0,
+                    req_id: key.1,
+                    response: response.clone(),
+                })
+            })
+            .collect()
+    }
+}
+
+/// Runs the server until a graceful drain completes, then returns the
+/// drain checkpoint. The service is borrowed, not consumed — after a
+/// drain the caller still owns the (now idle) service, which is what
+/// the drain-equivalence tests exploit.
+///
+/// Every blocking wait inside — accept, connection reads, the control
+/// loop park — is bounded by `config.tick` (or the handshake budget),
+/// so a vanished client or a lost frame can never wedge the server.
+///
+/// # Errors
+///
+/// [`ServerError::Io`] if the listener fails, [`ServerError::Serve`] if
+/// the engine fails while pumping or taking the drain checkpoint.
+pub fn run_server<E: OramEngine>(
+    service: &mut OramService<E>,
+    listener: &Listener,
+    config: &ServerConfig,
+) -> Result<ServerOutcome, ServerError> {
+    let counters = Arc::new(Counters::default());
+    let draining = Arc::clone(&config.drain);
+    let stopped = Arc::new(AtomicBool::new(false));
+    let active = Arc::new(AtomicUsize::new(0));
+    let (inbox_tx, inbox_rx) = mpsc::channel::<Job>();
+
+    // Workers cover every concurrent connection; the control loop is the
+    // scope body and does not help until the final barrier.
+    let pool = WorkerPool::new(config.max_connections.max(1) + 1);
+    pool.scope(|scope| {
+        let run = (|| -> Result<ServerOutcome, ServerError> {
+            let mut window = DedupWindow::new(config.dedup_window, config.preload_window.clone());
+            let mut inflight: HashMap<ServiceTicket, Inflight> = HashMap::new();
+            let mut inflight_by_key: HashMap<(u64, u64), ServiceTicket> = HashMap::new();
+
+            loop {
+                // 1. Accept pending dials (stops once draining).
+                if !draining.load(Ordering::Acquire) {
+                    while let Some(mut stream) = listener.try_accept()? {
+                        counters.connections.fetch_add(1, Ordering::Relaxed);
+                        if active.load(Ordering::Acquire) >= config.max_connections {
+                            // Typed backpressure at the door: say Busy,
+                            // hang up. Best-effort — the client also
+                            // handles a plain disconnect.
+                            counters.busy_rejects.fetch_add(1, Ordering::Relaxed);
+                            let _ = write_frame(
+                                &mut stream,
+                                &Frame::HelloAck {
+                                    accept: Accept::Busy,
+                                    epoch: config.epoch,
+                                },
+                            );
+                            let _ = stream.shutdown_both();
+                            continue;
+                        }
+                        active.fetch_add(1, Ordering::AcqRel);
+                        let shared = ConnShared {
+                            inbox: inbox_tx.clone(),
+                            counters: Arc::clone(&counters),
+                            draining: Arc::clone(&draining),
+                            stopped: Arc::clone(&stopped),
+                            token: config.token,
+                            epoch: config.epoch,
+                            tick: config.tick,
+                        };
+                        let active = Arc::clone(&active);
+                        scope.spawn(move || {
+                            handle_conn(stream, &shared);
+                            active.fetch_sub(1, Ordering::AcqRel);
+                        });
+                    }
+                }
+
+                // 2. Drain the inbox into the engine.
+                while let Ok(job) = inbox_rx.try_recv() {
+                    admit_job(
+                        service,
+                        job,
+                        &counters,
+                        &draining,
+                        &mut window,
+                        &mut inflight,
+                        &mut inflight_by_key,
+                        config.max_inflight,
+                    );
+                }
+
+                // 3. Pump and deliver.
+                let busy = !inflight.is_empty();
+                if busy {
+                    service.pump()?;
+                    collect_resolved(
+                        service,
+                        &counters,
+                        &mut window,
+                        &mut inflight,
+                        &mut inflight_by_key,
+                    );
+                }
+
+                // 4. Drain completion: everything admitted has resolved.
+                if draining.load(Ordering::Acquire) && inflight.is_empty() {
+                    // Shed whatever raced into the inbox after the flag.
+                    while let Ok(job) = inbox_rx.try_recv() {
+                        counters.shed_draining.fetch_add(1, Ordering::Relaxed);
+                        let _ = job.reply.send(status::transport_error_response(
+                            job.req_id,
+                            status::SHUTTING_DOWN,
+                            "server draining; request not executed, safe to replay".into(),
+                        ));
+                    }
+                    let snapshot = service.checkpoint()?;
+                    return Ok(ServerOutcome {
+                        counters: counters.snapshot(true),
+                        checkpoint: Checkpoint {
+                            snapshot,
+                            window: window.to_entries(),
+                            epoch: config.epoch,
+                        },
+                    });
+                }
+
+                // 5. Park briefly when idle so the loop does not spin.
+                if !busy {
+                    match inbox_rx.recv_timeout(config.tick) {
+                        Ok(job) => admit_job(
+                            service,
+                            job,
+                            &counters,
+                            &draining,
+                            &mut window,
+                            &mut inflight,
+                            &mut inflight_by_key,
+                            config.max_inflight,
+                        ),
+                        Err(mpsc::RecvTimeoutError::Timeout) => {}
+                        // Unreachable while we hold `inbox_tx`, but a
+                        // disconnect would simply mean no more senders.
+                        Err(mpsc::RecvTimeoutError::Disconnected) => {}
+                    }
+                }
+            }
+        })();
+        // Whatever the exit path, release the connection threads before
+        // the scope barrier, or the barrier would never clear.
+        stopped.store(true, Ordering::Release);
+        run
+    })
+}
+
+/// Admission on the control thread: dedup → drain → deadline → busy →
+/// submit. Everything shed here never touches the ORAM engine.
+#[allow(clippy::too_many_arguments)]
+fn admit_job<E: OramEngine>(
+    service: &mut OramService<E>,
+    job: Job,
+    counters: &Counters,
+    draining: &AtomicBool,
+    window: &mut DedupWindow,
+    inflight: &mut HashMap<ServiceTicket, Inflight>,
+    inflight_by_key: &mut HashMap<(u64, u64), ServiceTicket>,
+    max_inflight: usize,
+) {
+    let key = (job.client_id, job.req_id);
+
+    // An already-executed outcome answers the retry verbatim — this is
+    // what makes retried writes safe (the original previous-bytes come
+    // back; nothing re-executes).
+    if let Some(cached) = window.get(key.0, key.1) {
+        counters.dedup_hits.fetch_add(1, Ordering::Relaxed);
+        let _ = job.reply.send(cached.clone());
+        return;
+    }
+
+    // A retry of a request still executing re-attaches the (possibly
+    // redialed) reply channel to the in-flight entry instead of
+    // resubmitting.
+    if let Some(&ticket) = inflight_by_key.get(&key) {
+        counters.dedup_hits.fetch_add(1, Ordering::Relaxed);
+        if let Some(meta) = inflight.get_mut(&ticket) {
+            meta.reply = job.reply;
+        }
+        return;
+    }
+
+    if draining.load(Ordering::Acquire) {
+        counters.shed_draining.fetch_add(1, Ordering::Relaxed);
+        let _ = job.reply.send(status::transport_error_response(
+            job.req_id,
+            status::SHUTTING_DOWN,
+            "server draining; request not executed, safe to replay".into(),
+        ));
+        return;
+    }
+
+    // Deadline shedding happens before the engine ever sees the work.
+    if let Some(deadline_at) = job.deadline_at {
+        if Instant::now() >= deadline_at {
+            counters.shed_deadline.fetch_add(1, Ordering::Relaxed);
+            let _ = job.reply.send(status::transport_error_response(
+                job.req_id,
+                status::DEADLINE_EXPIRED,
+                "deadline budget spent before admission; not executed".into(),
+            ));
+            return;
+        }
+    }
+
+    if inflight.len() >= max_inflight {
+        counters.busy_rejects.fetch_add(1, Ordering::Relaxed);
+        let _ = job.reply.send(status::transport_error_response(
+            job.req_id,
+            status::BUSY,
+            format!("server at its in-flight bound ({max_inflight}); retry after backoff"),
+        ));
+        return;
+    }
+
+    let request = match job.payload {
+        Some(payload) => Request::write(job.block, payload),
+        None => Request::read(job.block),
+    };
+    match service.submit(UserId(job.tenant), request) {
+        Ok(ticket) => {
+            inflight.insert(
+                ticket,
+                Inflight {
+                    client_id: job.client_id,
+                    req_id: job.req_id,
+                    reply: job.reply,
+                },
+            );
+            inflight_by_key.insert(key, ticket);
+        }
+        Err(error) => {
+            if matches!(error, ServeError::QueueFull { .. }) {
+                counters.queue_full_rejects.fetch_add(1, Ordering::Relaxed);
+            }
+            // Pre-execution rejection: typed, not cached, retry
+            // re-evaluates.
+            let _ = job
+                .reply
+                .send(status::serve_error_response(job.req_id, &error));
+        }
+    }
+}
+
+/// Harvests every resolved ticket, caches the executed outcome in the
+/// idempotency window, and delivers it (best-effort — a vanished client
+/// collects it from the window on retry).
+fn collect_resolved<E: OramEngine>(
+    service: &mut OramService<E>,
+    counters: &Counters,
+    window: &mut DedupWindow,
+    inflight: &mut HashMap<ServiceTicket, Inflight>,
+    inflight_by_key: &mut HashMap<(u64, u64), ServiceTicket>,
+) {
+    let tickets: Vec<ServiceTicket> = inflight.keys().copied().collect();
+    for ticket in tickets {
+        let Some(result) = service.take_result(ticket) else {
+            continue;
+        };
+        let Some(meta) = inflight.remove(&ticket) else {
+            continue;
+        };
+        inflight_by_key.remove(&(meta.client_id, meta.req_id));
+        let frame = match result {
+            Ok(payload) => Frame::Response {
+                req_id: meta.req_id,
+                status: status::OK,
+                shard: 0,
+                message: String::new(),
+                payload,
+            },
+            Err(error) => status::serve_error_response(meta.req_id, &error),
+        };
+        counters.served.fetch_add(1, Ordering::Relaxed);
+        window.insert(meta.client_id, meta.req_id, frame.clone());
+        let _ = meta.reply.send(frame);
+    }
+}
+
+/// One connection's lifecycle on a pool worker: handshake, then a
+/// bounded-poll loop forwarding requests inward and responses outward.
+/// Never blocks unboundedly; exits on peer close, poisoned stream,
+/// handshake timeout, or server stop.
+fn handle_conn(mut stream: Box<dyn NetStream>, shared: &ConnShared) {
+    if stream.set_read_timeout(Some(shared.tick)).is_err() {
+        return;
+    }
+    let mut reader = FrameReader::new();
+
+    // Handshake: the peer gets a bounded budget to present its Hello.
+    let started = Instant::now();
+    let (client_id, tenant) = loop {
+        if shared.stopped.load(Ordering::Acquire) || started.elapsed() > HANDSHAKE_BUDGET {
+            return;
+        }
+        match reader.poll(&mut stream) {
+            Ok(FramePoll::Frame(Frame::Hello {
+                client_id,
+                tenant,
+                token,
+            })) => {
+                if shared.token.is_some_and(|expected| expected != token) {
+                    let _ = write_frame(
+                        &mut stream,
+                        &Frame::HelloAck {
+                            accept: Accept::AuthFailed,
+                            epoch: shared.epoch,
+                        },
+                    );
+                    let _ = stream.shutdown_both();
+                    return;
+                }
+                if shared.draining.load(Ordering::Acquire) {
+                    let _ = write_frame(
+                        &mut stream,
+                        &Frame::HelloAck {
+                            accept: Accept::Draining,
+                            epoch: shared.epoch,
+                        },
+                    );
+                    let _ = stream.shutdown_both();
+                    return;
+                }
+                break (client_id, tenant);
+            }
+            // Anything else before the handshake is a protocol violation.
+            Ok(FramePoll::Frame(_)) | Ok(FramePoll::Closed) | Err(_) => return,
+            Ok(FramePoll::Pending) => {}
+        }
+    };
+    if write_frame(
+        &mut stream,
+        &Frame::HelloAck {
+            accept: Accept::Ok,
+            epoch: shared.epoch,
+        },
+    )
+    .is_err()
+    {
+        return;
+    }
+
+    let (reply_tx, reply_rx) = mpsc::channel::<Frame>();
+    loop {
+        // Outbound first: deliver whatever the engine resolved since the
+        // last poll.
+        while let Ok(frame) = reply_rx.try_recv() {
+            if write_frame(&mut stream, &frame).is_err() {
+                // Client gone mid-response; executed outcomes stay in
+                // the idempotency window for its retry.
+                return;
+            }
+        }
+
+        if shared.stopped.load(Ordering::Acquire) {
+            // The engine queued every drain response before raising
+            // `stopped`; flush the tail and close.
+            while let Ok(frame) = reply_rx.try_recv() {
+                if write_frame(&mut stream, &frame).is_err() {
+                    return;
+                }
+            }
+            let _ = stream.flush();
+            let _ = stream.shutdown_both();
+            return;
+        }
+
+        match reader.poll(&mut stream) {
+            Ok(FramePoll::Frame(frame)) => match frame {
+                Frame::Request {
+                    req_id,
+                    deadline_nanos,
+                    block,
+                    payload,
+                } => {
+                    let deadline_at = (deadline_nanos > 0)
+                        .then(|| Instant::now() + Duration::from_nanos(deadline_nanos));
+                    let job = Job {
+                        client_id,
+                        tenant,
+                        req_id,
+                        deadline_at,
+                        block,
+                        payload,
+                        reply: reply_tx.clone(),
+                    };
+                    if shared.inbox.send(job).is_err() {
+                        // Control loop already gone: shed, typed.
+                        let _ = write_frame(
+                            &mut stream,
+                            &status::transport_error_response(
+                                req_id,
+                                status::SHUTTING_DOWN,
+                                "server stopped; request not executed".into(),
+                            ),
+                        );
+                    }
+                }
+                Frame::Ping { nonce } => {
+                    if write_frame(&mut stream, &Frame::Pong { nonce }).is_err() {
+                        return;
+                    }
+                }
+                Frame::Stats => {
+                    let snapshot = shared
+                        .counters
+                        .snapshot(shared.draining.load(Ordering::Acquire));
+                    if write_frame(&mut stream, &Frame::StatsReply(snapshot)).is_err() {
+                        return;
+                    }
+                }
+                Frame::Drain => {
+                    shared.draining.store(true, Ordering::Release);
+                    if write_frame(&mut stream, &Frame::DrainStarted).is_err() {
+                        return;
+                    }
+                }
+                // A second Hello or any server-to-client frame from a
+                // client is a protocol violation; poison the connection.
+                _ => {
+                    let _ = stream.shutdown_both();
+                    return;
+                }
+            },
+            Ok(FramePoll::Pending) => {}
+            Ok(FramePoll::Closed) => return,
+            Err(PollError::Wire(error)) => {
+                // Undecodable bytes: there is no resynchronizing a
+                // length-prefixed stream, so report and hang up.
+                let _ = write_frame(
+                    &mut stream,
+                    &status::transport_error_response(0, status::BAD_FRAME, error.to_string()),
+                );
+                let _ = stream.shutdown_both();
+                return;
+            }
+            Err(PollError::Io(_)) => return,
+        }
+    }
+}
+
+/// Raised by the process signal handler; bridged onto drain flags by
+/// [`bind_signals_to_drain`]. Process-global because `signal(2)`
+/// handlers cannot carry state.
+static TERM: AtomicBool = AtomicBool::new(false);
+
+/// Installs SIGTERM/SIGINT handlers that raise the given drain flag,
+/// turning either signal into a graceful drain-and-checkpoint.
+///
+/// The handler itself is async-signal-safe (it only stores to a static
+/// atomic); a small watcher thread bridges that static onto the
+/// caller's `drain` flag. Installation uses `signal(2)` directly so the
+/// dependency set stays std-only. Calling this more than once is
+/// harmless — the last registered drain flag (and every earlier one,
+/// via its own watcher) is raised on the first signal.
+pub fn bind_signals_to_drain(drain: Arc<AtomicBool>) {
+    extern "C" fn on_term(_sig: i32) {
+        TERM.store(true, Ordering::Release);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_term as *const () as usize);
+        signal(SIGINT, on_term as *const () as usize);
+    }
+    thread::spawn(move || loop {
+        if TERM.load(Ordering::Acquire) {
+            drain.store(true, Ordering::Release);
+            return;
+        }
+        thread::sleep(Duration::from_millis(20));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::status as st;
+
+    #[test]
+    fn checkpoint_roundtrips() {
+        let checkpoint = Checkpoint {
+            snapshot: vec![7u8; 129],
+            window: vec![
+                WindowEntry {
+                    client_id: 1,
+                    req_id: 9,
+                    response: Frame::Response {
+                        req_id: 9,
+                        status: st::OK,
+                        shard: 0,
+                        message: String::new(),
+                        payload: vec![1, 2, 3],
+                    },
+                },
+                WindowEntry {
+                    client_id: 2,
+                    req_id: 4,
+                    response: st::transport_error_response(4, st::DEADLINE_EXPIRED, "late".into()),
+                },
+            ],
+            epoch: 3,
+        };
+        let bytes = checkpoint.to_bytes();
+        assert_eq!(Checkpoint::from_bytes(&bytes).expect("parses"), checkpoint);
+    }
+
+    #[test]
+    fn checkpoint_rejects_corruption() {
+        let checkpoint = Checkpoint {
+            snapshot: vec![1, 2, 3],
+            window: Vec::new(),
+            epoch: 0,
+        };
+        let bytes = checkpoint.to_bytes();
+        // Truncations at every boundary fail closed.
+        for cut in 0..bytes.len() {
+            assert!(Checkpoint::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(Checkpoint::from_bytes(&bad).is_err());
+        // Trailing garbage.
+        let mut long = bytes;
+        long.push(0);
+        assert!(Checkpoint::from_bytes(&long).is_err());
+    }
+
+    #[test]
+    fn dedup_window_caps_and_evicts_fifo() {
+        let mut window = DedupWindow::new(2, Vec::new());
+        let frame = |id: u64| Frame::Response {
+            req_id: id,
+            status: st::OK,
+            shard: 0,
+            message: String::new(),
+            payload: Vec::new(),
+        };
+        window.insert(1, 1, frame(1));
+        window.insert(1, 2, frame(2));
+        window.insert(1, 3, frame(3));
+        assert!(window.get(1, 1).is_none(), "oldest entry evicted");
+        assert!(window.get(1, 2).is_some());
+        assert!(window.get(1, 3).is_some());
+        // Re-inserting an existing key does not double-count capacity.
+        window.insert(1, 3, frame(3));
+        assert_eq!(window.to_entries().len(), 2);
+    }
+}

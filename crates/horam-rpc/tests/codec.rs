@@ -1,0 +1,172 @@
+//! Property tests over the wire codec: arbitrary frames roundtrip,
+//! arbitrary bytes never panic the decoder, truncation and oversize are
+//! always typed.
+
+use horam_rpc::wire::{
+    decode_frame, encode_frame, Accept, Frame, FramePoll, FrameReader, PollError, ServerCounters,
+    WireError, MAX_FRAME,
+};
+use proptest::prelude::*;
+
+fn arb_accept() -> impl Strategy<Value = Accept> {
+    prop_oneof![
+        Just(Accept::Ok),
+        Just(Accept::Busy),
+        Just(Accept::Draining),
+        Just(Accept::AuthFailed),
+    ]
+}
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        (any::<u64>(), any::<u32>(), any::<u64>()).prop_map(|(client_id, tenant, token)| {
+            Frame::Hello {
+                client_id,
+                tenant,
+                token,
+            }
+        }),
+        (arb_accept(), any::<u64>()).prop_map(|(accept, epoch)| Frame::HelloAck { accept, epoch }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            proptest::option::of(proptest::collection::vec(any::<u8>(), 0..128)),
+        )
+            .prop_map(|(req_id, deadline_nanos, block, payload)| Frame::Request {
+                req_id,
+                deadline_nanos,
+                block,
+                payload,
+            }),
+        (
+            (any::<u64>(), any::<u16>(), any::<u32>()),
+            proptest::collection::vec(32u8..127, 0..64),
+            proptest::collection::vec(any::<u8>(), 0..128),
+        )
+            .prop_map(
+                |((req_id, status, shard), message, payload)| Frame::Response {
+                    req_id,
+                    status,
+                    shard,
+                    message: String::from_utf8(message).expect("printable ascii"),
+                    payload,
+                }
+            ),
+        any::<u64>().prop_map(|nonce| Frame::Ping { nonce }),
+        any::<u64>().prop_map(|nonce| Frame::Pong { nonce }),
+        Just(Frame::Drain),
+        Just(Frame::DrainStarted),
+        Just(Frame::Stats),
+        (any::<[u64; 7]>(), any::<bool>()).prop_map(|(v, draining)| {
+            Frame::StatsReply(ServerCounters {
+                served: v[0],
+                shed_deadline: v[1],
+                busy_rejects: v[2],
+                queue_full_rejects: v[3],
+                dedup_hits: v[4],
+                shed_draining: v[5],
+                connections: v[6],
+                draining,
+            })
+        }),
+    ]
+}
+
+proptest! {
+    /// Any frame encodes, decodes back to itself, and the length prefix
+    /// is exact.
+    #[test]
+    fn roundtrip(frame in arb_frame()) {
+        let encoded = encode_frame(&frame);
+        prop_assert!(encoded.len() >= 5);
+        let len = u32::from_le_bytes([encoded[0], encoded[1], encoded[2], encoded[3]]) as usize;
+        prop_assert_eq!(len, encoded.len() - 4);
+        prop_assert!(len <= MAX_FRAME);
+        let decoded = decode_frame(encoded[4], &encoded[5..]);
+        prop_assert_eq!(decoded.expect("well-formed frame decodes"), frame);
+    }
+
+    /// Feeding any frame one byte at a time through the resumable reader
+    /// yields exactly that frame, with `Pending` for every prefix.
+    #[test]
+    fn byte_at_a_time_reassembly(frame in arb_frame()) {
+        let encoded = encode_frame(&frame);
+        let mut reader = FrameReader::new();
+        let mut produced = None;
+        for (i, byte) in encoded.iter().enumerate() {
+            let mut one: &[u8] = std::slice::from_ref(byte);
+            match reader.poll(&mut one) {
+                Ok(FramePoll::Frame(got)) => {
+                    prop_assert_eq!(i, encoded.len() - 1, "frame before final byte");
+                    produced = Some(got);
+                }
+                Ok(FramePoll::Pending) => prop_assert!(i < encoded.len() - 1),
+                other => prop_assert!(false, "unexpected poll result {:?}", other),
+            }
+        }
+        prop_assert_eq!(produced.expect("frame produced"), frame);
+    }
+
+    /// Truncating a frame at any boundary then closing the stream gives
+    /// a typed truncation error — never a hang, never a panic, never a
+    /// bogus frame.
+    #[test]
+    fn truncation_is_typed(frame in arb_frame(), cut_seed in any::<u64>()) {
+        let encoded = encode_frame(&frame);
+        let cut = 1 + (cut_seed as usize) % (encoded.len() - 1);
+        let mut reader = FrameReader::new();
+        let mut partial: &[u8] = &encoded[..cut];
+        match reader.poll(&mut partial) {
+            Ok(FramePoll::Pending) => {}
+            other => {
+                prop_assert!(false, "prefix produced {:?}", other);
+            }
+        }
+        // Simulated peer death: EOF with a partial frame buffered.
+        let mut eof: &[u8] = &[];
+        let mut saw_truncation = false;
+        for _ in 0..2 {
+            match reader.poll(&mut eof) {
+                Err(PollError::Wire(WireError::Truncated { .. })) => {
+                    saw_truncation = true;
+                    break;
+                }
+                Ok(FramePoll::Pending) => {}
+                other => {
+                    prop_assert!(false, "eof produced {:?}", other);
+                }
+            }
+        }
+        prop_assert!(saw_truncation);
+    }
+
+    /// Arbitrary garbage never panics the decoder: every poll outcome is
+    /// a frame, pending, clean close, or a typed error.
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut reader = FrameReader::new();
+        let mut stream: &[u8] = &bytes;
+        for _ in 0..(bytes.len() + 2) {
+            match reader.poll(&mut stream) {
+                Ok(FramePoll::Frame(_)) | Ok(FramePoll::Pending) => {}
+                Ok(FramePoll::Closed) | Err(_) => break,
+            }
+        }
+    }
+
+    /// A length prefix beyond the bound is rejected as `Oversize` before
+    /// any body is buffered.
+    #[test]
+    fn oversize_is_typed(excess in 1u64..u32::MAX as u64 - MAX_FRAME as u64) {
+        let len = (MAX_FRAME as u64 + excess) as u32;
+        let mut reader = FrameReader::new();
+        let mut bytes: &[u8] = &len.to_le_bytes();
+        match reader.poll(&mut bytes) {
+            Err(PollError::Wire(WireError::Oversize { len: got })) => {
+                prop_assert_eq!(got, len as u64);
+            }
+            other => prop_assert!(false, "got {:?}", other),
+        }
+    }
+}

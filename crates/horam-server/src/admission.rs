@@ -42,7 +42,7 @@ pub struct QueuedSnapshot {
 /// `batch_size`; each occurrence admits the request at that tenant's
 /// queue front (at the time of the pop). Returning a tenant more often
 /// than it has queued requests is tolerated — excess pops are skipped.
-pub trait AdmissionPolicy: fmt::Debug {
+pub trait AdmissionPolicy: fmt::Debug + Send {
     /// A short display name for reports.
     fn name(&self) -> &'static str;
 

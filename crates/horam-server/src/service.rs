@@ -162,6 +162,19 @@ pub enum ServeError {
         /// Why the shard was taken out of service.
         reason: String,
     },
+    /// A bounded wait elapsed before the ticket resolved — either the
+    /// pump budget ran out, or the admission policy stalled with the
+    /// ticket still queued. Raised only by
+    /// [`OramService::take_result_timeout`]; the ticket stays collectable
+    /// by a later wait (the request is *not* cancelled — an admitted
+    /// write may already have been applied, so cancellation could never
+    /// be idempotent).
+    Timeout {
+        /// The ticket that failed to resolve within the budget.
+        ticket: ServiceTicket,
+        /// Pump iterations the bounded wait consumed before giving up.
+        pumps: u64,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -175,6 +188,13 @@ impl fmt::Display for ServeError {
             ServeError::Oram(error) => write!(f, "oram: {error}"),
             ServeError::Degraded { shard, reason } => {
                 write!(f, "shard {shard} degraded: {reason}")
+            }
+            ServeError::Timeout { ticket, pumps } => {
+                write!(
+                    f,
+                    "ticket {} unresolved after {pumps} bounded pump(s)",
+                    ticket.0
+                )
             }
         }
     }
@@ -748,9 +768,85 @@ impl<E: OramEngine> OramService<E> {
             .map(|error| Err(ServeError::from(error)))
     }
 
+    /// Pumps the service until `ticket` resolves, bounded by `max_pumps`
+    /// scheduling iterations — the deadline-bounded companion of
+    /// [`take_result`](Self::take_result). Every wait inside is bounded:
+    /// a ticket that can never resolve (never issued, already collected,
+    /// or silently lost) returns
+    /// [`OramError::UnknownTicket`] immediately instead of spinning, and
+    /// a pump that makes no progress while the ticket is still queued (an
+    /// admission policy refusing to admit it) fails fast rather than
+    /// burning the remaining budget on identical no-op pumps.
+    ///
+    /// On [`ServeError::Timeout`] the request is **not** cancelled — an
+    /// admitted write may already have been applied, so the only
+    /// idempotent behaviour is to leave the ticket collectable by a later
+    /// [`take_result`](Self::take_result) or a retried wait. The RPC
+    /// front end builds its server-side deadline machinery on exactly
+    /// this contract.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Timeout`] when the budget elapses or admission
+    /// stalls; [`ServeError::Oram`] ([`OramError::UnknownTicket`]) for
+    /// unresolvable tickets; pump errors propagate; and a ticket whose
+    /// request failed typed (degraded shard) yields that failure, exactly
+    /// as [`take_result`](Self::take_result) would.
+    pub fn take_result_timeout(
+        &mut self,
+        ticket: ServiceTicket,
+        max_pumps: u64,
+    ) -> Result<Vec<u8>, ServeError> {
+        if ticket.0 >= self.next_ticket {
+            return Err(ServeError::Oram(OramError::UnknownTicket {
+                ticket: ticket.0,
+            }));
+        }
+        let mut pumps = 0u64;
+        loop {
+            if let Some(outcome) = self.take_result(ticket) {
+                return outcome;
+            }
+            if !self.ticket_live(ticket) {
+                // Issued once but no longer queued, in flight, or
+                // buffered: it was already collected (or lost) and no
+                // amount of pumping can resolve it.
+                return Err(ServeError::Oram(OramError::UnknownTicket {
+                    ticket: ticket.0,
+                }));
+            }
+            if pumps >= max_pumps {
+                return Err(ServeError::Timeout { ticket, pumps });
+            }
+            let report = self.pump()?;
+            pumps += 1;
+            if report.admitted == 0 && report.completed == 0 && report.failed == 0 {
+                // No progress and the ticket is still unresolved: the
+                // admission policy is refusing the queue. Further pumps
+                // are byte-identical no-ops, so fail fast.
+                if let Some(outcome) = self.take_result(ticket) {
+                    return outcome;
+                }
+                return Err(ServeError::Timeout { ticket, pumps });
+            }
+        }
+    }
+
     /// Whether a response is ready to take.
     pub fn response_ready(&self, ticket: ServiceTicket) -> bool {
         self.responses.contains_key(&ticket)
+    }
+
+    /// Whether `ticket` is still moving through the pipeline (queued
+    /// behind admission or in flight in a batch). Resolved tickets —
+    /// response buffered, typed failure recorded, or already taken — are
+    /// not live.
+    fn ticket_live(&self, ticket: ServiceTicket) -> bool {
+        self.in_flight.iter().any(|flight| flight.ticket == ticket)
+            || self
+                .tenants
+                .values()
+                .any(|state| state.pending.iter().any(|pending| pending.ticket == ticket))
     }
 
     /// Indices of quarantined shards behind the engine (empty for a

@@ -314,6 +314,262 @@ impl DataStore for FaultyStore {
     }
 }
 
+// --------------------------------------------------------------- transport
+//
+// The PR-7 chaos methodology — seeded, replayable fault schedules between
+// two honest layers — extended to the wire. A [`FaultyConn`] sits between
+// an RPC endpoint and its byte stream exactly as a [`FaultyStore`] sits
+// between a device and its blocks: every decision is a pure function of
+// `(seed, frame counter, fault class)`, so a network chaos run replays
+// from its seed.
+//
+// Decisions advance on *writes only* (the RPC layers send exactly one
+// frame per `write` call, so the counter counts frames). Reads never roll
+// the stream: a polling reader calls `read` a timing-dependent number of
+// times, and letting those calls advance the schedule would make the
+// fault sequence — and therefore the run — nondeterministic. Reads fail
+// only as a *consequence* of an injected disconnect/truncation, which
+// breaks the connection for both directions.
+
+use std::io::{self, Read, Write};
+use std::sync::{Arc, Mutex};
+
+/// Seeded transport-fault schedule parameters. Rates are per-mille
+/// (0–1000) per frame written; zero disables the class. The default
+/// injects nothing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConnFaultConfig {
+    /// Seed for the deterministic decision stream.
+    pub seed: u64,
+    /// Per-mille probability a written frame is silently dropped: the
+    /// write reports success but no bytes reach the peer (the receiver
+    /// times out and must retry).
+    pub drop_permille: u32,
+    /// Per-mille probability a written frame is truncated: half its
+    /// bytes reach the peer, then the connection breaks (the receiver
+    /// sees a half-written frame followed by EOF).
+    pub truncate_permille: u32,
+    /// Per-mille probability the connection breaks before the frame is
+    /// written (both directions die; the writer sees `ConnectionReset`).
+    pub disconnect_permille: u32,
+    /// Per-mille probability the frame is delayed by
+    /// [`delay_micros`](Self::delay_micros) of real time before writing.
+    pub delay_permille: u32,
+    /// Host microseconds one injected delay sleeps.
+    pub delay_micros: u64,
+}
+
+impl ConnFaultConfig {
+    /// Whether this schedule can inject anything at all.
+    pub fn is_inert(&self) -> bool {
+        self.drop_permille == 0
+            && self.truncate_permille == 0
+            && self.disconnect_permille == 0
+            && (self.delay_permille == 0 || self.delay_micros == 0)
+    }
+}
+
+/// Counters of injected transport faults.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnFaultStats {
+    /// Frames silently dropped.
+    pub dropped: u64,
+    /// Frames truncated mid-write (connection broken after).
+    pub truncated: u64,
+    /// Connections broken before a frame.
+    pub disconnects: u64,
+    /// Frames delayed.
+    pub delays: u64,
+    /// Frames that went through unharmed.
+    pub delivered: u64,
+}
+
+/// The deterministic decision stream of one [`ConnFaultConfig`],
+/// **shared across reconnects**: a client that redials after an injected
+/// disconnect wraps its fresh stream around the same plan, so one seed
+/// describes one uninterrupted fault schedule for the whole chaos run —
+/// the property the run-twice determinism battery keys on.
+#[derive(Debug)]
+pub struct ConnFaultPlan {
+    config: ConnFaultConfig,
+    key: [u8; 16],
+    counter: u64,
+    stats: ConnFaultStats,
+}
+
+impl ConnFaultPlan {
+    /// Builds the decision stream for `config`.
+    pub fn new(config: ConnFaultConfig) -> Self {
+        let mut key = [0u8; 16];
+        key[..8].copy_from_slice(&config.seed.to_le_bytes());
+        key[8..].copy_from_slice(&(config.seed ^ 0x6672_616d_652d_6e66).to_le_bytes());
+        Self {
+            config,
+            key,
+            counter: 0,
+            stats: ConnFaultStats::default(),
+        }
+    }
+
+    /// A plan behind the shared handle [`FaultyConn`] expects, so redials
+    /// continue the schedule where the broken connection left it.
+    pub fn shared(config: ConnFaultConfig) -> Arc<Mutex<ConnFaultPlan>> {
+        Arc::new(Mutex::new(Self::new(config)))
+    }
+
+    /// The schedule parameters.
+    pub fn config(&self) -> &ConnFaultConfig {
+        &self.config
+    }
+
+    /// Counters of faults injected so far.
+    pub fn stats(&self) -> ConnFaultStats {
+        self.stats
+    }
+
+    /// Frames observed so far (each `write` call advances the stream).
+    pub fn frames_observed(&self) -> u64 {
+        self.counter
+    }
+
+    fn fires(&mut self, class: &'static str, permille: u32) -> bool {
+        if permille == 0 {
+            return false;
+        }
+        let mut mac = SipHash24::new(&self.key);
+        mac.write_u64(self.counter);
+        mac.write(class.as_bytes());
+        (mac.finish() % 1000) < u64::from(permille)
+    }
+
+    /// Rolls the whole per-frame schedule: exactly one counter advance
+    /// per frame regardless of which classes fire, so the schedule is a
+    /// pure function of the frame index.
+    fn roll_frame(&mut self) -> FrameFate {
+        let fate = if self.fires("disconnect", self.config.disconnect_permille) {
+            self.stats.disconnects += 1;
+            FrameFate::Disconnect
+        } else if self.fires("truncate", self.config.truncate_permille) {
+            self.stats.truncated += 1;
+            FrameFate::Truncate
+        } else if self.fires("drop", self.config.drop_permille) {
+            self.stats.dropped += 1;
+            FrameFate::Drop
+        } else if self.fires("delay", self.config.delay_permille) {
+            self.stats.delays += 1;
+            FrameFate::Delay(self.config.delay_micros)
+        } else {
+            self.stats.delivered += 1;
+            FrameFate::Deliver
+        };
+        self.counter += 1;
+        fate
+    }
+}
+
+/// What the schedule decided for one written frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FrameFate {
+    Deliver,
+    Drop,
+    Truncate,
+    Disconnect,
+    Delay(u64),
+}
+
+/// A byte stream with the faults of a [`ConnFaultPlan`] injected on its
+/// write path. Wraps anything `Read + Write` (a `TcpStream`, a
+/// `UnixStream`, a test loopback); see the module-level transport notes
+/// for why only writes roll the schedule.
+#[derive(Debug)]
+pub struct FaultyConn<S> {
+    inner: S,
+    plan: Arc<Mutex<ConnFaultPlan>>,
+    broken: bool,
+}
+
+impl<S> FaultyConn<S> {
+    /// Wraps `inner` with the shared fault schedule `plan`.
+    pub fn new(inner: S, plan: Arc<Mutex<ConnFaultPlan>>) -> Self {
+        Self {
+            inner,
+            plan,
+            broken: false,
+        }
+    }
+
+    /// Whether an injected fault has severed this connection (subsequent
+    /// reads and writes fail until the caller redials).
+    pub fn is_broken(&self) -> bool {
+        self.broken
+    }
+
+    /// A reference to the inner stream (e.g. to set socket timeouts).
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+
+    fn severed() -> io::Error {
+        io::Error::new(
+            io::ErrorKind::ConnectionReset,
+            "fault-injector: connection severed",
+        )
+    }
+}
+
+impl<S: Read + Write> Read for FaultyConn<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.broken {
+            return Err(Self::severed());
+        }
+        self.inner.read(buf)
+    }
+}
+
+impl<S: Read + Write> Write for FaultyConn<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.broken {
+            return Err(Self::severed());
+        }
+        let fate = {
+            let mut plan = self.plan.lock().unwrap_or_else(|e| e.into_inner());
+            plan.roll_frame()
+        };
+        match fate {
+            // Deliver the whole frame under one schedule roll: a partial
+            // inner write would make `write_all` callers re-enter and
+            // re-roll, tying the schedule to TCP buffer timing.
+            FrameFate::Deliver => self.inner.write_all(buf).map(|()| buf.len()),
+            FrameFate::Delay(micros) => {
+                std::thread::sleep(std::time::Duration::from_micros(micros));
+                self.inner.write_all(buf).map(|()| buf.len())
+            }
+            FrameFate::Drop => Ok(buf.len()),
+            FrameFate::Truncate => {
+                let half = buf.len() / 2;
+                self.inner.write_all(&buf[..half])?;
+                let _ = self.inner.flush();
+                self.broken = true;
+                Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "fault-injector: frame truncated mid-write",
+                ))
+            }
+            FrameFate::Disconnect => {
+                self.broken = true;
+                Err(Self::severed())
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.broken {
+            return Err(Self::severed());
+        }
+        self.inner.flush()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -462,5 +718,156 @@ mod tests {
         assert_eq!(blocks.len(), 16);
         store.install_blocks(blocks).unwrap();
         assert_eq!(store.len(), 16);
+    }
+
+    // ----------------------------------------------------- transport
+
+    /// A loopback stream: writes append to an owned buffer, reads drain
+    /// it — enough surface for the write-path fault semantics.
+    #[derive(Debug, Default)]
+    struct Loopback {
+        buf: std::collections::VecDeque<u8>,
+    }
+
+    impl Read for Loopback {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            let n = out.len().min(self.buf.len());
+            for slot in out.iter_mut().take(n) {
+                *slot = self.buf.pop_front().expect("counted");
+            }
+            Ok(n)
+        }
+    }
+
+    impl Write for Loopback {
+        fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+            self.buf.extend(data);
+            Ok(data.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// Drives `frames` fixed-size writes through a fresh conn on a shared
+    /// plan, reporting each frame's observable outcome.
+    fn drive_conn(config: ConnFaultConfig, frames: usize) -> (Vec<String>, ConnFaultStats) {
+        let plan = ConnFaultPlan::shared(config);
+        let mut outcomes = Vec::new();
+        let mut conn = FaultyConn::new(Loopback::default(), Arc::clone(&plan));
+        for i in 0..frames {
+            let frame = [i as u8; 16];
+            let outcome = match conn.write(&frame) {
+                Ok(n) => format!("ok{n}"),
+                Err(e) => format!("err:{:?}", e.kind()),
+            };
+            outcomes.push(outcome);
+            if conn.is_broken() {
+                // Redial: fresh stream, same plan — the schedule
+                // continues where the broken connection left it.
+                conn = FaultyConn::new(Loopback::default(), Arc::clone(&plan));
+            }
+        }
+        let stats = plan.lock().unwrap().stats();
+        (outcomes, stats)
+    }
+
+    #[test]
+    fn inert_conn_schedule_delivers_everything() {
+        let (outcomes, stats) = drive_conn(ConnFaultConfig::default(), 32);
+        assert!(outcomes.iter().all(|o| o == "ok16"));
+        assert_eq!(stats.delivered, 32);
+        assert_eq!(stats.disconnects + stats.dropped + stats.truncated, 0);
+    }
+
+    #[test]
+    fn conn_same_seed_replays_identically() {
+        let config = ConnFaultConfig {
+            seed: 77,
+            drop_permille: 200,
+            truncate_permille: 100,
+            disconnect_permille: 100,
+            ..ConnFaultConfig::default()
+        };
+        let (a, stats_a) = drive_conn(config.clone(), 128);
+        let (b, stats_b) = drive_conn(config, 128);
+        assert_eq!(a, b);
+        assert_eq!(stats_a, stats_b);
+        assert!(stats_a.dropped > 0 && stats_a.disconnects > 0);
+    }
+
+    #[test]
+    fn conn_different_seeds_differ() {
+        let mix = |seed| ConnFaultConfig {
+            seed,
+            drop_permille: 300,
+            disconnect_permille: 300,
+            ..ConnFaultConfig::default()
+        };
+        let (a, _) = drive_conn(mix(1), 64);
+        let (b, _) = drive_conn(mix(2), 64);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn dropped_frame_reports_success_but_delivers_nothing() {
+        let plan = ConnFaultPlan::shared(ConnFaultConfig {
+            seed: 5,
+            drop_permille: 1000,
+            ..ConnFaultConfig::default()
+        });
+        let mut conn = FaultyConn::new(Loopback::default(), plan);
+        assert_eq!(conn.write(&[9u8; 8]).unwrap(), 8, "write claims success");
+        assert_eq!(conn.get_ref().buf.len(), 0, "no bytes reached the peer");
+    }
+
+    #[test]
+    fn truncated_frame_delivers_half_then_severs() {
+        let plan = ConnFaultPlan::shared(ConnFaultConfig {
+            seed: 6,
+            truncate_permille: 1000,
+            ..ConnFaultConfig::default()
+        });
+        let mut conn = FaultyConn::new(Loopback::default(), plan);
+        let err = conn.write(&[3u8; 10]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        assert_eq!(conn.get_ref().buf.len(), 5, "half the frame got through");
+        assert!(conn.is_broken());
+        // Both directions are dead until redial.
+        assert!(conn.read(&mut [0u8; 4]).is_err());
+        assert!(conn.write(&[0u8; 4]).is_err());
+        assert!(conn.flush().is_err());
+    }
+
+    #[test]
+    fn disconnect_severs_before_any_byte() {
+        let plan = ConnFaultPlan::shared(ConnFaultConfig {
+            seed: 7,
+            disconnect_permille: 1000,
+            ..ConnFaultConfig::default()
+        });
+        let mut conn = FaultyConn::new(Loopback::default(), plan);
+        let err = conn.write(&[1u8; 4]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        assert_eq!(conn.get_ref().buf.len(), 0);
+        assert!(conn.is_broken());
+    }
+
+    #[test]
+    fn reads_never_advance_the_schedule() {
+        let plan = ConnFaultPlan::shared(ConnFaultConfig {
+            seed: 8,
+            drop_permille: 500,
+            ..ConnFaultConfig::default()
+        });
+        let mut conn = FaultyConn::new(Loopback::default(), Arc::clone(&plan));
+        // A polling reader hammers read; the frame counter must not move,
+        // or fault schedules would depend on poll timing.
+        for _ in 0..100 {
+            let _ = conn.read(&mut [0u8; 16]);
+        }
+        assert_eq!(plan.lock().unwrap().frames_observed(), 0);
+        let _ = conn.write(&[0u8; 8]);
+        assert_eq!(plan.lock().unwrap().frames_observed(), 1);
     }
 }

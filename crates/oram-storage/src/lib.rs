@@ -77,7 +77,10 @@ pub use calibration::MachineConfig;
 pub use clock::{SimClock, SimDuration, SimTime};
 pub use device::{AccessKind, Device, DeviceId, RetryPolicy, RetryStats, ScatterItem, TimingModel};
 pub use dram::DramModel;
-pub use fault::{FaultConfig, FaultPlan, FaultStats, FaultyStore};
+pub use fault::{
+    ConnFaultConfig, ConnFaultPlan, ConnFaultStats, FaultConfig, FaultPlan, FaultStats, FaultyConn,
+    FaultyStore,
+};
 pub use file::{FileStore, FileStoreConfig};
 pub use hdd::HddModel;
 pub use hierarchy::MemoryHierarchy;
