@@ -1,0 +1,17 @@
+//! Pipelined-cycle-scheduler gate: depth 4 vs the sequential baseline.
+//!
+//! Thin wrapper over [`bench::gates::pipeline_gate`]; see that module
+//! for the depth sweep, the ≥ 1.5× simulated-I/O threshold, and the
+//! cross-depth byte-identity checks. Writes the machine-readable report
+//! to `BENCH_pipeline.json` (or `--out <path>`) and exits nonzero when
+//! the gate fails.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin pipeline [-- --quick] [-- --out <path>]
+//! ```
+
+use bench::gates::{gate_main, pipeline_gate};
+
+fn main() {
+    gate_main("BENCH_pipeline.json", pipeline_gate)
+}

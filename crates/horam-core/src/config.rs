@@ -7,6 +7,7 @@
 //! oblivious shuffle used by the tree evict, and the partial-shuffle ratio
 //! of §5.3.1.
 
+use crate::pipeline::PipelineConfig;
 use oram_shuffle::ShuffleAlgorithm;
 
 /// One stage of the scheduler's `c` schedule (§4.2): during the given
@@ -100,6 +101,13 @@ pub struct HOramConfig {
     /// shape are byte-identical cache-on vs. cache-off (see
     /// `oram_storage::cache` and `docs/ARCHITECTURE.md` §10).
     pub cache: Option<oram_storage::cache::CacheConfig>,
+    /// Pipelined cycle scheduling: how many scheduling windows may be in
+    /// flight at once (see [`crate::pipeline`]). `depth: None` (the
+    /// default) adopts the machine's hint, falling back to 1 — the
+    /// strictly sequential scheduler. Responses, traces, stats, and the
+    /// simulated clock are byte-identical at every depth
+    /// (`tests/pipeline.rs`); the knob changes wall-clock time only.
+    pub pipeline: PipelineConfig,
     /// Position-map implementation: flat in-RAM tables (the default) or
     /// the recursive O(log N)-trusted-memory variant (see
     /// [`crate::posmap`] and `docs/ARCHITECTURE.md` §12). The choice is
@@ -239,6 +247,7 @@ impl HOramConfig {
             worker_threads: default_worker_threads(),
             partition_headroom: 1.10,
             cache: None,
+            pipeline: PipelineConfig::default(),
             posmap: PosmapMode::Flat,
             seed: DEFAULT_SEED,
         }
@@ -354,6 +363,24 @@ impl HOramConfig {
         self
     }
 
+    /// Pins the pipeline depth (see [`pipeline`](Self::pipeline); `1` =
+    /// the sequential scheduler, ignoring any machine hint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn with_pipeline_depth(self, depth: u64) -> Self {
+        self.with_pipeline(PipelineConfig::with_depth(depth))
+    }
+
+    /// Replaces the pipeline configuration wholesale (see
+    /// [`pipeline`](Self::pipeline)).
+    pub fn with_pipeline(mut self, pipeline: PipelineConfig) -> Self {
+        pipeline.validate();
+        self.pipeline = pipeline;
+        self
+    }
+
     /// Switches to the recursive position map: `levels` is a target level
     /// count (`None` = auto-recurse to the default root threshold),
     /// `cache_pages` the pinned page budget per level. For full control
@@ -412,6 +439,7 @@ impl HOramConfig {
         if let PosmapMode::Recursive(rcfg) = &self.posmap {
             rcfg.validate();
         }
+        self.pipeline.validate();
         assert!(
             self.partition_headroom >= 1.0,
             "headroom factor must be ≥ 1.0"
@@ -547,6 +575,26 @@ mod tests {
     #[should_panic(expected = "io_batch must be at least 1")]
     fn zero_io_batch_rejected() {
         let _ = HOramConfig::new(1024, 64, 256).with_io_batch(0);
+    }
+
+    #[test]
+    fn pipeline_knob() {
+        let defaults = HOramConfig::new(1024, 64, 256);
+        assert_eq!(
+            defaults.pipeline.depth, None,
+            "default adopts the machine hint (or sequential)"
+        );
+        assert_eq!(defaults.pipeline.effective_depth(None), 1);
+        let deep = HOramConfig::new(1024, 64, 256).with_pipeline_depth(4);
+        deep.validate();
+        assert_eq!(deep.pipeline.depth, Some(4));
+        assert_eq!(deep.pipeline.effective_depth(Some(2)), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "pipeline depth must be at least 1")]
+    fn zero_pipeline_depth_rejected() {
+        let _ = HOramConfig::new(1024, 64, 256).with_pipeline_depth(0);
     }
 
     #[test]

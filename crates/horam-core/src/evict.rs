@@ -52,8 +52,19 @@ pub fn oblivious_tree_evict(
 
     // Reconstitute the buffer the paper shuffles: every tree slot, real or
     // dummy. (evict_all returns the decrypt of the same streamed read.)
+    // The buffer must cover *every* resident block, not just the tree
+    // image: with a tiny tree the stash can hold spill beyond the slot
+    // count at period end, and sizing the buffer to `total_slots` alone
+    // would silently drop those blocks (the position map would keep
+    // claiming them memory-resident — permanent data loss). Pad to at
+    // least the tree image; in healthy configurations (period budget ≤
+    // tree slots) the length is exactly `total_slots` and behaviour is
+    // unchanged. When spill does push the buffer longer, the extra
+    // touches reveal only the stash-spill count, which the stash bound
+    // already caps.
     let mut buffer: Vec<Option<(BlockId, Vec<u8>)>> = blocks.into_iter().map(Some).collect();
-    buffer.resize_with(total_slots as usize, || None);
+    let buffer_len = buffer.len().max(total_slots as usize);
+    buffer.resize_with(buffer_len, || None);
 
     let stats = algorithm.shuffle(&mut buffer, seed);
 
@@ -111,6 +122,26 @@ mod tests {
         for (id, payload) in &outcome.blocks {
             assert_eq!(payload, &vec![id.0 as u8; 8], "payload of {id}");
         }
+    }
+
+    #[test]
+    fn evict_is_lossless_when_residents_exceed_tree_slots() {
+        // A one-bucket tree (slot budget 10 → 4 slots at z = 4) whose
+        // stash holds more blocks than the tree has slots: the evict
+        // buffer must grow past the tree image rather than truncate.
+        let device = MachineConfig::dac2019().build_memory(SimClock::new(), None);
+        let keys = MasterKey::from_bytes([6; 32]).derive("evict-test", 0);
+        let mut oram = PathOram::for_slot_budget(10, Some(64), 8, device, &keys, 3).unwrap();
+        assert!(
+            oram.geometry().total_slots() < 6,
+            "fixture needs a tiny tree"
+        );
+        for id in 0..6u64 {
+            oram.insert_block(BlockId(id), vec![id as u8; 8]).unwrap();
+        }
+        let outcome = oblivious_tree_evict(&mut oram, ShuffleAlgorithm::Bitonic, 11).unwrap();
+        let got: HashSet<u64> = outcome.blocks.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(got, (0..6).collect::<HashSet<u64>>());
     }
 
     #[test]

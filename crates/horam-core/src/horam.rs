@@ -14,6 +14,12 @@
 //! loads have been issued) and **shuffle periods** (oblivious tree evict →
 //! group+partition shuffle → fresh tree), exactly as §4.1 describes.
 //!
+//! Beyond the paper, the cycle driver is **pipelined** (see
+//! [`crate::pipeline`] and `docs/PIPELINE.md`): while one window's device
+//! and crypto phases are in flight, the next windows' control sweeps run
+//! ahead, with every observable — responses, bus trace, statistics,
+//! simulated clock — byte-identical at any pipeline depth.
+//!
 //! # Example
 //!
 //! ```
@@ -35,20 +41,46 @@
 use crate::config::HOramConfig;
 use crate::evict::oblivious_tree_evict;
 use crate::persist::{self, KIND_SINGLE, SNAPSHOT_DOMAIN};
+use crate::pipeline::{HazardTracker, PipelineStats};
 use crate::queue::RequestQueue;
 use crate::scheduler::CyclePlan;
 use crate::stats::HOramStats;
-use crate::storage_layer::{LoadPlan, StorageLayer};
+use crate::storage_layer::{BatchLoad, BatchOpener, LoadPlan, RawBatch, StorageLayer};
 use oram_crypto::keys::{KeyHierarchy, MasterKey, SubKeys};
 use oram_crypto::persist::{open_envelope, seal_envelope, StateReader, StateWriter};
 use oram_crypto::prf::Prf;
 use oram_protocols::error::OramError;
 use oram_protocols::oram_trait::Oram;
-use oram_protocols::path_oram::PathOram;
+use oram_protocols::path_oram::{AccessReceipt, PathOram};
 use oram_protocols::types::{BlockId, Request, RequestOp};
 use oram_storage::clock::{SimClock, SimDuration};
 use oram_storage::hierarchy::MemoryHierarchy;
 use oram_storage::trace::AccessTrace;
+use std::collections::VecDeque;
+
+/// One planned scheduling cycle, carried from the plan phase to the
+/// execute phase of its window: the control-layer decisions, the storage
+/// half's reservation, and the cycle's **pre-drawn** memory-layer
+/// randomness. Pre-drawing at plan time pins the memory RNG stream to
+/// plan order — which is the same at every pipeline depth — so overlapped
+/// execution consumes exactly the randomness the sequential path would.
+#[derive(Debug)]
+struct PlannedCycle {
+    plan: CyclePlan,
+    /// One remap leaf per hit, in hit order.
+    hit_leaves: Vec<u64>,
+    /// One path per padding access, in issue order.
+    dummy_leaves: Vec<u64>,
+    /// The arriving block's tree position (exactly when the cycle's I/O
+    /// load is expected to return a real block).
+    insert_leaf: Option<u64>,
+}
+
+/// A fully planned I/O window — the unit the pipeline keeps in flight.
+#[derive(Debug)]
+struct PlannedWindow {
+    cycles: Vec<PlannedCycle>,
+}
 
 /// The hybrid ORAM. See the [module docs](self).
 #[derive(Debug)]
@@ -60,9 +92,26 @@ pub struct HOram {
     trace: AccessTrace,
     queue: RequestQueue,
     io_used_in_period: u64,
+    /// I/O loads *planned* in the current period, including windows still
+    /// in flight. Equal to `io_used_in_period` whenever no window is in
+    /// flight; transient, never persisted (snapshots require a drained,
+    /// settled instance where the two coincide).
+    io_planned_in_period: u64,
     period_seq: u64,
     seed_prf: Prf,
     stats: HOramStats,
+    /// Resolved pipeline depth: how many I/O windows may be in flight at
+    /// once (config knob, falling back to the machine hint; 1 =
+    /// sequential).
+    pipeline_depth: u64,
+    /// Structural-hazard ledger for in-flight windows.
+    hazards: HazardTracker,
+    /// Volatile pipeline counters (never part of snapshots or
+    /// [`HOramStats`] — they describe *how* windows ran, which is exactly
+    /// what the determinism contract keeps unobservable).
+    pipeline_stats: PipelineStats,
+    /// Doc-hidden leaky fixture: lookahead ignores the period boundary.
+    hazard_skip: bool,
     /// Keys sealing this instance's snapshots (derived from the master).
     snapshot_keys: SubKeys,
 }
@@ -90,6 +139,7 @@ impl HOram {
         config.validate();
         let clock = hierarchy.clock().clone();
         let trace = hierarchy.trace().clone();
+        let pipeline_depth = config.pipeline.effective_depth(hierarchy.pipeline_hint());
         let MemoryHierarchy {
             memory: memory_device,
             storage: storage_device,
@@ -116,9 +166,14 @@ impl HOram {
             trace,
             queue,
             io_used_in_period: 0,
+            io_planned_in_period: 0,
             period_seq: 0,
             seed_prf,
             stats: HOramStats::default(),
+            pipeline_depth,
+            hazards: HazardTracker::new(),
+            pipeline_stats: PipelineStats::default(),
+            hazard_skip: false,
             snapshot_keys,
         };
         horam.reset_accounting();
@@ -229,6 +284,7 @@ impl HOram {
 
         let clock = hierarchy.clock().clone();
         let trace = hierarchy.trace().clone();
+        let pipeline_depth = config.pipeline.effective_depth(hierarchy.pipeline_hint());
         let MemoryHierarchy {
             memory: memory_device,
             storage: storage_device,
@@ -271,9 +327,15 @@ impl HOram {
             trace,
             queue,
             io_used_in_period,
+            // Snapshots are taken drained and settled, so planned == used.
+            io_planned_in_period: io_used_in_period,
             period_seq,
             seed_prf,
             stats,
+            pipeline_depth,
+            hazards: HazardTracker::new(),
+            pipeline_stats: PipelineStats::default(),
+            hazard_skip: false,
             snapshot_keys,
         })
     }
@@ -365,6 +427,35 @@ impl HOram {
         self.storage.device().retry_stats()
     }
 
+    /// The resolved cycle-pipeline depth this instance runs at: the
+    /// [`HOramConfig::pipeline`] knob, falling back to the machine's
+    /// [`MemoryHierarchy::pipeline_hint`], falling back to 1 (sequential).
+    ///
+    /// [`HOramConfig::pipeline`]: crate::config::HOramConfig::pipeline
+    pub fn pipeline_depth(&self) -> u64 {
+        self.pipeline_depth
+    }
+
+    /// Volatile pipeline counters: overlapped commits, windows planned
+    /// ahead, period-boundary stalls, overlapped shuffles. Diagnostic
+    /// only — never part of [`HOramStats`] or snapshots, because they
+    /// describe scheduling mechanics the determinism contract keeps out
+    /// of every observable.
+    pub fn pipeline_stats(&self) -> PipelineStats {
+        self.pipeline_stats
+    }
+
+    /// Test fixture: makes *lookahead* planning ignore the period
+    /// boundary, so at depths ≥ 2 windows are planned across a pending
+    /// shuffle and the shuffle is delayed — a deliberate determinism
+    /// leak the pipeline battery must detect (head windows stay clamped,
+    /// so depth-1 behavior is unchanged and the leak is invisible to
+    /// everything but a cross-depth differential test).
+    #[doc(hidden)]
+    pub fn set_hazard_skip(&mut self, enabled: bool) {
+        self.hazard_skip = enabled;
+    }
+
     /// Clears all timing/tracing/statistics state (not data).
     pub fn reset_accounting(&mut self) {
         self.memory.device_mut().reset_accounting();
@@ -373,6 +464,7 @@ impl HOram {
         self.trace.clear();
         self.clock.reset();
         self.stats = HOramStats::default();
+        self.pipeline_stats = PipelineStats::default();
     }
 
     fn period_seed(&self, purpose: u64) -> u64 {
@@ -416,7 +508,7 @@ impl HOram {
     /// [`take_response`](Self::take_response)).
     pub fn drain(&mut self, tickets: &[u64]) -> Result<Vec<Vec<u8>>, OramError> {
         while !self.queue.is_drained() {
-            self.run_cycle_window(self.config.io_batch)?;
+            self.run_cycle_burst(self.config.io_batch, u64::MAX)?;
         }
         let mut out = Vec::with_capacity(tickets.len());
         for ticket in tickets {
@@ -492,44 +584,247 @@ impl HOram {
     ///
     /// Panics if `max_cycles` is zero.
     pub fn run_cycle_window(&mut self, max_cycles: u64) -> Result<u64, OramError> {
+        self.run_cycle_burst(max_cycles, 1)
+    }
+
+    /// Runs up to `max_windows` I/O windows of up to `max_cycles` cycles
+    /// each through the **pipelined cycle driver**, stopping early when
+    /// the ROB drains. Returns the total number of cycles executed.
+    ///
+    /// While one window's device scatter and crypto open are in flight,
+    /// up to `pipeline depth − 1` further windows are planned ahead
+    /// (control sweep: hit classification, I/O reservation, randomness
+    /// pre-draw, hazard registration). The contract — enforced by
+    /// `tests/pipeline.rs` — is that every observable is **byte-identical
+    /// at any depth**: planning mutates only control-layer state, device
+    /// and memory phases run on the driver thread in canonical order, and
+    /// each cycle's randomness is pre-drawn at plan time, so only host
+    /// wall-clock behavior changes. A burst of `w` windows executes
+    /// exactly the cycles `w` successive [`run_cycle_window`] calls
+    /// would.
+    ///
+    /// Lookahead planning stalls (deterministically) at a period
+    /// boundary: a window of the next period is never planned while this
+    /// period's windows are in flight, so the shuffle always runs at the
+    /// same cycle index as the sequential path.
+    ///
+    /// [`run_cycle_window`]: Self::run_cycle_window
+    ///
+    /// # Errors
+    ///
+    /// As [`run_cycle_window`](Self::run_cycle_window): fail-stop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_cycles` or `max_windows` is zero.
+    pub fn run_cycle_burst(&mut self, max_cycles: u64, max_windows: u64) -> Result<u64, OramError> {
         assert!(
             max_cycles >= 1,
             "a cycle window must cover at least one cycle"
         );
-        // Clamp to the period budget: shuffles happen between windows, so
-        // the once-per-period invariant never spans a commit.
-        let window = max_cycles.min(self.config.period_io_limit() - self.io_used_in_period);
+        assert!(max_windows >= 1, "a burst must cover at least one window");
+        let mut planned_windows: u64 = 1;
+        let mut executed_total: u64 = 0;
+        let mut queued: VecDeque<PlannedWindow> = VecDeque::new();
+        // The head window is planned unconditionally: an empty queue
+        // still runs one padded (all-dummy) cycle, exactly as the
+        // sequential path always has.
+        queued.push_back(self.plan_window(max_cycles, true)?);
 
-        // Phase 1: plan the window's cycles (control-layer state only).
+        while let Some(window) = queued.pop_front() {
+            // Device half on the driver thread, in canonical order.
+            let opener = self.storage.batch_opener();
+            let raw = self.storage.commit_scatter(window.cycles.len())?;
+            // Crypto half (decrypt + verify), overlapped with planning
+            // the next windows when the pipeline is deeper than one.
+            let batch = self.open_window(
+                opener,
+                raw,
+                max_cycles,
+                max_windows,
+                &mut planned_windows,
+                &mut queued,
+            )?;
+            // Memory half in plan order.
+            executed_total += self.execute_window(&window, batch)?;
+
+            if queued.is_empty() {
+                // Nothing in flight: period boundaries are safe to cross.
+                if self.io_used_in_period >= self.config.period_io_limit() {
+                    self.shuffle_period()?;
+                }
+                if planned_windows < max_windows && !self.queue.is_drained() {
+                    queued.push_back(self.plan_window(max_cycles, true)?);
+                    planned_windows += 1;
+                }
+            }
+        }
+        Ok(executed_total)
+    }
+
+    /// Plans one I/O window: the control sweep of up to `max_cycles`
+    /// cycles (clamped to the period's remaining *planned* I/O budget
+    /// when `clamp_to_period`, which is always except for the doc-hidden
+    /// leaky fixture's lookahead). Mutates control-layer state only —
+    /// ROB, permutation-list markers, position map, hazard ledger, and
+    /// the memory layer's RNG (pre-drawn here, consumed at execute).
+    fn plan_window(
+        &mut self,
+        max_cycles: u64,
+        clamp_to_period: bool,
+    ) -> Result<PlannedWindow, OramError> {
+        let window = if clamp_to_period {
+            max_cycles.min(
+                self.config
+                    .period_io_limit()
+                    .saturating_sub(self.io_planned_in_period),
+            )
+        } else {
+            max_cycles
+        };
         let d = self.config.prefetch_distance;
-        let mut plans: Vec<CyclePlan> = Vec::with_capacity(window as usize);
+        let mut cycles: Vec<PlannedCycle> = Vec::with_capacity(window as usize);
+        let mut slots: Vec<u64> = Vec::new();
+        let mut inserts = 0u64;
         for offset in 0..window {
             if offset > 0 && self.queue.is_drained() {
                 break;
             }
-            let c = self.config.stage_c(self.io_used_in_period + offset);
+            let c = self.config.stage_c(self.io_planned_in_period + offset);
             let storage = &mut self.storage;
             let plan: CyclePlan = self.queue.plan(c, d, |id| storage.is_in_memory(id));
-            self.storage.plan_io(match plan.miss_block {
+            let io = self.storage.plan_io(match plan.miss_block {
                 Some(id) => LoadPlan::Miss(id),
                 None => LoadPlan::Dummy,
             })?;
-            plans.push(plan);
+            // Pre-draw the cycle's memory-layer randomness in execution
+            // order — hit remaps, then padding paths, then the arrival's
+            // tree position — pinning the RNG stream at plan time.
+            let hit_leaves: Vec<u64> = plan.hits.iter().map(|_| self.memory.draw_leaf()).collect();
+            let dummy_leaves: Vec<u64> = (0..plan.dummy_memory)
+                .map(|_| self.memory.draw_leaf())
+                .collect();
+            let insert_leaf = io.expect.map(|_| self.memory.draw_leaf());
+            if let Some(slot) = io.slot {
+                slots.push(slot);
+            }
+            inserts += u64::from(io.expect.is_some());
+            cycles.push(PlannedCycle {
+                plan,
+                hit_leaves,
+                dummy_leaves,
+                insert_leaf,
+            });
         }
+        self.hazards.reserve_window(&slots, inserts)?;
+        self.pipeline_stats.max_windows_in_flight = self
+            .pipeline_stats
+            .max_windows_in_flight
+            .max(self.hazards.in_flight() as u64);
+        self.pipeline_stats.stash_reserved_peak = self
+            .pipeline_stats
+            .stash_reserved_peak
+            .max(self.hazards.stash_reserved_peak());
+        self.io_planned_in_period += cycles.len() as u64;
+        Ok(PlannedWindow { cycles })
+    }
 
-        // Phase 2: the window's I/O as one scatter read.
-        let batch = self.storage.commit_io()?;
+    /// Plans further windows while the in-flight window's crypto open
+    /// runs: refills the lookahead queue to `pipeline depth − 1`
+    /// windows, stopping — deterministically, independent of how fast
+    /// the open finishes — when the ROB drains, the burst's window
+    /// allowance is spent, or the period's I/O budget is exhausted (a
+    /// **period stall**: the next window belongs after the shuffle).
+    fn top_up(
+        &mut self,
+        max_cycles: u64,
+        max_windows: u64,
+        planned_windows: &mut u64,
+        queued: &mut VecDeque<PlannedWindow>,
+    ) -> Result<(), OramError> {
+        while (queued.len() as u64) < self.pipeline_depth.saturating_sub(1)
+            && *planned_windows < max_windows
+            && !self.queue.is_drained()
+        {
+            let budget = self
+                .config
+                .period_io_limit()
+                .saturating_sub(self.io_planned_in_period);
+            if budget == 0 && !self.hazard_skip {
+                self.pipeline_stats.period_stalls += 1;
+                break;
+            }
+            let window = self.plan_window(max_cycles, !self.hazard_skip)?;
+            if window.cycles.is_empty() {
+                break;
+            }
+            *planned_windows += 1;
+            self.pipeline_stats.planned_ahead_windows += 1;
+            queued.push_back(window);
+        }
+        Ok(())
+    }
 
-        // Phase 3: memory halves in plan order.
+    /// Opens a committed scatter batch (decrypt + verify), overlapping
+    /// the open with lookahead planning when the pipeline is deeper than
+    /// one window. The open is a pure function of the raw batch and the
+    /// (cloned) sealer, and planning touches control state only, so the
+    /// two are disjoint; without a worker pool the same two steps run on
+    /// this thread in the same control-transition order.
+    fn open_window(
+        &mut self,
+        opener: BatchOpener,
+        raw: RawBatch,
+        max_cycles: u64,
+        max_windows: u64,
+        planned_windows: &mut u64,
+        queued: &mut VecDeque<PlannedWindow>,
+    ) -> Result<BatchLoad, OramError> {
+        if self.pipeline_depth <= 1 {
+            return opener.open(raw);
+        }
+        match self.storage.workers() {
+            None => {
+                let batch = opener.open(raw)?;
+                self.top_up(max_cycles, max_windows, planned_windows, queued)?;
+                Ok(batch)
+            }
+            Some(pool) => {
+                let mut opened: Option<Result<BatchLoad, OramError>> = None;
+                let mut planned: Result<(), OramError> = Ok(());
+                {
+                    let opened = &mut opened;
+                    pool.scope(|scope| {
+                        scope.spawn(move || *opened = Some(opener.open(raw)));
+                        planned = self.top_up(max_cycles, max_windows, planned_windows, queued);
+                    });
+                }
+                planned?;
+                self.pipeline_stats.overlapped_commits += 1;
+                opened
+                    .ok_or_else(|| OramError::internal("overlapped batch open returned nothing"))?
+            }
+        }
+    }
+
+    /// Executes one planned window's memory half in plan order, consuming
+    /// the pre-drawn randomness, then advances the simulated clock by the
+    /// overlapped wall time and retires the window's hazard claims.
+    fn execute_window(
+        &mut self,
+        window: &PlannedWindow,
+        batch: BatchLoad,
+    ) -> Result<u64, OramError> {
         let mut memory_total = SimDuration::ZERO;
-        for (plan, io_load) in plans.iter().zip(batch.loads) {
+        for (cycle, io_load) in window.cycles.iter().zip(batch.loads) {
             let mut memory_time = SimDuration::ZERO;
-            for entry in &plan.hits {
+            for (entry, &new_leaf) in cycle.plan.hits.iter().zip(&cycle.hit_leaves) {
                 let (data, receipt) = match &entry.request.op {
-                    RequestOp::Read => self.memory.access_read(entry.request.id)?,
+                    RequestOp::Read => self.memory.access_read_at(entry.request.id, new_leaf)?,
                     RequestOp::Write(payload) => {
                         self.stats.writes += 1;
-                        self.memory.access_write(entry.request.id, payload)?
+                        self.memory
+                            .access_write_at(entry.request.id, new_leaf, payload)?
                     }
                 };
                 memory_time += receipt.memory;
@@ -537,11 +832,11 @@ impl HOram {
                 self.stats.memory_hits += 1;
                 self.stats.requests += 1;
             }
-            for _ in 0..plan.dummy_memory {
-                memory_time += self.memory.dummy_access()?.memory;
+            for &leaf in &cycle.dummy_leaves {
+                memory_time += self.memory.dummy_access_at(leaf)?.memory;
                 self.stats.dummy_memory_accesses += 1;
             }
-            match plan.miss_block {
+            match cycle.plan.miss_block {
                 Some(_) => self.stats.real_io_loads += 1,
                 None => {
                     self.stats.dummy_io_loads += 1;
@@ -551,32 +846,39 @@ impl HOram {
                 }
             }
             if let Some((id, payload)) = io_load.block {
-                self.memory.insert_block(id, payload)?;
+                let leaf = cycle
+                    .insert_leaf
+                    .ok_or_else(|| OramError::internal("I/O arrival without a pre-drawn leaf"))?;
+                self.memory.insert_block_at(id, payload, leaf)?;
             }
             memory_total += memory_time;
             self.stats.cycles += 1;
         }
+        self.hazards.retire_window();
 
         // Wall clock: the paper overlaps the path accesses with the loads
         // ("the I/O loads and in-memory reads are conducted simultaneously");
         // a window overlaps its whole memory stream with its whole batch.
-        let executed = plans.len() as u64;
+        let executed = window.cycles.len() as u64;
         let wall = memory_total.max(batch.io_time);
         self.clock.advance(wall);
         self.stats.access_wall_time += wall;
         self.stats.memory_time += memory_total;
         self.stats.io_time += batch.io_time;
-
         self.io_used_in_period += executed;
-        if self.io_used_in_period >= self.config.period_io_limit() {
-            self.shuffle_period()?;
-        }
         Ok(executed)
     }
 
     /// Runs the shuffle period now (normally triggered automatically when
     /// the period's I/O budget is spent): oblivious tree evict →
     /// group+partition shuffle (full or partial) → fresh memory tree.
+    ///
+    /// At pipeline depths above one (with a worker pool available), the
+    /// full shuffle's position-map rewrite is overlapped with installing
+    /// the fresh in-memory tree: the position map owns its own clock and
+    /// per-level trace, and the tree rebuild touches only the memory
+    /// device, so the two rebuilds are disjoint and the overlap is
+    /// invisible in every observable (see `docs/PIPELINE.md`).
     ///
     /// # Errors
     ///
@@ -587,20 +889,52 @@ impl HOram {
         let outcome =
             oblivious_tree_evict(&mut self.memory, self.config.evict_shuffle, evict_seed)?;
 
-        // 2. Group + partition shuffle (§4.3.2 / §5.3.1).
+        // 2. Group + partition shuffle (§4.3.2 / §5.3.1), then
+        // 3. fresh in-memory tree (§4.1.2: "evicted back to the storage
+        //    and will be reconstructed again") — overlapped with the
+        //    shuffle's position-map rewrite when pipelining allows.
         let shuffle_seed = self.period_seed(2);
-        let report = match self.config.partial_shuffle_ratio {
-            None => self.storage.rebuild_full(outcome.blocks, shuffle_seed)?,
-            Some(_) => self.storage.rebuild_partial(
-                outcome.blocks,
-                self.config.partitions_per_shuffle(),
-                shuffle_seed,
-            )?,
+        let pool = if self.pipeline_depth > 1 && self.config.partial_shuffle_ratio.is_none() {
+            self.storage.workers()
+        } else {
+            None
         };
-
-        // 3. Fresh in-memory tree (§4.1.2: "evicted back to the storage and
-        //    will be reconstructed again").
-        let rebuild = self.memory.rebuild_empty()?;
+        let (report, rebuild) = match pool {
+            Some(pool) => {
+                let (report, image) = self
+                    .storage
+                    .rebuild_full_deferred(outcome.blocks, shuffle_seed)?;
+                let mut posmap_done: Option<Result<(), OramError>> = None;
+                let mut rebuilt: Option<Result<AccessReceipt, OramError>> = None;
+                {
+                    let posmap = self.storage.posmap_mut();
+                    let memory = &mut self.memory;
+                    let posmap_done = &mut posmap_done;
+                    pool.scope(|scope| {
+                        scope.spawn(move || *posmap_done = Some(posmap.rebuild_all(&image)));
+                        rebuilt = Some(memory.rebuild_empty());
+                    });
+                }
+                posmap_done.ok_or_else(|| {
+                    OramError::internal("overlapped posmap rebuild went missing")
+                })??;
+                let rebuild = rebuilt
+                    .ok_or_else(|| OramError::internal("overlapped tree rebuild went missing"))??;
+                self.pipeline_stats.shuffle_overlaps += 1;
+                (report, rebuild)
+            }
+            None => {
+                let report = match self.config.partial_shuffle_ratio {
+                    None => self.storage.rebuild_full(outcome.blocks, shuffle_seed)?,
+                    Some(_) => self.storage.rebuild_partial(
+                        outcome.blocks,
+                        self.config.partitions_per_shuffle(),
+                        shuffle_seed,
+                    )?,
+                };
+                (report, self.memory.rebuild_empty()?)
+            }
+        };
 
         // Evict and tree rebuild are memory-side and serialize with the
         // pipelined storage pass.
@@ -610,7 +944,9 @@ impl HOram {
         self.stats.shuffles += 1;
         self.stats.spilled_blocks += report.spilled;
         self.io_used_in_period = 0;
+        self.io_planned_in_period = 0;
         self.period_seq += 1;
+        self.hazards.clear();
         // The evict returned every cached block to storage: in-flight loads
         // are void, pending misses must be re-issueable.
         self.queue.void_in_flight_io();
@@ -853,6 +1189,107 @@ mod tests {
             }
         }
         assert!(oram.stats().shuffles >= 1);
+    }
+
+    fn build_piped(capacity: u64, memory_slots: u64, io_batch: u64, depth: u64) -> HOram {
+        let config = HOramConfig::new(capacity, 8, memory_slots)
+            .with_seed(17)
+            .with_io_batch(io_batch)
+            .with_pipeline_depth(depth);
+        HOram::new(
+            config,
+            MemoryHierarchy::dac2019(),
+            MasterKey::from_bytes([9; 32]),
+        )
+        .unwrap()
+    }
+
+    fn mixed_workload(seed: u64, count: usize, capacity: u64) -> Vec<Request> {
+        let mut rng = DeterministicRng::from_u64_seed(seed);
+        (0..count)
+            .map(|_| {
+                let id = rng.gen_range(0..capacity);
+                if rng.gen_bool(0.3) {
+                    Request::write(id, vec![rng.gen::<u8>(); 8])
+                } else {
+                    Request::read(id)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pipelined_burst_is_byte_identical_to_depth_one() {
+        // The tentpole invariant at unit scale: responses, the storage
+        // trace, every statistic, and the simulated clock agree between a
+        // depth-1 (sequential) and a depth-4 (pipelined) instance on a
+        // period-crossing workload. The full matrix lives in
+        // tests/pipeline.rs; this pins the core engine alone.
+        let requests = mixed_workload(41, 220, 256);
+
+        let mut baseline = build_piped(256, 64, 8, 1);
+        let base_responses = baseline.run_batch(&requests).unwrap();
+        let storage_id = baseline.storage.device().id();
+
+        let mut piped = build_piped(256, 64, 8, 4);
+        let piped_responses = piped.run_batch(&requests).unwrap();
+
+        assert_eq!(base_responses, piped_responses);
+        assert_eq!(
+            baseline.trace().address_sequence(storage_id),
+            piped.trace().address_sequence(storage_id),
+            "storage access patterns diverged"
+        );
+        assert_eq!(baseline.stats(), piped.stats());
+        assert_eq!(baseline.clock().now(), piped.clock().now());
+        assert!(baseline.stats().shuffles >= 2, "setup: must cross periods");
+        assert!(
+            piped.pipeline_stats().planned_ahead_windows > 0,
+            "pipeline never engaged: {:?}",
+            piped.pipeline_stats()
+        );
+    }
+
+    #[test]
+    fn pipeline_depth_one_plans_no_lookahead() {
+        let requests = mixed_workload(41, 100, 256);
+        let mut oram = build_piped(256, 64, 8, 1);
+        oram.run_batch(&requests).unwrap();
+        assert_eq!(oram.pipeline_stats().planned_ahead_windows, 0);
+        assert_eq!(oram.pipeline_stats().overlapped_commits, 0);
+    }
+
+    #[test]
+    fn lookahead_stalls_at_period_boundaries() {
+        // Period = 8 loads, windows of 4, depth 4: lookahead regularly
+        // meets an exhausted period budget and must stall rather than
+        // plan across the epoch rebuild.
+        let mut oram = build_piped(256, 16, 4, 4);
+        let requests: Vec<Request> = (0..60u64).map(Request::read).collect();
+        oram.run_batch(&requests).unwrap();
+        assert!(oram.stats().shuffles >= 2);
+        assert!(
+            oram.pipeline_stats().period_stalls > 0,
+            "no period stall recorded: {:?}",
+            oram.pipeline_stats()
+        );
+    }
+
+    #[test]
+    fn memory_rng_stream_positions_are_pinned_across_depths() {
+        // The pre-draw audit's regression test: the memory layer's RNG
+        // stream position after a fixed workload must not depend on the
+        // pipeline depth (plan order is depth-invariant, and every leaf
+        // is drawn at plan time — one per hit, dummy, and arrival).
+        let requests = mixed_workload(23, 150, 256);
+        let mut positions = Vec::new();
+        for depth in [1, 2, 4] {
+            let mut oram = build_piped(256, 64, 8, depth);
+            oram.run_batch(&requests).unwrap();
+            positions.push(oram.memory.rng_stream_pos());
+        }
+        assert_eq!(positions[0], positions[1], "depth 2 moved the rng stream");
+        assert_eq!(positions[0], positions[2], "depth 4 moved the rng stream");
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! its configuration so restore can validate geometry).
 
 use crate::config::{HOramConfig, PosmapMode, RecursivePosmapConfig, StagePlan};
+use crate::pipeline::PipelineConfig;
 use oram_crypto::persist::{PersistError, StateReader, StateWriter};
 use oram_shuffle::ShuffleAlgorithm;
 use oram_storage::cache::{CacheConfig, CachePolicy, MidTierConfig};
@@ -111,6 +112,7 @@ pub fn save_config(config: &HOramConfig, w: &mut StateWriter) {
     w.put_bool(config.zero_copy_io);
     w.put_usize(config.worker_threads);
     w.put_f64(config.partition_headroom);
+    w.put_opt_u64(config.pipeline.depth);
     save_cache_config(config.cache.as_ref(), w);
     save_posmap_mode(&config.posmap, w);
     w.put_u64(config.seed);
@@ -274,6 +276,9 @@ pub fn load_config(r: &mut StateReader<'_>) -> Result<HOramConfig, PersistError>
     let zero_copy_io = r.get_bool()?;
     let worker_threads = r.get_usize()?;
     let partition_headroom = r.get_f64()?;
+    let pipeline = PipelineConfig {
+        depth: r.get_opt_u64()?,
+    };
     let cache = load_cache_config(r)?;
     let posmap = load_posmap_mode(r)?;
     let seed = r.get_u64()?;
@@ -292,6 +297,7 @@ pub fn load_config(r: &mut StateReader<'_>) -> Result<HOramConfig, PersistError>
         worker_threads,
         partition_headroom,
         cache,
+        pipeline,
         posmap,
         seed,
     })
@@ -308,7 +314,8 @@ mod tests {
             .with_io_batch(8)
             .with_partial_shuffle(0.25)
             .with_worker_threads(3)
-            .with_zero_copy_io(false);
+            .with_zero_copy_io(false)
+            .with_pipeline_depth(4);
         let mut w = StateWriter::new();
         save_config(&config, &mut w);
         let bytes = w.into_bytes();

@@ -36,6 +36,7 @@ struct Args {
     shards: u64,
     tenants: u32,
     batch_size: usize,
+    pipeline_depth: Option<u64>,
     max_connections: usize,
     max_inflight: usize,
     dedup_window: usize,
@@ -56,6 +57,7 @@ impl Args {
             shards: 4,
             tenants: 8,
             batch_size: 128,
+            pipeline_depth: None,
             max_connections: 16,
             max_inflight: 256,
             dedup_window: 1024,
@@ -79,6 +81,9 @@ impl Args {
                 "--shards" => args.shards = parse(&value("--shards")?)?,
                 "--tenants" => args.tenants = parse(&value("--tenants")?)?,
                 "--batch-size" => args.batch_size = parse(&value("--batch-size")?)?,
+                "--pipeline-depth" => {
+                    args.pipeline_depth = Some(parse(&value("--pipeline-depth")?)?)
+                }
                 "--max-connections" => args.max_connections = parse(&value("--max-connections")?)?,
                 "--max-inflight" => args.max_inflight = parse(&value("--max-inflight")?)?,
                 "--dedup-window" => args.dedup_window = parse(&value("--dedup-window")?)?,
@@ -106,6 +111,9 @@ const USAGE: &str = "horam-serverd — H-ORAM network server
   --shards N             sharded engine width (default 4)
   --tenants N            tenants 0..N, equal disjoint block ranges
   --batch-size N         admission batch size (default 128)
+  --pipeline-depth N     I/O windows the engine keeps in flight per shard
+                         (default: the machine hint; 1 = sequential).
+                         Responses are byte-identical at any depth
   --max-connections / --max-inflight / --dedup-window
   --token T              require this Hello token
   --seed S / --key K     engine seed and master-key byte
@@ -131,10 +139,13 @@ fn main() -> ExitCode {
 fn run() -> Result<(), String> {
     let args = Args::parse()?;
 
-    let service_config = ServiceConfig {
+    let mut service_config = ServiceConfig {
         batch_size: args.batch_size,
         ..ServiceConfig::default()
     };
+    if let Some(depth) = args.pipeline_depth {
+        service_config.pipeline = horam_core::PipelineConfig::with_depth(depth);
+    }
     let base = service_config
         .engine_config(HOramConfig::new(
             args.capacity,

@@ -31,7 +31,7 @@
 //! `docs/OPERATIONS.md` for the drain → checkpoint → restart runbook.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod client;
 pub mod net;

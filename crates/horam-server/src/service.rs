@@ -97,6 +97,17 @@ pub struct ServiceConfig {
     /// through [`engine_config`](Self::engine_config); responses are
     /// byte-identical in either mode.
     pub posmap: horam_core::config::PosmapMode,
+    /// Cycle-pipeline configuration the deployment should build its
+    /// engine with (`HOramConfig::pipeline`): how many I/O windows the
+    /// engine may keep in flight per pump. Consumed through
+    /// [`engine_config`](Self::engine_config); the pump also reads the
+    /// resolved depth to issue `run_cycle_burst` calls that keep the
+    /// engine's pipeline fed. Like [`worker_threads`](Self::worker_threads),
+    /// this changes wall-clock behaviour only — responses, statistics,
+    /// traces, and simulated time are byte-identical at any depth. The
+    /// default leaves the depth to the engine's machine hint (sequential
+    /// when unset).
+    pub pipeline: horam_core::PipelineConfig,
 }
 
 impl Default for ServiceConfig {
@@ -111,6 +122,7 @@ impl Default for ServiceConfig {
                 .unwrap_or(1),
             cache: None,
             posmap: horam_core::config::PosmapMode::Flat,
+            pipeline: horam_core::PipelineConfig::default(),
         }
     }
 }
@@ -128,7 +140,8 @@ impl ServiceConfig {
     ) -> horam_core::config::HOramConfig {
         let base = base
             .with_worker_threads(self.worker_threads)
-            .with_posmap(self.posmap.clone());
+            .with_posmap(self.posmap.clone())
+            .with_pipeline(self.pipeline.clone());
         match &self.cache {
             Some(cache) => base.with_cache(cache.clone()),
             None => base,
@@ -571,15 +584,19 @@ impl<E: OramEngine> OramService<E> {
         // under the multi-tenant path. Windows are clamped to the request
         // count above the watermark, so deep queues get full batches
         // while near the watermark the drain falls back to short windows.
-        // The watermark is still checked at window granularity: because a
-        // cycle can retire up to `c` hits, a window may drain past it by
-        // up to a window's worth of retirements before the next check —
-        // a deliberate trade (full scatter batches) over stopping
-        // per-cycle.
+        // The watermark is still checked at burst granularity: because a
+        // cycle can retire up to `c` hits, a burst may drain past it by
+        // up to a burst's worth of retirements before the next check —
+        // a deliberate trade (full scatter batches, fed pipelines) over
+        // stopping per-cycle. At pipeline depths above one the burst
+        // hands the engine several windows at once so lookahead planning
+        // overlaps in-flight commits; results are byte-identical either
+        // way, so the watermark drain logic does not care about depth.
+        let depth = self.config.pipeline.effective_depth(None);
         while self.oram.pending_requests() > watermark {
             let above = (self.oram.pending_requests() - watermark) as u64;
             self.oram
-                .run_cycle_window(self.config.io_batch.min(above))?;
+                .run_cycle_burst(self.config.io_batch.min(above), depth)?;
         }
 
         // Collect every response that completed. Piggybackers share their

@@ -18,7 +18,7 @@
 //! ([`position_map::PositionMap`], [`stash::Stash`]) and the tree geometry
 //! ([`bucket_tree::TreeGeometry`]), so the evaluation compares protocols —
 //! not incidental implementation choices.
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod backend;
 pub mod bucket_tree;

@@ -589,9 +589,78 @@ impl<B: TreeBackend> PathOramCore<B> {
 
     /// A uniformly random leaf drawn from this instance's seeded RNG —
     /// exposed so recursive wrappers draw remap targets from the same
-    /// replayable stream.
+    /// replayable stream, and so pipelined schedulers can **pre-draw** an
+    /// access's randomness at plan time (see the `*_at` access variants).
     pub fn draw_leaf(&mut self) -> u64 {
         rng_uniform(&mut self.rng, self.geometry.leaf_count())
+    }
+
+    /// The RNG stream position `(block counter, byte cursor)` — exposed
+    /// for determinism audits: the pipelined scheduler's regression tests
+    /// pin these positions to prove that pre-drawing randomness at plan
+    /// time consumes the stream exactly as the unpipelined path does.
+    pub fn rng_stream_pos(&self) -> (u32, usize) {
+        self.rng.stream_pos()
+    }
+
+    /// The assigned leaf of `id`, or an error if the block was never
+    /// assigned — the lookup backing the pinned-randomness access
+    /// variants, which exist precisely for blocks whose position is
+    /// already known at plan time.
+    fn pinned_leaf(&self, id: BlockId) -> Result<u64, OramError> {
+        self.check_range(id)?;
+        self.position_map.get(id).ok_or_else(|| {
+            OramError::internal(format!("pre-drawn access to unassigned block {id}"))
+        })
+    }
+
+    /// [`access_read`](Self::access_read) with **pre-drawn** remap
+    /// randomness: the block must already be assigned (H-ORAM hit blocks
+    /// always are — their I/O arrival assigned a leaf), and `new_leaf`
+    /// replaces the draw [`path_access`](Self::access_read) would make.
+    /// Device accesses, stash transitions, and statistics are identical
+    /// to `access_read`; callers drawing `new_leaf` from
+    /// [`draw_leaf`](Self::draw_leaf) in the same order the unpinned path
+    /// would preserve the RNG stream byte for byte.
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::BlockOutOfRange`] for ids ≥ capacity;
+    /// [`OramError::Internal`] for unassigned blocks (the caller's
+    /// hit classification is broken); storage/crypto errors propagate.
+    pub fn access_read_at(
+        &mut self,
+        id: BlockId,
+        new_leaf: u64,
+    ) -> Result<(Vec<u8>, AccessReceipt), OramError> {
+        let leaf = self.pinned_leaf(id)?;
+        self.access_explicit(id, Some(leaf), new_leaf, |entry| entry.payload.clone())
+    }
+
+    /// [`access_write`](Self::access_write) with pre-drawn remap
+    /// randomness; see [`access_read_at`](Self::access_read_at).
+    ///
+    /// # Errors
+    ///
+    /// As [`access_read_at`](Self::access_read_at), plus
+    /// [`OramError::PayloadSize`] for a wrong-length payload.
+    pub fn access_write_at(
+        &mut self,
+        id: BlockId,
+        new_leaf: u64,
+        data: &[u8],
+    ) -> Result<(Vec<u8>, AccessReceipt), OramError> {
+        if data.len() != self.payload_len {
+            return Err(OramError::PayloadSize {
+                expected: self.payload_len,
+                got: data.len(),
+            });
+        }
+        let leaf = self.pinned_leaf(id)?;
+        let data = data.to_vec();
+        self.access_explicit(id, Some(leaf), new_leaf, move |entry| {
+            std::mem::replace(&mut entry.payload, data.clone())
+        })
     }
 
     /// The internal position-map entry for `id`, if assigned. Root levels
@@ -636,8 +705,26 @@ impl<B: TreeBackend> PathOramCore<B> {
     ///
     /// Storage/crypto errors propagate.
     pub fn dummy_access(&mut self) -> Result<AccessReceipt, OramError> {
-        let busy_before = self.backend.busy();
         let leaf = rng_uniform(&mut self.rng, self.geometry.leaf_count());
+        self.dummy_access_at(leaf)
+    }
+
+    /// [`dummy_access`](Self::dummy_access) with a **pre-drawn** path:
+    /// reads and writes back the path of `leaf` instead of drawing one.
+    /// Pipelined schedulers draw the leaf (via
+    /// [`draw_leaf`](Self::draw_leaf)) at plan time so overlap depth
+    /// cannot reorder the RNG stream.
+    ///
+    /// # Errors
+    ///
+    /// Storage/crypto errors propagate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf` is outside the tree.
+    pub fn dummy_access_at(&mut self, leaf: u64) -> Result<AccessReceipt, OramError> {
+        assert!(leaf < self.geometry.leaf_count(), "dummy leaf out of range");
+        let busy_before = self.backend.busy();
         self.read_path_into_stash(leaf)?;
         self.write_back_path(leaf)?;
         self.stats.dummy_accesses += 1;
@@ -652,6 +739,29 @@ impl<B: TreeBackend> PathOramCore<B> {
     /// [`OramError::StashOverflow`] if the stash bound is hit;
     /// [`OramError::PayloadSize`] on wrong payload length.
     pub fn insert_block(&mut self, id: BlockId, payload: Vec<u8>) -> Result<(), OramError> {
+        let leaf = rng_uniform(&mut self.rng, self.geometry.leaf_count());
+        self.insert_block_at(id, payload, leaf)
+    }
+
+    /// [`insert_block`](Self::insert_block) with a **pre-drawn** leaf
+    /// assignment — the pipelined scheduler's I/O-arrival path, where the
+    /// leaf was drawn at plan time (see
+    /// [`draw_leaf`](Self::draw_leaf)).
+    ///
+    /// # Errors
+    ///
+    /// As [`insert_block`](Self::insert_block).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf` is outside the tree.
+    pub fn insert_block_at(
+        &mut self,
+        id: BlockId,
+        payload: Vec<u8>,
+        leaf: u64,
+    ) -> Result<(), OramError> {
+        assert!(leaf < self.geometry.leaf_count(), "leaf out of range");
         self.check_range(id)?;
         if payload.len() != self.payload_len {
             return Err(OramError::PayloadSize {
@@ -659,7 +769,6 @@ impl<B: TreeBackend> PathOramCore<B> {
                 got: payload.len(),
             });
         }
-        let leaf = rng_uniform(&mut self.rng, self.geometry.leaf_count());
         self.position_map.set(id, leaf);
         self.stash.insert(StashEntry { id, leaf, payload })?;
         self.stats.stash_inserts += 1;
@@ -934,6 +1043,61 @@ mod tests {
         assert_eq!(oram.device().stats().ops(), ops_before);
         assert!(oram.contains(BlockId(5)));
         assert_eq!(oram.read(BlockId(5)).unwrap(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pinned_variants_match_drawing_variants_exactly() {
+        // Two same-seed instances: one uses the drawing entry points, the
+        // other pre-draws each access's randomness in the same order and
+        // feeds it to the `*_at` variants. Results, device access counts,
+        // statistics, and the RNG stream position must all be identical —
+        // the contract the pipelined scheduler's pre-draw rests on.
+        let mut drawing = memory_oram(32, 4);
+        let mut pinned = memory_oram(32, 4);
+
+        drawing.insert_block(BlockId(3), vec![1, 2, 3, 4]).unwrap();
+        let leaf = pinned.draw_leaf();
+        pinned
+            .insert_block_at(BlockId(3), vec![1, 2, 3, 4], leaf)
+            .unwrap();
+
+        let (a, _) = drawing.access_read(BlockId(3)).unwrap();
+        let leaf = pinned.draw_leaf();
+        let (b, _) = pinned.access_read_at(BlockId(3), leaf).unwrap();
+        assert_eq!(a, b);
+
+        let (a, _) = drawing.access_write(BlockId(3), &[9; 4]).unwrap();
+        let leaf = pinned.draw_leaf();
+        let (b, _) = pinned.access_write_at(BlockId(3), leaf, &[9; 4]).unwrap();
+        assert_eq!(a, b);
+
+        drawing.dummy_access().unwrap();
+        let leaf = pinned.draw_leaf();
+        pinned.dummy_access_at(leaf).unwrap();
+
+        assert_eq!(drawing.rng_stream_pos(), pinned.rng_stream_pos());
+        assert_eq!(drawing.stats(), pinned.stats());
+        assert_eq!(
+            drawing.device().stats().ops(),
+            pinned.device().stats().ops()
+        );
+        assert_eq!(
+            drawing.read(BlockId(3)).unwrap(),
+            pinned.read(BlockId(3)).unwrap()
+        );
+    }
+
+    #[test]
+    fn pinned_access_to_unassigned_block_is_rejected() {
+        let mut oram = memory_oram(8, 4);
+        assert!(matches!(
+            oram.access_read_at(BlockId(1), 0),
+            Err(OramError::Internal { .. })
+        ));
+        assert!(matches!(
+            oram.access_write_at(BlockId(1), 0, &[0; 4]),
+            Err(OramError::Internal { .. })
+        ));
     }
 
     #[test]

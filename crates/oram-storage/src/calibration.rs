@@ -69,6 +69,13 @@ pub struct MachineConfig {
     /// Optional block cache (and middle tier) installed in front of the
     /// storage device; `None` reproduces the paper's uncached setup.
     pub cache: Option<crate::cache::CacheConfig>,
+    /// Suggested cycle-pipeline depth for engines built on this machine
+    /// (how many scheduling windows they may keep in flight). A *hint*:
+    /// engines adopt it only when their own configuration leaves the
+    /// depth unset, and results are byte-identical at any depth — the
+    /// hint only tunes wall-clock behaviour to the host. `None` (the
+    /// default, serialized as `null`) leaves engines sequential.
+    pub pipeline_depth: Option<u64>,
 }
 
 impl MachineConfig {
@@ -79,6 +86,7 @@ impl MachineConfig {
             storage: StorageKind::PaperHdd,
             block_bytes: 1024,
             cache: None,
+            pipeline_depth: None,
         }
     }
 
@@ -89,12 +97,20 @@ impl MachineConfig {
             storage: StorageKind::Ssd,
             block_bytes: 1024,
             cache: None,
+            pipeline_depth: None,
         }
     }
 
     /// Adds a block cache in front of the storage device.
     pub fn with_cache(mut self, cache: crate::cache::CacheConfig) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Suggests a cycle-pipeline depth to engines built on this machine
+    /// (see [`pipeline_depth`](Self::pipeline_depth)).
+    pub fn with_pipeline_depth(mut self, depth: u64) -> Self {
+        self.pipeline_depth = Some(depth);
         self
     }
 
